@@ -1,0 +1,195 @@
+//! From partitioned mesh to the paper's characterization quantities: the
+//! synthetic Figure 7 rows, EXFLOW-style aggregates, and netsim workloads.
+
+use quake_core::characterize::{AppCommSummary, SmvpInstance};
+use quake_core::machine::WORD_BYTES;
+use quake_mesh::mesh::{TetMesh, BYTES_PER_NODE};
+use quake_netsim::workload::Workload;
+use quake_partition::comm::CommAnalysis;
+use quake_partition::geometric::Partitioner;
+use quake_partition::partition::Partition;
+
+/// A fully analyzed SMVP instance: the Figure 7 row plus the data needed
+/// for Figure 8 (bisection volume) and the β bound (Figure 6).
+#[derive(Debug, Clone)]
+pub struct AnalyzedInstance {
+    /// The Figure 7 row.
+    pub instance: SmvpInstance,
+    /// The β bound for this partition.
+    pub beta: f64,
+    /// Words crossing the canonical bisection per SMVP.
+    pub bisection_words: u64,
+    /// Mean flops per PE (for imbalance reporting).
+    pub f_avg: f64,
+    /// The full communication analysis (retained for workload export).
+    pub analysis: CommAnalysis,
+}
+
+impl AnalyzedInstance {
+    /// Characterizes `mesh` partitioned into `parts` subdomains by
+    /// `partitioner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    pub fn characterize<P: Partitioner + ?Sized>(
+        app: &str,
+        mesh: &TetMesh,
+        partitioner: &P,
+        parts: usize,
+    ) -> Result<Self, quake_partition::partition::PartitionError> {
+        let partition = partitioner.partition(mesh, parts)?;
+        Ok(Self::from_partition(app, mesh, &partition))
+    }
+
+    /// Characterizes an existing partition.
+    pub fn from_partition(app: &str, mesh: &TetMesh, partition: &Partition) -> Self {
+        let analysis = CommAnalysis::new(mesh, partition);
+        let instance = SmvpInstance::new(
+            app,
+            partition.parts(),
+            analysis.f_max(),
+            analysis.c_max(),
+            analysis.b_max(),
+            analysis.m_avg(),
+        );
+        AnalyzedInstance {
+            instance,
+            beta: analysis.beta(),
+            bisection_words: analysis.bisection_words(),
+            f_avg: analysis.f_avg(),
+            analysis,
+        }
+    }
+
+    /// The EXFLOW-comparison aggregates for this instance (the paper's §1
+    /// table quotes *per-PE* figures: `C_max` bytes over `F` MFLOPs, `B_max`
+    /// messages over `F` MFLOPs, and the mean message size).
+    pub fn comm_summary(&self, mesh: &TetMesh) -> AppCommSummary {
+        let i = &self.instance;
+        let mflops = i.f as f64 / 1e6;
+        AppCommSummary {
+            data_mb_per_pe: mesh.node_count() as f64 * BYTES_PER_NODE as f64
+                / i.subdomains as f64
+                / 1e6,
+            comm_kb_per_mflop: i.c_max as f64 * WORD_BYTES / 1e3 / mflops,
+            messages_per_mflop: i.b_max as f64 / mflops,
+            avg_message_kb: i.m_avg * WORD_BYTES / 1e3,
+        }
+    }
+
+    /// Exports the netsim workload (per-PE flops + traffic matrix).
+    pub fn workload(&self) -> Workload {
+        let p = self.analysis.parts();
+        let flops: Vec<u64> = self.analysis.per_pe().iter().map(|l| l.flops).collect();
+        let traffic: Vec<Vec<u64>> = (0..p)
+            .map(|i| (0..p).map(|j| self.analysis.traffic(i, j)).collect())
+            .collect();
+        Workload::new(flops, traffic).expect("CommAnalysis traffic is square and loop-free")
+    }
+}
+
+/// Produces the synthetic Figure 7 table: one [`AnalyzedInstance`] per
+/// subdomain count.
+pub fn figure7_table<P: Partitioner + ?Sized>(
+    app: &str,
+    mesh: &TetMesh,
+    partitioner: &P,
+    subdomain_counts: &[usize],
+) -> Vec<AnalyzedInstance> {
+    subdomain_counts
+        .iter()
+        .map(|&p| {
+            AnalyzedInstance::characterize(app, mesh, partitioner, p)
+                .expect("positive part counts cannot fail")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{AppConfig, QuakeApp};
+    use quake_partition::geometric::RecursiveBisection;
+
+    fn app() -> QuakeApp {
+        QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).unwrap()
+    }
+
+    #[test]
+    fn instance_fields_are_consistent() {
+        let app = app();
+        let a = AnalyzedInstance::characterize(
+            "sf10",
+            &app.mesh,
+            &RecursiveBisection::inertial(),
+            8,
+        )
+        .unwrap();
+        let i = &a.instance;
+        assert_eq!(i.subdomains, 8);
+        assert!(i.f > 0);
+        assert_eq!(i.c_max % 6, 0);
+        assert_eq!(i.b_max % 2, 0);
+        assert!((1.0..=2.0).contains(&a.beta));
+        assert!(a.bisection_words > 0);
+        assert!(a.f_avg <= i.f as f64);
+    }
+
+    #[test]
+    fn figure7_ratio_falls_with_parts() {
+        let app = app();
+        let table = figure7_table(
+            "sf10",
+            &app.mesh,
+            &RecursiveBisection::inertial(),
+            &[2, 4, 8, 16],
+        );
+        assert_eq!(table.len(), 4);
+        let ratios: Vec<f64> = table
+            .iter()
+            .map(|a| a.instance.comp_comm_ratio())
+            .collect();
+        for w in ratios.windows(2) {
+            assert!(
+                w[1] < w[0] * 1.1,
+                "F/C_max should broadly fall with p: {ratios:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_matches_analysis() {
+        let app = app();
+        let a = AnalyzedInstance::characterize(
+            "sf10",
+            &app.mesh,
+            &RecursiveBisection::coordinate(),
+            4,
+        )
+        .unwrap();
+        let w = a.workload();
+        assert_eq!(w.parts(), 4);
+        assert_eq!(w.c_max(), a.instance.c_max);
+        assert_eq!(w.b_max(), a.instance.b_max);
+        assert_eq!(w.f_max(), a.instance.f);
+    }
+
+    #[test]
+    fn comm_summary_units() {
+        let app = app();
+        let a = AnalyzedInstance::characterize(
+            "sf10",
+            &app.mesh,
+            &RecursiveBisection::inertial(),
+            8,
+        )
+        .unwrap();
+        let s = a.comm_summary(&app.mesh);
+        assert!(s.data_mb_per_pe > 0.0);
+        assert!(s.comm_kb_per_mflop > 0.0);
+        assert!(s.messages_per_mflop > 0.0);
+        // Message size consistency: volume/messages ≈ m_avg.
+        assert!((s.avg_message_kb - a.instance.m_avg * 8.0 / 1e3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! The synthetic Quake application family: sf10′, sf5′, sf2′, sf1′.
+//!
+//! Each member resolves seismic waves of a given period on the
+//! San-Fernando-like basin; halving the period multiplies the node count by
+//! ≈ 8, reproducing the paper's Figure 2 scaling. A *scale* parameter
+//! shrinks the domain linearly so tests and laptops can run geometrically
+//! similar miniatures (the architectural ratios depend on mesh structure,
+//! not absolute size).
+
+use quake_mesh::generator::{generate_basin_mesh, GenerateError, GeneratorOptions};
+use quake_mesh::ground::BasinModel;
+use quake_mesh::mesh::{MeshSizeStats, TetMesh};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one synthetic Quake application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppConfig {
+    /// Application name (`sf10`, `sf5`, …).
+    pub name: String,
+    /// Resolved wave period in seconds.
+    pub period_s: f64,
+    /// Linear domain shrink factor (1.0 = paper-sized domain).
+    pub scale: f64,
+    /// Mesh generator seed.
+    pub seed: u64,
+}
+
+impl AppConfig {
+    /// The canonical member with the given period at a given scale.
+    pub fn new(name: impl Into<String>, period_s: f64, scale: f64) -> Self {
+        AppConfig { name: name.into(), period_s, scale, seed: 0x5eed }
+    }
+}
+
+/// The standard family at a given scale: sf10, sf5, and (for `scale ≤ 4`)
+/// sf2. sf1 is omitted by default — at scale 1 it would need ~2.5M nodes,
+/// which is a batch job, not a test.
+pub fn standard_family(scale: f64) -> Vec<AppConfig> {
+    let mut family = vec![
+        AppConfig::new("sf10", 10.0, scale),
+        AppConfig::new("sf5", 5.0, scale),
+    ];
+    if scale <= 4.0 {
+        family.push(AppConfig::new("sf2", 2.0, scale));
+    }
+    family
+}
+
+/// A generated application: its config, ground model, and mesh.
+#[derive(Debug, Clone)]
+pub struct QuakeApp {
+    /// The configuration that produced this app.
+    pub config: AppConfig,
+    /// The ground model.
+    pub ground: BasinModel,
+    /// The generated mesh.
+    pub mesh: TetMesh,
+}
+
+impl QuakeApp {
+    /// Generates the mesh for `config` over the standard basin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh-generation failures.
+    pub fn generate(config: AppConfig) -> Result<Self, GenerateError> {
+        let ground = BasinModel::san_fernando_like();
+        let options = GeneratorOptions { seed: config.seed, ..GeneratorOptions::default() };
+        let mesh = generate_basin_mesh(&ground, config.period_s, config.scale, options)?;
+        Ok(QuakeApp { config, ground, mesh })
+    }
+
+    /// Mesh size statistics (the synthetic Figure 2 row).
+    pub fn size_stats(&self) -> MeshSizeStats {
+        self.mesh.size_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_membership() {
+        let fam = standard_family(8.0);
+        assert_eq!(fam.len(), 2);
+        let fam = standard_family(4.0);
+        assert_eq!(fam.len(), 3);
+        assert_eq!(fam[2].name, "sf2");
+        assert_eq!(fam[0].period_s, 10.0);
+    }
+
+    #[test]
+    fn generation_produces_graded_mesh() {
+        let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).unwrap();
+        let stats = app.size_stats();
+        assert!(stats.nodes > 50);
+        assert!(stats.elements > stats.nodes);
+        assert!(stats.edges > stats.nodes);
+    }
+
+    #[test]
+    fn period_halving_scales_nodes() {
+        let coarse = QuakeApp::generate(AppConfig::new("sf20", 20.0, 8.0)).unwrap();
+        let fine = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).unwrap();
+        let growth = fine.size_stats().nodes as f64 / coarse.size_stats().nodes as f64;
+        assert!(
+            (3.0..16.0).contains(&growth),
+            "growth {growth} should be ≈ 8 (paper Fig. 2)"
+        );
+    }
+
+    #[test]
+    fn average_degree_matches_paper_ballpark() {
+        // Paper: each node connected to ≈ 13 neighbors + self ⇒ degree ≈ 14.
+        let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).unwrap();
+        let degree = app.mesh.avg_node_degree();
+        assert!(
+            (9.0..20.0).contains(&degree),
+            "avg node degree {degree} far from the paper's ≈ 14"
+        );
+    }
+
+    #[test]
+    fn config_round_trips_name() {
+        let c = AppConfig::new("sf5", 5.0, 2.0);
+        assert_eq!(c.name, "sf5");
+        assert_eq!(c.scale, 2.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text table formatting for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table with right-aligned numeric columns, in the
+/// style of the paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use quake_app::report::Table;
+/// let mut t = Table::new(vec!["app", "nodes"]);
+/// t.row(vec!["sf10".into(), "7294".into()]);
+/// let text = t.render();
+/// assert!(text.contains("sf10"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, separator, and rows with every column
+    /// padded to its widest cell. The first column is left-aligned, the
+    /// rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                if c == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[c]);
+                } else {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[c]);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let sep: Vec<String> = (0..cols).map(|c| "-".repeat(widths[c])).collect();
+        emit(&sep, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a bandwidth in MB/s with sensible precision.
+pub fn fmt_mb_per_s(bytes_per_sec: f64) -> String {
+    let mb = bytes_per_sec / 1e6;
+    if mb >= 100.0 {
+        format!("{mb:.0}")
+    } else if mb >= 1.0 {
+        format!("{mb:.1}")
+    } else {
+        format!("{mb:.3}")
+    }
+}
+
+/// Formats a duration in engineering units (ns/µs/ms/s).
+pub fn fmt_seconds(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_string()
+    } else if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_pads_and_aligns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally wide.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[1].starts_with("----"));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn bandwidth_formats() {
+        assert_eq!(fmt_mb_per_s(300e6), "300");
+        assert_eq!(fmt_mb_per_s(12.34e6), "12.3");
+        assert_eq!(fmt_mb_per_s(0.5e6), "0.500");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_seconds(0.0), "0");
+        assert_eq!(fmt_seconds(7e-9), "7.0 ns");
+        assert_eq!(fmt_seconds(22e-6), "22.00 us");
+        assert_eq!(fmt_seconds(3.5e-3), "3.50 ms");
+        assert_eq!(fmt_seconds(2.0), "2.00 s");
+    }
+}

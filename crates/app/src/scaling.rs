@@ -1,0 +1,141 @@
+//! Strong-scaling projection: what a full Quake run (6000 time steps, 60 s
+//! of simulated ground motion) costs on a given machine, as a function of
+//! the PE count — from the analytic model and from the discrete-event
+//! simulator.
+
+use crate::characterize::AnalyzedInstance;
+use quake_core::machine::{BlockRegime, Network, Processor};
+use quake_core::model::eq2::comm_time;
+use quake_netsim::simulate::{simulate_smvp, SimOptions};
+
+/// The number of explicit time steps in one Quake run (paper §2.2).
+pub const QUAKE_TIME_STEPS: u64 = 6_000;
+
+/// One row of a strong-scaling study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingRow {
+    /// PE count.
+    pub parts: usize,
+    /// Computation phase per SMVP (seconds).
+    pub t_comp: f64,
+    /// Communication phase per SMVP from Equation (2) (seconds).
+    pub t_comm_model: f64,
+    /// Communication phase per SMVP from the event-driven simulator.
+    pub t_comm_sim: f64,
+    /// Efficiency from the simulator's SMVP time.
+    pub efficiency: f64,
+    /// Projected wall-clock for a full 6000-step run (simulator timing).
+    pub run_seconds: f64,
+}
+
+impl ScalingRow {
+    /// Speedup relative to another row (usually the smallest PE count).
+    pub fn speedup_over(&self, base: &ScalingRow) -> f64 {
+        base.run_seconds / self.run_seconds
+    }
+}
+
+/// Projects a strong-scaling study from analyzed instances of the same mesh
+/// at increasing PE counts.
+pub fn scaling_study(
+    instances: &[AnalyzedInstance],
+    processor: &Processor,
+    network: &Network,
+    regime: BlockRegime,
+) -> Vec<ScalingRow> {
+    instances
+        .iter()
+        .map(|a| {
+            let options = SimOptions {
+                block_words: match regime {
+                    BlockRegime::Maximal => None,
+                    BlockRegime::FixedWords(w) => Some(w),
+                },
+                ..SimOptions::default()
+            };
+            let timing = simulate_smvp(&a.workload(), processor, network, options);
+            let t_comm_model = comm_time(&a.instance, network, regime);
+            ScalingRow {
+                parts: a.instance.subdomains,
+                t_comp: timing.t_comp,
+                t_comm_model,
+                t_comm_sim: timing.t_comm,
+                efficiency: timing.efficiency(),
+                run_seconds: timing.t_smvp() * QUAKE_TIME_STEPS as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{AppConfig, QuakeApp};
+    use quake_partition::geometric::RecursiveBisection;
+
+    fn study(network: Network) -> Vec<ScalingRow> {
+        let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+        let instances = crate::characterize::figure7_table(
+            "sf10",
+            &app.mesh,
+            &RecursiveBisection::inertial(),
+            &[2, 4, 8, 16],
+        );
+        scaling_study(
+            &instances,
+            &Processor::hypothetical_200mflops(),
+            &network,
+            BlockRegime::Maximal,
+        )
+    }
+
+    #[test]
+    fn computation_shrinks_with_more_pes() {
+        let rows = study(Network { name: "fast", t_l: 1e-7, t_w: 1e-9 });
+        for w in rows.windows(2) {
+            assert!(
+                w[1].t_comp < w[0].t_comp,
+                "t_comp must fall with p: {:?}",
+                rows.iter().map(|r| r.t_comp).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_network_scales_slow_network_saturates() {
+        let fast = study(Network { name: "fast", t_l: 1e-7, t_w: 1e-9 });
+        let slow = study(Network { name: "slow", t_l: 1e-3, t_w: 1e-6 });
+        let fast_speedup = fast.last().unwrap().speedup_over(&fast[0]);
+        let slow_speedup = slow.last().unwrap().speedup_over(&slow[0]);
+        assert!(
+            fast_speedup > 2.0 * slow_speedup,
+            "fast {fast_speedup} vs slow {slow_speedup}"
+        );
+        // A millisecond-latency network cannot hold efficiency.
+        assert!(slow.last().unwrap().efficiency < 0.5);
+    }
+
+    #[test]
+    fn run_projection_is_6000_smvps() {
+        let rows = study(Network { name: "fast", t_l: 1e-7, t_w: 1e-9 });
+        for r in &rows {
+            let per_smvp = r.t_comp + r.t_comm_sim;
+            assert!((r.run_seconds - per_smvp * 6000.0).abs() < 1e-9 * r.run_seconds);
+        }
+    }
+
+    #[test]
+    fn model_and_sim_comm_agree_in_order_of_magnitude() {
+        let rows = study(Network::cray_t3e());
+        for r in &rows {
+            let ratio = r.t_comm_model / r.t_comm_sim;
+            assert!(
+                (0.4..3.0).contains(&ratio),
+                "p={}: model {} vs sim {}",
+                r.parts,
+                r.t_comm_model,
+                r.t_comm_sim
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Cost of the analytic models and of the discrete-event simulator — the
+//! models are meant to be cheap enough to sweep design spaces with.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quake_core::machine::{BlockRegime, Network, Processor};
+use quake_core::model::beta::beta_bound;
+use quake_core::paperdata;
+use quake_core::requirements::{
+    half_bandwidth_series, sustained_bandwidth_series, EFFICIENCIES,
+};
+use quake_netsim::simulate::{simulate_comm_phase, SimOptions};
+use quake_netsim::workload::Workload;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let instances = paperdata::figure7();
+    let processors = [
+        Processor::hypothetical_100mflops(),
+        Processor::hypothetical_200mflops(),
+    ];
+    let mut group = c.benchmark_group("models");
+    group.bench_function("figure9_full_sweep", |b| {
+        b.iter(|| {
+            black_box(sustained_bandwidth_series(
+                black_box(&instances),
+                &processors,
+                &EFFICIENCIES,
+            ))
+        })
+    });
+    group.bench_function("figure11_full_sweep", |b| {
+        b.iter(|| {
+            black_box(half_bandwidth_series(
+                black_box(&instances),
+                &processors,
+                &EFFICIENCIES,
+                &[BlockRegime::Maximal, BlockRegime::CACHE_LINE],
+            ))
+        })
+    });
+    let loads: Vec<(u64, u64)> = (0..128)
+        .map(|i| (10_000 + 37 * i as u64, 20 + (i % 11) as u64))
+        .collect();
+    group.bench_function("beta_bound_128pe", |b| {
+        b.iter(|| black_box(beta_bound(black_box(&loads))))
+    });
+    for p in [16usize, 64, 128] {
+        let w = Workload::random_sparse(p, 1_000_000, 500, 10.min(p - 1), 42);
+        group.bench_with_input(BenchmarkId::new("netsim_comm_phase", p), &w, |b, w| {
+            b.iter(|| {
+                black_box(simulate_comm_phase(
+                    black_box(w),
+                    &Network::cray_t3e(),
+                    SimOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: partitioner cost and quality — recursive coordinate bisection
+//! vs inertial bisection vs the random/linear baselines. Quality (C_max,
+//! B_max, shared nodes) is printed once; Criterion times the partitioning
+//! itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_partition::geometric::{
+    LinearPartition, Partitioner, RandomPartition, RecursiveBisection,
+};
+use quake_partition::metrics::PartitionQuality;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let mesh = &app.mesh;
+    let strategies: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("rcb", Box::new(RecursiveBisection::coordinate())),
+        ("rib", Box::new(RecursiveBisection::inertial())),
+        ("random", Box::new(RandomPartition { seed: 1 })),
+        ("linear", Box::new(LinearPartition)),
+    ];
+    // Print the quality comparison once, so bench logs carry the ablation.
+    eprintln!("partition quality at p=16 (mesh: {} elements):", mesh.element_count());
+    for (name, strat) in &strategies {
+        let part = strat.partition(mesh, 16).expect("partition");
+        eprintln!("  {name:>7}: {}", PartitionQuality::measure(mesh, &part));
+    }
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    for (name, strat) in &strategies {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(strat.partition(black_box(mesh), 16).expect("partition")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: node ordering and the SMVP. Wall-clock time of the real kernel
+//! under natural vs reverse-Cuthill–McKee ordering of the same stiffness
+//! pattern (the cache-simulated version of this ablation is
+//! `tab_sustained_tf`).
+
+#![allow(clippy::needless_range_loop)] // indexed loops are clearer here
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_sparse::coo::Coo;
+use quake_sparse::csr::Csr;
+use quake_sparse::reorder::{identity_perm, permuted_bandwidth, rcm};
+use std::hint::black_box;
+
+fn build(perm: &[usize], pattern: &quake_sparse::pattern::Pattern) -> Csr {
+    let n = pattern.node_count();
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(perm[i], perm[i], 4.0).expect("in range");
+    }
+    for (a, b) in pattern.edges() {
+        coo.push(perm[a], perm[b], -1.0).expect("in range");
+        coo.push(perm[b], perm[a], -1.0).expect("in range");
+    }
+    coo.to_csr()
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let app = QuakeApp::generate(AppConfig::new("sf5", 5.0, 8.0)).expect("mesh");
+    let pattern = app.mesh.pattern();
+    let n = pattern.node_count();
+    let natural = build(&identity_perm(n), &pattern);
+    let perm = rcm(&pattern);
+    let reordered = build(&perm, &pattern);
+    eprintln!(
+        "pattern bandwidth: natural = {}, rcm = {} ({} nodes)",
+        permuted_bandwidth(&pattern, &identity_perm(n)),
+        permuted_bandwidth(&pattern, &perm),
+        n
+    );
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+    let mut y = vec![0.0; n];
+    let mut group = c.benchmark_group("reorder");
+    group.throughput(Throughput::Elements(natural.smvp_flops()));
+    group.sample_size(30);
+    group.bench_function("smvp_natural_order", |b| {
+        b.iter(|| {
+            natural.spmv(black_box(&x), &mut y).expect("dims");
+            black_box(&y);
+        })
+    });
+    group.bench_function("smvp_rcm_order", |b| {
+        b.iter(|| {
+            reordered.spmv(black_box(&x), &mut y).expect("dims");
+            black_box(&y);
+        })
+    });
+    group.bench_function("rcm_compute_cost", |b| {
+        b.iter(|| black_box(rcm(black_box(&pattern))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: SMVP kernel storage formats on the synthetic Quake stiffness
+//! matrix — scalar CSR vs 3×3-block CSR vs symmetric (upper-triangle)
+//! storage. The paper's `F = 2m` flop count is identical for all three; the
+//! formats trade index overhead against scattered writes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_fem::assembly::{assemble, UniformMaterial};
+use quake_mesh::ground::Material;
+use quake_sparse::dense::Vec3;
+use quake_sparse::sym::SymCsr;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let mat = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+    let sys = assemble(&app.mesh, &UniformMaterial(mat)).expect("assembly");
+    let bcsr = sys.stiffness;
+    let scalar = bcsr.to_scalar_csr();
+    let sym = SymCsr::from_csr(&scalar, 1e-6 * 1e9).expect("symmetric");
+    let n = bcsr.block_rows();
+    let x_blocks: Vec<Vec3> = (0..n)
+        .map(|i| Vec3::new(i as f64, (i % 7) as f64, 1.0))
+        .collect();
+    let x_flat: Vec<f64> = x_blocks
+        .iter()
+        .flat_map(|v| v.to_array())
+        .collect();
+    let flops = bcsr.smvp_flops();
+
+    let mut group = c.benchmark_group("smvp_kernels");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(20);
+
+    let mut y_blocks = vec![Vec3::ZERO; n];
+    group.bench_function("bcsr3_block", |b| {
+        b.iter(|| {
+            bcsr.spmv(black_box(&x_blocks), &mut y_blocks).expect("dims");
+            black_box(&y_blocks);
+        })
+    });
+
+    let mut y_flat = vec![0.0; 3 * n];
+    group.bench_function("bcsr3_flat", |b| {
+        b.iter(|| {
+            bcsr.spmv_flat(black_box(&x_flat), &mut y_flat).expect("dims");
+            black_box(&y_flat);
+        })
+    });
+
+    group.bench_function("scalar_csr", |b| {
+        b.iter(|| {
+            scalar.spmv(black_box(&x_flat), &mut y_flat).expect("dims");
+            black_box(&y_flat);
+        })
+    });
+
+    group.bench_function("symmetric_csr", |b| {
+        b.iter(|| {
+            sym.spmv(black_box(&x_flat), &mut y_flat).expect("dims");
+            black_box(&y_flat);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 11 — half-bandwidth design points for the sf2 SMVP family.
+//!
+//! A pure evaluation of Equations (1)+(2) over the paper's sf2 rows: for
+//! every (subdomains × processor × efficiency × block regime) combination,
+//! the `(T_l, T_w)` pair at which block latency and burst transfer each
+//! consume half the communication phase.
+
+use quake_app::report::{fmt_mb_per_s, fmt_seconds, Table};
+use quake_core::machine::{BlockRegime, Processor};
+use quake_core::paperdata;
+use quake_core::requirements::{half_bandwidth_series, EFFICIENCIES};
+
+fn main() {
+    let sf2 = paperdata::figure7_app("sf2");
+    let processors = [
+        Processor::hypothetical_100mflops(),
+        Processor::hypothetical_200mflops(),
+    ];
+    for (regime, label) in [
+        (BlockRegime::Maximal, "maximal blocks (message passing)"),
+        (BlockRegime::CACHE_LINE, "four-word blocks (shared memory)"),
+    ] {
+        println!("== Figure 11 ({label}), paper sf2 data ==\n");
+        let rows = half_bandwidth_series(&sf2, &processors, &EFFICIENCIES, &[regime]);
+        let mut t = Table::new(vec![
+            "instance",
+            "PE",
+            "E",
+            "half burst BW (MB/s)",
+            "half latency",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.label.clone(),
+                r.processor.name.to_string(),
+                format!("{:.1}", r.efficiency),
+                fmt_mb_per_s(r.point.burst_bandwidth_bytes()),
+                fmt_seconds(r.point.t_l),
+            ]);
+        }
+        println!("{}", t.render());
+        // The binding (most demanding) case.
+        let hardest = rows
+            .iter()
+            .min_by(|a, b| a.point.t_l.partial_cmp(&b.point.t_l).expect("finite"))
+            .expect("non-empty");
+        println!(
+            "  most demanding case: {} on {} at E={:.1} -> burst {} MB/s, latency {}\n",
+            hardest.label,
+            hardest.processor.name,
+            hardest.efficiency,
+            fmt_mb_per_s(hardest.point.burst_bandwidth_bytes()),
+            fmt_seconds(hardest.point.t_l),
+        );
+    }
+    println!(
+        "Paper conclusions (§4.4/§5): the hardest maximal-block case needs ≈ 600 MB/s\n\
+         burst with a block latency of a few µs; with four-word blocks the latency\n\
+         requirement collapses to tens of ns. Over-engineering either axis of a\n\
+         half-bandwidth design buys at most 2x — latency must simply be reduced."
+    );
+}

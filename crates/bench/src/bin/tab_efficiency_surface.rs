@@ -1,0 +1,49 @@
+//! Efficiency surface — Figure 10's content as a simulated landscape: the
+//! achieved efficiency of the real extracted workload at every (block
+//! latency × burst bandwidth) grid point, by discrete-event simulation.
+//! One digit per cell: '9' means E ∈ [0.9, 1.0), '8' means [0.8, 0.9), ….
+
+use quake_core::machine::Processor;
+use quake_netsim::simulate::SimOptions;
+use quake_netsim::sweep::{efficiency_surface, log_space, render_surface};
+
+fn main() {
+    let app = quake_bench::generate_app("sf5", 5.0);
+    let parts = *quake_bench::subdomain_counts().last().expect("non-empty");
+    let analyzed = quake_app::characterize::figure7_table(
+        "sf5",
+        &app.mesh,
+        &quake_partition::geometric::RecursiveBisection::inertial(),
+        &[parts],
+    );
+    let workload = analyzed[0].workload();
+    let pe = Processor::hypothetical_200mflops();
+    let latencies = log_space(100e-9, 10e-3, 11);
+    let bursts = log_space(1e6, 10e9, 41);
+    println!(
+        "== Simulated efficiency surface: synthetic sf5/{parts} (scale {}), {} ==",
+        quake_bench::scale(),
+        pe.name
+    );
+    println!(
+        "rows: block latency T_l (100 ns -> 10 ms); cols: burst bandwidth (1 MB/s -> 10 GB/s)\n"
+    );
+    for (regime, block_words) in [("maximal blocks", None), ("4-word blocks", Some(4))] {
+        let cells = efficiency_surface(
+            &workload,
+            &pe,
+            &latencies,
+            &bursts,
+            SimOptions { block_words, ..SimOptions::default() },
+        );
+        println!("-- {regime} --");
+        print!("{}", render_surface(&cells, &latencies, &bursts));
+        println!();
+    }
+    println!(
+        "Reading: under maximal aggregation a wide plateau of '9's exists once\n\
+         latency is a few us; with 4-word blocks the efficient region collapses to\n\
+         the bottom rows — burst bandwidth cannot buy back latency, the paper's\n\
+         central conclusion, here re-derived by simulation instead of algebra."
+    );
+}

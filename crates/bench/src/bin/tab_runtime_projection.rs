@@ -1,0 +1,65 @@
+//! Runtime projection — what a full Quake run (6000 time steps) costs on
+//! each machine, and how it strong-scales with PE count. Combines the
+//! paper's measured machine constants with the event-driven simulator over
+//! the synthetic family's workloads.
+
+use quake_app::report::{fmt_seconds, Table};
+use quake_app::scaling::{scaling_study, QUAKE_TIME_STEPS};
+use quake_core::machine::{BlockRegime, Network, Processor};
+
+fn main() {
+    let app = quake_bench::generate_app("sf10", 10.0);
+    let analyzed = quake_bench::characterize_app(&app);
+    let machines = [
+        (Processor::cray_t3d(), Network { name: "T3D-era", t_l: 60e-6, t_w: 200e-9 }),
+        (Processor::cray_t3e(), Network::cray_t3e()),
+        (
+            Processor::hypothetical_200mflops(),
+            Network { name: "future (2 us / 600 MB/s)", t_l: 2e-6, t_w: 13.3e-9 },
+        ),
+    ];
+    println!(
+        "== Projected full-run wall clock: {} SMVP time steps, synthetic sf10-analog (scale {}) ==\n",
+        QUAKE_TIME_STEPS,
+        quake_bench::scale()
+    );
+    for (pe, net) in &machines {
+        println!(
+            "-- {} PE, '{}' network (T_l = {}, T_w = {}) --",
+            pe.name,
+            net.name,
+            fmt_seconds(net.t_l),
+            fmt_seconds(net.t_w)
+        );
+        let rows = scaling_study(&analyzed, pe, net, BlockRegime::Maximal);
+        let mut t = Table::new(vec![
+            "p",
+            "T_comp/SMVP",
+            "T_comm/SMVP (sim)",
+            "T_comm/SMVP (model)",
+            "E",
+            "full run",
+            "speedup",
+        ]);
+        let base = rows.first().expect("rows");
+        for r in &rows {
+            t.row(vec![
+                r.parts.to_string(),
+                fmt_seconds(r.t_comp),
+                fmt_seconds(r.t_comm_sim),
+                fmt_seconds(r.t_comm_model),
+                format!("{:.3}", r.efficiency),
+                fmt_seconds(r.run_seconds),
+                format!("{:.2}x", r.speedup_over(base)),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "Reading: on the T3D/T3E-class networks the communication phase throttles\n\
+         strong scaling well before 32 PEs on a mesh this small; the 'future'\n\
+         network (the paper's §5 recommendation: ~2 us latency, 600 MB/s burst)\n\
+         keeps efficiency high. Larger meshes (QUAKE_SCALE closer to 1) shift the\n\
+         crossover right, exactly as F/C_max ~ n^(1/3) predicts."
+    );
+}

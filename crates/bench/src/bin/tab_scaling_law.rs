@@ -1,0 +1,83 @@
+//! Scaling law — §4.1's O(n^{1/3}) argument fitted and extrapolated: how
+//! big must a mesh be for a given machine to run efficiently, and why
+//! "we cannot rely on simply increasing the problem size".
+
+use quake_app::report::Table;
+use quake_core::characterize::SmvpInstance;
+use quake_core::machine::Processor;
+use quake_core::model::scaling_law::ScalingLaw;
+use quake_core::paperdata;
+
+fn paper_nodes(inst: &SmvpInstance) -> u64 {
+    paperdata::figure2()
+        .iter()
+        .find(|r| r.app == inst.app)
+        .expect("known app")
+        .nodes
+}
+
+fn main() {
+    let instances = paperdata::figure7();
+    let law = ScalingLaw::fit(&instances, paper_nodes);
+    println!("== §4.1 scaling law, fitted to the paper's Figure 7 ==\n");
+    println!(
+        "F = {:.0} flops/node (volume term), C_max = {:.1} * (n/p)^(2/3) words (surface term)\n",
+        law.a, law.b
+    );
+    println!("fit check (F/C_max, paper vs law):\n");
+    let mut t = Table::new(vec!["instance", "nodes/PE", "paper", "law", "rel err"]);
+    for inst in instances.iter().filter(|i| i.subdomains == 16 || i.subdomains == 128) {
+        let n = paper_nodes(inst);
+        let predicted = law.predict_ratio(n, inst.subdomains);
+        t.row(vec![
+            inst.label(),
+            format!("{}", n / inst.subdomains as u64),
+            format!("{:.0}", inst.comp_comm_ratio()),
+            format!("{predicted:.0}"),
+            format!("{:.0}%", 100.0 * law.ratio_error(inst, paper_nodes)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The paper's observation: 10x nodes -> ~2x ratio.
+    let r1 = law.predict_ratio(378_747, 128);
+    let r10 = law.predict_ratio(3_787_470, 128);
+    println!(
+        "10x the nodes raises F/C_max by {:.2}x (10^(1/3) = 2.15): growing the\n\
+         problem buys efficiency slowly.\n",
+        r10 / r1
+    );
+
+    // Iso-efficiency: nodes per PE needed for E = 0.9 at various machines.
+    println!("nodes per PE required for E = 0.9, by machine and network quality:\n");
+    let mut t = Table::new(vec![
+        "PE",
+        "network T_c (ns/word)",
+        "required F/C_max",
+        "nodes per PE",
+        "memory per PE",
+    ]);
+    for (pe, t_c_ns) in [
+        (Processor::hypothetical_100mflops(), 66.7), // 120 MB/s sustained
+        (Processor::hypothetical_200mflops(), 66.7),
+        (Processor::hypothetical_200mflops(), 26.7), // 300 MB/s sustained
+    ] {
+        // Eq. (1) inverted: F/C_max = t_c / (((1-E)/E)·t_f).
+        let ratio = (t_c_ns * 1e-9) / ((0.1 / 0.9) * pe.t_f);
+        let m = law.nodes_per_pe_for_ratio(ratio);
+        t.row(vec![
+            pe.name.to_string(),
+            format!("{t_c_ns:.1}"),
+            format!("{ratio:.0}"),
+            format!("{m:.0}"),
+            format!("{:.1} MB", m * 1200.0 / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: doubling the PE speed at fixed network quality demands 8x the\n\
+         nodes per PE (the cube of the ratio increase) to hold efficiency — the\n\
+         quantitative form of the paper's 'we cannot rely on increasing problem\n\
+         size'; networks must improve with processors."
+    );
+}

@@ -1,0 +1,82 @@
+//! Shared scaffolding for the experiment binaries: scale selection, the
+//! synthetic family at that scale, and common partition sweeps.
+//!
+//! Every binary honors two environment variables:
+//!
+//! * `QUAKE_SCALE` — linear domain shrink factor (default 6.0; 1.0 is the
+//!   paper-sized domain and takes minutes);
+//! * `QUAKE_PARTS` — comma-separated subdomain counts (default
+//!   `4,8,16,32`; the paper sweeps to 128, which needs the bigger meshes to
+//!   be meaningful).
+
+use quake_app::characterize::AnalyzedInstance;
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_partition::geometric::RecursiveBisection;
+
+/// The scale factor for this run (`QUAKE_SCALE`, default 6).
+pub fn scale() -> f64 {
+    std::env::var("QUAKE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6.0)
+}
+
+/// The subdomain counts for this run (`QUAKE_PARTS`, default `4,8,16,32`).
+pub fn subdomain_counts() -> Vec<usize> {
+    std::env::var("QUAKE_PARTS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&p| p > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![4, 8, 16, 32])
+}
+
+/// Generates the synthetic family at the configured scale, printing
+/// progress to stderr.
+pub fn generate_family() -> Vec<QuakeApp> {
+    let scale = scale();
+    quake_app::family::standard_family(scale)
+        .into_iter()
+        .map(|config| {
+            eprintln!(
+                "generating {} (period {} s, scale {})...",
+                config.name, config.period_s, scale
+            );
+            QuakeApp::generate(config).expect("mesh generation failed")
+        })
+        .collect()
+}
+
+/// Generates a single member of the family at the configured scale.
+pub fn generate_app(name: &str, period_s: f64) -> QuakeApp {
+    QuakeApp::generate(AppConfig::new(name, period_s, scale())).expect("mesh generation failed")
+}
+
+/// Characterizes `app` across the configured subdomain counts with the
+/// inertial geometric partitioner (the reproduction's Archimedes stand-in).
+pub fn characterize_app(app: &QuakeApp) -> Vec<AnalyzedInstance> {
+    let parts = subdomain_counts();
+    quake_app::characterize::figure7_table(
+        &app.config.name,
+        &app.mesh,
+        &RecursiveBisection::inertial(),
+        &parts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let parts = subdomain_counts();
+        assert!(!parts.is_empty());
+        assert!(parts.iter().all(|&p| p > 0));
+        assert!(scale() > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The SMVP instance characterization: one row of paper Figure 7.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The architectural signature of one SMVP instance — an application mesh
+/// partitioned onto `subdomains` PEs (paper Fig. 7 row).
+///
+/// All quantities are *per SMVP operation*:
+///
+/// * `f` — flops on the busiest PE (`F = 2m`, `m` = local scalar nonzeros);
+/// * `c_max` — maximum 64-bit words sent + received by any PE;
+/// * `b_max` — maximum blocks sent + received by any PE, maximal aggregation;
+/// * `m_avg` — mean message size in words.
+///
+/// # Examples
+///
+/// ```
+/// use quake_core::characterize::SmvpInstance;
+/// let sf2_128 = SmvpInstance::new("sf2", 128, 838_224, 16_260, 50, 459.0);
+/// assert!((sf2_128.comp_comm_ratio() - 51.55).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmvpInstance {
+    /// Application name (e.g. `"sf2"`).
+    pub app: String,
+    /// Number of subdomains / PEs.
+    pub subdomains: usize,
+    /// Flops per SMVP on the busiest PE.
+    pub f: u64,
+    /// Maximum communication words per PE per SMVP.
+    pub c_max: u64,
+    /// Maximum communication blocks per PE per SMVP (maximal aggregation).
+    pub b_max: u64,
+    /// Average message size in 64-bit words.
+    pub m_avg: f64,
+}
+
+impl SmvpInstance {
+    /// Creates an instance row.
+    pub fn new(
+        app: impl Into<String>,
+        subdomains: usize,
+        f: u64,
+        c_max: u64,
+        b_max: u64,
+        m_avg: f64,
+    ) -> Self {
+        SmvpInstance { app: app.into(), subdomains, f, c_max, b_max, m_avg }
+    }
+
+    /// Computation/communication ratio `F / C_max` (∞ if no communication).
+    pub fn comp_comm_ratio(&self) -> f64 {
+        if self.c_max == 0 {
+            f64::INFINITY
+        } else {
+            self.f as f64 / self.c_max as f64
+        }
+    }
+
+    /// The instance label in the paper's `sfx/y` notation.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.app, self.subdomains)
+    }
+}
+
+impl fmt::Display for SmvpInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: F={} C_max={} B_max={} M_avg={:.0} F/C_max={:.0}",
+            self.label(),
+            self.f,
+            self.c_max,
+            self.b_max,
+            self.m_avg,
+            self.comp_comm_ratio()
+        )
+    }
+}
+
+/// Application-level aggregate statistics used in the paper's EXFLOW
+/// comparison (§1): data per PE, communication volume and message count per
+/// MFLOP, and message size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppCommSummary {
+    /// Megabytes of data per PE.
+    pub data_mb_per_pe: f64,
+    /// Communication volume per MFLOP of computation (KBytes).
+    pub comm_kb_per_mflop: f64,
+    /// Messages per MFLOP of computation.
+    pub messages_per_mflop: f64,
+    /// Average message size (KBytes).
+    pub avg_message_kb: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_label() {
+        let i = SmvpInstance::new("sf10", 4, 453_924, 2_352, 6, 369.0);
+        assert_eq!(i.label(), "sf10/4");
+        assert!((i.comp_comm_ratio() - 193.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn zero_comm_is_infinite_ratio() {
+        let i = SmvpInstance::new("x", 1, 100, 0, 0, 0.0);
+        assert!(i.comp_comm_ratio().is_infinite());
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let i = SmvpInstance::new("sf2", 128, 838_224, 16_260, 50, 459.0);
+        let s = i.to_string();
+        assert!(s.contains("sf2/128"));
+        assert!(s.contains("C_max=16260"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Machine and network parameter sets: the `T_f`, `T_l`, `T_w` constants of
+//! the paper's models, with the measured values the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per communication word (the paper uses 64-bit floating-point
+/// values throughout).
+pub const WORD_BYTES: f64 = 8.0;
+
+/// A processing element's sustained computational rate, expressed as the
+/// amortized time per flop `T_f` (seconds). `T_f` includes *all* hardware
+/// and software overheads — loads, stores, miss penalties, pipeline stalls —
+/// which is why sustained rates are far below peak for irregular codes.
+///
+/// # Examples
+///
+/// ```
+/// use quake_core::machine::Processor;
+/// let pe = Processor::hypothetical_200mflops();
+/// assert_eq!(pe.mflops(), 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// Amortized seconds per flop (inverse of sustained flop rate).
+    pub t_f: f64,
+}
+
+impl Processor {
+    /// Creates a processor from a sustained MFLOPS rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mflops` is not positive.
+    pub fn from_mflops(name: &'static str, mflops: f64) -> Self {
+        assert!(mflops > 0.0, "sustained rate must be positive");
+        Processor { name, t_f: 1e-6 / mflops }
+    }
+
+    /// Sustained rate in MFLOPS (`T_f⁻¹ / 10⁶`).
+    pub fn mflops(&self) -> f64 {
+        1e-6 / self.t_f
+    }
+
+    /// The Cray T3D measurement from the paper: local Quake SMVP at a steady
+    /// `T_f = 30 ns` (150 MHz Alpha 21064, `cc -O3`).
+    pub fn cray_t3d() -> Self {
+        Processor { name: "Cray T3D", t_f: 30e-9 }
+    }
+
+    /// The Cray T3E measurement from the paper: `T_f = 14 ns`
+    /// (300 MHz Alpha 21164, `cc -O3`) — about 70 sustained MFLOPS, only
+    /// 12% of the 600 MFLOPS peak.
+    pub fn cray_t3e() -> Self {
+        Processor { name: "Cray T3E", t_f: 14e-9 }
+    }
+
+    /// The paper's "current machine": 100 sustained MFLOPS (`T_f = 10 ns`).
+    pub fn hypothetical_100mflops() -> Self {
+        Processor { name: "100-MFLOP PE", t_f: 10e-9 }
+    }
+
+    /// The paper's "future machine": 200 sustained MFLOPS (`T_f = 5 ns`).
+    pub fn hypothetical_200mflops() -> Self {
+        Processor { name: "200-MFLOP PE", t_f: 5e-9 }
+    }
+}
+
+/// A communication system's low-level block-transfer parameters: block
+/// latency `T_l` and per-word time `T_w` (inverse burst bandwidth). The
+/// block latency covers only the PE-local transfer overhead between network
+/// interface and memory; the interconnect itself is modeled as having
+/// infinite capacity and constant latency (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// Block latency `T_l` (seconds per block).
+    pub t_l: f64,
+    /// Per-word time `T_w` (seconds per 64-bit word).
+    pub t_w: f64,
+}
+
+impl Network {
+    /// Creates a network from latency (seconds) and burst bandwidth
+    /// (bytes/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_bytes_per_sec` is not positive or `t_l` is negative.
+    pub fn from_burst_bandwidth(name: &'static str, t_l: f64, burst_bytes_per_sec: f64) -> Self {
+        assert!(t_l >= 0.0, "latency must be non-negative");
+        assert!(burst_bytes_per_sec > 0.0, "burst bandwidth must be positive");
+        Network { name, t_l, t_w: WORD_BYTES / burst_bytes_per_sec }
+    }
+
+    /// Burst bandwidth `T_w⁻¹` in bytes/second.
+    pub fn burst_bandwidth_bytes(&self) -> f64 {
+        WORD_BYTES / self.t_w
+    }
+
+    /// The Cray T3E measurement from the paper: `T_l = 22 µs`, `T_w = 55 ns`
+    /// (≈ 145 MB/s burst).
+    pub fn cray_t3e() -> Self {
+        Network { name: "Cray T3E", t_l: 22e-6, t_w: 55e-9 }
+    }
+
+    /// Transfer time of a block of `words` 64-bit words: `T_l + words·T_w`.
+    pub fn block_transfer_time(&self, words: u64) -> f64 {
+        self.t_l + words as f64 * self.t_w
+    }
+}
+
+/// How data is aggregated into blocks for transfer (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockRegime {
+    /// Blocks as large as possible: each PE sends at most one block to each
+    /// neighbor (message-passing systems, aggregating DSMs).
+    Maximal,
+    /// Fixed-size blocks of this many 64-bit words (e.g. 4-word cache lines
+    /// on fine-grained shared-memory machines).
+    FixedWords(u64),
+}
+
+impl BlockRegime {
+    /// The paper's fixed regime: four-word (32-byte) cache-line blocks.
+    pub const CACHE_LINE: BlockRegime = BlockRegime::FixedWords(4);
+
+    /// The effective `B_max` under this regime, given the maximal-block
+    /// `b_max` and `c_max` of an instance. For fixed blocks the paper sets
+    /// `B_max = C_max / w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed block size is zero.
+    pub fn effective_b_max(&self, b_max: u64, c_max: u64) -> u64 {
+        match *self {
+            BlockRegime::Maximal => b_max,
+            BlockRegime::FixedWords(w) => {
+                assert!(w > 0, "block size must be positive");
+                c_max.div_ceil(w)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mflops_round_trip() {
+        let pe = Processor::from_mflops("x", 250.0);
+        assert!((pe.mflops() - 250.0).abs() < 1e-9);
+        assert!((pe.t_f - 4e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn paper_presets() {
+        assert_eq!(Processor::cray_t3d().t_f, 30e-9);
+        assert_eq!(Processor::cray_t3e().t_f, 14e-9);
+        assert_eq!(Processor::hypothetical_100mflops().mflops(), 100.0);
+        assert_eq!(Processor::hypothetical_200mflops().mflops(), 200.0);
+        let net = Network::cray_t3e();
+        assert_eq!(net.t_l, 22e-6);
+        assert_eq!(net.t_w, 55e-9);
+        // ≈ 145 MB/s burst.
+        assert!((net.burst_bandwidth_bytes() / 1e6 - 145.45).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mflops_panics() {
+        let _ = Processor::from_mflops("bad", 0.0);
+    }
+
+    #[test]
+    fn network_from_burst() {
+        let net = Network::from_burst_bandwidth("n", 1e-6, 800e6);
+        assert!((net.t_w - 10e-9).abs() < 1e-15);
+        assert!((net.burst_bandwidth_bytes() - 800e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn block_transfer_time_is_affine() {
+        let net = Network { name: "n", t_l: 1e-6, t_w: 10e-9 };
+        assert!((net.block_transfer_time(0) - 1e-6).abs() < 1e-18);
+        assert!((net.block_transfer_time(100) - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn block_regimes() {
+        assert_eq!(BlockRegime::Maximal.effective_b_max(50, 16260), 50);
+        assert_eq!(BlockRegime::CACHE_LINE.effective_b_max(50, 16260), 4065);
+        assert_eq!(BlockRegime::FixedWords(4).effective_b_max(50, 10), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        let _ = BlockRegime::FixedWords(0).effective_b_max(1, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! The β error bound (paper §3.4) on the simplifying assumption that the PE
+//! with the most words also transfers the most blocks.
+//!
+//! `β = 1 + min_i max{ C_max(B_max − B_i)/(C_i·B_max), B_max(C_max − C_i)/(B_i·C_max) }`
+//!
+//! β is an application property (machine-independent), equal to 1 when one
+//! PE attains both maxima and never larger than 2.
+
+/// Computes β from per-PE `(words, blocks)` loads. PEs with no communication
+/// are skipped; with no communicating PEs at all, β = 1.
+///
+/// # Examples
+///
+/// ```
+/// use quake_core::model::beta::beta_bound;
+/// // One PE attains both maxima → the model is exact.
+/// assert_eq!(beta_bound(&[(100, 10), (80, 8)]), 1.0);
+/// ```
+pub fn beta_bound(per_pe: &[(u64, u64)]) -> f64 {
+    let c_max = per_pe.iter().map(|&(c, _)| c).max().unwrap_or(0) as f64;
+    let b_max = per_pe.iter().map(|&(_, b)| b).max().unwrap_or(0) as f64;
+    if c_max == 0.0 || b_max == 0.0 {
+        return 1.0;
+    }
+    let inner = per_pe
+        .iter()
+        .filter(|&&(c, b)| c > 0 && b > 0)
+        .map(|&(c, b)| {
+            let ci = c as f64;
+            let bi = b as f64;
+            let t1 = c_max * (b_max - bi) / (ci * b_max);
+            let t2 = b_max * (c_max - ci) / (bi * c_max);
+            t1.max(t2)
+        })
+        .fold(f64::INFINITY, f64::min);
+    if inner.is_finite() {
+        1.0 + inner
+    } else {
+        1.0
+    }
+}
+
+/// The exact communication time `max_i (B_i·T_l + C_i·T_w)` over per-PE
+/// loads, against which the model's `B_max·T_l + C_max·T_w` overestimates by
+/// at most a factor of β.
+pub fn exact_comm_time(per_pe: &[(u64, u64)], t_l: f64, t_w: f64) -> f64 {
+    per_pe
+        .iter()
+        .map(|&(c, b)| b as f64 * t_l + c as f64 * t_w)
+        .fold(0.0, f64::max)
+}
+
+/// The modeled communication time `B_max·T_l + C_max·T_w`.
+pub fn modeled_comm_time(per_pe: &[(u64, u64)], t_l: f64, t_w: f64) -> f64 {
+    let c_max = per_pe.iter().map(|&(c, _)| c).max().unwrap_or(0) as f64;
+    let b_max = per_pe.iter().map(|&(_, b)| b).max().unwrap_or(0) as f64;
+    b_max * t_l + c_max * t_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_is_one_when_maxima_coincide() {
+        assert_eq!(beta_bound(&[(100, 10), (90, 9), (50, 5)]), 1.0);
+    }
+
+    #[test]
+    fn beta_exceeds_one_when_maxima_split() {
+        // PE 0 has the most words, PE 1 the most blocks.
+        let beta = beta_bound(&[(100, 5), (50, 10)]);
+        assert!(beta > 1.0);
+        assert!(beta <= 2.0);
+    }
+
+    #[test]
+    fn beta_of_empty_or_silent_is_one() {
+        assert_eq!(beta_bound(&[]), 1.0);
+        assert_eq!(beta_bound(&[(0, 0), (0, 0)]), 1.0);
+    }
+
+    #[test]
+    fn beta_bounds_the_model_overestimate() {
+        // Property from the paper: modeled T_comm ≤ β · exact T_comm for all
+        // (T_l, T_w) ≥ 0. Spot-check on a grid.
+        let loads = [(100u64, 5u64), (60, 10), (80, 7), (20, 2)];
+        let beta = beta_bound(&loads);
+        for &t_l in &[0.0, 1e-6, 1e-5, 1e-3] {
+            for &t_w in &[0.0, 1e-9, 1e-7, 1e-6] {
+                if t_l == 0.0 && t_w == 0.0 {
+                    continue;
+                }
+                let exact = exact_comm_time(&loads, t_l, t_w);
+                let modeled = modeled_comm_time(&loads, t_l, t_w);
+                assert!(modeled >= exact, "model must be an overestimate");
+                assert!(
+                    modeled <= beta * exact * (1.0 + 1e-12),
+                    "β bound violated: {modeled} > {beta} × {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_never_exceeds_two_on_random_loads() {
+        // β ≤ 2 is claimed in the paper for all applications; check
+        // adversarial-ish configurations.
+        let configs: Vec<Vec<(u64, u64)>> = vec![
+            vec![(1_000_000, 2), (2, 1_000_000)],
+            vec![(10, 1), (9, 100), (8, 50)],
+            vec![(5, 5)],
+            vec![(1, 1000), (1000, 1)],
+        ];
+        for loads in configs {
+            let b = beta_bound(&loads);
+            assert!((1.0..=2.0).contains(&b), "β = {b} for {loads:?}");
+        }
+    }
+
+    #[test]
+    fn exact_and_modeled_agree_for_single_pe() {
+        let loads = [(100u64, 10u64)];
+        assert_eq!(
+            exact_comm_time(&loads, 1e-6, 1e-9),
+            modeled_comm_time(&loads, 1e-6, 1e-9)
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Bisection-bandwidth requirements (paper §4.2, Figure 8).
+//!
+//! Given the traffic matrix `m_ij` (words from PE i to PE j per SMVP), the
+//! words crossing the bisection `{0…p/2−1} | {p/2…p−1}` are
+//! `V = Σ (m_ij + m_ji)` over cross pairs, and the *sustained bisection
+//! bandwidth* needed to complete the communication phase in time
+//! `C_max·T_c` is `V / (C_max·T_c)`.
+
+use crate::machine::WORD_BYTES;
+
+/// Words crossing the canonical bisection (first half of PEs vs second
+/// half), both directions, for a `p × p` traffic matrix in words.
+///
+/// # Panics
+///
+/// Panics if `traffic` is not square.
+pub fn bisection_words(traffic: &[Vec<u64>]) -> u64 {
+    let p = traffic.len();
+    for row in traffic {
+        assert_eq!(row.len(), p, "traffic matrix must be square");
+    }
+    let half = p / 2;
+    let mut v = 0u64;
+    for i in 0..half {
+        for j in half..p {
+            v += traffic[i][j] + traffic[j][i];
+        }
+    }
+    v
+}
+
+/// Required sustained bisection bandwidth in bytes/second:
+/// `V / (C_max · T_c)` words/s, converted to bytes.
+///
+/// # Panics
+///
+/// Panics unless `c_max > 0` and `t_c > 0`.
+pub fn required_bisection_bandwidth(v_words: u64, c_max: u64, t_c: f64) -> f64 {
+    assert!(c_max > 0, "C_max must be positive");
+    assert!(t_c > 0.0, "T_c must be positive");
+    let comm_phase_seconds = c_max as f64 * t_c;
+    v_words as f64 * WORD_BYTES / comm_phase_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_words_counts_cross_pairs_only() {
+        // 4 PEs; only (0,2) and (1,3) cross the bisection {0,1}|{2,3}.
+        let t = vec![
+            vec![0, 5, 7, 0],
+            vec![5, 0, 0, 9],
+            vec![7, 0, 0, 3],
+            vec![0, 9, 3, 0],
+        ];
+        // (0,2): 7+7, (0,3): 0, (1,2): 0, (1,3): 9+9 → 32.
+        assert_eq!(bisection_words(&t), 32);
+    }
+
+    #[test]
+    fn no_cross_traffic_gives_zero() {
+        let t = vec![vec![0, 9], vec![9, 0]];
+        // p = 2: pair (0,1) crosses → 18.
+        assert_eq!(bisection_words(&t), 18);
+        let isolated = vec![
+            vec![0, 4, 0, 0],
+            vec![4, 0, 0, 0],
+            vec![0, 0, 0, 6],
+            vec![0, 0, 6, 0],
+        ];
+        assert_eq!(bisection_words(&isolated), 0);
+    }
+
+    #[test]
+    fn bandwidth_formula() {
+        // V = 1000 words, comm phase = 16260 words × 28.6 ns ≈ 465 µs.
+        let bw = required_bisection_bandwidth(1000, 16_260, 28.6e-9);
+        let expect = 1000.0 * 8.0 / (16_260.0 * 28.6e-9);
+        assert!((bw - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_efficiency_demand() {
+        // Halving T_c (a tighter efficiency target) doubles the requirement.
+        let slow = required_bisection_bandwidth(1000, 100, 2e-8);
+        let fast = required_bisection_bandwidth(1000, 100, 1e-8);
+        assert!((fast / slow - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_traffic_panics() {
+        let t = vec![vec![0, 1], vec![0]];
+        let _ = bisection_words(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cmax_panics() {
+        let _ = required_bisection_bandwidth(10, 0, 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Equation (1): the high-level model of the communication phase.
+//!
+//! `T_c = (F / C_max) · ((1 − E) / E) · T_f`
+//!
+//! relates the required amortized time per communication word `T_c` (whose
+//! inverse is the *sustained* per-PE bandwidth) to the application's
+//! computation/communication ratio `F/C_max`, the target efficiency `E`, and
+//! the processor's amortized time per flop `T_f`.
+
+use crate::characterize::SmvpInstance;
+use crate::machine::{Processor, WORD_BYTES};
+
+/// The required amortized time per communication word `T_c` (seconds) to run
+/// `instance` at efficiency `e` on a processor with time-per-flop `t_f`.
+///
+/// # Panics
+///
+/// Panics unless `0 < e < 1` and `t_f > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use quake_core::characterize::SmvpInstance;
+/// use quake_core::model::eq1::required_tc;
+/// let sf2_128 = SmvpInstance::new("sf2", 128, 838_224, 16_260, 50, 459.0);
+/// let tc = required_tc(&sf2_128, 0.9, 5e-9);
+/// assert!((tc - 2.864e-8).abs() < 1e-10); // ≈ 28.6 ns/word
+/// ```
+pub fn required_tc(instance: &SmvpInstance, e: f64, t_f: f64) -> f64 {
+    assert!(e > 0.0 && e < 1.0, "efficiency must be in (0, 1), got {e}");
+    assert!(t_f > 0.0, "time per flop must be positive");
+    instance.comp_comm_ratio() * ((1.0 - e) / e) * t_f
+}
+
+/// The required *sustained* per-PE bandwidth `T_c⁻¹` in bytes/second
+/// (Figure 9's quantity).
+///
+/// # Panics
+///
+/// Same as [`required_tc`].
+pub fn required_sustained_bandwidth(instance: &SmvpInstance, e: f64, processor: &Processor) -> f64 {
+    WORD_BYTES / required_tc(instance, e, processor.t_f)
+}
+
+/// The efficiency achieved when the communication system delivers an
+/// amortized time per word of `t_c`: `E = T_comp / (T_comp + T_comm)`.
+///
+/// # Panics
+///
+/// Panics unless `t_f > 0` and `t_c ≥ 0`.
+pub fn achieved_efficiency(instance: &SmvpInstance, t_c: f64, t_f: f64) -> f64 {
+    assert!(t_f > 0.0, "time per flop must be positive");
+    assert!(t_c >= 0.0, "time per word must be non-negative");
+    let t_comp = instance.f as f64 * t_f;
+    let t_comm = instance.c_max as f64 * t_c;
+    t_comp / (t_comp + t_comm)
+}
+
+/// Total SMVP time `T_smvp = T_comp + T_comm = F·T_f + C_max·T_c` (seconds).
+pub fn smvp_time(instance: &SmvpInstance, t_c: f64, t_f: f64) -> f64 {
+    instance.f as f64 * t_f + instance.c_max as f64 * t_c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf2_128() -> SmvpInstance {
+        SmvpInstance::new("sf2", 128, 838_224, 16_260, 50, 459.0)
+    }
+
+    #[test]
+    fn paper_headline_number() {
+        // Paper conclusion: 200-MFLOP PEs need ≈ 300 MB/s sustained for
+        // sf2/128 at 90% efficiency.
+        let bw = required_sustained_bandwidth(
+            &sf2_128(),
+            0.9,
+            &Processor::hypothetical_200mflops(),
+        );
+        assert!(
+            (250e6..320e6).contains(&bw),
+            "expected ≈ 300 MB/s, got {:.1} MB/s",
+            bw / 1e6
+        );
+    }
+
+    #[test]
+    fn hundred_mflops_needs_about_120mb() {
+        // Paper §4.3: 120 MB/s per PE suffices for all sf2 instances at 90%
+        // on 100-MFLOP PEs. The binding instance is sf2/128.
+        let bw = required_sustained_bandwidth(
+            &sf2_128(),
+            0.9,
+            &Processor::hypothetical_100mflops(),
+        );
+        assert!(
+            (120e6..160e6).contains(&bw),
+            "expected ≈ 120-140 MB/s, got {:.1} MB/s",
+            bw / 1e6
+        );
+    }
+
+    #[test]
+    fn efficiency_is_inverse_of_required_tc() {
+        let inst = sf2_128();
+        for &e in &[0.5, 0.8, 0.9] {
+            let tc = required_tc(&inst, e, 5e-9);
+            let back = achieved_efficiency(&inst, tc, 5e-9);
+            assert!((back - e).abs() < 1e-12, "E = {e} round-tripped to {back}");
+        }
+    }
+
+    #[test]
+    fn higher_efficiency_demands_more_bandwidth() {
+        let inst = sf2_128();
+        let pe = Processor::hypothetical_200mflops();
+        let bw50 = required_sustained_bandwidth(&inst, 0.5, &pe);
+        let bw90 = required_sustained_bandwidth(&inst, 0.9, &pe);
+        // (1-E)/E: 1.0 at 50%, 1/9 at 90% → 9x tighter.
+        assert!((bw90 / bw50 - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_processors_demand_proportional_bandwidth() {
+        let inst = sf2_128();
+        let bw100 =
+            required_sustained_bandwidth(&inst, 0.9, &Processor::hypothetical_100mflops());
+        let bw200 =
+            required_sustained_bandwidth(&inst, 0.9, &Processor::hypothetical_200mflops());
+        assert!((bw200 / bw100 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_network_gives_full_efficiency() {
+        assert_eq!(achieved_efficiency(&sf2_128(), 0.0, 5e-9), 1.0);
+    }
+
+    #[test]
+    fn smvp_time_decomposes() {
+        let inst = sf2_128();
+        let t = smvp_time(&inst, 28.6e-9, 5e-9);
+        let t_comp = inst.f as f64 * 5e-9;
+        assert!(t > t_comp);
+        assert!((t - (t_comp + 16_260.0 * 28.6e-9)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_panics() {
+        let _ = required_tc(&sf2_128(), 1.0, 5e-9);
+    }
+}

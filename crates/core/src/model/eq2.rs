@@ -1,0 +1,227 @@
+//! Equation (2): the low-level model of the communication phase.
+//!
+//! `T_c = (B_max / C_max) · T_l + T_w`
+//!
+//! expresses the amortized time per word in terms of block latency `T_l` and
+//! per-word burst time `T_w`, given the application's block and word maxima.
+
+use crate::characterize::SmvpInstance;
+use crate::machine::{BlockRegime, Network, WORD_BYTES};
+
+/// The amortized time per word delivered by network `(t_l, t_w)` for an
+/// instance with the given block regime.
+///
+/// # Panics
+///
+/// Panics if the instance has `c_max == 0` (no communication phase).
+pub fn delivered_tc(instance: &SmvpInstance, network: &Network, regime: BlockRegime) -> f64 {
+    assert!(instance.c_max > 0, "instance has no communication");
+    let b = regime.effective_b_max(instance.b_max, instance.c_max) as f64;
+    (b / instance.c_max as f64) * network.t_l + network.t_w
+}
+
+/// The communication-phase duration `T_comm = B_max·T_l + C_max·T_w`.
+pub fn comm_time(instance: &SmvpInstance, network: &Network, regime: BlockRegime) -> f64 {
+    let b = regime.effective_b_max(instance.b_max, instance.c_max) as f64;
+    b * network.t_l + instance.c_max as f64 * network.t_w
+}
+
+/// The block latency `T_l` that, combined with per-word time `t_w`, meets a
+/// target amortized time per word `t_c_target` (Figure 10's curves). Returns
+/// `None` when `t_w ≥ t_c_target` — the burst bandwidth alone is too slow,
+/// so no latency (even zero) can meet the target.
+pub fn latency_for_target(
+    instance: &SmvpInstance,
+    t_c_target: f64,
+    t_w: f64,
+    regime: BlockRegime,
+) -> Option<f64> {
+    if t_w >= t_c_target {
+        return None;
+    }
+    let b = regime.effective_b_max(instance.b_max, instance.c_max) as f64;
+    if b == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some((t_c_target - t_w) * instance.c_max as f64 / b)
+}
+
+/// The latency bound at infinite burst bandwidth (`T_w = 0`): the largest
+/// block latency that can still meet `t_c_target`.
+pub fn latency_at_infinite_burst(
+    instance: &SmvpInstance,
+    t_c_target: f64,
+    regime: BlockRegime,
+) -> f64 {
+    latency_for_target(instance, t_c_target, 0.0, regime)
+        .expect("zero per-word time always meets a positive target")
+}
+
+/// A *half-bandwidth* design point (paper §4.4): the `(T_l, T_w)` pair such
+/// that block latency and burst transfer each consume half of the
+/// communication phase. Over-engineering either side of such a design can
+/// buy at most 2×.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfBandwidthPoint {
+    /// Half-bandwidth block latency (seconds).
+    pub t_l: f64,
+    /// Half-bandwidth per-word time (seconds).
+    pub t_w: f64,
+}
+
+impl HalfBandwidthPoint {
+    /// Burst bandwidth `T_w⁻¹` in bytes/second.
+    pub fn burst_bandwidth_bytes(&self) -> f64 {
+        WORD_BYTES / self.t_w
+    }
+}
+
+/// Computes the half-bandwidth design point meeting `t_c_target`:
+/// `B_max·T_l = C_max·T_w = ½·C_max·t_c_target` (Figure 11's quantities).
+///
+/// # Panics
+///
+/// Panics if the instance has no communication or `t_c_target ≤ 0`.
+pub fn half_bandwidth_point(
+    instance: &SmvpInstance,
+    t_c_target: f64,
+    regime: BlockRegime,
+) -> HalfBandwidthPoint {
+    assert!(instance.c_max > 0, "instance has no communication");
+    assert!(t_c_target > 0.0, "target time per word must be positive");
+    let b = regime.effective_b_max(instance.b_max, instance.c_max) as f64;
+    let half_comm_per_word = 0.5 * t_c_target;
+    HalfBandwidthPoint {
+        t_l: half_comm_per_word * instance.c_max as f64 / b,
+        t_w: half_comm_per_word,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::eq1::required_tc;
+
+    fn sf2_128() -> SmvpInstance {
+        SmvpInstance::new("sf2", 128, 838_224, 16_260, 50, 459.0)
+    }
+
+    #[test]
+    fn delivered_tc_matches_equation() {
+        let inst = sf2_128();
+        let net = Network { name: "n", t_l: 10e-6, t_w: 50e-9 };
+        let tc = delivered_tc(&inst, &net, BlockRegime::Maximal);
+        let expect = (50.0 / 16_260.0) * 10e-6 + 50e-9;
+        assert!((tc - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn t3e_parameters_reproduce_paper_regime() {
+        // On the measured T3E network (T_l = 22 µs, T_w = 55 ns) the latency
+        // term for sf2/128 dominates: (50/16260)·22µs ≈ 67.7 ns vs 55 ns.
+        let inst = sf2_128();
+        let net = Network::cray_t3e();
+        let tc = delivered_tc(&inst, &net, BlockRegime::Maximal);
+        let latency_part = (50.0 / 16_260.0) * 22e-6;
+        assert!(latency_part > net.t_w);
+        assert!((tc - (latency_part + 55e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn latency_for_target_inverts_delivered_tc() {
+        let inst = sf2_128();
+        let target = 30e-9;
+        let t_w = 10e-9;
+        let t_l = latency_for_target(&inst, target, t_w, BlockRegime::Maximal).unwrap();
+        let net = Network { name: "n", t_l, t_w };
+        let tc = delivered_tc(&inst, &net, BlockRegime::Maximal);
+        assert!((tc - target).abs() < 1e-15);
+    }
+
+    #[test]
+    fn infeasible_burst_returns_none() {
+        let inst = sf2_128();
+        assert!(latency_for_target(&inst, 30e-9, 30e-9, BlockRegime::Maximal).is_none());
+        assert!(latency_for_target(&inst, 30e-9, 40e-9, BlockRegime::Maximal).is_none());
+    }
+
+    #[test]
+    fn infinite_burst_latency_bound_for_paper_case() {
+        // sf2/128 at E = 0.9 on 200-MFLOP PEs: with infinite burst
+        // bandwidth, maximal blocks allow T_l up to ≈ 9.3 µs by Eq. (2);
+        // 4-word blocks only ≈ 115 ns (the paper's ≈ 100 ns reading).
+        let inst = sf2_128();
+        let tc = required_tc(&inst, 0.9, 5e-9);
+        let max_blocks = latency_at_infinite_burst(&inst, tc, BlockRegime::Maximal);
+        assert!((8e-6..11e-6).contains(&max_blocks), "got {max_blocks}");
+        let cache_line = latency_at_infinite_burst(&inst, tc, BlockRegime::CACHE_LINE);
+        assert!(
+            (100e-9..130e-9).contains(&cache_line),
+            "got {} ns",
+            cache_line * 1e9
+        );
+    }
+
+    #[test]
+    fn half_bandwidth_splits_comm_time_evenly() {
+        let inst = sf2_128();
+        let tc = required_tc(&inst, 0.9, 5e-9);
+        let pt = half_bandwidth_point(&inst, tc, BlockRegime::Maximal);
+        let latency_time = inst.b_max as f64 * pt.t_l;
+        let burst_time = inst.c_max as f64 * pt.t_w;
+        assert!((latency_time - burst_time).abs() < 1e-15);
+        let total = latency_time + burst_time;
+        assert!((total - inst.c_max as f64 * tc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_most_demanding_half_bandwidth_case() {
+        // Fig. 11, hardest case: sf2/128, 200-MFLOP PEs, E = 0.9.
+        let inst = sf2_128();
+        let tc = required_tc(&inst, 0.9, 5e-9);
+        let maximal = half_bandwidth_point(&inst, tc, BlockRegime::Maximal);
+        // Burst ≈ 600 MB/s (paper: "burst bandwidth of 600 MBytes/sec").
+        assert!(
+            (450e6..700e6).contains(&maximal.burst_bandwidth_bytes()),
+            "burst = {:.0} MB/s",
+            maximal.burst_bandwidth_bytes() / 1e6
+        );
+        // Latency of a few µs (paper reads ≈ 2 µs off the log-scale plot;
+        // the exact Eq. (2) value is ≈ 4.7 µs).
+        assert!((2e-6..6e-6).contains(&maximal.t_l), "t_l = {}", maximal.t_l);
+        // Fixed 4-word blocks: latency collapses to tens of ns (paper ≈ 70).
+        let fixed = half_bandwidth_point(&inst, tc, BlockRegime::CACHE_LINE);
+        assert!(
+            (40e-9..90e-9).contains(&fixed.t_l),
+            "t_l = {} ns",
+            fixed.t_l * 1e9
+        );
+    }
+
+    #[test]
+    fn comm_time_decomposition() {
+        let inst = sf2_128();
+        let net = Network { name: "n", t_l: 1e-6, t_w: 10e-9 };
+        let t = comm_time(&inst, &net, BlockRegime::Maximal);
+        assert!((t - (50.0 * 1e-6 + 16_260.0 * 10e-9)).abs() < 1e-12);
+        // And T_comm = C_max · T_c.
+        let tc = delivered_tc(&inst, &net, BlockRegime::Maximal);
+        assert!((t - inst.c_max as f64 * tc).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fixed_blocks_demand_lower_latency() {
+        let inst = sf2_128();
+        let tc = 30e-9;
+        let max_b = latency_at_infinite_burst(&inst, tc, BlockRegime::Maximal);
+        let fix_b = latency_at_infinite_burst(&inst, tc, BlockRegime::CACHE_LINE);
+        assert!(fix_b < max_b / 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no communication")]
+    fn zero_comm_panics() {
+        let inst = SmvpInstance::new("x", 1, 10, 0, 0, 0.0);
+        let _ = delivered_tc(&inst, &Network::cray_t3e(), BlockRegime::Maximal);
+    }
+}

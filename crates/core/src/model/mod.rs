@@ -1,0 +1,19 @@
+//! The paper's SMVP performance models.
+//!
+//! * [`eq1`] — the high-level model relating sustained communication
+//!   bandwidth to computation rate and target efficiency;
+//! * [`eq2`] — the low-level model in terms of block latency and burst
+//!   bandwidth, including half-bandwidth design points;
+//! * [`beta`] — the §3.4 error bound on the model's pessimism;
+//! * [`logp`] — the LogP/LogGP correspondence discussed in §3.3;
+//! * [`scaling_law`] — §4.1's O(n^{1/3}) surface-to-volume law, fitted;
+//! * [`overlap`] — the footnote-1 best case of overlapped phases;
+//! * [`bisection`] — bisection-bandwidth requirements.
+
+pub mod beta;
+pub mod bisection;
+pub mod eq1;
+pub mod eq2;
+pub mod logp;
+pub mod overlap;
+pub mod scaling_law;

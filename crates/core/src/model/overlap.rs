@@ -1,0 +1,105 @@
+//! Overlapping computation and communication: the paper's footnote 1.
+//!
+//! The Quake implementations keep the phases separate ("by not modeling any
+//! overlap, we obtain conservative bandwidth and latency estimates"), but
+//! the paper notes overlap is possible in principle and its conclusions
+//! call for "latency hiding techniques". This module quantifies the best
+//! case: with perfect overlap the SMVP takes `max(T_comp, T_comm)` instead
+//! of their sum, which relaxes the network requirement by at most the
+//! factor the phases are imbalanced — and not at all once communication
+//! dominates.
+
+use crate::characterize::SmvpInstance;
+
+/// SMVP time with perfectly overlapped phases: `max(T_comp, T_comm)`.
+pub fn overlapped_smvp_time(instance: &SmvpInstance, t_c: f64, t_f: f64) -> f64 {
+    let t_comp = instance.f as f64 * t_f;
+    let t_comm = instance.c_max as f64 * t_c;
+    t_comp.max(t_comm)
+}
+
+/// Speedup of perfect overlap over the paper's phase-separated execution:
+/// `(T_comp + T_comm) / max(T_comp, T_comm)`, always in `[1, 2]`.
+pub fn overlap_speedup(instance: &SmvpInstance, t_c: f64, t_f: f64) -> f64 {
+    let t_comp = instance.f as f64 * t_f;
+    let t_comm = instance.c_max as f64 * t_c;
+    if t_comp.max(t_comm) == 0.0 {
+        return 1.0;
+    }
+    (t_comp + t_comm) / t_comp.max(t_comm)
+}
+
+/// The largest amortized time per word `T_c` that still hides communication
+/// entirely under computation (`T_comm ≤ T_comp`): the overlap analogue of
+/// Equation (1)'s requirement. Unlike Eq. (1), this does not depend on a
+/// target efficiency — under full overlap, hiding is binary.
+///
+/// # Panics
+///
+/// Panics if the instance has no communication.
+pub fn fully_hidden_tc(instance: &SmvpInstance, t_f: f64) -> f64 {
+    assert!(instance.c_max > 0, "instance has no communication");
+    instance.f as f64 * t_f / instance.c_max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Processor;
+    use crate::model::eq1::required_tc;
+    use crate::paperdata;
+
+    fn sf2_128() -> SmvpInstance {
+        paperdata::figure7_instance("sf2", 128).expect("row")
+    }
+
+    #[test]
+    fn speedup_is_bounded_by_two() {
+        let inst = sf2_128();
+        for &t_c in &[1e-9, 28.6e-9, 1e-7, 1e-6, 1e-5] {
+            let s = overlap_speedup(&inst, t_c, 5e-9);
+            assert!((1.0..=2.0).contains(&s), "speedup {s} at t_c = {t_c}");
+        }
+    }
+
+    #[test]
+    fn balanced_phases_gain_exactly_two() {
+        let inst = sf2_128();
+        // Choose t_c so T_comm == T_comp.
+        let t_f = 5e-9;
+        let t_c = inst.f as f64 * t_f / inst.c_max as f64;
+        assert!((overlap_speedup(&inst, t_c, t_f) - 2.0).abs() < 1e-12);
+        let t = overlapped_smvp_time(&inst, t_c, t_f);
+        assert!((t - inst.f as f64 * t_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_tc_is_the_e_half_requirement() {
+        // T_comm ≤ T_comp is exactly the E = 0.5 point of Eq. (1): overlap
+        // turns a 50%-efficient separated schedule into a fully hidden one.
+        let inst = sf2_128();
+        let t_f = Processor::hypothetical_200mflops().t_f;
+        let hidden = fully_hidden_tc(&inst, t_f);
+        let eq1_half = required_tc(&inst, 0.5, t_f);
+        assert!((hidden - eq1_half).abs() < 1e-18);
+        // And it is 9x looser than the separated E = 0.9 requirement.
+        let eq1_ninety = required_tc(&inst, 0.9, t_f);
+        assert!((hidden / eq1_ninety - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_cannot_rescue_comm_dominated_machines() {
+        // Once T_comm >> T_comp, overlap gains almost nothing.
+        let inst = sf2_128();
+        let t_f = 5e-9;
+        let slow_t_c = 100.0 * fully_hidden_tc(&inst, t_f);
+        let s = overlap_speedup(&inst, slow_t_c, t_f);
+        assert!(s < 1.02, "speedup {s} should vanish when comm dominates");
+    }
+
+    #[test]
+    fn silent_instance_speedup_is_one() {
+        let inst = SmvpInstance::new("x", 1, 0, 0, 0, 0.0);
+        assert_eq!(overlap_speedup(&inst, 1e-9, 1e-9), 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The surface-to-volume scaling law behind §4.1's discussion.
+//!
+//! "A good partition of an n-node 3D mesh will produce O(n^{2/3}) shared
+//! nodes … hence the computation/communication ratio is O(n^{1/3}), and a
+//! factor-of-ten increase in n yields roughly a factor-of-two increase in
+//! that ratio." This module fits the two coefficients of that law to
+//! measured instances and extrapolates — answering the paper's warning that
+//! "we cannot rely on simply increasing the problem size to guarantee good
+//! efficiency" with numbers.
+//!
+//! Model: with `m = n/p` nodes per PE,
+//! `F ≈ a·m` (volume work) and `C_max ≈ b·m^{2/3}` (surface traffic), so
+//! `F/C_max ≈ (a/b)·m^{1/3}`.
+
+use crate::characterize::SmvpInstance;
+
+/// Fitted coefficients of the volume/surface law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingLaw {
+    /// Flops per node per SMVP (`F = a·m`).
+    pub a: f64,
+    /// Surface coefficient (`C_max = b·m^{2/3}` words).
+    pub b: f64,
+}
+
+impl ScalingLaw {
+    /// Fits the law to measured instances by log-space least squares with
+    /// the exponents *fixed* at 1 and 2/3 (only the coefficients are free).
+    /// `nodes(instance)` supplies the mesh node count for each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or any instance has no communication.
+    pub fn fit<F: Fn(&SmvpInstance) -> u64>(instances: &[SmvpInstance], nodes: F) -> ScalingLaw {
+        assert!(!instances.is_empty(), "need at least one instance");
+        let mut log_a = 0.0;
+        let mut log_b = 0.0;
+        for inst in instances {
+            assert!(inst.c_max > 0, "instance {} has no communication", inst.label());
+            let m = nodes(inst) as f64 / inst.subdomains as f64;
+            log_a += (inst.f as f64 / m).ln();
+            log_b += (inst.c_max as f64 / m.powf(2.0 / 3.0)).ln();
+        }
+        let k = instances.len() as f64;
+        ScalingLaw { a: (log_a / k).exp(), b: (log_b / k).exp() }
+    }
+
+    /// Predicted flops per PE for `n` nodes on `p` PEs.
+    pub fn predict_f(&self, n: u64, p: usize) -> f64 {
+        self.a * n as f64 / p as f64
+    }
+
+    /// Predicted `C_max` (words) for `n` nodes on `p` PEs.
+    pub fn predict_c_max(&self, n: u64, p: usize) -> f64 {
+        self.b * (n as f64 / p as f64).powf(2.0 / 3.0)
+    }
+
+    /// Predicted computation/communication ratio `F/C_max`.
+    pub fn predict_ratio(&self, n: u64, p: usize) -> f64 {
+        self.predict_f(n, p) / self.predict_c_max(n, p)
+    }
+
+    /// The node count per PE required to reach a given `F/C_max` ratio —
+    /// the iso-efficiency question. Inverting `ratio = (a/b)·m^{1/3}`.
+    pub fn nodes_per_pe_for_ratio(&self, ratio: f64) -> f64 {
+        (ratio * self.b / self.a).powi(3)
+    }
+
+    /// Relative fit error of the ratio prediction on an instance.
+    pub fn ratio_error<F: Fn(&SmvpInstance) -> u64>(&self, inst: &SmvpInstance, nodes: F) -> f64 {
+        let predicted = self.predict_ratio(nodes(inst), inst.subdomains);
+        (predicted - inst.comp_comm_ratio()).abs() / inst.comp_comm_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata;
+
+    fn paper_nodes(inst: &SmvpInstance) -> u64 {
+        paperdata::figure2()
+            .iter()
+            .find(|r| r.app == inst.app)
+            .expect("known app")
+            .nodes
+    }
+
+    #[test]
+    fn fits_paper_table_within_factor_two() {
+        // Fit on all 24 paper instances. The law is asymptotic in m = n/p:
+        // at m ≥ ~200 nodes per PE every ratio is predicted well; below that
+        // (sf10/128 has only 57 nodes per PE, nearly all on the surface) it
+        // degrades gracefully.
+        let instances = paperdata::figure7();
+        let law = ScalingLaw::fit(&instances, paper_nodes);
+        for inst in &instances {
+            let m = paper_nodes(inst) as f64 / inst.subdomains as f64;
+            let err = law.ratio_error(inst, paper_nodes);
+            let bound = if m >= 200.0 { 1.0 } else { 1.5 };
+            assert!(
+                err < bound,
+                "{} (m = {m:.0}): predicted {:.0} vs measured {:.0}",
+                inst.label(),
+                law.predict_ratio(paper_nodes(inst), inst.subdomains),
+                inst.comp_comm_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn ten_x_problem_gives_about_two_x_ratio() {
+        // The paper's headline scaling observation, from the fitted law.
+        let law = ScalingLaw::fit(&paperdata::figure7(), paper_nodes);
+        let r1 = law.predict_ratio(100_000, 16);
+        let r10 = law.predict_ratio(1_000_000, 16);
+        let factor = r10 / r1;
+        assert!(
+            (2.0..2.3).contains(&factor),
+            "10x nodes should give 10^(1/3) ≈ 2.15x ratio, got {factor}"
+        );
+    }
+
+    #[test]
+    fn iso_ratio_inversion_round_trips() {
+        let law = ScalingLaw { a: 130.0, b: 40.0 };
+        for ratio in [50.0, 200.0, 800.0] {
+            let m = law.nodes_per_pe_for_ratio(ratio);
+            let n = (m * 64.0) as u64;
+            let back = law.predict_ratio(n, 64);
+            assert!((back - ratio).abs() < 0.02 * ratio, "{back} vs {ratio}");
+        }
+    }
+
+    #[test]
+    fn coefficients_are_physical() {
+        // a ≈ flops per node ≈ 2·9·degree ≈ 250 for degree ~14; b modest.
+        let law = ScalingLaw::fit(&paperdata::figure7(), paper_nodes);
+        assert!(
+            (100.0..500.0).contains(&law.a),
+            "flops/node {} should be O(2·9·14)",
+            law.a
+        );
+        assert!(law.b > 1.0 && law.b < 1_000.0, "surface coefficient {}", law.b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_fit_panics() {
+        let _ = ScalingLaw::fit(&[], |_| 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! Requirement sweeps: the data series behind paper Figures 8–11.
+//!
+//! Each function maps SMVP instances × machine assumptions to the rows or
+//! curves the paper plots; the `quake-bench` binaries print them.
+
+use crate::characterize::SmvpInstance;
+use crate::machine::{BlockRegime, Processor, WORD_BYTES};
+use crate::model::bisection::required_bisection_bandwidth;
+use crate::model::eq1::required_tc;
+use crate::model::eq2::{half_bandwidth_point, latency_for_target, HalfBandwidthPoint};
+
+/// The efficiency targets the paper sweeps (50%, 80%, 90%).
+pub const EFFICIENCIES: [f64; 3] = [0.5, 0.8, 0.9];
+
+/// One point of Figure 9: required sustained per-PE bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SustainedBandwidthPoint {
+    /// The instance label (`sfx/y`).
+    pub label: String,
+    /// Subdomain count.
+    pub subdomains: usize,
+    /// Processor assumption.
+    pub processor: Processor,
+    /// Target efficiency.
+    pub efficiency: f64,
+    /// Required sustained bandwidth, bytes/second.
+    pub bandwidth_bytes: f64,
+}
+
+/// Figure 9 series: required sustained per-PE bandwidth for every instance ×
+/// processor × efficiency combination.
+pub fn sustained_bandwidth_series(
+    instances: &[SmvpInstance],
+    processors: &[Processor],
+    efficiencies: &[f64],
+) -> Vec<SustainedBandwidthPoint> {
+    let mut out = Vec::new();
+    for inst in instances {
+        for pe in processors {
+            for &e in efficiencies {
+                let t_c = required_tc(inst, e, pe.t_f);
+                out.push(SustainedBandwidthPoint {
+                    label: inst.label(),
+                    subdomains: inst.subdomains,
+                    processor: *pe,
+                    efficiency: e,
+                    bandwidth_bytes: WORD_BYTES / t_c,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One point of Figure 8: required sustained bisection bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisectionPoint {
+    /// The instance label.
+    pub label: String,
+    /// Subdomain count.
+    pub subdomains: usize,
+    /// Processor assumption.
+    pub processor: Processor,
+    /// Target efficiency.
+    pub efficiency: f64,
+    /// Words crossing the bisection per SMVP.
+    pub v_words: u64,
+    /// Required bisection bandwidth, bytes/second.
+    pub bandwidth_bytes: f64,
+}
+
+/// Figure 8 series. Unlike Figure 9, this needs the traffic matrix's
+/// bisection volume `V`, which the paper derived from the partitioned
+/// meshes; pass `(instance, v_words)` pairs from the synthetic pipeline.
+pub fn bisection_series(
+    instances_with_v: &[(SmvpInstance, u64)],
+    processors: &[Processor],
+    efficiencies: &[f64],
+) -> Vec<BisectionPoint> {
+    let mut out = Vec::new();
+    for (inst, v) in instances_with_v {
+        if inst.c_max == 0 {
+            continue;
+        }
+        for pe in processors {
+            for &e in efficiencies {
+                let t_c = required_tc(inst, e, pe.t_f);
+                out.push(BisectionPoint {
+                    label: inst.label(),
+                    subdomains: inst.subdomains,
+                    processor: *pe,
+                    efficiency: e,
+                    v_words: *v,
+                    bandwidth_bytes: required_bisection_bandwidth(*v, inst.c_max, t_c),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One Figure 10 tradeoff curve: for a fixed instance/efficiency/processor,
+/// the block latency permitted at each burst bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffCurve {
+    /// Target efficiency.
+    pub efficiency: f64,
+    /// Block regime the curve was computed under.
+    pub regime: BlockRegime,
+    /// `(burst bandwidth bytes/s, permitted block latency seconds)` points;
+    /// burst bandwidths below feasibility are omitted.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Computes a Figure 10 curve over the given burst bandwidths (bytes/s).
+pub fn tradeoff_curve(
+    instance: &SmvpInstance,
+    efficiency: f64,
+    processor: &Processor,
+    regime: BlockRegime,
+    burst_bandwidths_bytes: &[f64],
+) -> TradeoffCurve {
+    let t_c = required_tc(instance, efficiency, processor.t_f);
+    let points = burst_bandwidths_bytes
+        .iter()
+        .filter_map(|&bw| {
+            let t_w = WORD_BYTES / bw;
+            latency_for_target(instance, t_c, t_w, regime).map(|t_l| (bw, t_l))
+        })
+        .collect();
+    TradeoffCurve { efficiency, regime, points }
+}
+
+/// One point of Figure 11: a half-bandwidth design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfBandwidthRow {
+    /// The instance label.
+    pub label: String,
+    /// Subdomain count.
+    pub subdomains: usize,
+    /// Processor assumption.
+    pub processor: Processor,
+    /// Target efficiency.
+    pub efficiency: f64,
+    /// Block regime.
+    pub regime: BlockRegime,
+    /// The half-bandwidth `(T_l, T_w)` design point.
+    pub point: HalfBandwidthPoint,
+}
+
+/// Figure 11 series: half-bandwidth design points for every combination.
+pub fn half_bandwidth_series(
+    instances: &[SmvpInstance],
+    processors: &[Processor],
+    efficiencies: &[f64],
+    regimes: &[BlockRegime],
+) -> Vec<HalfBandwidthRow> {
+    let mut out = Vec::new();
+    for inst in instances {
+        if inst.c_max == 0 {
+            continue;
+        }
+        for pe in processors {
+            for &e in efficiencies {
+                for &regime in regimes {
+                    let t_c = required_tc(inst, e, pe.t_f);
+                    out.push(HalfBandwidthRow {
+                        label: inst.label(),
+                        subdomains: inst.subdomains,
+                        processor: *pe,
+                        efficiency: e,
+                        regime,
+                        point: half_bandwidth_point(inst, t_c, regime),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paperdata;
+
+    #[test]
+    fn figure9_worst_case_is_about_300mb() {
+        let sf2 = paperdata::figure7_app("sf2");
+        let series = sustained_bandwidth_series(
+            &sf2,
+            &[Processor::hypothetical_200mflops()],
+            &[0.9],
+        );
+        let worst = series
+            .iter()
+            .map(|p| p.bandwidth_bytes)
+            .fold(0.0, f64::max);
+        assert!(
+            (250e6..320e6).contains(&worst),
+            "worst sf2 requirement = {:.0} MB/s",
+            worst / 1e6
+        );
+        // The binding instance is the largest p (lowest F/C_max).
+        let binding = series
+            .iter()
+            .max_by(|a, b| a.bandwidth_bytes.partial_cmp(&b.bandwidth_bytes).unwrap())
+            .unwrap();
+        assert_eq!(binding.subdomains, 128);
+    }
+
+    #[test]
+    fn figure9_series_covers_grid() {
+        let sf2 = paperdata::figure7_app("sf2");
+        let series = sustained_bandwidth_series(
+            &sf2,
+            &[
+                Processor::hypothetical_100mflops(),
+                Processor::hypothetical_200mflops(),
+            ],
+            &EFFICIENCIES,
+        );
+        assert_eq!(series.len(), 6 * 2 * 3);
+    }
+
+    #[test]
+    fn figure10_curves_are_monotone() {
+        // More burst bandwidth permits more latency.
+        let inst = paperdata::figure7_instance("sf2", 128).unwrap();
+        let bws: Vec<f64> = (1..=40).map(|i| i as f64 * 50e6).collect();
+        let curve = tradeoffs_for_test(&inst, &bws);
+        assert!(!curve.points.is_empty());
+        for w in curve.points.windows(2) {
+            assert!(w[1].1 >= w[0].1, "latency must grow with burst bandwidth");
+        }
+    }
+
+    fn tradeoffs_for_test(inst: &SmvpInstance, bws: &[f64]) -> TradeoffCurve {
+        tradeoff_curve(
+            inst,
+            0.9,
+            &Processor::hypothetical_200mflops(),
+            BlockRegime::Maximal,
+            bws,
+        )
+    }
+
+    #[test]
+    fn figure10_infeasible_bandwidths_dropped() {
+        let inst = paperdata::figure7_instance("sf2", 128).unwrap();
+        // t_c ≈ 28.6 ns → min feasible burst ≈ 280 MB/s; ask below that.
+        let curve = tradeoffs_for_test(&inst, &[100e6, 200e6]);
+        assert!(curve.points.is_empty());
+    }
+
+    #[test]
+    fn figure11_fixed_blocks_need_far_less_latency() {
+        let sf2 = paperdata::figure7_app("sf2");
+        let rows = half_bandwidth_series(
+            &sf2,
+            &[Processor::hypothetical_200mflops()],
+            &[0.9],
+            &[BlockRegime::Maximal, BlockRegime::CACHE_LINE],
+        );
+        let maximal_min = rows
+            .iter()
+            .filter(|r| r.regime == BlockRegime::Maximal)
+            .map(|r| r.point.t_l)
+            .fold(f64::INFINITY, f64::min);
+        let fixed_min = rows
+            .iter()
+            .filter(|r| r.regime == BlockRegime::CACHE_LINE)
+            .map(|r| r.point.t_l)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            fixed_min < maximal_min / 20.0,
+            "fixed {fixed_min} vs maximal {maximal_min}"
+        );
+    }
+
+    #[test]
+    fn figure8_bisection_worst_case_is_modest() {
+        // Synthesize plausible V values (a few times C_max) and confirm the
+        // worst case stays well under a GB/s, the paper's "quite modest".
+        let sf2 = paperdata::figure7_app("sf2");
+        // A geometric partition's bisection volume is a few C_max (the
+        // paper's Fig. 8 worst case of 700 MB/s corresponds to V ≈ 2.5·C_max).
+        let with_v: Vec<(SmvpInstance, u64)> =
+            sf2.into_iter().map(|i| (i.clone(), i.c_max * 3)).collect();
+        let series = bisection_series(
+            &with_v,
+            &[Processor::hypothetical_200mflops()],
+            &[0.9],
+        );
+        let worst = series.iter().map(|p| p.bandwidth_bytes).fold(0.0, f64::max);
+        assert!(worst < 2e9, "bisection requirement {worst} implausibly high");
+        assert!(worst > 1e6);
+    }
+
+    #[test]
+    fn series_skip_silent_instances() {
+        let silent = SmvpInstance::new("x", 1, 10, 0, 0, 0.0);
+        assert!(half_bandwidth_series(
+            std::slice::from_ref(&silent),
+            &[Processor::hypothetical_100mflops()],
+            &[0.9],
+            &[BlockRegime::Maximal]
+        )
+        .is_empty());
+        assert!(bisection_series(
+            &[(silent, 0)],
+            &[Processor::hypothetical_100mflops()],
+            &[0.9]
+        )
+        .is_empty());
+    }
+}

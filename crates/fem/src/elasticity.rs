@@ -1,0 +1,232 @@
+//! Linear-elasticity element matrices for constant-strain tetrahedra.
+//!
+//! Each Quake element contributes a 12×12 stiffness block — here organized
+//! as a 4×4 grid of [`Mat3`] node-pair blocks, which is exactly how the
+//! global `3n × 3n` stiffness matrix `K` of the paper is assembled.
+
+use quake_mesh::geometry::Tetra;
+use quake_sparse::dense::{Mat3, Vec3};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when an element is too degenerate to integrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegenerateElement {
+    /// Signed volume of the offending element.
+    pub signed_volume: f64,
+}
+
+impl fmt::Display for DegenerateElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "element volume {} too small to integrate", self.signed_volume)
+    }
+}
+
+impl Error for DegenerateElement {}
+
+/// The element stiffness of a linear (constant-strain) tetrahedron for an
+/// isotropic material with Lamé parameters `lambda` and `mu`:
+///
+/// `K_ab = V·[ λ·(∇N_a)(∇N_b)ᵀ + µ·(∇N_b)(∇N_a)ᵀ + µ·(∇N_a·∇N_b)·I ]`
+///
+/// Returns the 4×4 grid of 3×3 node-pair blocks.
+///
+/// # Errors
+///
+/// Returns [`DegenerateElement`] if the element volume is numerically zero.
+pub fn element_stiffness(
+    tet: &Tetra,
+    lambda: f64,
+    mu: f64,
+) -> Result<[[Mat3; 4]; 4], DegenerateElement> {
+    let grads = shape_gradients(tet)?;
+    let volume = tet.volume();
+    let mut k = [[Mat3::ZERO; 4]; 4];
+    for a in 0..4 {
+        for b in 0..4 {
+            let ga = grads[a];
+            let gb = grads[b];
+            let block = Mat3::outer(ga, gb) * lambda
+                + Mat3::outer(gb, ga) * mu
+                + Mat3::identity() * (mu * ga.dot(gb));
+            k[a][b] = block * volume;
+        }
+    }
+    Ok(k)
+}
+
+/// The constant shape-function gradients `∇N_a` of a linear tetrahedron.
+///
+/// # Errors
+///
+/// Returns [`DegenerateElement`] if the element is (near-)flat.
+pub fn shape_gradients(tet: &Tetra) -> Result<[Vec3; 4], DegenerateElement> {
+    let [x0, x1, x2, x3] = tet.v;
+    let j = Mat3::new([
+        (x1 - x0).to_array(),
+        (x2 - x0).to_array(),
+        (x3 - x0).to_array(),
+    ]);
+    let signed_volume = j.det() / 6.0;
+    let inv = j
+        .inverse()
+        .ok_or(DegenerateElement { signed_volume })?;
+    // Gradients of N1..N3 are the columns of J⁻¹ (rows of J⁻ᵀ); N0 = 1-ξ-η-ζ.
+    let inv_t = inv.transpose();
+    let g1 = Vec3::new(inv_t.m[0][0], inv_t.m[0][1], inv_t.m[0][2]);
+    let g2 = Vec3::new(inv_t.m[1][0], inv_t.m[1][1], inv_t.m[1][2]);
+    let g3 = Vec3::new(inv_t.m[2][0], inv_t.m[2][1], inv_t.m[2][2]);
+    let g0 = -(g1 + g2 + g3);
+    Ok([g0, g1, g2, g3])
+}
+
+/// The lumped element mass: each node receives a quarter of the element's
+/// mass `ρ·V`, identically on all three degrees of freedom.
+pub fn lumped_element_mass(tet: &Tetra, rho: f64) -> f64 {
+    rho * tet.volume() * 0.25
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tet() -> Tetra {
+        Tetra::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn shape_gradients_sum_to_zero() {
+        let g = shape_gradients(&unit_tet()).unwrap();
+        let sum = g[0] + g[1] + g[2] + g[3];
+        assert!(sum.norm() < 1e-14);
+    }
+
+    #[test]
+    fn shape_gradients_interpolate_linearly() {
+        // ∇N_a reproduces a linear field: Σ_a f(x_a)·∇N_a = ∇f for linear f.
+        let tet = Tetra::new(
+            Vec3::new(0.2, 0.1, 0.0),
+            Vec3::new(1.3, 0.2, 0.1),
+            Vec3::new(0.1, 1.4, 0.3),
+            Vec3::new(0.4, 0.2, 1.2),
+        );
+        let g = shape_gradients(&tet).unwrap();
+        // f(x) = 2x + 3y - z  →  ∇f = (2, 3, -1).
+        let f = |p: Vec3| 2.0 * p.x + 3.0 * p.y - p.z;
+        let grad_f = (0..4).fold(Vec3::ZERO, |acc, a| acc + g[a] * f(tet.v[a]));
+        assert!((grad_f - Vec3::new(2.0, 3.0, -1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_tet_errors() {
+        let flat = Tetra::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        );
+        assert!(shape_gradients(&flat).is_err());
+        assert!(element_stiffness(&flat, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn stiffness_is_symmetric() {
+        let k = element_stiffness(&unit_tet(), 2.0, 1.5).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                let kab = k[a][b];
+                let kba_t = k[b][a].transpose();
+                for r in 0..3 {
+                    for c in 0..3 {
+                        assert!(
+                            (kab.m[r][c] - kba_t.m[r][c]).abs() < 1e-12,
+                            "K[{a}][{b}] != K[{b}][{a}]ᵀ"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_translation_produces_no_force() {
+        let k = element_stiffness(&unit_tet(), 2.0, 1.5).unwrap();
+        // u_a = t for all nodes → f_a = Σ_b K_ab t must vanish.
+        let t = Vec3::new(0.3, -0.7, 1.1);
+        for a in 0..4 {
+            let f = (0..4).fold(Vec3::ZERO, |acc, b| acc + k[a][b].mul_vec(t));
+            assert!(f.norm() < 1e-12, "translation produced force {f}");
+        }
+    }
+
+    #[test]
+    fn rigid_rotation_produces_no_force() {
+        // Infinitesimal rotation u(x) = ω × x is also in the null space.
+        let tet = unit_tet();
+        let k = element_stiffness(&tet, 2.0, 1.5).unwrap();
+        let omega = Vec3::new(0.1, 0.2, -0.3);
+        for a in 0..4 {
+            let f = (0..4).fold(Vec3::ZERO, |acc, b| {
+                acc + k[a][b].mul_vec(omega.cross(tet.v[b]))
+            });
+            assert!(f.norm() < 1e-12, "rotation produced force {f}");
+        }
+    }
+
+    #[test]
+    fn stiffness_is_positive_semidefinite() {
+        let k = element_stiffness(&unit_tet(), 2.0, 1.5).unwrap();
+        // Random-ish displacements: uᵀ K u ≥ 0.
+        let us = [
+            [Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0), Vec3::splat(0.5)],
+            [Vec3::new(-1.0, 0.5, 0.2), Vec3::new(0.3, 0.3, -0.9), Vec3::ZERO, Vec3::ZERO],
+        ];
+        for u in us {
+            let mut energy = 0.0;
+            for a in 0..4 {
+                for b in 0..4 {
+                    energy += u[a].dot(k[a][b].mul_vec(u[b]));
+                }
+            }
+            assert!(energy >= -1e-12, "negative strain energy {energy}");
+        }
+    }
+
+    #[test]
+    fn uniaxial_stretch_energy_matches_continuum() {
+        // u(x) = (εx, 0, 0): strain energy density = (λ/2 + µ)·ε².
+        let tet = unit_tet();
+        let (lambda, mu, eps) = (2.0, 1.5, 0.01);
+        let k = element_stiffness(&tet, lambda, mu).unwrap();
+        let u: Vec<Vec3> = tet.v.iter().map(|p| Vec3::new(eps * p.x, 0.0, 0.0)).collect();
+        let mut energy = 0.0;
+        for a in 0..4 {
+            for b in 0..4 {
+                energy += u[a].dot(k[a][b].mul_vec(u[b]));
+            }
+        }
+        energy *= 0.5;
+        let expect = (lambda / 2.0 + mu) * eps * eps * tet.volume();
+        assert!(
+            (energy - expect).abs() < 1e-12,
+            "energy {energy} vs continuum {expect}"
+        );
+    }
+
+    #[test]
+    fn lumped_mass_quarters_element_mass() {
+        let m = lumped_element_mass(&unit_tet(), 2000.0);
+        assert!((m - 2000.0 / 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DegenerateElement { signed_volume: 0.0 };
+        assert!(e.to_string().contains("volume"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Finite-element substrate: linear-elasticity assembly and explicit time
+//! stepping for the Quake wave-propagation simulations.
+//!
+//! Each Quake application is a 3-D unstructured finite-element simulation of
+//! seismic wave propagation: a `3n × 3n` stiffness matrix `K` is assembled
+//! from per-tetrahedron linear-elasticity contributions, and 6000 explicit
+//! central-difference time steps each execute one SMVP `y = Kx` — the
+//! operation the whole paper characterizes.
+//!
+//! * [`elasticity`] — constant-strain tetrahedron stiffness and lumped mass;
+//! * [`assembly`] — global block-CSR assembly over a mesh + material field;
+//! * [`source`] — Ricker-wavelet point sources;
+//! * [`timestep`] — the explicit integrator with seismogram recording.
+
+// Indexed loops over parallel arrays are the clearest form for the numeric
+// kernels in this crate; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+pub mod assembly;
+pub mod elasticity;
+pub mod source;
+pub mod timestep;
+
+pub use assembly::{assemble, AssembledSystem, GroundMaterial, MaterialField, UniformMaterial};
+pub use source::{PointSource, Ricker};
+pub use timestep::{Seismogram, SimError, Simulation};

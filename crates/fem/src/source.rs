@@ -1,0 +1,149 @@
+//! Seismic sources: Ricker wavelets applied as point body forces.
+
+use quake_mesh::mesh::TetMesh;
+use quake_sparse::dense::Vec3;
+
+/// A Ricker wavelet (the second derivative of a Gaussian), the standard
+/// band-limited source pulse in seismic simulation. Its dominant frequency
+/// `f0` corresponds to the shortest resolved period of the sfN family.
+///
+/// # Examples
+///
+/// ```
+/// use quake_fem::source::Ricker;
+/// let r = Ricker::new(1.0);
+/// // Peak at the center time, decaying to ~0 away from it.
+/// assert!(r.amplitude(r.t0()) == 1.0);
+/// assert!(r.amplitude(r.t0() + 10.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ricker {
+    f0: f64,
+    t0: f64,
+}
+
+impl Ricker {
+    /// A wavelet with dominant frequency `f0` (Hz), centered at
+    /// `t0 = 1.2 / f0` so the pulse starts near zero amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f0 > 0`.
+    pub fn new(f0: f64) -> Self {
+        assert!(f0 > 0.0, "dominant frequency must be positive");
+        Ricker { f0, t0: 1.2 / f0 }
+    }
+
+    /// Dominant frequency (Hz).
+    pub fn f0(&self) -> f64 {
+        self.f0
+    }
+
+    /// Center time of the pulse (s).
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Amplitude at time `t` (unitless, peak 1 at `t0`).
+    pub fn amplitude(&self, t: f64) -> f64 {
+        let a = std::f64::consts::PI * self.f0 * (t - self.t0);
+        let a2 = a * a;
+        (1.0 - 2.0 * a2) * (-a2).exp()
+    }
+}
+
+/// A point force source: a Ricker pulse with direction and magnitude applied
+/// to the mesh node nearest a target location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointSource {
+    /// The node the force is applied to.
+    pub node: usize,
+    /// Force direction and magnitude (N).
+    pub force: Vec3,
+    /// Time envelope.
+    pub wavelet: Ricker,
+}
+
+impl PointSource {
+    /// Creates a source at the mesh node nearest `location`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh has no nodes.
+    pub fn nearest(mesh: &TetMesh, location: Vec3, force: Vec3, wavelet: Ricker) -> Self {
+        assert!(mesh.node_count() > 0, "mesh has no nodes");
+        let node = mesh
+            .nodes()
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (**a - location)
+                    .norm_squared()
+                    .partial_cmp(&(**b - location).norm_squared())
+                    .expect("finite coordinates")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        PointSource { node, force, wavelet }
+    }
+
+    /// The force vector at time `t`.
+    pub fn force_at(&self, t: f64) -> Vec3 {
+        self.force * self.wavelet.amplitude(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ricker_shape() {
+        let r = Ricker::new(2.0);
+        assert_eq!(r.f0(), 2.0);
+        assert!((r.t0() - 0.6).abs() < 1e-12);
+        assert_eq!(r.amplitude(r.t0()), 1.0);
+        // Symmetric about t0.
+        assert!((r.amplitude(r.t0() + 0.1) - r.amplitude(r.t0() - 0.1)).abs() < 1e-12);
+        // Negative side lobes exist.
+        assert!(r.amplitude(r.t0() + 0.25) < 0.0);
+    }
+
+    #[test]
+    fn ricker_integrates_to_near_zero() {
+        // The Ricker wavelet has zero mean.
+        let r = Ricker::new(1.0);
+        let dt = 1e-3;
+        let sum: f64 = (0..10_000).map(|i| r.amplitude(i as f64 * dt) * dt).sum();
+        assert!(sum.abs() < 1e-6, "mean {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Ricker::new(0.0);
+    }
+
+    #[test]
+    fn nearest_node_selection() {
+        let mesh = TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3]],
+        )
+        .unwrap();
+        let src = PointSource::nearest(
+            &mesh,
+            Vec3::new(0.9, 0.1, 0.0),
+            Vec3::new(0.0, 0.0, -1e6),
+            Ricker::new(1.0),
+        );
+        assert_eq!(src.node, 1);
+        let f = src.force_at(src.wavelet.t0());
+        assert_eq!(f, Vec3::new(0.0, 0.0, -1e6));
+    }
+}

@@ -1,0 +1,208 @@
+//! A set-associative LRU cache model.
+
+/// Access outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched (and possibly evicted another).
+    Miss,
+}
+
+/// A single-level set-associative cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use quake_memsim::cache::{Access, Cache};
+/// let mut c = Cache::new(1024, 32, 2); // 1 KiB, 32 B lines, 2-way
+/// assert_eq!(c.access(0), Access::Miss);
+/// assert_eq!(c.access(8), Access::Hit); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_bytes: u64,
+    sets: u64,
+    ways: usize,
+    /// Per set: resident tags in LRU order (front = most recent).
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `line_bytes` lines and
+    /// `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` and the resulting set count are powers of
+    /// two and the capacity divides evenly.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "associativity must be at least 1");
+        assert_eq!(
+            capacity_bytes % (line_bytes * ways as u64),
+            0,
+            "capacity must divide into sets"
+        );
+        let sets = capacity_bytes / (line_bytes * ways as u64);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets * self.line_bytes * self.ways as u64
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accesses one byte address; returns hit or miss and updates LRU state.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            ways.remove(pos);
+            ways.insert(0, tag);
+            self.hits += 1;
+            Access::Hit
+        } else {
+            ways.insert(0, tag);
+            if ways.len() > self.ways {
+                ways.pop();
+            }
+            self.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]` (0 for no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.tags {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let c = Cache::new(8192, 64, 2);
+        assert_eq!(c.capacity_bytes(), 8192);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(1024, 48, 2);
+    }
+
+    #[test]
+    fn spatial_locality_hits() {
+        let mut c = Cache::new(1024, 64, 2);
+        assert_eq!(c.access(128), Access::Miss);
+        for b in 129..192 {
+            assert_eq!(c.access(b), Access::Hit, "byte {b} shares the line");
+        }
+        assert_eq!(c.access(192), Access::Miss, "next line");
+        assert_eq!(c.hits(), 63);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn temporal_locality_and_lru_eviction() {
+        // Direct-mapped 2-line cache: lines conflict when they share a set.
+        let mut c = Cache::new(128, 64, 1); // 2 sets
+        assert_eq!(c.access(0), Access::Miss); // set 0
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(128), Access::Miss); // set 0, evicts line 0
+        assert_eq!(c.access(0), Access::Miss, "line 0 was evicted");
+    }
+
+    #[test]
+    fn associativity_avoids_conflict() {
+        // Same addresses, but 2-way: both lines fit in set 0.
+        let mut c = Cache::new(256, 64, 2); // 2 sets, 2 ways
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(256), Access::Miss); // same set, other way
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(256), Access::Hit);
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let mut c = Cache::new(128, 64, 2); // 1 set, 2 ways
+        c.access(0); // miss: [0]
+        c.access(64); // miss: [1, 0]
+        c.access(0); // hit:  [0, 1]
+        c.access(128); // miss, evicts LRU = line 1: [2, 0]
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(64), Access::Miss);
+    }
+
+    #[test]
+    fn miss_rate_and_reset() {
+        let mut c = Cache::new(1024, 64, 2);
+        assert_eq!(c.miss_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-15);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert_eq!(c.access(0), Access::Miss);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = Cache::new(1024, 64, 2);
+        // Stream 16 KiB twice: second pass still misses (capacity).
+        for pass in 0..2 {
+            for i in 0..256u64 {
+                c.access(i * 64);
+            }
+            if pass == 0 {
+                assert_eq!(c.misses(), 256);
+            }
+        }
+        assert_eq!(c.misses(), 512, "no reuse fits in a 1 KiB cache");
+    }
+}

@@ -1,0 +1,182 @@
+//! A two-level cache hierarchy with per-level access costs, used to convert
+//! an SMVP address trace into an effective sustained `T_f`.
+
+use crate::cache::{Access, Cache};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Level-1 cache.
+    L1,
+    /// Level-2 cache.
+    L2,
+    /// Main memory.
+    Memory,
+}
+
+/// Access costs per level, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyProfile {
+    /// L1 hit time.
+    pub l1: f64,
+    /// L2 hit time (L1 miss penalty included).
+    pub l2: f64,
+    /// Memory access time (full miss).
+    pub memory: f64,
+}
+
+impl LatencyProfile {
+    /// A mid-1990s RISC node, roughly in the Alpha 21164 class the paper
+    /// measured: 300 MHz, 2-cycle L1, ~10-cycle L2, ~60-cycle memory.
+    pub fn alpha_21164_like() -> Self {
+        let cycle = 1.0 / 300e6;
+        LatencyProfile { l1: 2.0 * cycle, l2: 10.0 * cycle, memory: 60.0 * cycle }
+    }
+}
+
+/// A two-level inclusive cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    profile: LatencyProfile,
+    counts: [u64; 3],
+    total_time: f64,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from two caches and a latency profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if L2 is not larger than L1.
+    pub fn new(l1: Cache, l2: Cache, profile: LatencyProfile) -> Self {
+        assert!(
+            l2.capacity_bytes() > l1.capacity_bytes(),
+            "L2 must be larger than L1"
+        );
+        Hierarchy { l1, l2, profile, counts: [0; 3], total_time: 0.0 }
+    }
+
+    /// An Alpha-21164-like node: 8 KiB direct-mapped L1, 96 KiB 3-way L2,
+    /// 32-byte lines.
+    pub fn alpha_21164_like() -> Self {
+        Hierarchy::new(
+            Cache::new(8 * 1024, 32, 1),
+            Cache::new(96 * 1024, 32, 3),
+            LatencyProfile::alpha_21164_like(),
+        )
+    }
+
+    /// Accesses an address, charging the appropriate level cost.
+    pub fn access(&mut self, addr: u64) -> HitLevel {
+        let level = match self.l1.access(addr) {
+            Access::Hit => HitLevel::L1,
+            Access::Miss => match self.l2.access(addr) {
+                Access::Hit => HitLevel::L2,
+                Access::Miss => HitLevel::Memory,
+            },
+        };
+        let (idx, cost) = match level {
+            HitLevel::L1 => (0, self.profile.l1),
+            HitLevel::L2 => (1, self.profile.l2),
+            HitLevel::Memory => (2, self.profile.memory),
+        };
+        self.counts[idx] += 1;
+        self.total_time += cost;
+        level
+    }
+
+    /// Accumulated access time (seconds).
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// `(l1 hits, l2 hits, memory accesses)`.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.counts[0], self.counts[1], self.counts[2])
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of accesses that reached memory.
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[2] as f64 / total as f64
+        }
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.counts = [0; 3];
+        self.total_time = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(
+            Cache::new(256, 32, 1),
+            Cache::new(1024, 32, 2),
+            LatencyProfile { l1: 1.0, l2: 10.0, memory: 100.0 },
+        )
+    }
+
+    #[test]
+    fn levels_and_costs() {
+        let mut h = tiny();
+        assert_eq!(h.access(0), HitLevel::Memory);
+        assert_eq!(h.access(0), HitLevel::L1);
+        assert_eq!(h.counts(), (1, 0, 1));
+        assert_eq!(h.total_time(), 101.0);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut h = tiny();
+        h.access(0); // memory
+        h.access(256); // conflicts with 0 in the 8-set L1, fits L2
+        assert_eq!(h.access(0), HitLevel::L2);
+    }
+
+    #[test]
+    fn memory_fraction() {
+        let mut h = tiny();
+        for i in 0..64u64 {
+            h.access(i * 32); // 2 KiB stream: mostly memory
+        }
+        assert!(h.memory_fraction() > 0.9);
+        h.reset();
+        assert_eq!(h.accesses(), 0);
+        assert_eq!(h.total_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger")]
+    fn l2_smaller_than_l1_panics() {
+        let _ = Hierarchy::new(
+            Cache::new(1024, 32, 1),
+            Cache::new(512, 32, 1),
+            LatencyProfile { l1: 1.0, l2: 2.0, memory: 3.0 },
+        );
+    }
+
+    #[test]
+    fn alpha_preset_is_plausible() {
+        let h = Hierarchy::alpha_21164_like();
+        assert_eq!(h.accesses(), 0);
+        let p = LatencyProfile::alpha_21164_like();
+        assert!(p.l1 < p.l2 && p.l2 < p.memory);
+    }
+}

@@ -1,0 +1,183 @@
+//! Boundary extraction: the surface triangles of a tetrahedral mesh.
+//!
+//! A face shared by two tets is interior; a face belonging to exactly one
+//! tet is on the boundary. The boundary statistics feed the O(n^{2/3})
+//! surface-area arguments the paper uses for partition quality, and the
+//! closed-surface check is a strong mesh-validity test.
+
+use crate::mesh::TetMesh;
+use std::collections::HashMap;
+
+/// The boundary (surface) of a tetrahedral mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boundary {
+    /// Boundary triangles as sorted node triples.
+    pub faces: Vec<[usize; 3]>,
+    /// Nodes appearing on at least one boundary face, sorted.
+    pub nodes: Vec<usize>,
+}
+
+impl Boundary {
+    /// Extracts the boundary of `mesh`.
+    pub fn extract(mesh: &TetMesh) -> Self {
+        let mut counts: HashMap<[usize; 3], usize> = HashMap::new();
+        for tet in mesh.elements() {
+            for f in tet_faces(tet) {
+                *counts.entry(f).or_insert(0) += 1;
+            }
+        }
+        let mut faces: Vec<[usize; 3]> = counts
+            .into_iter()
+            .filter_map(|(f, c)| (c == 1).then_some(f))
+            .collect();
+        faces.sort_unstable();
+        let mut nodes: Vec<usize> = faces.iter().flatten().copied().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        Boundary { faces, nodes }
+    }
+
+    /// Number of boundary triangles.
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of boundary nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total boundary surface area.
+    pub fn area(&self, mesh: &TetMesh) -> f64 {
+        self.faces
+            .iter()
+            .map(|f| {
+                let a = mesh.nodes()[f[0]];
+                let b = mesh.nodes()[f[1]];
+                let c = mesh.nodes()[f[2]];
+                (b - a).cross(c - a).norm() * 0.5
+            })
+            .sum()
+    }
+
+    /// True if every boundary edge is shared by exactly two boundary faces
+    /// — i.e. the surface is closed (watertight), as the boundary of a
+    /// solid tet mesh must be.
+    pub fn is_closed(&self) -> bool {
+        let mut edge_counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for f in &self.faces {
+            for (a, b) in [(f[0], f[1]), (f[0], f[2]), (f[1], f[2])] {
+                *edge_counts.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        edge_counts.values().all(|&c| c == 2)
+    }
+}
+
+/// The four faces of a tet, each as a sorted node triple.
+fn tet_faces(tet: &[usize; 4]) -> [[usize; 3]; 4] {
+    let sorted = |mut f: [usize; 3]| {
+        f.sort_unstable();
+        f
+    };
+    [
+        sorted([tet[1], tet[2], tet[3]]),
+        sorted([tet[0], tet[2], tet[3]]),
+        sorted([tet[0], tet[1], tet[3]]),
+        sorted([tet[0], tet[1], tet[2]]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_mesh, GeneratorOptions};
+    use crate::geometry::Aabb;
+    use crate::ground::UniformSizing;
+    use quake_sparse::dense::Vec3;
+
+    fn single_tet() -> TetMesh {
+        TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_tet_boundary_is_all_faces() {
+        let b = Boundary::extract(&single_tet());
+        assert_eq!(b.face_count(), 4);
+        assert_eq!(b.node_count(), 4);
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn two_tets_share_one_interior_face() {
+        let mesh = TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+        )
+        .unwrap();
+        let b = Boundary::extract(&mesh);
+        assert_eq!(b.face_count(), 6); // 8 faces − 2 copies of the shared one
+        assert!(b.is_closed());
+        assert_eq!(b.node_count(), 5);
+    }
+
+    #[test]
+    fn generated_mesh_boundary_is_closed_and_boxlike() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+        let mesh =
+            generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let b = Boundary::extract(&mesh);
+        assert!(b.face_count() > 0);
+        assert!(b.is_closed(), "the hull of a Delaunay mesh is watertight");
+        // Surface area should be within a factor of the bounding-box area
+        // (the hull is inset and faceted).
+        let box_area = 6.0 * 4.0 * 4.0;
+        let area = b.area(&mesh);
+        assert!(
+            area > 0.3 * box_area && area < 1.5 * box_area,
+            "area {area} vs box {box_area}"
+        );
+    }
+
+    #[test]
+    fn boundary_scaling_follows_two_thirds_law() {
+        // Boundary nodes should grow like n^(2/3): refine the sizing 2x and
+        // the surface node count should grow ≈ 4x while volume nodes grow 8x.
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(8.0));
+        let coarse =
+            generate_mesh(domain, &UniformSizing(2.0), GeneratorOptions::default()).unwrap();
+        let fine =
+            generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let bc = Boundary::extract(&coarse).node_count() as f64;
+        let bf = Boundary::extract(&fine).node_count() as f64;
+        let growth = bf / bc;
+        assert!(
+            (2.5..6.0).contains(&growth),
+            "surface node growth {growth} should be ≈ 4 (n^(2/3) law)"
+        );
+    }
+
+    #[test]
+    fn empty_mesh_boundary() {
+        let mesh = TetMesh::new(vec![], vec![]).unwrap();
+        let b = Boundary::extract(&mesh);
+        assert_eq!(b.face_count(), 0);
+        assert!(b.is_closed());
+        assert_eq!(b.area(&mesh), 0.0);
+    }
+}

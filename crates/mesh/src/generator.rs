@@ -1,0 +1,241 @@
+//! End-to-end mesh generation: ground model → graded samples → Delaunay →
+//! domain-clipped tetrahedral mesh.
+
+use crate::delaunay::{delaunay, DelaunayError};
+use crate::geometry::Aabb;
+use crate::ground::{BasinModel, SizingField, WavelengthSizing};
+use crate::mesh::TetMesh;
+use crate::sampling::{sample_graded, SamplingOptions};
+use quake_sparse::dense::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by mesh generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The sizing field produced too few sample points to mesh.
+    TooFewSamples(usize),
+    /// Tetrahedralization failed.
+    Delaunay(DelaunayError),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::TooFewSamples(n) => {
+                write!(f, "sizing field produced only {n} sample points")
+            }
+            GenerateError::Delaunay(e) => write!(f, "tetrahedralization failed: {e}"),
+        }
+    }
+}
+
+impl Error for GenerateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenerateError::Delaunay(e) => Some(e),
+            GenerateError::TooFewSamples(_) => None,
+        }
+    }
+}
+
+impl From<DelaunayError> for GenerateError {
+    fn from(e: DelaunayError) -> Self {
+        GenerateError::Delaunay(e)
+    }
+}
+
+/// Options for [`generate_mesh`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorOptions {
+    /// Seed for the jittered sampler (meshes are reproducible per seed).
+    pub seed: u64,
+    /// Sampler controls.
+    pub sampling: SamplingOptions,
+    /// Drop output tetrahedra whose radius-edge ratio exceeds this bound.
+    /// Sliver-ish hull elements are harmless for the architecture study but
+    /// pollute quality statistics. `f64::INFINITY` keeps everything.
+    pub max_radius_edge: f64,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            seed: 0x5f3759df,
+            sampling: SamplingOptions::default(),
+            max_radius_edge: 8.0,
+        }
+    }
+}
+
+/// Generates a graded tetrahedral mesh of `domain` with local element size
+/// given by `sizing`.
+///
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewSamples`] if the sizing field yields fewer
+/// than 4 points, or [`GenerateError::Delaunay`] if tetrahedralization fails.
+///
+/// # Examples
+///
+/// ```
+/// use quake_mesh::generator::{generate_mesh, GeneratorOptions};
+/// use quake_mesh::geometry::Aabb;
+/// use quake_mesh::ground::UniformSizing;
+/// use quake_sparse::dense::Vec3;
+/// let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+/// let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default())?;
+/// assert!(mesh.node_count() >= 64);
+/// # Ok::<(), quake_mesh::generator::GenerateError>(())
+/// ```
+pub fn generate_mesh<S: SizingField>(
+    domain: Aabb,
+    sizing: &S,
+    options: GeneratorOptions,
+) -> Result<TetMesh, GenerateError> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let points = sample_graded(domain, sizing, options.sampling, &mut rng);
+    if points.len() < 4 {
+        return Err(GenerateError::TooFewSamples(points.len()));
+    }
+    let tri = delaunay(&points)?;
+    let mesh = TetMesh::new(tri.points, tri.tets)
+        .expect("Delaunay output indices are valid by construction");
+    if options.max_radius_edge.is_finite() {
+        let (filtered, _) =
+            mesh.filter_elements(|_, t| t.radius_edge_ratio() <= options.max_radius_edge);
+        Ok(filtered)
+    } else {
+        Ok(mesh)
+    }
+}
+
+/// Generates the synthetic analogue of one Quake application mesh: the
+/// San-Fernando-like basin resolved for waves of `period` seconds.
+///
+/// `scale` divides the domain linearly (scale 4 → a 12.5 km × 12.5 km × 2.5
+/// km corner of the basin), letting tests and quick runs use geometrically
+/// similar but smaller meshes. Use `scale = 1.0` for paper-sized meshes.
+///
+/// # Errors
+///
+/// Propagates [`GenerateError`] from [`generate_mesh`].
+pub fn generate_basin_mesh(
+    ground: &BasinModel,
+    period: f64,
+    scale: f64,
+    options: GeneratorOptions,
+) -> Result<TetMesh, GenerateError> {
+    let full = ground.domain();
+    let domain = if scale == 1.0 {
+        full
+    } else {
+        // A sub-box around the basin center so the graded region is kept.
+        let c = Vec3::new(ground.basin_cx, ground.basin_cy, 0.0);
+        let ext = full.extent() * (0.5 / scale);
+        let min = Vec3::new(
+            (c.x - ext.x).max(full.min.x),
+            (c.y - ext.y).max(full.min.y),
+            full.min.z.max(-2.0 * ext.z),
+        );
+        let max = Vec3::new(
+            (c.x + ext.x).min(full.max.x),
+            (c.y + ext.y).min(full.max.y),
+            0.0,
+        );
+        Aabb::new(min, max)
+    };
+    let sizing = WavelengthSizing::new(ground, period);
+    generate_mesh(domain, &sizing, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::UniformSizing;
+
+    #[test]
+    fn uniform_cube_mesh() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        assert!(mesh.node_count() >= 60, "nodes = {}", mesh.node_count());
+        assert!(mesh.element_count() > mesh.node_count(), "tets outnumber nodes in 3D");
+        // Mesh covers a solid fraction of the box volume (the convex hull of
+        // jittered cell centers is inset ≈ half a cell from each wall, which
+        // at 4 cells per side costs a significant shell).
+        assert!(
+            mesh.total_volume() > 0.45 * domain.volume(),
+            "volume = {} of {}",
+            mesh.total_volume(),
+            domain.volume()
+        );
+    }
+
+    #[test]
+    fn too_small_domain_errors() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let err = generate_mesh(domain, &UniformSizing(10.0), GeneratorOptions::default());
+        assert!(matches!(err, Err(GenerateError::TooFewSamples(1))));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(3.0));
+        let a = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let b = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        assert_eq!(a, b);
+        let other = GeneratorOptions { seed: 99, ..GeneratorOptions::default() };
+        let c = generate_mesh(domain, &UniformSizing(1.0), other).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quality_filter_drops_slivers() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+        let opts =
+            GeneratorOptions { max_radius_edge: f64::INFINITY, ..GeneratorOptions::default() };
+        let unfiltered = generate_mesh(domain, &UniformSizing(1.0), opts).unwrap();
+        let filtered =
+            generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        assert!(filtered.element_count() <= unfiltered.element_count());
+        assert!(filtered.quality().max_radius_edge <= 8.0);
+    }
+
+    #[test]
+    fn basin_mesh_small_scale() {
+        let ground = BasinModel::san_fernando_like();
+        let mesh =
+            generate_basin_mesh(&ground, 10.0, 8.0, GeneratorOptions::default()).unwrap();
+        assert!(mesh.node_count() > 50, "nodes = {}", mesh.node_count());
+        // Basin grading: nodes are denser near the surface basin than at depth.
+        let bbox = mesh.bounding_box().unwrap();
+        let mid_z = (bbox.min.z + bbox.max.z) * 0.5;
+        let shallow = mesh.nodes().iter().filter(|p| p.z > mid_z).count();
+        let deep = mesh.node_count() - shallow;
+        assert!(shallow > deep, "shallow = {shallow}, deep = {deep}");
+    }
+
+    #[test]
+    fn period_halving_grows_mesh() {
+        let ground = BasinModel::san_fernando_like();
+        let coarse =
+            generate_basin_mesh(&ground, 20.0, 8.0, GeneratorOptions::default()).unwrap();
+        let fine = generate_basin_mesh(&ground, 10.0, 8.0, GeneratorOptions::default()).unwrap();
+        let growth = fine.node_count() as f64 / coarse.node_count() as f64;
+        assert!(
+            (3.0..16.0).contains(&growth),
+            "period halving should grow nodes ≈ 8x, got {growth:.2} ({} → {})",
+            coarse.node_count(),
+            fine.node_count()
+        );
+    }
+
+    #[test]
+    fn generate_error_display() {
+        assert!(GenerateError::TooFewSamples(2).to_string().contains("2 sample"));
+        let e = GenerateError::from(DelaunayError::TooFewPoints(1));
+        assert!(e.to_string().contains("tetrahedralization"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Geometric primitives and predicates for tetrahedral meshing.
+
+use quake_sparse::dense::{Mat3, Vec3};
+
+/// An axis-aligned bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use quake_mesh::geometry::Aabb;
+/// use quake_sparse::dense::Vec3;
+/// let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0));
+/// assert!(b.contains(Vec3::new(1.0, 1.0, 1.0)));
+/// assert_eq!(b.center(), Vec3::new(1.0, 1.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from its two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `min` component exceeds the matching `max` component.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "Aabb min must not exceed max"
+        );
+        Aabb { min, max }
+    }
+
+    /// The smallest box containing all `points`, or `None` if empty.
+    pub fn from_points(points: &[Vec3]) -> Option<Self> {
+        let first = *points.first()?;
+        let (min, max) = points
+            .iter()
+            .fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        Some(Aabb { min, max })
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Extent (max − min).
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Length of the longest side.
+    pub fn longest_side(&self) -> f64 {
+        let e = self.extent();
+        e.x.max(e.y).max(e.z)
+    }
+
+    /// Volume.
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// The box expanded by `margin` on every side.
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+
+    /// The `i`-th of the eight octants obtained by splitting at the center
+    /// (bit 0 → x-high, bit 1 → y-high, bit 2 → z-high).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn octant(&self, i: usize) -> Aabb {
+        assert!(i < 8, "octant index {i} out of range");
+        let c = self.center();
+        let min = Vec3::new(
+            if i & 1 == 0 { self.min.x } else { c.x },
+            if i & 2 == 0 { self.min.y } else { c.y },
+            if i & 4 == 0 { self.min.z } else { c.z },
+        );
+        let max = Vec3::new(
+            if i & 1 == 0 { c.x } else { self.max.x },
+            if i & 2 == 0 { c.y } else { self.max.y },
+            if i & 4 == 0 { c.z } else { self.max.z },
+        );
+        Aabb { min, max }
+    }
+}
+
+/// Orientation predicate: the signed volume (×6) of tetrahedron `(a, b, c, d)`.
+///
+/// Positive when `d` lies on the side of plane `(a, b, c)` such that
+/// `(b−a) × (c−a)` points toward `d` (right-handed, positively oriented).
+#[inline]
+pub fn orient3d(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    let ab = b - a;
+    let ac = c - a;
+    let ad = d - a;
+    ab.dot(ac.cross(ad))
+}
+
+/// In-sphere predicate: positive if `e` lies strictly inside the circumsphere
+/// of the positively oriented tetrahedron `(a, b, c, d)`.
+///
+/// Computed as the sign of the 4×4 lifted determinant. This is a plain
+/// floating-point filter — callers are expected to jitter degenerate inputs
+/// (the synthetic mesh generator always does).
+pub fn insphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> f64 {
+    let ae = a - e;
+    let be = b - e;
+    let ce = c - e;
+    let de = d - e;
+    let a2 = ae.norm_squared();
+    let b2 = be.norm_squared();
+    let c2 = ce.norm_squared();
+    let d2 = de.norm_squared();
+    // Expand the 4x4 lifted determinant along the lifted column; the sign is
+    // chosen so that, for orient3d(a, b, c, d) > 0, a strictly interior `e`
+    // yields a positive value.
+    let m = |p: Vec3, q: Vec3, r: Vec3| p.dot(q.cross(r));
+    a2 * m(be, ce, de) - b2 * m(ae, ce, de) + c2 * m(ae, be, de) - d2 * m(ae, be, ce)
+}
+
+/// A tetrahedron defined by four vertex positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tetra {
+    /// The four vertices.
+    pub v: [Vec3; 4],
+}
+
+impl Tetra {
+    /// Creates a tetrahedron from four vertices.
+    pub fn new(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Self {
+        Tetra { v: [a, b, c, d] }
+    }
+
+    /// Signed volume (positive for positively oriented vertices).
+    pub fn signed_volume(&self) -> f64 {
+        orient3d(self.v[0], self.v[1], self.v[2], self.v[3]) / 6.0
+    }
+
+    /// Absolute volume.
+    pub fn volume(&self) -> f64 {
+        self.signed_volume().abs()
+    }
+
+    /// Circumcenter and circumradius, or `None` for a degenerate
+    /// (near-flat) tetrahedron.
+    pub fn circumsphere(&self) -> Option<(Vec3, f64)> {
+        let [a, b, c, d] = self.v;
+        let ab = b - a;
+        let ac = c - a;
+        let ad = d - a;
+        let m = Mat3::new([
+            [ab.x, ab.y, ab.z],
+            [ac.x, ac.y, ac.z],
+            [ad.x, ad.y, ad.z],
+        ]);
+        let rhs = Vec3::new(
+            0.5 * ab.norm_squared(),
+            0.5 * ac.norm_squared(),
+            0.5 * ad.norm_squared(),
+        );
+        let inv = m.inverse()?;
+        let offset = inv.mul_vec(rhs);
+        let center = a + offset;
+        Some((center, offset.norm()))
+    }
+
+    /// The shortest edge length.
+    pub fn shortest_edge(&self) -> f64 {
+        self.edge_lengths().into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The longest edge length.
+    pub fn longest_edge(&self) -> f64 {
+        self.edge_lengths().into_iter().fold(0.0, f64::max)
+    }
+
+    /// The six edge lengths.
+    pub fn edge_lengths(&self) -> [f64; 6] {
+        let v = &self.v;
+        [
+            (v[1] - v[0]).norm(),
+            (v[2] - v[0]).norm(),
+            (v[3] - v[0]).norm(),
+            (v[2] - v[1]).norm(),
+            (v[3] - v[1]).norm(),
+            (v[3] - v[2]).norm(),
+        ]
+    }
+
+    /// Radius-edge ratio (circumradius / shortest edge), the quality measure
+    /// of Delaunay refinement; ≈ 0.612 for the regular tetrahedron, larger
+    /// for worse elements. Returns `f64::INFINITY` for degenerate elements.
+    pub fn radius_edge_ratio(&self) -> f64 {
+        match self.circumsphere() {
+            Some((_, r)) => r / self.shortest_edge(),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Barycenter.
+    pub fn centroid(&self) -> Vec3 {
+        (self.v[0] + self.v[1] + self.v[2] + self.v[3]) * 0.25
+    }
+
+    /// True if point `p` lies inside or on the boundary: for every face,
+    /// `p` is on the same side as the opposite vertex.
+    pub fn contains(&self, p: Vec3) -> bool {
+        const FACES: [([usize; 3], usize); 4] =
+            [([1, 2, 3], 0), ([0, 2, 3], 1), ([0, 1, 3], 2), ([0, 1, 2], 3)];
+        FACES.iter().all(|&(f, opp)| {
+            let s_p = orient3d(self.v[f[0]], self.v[f[1]], self.v[f[2]], p);
+            let s_o = orient3d(self.v[f[0]], self.v[f[1]], self.v[f[2]], self.v[opp]);
+            s_p * s_o >= 0.0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tet() -> Tetra {
+        Tetra::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn aabb_basics() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.extent(), Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.longest_side(), 6.0);
+        assert_eq!(b.volume(), 48.0);
+        assert!(b.contains(Vec3::new(2.0, 0.0, 3.0)));
+        assert!(!b.contains(Vec3::new(-0.1, 0.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn aabb_invalid_panics() {
+        let _ = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn aabb_from_points() {
+        assert!(Aabb::from_points(&[]).is_none());
+        let b = Aabb::from_points(&[
+            Vec3::new(1.0, 5.0, -1.0),
+            Vec3::new(-2.0, 0.0, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min, Vec3::new(-2.0, 0.0, -1.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn aabb_octants_partition_volume() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0));
+        let total: f64 = (0..8).map(|i| b.octant(i).volume()).sum();
+        assert!((total - b.volume()).abs() < 1e-12);
+        // Octant 7 is the all-high corner.
+        assert_eq!(b.octant(7).min, Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(b.octant(0).max, Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn aabb_inflate() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0)).inflate(0.5);
+        assert_eq!(b.min, Vec3::splat(-0.5));
+        assert_eq!(b.max, Vec3::splat(1.5));
+    }
+
+    #[test]
+    fn orient3d_signs() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        let c = Vec3::new(0.0, 1.0, 0.0);
+        assert!(orient3d(a, b, c, Vec3::new(0.0, 0.0, 1.0)) > 0.0);
+        assert!(orient3d(a, b, c, Vec3::new(0.0, 0.0, -1.0)) < 0.0);
+        assert_eq!(orient3d(a, b, c, Vec3::new(0.3, 0.3, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn insphere_signs() {
+        let t = unit_tet();
+        assert!(t.signed_volume() > 0.0, "unit tet is positively oriented");
+        let [a, b, c, d] = t.v;
+        // Centroid is inside the circumsphere.
+        assert!(insphere(a, b, c, d, t.centroid()) > 0.0);
+        // A faraway point is outside.
+        assert!(insphere(a, b, c, d, Vec3::splat(10.0)) < 0.0);
+    }
+
+    #[test]
+    fn insphere_boundary_is_zero() {
+        let t = unit_tet();
+        let [a, b, c, d] = t.v;
+        // Each vertex lies exactly on the circumsphere.
+        assert_eq!(insphere(a, b, c, d, a), 0.0);
+    }
+
+    #[test]
+    fn tet_volume() {
+        assert!((unit_tet().volume() - 1.0 / 6.0).abs() < 1e-15);
+        let mut t = unit_tet();
+        t.v.swap(0, 1);
+        assert!(t.signed_volume() < 0.0);
+        assert!((t.volume() - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn circumsphere_of_unit_tet() {
+        let (c, r) = unit_tet().circumsphere().unwrap();
+        // All four vertices equidistant from the center.
+        for v in unit_tet().v {
+            assert!(((v - c).norm() - r).abs() < 1e-12);
+        }
+        assert!((c - Vec3::splat(0.5)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn circumsphere_degenerate_is_none() {
+        let t = Tetra::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        );
+        assert!(t.circumsphere().is_none());
+    }
+
+    #[test]
+    fn edge_lengths_and_quality() {
+        let t = unit_tet();
+        let mut e = t.edge_lengths();
+        e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((e[0] - 1.0).abs() < 1e-15);
+        assert!((e[5] - 2.0_f64.sqrt()).abs() < 1e-15);
+        assert_eq!(t.shortest_edge(), 1.0);
+        assert!((t.longest_edge() - 2.0_f64.sqrt()).abs() < 1e-15);
+        // Radius-edge of the corner tet: R = sqrt(3)/2, min edge 1.
+        assert!((t.radius_edge_ratio() - 3.0_f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_tet_radius_edge() {
+        // Regular tetrahedron inscribed in the unit cube.
+        let t = Tetra::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 1.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        let expect = (3.0_f64 / 8.0).sqrt(); // ≈ 0.6124
+        assert!((t.radius_edge_ratio() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tet_contains() {
+        let t = unit_tet();
+        assert!(t.contains(t.centroid()));
+        assert!(t.contains(Vec3::ZERO));
+        assert!(!t.contains(Vec3::splat(1.0)));
+        // Orientation-insensitive.
+        let mut flipped = t;
+        flipped.v.swap(0, 1);
+        assert!(flipped.contains(t.centroid()));
+    }
+}

@@ -1,0 +1,305 @@
+//! Synthetic ground model: a soft alluvial basin embedded in hard rock.
+//!
+//! The San Fernando models are not distributable today, so we reproduce the
+//! *property that drives the architecture study*: element size must match
+//! the local seismic wavelength, which is short in soft basin sediments and
+//! long in rock, producing a strongly graded unstructured mesh whose node
+//! count grows ≈ 8× when the resolved wave period is halved (paper Fig. 2).
+
+use crate::geometry::Aabb;
+use quake_sparse::dense::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Elastic material properties at a point of the ground.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Shear (S) wave velocity in m/s.
+    pub vs: f64,
+    /// Compressional (P) wave velocity in m/s.
+    pub vp: f64,
+    /// Density in kg/m³.
+    pub rho: f64,
+}
+
+impl Material {
+    /// Lamé shear modulus `µ = ρ·vs²` (Pa).
+    pub fn mu(&self) -> f64 {
+        self.rho * self.vs * self.vs
+    }
+
+    /// Lamé first parameter `λ = ρ·(vp² − 2·vs²)` (Pa).
+    pub fn lambda(&self) -> f64 {
+        self.rho * (self.vp * self.vp - 2.0 * self.vs * self.vs)
+    }
+}
+
+/// A sizing field: the target element edge length at each point.
+///
+/// Implemented by [`BasinModel`] (wavelength-driven) and by test doubles.
+pub trait SizingField {
+    /// Target element size (m) at `p`.
+    fn size_at(&self, p: Vec3) -> f64;
+}
+
+/// Uniform sizing field (for tests and regular baselines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformSizing(pub f64);
+
+impl SizingField for UniformSizing {
+    fn size_at(&self, _p: Vec3) -> f64 {
+        self.0
+    }
+}
+
+/// A layered alluvial-basin ground model in a box domain.
+///
+/// Geometry follows the paper's description of the San Fernando Valley:
+/// roughly 50 km × 50 km × 10 km of earth, with an ellipsoidal depression of
+/// soft sediments (low shear-wave velocity) over hard rock. Coordinates are
+/// meters; `z = 0` is the free surface and `z = -depth` the domain bottom.
+///
+/// # Examples
+///
+/// ```
+/// use quake_mesh::ground::{BasinModel, SizingField};
+/// use quake_sparse::dense::Vec3;
+/// let basin = BasinModel::san_fernando_like();
+/// let soft = basin.material_at(basin.basin_center_surface());
+/// let rock = basin.material_at(Vec3::new(1000.0, 1000.0, -9000.0));
+/// assert!(soft.vs < rock.vs);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasinModel {
+    /// Domain extent in x (m).
+    pub size_x: f64,
+    /// Domain extent in y (m).
+    pub size_y: f64,
+    /// Domain depth in z (m); the domain is `[−depth, 0]` in z.
+    pub depth: f64,
+    /// Basin center in x (m).
+    pub basin_cx: f64,
+    /// Basin center in y (m).
+    pub basin_cy: f64,
+    /// Basin semi-axis in x (m).
+    pub basin_rx: f64,
+    /// Basin semi-axis in y (m).
+    pub basin_ry: f64,
+    /// Maximum basin (sediment) depth (m).
+    pub basin_depth: f64,
+    /// Shear-wave velocity of the softest surface sediment (m/s).
+    pub vs_sediment_surface: f64,
+    /// Shear-wave velocity gradient of sediments with depth (1/s).
+    pub vs_sediment_gradient: f64,
+    /// Shear-wave velocity of rock (m/s).
+    pub vs_rock: f64,
+    /// Density of sediments (kg/m³).
+    pub rho_sediment: f64,
+    /// Density of rock (kg/m³).
+    pub rho_rock: f64,
+}
+
+impl BasinModel {
+    /// The default San-Fernando-like model used throughout the reproduction:
+    /// a 50 km × 50 km × 10 km box with an off-center elliptical soft basin.
+    pub fn san_fernando_like() -> Self {
+        BasinModel {
+            size_x: 50_000.0,
+            size_y: 50_000.0,
+            depth: 10_000.0,
+            basin_cx: 27_000.0,
+            basin_cy: 22_000.0,
+            basin_rx: 19_000.0,
+            basin_ry: 13_000.0,
+            basin_depth: 3_500.0,
+            vs_sediment_surface: 400.0,
+            vs_sediment_gradient: 1.1,
+            vs_rock: 3_000.0,
+            rho_sediment: 2_000.0,
+            rho_rock: 2_600.0,
+        }
+    }
+
+    /// The domain as an axis-aligned box, `z ∈ [−depth, 0]`.
+    pub fn domain(&self) -> Aabb {
+        Aabb::new(
+            Vec3::new(0.0, 0.0, -self.depth),
+            Vec3::new(self.size_x, self.size_y, 0.0),
+        )
+    }
+
+    /// The surface point above the basin center (handy for sources and
+    /// receivers in examples).
+    pub fn basin_center_surface(&self) -> Vec3 {
+        Vec3::new(self.basin_cx, self.basin_cy, 0.0)
+    }
+
+    /// Depth of the sediment column at horizontal position `(x, y)`:
+    /// an elliptic paraboloid, zero outside the basin ellipse.
+    pub fn sediment_depth(&self, x: f64, y: f64) -> f64 {
+        let ex = (x - self.basin_cx) / self.basin_rx;
+        let ey = (y - self.basin_cy) / self.basin_ry;
+        let r2 = ex * ex + ey * ey;
+        if r2 >= 1.0 {
+            0.0
+        } else {
+            self.basin_depth * (1.0 - r2)
+        }
+    }
+
+    /// True if the point lies inside the sediment basin.
+    pub fn in_basin(&self, p: Vec3) -> bool {
+        -p.z < self.sediment_depth(p.x, p.y) && p.z <= 0.0
+    }
+
+    /// Material at point `p`. Sediment velocity grows linearly with depth and
+    /// is capped at the rock velocity; `vp = 2·vs` in sediments (typical wet
+    /// alluvium is higher, but vp does not drive element size) and
+    /// `vp = √3·vs` in rock (a Poisson solid).
+    pub fn material_at(&self, p: Vec3) -> Material {
+        if self.in_basin(p) {
+            let vs = (self.vs_sediment_surface + self.vs_sediment_gradient * (-p.z))
+                .min(self.vs_rock);
+            Material { vs, vp: 2.0 * vs, rho: self.rho_sediment }
+        } else {
+            let vs = self.vs_rock;
+            Material { vs, vp: 3f64.sqrt() * vs, rho: self.rho_rock }
+        }
+    }
+}
+
+/// A wavelength-driven sizing field for a target wave period.
+///
+/// The element size at `p` is `vs(p) · period / points_per_wavelength`,
+/// clamped to `[min_size, max_size]`. Halving `period` halves the size
+/// everywhere not clamped, multiplying node count by ≈ 8 — the paper's
+/// scaling rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthSizing<'a> {
+    /// The ground model supplying `vs(p)`.
+    pub ground: &'a BasinModel,
+    /// Resolved wave period (s): 10, 5, 2, 1 for sf10…sf1.
+    pub period: f64,
+    /// Mesh points per shortest wavelength (the paper's meshes used ≈ 10).
+    pub points_per_wavelength: f64,
+    /// Lower clamp on element size (m).
+    pub min_size: f64,
+    /// Upper clamp on element size (m).
+    pub max_size: f64,
+}
+
+impl<'a> WavelengthSizing<'a> {
+    /// A sizing field for `ground` resolving waves of `period` seconds,
+    /// with the defaults used by the sfN family (10 points per wavelength,
+    /// sizes clamped to `[40 m, depth/2]`).
+    pub fn new(ground: &'a BasinModel, period: f64) -> Self {
+        WavelengthSizing {
+            ground,
+            period,
+            points_per_wavelength: 10.0,
+            min_size: 40.0,
+            max_size: ground.depth / 2.0,
+        }
+    }
+}
+
+impl SizingField for WavelengthSizing<'_> {
+    fn size_at(&self, p: Vec3) -> f64 {
+        let vs = self.ground.material_at(p).vs;
+        (vs * self.period / self.points_per_wavelength).clamp(self.min_size, self.max_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_lame_parameters() {
+        let m = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+        assert_eq!(m.mu(), 2e9);
+        assert_eq!(m.lambda(), 2000.0 * (4e6 - 2e6));
+    }
+
+    #[test]
+    fn basin_is_soft_rock_is_hard() {
+        let g = BasinModel::san_fernando_like();
+        let soft = g.material_at(g.basin_center_surface());
+        let rock = g.material_at(Vec3::new(500.0, 500.0, -500.0));
+        assert!(soft.vs < 500.0);
+        assert_eq!(rock.vs, g.vs_rock);
+        assert!(soft.rho < rock.rho);
+    }
+
+    #[test]
+    fn sediment_depth_profile() {
+        let g = BasinModel::san_fernando_like();
+        assert_eq!(g.sediment_depth(g.basin_cx, g.basin_cy), g.basin_depth);
+        // On the basin rim the depth vanishes.
+        assert_eq!(g.sediment_depth(g.basin_cx + g.basin_rx, g.basin_cy), 0.0);
+        // Far corner: no sediment.
+        assert_eq!(g.sediment_depth(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sediment_velocity_grows_with_depth() {
+        let g = BasinModel::san_fernando_like();
+        let shallow = g.material_at(Vec3::new(g.basin_cx, g.basin_cy, -10.0));
+        let deeper = g.material_at(Vec3::new(g.basin_cx, g.basin_cy, -1000.0));
+        assert!(shallow.vs < deeper.vs);
+        assert!(deeper.vs < g.vs_rock);
+    }
+
+    #[test]
+    fn below_basin_is_rock() {
+        let g = BasinModel::san_fernando_like();
+        let deep = g.material_at(Vec3::new(g.basin_cx, g.basin_cy, -(g.basin_depth + 1.0)));
+        assert_eq!(deep.vs, g.vs_rock);
+    }
+
+    #[test]
+    fn domain_extent() {
+        let g = BasinModel::san_fernando_like();
+        let d = g.domain();
+        assert_eq!(d.extent().x, 50_000.0);
+        assert_eq!(d.extent().z, 10_000.0);
+        assert!(d.contains(g.basin_center_surface()));
+    }
+
+    #[test]
+    fn wavelength_sizing_scales_with_period() {
+        let g = BasinModel::san_fernando_like();
+        let p = Vec3::new(g.basin_cx, g.basin_cy, -100.0);
+        let s10 = WavelengthSizing::new(&g, 10.0).size_at(p);
+        let s5 = WavelengthSizing::new(&g, 5.0).size_at(p);
+        // Halving the period halves the size (no clamps active here).
+        assert!((s10 / s5 - 2.0).abs() < 1e-12, "{s10} vs {s5}");
+    }
+
+    #[test]
+    fn sizing_respects_clamps() {
+        let g = BasinModel::san_fernando_like();
+        let mut s = WavelengthSizing::new(&g, 10.0);
+        s.min_size = 1_000.0;
+        s.max_size = 2_000.0;
+        let soft = s.size_at(g.basin_center_surface());
+        let hard = s.size_at(Vec3::new(100.0, 100.0, -9_000.0));
+        assert_eq!(soft, 1_000.0);
+        assert_eq!(hard, 2_000.0);
+    }
+
+    #[test]
+    fn rock_size_exceeds_sediment_size() {
+        let g = BasinModel::san_fernando_like();
+        let s = WavelengthSizing::new(&g, 2.0);
+        let soft = s.size_at(g.basin_center_surface());
+        let hard = s.size_at(Vec3::new(1_000.0, 1_000.0, -8_000.0));
+        assert!(soft < hard);
+    }
+
+    #[test]
+    fn uniform_sizing_is_uniform() {
+        let u = UniformSizing(123.0);
+        assert_eq!(u.size_at(Vec3::ZERO), 123.0);
+        assert_eq!(u.size_at(Vec3::splat(1e6)), 123.0);
+    }
+}

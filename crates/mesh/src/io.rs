@@ -1,0 +1,307 @@
+//! Mesh serialization: a human-readable text format and a compact binary
+//! format (framed with the `bytes` crate).
+//!
+//! The text format mirrors the node/element files distributed with the
+//! original Quake mesh suite:
+//!
+//! ```text
+//! quakemesh 1
+//! nodes 4
+//! 0 0 0
+//! 1 0 0
+//! 0 1 0
+//! 0 0 1
+//! elements 1
+//! 0 1 2 3
+//! ```
+
+use crate::mesh::TetMesh;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use quake_sparse::dense::Vec3;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+const TEXT_MAGIC: &str = "quakemesh";
+const BIN_MAGIC: u32 = 0x514d_4531; // "QME1"
+
+/// Errors produced by mesh (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a recognized mesh file.
+    BadFormat(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::BadFormat(msg) => write!(f, "bad mesh file: {msg}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::BadFormat(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes `mesh` in the text format.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failure. A `&mut` reference may be
+/// passed as the writer.
+pub fn write_text<W: Write>(mesh: &TetMesh, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "{TEXT_MAGIC} 1")?;
+    writeln!(w, "nodes {}", mesh.node_count())?;
+    for p in mesh.nodes() {
+        writeln!(w, "{} {} {}", p.x, p.y, p.z)?;
+    }
+    writeln!(w, "elements {}", mesh.element_count())?;
+    for e in mesh.elements() {
+        writeln!(w, "{} {} {} {}", e[0], e[1], e[2], e[3])?;
+    }
+    Ok(())
+}
+
+/// Reads a mesh from the text format.
+///
+/// # Errors
+///
+/// Returns [`IoError::BadFormat`] on malformed content or [`IoError::Io`] on
+/// read failure. A `&mut` reference may be passed as the reader.
+pub fn read_text<R: BufRead>(r: R) -> Result<TetMesh, IoError> {
+    let mut lines = r.lines();
+    let mut next_line = || -> Result<String, IoError> {
+        loop {
+            match lines.next() {
+                None => return Err(IoError::BadFormat("unexpected end of file".into())),
+                Some(line) => {
+                    let line = line?;
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                        return Ok(trimmed.to_string());
+                    }
+                }
+            }
+        }
+    };
+    let header = next_line()?;
+    if header.split_whitespace().next() != Some(TEXT_MAGIC) {
+        return Err(IoError::BadFormat(format!("missing '{TEXT_MAGIC}' header")));
+    }
+    let parse_count = |line: &str, key: &str| -> Result<usize, IoError> {
+        let mut it = line.split_whitespace();
+        if it.next() != Some(key) {
+            return Err(IoError::BadFormat(format!("expected '{key} <count>', got '{line}'")));
+        }
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| IoError::BadFormat(format!("bad count in '{line}'")))
+    };
+    let n = parse_count(&next_line()?, "nodes")?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = next_line()?;
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .map(|v| v.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| IoError::BadFormat(format!("bad node line '{line}'")))?;
+        if vals.len() != 3 {
+            return Err(IoError::BadFormat(format!("node line needs 3 values: '{line}'")));
+        }
+        nodes.push(Vec3::new(vals[0], vals[1], vals[2]));
+    }
+    let m = parse_count(&next_line()?, "elements")?;
+    let mut elements = Vec::with_capacity(m);
+    for _ in 0..m {
+        let line = next_line()?;
+        let vals: Vec<usize> = line
+            .split_whitespace()
+            .map(|v| v.parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| IoError::BadFormat(format!("bad element line '{line}'")))?;
+        if vals.len() != 4 {
+            return Err(IoError::BadFormat(format!("element line needs 4 values: '{line}'")));
+        }
+        elements.push([vals[0], vals[1], vals[2], vals[3]]);
+    }
+    TetMesh::new(nodes, elements).map_err(|e| IoError::BadFormat(e.to_string()))
+}
+
+/// Encodes `mesh` into the compact binary format.
+pub fn to_bytes(mesh: &TetMesh) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + mesh.node_count() * 24 + mesh.element_count() * 32);
+    buf.put_u32_le(BIN_MAGIC);
+    buf.put_u64_le(mesh.node_count() as u64);
+    buf.put_u64_le(mesh.element_count() as u64);
+    for p in mesh.nodes() {
+        buf.put_f64_le(p.x);
+        buf.put_f64_le(p.y);
+        buf.put_f64_le(p.z);
+    }
+    for e in mesh.elements() {
+        for &v in e {
+            buf.put_u64_le(v as u64);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a mesh from the binary format.
+///
+/// # Errors
+///
+/// Returns [`IoError::BadFormat`] if the magic, lengths, or connectivity are
+/// invalid.
+pub fn from_bytes(mut data: Bytes) -> Result<TetMesh, IoError> {
+    if data.remaining() < 20 {
+        return Err(IoError::BadFormat("truncated header".into()));
+    }
+    if data.get_u32_le() != BIN_MAGIC {
+        return Err(IoError::BadFormat("bad magic".into()));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if data.remaining() < n * 24 {
+        return Err(IoError::BadFormat("truncated node block".into()));
+    }
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = data.get_f64_le();
+        let y = data.get_f64_le();
+        let z = data.get_f64_le();
+        nodes.push(Vec3::new(x, y, z));
+    }
+    if data.remaining() < m * 32 {
+        return Err(IoError::BadFormat("truncated element block".into()));
+    }
+    let mut elements = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut e = [0usize; 4];
+        for v in e.iter_mut() {
+            *v = data.get_u64_le() as usize;
+        }
+        elements.push(e);
+    }
+    TetMesh::new(nodes, elements).map_err(|e| IoError::BadFormat(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample() -> TetMesh {
+        TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mesh = sample();
+        let mut buf = Vec::new();
+        write_text(&mesh, &mut buf).unwrap();
+        let back = read_text(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, mesh);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let text = "# a comment\nquakemesh 1\n\nnodes 4\n0 0 0\n1 0 0\n0 1 0\n0 0 1\n# body\nelements 1\n0 1 2 3\n";
+        let mesh = read_text(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(mesh.node_count(), 4);
+        assert_eq!(mesh.element_count(), 1);
+    }
+
+    #[test]
+    fn text_bad_magic_rejected() {
+        let text = "notamesh 1\nnodes 0\nelements 0\n";
+        assert!(matches!(
+            read_text(BufReader::new(text.as_bytes())),
+            Err(IoError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn text_truncated_rejected() {
+        let text = "quakemesh 1\nnodes 2\n0 0 0\n";
+        assert!(read_text(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn text_bad_counts_rejected() {
+        let text = "quakemesh 1\nnodes x\n";
+        assert!(read_text(BufReader::new(text.as_bytes())).is_err());
+        let text = "quakemesh 1\nnodes 1\n0 0\nelements 0\n";
+        assert!(read_text(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mesh = sample();
+        let bytes = to_bytes(&mesh);
+        let back = from_bytes(bytes).unwrap();
+        assert_eq!(back, mesh);
+    }
+
+    #[test]
+    fn binary_bad_magic() {
+        let mut raw = to_bytes(&sample()).to_vec();
+        raw[0] ^= 0xff;
+        assert!(from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn binary_truncated() {
+        let raw = to_bytes(&sample());
+        let cut = raw.slice(0..raw.len() - 8);
+        assert!(from_bytes(cut).is_err());
+        assert!(from_bytes(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn binary_invalid_connectivity_rejected() {
+        // Hand-build a file whose element references node 9 of 4.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(super::BIN_MAGIC);
+        buf.put_u64_le(4);
+        buf.put_u64_le(1);
+        for _ in 0..12 {
+            buf.put_f64_le(0.0);
+        }
+        for v in [0u64, 1, 2, 9] {
+            buf.put_u64_le(v);
+        }
+        assert!(from_bytes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoError::BadFormat("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

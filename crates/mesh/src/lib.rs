@@ -1,0 +1,41 @@
+//! Unstructured tetrahedral-mesh substrate for the Quake reproduction.
+//!
+//! The original San Fernando meshes are not obtainable today, so this crate
+//! rebuilds the *generator*: a layered alluvial-basin ground model
+//! ([`ground::BasinModel`]), a wavelength-driven sizing field, a graded
+//! octree sampler ([`sampling`]), and a from-scratch incremental Delaunay
+//! tetrahedralizer ([`delaunay`]). The result is a family of meshes with the
+//! same architectural signature as the paper's sf10…sf1 family: strongly
+//! graded, unstructured, 3-D, with node count growing ≈ 8× per halving of
+//! the resolved wave period.
+//!
+//! # Examples
+//!
+//! ```
+//! use quake_mesh::generator::{generate_basin_mesh, GeneratorOptions};
+//! use quake_mesh::ground::BasinModel;
+//! let ground = BasinModel::san_fernando_like();
+//! // A scaled-down sf10-like mesh (scale 8 shrinks the domain 8x linearly).
+//! let mesh = generate_basin_mesh(&ground, 10.0, 8.0, GeneratorOptions::default())?;
+//! assert!(mesh.node_count() > 50);
+//! # Ok::<(), quake_mesh::generator::GenerateError>(())
+//! ```
+
+// Indexed loops over parallel arrays are the clearest form for the numeric
+// kernels in this crate; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+pub mod boundary;
+pub mod delaunay;
+pub mod generator;
+pub mod geometry;
+pub mod ground;
+pub mod io;
+pub mod mesh;
+pub mod refine;
+pub mod sampling;
+
+pub use generator::{generate_basin_mesh, generate_mesh, GeneratorOptions};
+pub use ground::{BasinModel, Material, SizingField, WavelengthSizing};
+pub use boundary::Boundary;
+pub use mesh::{MeshSizeStats, TetMesh};
+pub use refine::{refine_quality, QualityOptions, RefineQualityStats};

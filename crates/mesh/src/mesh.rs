@@ -1,0 +1,414 @@
+//! The unstructured tetrahedral mesh type and its statistics.
+
+use crate::geometry::{Aabb, Tetra};
+use quake_sparse::dense::Vec3;
+use quake_sparse::pattern::Pattern;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Bytes of runtime state per mesh node assumed by the paper's memory
+/// estimates ("about 1.2 KByte of memory at runtime" per node).
+pub const BYTES_PER_NODE: usize = 1200;
+
+/// Error produced by [`TetMesh::new`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// An element references a node index `>= node_count`.
+    NodeIndexOutOfRange {
+        /// Element index.
+        element: usize,
+        /// Offending node index.
+        node: usize,
+    },
+    /// An element has repeated vertices.
+    DegenerateElement(usize),
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::NodeIndexOutOfRange { element, node } => {
+                write!(f, "element {element} references out-of-range node {node}")
+            }
+            MeshError::DegenerateElement(e) => {
+                write!(f, "element {e} has repeated vertices")
+            }
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+/// An unstructured tetrahedral mesh: node coordinates plus elements
+/// (tetrahedra) indexing them.
+///
+/// Terminology follows the paper: *elements* are tetrahedra, *nodes* are
+/// their vertices, and *edges* connect nodes that share an element. The
+/// stiffness matrix `K` has one 3×3 block per edge (plus self-edges).
+///
+/// # Examples
+///
+/// ```
+/// use quake_mesh::mesh::TetMesh;
+/// use quake_sparse::dense::Vec3;
+/// let mesh = TetMesh::new(
+///     vec![
+///         Vec3::new(0.0, 0.0, 0.0),
+///         Vec3::new(1.0, 0.0, 0.0),
+///         Vec3::new(0.0, 1.0, 0.0),
+///         Vec3::new(0.0, 0.0, 1.0),
+///     ],
+///     vec![[0, 1, 2, 3]],
+/// )?;
+/// assert_eq!(mesh.edge_count(), 6);
+/// # Ok::<(), quake_mesh::mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TetMesh {
+    nodes: Vec<Vec3>,
+    elements: Vec<[usize; 4]>,
+}
+
+impl TetMesh {
+    /// Creates a mesh after validating element indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::NodeIndexOutOfRange`] or
+    /// [`MeshError::DegenerateElement`] on invalid connectivity.
+    pub fn new(nodes: Vec<Vec3>, elements: Vec<[usize; 4]>) -> Result<Self, MeshError> {
+        for (ei, e) in elements.iter().enumerate() {
+            for &v in e {
+                if v >= nodes.len() {
+                    return Err(MeshError::NodeIndexOutOfRange { element: ei, node: v });
+                }
+            }
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    if e[i] == e[j] {
+                        return Err(MeshError::DegenerateElement(ei));
+                    }
+                }
+            }
+        }
+        Ok(TetMesh { nodes, elements })
+    }
+
+    /// Node coordinates.
+    pub fn nodes(&self) -> &[Vec3] {
+        &self.nodes
+    }
+
+    /// Elements as node-index quadruples.
+    pub fn elements(&self) -> &[[usize; 4]] {
+        &self.elements
+    }
+
+    /// Number of nodes (`n`; the vectors of the SMVP have length `3n`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of elements (tetrahedra).
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The geometric tetrahedron of element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= element_count()`.
+    pub fn tetra(&self, e: usize) -> Tetra {
+        let [a, b, c, d] = self.elements[e];
+        Tetra::new(self.nodes[a], self.nodes[b], self.nodes[c], self.nodes[d])
+    }
+
+    /// The unique undirected edges `(i, j)`, `i < j`, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::with_capacity(self.elements.len() * 6);
+        for e in &self.elements {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    let (a, b) = (e[i].min(e[j]), e[i].max(e[j]));
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Number of unique edges (the paper's Fig. 2 "edges" row).
+    pub fn edge_count(&self) -> usize {
+        self.edges().len()
+    }
+
+    /// The node-adjacency sparsity pattern (one block per edge plus
+    /// self-edges), i.e. the structure of the stiffness matrix.
+    pub fn pattern(&self) -> Pattern {
+        Pattern::from_edges(self.node_count(), &self.edges())
+            .expect("mesh edges are valid by construction")
+    }
+
+    /// Sum of element volumes.
+    pub fn total_volume(&self) -> f64 {
+        (0..self.element_count()).map(|e| self.tetra(e).volume()).sum()
+    }
+
+    /// Bounding box of the nodes, or `None` for an empty mesh.
+    pub fn bounding_box(&self) -> Option<Aabb> {
+        Aabb::from_points(&self.nodes)
+    }
+
+    /// Estimated runtime memory footprint in bytes, using the paper's rule
+    /// of thumb of ≈ 1.2 KB per node.
+    pub fn estimated_runtime_bytes(&self) -> usize {
+        self.node_count() * BYTES_PER_NODE
+    }
+
+    /// Element-quality summary over the whole mesh.
+    pub fn quality(&self) -> QualityStats {
+        let mut stats = QualityStats::default();
+        if self.elements.is_empty() {
+            return stats;
+        }
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        let mut worst = 0usize;
+        for e in 0..self.element_count() {
+            let q = self.tetra(e).radius_edge_ratio();
+            sum += q;
+            min = min.min(q);
+            if q > max {
+                max = q;
+                worst = e;
+            }
+        }
+        stats.mean_radius_edge = sum / self.element_count() as f64;
+        stats.min_radius_edge = min;
+        stats.max_radius_edge = max;
+        stats.worst_element = worst;
+        stats
+    }
+
+    /// The Fig. 2-style size row for this mesh.
+    pub fn size_stats(&self) -> MeshSizeStats {
+        MeshSizeStats {
+            nodes: self.node_count(),
+            elements: self.element_count(),
+            edges: self.edge_count(),
+        }
+    }
+
+    /// Average node degree including self-adjacency (paper: ≈ 14, giving 42
+    /// nonzeros per scalar matrix row).
+    pub fn avg_node_degree(&self) -> f64 {
+        self.pattern().avg_degree()
+    }
+
+    /// Retains only elements for which `keep` returns true, dropping nodes
+    /// that become unreferenced and compacting indices. Returns the node
+    /// remapping `old → Option<new>`.
+    pub fn filter_elements<F: FnMut(usize, &Tetra) -> bool>(
+        &self,
+        mut keep: F,
+    ) -> (TetMesh, Vec<Option<usize>>) {
+        let kept: Vec<[usize; 4]> = (0..self.element_count())
+            .filter(|&e| keep(e, &self.tetra(e)))
+            .map(|e| self.elements[e])
+            .collect();
+        let mut map: Vec<Option<usize>> = vec![None; self.node_count()];
+        let mut nodes = Vec::new();
+        let mut elements = Vec::with_capacity(kept.len());
+        for e in kept {
+            let mut ne = [0usize; 4];
+            for (k, &v) in e.iter().enumerate() {
+                let idx = *map[v].get_or_insert_with(|| {
+                    nodes.push(self.nodes[v]);
+                    nodes.len() - 1
+                });
+                ne[k] = idx;
+            }
+            elements.push(ne);
+        }
+        (TetMesh { nodes, elements }, map)
+    }
+}
+
+/// Element-quality summary (radius-edge ratio; regular tet ≈ 0.612).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QualityStats {
+    /// Mean radius-edge ratio.
+    pub mean_radius_edge: f64,
+    /// Best (smallest) radius-edge ratio.
+    pub min_radius_edge: f64,
+    /// Worst (largest) radius-edge ratio.
+    pub max_radius_edge: f64,
+    /// Index of the worst element.
+    pub worst_element: usize,
+}
+
+/// Mesh size statistics matching paper Figure 2 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshSizeStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of tetrahedral elements.
+    pub elements: usize,
+    /// Number of unique edges.
+    pub edges: usize,
+}
+
+impl fmt::Display for MeshSizeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes: {}, elements: {}, edges: {}",
+            self.nodes, self.elements, self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_tet() -> TetMesh {
+        TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    fn two_tets() -> TetMesh {
+        // Two tets sharing face (1, 2, 3).
+        TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_indices() {
+        let nodes = vec![Vec3::ZERO; 3];
+        assert!(matches!(
+            TetMesh::new(nodes.clone(), vec![[0, 1, 2, 3]]),
+            Err(MeshError::NodeIndexOutOfRange { node: 3, .. })
+        ));
+        let nodes4 = vec![Vec3::ZERO; 4];
+        assert!(matches!(
+            TetMesh::new(nodes4, vec![[0, 1, 2, 2]]),
+            Err(MeshError::DegenerateElement(0))
+        ));
+    }
+
+    #[test]
+    fn counts() {
+        let m = two_tets();
+        assert_eq!(m.node_count(), 5);
+        assert_eq!(m.element_count(), 2);
+        // 6 + 6 edges, 3 shared (the common face's edges): 9 unique.
+        assert_eq!(m.edge_count(), 9);
+        assert_eq!(m.size_stats().edges, 9);
+    }
+
+    #[test]
+    fn pattern_matches_edges() {
+        let m = two_tets();
+        let p = m.pattern();
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.edge_count(), 9);
+        // Node 0 is adjacent to itself + 1, 2, 3 (not 4).
+        assert_eq!(p.neighbors(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn volume_of_single_tet() {
+        assert!((single_tet().total_volume() - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quality_stats_single() {
+        let q = single_tet().quality();
+        assert!((q.mean_radius_edge - 3f64.sqrt() / 2.0).abs() < 1e-12);
+        assert_eq!(q.worst_element, 0);
+        assert_eq!(q.min_radius_edge, q.max_radius_edge);
+    }
+
+    #[test]
+    fn memory_estimate_uses_paper_rule() {
+        assert_eq!(single_tet().estimated_runtime_bytes(), 4 * 1200);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let b = two_tets().bounding_box().unwrap();
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn filter_elements_compacts_nodes() {
+        let m = two_tets();
+        let (kept, map) = m.filter_elements(|e, _| e == 1);
+        assert_eq!(kept.element_count(), 1);
+        assert_eq!(kept.node_count(), 4); // node 0 dropped
+        assert_eq!(map[0], None);
+        assert!(map[4].is_some());
+        // Geometry preserved.
+        assert!((kept.total_volume() - m.tetra(1).volume()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn filter_keep_all_is_identity_sized() {
+        let m = two_tets();
+        let (kept, _) = m.filter_elements(|_, _| true);
+        assert_eq!(kept.size_stats(), m.size_stats());
+    }
+
+    #[test]
+    fn avg_degree_of_single_tet() {
+        // Every node adjacent to all 4 (incl. self): degree 4.
+        assert!((single_tet().avg_node_degree() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let m = TetMesh::new(vec![], vec![]).unwrap();
+        assert_eq!(m.edge_count(), 0);
+        assert!(m.bounding_box().is_none());
+        assert_eq!(m.quality(), QualityStats::default());
+    }
+
+    #[test]
+    fn display_of_size_stats() {
+        let s = two_tets().size_stats();
+        let text = s.to_string();
+        assert!(text.contains("nodes: 5"));
+        assert!(text.contains("edges: 9"));
+    }
+
+    #[test]
+    fn mesh_error_display() {
+        let e = MeshError::NodeIndexOutOfRange { element: 2, node: 9 };
+        assert!(e.to_string().contains("element 2"));
+        assert!(MeshError::DegenerateElement(1).to_string().contains("repeated"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Delaunay quality refinement: circumcenter insertion for poorly shaped
+//! elements.
+//!
+//! The Quake meshes came from Archimedes, whose generator is Shewchuk's
+//! Delaunay-refinement mesher (paper reference 18): elements whose radius-edge
+//! ratio exceeds a bound are destroyed by inserting their circumcenters,
+//! which provably terminates for bounds > 2 and in practice produces
+//! high-quality graded meshes. This module implements the interior-point
+//! core of that loop (boundary handling is unnecessary here because the
+//! sampler already places points up to the domain walls).
+
+use crate::delaunay::{delaunay, DelaunayError};
+use crate::geometry::Aabb;
+use crate::mesh::TetMesh;
+use quake_sparse::dense::Vec3;
+
+/// Options for [`refine_quality`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityOptions {
+    /// Insert circumcenters of tets with radius-edge ratio above this bound
+    /// (Shewchuk's theory needs > 2.0; practical meshers use ~1.2–2.0).
+    pub max_radius_edge: f64,
+    /// Maximum refinement rounds (each round retriangulates).
+    pub max_rounds: usize,
+    /// Maximum points inserted per round (caps blow-up on pathological
+    /// input).
+    pub max_insertions_per_round: usize,
+    /// Skip circumcenters closer than this fraction of the local shortest
+    /// edge to an existing vertex (prevents runaway clustering).
+    pub min_spacing_factor: f64,
+}
+
+impl Default for QualityOptions {
+    fn default() -> Self {
+        QualityOptions {
+            max_radius_edge: 2.0,
+            max_rounds: 4,
+            max_insertions_per_round: 10_000,
+            min_spacing_factor: 0.25,
+        }
+    }
+}
+
+/// Statistics of one refinement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefineQualityStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total circumcenters inserted.
+    pub inserted: usize,
+    /// Bad elements remaining after the final round (elements whose
+    /// circumcenter fell outside the domain are left as-is).
+    pub remaining_bad: usize,
+}
+
+/// Refines `mesh` by circumcenter insertion until every element's
+/// radius-edge ratio is below the bound, a round/insertion cap is hit, or
+/// only boundary-blocked bad elements remain.
+///
+/// # Errors
+///
+/// Propagates [`DelaunayError`] from retriangulation.
+pub fn refine_quality(
+    mesh: &TetMesh,
+    domain: Aabb,
+    options: QualityOptions,
+) -> Result<(TetMesh, RefineQualityStats), DelaunayError> {
+    let mut points: Vec<Vec3> = mesh.nodes().to_vec();
+    let mut current = mesh.clone();
+    let mut stats = RefineQualityStats::default();
+    for _ in 0..options.max_rounds {
+        let mut inserted_this_round = 0usize;
+        let mut candidates: Vec<Vec3> = Vec::new();
+        let mut remaining = 0usize;
+        for e in 0..current.element_count() {
+            let tet = current.tetra(e);
+            if tet.radius_edge_ratio() <= options.max_radius_edge {
+                continue;
+            }
+            match tet.circumsphere() {
+                Some((center, _)) if domain.contains(center) => {
+                    // Reject circumcenters that would crowd an existing
+                    // vertex of the bad element.
+                    let spacing = options.min_spacing_factor * tet.shortest_edge();
+                    let crowded =
+                        tet.v.iter().any(|&v| (v - center).norm() < spacing);
+                    if crowded {
+                        remaining += 1;
+                    } else {
+                        candidates.push(center);
+                    }
+                }
+                _ => remaining += 1, // degenerate or outside the domain
+            }
+            if candidates.len() >= options.max_insertions_per_round {
+                break;
+            }
+        }
+        stats.remaining_bad = remaining;
+        if candidates.is_empty() {
+            break;
+        }
+        // Drop near-duplicate candidates within the round (two bad tets can
+        // share a circumsphere).
+        candidates.sort_by(|a, b| {
+            (a.x, a.y, a.z)
+                .partial_cmp(&(b.x, b.y, b.z))
+                .expect("finite coordinates")
+        });
+        candidates.dedup_by(|a, b| (*a - *b).norm() < 1e-12);
+        for c in candidates {
+            points.push(c);
+            inserted_this_round += 1;
+        }
+        stats.inserted += inserted_this_round;
+        stats.rounds += 1;
+        let tri = delaunay(&points)?;
+        current = TetMesh::new(tri.points, tri.tets)
+            .expect("Delaunay output is valid connectivity");
+        points = current.nodes().to_vec();
+    }
+    // Recount the final bad elements for an accurate report.
+    stats.remaining_bad = (0..current.element_count())
+        .filter(|&e| current.tetra(e).radius_edge_ratio() > options.max_radius_edge)
+        .count();
+    Ok((current, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_mesh, GeneratorOptions};
+    use crate::ground::UniformSizing;
+
+    fn raw_mesh() -> (TetMesh, Aabb) {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+        // Keep slivers so refinement has work to do.
+        let opts =
+            GeneratorOptions { max_radius_edge: f64::INFINITY, ..GeneratorOptions::default() };
+        (generate_mesh(domain, &UniformSizing(1.0), opts).unwrap(), domain)
+    }
+
+    fn worst_interior_ratio(mesh: &TetMesh, domain: &Aabb) -> f64 {
+        // Hull slivers whose circumcenters fall outside the domain cannot be
+        // repaired by interior insertion; measure interior elements.
+        (0..mesh.element_count())
+            .filter_map(|e| {
+                let t = mesh.tetra(e);
+                let (c, _) = t.circumsphere()?;
+                domain.contains(c).then(|| t.radius_edge_ratio())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn refinement_improves_interior_quality() {
+        let (mesh, domain) = raw_mesh();
+        let before = worst_interior_ratio(&mesh, &domain);
+        let (refined, stats) =
+            refine_quality(&mesh, domain, QualityOptions::default()).unwrap();
+        let after = worst_interior_ratio(&refined, &domain);
+        assert!(stats.inserted > 0, "raw mesh should contain bad elements");
+        assert!(
+            after < before,
+            "interior quality should improve: {before:.2} -> {after:.2}"
+        );
+        assert!(refined.node_count() > mesh.node_count());
+    }
+
+    #[test]
+    fn refinement_is_idempotent_on_good_meshes() {
+        let (mesh, domain) = raw_mesh();
+        let (refined, _) = refine_quality(&mesh, domain, QualityOptions::default()).unwrap();
+        let strict = QualityOptions { max_rounds: 1, ..QualityOptions::default() };
+        let (again, stats2) = refine_quality(&refined, domain, strict).unwrap();
+        // A second pass should insert far fewer points than the first.
+        assert!(
+            stats2.inserted * 4 <= refined.node_count(),
+            "second pass inserted {} of {}",
+            stats2.inserted,
+            refined.node_count()
+        );
+        assert!(again.node_count() >= refined.node_count());
+    }
+
+    #[test]
+    fn zero_rounds_is_identity() {
+        let (mesh, domain) = raw_mesh();
+        let opts = QualityOptions { max_rounds: 0, ..QualityOptions::default() };
+        let (out, stats) = refine_quality(&mesh, domain, opts).unwrap();
+        assert_eq!(out, mesh);
+        assert_eq!(stats.inserted, 0);
+    }
+
+    #[test]
+    fn insertion_cap_respected() {
+        let (mesh, domain) = raw_mesh();
+        let opts = QualityOptions {
+            max_insertions_per_round: 3,
+            max_rounds: 1,
+            ..QualityOptions::default()
+        };
+        let (_, stats) = refine_quality(&mesh, domain, opts).unwrap();
+        assert!(stats.inserted <= 3);
+    }
+}

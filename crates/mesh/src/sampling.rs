@@ -1,0 +1,207 @@
+//! Graded point sampling driven by a sizing field.
+//!
+//! An octree is recursively subdivided until each leaf is no larger than the
+//! sizing field's target at the leaf center; one jittered point is emitted
+//! per leaf. Feeding the resulting point cloud to the Delaunay
+//! tetrahedralizer yields an unstructured mesh whose local edge length
+//! tracks the sizing field — the same density-matched-to-wavelength
+//! structure as the San Fernando meshes.
+
+use crate::geometry::Aabb;
+use crate::ground::SizingField;
+use quake_sparse::dense::Vec3;
+use rand::Rng;
+
+/// Controls for the graded sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingOptions {
+    /// Jitter amplitude as a fraction of the leaf size, in `(0, 0.5)`.
+    /// Jitter keeps the input in general position for the floating-point
+    /// Delaunay predicates.
+    pub jitter: f64,
+    /// Hard cap on octree depth (a safety bound; 30 ≈ 10⁹ leaves per axis).
+    pub max_depth: u32,
+}
+
+impl Default for SamplingOptions {
+    fn default() -> Self {
+        SamplingOptions { jitter: 0.35, max_depth: 24 }
+    }
+}
+
+/// Generates a graded point cloud over `domain` with local spacing given by
+/// `sizing`. One point is placed near the center of every octree leaf.
+///
+/// # Panics
+///
+/// Panics if `options.jitter` is not in `[0, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// use quake_mesh::sampling::{sample_graded, SamplingOptions};
+/// use quake_mesh::ground::UniformSizing;
+/// use quake_mesh::geometry::Aabb;
+/// use quake_sparse::dense::Vec3;
+/// use rand::SeedableRng;
+/// let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pts = sample_graded(domain, &UniformSizing(1.0), SamplingOptions::default(), &mut rng);
+/// assert_eq!(pts.len(), 64); // a 4³ box at unit spacing
+/// ```
+pub fn sample_graded<S: SizingField, R: Rng>(
+    domain: Aabb,
+    sizing: &S,
+    options: SamplingOptions,
+    rng: &mut R,
+) -> Vec<Vec3> {
+    assert!(
+        (0.0..0.5).contains(&options.jitter),
+        "jitter must be in [0, 0.5), got {}",
+        options.jitter
+    );
+    let mut points = Vec::new();
+    let mut stack = vec![(domain, 0u32)];
+    while let Some((cell, depth)) = stack.pop() {
+        let target = sizing.size_at(cell.center()).max(1e-12);
+        if cell.longest_side() <= target || depth >= options.max_depth {
+            let e = cell.extent();
+            let j = options.jitter;
+            let p = cell.center()
+                + Vec3::new(
+                    e.x * j * (rng.gen::<f64>() * 2.0 - 1.0),
+                    e.y * j * (rng.gen::<f64>() * 2.0 - 1.0),
+                    e.z * j * (rng.gen::<f64>() * 2.0 - 1.0),
+                );
+            points.push(p);
+        } else {
+            for i in 0..8 {
+                stack.push((cell.octant(i), depth + 1));
+            }
+        }
+    }
+    points
+}
+
+/// Estimates the number of points [`sample_graded`] would produce, without
+/// generating them (used to pick scale factors for the sfN family).
+pub fn estimate_count<S: SizingField>(domain: Aabb, sizing: &S, max_depth: u32) -> usize {
+    let mut count = 0usize;
+    let mut stack = vec![(domain, 0u32)];
+    while let Some((cell, depth)) = stack.pop() {
+        let target = sizing.size_at(cell.center()).max(1e-12);
+        if cell.longest_side() <= target || depth >= max_depth {
+            count += 1;
+        } else {
+            for i in 0..8 {
+                stack.push((cell.octant(i), depth + 1));
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::UniformSizing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct SplitSizing;
+
+    impl SizingField for SplitSizing {
+        fn size_at(&self, p: Vec3) -> f64 {
+            // Finer in the x < 0.5 half.
+            if p.x < 0.5 {
+                0.125
+            } else {
+                0.5
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_counts_match_grid() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(8.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let pts = sample_graded(domain, &UniformSizing(2.0), SamplingOptions::default(), &mut rng);
+        assert_eq!(pts.len(), 64); // (8/2)³
+    }
+
+    #[test]
+    fn all_points_inside_domain() {
+        let domain = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 3.0, 4.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = sample_graded(domain, &UniformSizing(0.4), SamplingOptions::default(), &mut rng);
+        assert!(!pts.is_empty());
+        for p in pts {
+            assert!(domain.contains(p), "{p} outside domain");
+        }
+    }
+
+    #[test]
+    fn grading_increases_density_in_fine_region() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = sample_graded(domain, &SplitSizing, SamplingOptions::default(), &mut rng);
+        let fine = pts.iter().filter(|p| p.x < 0.5).count();
+        let coarse = pts.len() - fine;
+        assert!(
+            fine > 4 * coarse,
+            "fine half should dominate: fine = {fine}, coarse = {coarse}"
+        );
+    }
+
+    #[test]
+    fn halving_size_multiplies_count_by_eight() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(16.0));
+        let mut rng = StdRng::seed_from_u64(2);
+        let coarse =
+            sample_graded(domain, &UniformSizing(2.0), SamplingOptions::default(), &mut rng);
+        let fine =
+            sample_graded(domain, &UniformSizing(1.0), SamplingOptions::default(), &mut rng);
+        assert_eq!(fine.len(), 8 * coarse.len());
+    }
+
+    #[test]
+    fn estimate_matches_actual() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let actual =
+            sample_graded(domain, &SplitSizing, SamplingOptions::default(), &mut rng).len();
+        assert_eq!(estimate_count(domain, &SplitSizing, 24), actual);
+    }
+
+    #[test]
+    fn max_depth_caps_refinement() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let opts = SamplingOptions { jitter: 0.3, max_depth: 2 };
+        let pts = sample_graded(domain, &UniformSizing(1e-9), opts, &mut rng);
+        assert_eq!(pts.len(), 64); // 8² leaves at depth 2
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn invalid_jitter_panics() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let mut rng = StdRng::seed_from_u64(6);
+        let opts = SamplingOptions { jitter: 0.7, max_depth: 4 };
+        let _ = sample_graded(domain, &UniformSizing(1.0), opts, &mut rng);
+    }
+
+    #[test]
+    fn zero_jitter_places_points_at_centers() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let opts = SamplingOptions { jitter: 0.0, max_depth: 8 };
+        let pts = sample_graded(domain, &UniformSizing(1.0), opts, &mut rng);
+        assert_eq!(pts.len(), 8);
+        for p in pts {
+            for c in p.to_array() {
+                assert!((c - 0.5).abs() < 1e-12 || (c - 1.5).abs() < 1e-12);
+            }
+        }
+    }
+}

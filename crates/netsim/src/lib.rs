@@ -1,0 +1,39 @@
+//! Discrete-event machine simulator for the two-phase BSP SMVP.
+//!
+//! The paper has no machine to hand us, so this crate *is* the machine: `p`
+//! processing elements, each with a network interface that moves blocks
+//! between network and memory at `T_l + l·T_w` per block, serialized per PE
+//! across sends and receives, connected by an interconnect of infinite
+//! capacity and constant latency (the paper's stated assumptions, §3.3).
+//! Simulating the communication phase of real workloads validates Equations
+//! (1)/(2) and the β bound end-to-end.
+//!
+//! # Examples
+//!
+//! ```
+//! use quake_core::machine::{Network, Processor};
+//! use quake_netsim::simulate::{simulate_smvp, SimOptions};
+//! use quake_netsim::workload::Workload;
+//!
+//! let w = Workload::ring(8, 1_000_000, 500);
+//! let timing = simulate_smvp(
+//!     &w,
+//!     &Processor::hypothetical_200mflops(),
+//!     &Network::cray_t3e(),
+//!     SimOptions::default(),
+//! );
+//! assert!(timing.efficiency() > 0.0 && timing.efficiency() <= 1.0);
+//! ```
+
+// Indexed loops over parallel arrays are the clearest form for the numeric
+// kernels in this crate; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+pub mod simulate;
+pub mod sweep;
+pub mod validate;
+pub mod workload;
+
+pub use simulate::{simulate_comm_phase, simulate_run, simulate_smvp, SimOptions, SmvpTiming};
+pub use sweep::{efficiency_surface, log_space, render_surface, SurfaceCell};
+pub use validate::{validate, ValidationRow};
+pub use workload::{Workload, WorkloadError};

@@ -1,0 +1,403 @@
+//! Discrete-event simulation of the two-phase BSP SMVP.
+//!
+//! The machine model matches paper §3 and Figure 5: each PE owns a network
+//! interface (NI) that moves blocks between the network and local memory at
+//! a cost of `T_l + l·T_w` per block, serialized per PE across sends *and*
+//! receives (which is why the paper's `B_i` counts both). The interconnect
+//! itself has infinite capacity and a constant latency.
+//!
+//! Phases are barrier-separated: the communication phase starts when the
+//! slowest PE finishes its local SMVP, and the SMVP completes when the last
+//! NI drains.
+
+use crate::workload::Workload;
+use quake_core::machine::{Network, Processor};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Timing result of one simulated SMVP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmvpTiming {
+    /// Computation-phase duration (slowest PE), seconds.
+    pub t_comp: f64,
+    /// Communication-phase duration (last NI drain), seconds.
+    pub t_comm: f64,
+}
+
+impl SmvpTiming {
+    /// Total SMVP time `T_comp + T_comm`.
+    pub fn t_smvp(&self) -> f64 {
+        self.t_comp + self.t_comm
+    }
+
+    /// Efficiency `E = T_comp / T_smvp` (1.0 when there is no
+    /// communication).
+    pub fn efficiency(&self) -> f64 {
+        if self.t_comm == 0.0 {
+            1.0
+        } else {
+            self.t_comp / self.t_smvp()
+        }
+    }
+}
+
+/// Options for the communication-phase simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Constant interconnect latency between NI hand-off and arrival
+    /// (seconds). The paper argues PE-local costs dominate, so 0 is the
+    /// default.
+    pub wire_latency: f64,
+    /// Rotate each PE's send order by its own index so the fleet does not
+    /// convoy on PE 0 (on by default; turning it off demonstrates hotspot
+    /// formation).
+    pub staggered_sends: bool,
+    /// Fixed transfer-unit size in words. `None` models maximal aggregation
+    /// (message passing: one block per neighbor). `Some(w)` splits every
+    /// message into `⌈len/w⌉` blocks of at most `w` words — the paper's
+    /// fine-grained shared-memory regime, where `B_max` becomes "a property
+    /// of the architecture" (§3.3) and block latency dominates (Fig. 10b).
+    pub block_words: Option<u64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { wire_latency: 0.0, staggered_sends: true, block_words: None }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A block from `from` lands at PE `to`'s NI input queue.
+    Arrival { from: usize, to: usize, words: u64 },
+    /// PE's NI finishes its current job.
+    NiFree { pe: usize },
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite event times")
+            .then_with(|| {
+                // Deterministic tie-break on kind discriminants.
+                let k = |e: &EventKind| match *e {
+                    EventKind::NiFree { pe } => (0usize, pe, 0, 0),
+                    EventKind::Arrival { from, to, words } => (1, to, from, words as usize),
+                };
+                k(&self.kind).cmp(&k(&other.kind))
+            })
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct PeState {
+    /// Sends not yet started, in order.
+    sends: VecDeque<(usize, u64)>,
+    /// Received blocks waiting for the NI.
+    recv_queue: VecDeque<u64>,
+    /// The NI is occupied until this time; wake-ups before it are stale.
+    busy_until: f64,
+}
+
+/// Simulates the communication phase and returns its duration (seconds).
+///
+/// # Panics
+///
+/// Panics if the network parameters are negative.
+pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimOptions) -> f64 {
+    assert!(network.t_l >= 0.0 && network.t_w >= 0.0, "negative network parameters");
+    let p = workload.parts();
+    let mut pes: Vec<PeState> = (0..p)
+        .map(|i| {
+            let mut sends: Vec<(usize, u64)> = (0..p)
+                .filter_map(|j| {
+                    let w = workload.traffic(i, j);
+                    (w > 0).then_some((j, w))
+                })
+                .flat_map(|(j, w)| {
+                    // Under a fixed block regime, fragment the message.
+                    match options.block_words {
+                        None => vec![(j, w)],
+                        Some(bs) => {
+                            assert!(bs > 0, "block size must be positive");
+                            let full = (w / bs) as usize;
+                            let mut parts = vec![(j, bs); full];
+                            if w % bs > 0 {
+                                parts.push((j, w % bs));
+                            }
+                            parts
+                        }
+                    }
+                })
+                .collect();
+            if options.staggered_sends {
+                // Rotate so PE i starts with the first destination > i.
+                let pivot = sends.iter().position(|&(j, _)| j > i).unwrap_or(0);
+                sends.rotate_left(pivot);
+            }
+            PeState { sends: sends.into(), recv_queue: VecDeque::new(), busy_until: 0.0 }
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    // Kick every PE's NI at t = 0.
+    for pe in 0..p {
+        heap.push(Reverse(Event { time: 0.0, kind: EventKind::NiFree { pe } }));
+    }
+    let mut makespan = 0.0f64;
+    while let Some(Reverse(event)) = heap.pop() {
+        let t = event.time;
+        match event.kind {
+            EventKind::Arrival { from: _, to, words } => {
+                pes[to].recv_queue.push_back(words);
+                // Wake the NI; a stale wake-up is filtered by busy_until.
+                heap.push(Reverse(Event { time: t, kind: EventKind::NiFree { pe: to } }));
+            }
+            EventKind::NiFree { pe } => {
+                if t < pes[pe].busy_until {
+                    continue; // stale wake-up: the NI is mid-transfer
+                }
+                // Start the next job: receives before sends keeps the
+                // network drained; both orders satisfy the per-PE serial
+                // cost model.
+                let job = pes[pe]
+                    .recv_queue
+                    .pop_front()
+                    .map(|words| (None, words))
+                    .or_else(|| pes[pe].sends.pop_front().map(|(d, w)| (Some(d), w)));
+                if let Some((dest, words)) = job {
+                    let dt = network.block_transfer_time(words);
+                    pes[pe].busy_until = t + dt;
+                    makespan = makespan.max(t + dt);
+                    heap.push(Reverse(Event { time: t + dt, kind: EventKind::NiFree { pe } }));
+                    if let Some(dest) = dest {
+                        heap.push(Reverse(Event {
+                            time: t + dt + options.wire_latency,
+                            kind: EventKind::Arrival { from: pe, to: dest, words },
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(
+        pes.iter().all(|s| s.sends.is_empty() && s.recv_queue.is_empty()),
+        "all transfers must drain"
+    );
+    makespan
+}
+
+/// Simulates one full SMVP: barrier-separated computation then
+/// communication.
+pub fn simulate_smvp(
+    workload: &Workload,
+    processor: &Processor,
+    network: &Network,
+    options: SimOptions,
+) -> SmvpTiming {
+    let t_comp = workload.f_max() as f64 * processor.t_f;
+    let t_comm = simulate_comm_phase(workload, network, options);
+    SmvpTiming { t_comp, t_comm }
+}
+
+/// Simulates `steps` repeated SMVPs (the Quake time loop) and returns the
+/// total wall-clock estimate in seconds.
+pub fn simulate_run(
+    workload: &Workload,
+    processor: &Processor,
+    network: &Network,
+    options: SimOptions,
+    steps: u64,
+) -> f64 {
+    simulate_smvp(workload, processor, network, options).t_smvp() * steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(t_l: f64, t_w: f64) -> Network {
+        Network { name: "test", t_l, t_w }
+    }
+
+    #[test]
+    fn no_traffic_is_instant() {
+        let w = Workload::new(vec![100, 100], vec![vec![0, 0], vec![0, 0]]).unwrap();
+        assert_eq!(simulate_comm_phase(&w, &net(1e-6, 1e-9), SimOptions::default()), 0.0);
+        let timing = simulate_smvp(
+            &w,
+            &Processor::hypothetical_100mflops(),
+            &net(1e-6, 1e-9),
+            SimOptions::default(),
+        );
+        assert_eq!(timing.efficiency(), 1.0);
+        assert!((timing.t_comp - 100.0 * 10e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_exchange_costs_two_blocks_per_pe() {
+        // Two PEs exchanging one block each: each NI handles its send then
+        // its receive → 2·(T_l + w·T_w), with perfect overlap between PEs.
+        let w = Workload::new(vec![0, 0], vec![vec![0, 100], vec![100, 0]]).unwrap();
+        let t_l = 1e-6;
+        let t_w = 10e-9;
+        let t = simulate_comm_phase(&w, &net(t_l, t_w), SimOptions::default());
+        let block = t_l + 100.0 * t_w;
+        assert!(
+            (t - 2.0 * block).abs() < 1e-12,
+            "expected {}, got {t}",
+            2.0 * block
+        );
+    }
+
+    #[test]
+    fn comm_time_matches_model_for_balanced_ring() {
+        // A balanced ring: every PE has B_i = 4 blocks and C_i = 4w words;
+        // the model T_comm = B·T_l + C·T_w should be near-exact.
+        let w = Workload::ring(8, 0, 500);
+        let t_l = 5e-6;
+        let t_w = 50e-9;
+        let sim = simulate_comm_phase(&w, &net(t_l, t_w), SimOptions::default());
+        let model = w.b_max() as f64 * t_l + w.c_max() as f64 * t_w;
+        let ratio = sim / model;
+        assert!(
+            (0.9..1.3).contains(&ratio),
+            "sim {sim} vs model {model} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_busiest_pe() {
+        let w = Workload::random_sparse(16, 0, 200, 4, 3);
+        let t_l = 2e-6;
+        let t_w = 20e-9;
+        let sim = simulate_comm_phase(&w, &net(t_l, t_w), SimOptions::default());
+        let lower = w
+            .pe_loads()
+            .iter()
+            .map(|&(c, b)| b as f64 * t_l + c as f64 * t_w)
+            .fold(0.0, f64::max);
+        assert!(sim >= lower * (1.0 - 1e-12), "sim {sim} below lower bound {lower}");
+    }
+
+    #[test]
+    fn wire_latency_delays_completion() {
+        let w = Workload::ring(4, 0, 100);
+        let base = simulate_comm_phase(&w, &net(1e-6, 10e-9), SimOptions::default());
+        let slow = simulate_comm_phase(
+            &w,
+            &net(1e-6, 10e-9),
+            SimOptions { wire_latency: 100e-6, ..SimOptions::default() },
+        );
+        // The 100 µs wire latency overlaps the first block's processing,
+        // so the delay shows up minus one block time.
+        assert!(slow > base + 90e-6, "base {base}, slow {slow}");
+    }
+
+    #[test]
+    fn all_to_all_scales_with_p() {
+        let t_l = 1e-6;
+        let t_w = 1e-9;
+        let small = simulate_comm_phase(&Workload::all_to_all(4, 0, 10), &net(t_l, t_w), SimOptions::default());
+        let large = simulate_comm_phase(&Workload::all_to_all(16, 0, 10), &net(t_l, t_w), SimOptions::default());
+        // B per PE: 2(p-1) → 6 vs 30: 5x.
+        assert!(large > 4.0 * small, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn efficiency_falls_with_slower_network() {
+        let w = Workload::ring(8, 1_000_000, 1_000);
+        let pe = Processor::hypothetical_200mflops();
+        let fast = simulate_smvp(&w, &pe, &net(1e-7, 1e-9), SimOptions::default());
+        let slow = simulate_smvp(&w, &pe, &net(5e-3, 1e-6), SimOptions::default());
+        assert!(fast.efficiency() > slow.efficiency());
+        assert!(fast.efficiency() > 0.9);
+        assert!(slow.efficiency() < 0.5);
+    }
+
+    #[test]
+    fn run_scales_linearly_in_steps() {
+        let w = Workload::ring(4, 1_000, 100);
+        let pe = Processor::hypothetical_100mflops();
+        let n = net(1e-6, 10e-9);
+        let one = simulate_run(&w, &pe, &n, SimOptions::default(), 1);
+        let many = simulate_run(&w, &pe, &n, SimOptions::default(), 6_000);
+        assert!((many - 6_000.0 * one).abs() < 1e-9 * many);
+    }
+
+    #[test]
+    fn staggering_never_hurts_badly() {
+        // With staggering off, convoys can form; on, the ring should stay
+        // near the model. Both must drain completely (the debug_assert in
+        // the simulator checks this).
+        let w = Workload::random_sparse(12, 0, 300, 3, 11);
+        let n = net(1e-6, 5e-9);
+        let on = simulate_comm_phase(&w, &n, SimOptions::default());
+        let off = simulate_comm_phase(
+            &w,
+            &n,
+            SimOptions { staggered_sends: false, ..SimOptions::default() },
+        );
+        assert!(on > 0.0 && off > 0.0);
+        // Both within 3x of each other — sanity, not a strong claim.
+        assert!(on < 3.0 * off && off < 3.0 * on);
+    }
+
+    #[test]
+    fn fixed_blocks_fragment_messages() {
+        // One 100-word exchange fragmented into 4-word blocks: 25 blocks
+        // each way per PE, so latency is paid 50 times per NI.
+        let w = Workload::new(vec![0, 0], vec![vec![0, 100], vec![100, 0]]).unwrap();
+        let t_l = 1e-6;
+        let t_w = 1e-9;
+        let options = SimOptions { block_words: Some(4), ..SimOptions::default() };
+        let t = simulate_comm_phase(&w, &net(t_l, t_w), options);
+        let expect = 50.0 * (t_l + 4.0 * t_w);
+        assert!(
+            (t - expect).abs() < 1e-12,
+            "expected {expect}, got {t}"
+        );
+    }
+
+    #[test]
+    fn fixed_blocks_cost_more_when_latency_dominates() {
+        let w = Workload::ring(8, 0, 400);
+        let latency_bound = net(5e-6, 1e-9);
+        let maximal = simulate_comm_phase(&w, &latency_bound, SimOptions::default());
+        let fragmented = simulate_comm_phase(
+            &w,
+            &latency_bound,
+            SimOptions { block_words: Some(4), ..SimOptions::default() },
+        );
+        // 400-word messages become 100 blocks: ~100x the latency cost.
+        assert!(
+            fragmented > 20.0 * maximal,
+            "maximal {maximal} vs fragmented {fragmented}"
+        );
+    }
+
+    #[test]
+    fn fragment_remainder_blocks() {
+        // 10 words in 4-word blocks → 4+4+2: three blocks each way.
+        let w = Workload::new(vec![0, 0], vec![vec![0, 10], vec![10, 0]]).unwrap();
+        let t_l = 1e-6;
+        let options = SimOptions { block_words: Some(4), ..SimOptions::default() };
+        let t = simulate_comm_phase(&w, &net(t_l, 0.0), options);
+        assert!((t - 6.0 * t_l).abs() < 1e-12, "got {t}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Design-space sweeps: achieved efficiency over a (block latency, burst
+//! bandwidth) grid, by direct simulation.
+//!
+//! Where Figure 10 draws iso-efficiency lines from the analytic model, this
+//! sweep produces the same surface from the event-driven machine — each
+//! grid cell is one simulated communication phase.
+
+use crate::simulate::{simulate_smvp, SimOptions};
+use crate::workload::Workload;
+use quake_core::machine::{Network, Processor};
+
+/// One cell of the efficiency surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceCell {
+    /// Block latency `T_l` (seconds).
+    pub t_l: f64,
+    /// Burst bandwidth `T_w⁻¹` (bytes/second).
+    pub burst_bytes: f64,
+    /// Simulated efficiency.
+    pub efficiency: f64,
+}
+
+/// Simulates the SMVP over a log-spaced grid of latencies × burst
+/// bandwidths and returns the efficiency cells, row-major by latency.
+///
+/// # Panics
+///
+/// Panics if a grid dimension is zero or a bound is non-positive.
+pub fn efficiency_surface(
+    workload: &Workload,
+    processor: &Processor,
+    latencies: &[f64],
+    burst_bandwidths_bytes: &[f64],
+    options: SimOptions,
+) -> Vec<SurfaceCell> {
+    assert!(!latencies.is_empty() && !burst_bandwidths_bytes.is_empty(), "empty grid");
+    let mut cells = Vec::with_capacity(latencies.len() * burst_bandwidths_bytes.len());
+    for &t_l in latencies {
+        assert!(t_l >= 0.0, "negative latency");
+        for &bw in burst_bandwidths_bytes {
+            assert!(bw > 0.0, "burst bandwidth must be positive");
+            let network = Network { name: "sweep", t_l, t_w: 8.0 / bw };
+            let timing = simulate_smvp(workload, processor, &network, options);
+            cells.push(SurfaceCell { t_l, burst_bytes: bw, efficiency: timing.efficiency() });
+        }
+    }
+    cells
+}
+
+/// Log-spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi` and `n >= 2`.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    assert!(n >= 2, "need at least two samples");
+    let step = (hi / lo).ln() / (n - 1) as f64;
+    (0..n).map(|i| lo * (step * i as f64).exp()).collect()
+}
+
+/// Renders the surface as an ASCII grid (rows = latencies, columns = burst
+/// bandwidths) with one digit per cell: `9` = E ≥ 0.9, `8` = E ≥ 0.8, …
+pub fn render_surface(cells: &[SurfaceCell], latencies: &[f64], bursts: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, &t_l) in latencies.iter().enumerate() {
+        out.push_str(&format!("{:>9.2e}s | ", t_l));
+        for (j, _) in bursts.iter().enumerate() {
+            let e = cells[i * bursts.len() + j].efficiency;
+            let digit = (e * 10.0).floor().min(9.0).max(0.0) as u8;
+            out.push((b'0' + digit) as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_space_endpoints_and_monotonicity() {
+        let v = log_space(1e-7, 1e-4, 7);
+        assert_eq!(v.len(), 7);
+        assert!((v[0] - 1e-7).abs() < 1e-18);
+        assert!((v[6] - 1e-4).abs() < 1e-10);
+        assert!(v.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn surface_is_monotone_in_both_axes() {
+        let w = Workload::ring(8, 1_000_000, 500);
+        let pe = Processor::hypothetical_200mflops();
+        let lats = log_space(1e-7, 1e-3, 5);
+        let bws = log_space(10e6, 10e9, 5);
+        let cells = efficiency_surface(&w, &pe, &lats, &bws, SimOptions::default());
+        assert_eq!(cells.len(), 25);
+        // More latency → less efficiency (fixed burst).
+        for j in 0..5 {
+            for i in 1..5 {
+                let hi = cells[(i - 1) * 5 + j].efficiency;
+                let lo = cells[i * 5 + j].efficiency;
+                assert!(lo <= hi + 1e-12, "latency monotonicity violated");
+            }
+        }
+        // More burst bandwidth → more efficiency (fixed latency).
+        for i in 0..5 {
+            for j in 1..5 {
+                let lo = cells[i * 5 + j - 1].efficiency;
+                let hi = cells[i * 5 + j].efficiency;
+                assert!(hi >= lo - 1e-12, "bandwidth monotonicity violated");
+            }
+        }
+    }
+
+    #[test]
+    fn render_shows_gradient() {
+        let w = Workload::ring(6, 1_000_000, 500);
+        let pe = Processor::hypothetical_200mflops();
+        let lats = log_space(1e-7, 1e-2, 4);
+        let bws = log_space(1e6, 1e10, 6);
+        let cells = efficiency_surface(&w, &pe, &lats, &bws, SimOptions::default());
+        let text = render_surface(&cells, &lats, &bws);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('9'), "some corner must be efficient:\n{text}");
+        assert!(text.contains('0') || text.contains('1'), "some corner must be bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let w = Workload::ring(4, 1, 1);
+        let _ = efficiency_surface(
+            &w,
+            &Processor::hypothetical_100mflops(),
+            &[],
+            &[1e9],
+            SimOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Model-vs-simulation validation: how well Equations (1)/(2) and the β
+//! bound predict the discrete-event machine.
+
+use crate::simulate::{simulate_comm_phase, SimOptions};
+use crate::workload::Workload;
+use quake_core::machine::{Network, Processor};
+use quake_core::model::beta::{beta_bound, exact_comm_time, modeled_comm_time};
+use std::fmt;
+
+/// One validation row: analytic prediction vs simulated measurement for a
+/// `(workload, machine)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationRow {
+    /// Number of PEs.
+    pub parts: usize,
+    /// Simulated communication-phase duration (seconds).
+    pub sim_t_comm: f64,
+    /// Modeled `B_max·T_l + C_max·T_w` (seconds).
+    pub model_t_comm: f64,
+    /// The per-PE lower bound `max_i (B_i·T_l + C_i·T_w)` (seconds).
+    pub exact_t_comm: f64,
+    /// The β bound for this workload.
+    pub beta: f64,
+    /// Simulated efficiency given the computation phase.
+    pub sim_efficiency: f64,
+    /// Efficiency predicted by the model.
+    pub model_efficiency: f64,
+}
+
+impl ValidationRow {
+    /// Ratio of modeled to simulated communication time (1.0 = perfect;
+    /// > 1 means the model is pessimistic, < 1 optimistic).
+    pub fn model_accuracy(&self) -> f64 {
+        if self.sim_t_comm == 0.0 {
+            1.0
+        } else {
+            self.model_t_comm / self.sim_t_comm
+        }
+    }
+}
+
+impl fmt::Display for ValidationRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p={:>3}  sim={:>10.3e}s  model={:>10.3e}s  exact={:>10.3e}s  β={:.3}  E(sim)={:.3}  E(model)={:.3}",
+            self.parts,
+            self.sim_t_comm,
+            self.model_t_comm,
+            self.exact_t_comm,
+            self.beta,
+            self.sim_efficiency,
+            self.model_efficiency
+        )
+    }
+}
+
+/// Runs one validation: simulate the communication phase and compare it with
+/// the model's prediction.
+pub fn validate(
+    workload: &Workload,
+    processor: &Processor,
+    network: &Network,
+    options: SimOptions,
+) -> ValidationRow {
+    let loads = workload.pe_loads();
+    let sim_t_comm = simulate_comm_phase(workload, network, options);
+    let model_t_comm = modeled_comm_time(&loads, network.t_l, network.t_w);
+    let exact_t_comm = exact_comm_time(&loads, network.t_l, network.t_w);
+    let t_comp = workload.f_max() as f64 * processor.t_f;
+    let eff = |t_comm: f64| {
+        if t_comp + t_comm == 0.0 {
+            1.0
+        } else {
+            t_comp / (t_comp + t_comm)
+        }
+    };
+    ValidationRow {
+        parts: workload.parts(),
+        sim_t_comm,
+        model_t_comm,
+        exact_t_comm,
+        beta: beta_bound(&loads),
+        sim_efficiency: eff(sim_t_comm),
+        model_efficiency: eff(model_t_comm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(t_l: f64, t_w: f64) -> Network {
+        Network { name: "test", t_l, t_w }
+    }
+
+    #[test]
+    fn model_brackets_simulation_for_balanced_workloads() {
+        // For a balanced ring, exact ≤ sim and sim stays close to model.
+        let w = Workload::ring(16, 1_000_000, 800);
+        let row = validate(
+            &w,
+            &Processor::hypothetical_200mflops(),
+            &net(2e-6, 20e-9),
+            SimOptions::default(),
+        );
+        assert!(row.sim_t_comm >= row.exact_t_comm * (1.0 - 1e-12));
+        assert!(
+            (0.7..1.4).contains(&row.model_accuracy()),
+            "model accuracy {} out of range: {row}",
+            row.model_accuracy()
+        );
+    }
+
+    #[test]
+    fn beta_one_for_symmetric_workloads() {
+        let w = Workload::ring(8, 0, 100);
+        let row = validate(
+            &w,
+            &Processor::hypothetical_100mflops(),
+            &net(1e-6, 1e-9),
+            SimOptions::default(),
+        );
+        assert_eq!(row.beta, 1.0);
+        // For perfectly balanced loads model == exact.
+        assert!((row.model_t_comm - row.exact_t_comm).abs() < 1e-15);
+    }
+
+    #[test]
+    fn model_overestimate_within_beta_of_exact() {
+        for seed in 0..5 {
+            let w = Workload::random_sparse(24, 100_000, 400, 5, seed);
+            let row = validate(
+                &w,
+                &Processor::hypothetical_200mflops(),
+                &net(5e-6, 50e-9),
+                SimOptions::default(),
+            );
+            assert!(
+                row.model_t_comm <= row.beta * row.exact_t_comm * (1.0 + 1e-9),
+                "β bound violated: {row}"
+            );
+            assert!((1.0..=2.0).contains(&row.beta));
+        }
+    }
+
+    #[test]
+    fn efficiencies_ordered_by_comm_estimates() {
+        let w = Workload::random_sparse(16, 2_000_000, 600, 4, 1);
+        let row = validate(
+            &w,
+            &Processor::hypothetical_200mflops(),
+            &net(3e-6, 30e-9),
+            SimOptions::default(),
+        );
+        // Larger comm time → lower efficiency; model is pessimistic vs exact.
+        assert!(row.model_efficiency <= row.sim_efficiency + 0.2);
+        assert!(row.sim_efficiency > 0.0 && row.sim_efficiency < 1.0);
+    }
+
+    #[test]
+    fn display_row() {
+        let w = Workload::ring(4, 1_000, 10);
+        let row = validate(
+            &w,
+            &Processor::hypothetical_100mflops(),
+            &net(1e-6, 1e-9),
+            SimOptions::default(),
+        );
+        let s = row.to_string();
+        assert!(s.contains("p=  4"));
+        assert!(s.contains("β="));
+    }
+}

@@ -1,0 +1,254 @@
+//! SMVP workloads: per-PE flop counts plus the inter-PE traffic matrix.
+//!
+//! A workload is machine-independent — it captures what the application and
+//! partitioner determined (the paper's `F_i`, `C_i`, `B_i`) — and is the
+//! input to the discrete-event simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Workload::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The traffic matrix is not `p × p`.
+    BadTrafficShape,
+    /// The traffic matrix has a nonzero diagonal (self-messages).
+    SelfMessage(usize),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::BadTrafficShape => {
+                write!(f, "traffic matrix shape does not match flops length")
+            }
+            WorkloadError::SelfMessage(pe) => write!(f, "pe {pe} sends a message to itself"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+/// One SMVP's worth of work on a `p`-PE machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    flops: Vec<u64>,
+    /// `traffic[i][j]`: words from PE i to PE j.
+    traffic: Vec<Vec<u64>>,
+}
+
+impl Workload {
+    /// Creates a workload from per-PE flops and a words traffic matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkloadError`] if shapes disagree or the diagonal is
+    /// nonzero.
+    pub fn new(flops: Vec<u64>, traffic: Vec<Vec<u64>>) -> Result<Self, WorkloadError> {
+        let p = flops.len();
+        if traffic.len() != p || traffic.iter().any(|row| row.len() != p) {
+            return Err(WorkloadError::BadTrafficShape);
+        }
+        if let Some(i) = (0..p).find(|&i| traffic[i][i] != 0) {
+            return Err(WorkloadError::SelfMessage(i));
+        }
+        Ok(Workload { flops, traffic })
+    }
+
+    /// Number of PEs.
+    pub fn parts(&self) -> usize {
+        self.flops.len()
+    }
+
+    /// Per-PE flop counts.
+    pub fn flops(&self) -> &[u64] {
+        &self.flops
+    }
+
+    /// Words from PE `i` to PE `j`.
+    pub fn traffic(&self, i: usize, j: usize) -> u64 {
+        self.traffic[i][j]
+    }
+
+    /// Words sent + received by PE `i` (`C_i`).
+    pub fn words_of(&self, i: usize) -> u64 {
+        let sent: u64 = self.traffic[i].iter().sum();
+        let recv: u64 = (0..self.parts()).map(|j| self.traffic[j][i]).sum();
+        sent + recv
+    }
+
+    /// Blocks sent + received by PE `i` under maximal aggregation (`B_i`).
+    pub fn blocks_of(&self, i: usize) -> u64 {
+        let sent = self.traffic[i].iter().filter(|&&w| w > 0).count() as u64;
+        let recv = (0..self.parts())
+            .filter(|&j| self.traffic[j][i] > 0)
+            .count() as u64;
+        sent + recv
+    }
+
+    /// Maximum flops on any PE.
+    pub fn f_max(&self) -> u64 {
+        self.flops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum words on any PE (`C_max`).
+    pub fn c_max(&self) -> u64 {
+        (0..self.parts()).map(|i| self.words_of(i)).max().unwrap_or(0)
+    }
+
+    /// Maximum blocks on any PE (`B_max`).
+    pub fn b_max(&self) -> u64 {
+        (0..self.parts()).map(|i| self.blocks_of(i)).max().unwrap_or(0)
+    }
+
+    /// Per-PE `(words, blocks)` loads, for the β bound.
+    pub fn pe_loads(&self) -> Vec<(u64, u64)> {
+        (0..self.parts())
+            .map(|i| (self.words_of(i), self.blocks_of(i)))
+            .collect()
+    }
+
+    /// A symmetric ring workload: every PE exchanges `words` with each of
+    /// its two ring neighbors and performs `flops` flops (a regular-grid
+    /// stand-in for tests and baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 3` (smaller rings degenerate).
+    pub fn ring(p: usize, flops: u64, words: u64) -> Self {
+        assert!(p >= 3, "ring needs at least 3 PEs");
+        let mut traffic = vec![vec![0u64; p]; p];
+        for i in 0..p {
+            traffic[i][(i + 1) % p] = words;
+            traffic[i][(i + p - 1) % p] = words;
+        }
+        Workload { flops: vec![flops; p], traffic }
+    }
+
+    /// An all-to-all workload (`p·(p−1)` messages of `words` each), the
+    /// FFT-like extreme the paper contrasts the SMVP against.
+    pub fn all_to_all(p: usize, flops: u64, words: u64) -> Self {
+        let mut traffic = vec![vec![0u64; p]; p];
+        for i in 0..p {
+            for j in 0..p {
+                if i != j {
+                    traffic[i][j] = words;
+                }
+            }
+        }
+        Workload { flops: vec![flops; p], traffic }
+    }
+
+    /// A random sparse symmetric workload: each PE talks to ≈ `degree`
+    /// partners with message sizes jittered around `words`; flops are
+    /// jittered around `flops` (models partitioner imperfection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree >= p`.
+    pub fn random_sparse(p: usize, flops: u64, words: u64, degree: usize, seed: u64) -> Self {
+        assert!(degree < p, "degree must be below p");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut traffic = vec![vec![0u64; p]; p];
+        for i in 0..p {
+            let mut made = 0;
+            while made < degree {
+                let j = rng.gen_range(0..p);
+                if j == i || traffic[i][j] > 0 {
+                    made += 1; // saturate rather than loop forever
+                    continue;
+                }
+                let w = (words as f64 * rng.gen_range(0.5..1.5)) as u64 + 1;
+                traffic[i][j] = w;
+                traffic[j][i] = w;
+                made += 1;
+            }
+        }
+        let flops = (0..p)
+            .map(|_| (flops as f64 * rng.gen_range(0.9..1.1)) as u64)
+            .collect();
+        Workload { flops, traffic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            Workload::new(vec![1, 2], vec![vec![0, 1]]),
+            Err(WorkloadError::BadTrafficShape)
+        ));
+        assert!(matches!(
+            Workload::new(vec![1], vec![vec![5]]),
+            Err(WorkloadError::SelfMessage(0))
+        ));
+        assert!(Workload::new(vec![1, 2], vec![vec![0, 3], vec![3, 0]]).is_ok());
+    }
+
+    #[test]
+    fn ring_loads() {
+        let w = Workload::ring(4, 1000, 10);
+        assert_eq!(w.parts(), 4);
+        // Each PE: sends 2×10, receives 2×10.
+        assert_eq!(w.words_of(0), 40);
+        assert_eq!(w.blocks_of(0), 4);
+        assert_eq!(w.c_max(), 40);
+        assert_eq!(w.b_max(), 4);
+        assert_eq!(w.f_max(), 1000);
+    }
+
+    #[test]
+    fn all_to_all_loads() {
+        let w = Workload::all_to_all(4, 100, 5);
+        assert_eq!(w.words_of(0), 2 * 3 * 5);
+        assert_eq!(w.blocks_of(0), 6);
+    }
+
+    #[test]
+    fn asymmetric_words() {
+        let w = Workload::new(vec![0, 0], vec![vec![0, 10], vec![4, 0]]).unwrap();
+        assert_eq!(w.words_of(0), 14);
+        assert_eq!(w.words_of(1), 14);
+        assert_eq!(w.blocks_of(0), 2);
+        assert_eq!(w.traffic(0, 1), 10);
+    }
+
+    #[test]
+    fn random_sparse_is_symmetric_and_reproducible() {
+        let a = Workload::random_sparse(16, 1_000, 50, 4, 9);
+        let b = Workload::random_sparse(16, 1_000, 50, 4, 9);
+        assert_eq!(a, b);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(a.traffic(i, j), a.traffic(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pe_loads_match_accessors() {
+        let w = Workload::ring(5, 10, 7);
+        let loads = w.pe_loads();
+        for (i, &(c, b)) in loads.iter().enumerate() {
+            assert_eq!(c, w.words_of(i));
+            assert_eq!(b, w.blocks_of(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = Workload::ring(2, 1, 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WorkloadError::SelfMessage(3).to_string().contains("pe 3"));
+        assert!(WorkloadError::BadTrafficShape.to_string().contains("shape"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Communication analysis of a partitioned mesh: the quantities of paper
+//! Figure 7 (`F`, `C_max`, `B_max`, `M_avg`, `F/C_max`), the traffic matrix
+//! behind Figure 8's bisection bandwidth, and the inputs to the β bound of
+//! Figure 6.
+//!
+//! Counting rules follow Section 2.3 and 4.1 of the paper:
+//!
+//! * A node residing on several PEs is *shared*; during the communication
+//!   phase every pair of PEs sharing a node exchanges that node's three
+//!   64-bit values (3 degrees of freedom), once in each direction, so each
+//!   message from PE i to PE j is matched by one from j to i of equal
+//!   length — which is why `C_i` is even and divisible by 3.
+//! * `B_i` counts *blocks* (messages) assuming maximal aggregation: one
+//!   block to each neighbor and one from each neighbor.
+//! * `F_i = 2·m_i` where `m_i` is the number of scalar nonzeros of PE i's
+//!   local stiffness matrix (9 per locally present node pair, including
+//!   replicated boundary pairs, exactly as the distributed data structure
+//!   stores them).
+
+use crate::partition::Partition;
+use quake_mesh::mesh::TetMesh;
+use std::collections::HashMap;
+
+/// Degrees of freedom per mesh node (x, y, z displacements).
+pub const DOF_PER_NODE: usize = 3;
+
+/// Per-PE communication/computation load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeLoad {
+    /// Flops per SMVP on this PE (`F_i = 2·m_i`).
+    pub flops: u64,
+    /// 64-bit words sent + received per SMVP (`C_i`).
+    pub words: u64,
+    /// Blocks sent + received per SMVP under maximal aggregation (`B_i`).
+    pub blocks: u64,
+}
+
+/// Full communication analysis of one `(mesh, partition)` instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommAnalysis {
+    parts: usize,
+    per_pe: Vec<PeLoad>,
+    /// `traffic[i][j]`: words sent from PE i to PE j per SMVP (symmetric).
+    traffic: Vec<Vec<u64>>,
+}
+
+impl CommAnalysis {
+    /// Analyzes a partitioned mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` was built for a different mesh (element counts
+    /// disagree).
+    pub fn new(mesh: &TetMesh, partition: &Partition) -> Self {
+        assert_eq!(
+            partition.assignments().len(),
+            mesh.element_count(),
+            "partition does not match mesh"
+        );
+        let p = partition.parts();
+        // --- Communication: pairwise shared-node counts. ---
+        let mut shared: HashMap<(usize, usize), u64> = HashMap::new();
+        for v in 0..mesh.node_count() {
+            let pes = partition.node_pes(v);
+            for (a_idx, &a) in pes.iter().enumerate() {
+                for &b in &pes[a_idx + 1..] {
+                    *shared.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut traffic = vec![vec![0u64; p]; p];
+        for (&(a, b), &s) in &shared {
+            let words = (DOF_PER_NODE as u64) * s;
+            traffic[a][b] = words;
+            traffic[b][a] = words;
+        }
+        // --- Computation: local stiffness-block counts per PE. ---
+        // Local blocks of PE q: unique node pairs co-occurring in q's
+        // elements, plus one self block per local node.
+        let mut local_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
+        for (e, &q) in partition.assignments().iter().enumerate() {
+            let el = mesh.elements()[e];
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    let (a, b) = (el[i].min(el[j]) as u32, el[i].max(el[j]) as u32);
+                    local_pairs[q].push((a, b));
+                }
+            }
+        }
+        let mut local_node_counts = vec![0u64; p];
+        for v in 0..mesh.node_count() {
+            for &q in partition.node_pes(v) {
+                local_node_counts[q] += 1;
+            }
+        }
+        let mut per_pe = vec![PeLoad::default(); p];
+        for q in 0..p {
+            let pairs = &mut local_pairs[q];
+            pairs.sort_unstable();
+            pairs.dedup();
+            let local_edges = pairs.len() as u64;
+            let local_nodes = local_node_counts[q];
+            // Block nnz: 2 per edge (both (i,j) and (j,i)) + 1 per node.
+            let block_nnz = 2 * local_edges + local_nodes;
+            per_pe[q].flops = 2 * 9 * block_nnz;
+            let words: u64 = traffic[q].iter().sum();
+            let neighbors = traffic[q].iter().filter(|&&w| w > 0).count() as u64;
+            // Sent + received: double the one-directional volume/counts.
+            per_pe[q].words = 2 * words;
+            per_pe[q].blocks = 2 * neighbors;
+        }
+        CommAnalysis { parts: p, per_pe, traffic }
+    }
+
+    /// Number of PEs.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Per-PE loads.
+    pub fn per_pe(&self) -> &[PeLoad] {
+        &self.per_pe
+    }
+
+    /// Words sent from PE `i` to PE `j` per SMVP.
+    pub fn traffic(&self, i: usize, j: usize) -> u64 {
+        self.traffic[i][j]
+    }
+
+    /// Maximum flops on any PE (the paper's `F`).
+    pub fn f_max(&self) -> u64 {
+        self.per_pe.iter().map(|l| l.flops).max().unwrap_or(0)
+    }
+
+    /// Mean flops per PE.
+    pub fn f_avg(&self) -> f64 {
+        if self.per_pe.is_empty() {
+            return 0.0;
+        }
+        self.per_pe.iter().map(|l| l.flops).sum::<u64>() as f64 / self.parts as f64
+    }
+
+    /// Maximum words communicated by any PE (`C_max`).
+    pub fn c_max(&self) -> u64 {
+        self.per_pe.iter().map(|l| l.words).max().unwrap_or(0)
+    }
+
+    /// Maximum blocks transferred by any PE (`B_max`).
+    pub fn b_max(&self) -> u64 {
+        self.per_pe.iter().map(|l| l.blocks).max().unwrap_or(0)
+    }
+
+    /// Mean message (block) size in words under maximal aggregation:
+    /// total directed words / total directed messages (`M_avg`).
+    pub fn m_avg(&self) -> f64 {
+        let mut words = 0u64;
+        let mut msgs = 0u64;
+        for i in 0..self.parts {
+            for j in 0..self.parts {
+                if self.traffic[i][j] > 0 {
+                    words += self.traffic[i][j];
+                    msgs += 1;
+                }
+            }
+        }
+        if msgs == 0 {
+            0.0
+        } else {
+            words as f64 / msgs as f64
+        }
+    }
+
+    /// Computation/communication ratio `F / C_max`, or infinity with no
+    /// communication.
+    pub fn comp_comm_ratio(&self) -> f64 {
+        let c = self.c_max();
+        if c == 0 {
+            f64::INFINITY
+        } else {
+            self.f_max() as f64 / c as f64
+        }
+    }
+
+    /// The paper's β bound (Section 3.4) on the overestimate of `T_comm`
+    /// caused by assuming the word-maximal PE is also block-maximal.
+    /// Delegates to [`quake_core::model::beta::beta_bound`].
+    ///
+    /// Always in `[1, 2]`; exactly 1 when some PE attains both maxima.
+    pub fn beta(&self) -> f64 {
+        let loads: Vec<(u64, u64)> =
+            self.per_pe.iter().map(|l| (l.words, l.blocks)).collect();
+        quake_core::model::beta::beta_bound(&loads)
+    }
+
+    /// Words crossing the bisection `{0…p/2−1} | {p/2…p−1}` per SMVP, both
+    /// directions (the paper's `V` in Section 4.2).
+    pub fn bisection_words(&self) -> u64 {
+        let half = self.parts / 2;
+        let mut v = 0u64;
+        for i in 0..half {
+            for j in half..self.parts {
+                v += self.traffic[i][j] + self.traffic[j][i];
+            }
+        }
+        v
+    }
+
+    /// Total words exchanged per SMVP, summed over all directed messages.
+    pub fn total_words(&self) -> u64 {
+        self.traffic.iter().flatten().sum()
+    }
+
+    /// Total directed messages per SMVP.
+    pub fn total_messages(&self) -> u64 {
+        self.traffic
+            .iter()
+            .flatten()
+            .filter(|&&w| w > 0)
+            .count() as u64
+    }
+
+    /// Maximum number of distinct neighbor PEs of any PE.
+    pub fn max_neighbors(&self) -> usize {
+        (self.b_max() / 2) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric::{Partitioner, RecursiveBisection};
+    use quake_mesh::generator::{generate_mesh, GeneratorOptions};
+    use quake_mesh::geometry::Aabb;
+    use quake_mesh::ground::UniformSizing;
+    use quake_sparse::dense::Vec3;
+
+    fn two_tets() -> TetMesh {
+        TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_pe_hand_counts() {
+        let mesh = two_tets();
+        let part = Partition::new(&mesh, 2, vec![0, 1]).unwrap();
+        let a = CommAnalysis::new(&mesh, &part);
+        // 3 shared nodes × 3 dof = 9 words each way.
+        assert_eq!(a.traffic(0, 1), 9);
+        assert_eq!(a.traffic(1, 0), 9);
+        // Each PE sends 9 and receives 9.
+        assert_eq!(a.c_max(), 18);
+        // One neighbor each: 1 send + 1 receive block.
+        assert_eq!(a.b_max(), 2);
+        assert_eq!(a.m_avg(), 9.0);
+        // Each PE: 4 local nodes, 6 local edges → 2*6+4 = 16 blocks →
+        // F = 2*9*16 = 288.
+        assert_eq!(a.f_max(), 288);
+        assert_eq!(a.f_avg(), 288.0);
+        assert_eq!(a.beta(), 1.0);
+        assert_eq!(a.bisection_words(), 18);
+        assert_eq!(a.total_words(), 18);
+        assert_eq!(a.total_messages(), 2);
+        assert_eq!(a.max_neighbors(), 1);
+    }
+
+    #[test]
+    fn c_values_are_even_and_divisible_by_three() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let part = RecursiveBisection::inertial().partition(&mesh, 8).unwrap();
+        let a = CommAnalysis::new(&mesh, &part);
+        for l in a.per_pe() {
+            assert_eq!(l.words % 6, 0, "C_i must be even and divisible by 3");
+            assert_eq!(l.blocks % 2, 0, "B_i must be even (matched send/recv)");
+        }
+    }
+
+    #[test]
+    fn beta_in_unit_interval() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        for &p in &[2usize, 4, 8, 16] {
+            let part = RecursiveBisection::coordinate().partition(&mesh, p).unwrap();
+            let a = CommAnalysis::new(&mesh, &part);
+            let beta = a.beta();
+            assert!((1.0..=2.0).contains(&beta), "β = {beta} out of [1, 2] for p = {p}");
+        }
+    }
+
+    #[test]
+    fn single_pe_has_no_communication() {
+        let mesh = two_tets();
+        let part = Partition::new(&mesh, 1, vec![0, 0]).unwrap();
+        let a = CommAnalysis::new(&mesh, &part);
+        assert_eq!(a.c_max(), 0);
+        assert_eq!(a.b_max(), 0);
+        assert_eq!(a.m_avg(), 0.0);
+        assert_eq!(a.beta(), 1.0);
+        assert!(a.comp_comm_ratio().is_infinite());
+        // The whole mesh on one PE: 5 nodes, 9 edges → 2*9+5 = 23 blocks.
+        assert_eq!(a.f_max(), 2 * 9 * 23);
+    }
+
+    #[test]
+    fn flops_sum_exceeds_sequential_due_to_replication() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let sequential = mesh.pattern().smvp_flops();
+        let part = RecursiveBisection::inertial().partition(&mesh, 8).unwrap();
+        let a = CommAnalysis::new(&mesh, &part);
+        let parallel_total: u64 = a.per_pe().iter().map(|l| l.flops).sum();
+        assert!(parallel_total >= sequential);
+        // ...but not by much for a good geometric partition.
+        assert!(
+            (parallel_total as f64) < 1.5 * sequential as f64,
+            "replication overhead too high: {parallel_total} vs {sequential}"
+        );
+    }
+
+    #[test]
+    fn ratio_grows_with_fewer_parts() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let r4 = {
+            let part = RecursiveBisection::inertial().partition(&mesh, 4).unwrap();
+            CommAnalysis::new(&mesh, &part).comp_comm_ratio()
+        };
+        let r16 = {
+            let part = RecursiveBisection::inertial().partition(&mesh, 16).unwrap();
+            CommAnalysis::new(&mesh, &part).comp_comm_ratio()
+        };
+        assert!(
+            r4 > r16,
+            "F/C_max should fall as p grows: r4 = {r4}, r16 = {r16}"
+        );
+    }
+
+    #[test]
+    fn traffic_is_symmetric() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(5.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let part = RecursiveBisection::coordinate().partition(&mesh, 8).unwrap();
+        let a = CommAnalysis::new(&mesh, &part);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(a.traffic(i, j), a.traffic(j, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_partition_panics() {
+        let mesh = two_tets();
+        let other = TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3]],
+        )
+        .unwrap();
+        let part = Partition::new(&other, 1, vec![0]).unwrap();
+        let _ = CommAnalysis::new(&mesh, &part);
+    }
+}

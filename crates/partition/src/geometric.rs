@@ -1,0 +1,339 @@
+//! Geometric partitioners: recursive coordinate and inertial bisection,
+//! plus random and linear baselines.
+//!
+//! The Quake meshes were partitioned by a recursive geometric bisection
+//! algorithm (Miller–Teng–Thurston–Vavasis) that "divides the elements
+//! equally among the subdomains while attempting to minimize the total
+//! number of nodes that are shared by multiple subdomains". Recursive
+//! inertial bisection is the classic practical member of this family: each
+//! cut is a plane perpendicular to the principal axis of the subdomain's
+//! element centroids, placed at the weighted median so element counts split
+//! exactly. Baselines (random, linear) exist so the benches can show what a
+//! *bad* partitioner does to `C_max` and `B_max`.
+
+use crate::partition::{Partition, PartitionError};
+use quake_mesh::mesh::TetMesh;
+use quake_sparse::dense::{Mat3, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A strategy for dividing mesh elements among `p` PEs.
+pub trait Partitioner {
+    /// Short name used in reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Partitions `mesh` into `parts` subdomains with near-equal element
+    /// counts (sizes differ by at most one for the geometric methods).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::ZeroParts`] if `parts == 0`.
+    fn partition(&self, mesh: &TetMesh, parts: usize) -> Result<Partition, PartitionError>;
+}
+
+/// How a recursive bisection chooses its cut direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutAxis {
+    /// Cut perpendicular to the longest side of the subdomain bounding box.
+    LongestSide,
+    /// Cut perpendicular to the principal (largest-spread) inertial axis of
+    /// the subdomain's element centroids.
+    Inertial,
+}
+
+/// Recursive geometric bisection over element centroids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecursiveBisection {
+    /// Cut-direction policy.
+    pub axis: CutAxis,
+}
+
+impl RecursiveBisection {
+    /// Coordinate (longest-side) bisection.
+    pub fn coordinate() -> Self {
+        RecursiveBisection { axis: CutAxis::LongestSide }
+    }
+
+    /// Inertial (principal-axis) bisection.
+    pub fn inertial() -> Self {
+        RecursiveBisection { axis: CutAxis::Inertial }
+    }
+
+    fn cut_direction(&self, centroids: &[Vec3], items: &[usize]) -> Vec3 {
+        match self.axis {
+            CutAxis::LongestSide => {
+                let pts: Vec<Vec3> = items.iter().map(|&e| centroids[e]).collect();
+                let bbox = quake_mesh::geometry::Aabb::from_points(&pts)
+                    .expect("non-empty subdomain");
+                let ext = bbox.extent();
+                if ext.x >= ext.y && ext.x >= ext.z {
+                    Vec3::new(1.0, 0.0, 0.0)
+                } else if ext.y >= ext.z {
+                    Vec3::new(0.0, 1.0, 0.0)
+                } else {
+                    Vec3::new(0.0, 0.0, 1.0)
+                }
+            }
+            CutAxis::Inertial => {
+                let n = items.len() as f64;
+                let mean = items
+                    .iter()
+                    .fold(Vec3::ZERO, |acc, &e| acc + centroids[e])
+                    * (1.0 / n);
+                let mut cov = Mat3::ZERO;
+                for &e in items {
+                    let d = centroids[e] - mean;
+                    cov += Mat3::outer(d, d);
+                }
+                cov = cov * (1.0 / n);
+                if cov.frobenius_norm() < 1e-30 {
+                    // All centroids coincide; any direction works.
+                    return Vec3::new(1.0, 0.0, 0.0);
+                }
+                let (_, vecs) = cov.symmetric_eigen();
+                vecs[0]
+            }
+        }
+    }
+
+    fn recurse(
+        &self,
+        centroids: &[Vec3],
+        items: &mut [usize],
+        lo_part: usize,
+        hi_part: usize,
+        out: &mut [usize],
+    ) {
+        let parts = hi_part - lo_part;
+        if items.is_empty() {
+            return;
+        }
+        if parts == 1 {
+            for &e in items.iter() {
+                out[e] = lo_part;
+            }
+            return;
+        }
+        let left_parts = parts / 2;
+        // Split element counts proportionally to part counts so uneven part
+        // totals (e.g. 3 parts) still balance.
+        let split = items.len() * left_parts / parts;
+        let dir = self.cut_direction(centroids, items);
+        items.select_nth_unstable_by(split.max(1) - 1, |&a, &b| {
+            centroids[a]
+                .dot(dir)
+                .partial_cmp(&centroids[b].dot(dir))
+                .expect("finite centroids")
+        });
+        let (left, right) = items.split_at_mut(split);
+        self.recurse(centroids, left, lo_part, lo_part + left_parts, out);
+        self.recurse(centroids, right, lo_part + left_parts, hi_part, out);
+    }
+}
+
+impl Partitioner for RecursiveBisection {
+    fn name(&self) -> &'static str {
+        match self.axis {
+            CutAxis::LongestSide => "rcb",
+            CutAxis::Inertial => "rib",
+        }
+    }
+
+    fn partition(&self, mesh: &TetMesh, parts: usize) -> Result<Partition, PartitionError> {
+        if parts == 0 {
+            return Err(PartitionError::ZeroParts);
+        }
+        let m = mesh.element_count();
+        let centroids: Vec<Vec3> = (0..m).map(|e| mesh.tetra(e).centroid()).collect();
+        let mut items: Vec<usize> = (0..m).collect();
+        let mut out = vec![0usize; m];
+        if m > 0 {
+            let effective = parts.min(m.max(1));
+            self.recurse(&centroids, &mut items, 0, effective, &mut out);
+        }
+        Partition::new(mesh, parts, out)
+    }
+}
+
+/// Baseline: uniformly random assignment (what the geometric partitioner is
+/// being compared against in the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomPartition {
+    /// RNG seed (assignments are reproducible per seed).
+    pub seed: u64,
+}
+
+impl Partitioner for RandomPartition {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn partition(&self, mesh: &TetMesh, parts: usize) -> Result<Partition, PartitionError> {
+        if parts == 0 {
+            return Err(PartitionError::ZeroParts);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let assign = (0..mesh.element_count()).map(|_| rng.gen_range(0..parts)).collect();
+        Partition::new(mesh, parts, assign)
+    }
+}
+
+/// Baseline: contiguous blocks of element indices. Better than random when
+/// element order has spatial locality (our Delaunay emits Morton-ordered
+/// points), far worse than geometric bisection otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinearPartition;
+
+impl Partitioner for LinearPartition {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn partition(&self, mesh: &TetMesh, parts: usize) -> Result<Partition, PartitionError> {
+        if parts == 0 {
+            return Err(PartitionError::ZeroParts);
+        }
+        let m = mesh.element_count();
+        let assign = (0..m)
+            .map(|e| (e * parts / m.max(1)).min(parts - 1))
+            .collect();
+        Partition::new(mesh, parts, assign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_mesh::generator::{generate_mesh, GeneratorOptions};
+    use quake_mesh::geometry::Aabb;
+    use quake_mesh::ground::UniformSizing;
+
+    fn cube_mesh() -> TetMesh {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap()
+    }
+
+    fn check_balance(part: &Partition) {
+        let sizes = part.part_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        // Geometric bisection with proportional splits keeps parts within a
+        // few elements of each other.
+        assert!(
+            max - min <= part.parts(),
+            "imbalanced: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn rcb_partitions_evenly() {
+        let mesh = cube_mesh();
+        for &p in &[2usize, 4, 8, 16] {
+            let part = RecursiveBisection::coordinate().partition(&mesh, p).unwrap();
+            assert_eq!(part.parts(), p);
+            check_balance(&part);
+        }
+    }
+
+    #[test]
+    fn rib_partitions_evenly() {
+        let mesh = cube_mesh();
+        for &p in &[2usize, 3, 4, 8] {
+            let part = RecursiveBisection::inertial().partition(&mesh, p).unwrap();
+            check_balance(&part);
+        }
+    }
+
+    #[test]
+    fn geometric_beats_random_on_shared_nodes() {
+        let mesh = cube_mesh();
+        let rib = RecursiveBisection::inertial().partition(&mesh, 8).unwrap();
+        let rnd = RandomPartition { seed: 1 }.partition(&mesh, 8).unwrap();
+        // On this small mesh (8³ leaf cells) surface-to-volume is large, so
+        // demand a 25% margin rather than the asymptotic factor.
+        assert!(
+            (rib.shared_node_count() as f64) < 0.75 * rnd.shared_node_count() as f64,
+            "rib = {}, random = {}",
+            rib.shared_node_count(),
+            rnd.shared_node_count()
+        );
+    }
+
+    #[test]
+    fn rcb_cuts_are_spatial() {
+        let mesh = cube_mesh();
+        let part = RecursiveBisection::coordinate().partition(&mesh, 2).unwrap();
+        // The two halves should separate along some axis: centroids of parts
+        // must differ substantially in at least one coordinate.
+        let mut sums = [Vec3::ZERO; 2];
+        let mut counts = [0usize; 2];
+        for e in 0..mesh.element_count() {
+            let q = part.part_of(e);
+            sums[q] += mesh.tetra(e).centroid();
+            counts[q] += 1;
+        }
+        let c0 = sums[0] * (1.0 / counts[0] as f64);
+        let c1 = sums[1] * (1.0 / counts[1] as f64);
+        assert!((c0 - c1).norm() > 1.0, "parts not spatially separated");
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let mesh = cube_mesh();
+        for strat in [RecursiveBisection::coordinate(), RecursiveBisection::inertial()] {
+            let part = strat.partition(&mesh, 1).unwrap();
+            assert_eq!(part.shared_node_count(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_parts_rejected_everywhere() {
+        let mesh = cube_mesh();
+        assert!(RecursiveBisection::coordinate().partition(&mesh, 0).is_err());
+        assert!(RandomPartition { seed: 0 }.partition(&mesh, 0).is_err());
+        assert!(LinearPartition.partition(&mesh, 0).is_err());
+    }
+
+    #[test]
+    fn linear_partition_is_contiguous() {
+        let mesh = cube_mesh();
+        let part = LinearPartition.partition(&mesh, 4).unwrap();
+        let a = part.assignments();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "assignments must be monotone");
+        check_balance(&part);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RecursiveBisection::coordinate().name(), "rcb");
+        assert_eq!(RecursiveBisection::inertial().name(), "rib");
+        assert_eq!(RandomPartition { seed: 0 }.name(), "random");
+        assert_eq!(LinearPartition.name(), "linear");
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let mesh = cube_mesh();
+        let a = RandomPartition { seed: 7 }.partition(&mesh, 4).unwrap();
+        let b = RandomPartition { seed: 7 }.partition(&mesh, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_parts_than_elements() {
+        // Degenerate but must not panic: 1 element, 4 parts.
+        let mesh = TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3]],
+        )
+        .unwrap();
+        let part = RecursiveBisection::coordinate().partition(&mesh, 4).unwrap();
+        assert_eq!(part.parts(), 4);
+        assert_eq!(part.part_sizes().iter().sum::<usize>(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Partition-quality metrics used by the partitioner ablation benches.
+
+use crate::comm::CommAnalysis;
+use crate::partition::Partition;
+use quake_mesh::mesh::TetMesh;
+use std::fmt;
+
+/// Summary quality metrics of one partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of parts.
+    pub parts: usize,
+    /// Element imbalance (1.0 = perfect).
+    pub imbalance: f64,
+    /// Nodes residing on more than one PE.
+    pub shared_nodes: usize,
+    /// Total node residencies / node count.
+    pub replication_factor: f64,
+    /// Mesh edges whose endpoints reside on disjoint PE sets — a
+    /// graph-cut-style proxy (0 for one part).
+    pub edge_cut: usize,
+    /// Maximum words on any PE (`C_max`).
+    pub c_max: u64,
+    /// Maximum blocks on any PE (`B_max`).
+    pub b_max: u64,
+    /// Computation/communication ratio `F/C_max`.
+    pub comp_comm_ratio: f64,
+}
+
+impl PartitionQuality {
+    /// Measures `partition` against `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not match the mesh.
+    pub fn measure(mesh: &TetMesh, partition: &Partition) -> Self {
+        let analysis = CommAnalysis::new(mesh, partition);
+        let mut edge_cut = 0usize;
+        for (a, b) in mesh.edges() {
+            let pa = partition.node_pes(a);
+            let pb = partition.node_pes(b);
+            // The edge is cut if no PE holds both endpoints.
+            let joint = pa.iter().any(|q| pb.binary_search(q).is_ok());
+            if !joint {
+                edge_cut += 1;
+            }
+        }
+        PartitionQuality {
+            parts: partition.parts(),
+            imbalance: partition.imbalance(),
+            shared_nodes: partition.shared_node_count(),
+            replication_factor: partition.replication_factor(),
+            edge_cut,
+            c_max: analysis.c_max(),
+            b_max: analysis.b_max(),
+            comp_comm_ratio: analysis.comp_comm_ratio(),
+        }
+    }
+}
+
+impl fmt::Display for PartitionQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p={} imbalance={:.3} shared={} repl={:.3} cut={} C_max={} B_max={} F/C_max={:.1}",
+            self.parts,
+            self.imbalance,
+            self.shared_nodes,
+            self.replication_factor,
+            self.edge_cut,
+            self.c_max,
+            self.b_max,
+            self.comp_comm_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric::{Partitioner, RandomPartition, RecursiveBisection};
+    use quake_mesh::generator::{generate_mesh, GeneratorOptions};
+    use quake_mesh::geometry::Aabb;
+    use quake_mesh::ground::UniformSizing;
+    use quake_sparse::dense::Vec3;
+
+    fn mesh() -> TetMesh {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(5.0));
+        generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn single_part_quality_is_trivial() {
+        let m = mesh();
+        let part = RecursiveBisection::coordinate().partition(&m, 1).unwrap();
+        let q = PartitionQuality::measure(&m, &part);
+        assert_eq!(q.shared_nodes, 0);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.c_max, 0);
+        assert_eq!(q.replication_factor, 1.0);
+    }
+
+    #[test]
+    fn geometric_dominates_random() {
+        let m = mesh();
+        let good = PartitionQuality::measure(
+            &m,
+            &RecursiveBisection::inertial().partition(&m, 8).unwrap(),
+        );
+        let bad = PartitionQuality::measure(
+            &m,
+            &RandomPartition { seed: 3 }.partition(&m, 8).unwrap(),
+        );
+        assert!(good.shared_nodes < bad.shared_nodes);
+        assert!(good.c_max < bad.c_max);
+        assert!(good.replication_factor < bad.replication_factor);
+        assert!(good.comp_comm_ratio > bad.comp_comm_ratio);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = mesh();
+        let q = PartitionQuality::measure(
+            &m,
+            &RecursiveBisection::coordinate().partition(&m, 4).unwrap(),
+        );
+        let text = q.to_string();
+        assert!(text.contains("p=4"));
+        assert!(text.contains("C_max="));
+    }
+
+    #[test]
+    fn edge_cut_zero_when_geometrically_separated() {
+        // Two tets far apart in different parts: no cut edges (no shared
+        // nodes at all).
+        let m = TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(10.0, 0.0, 0.0),
+                Vec3::new(11.0, 0.0, 0.0),
+                Vec3::new(10.0, 1.0, 0.0),
+                Vec3::new(10.0, 0.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [4, 5, 6, 7]],
+        )
+        .unwrap();
+        let part = crate::partition::Partition::new(&m, 2, vec![0, 1]).unwrap();
+        let q = PartitionQuality::measure(&m, &part);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.shared_nodes, 0);
+        assert_eq!(q.c_max, 0);
+    }
+}

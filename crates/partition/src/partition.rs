@@ -1,0 +1,287 @@
+//! The element partition type: the mapping of mesh elements to processing
+//! elements (PEs) and the node replication it induces.
+//!
+//! Terminology follows the paper: the mesh is divided into `p` disjoint sets
+//! of *elements* called *subdomains*, one per PE. A node incident to
+//! elements in several subdomains *resides on* (is replicated across) all of
+//! those PEs, and its `x`/`y` values are exchanged and summed during the
+//! communication phase of every SMVP.
+
+use quake_mesh::mesh::TetMesh;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Partition::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The assignment length does not match the mesh element count.
+    LengthMismatch {
+        /// Number of elements in the mesh.
+        elements: usize,
+        /// Length of the assignment vector.
+        assignments: usize,
+    },
+    /// An assignment references a part `>= parts`.
+    PartOutOfRange {
+        /// The offending element.
+        element: usize,
+        /// The out-of-range part id.
+        part: usize,
+        /// The number of parts.
+        parts: usize,
+    },
+    /// `parts` was zero.
+    ZeroParts,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::LengthMismatch { elements, assignments } => write!(
+                f,
+                "assignment length {assignments} does not match element count {elements}"
+            ),
+            PartitionError::PartOutOfRange { element, part, parts } => {
+                write!(f, "element {element} assigned to part {part} of {parts}")
+            }
+            PartitionError::ZeroParts => write!(f, "partition must have at least one part"),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// A partition of mesh elements into `p` subdomains.
+///
+/// # Examples
+///
+/// ```
+/// use quake_mesh::mesh::TetMesh;
+/// use quake_partition::partition::Partition;
+/// use quake_sparse::dense::Vec3;
+/// let mesh = TetMesh::new(
+///     vec![
+///         Vec3::new(0.0, 0.0, 0.0),
+///         Vec3::new(1.0, 0.0, 0.0),
+///         Vec3::new(0.0, 1.0, 0.0),
+///         Vec3::new(0.0, 0.0, 1.0),
+///         Vec3::new(1.0, 1.0, 1.0),
+///     ],
+///     vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+/// ).unwrap();
+/// let part = Partition::new(&mesh, 2, vec![0, 1])?;
+/// // Nodes 1, 2, 3 are on the shared face: replicated on both PEs.
+/// assert_eq!(part.node_pes(1), &[0, 1]);
+/// # Ok::<(), quake_partition::partition::PartitionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    parts: usize,
+    elem_part: Vec<usize>,
+    /// For each node, the sorted list of PEs it resides on.
+    node_pes: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Creates a partition from an element → part assignment and derives the
+    /// node-residency map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PartitionError`] if the assignment is inconsistent with
+    /// the mesh or `parts == 0`.
+    pub fn new(
+        mesh: &TetMesh,
+        parts: usize,
+        elem_part: Vec<usize>,
+    ) -> Result<Self, PartitionError> {
+        if parts == 0 {
+            return Err(PartitionError::ZeroParts);
+        }
+        if elem_part.len() != mesh.element_count() {
+            return Err(PartitionError::LengthMismatch {
+                elements: mesh.element_count(),
+                assignments: elem_part.len(),
+            });
+        }
+        if let Some((e, &p)) = elem_part.iter().enumerate().find(|&(_, &p)| p >= parts) {
+            return Err(PartitionError::PartOutOfRange { element: e, part: p, parts });
+        }
+        let mut node_pes: Vec<Vec<usize>> = vec![Vec::new(); mesh.node_count()];
+        for (e, &p) in elem_part.iter().enumerate() {
+            for &v in &mesh.elements()[e] {
+                if !node_pes[v].contains(&p) {
+                    node_pes[v].push(p);
+                }
+            }
+        }
+        for pes in node_pes.iter_mut() {
+            pes.sort_unstable();
+        }
+        Ok(Partition { parts, elem_part, node_pes })
+    }
+
+    /// Number of parts (PEs / subdomains).
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The element → part assignment.
+    pub fn assignments(&self) -> &[usize] {
+        &self.elem_part
+    }
+
+    /// The part of element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn part_of(&self, e: usize) -> usize {
+        self.elem_part[e]
+    }
+
+    /// The sorted PEs on which node `v` resides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn node_pes(&self, v: usize) -> &[usize] {
+        &self.node_pes[v]
+    }
+
+    /// Number of elements assigned to each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &p in &self.elem_part {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+
+    /// Element imbalance: `max part size / ideal part size` (1.0 = perfect).
+    /// Returns 0.0 for an empty mesh.
+    pub fn imbalance(&self) -> f64 {
+        let sizes = self.part_sizes();
+        let total: usize = sizes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ideal = total as f64 / self.parts as f64;
+        *sizes.iter().max().expect("non-empty") as f64 / ideal
+    }
+
+    /// Number of nodes residing on more than one PE (the quantity the
+    /// geometric partitioner minimizes; the paper's "shared nodes").
+    pub fn shared_node_count(&self) -> usize {
+        self.node_pes.iter().filter(|pes| pes.len() > 1).count()
+    }
+
+    /// Node replication factor: total residency count / node count
+    /// (1.0 means no replication).
+    pub fn replication_factor(&self) -> f64 {
+        if self.node_pes.is_empty() {
+            return 1.0;
+        }
+        let total: usize = self.node_pes.iter().map(|p| p.len()).sum();
+        total as f64 / self.node_pes.len() as f64
+    }
+
+    /// The elements of part `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= parts()`.
+    pub fn elements_of(&self, q: usize) -> Vec<usize> {
+        assert!(q < self.parts, "part {q} out of range");
+        self.elem_part
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &p)| (p == q).then_some(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_sparse::dense::Vec3;
+
+    fn two_tets() -> TetMesh {
+        TetMesh::new(
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let mesh = two_tets();
+        assert!(matches!(
+            Partition::new(&mesh, 0, vec![]),
+            Err(PartitionError::ZeroParts)
+        ));
+        assert!(matches!(
+            Partition::new(&mesh, 2, vec![0]),
+            Err(PartitionError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Partition::new(&mesh, 2, vec![0, 5]),
+            Err(PartitionError::PartOutOfRange { part: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn node_residency() {
+        let mesh = two_tets();
+        let part = Partition::new(&mesh, 2, vec![0, 1]).unwrap();
+        assert_eq!(part.node_pes(0), &[0]);
+        assert_eq!(part.node_pes(4), &[1]);
+        for v in 1..=3 {
+            assert_eq!(part.node_pes(v), &[0, 1]);
+        }
+        assert_eq!(part.shared_node_count(), 3);
+        assert!((part.replication_factor() - 8.0 / 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn part_sizes_and_imbalance() {
+        let mesh = two_tets();
+        let balanced = Partition::new(&mesh, 2, vec![0, 1]).unwrap();
+        assert_eq!(balanced.part_sizes(), vec![1, 1]);
+        assert_eq!(balanced.imbalance(), 1.0);
+        let skewed = Partition::new(&mesh, 2, vec![0, 0]).unwrap();
+        assert_eq!(skewed.imbalance(), 2.0);
+        assert_eq!(skewed.shared_node_count(), 0);
+    }
+
+    #[test]
+    fn elements_of_part() {
+        let mesh = two_tets();
+        let part = Partition::new(&mesh, 2, vec![1, 0]).unwrap();
+        assert_eq!(part.elements_of(0), vec![1]);
+        assert_eq!(part.elements_of(1), vec![0]);
+        assert_eq!(part.part_of(0), 1);
+    }
+
+    #[test]
+    fn single_part_has_no_sharing() {
+        let mesh = two_tets();
+        let part = Partition::new(&mesh, 1, vec![0, 0]).unwrap();
+        assert_eq!(part.shared_node_count(), 0);
+        assert_eq!(part.replication_factor(), 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PartitionError::PartOutOfRange { element: 1, part: 9, parts: 4 };
+        assert!(e.to_string().contains("part 9 of 4"));
+        assert!(PartitionError::ZeroParts.to_string().contains("at least one"));
+    }
+}

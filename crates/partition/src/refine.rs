@@ -1,0 +1,263 @@
+//! Greedy boundary refinement: a Kernighan–Lin-flavored local improvement
+//! pass over an element partition.
+//!
+//! The geometric bisection's cuts are planes; refinement lets boundary
+//! elements migrate to whichever neighboring subdomain reduces the number of
+//! shared nodes, subject to an element-balance constraint. The paper's
+//! partitioner family ("competitive with those produced by other modern
+//! partitioning algorithms") uses exactly this structure: a global geometric
+//! split plus local cleanup.
+
+use crate::partition::{Partition, PartitionError};
+use quake_mesh::mesh::TetMesh;
+use std::collections::HashMap;
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOptions {
+    /// Maximum allowed element imbalance (max part / ideal part); moves
+    /// that would push a part above this are rejected. 1.05 = 5% slack.
+    pub max_imbalance: f64,
+    /// Number of full sweeps over boundary elements.
+    pub sweeps: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions { max_imbalance: 1.05, sweeps: 4 }
+    }
+}
+
+/// The outcome of a refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Elements moved across subdomain boundaries.
+    pub moves: usize,
+    /// Shared-node count before refinement.
+    pub shared_before: usize,
+    /// Shared-node count after refinement.
+    pub shared_after: usize,
+}
+
+/// Computes, for one node, the set of parts among `elem_part` of its
+/// incident elements.
+fn node_parts(incident: &[usize], elem_part: &[usize]) -> Vec<usize> {
+    let mut parts: Vec<usize> = incident.iter().map(|&e| elem_part[e]).collect();
+    parts.sort_unstable();
+    parts.dedup();
+    parts
+}
+
+/// Greedily refines `partition`, returning the improved partition and move
+/// statistics. The objective is the total number of shared nodes (nodes
+/// whose incident elements span more than one part).
+///
+/// # Errors
+///
+/// Returns [`PartitionError`] only if reconstructing the partition fails
+/// (cannot happen for a valid input partition).
+///
+/// # Panics
+///
+/// Panics if `partition` does not match `mesh`.
+pub fn refine(
+    mesh: &TetMesh,
+    partition: &Partition,
+    options: RefineOptions,
+) -> Result<(Partition, RefineStats), PartitionError> {
+    assert_eq!(
+        partition.assignments().len(),
+        mesh.element_count(),
+        "partition does not match mesh"
+    );
+    let p = partition.parts();
+    let mut elem_part: Vec<usize> = partition.assignments().to_vec();
+    // Node → incident elements.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); mesh.node_count()];
+    for (e, conn) in mesh.elements().iter().enumerate() {
+        for &v in conn {
+            incident[v].push(e);
+        }
+    }
+    let shared_count = |elem_part: &[usize]| -> usize {
+        incident
+            .iter()
+            .filter(|inc| !inc.is_empty() && node_parts(inc, elem_part).len() > 1)
+            .count()
+    };
+    let shared_before = shared_count(&elem_part);
+    let mut sizes = vec![0usize; p];
+    for &q in &elem_part {
+        sizes[q] += 1;
+    }
+    let ideal = mesh.element_count() as f64 / p as f64;
+    let cap = (ideal * options.max_imbalance).ceil() as usize;
+    let mut moves = 0usize;
+    for _ in 0..options.sweeps {
+        let mut moved_this_sweep = 0usize;
+        for e in 0..mesh.element_count() {
+            let home = elem_part[e];
+            // Candidate destinations: parts of neighboring elements through
+            // shared nodes.
+            let mut candidates: HashMap<usize, ()> = HashMap::new();
+            for &v in &mesh.elements()[e] {
+                for &ne in &incident[v] {
+                    let q = elem_part[ne];
+                    if q != home {
+                        candidates.insert(q, ());
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            // Local objective: shared-node delta restricted to e's nodes and
+            // their incident elements (the only nodes a move can affect).
+            let local_shared = |elem_part: &[usize]| -> usize {
+                mesh.elements()[e]
+                    .iter()
+                    .flat_map(|&v| incident[v].iter())
+                    .flat_map(|&ne| mesh.elements()[ne].iter())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .filter(|&&v| node_parts(&incident[v], elem_part).len() > 1)
+                    .count()
+            };
+            let before = local_shared(&elem_part);
+            let mut best: Option<(usize, usize)> = None;
+            for &dest in candidates.keys() {
+                if sizes[dest] + 1 > cap || sizes[home] == 1 {
+                    continue;
+                }
+                elem_part[e] = dest;
+                let after = local_shared(&elem_part);
+                elem_part[e] = home;
+                if after < before && best.map(|(_, b)| after < b).unwrap_or(true) {
+                    best = Some((dest, after));
+                }
+            }
+            if let Some((dest, _)) = best {
+                elem_part[e] = dest;
+                sizes[home] -= 1;
+                sizes[dest] += 1;
+                moves += 1;
+                moved_this_sweep += 1;
+            }
+        }
+        if moved_this_sweep == 0 {
+            break;
+        }
+    }
+    let shared_after = shared_count(&elem_part);
+    let refined = Partition::new(mesh, p, elem_part)?;
+    Ok((refined, RefineStats { moves, shared_before, shared_after }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric::{Partitioner, RandomPartition, RecursiveBisection};
+    use quake_mesh::generator::{generate_mesh, GeneratorOptions};
+    use quake_mesh::geometry::Aabb;
+    use quake_mesh::ground::UniformSizing;
+    use quake_sparse::dense::Vec3;
+
+    fn mesh() -> TetMesh {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(5.0));
+        generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn refinement_never_increases_shared_nodes() {
+        let m = mesh();
+        for parts in [2usize, 4, 8] {
+            let base = RecursiveBisection::coordinate().partition(&m, parts).unwrap();
+            let (refined, stats) = refine(&m, &base, RefineOptions::default()).unwrap();
+            assert!(
+                stats.shared_after <= stats.shared_before,
+                "p={parts}: {} -> {}",
+                stats.shared_before,
+                stats.shared_after
+            );
+            assert_eq!(refined.shared_node_count(), stats.shared_after);
+        }
+    }
+
+    #[test]
+    fn refinement_respects_balance_cap() {
+        let m = mesh();
+        let base = RecursiveBisection::inertial().partition(&m, 4).unwrap();
+        let options = RefineOptions { max_imbalance: 1.05, sweeps: 6 };
+        let (refined, _) = refine(&m, &base, options).unwrap();
+        assert!(
+            refined.imbalance() <= 1.05 + 4.0 / (m.element_count() as f64 / 4.0),
+            "imbalance {} exceeds cap",
+            refined.imbalance()
+        );
+    }
+
+    #[test]
+    fn refinement_repairs_a_perturbed_geometric_partition() {
+        // A fully random partition is beyond local repair (every node is
+        // already shared, so no single move helps). The realistic workload
+        // is fixing a *mostly good* partition: take the geometric one and
+        // scramble 10% of elements, then refine.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let m = mesh();
+        let base = RecursiveBisection::inertial().partition(&m, 4).unwrap();
+        let mut assign = base.assignments().to_vec();
+        let mut rng = StdRng::seed_from_u64(9);
+        for a in assign.iter_mut() {
+            if rng.gen::<f64>() < 0.10 {
+                *a = rng.gen_range(0..4);
+            }
+        }
+        let perturbed = Partition::new(&m, 4, assign).unwrap();
+        assert!(perturbed.shared_node_count() > base.shared_node_count());
+        let options = RefineOptions { max_imbalance: 1.10, sweeps: 8 };
+        let (_, stats) = refine(&m, &perturbed, options).unwrap();
+        assert!(stats.moves > 0);
+        assert!(
+            (stats.shared_after as f64) < 0.8 * stats.shared_before as f64,
+            "perturbed partition should recover: {} -> {}",
+            stats.shared_before,
+            stats.shared_after
+        );
+    }
+
+    #[test]
+    fn refinement_leaves_random_partitions_valid() {
+        // Even when it cannot help, refinement must preserve validity and
+        // never make things worse.
+        let m = mesh();
+        let base = RandomPartition { seed: 3 }.partition(&m, 4).unwrap();
+        let options = RefineOptions { max_imbalance: 1.10, sweeps: 2 };
+        let (refined, stats) = refine(&m, &base, options).unwrap();
+        assert!(stats.shared_after <= stats.shared_before);
+        assert_eq!(refined.parts(), 4);
+        assert_eq!(
+            refined.part_sizes().iter().sum::<usize>(),
+            m.element_count()
+        );
+    }
+
+    #[test]
+    fn single_part_is_a_fixed_point() {
+        let m = mesh();
+        let base = RecursiveBisection::coordinate().partition(&m, 1).unwrap();
+        let (refined, stats) = refine(&m, &base, RefineOptions::default()).unwrap();
+        assert_eq!(stats.moves, 0);
+        assert_eq!(refined, base);
+    }
+
+    #[test]
+    fn zero_sweeps_is_identity() {
+        let m = mesh();
+        let base = RecursiveBisection::inertial().partition(&m, 4).unwrap();
+        let options = RefineOptions { max_imbalance: 1.05, sweeps: 0 };
+        let (refined, stats) = refine(&m, &base, options).unwrap();
+        assert_eq!(stats.moves, 0);
+        assert_eq!(refined, base);
+    }
+}

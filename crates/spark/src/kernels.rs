@@ -1,0 +1,327 @@
+//! Spark98-style SMVP kernels.
+//!
+//! The paper's postscript points to Spark98, "a collection of 10 portable
+//! sequential and parallel SMVP kernels". This module rebuilds the
+//! shared-memory members of that family over the symmetric stiffness
+//! matrices of this reproduction:
+//!
+//! * [`smv`] — sequential symmetric SMVP (the baseline);
+//! * [`lmv`] — threaded, scattered `y` updates guarded by per-entry locks
+//!   (Spark98's LMV);
+//! * [`rmv`] — threaded, private per-thread `y` buffers reduced afterwards
+//!   (Spark98's RMV);
+//! * [`pmv`] — threaded row-parallel product over the *full* (non-symmetric
+//!   storage) matrix: no conflicts, double the memory traffic.
+//!
+//! All kernels compute exactly the same `y = Kx`; the benches compare their
+//! throughput, reproducing the classic locks-vs-reduction tradeoff.
+
+use parking_lot::Mutex;
+use quake_sparse::csr::Csr;
+use quake_sparse::dense::Vec3;
+use quake_sparse::sym::SymCsr;
+
+/// Sequential symmetric SMVP (baseline).
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the matrix dimension.
+pub fn smv(matrix: &SymCsr, x: &[f64]) -> Vec<f64> {
+    matrix.spmv_alloc(x).expect("dimension checked by caller")
+}
+
+/// Splits `n` rows into `threads` contiguous chunks of near-equal size.
+fn row_chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    (0..threads)
+        .map(|t| {
+            let lo = n * t / threads;
+            let hi = n * (t + 1) / threads;
+            lo..hi
+        })
+        .collect()
+}
+
+/// Threaded symmetric SMVP with per-entry locks on the scattered updates.
+///
+/// Each thread owns a contiguous row range; the transpose contribution
+/// `y[c] += v·x[r]` may target any row, so each `y` entry is a mutex.
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the matrix dimension or
+/// `threads == 0`.
+pub fn lmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
+    assert_eq!(x.len(), matrix.dim(), "x length must match matrix dimension");
+    assert!(threads > 0, "need at least one thread");
+    let n = matrix.dim();
+    let y: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+    let full = matrix.parts();
+    let chunks = row_chunks(n, threads);
+    std::thread::scope(|scope| {
+        for range in &chunks {
+            let range = range.clone();
+            let y = &y;
+            let full = &full;
+            scope.spawn(move || {
+                for r in range {
+                    let mut local = full.diag[r] * x[r];
+                    for k in full.row_ptr[r]..full.row_ptr[r + 1] {
+                        let c = full.col_idx[k];
+                        let v = full.values[k];
+                        local += v * x[c];
+                        *y[c].lock() += v * x[r];
+                    }
+                    *y[r].lock() += local;
+                }
+            });
+        }
+    });
+    y.into_iter().map(|m| m.into_inner()).collect()
+}
+
+/// Threaded symmetric SMVP with per-thread private accumulation buffers,
+/// reduced after the barrier (Spark98's RMV strategy).
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the matrix dimension or
+/// `threads == 0`.
+pub fn rmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
+    assert_eq!(x.len(), matrix.dim(), "x length must match matrix dimension");
+    assert!(threads > 0, "need at least one thread");
+    let n = matrix.dim();
+    let full = matrix.parts();
+    let chunks = row_chunks(n, threads);
+    let buffers: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                let full = &full;
+                scope.spawn(move || {
+                    let mut buf = vec![0.0; n];
+                    for r in range {
+                        let mut local = full.diag[r] * x[r];
+                        for k in full.row_ptr[r]..full.row_ptr[r + 1] {
+                            let c = full.col_idx[k];
+                            let v = full.values[k];
+                            local += v * x[c];
+                            buf[c] += v * x[r];
+                        }
+                        buf[r] += local;
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("kernel thread panicked")).collect()
+    });
+    // Parallel-friendly reduction (serial here; the buffers dominate).
+    let mut y = vec![0.0; n];
+    for buf in buffers {
+        for (yi, bi) in y.iter_mut().zip(buf) {
+            *yi += bi;
+        }
+    }
+    y
+}
+
+/// Threaded row-parallel SMVP over full CSR storage: each thread writes a
+/// disjoint slice of `y`, so no synchronization is needed, at the cost of
+/// storing (and streaming) both triangles.
+///
+/// # Panics
+///
+/// Panics if `x.len() != matrix.cols()` or `threads == 0`.
+pub fn pmv(matrix: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
+    assert_eq!(x.len(), matrix.cols(), "x length must match matrix columns");
+    assert!(threads > 0, "need at least one thread");
+    let n = matrix.rows();
+    let mut y = vec![0.0; n];
+    let chunks = row_chunks(n, threads);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f64] = &mut y;
+        let mut handles = Vec::new();
+        for range in &chunks {
+            let (mine, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            handles.push(scope.spawn(move || {
+                for (slot, r) in mine.iter_mut().zip(range) {
+                    let mut sum = 0.0;
+                    for (c, v) in matrix.row(r).pairs() {
+                        sum += v * x[c];
+                    }
+                    *slot = sum;
+                }
+            }));
+        }
+    });
+    y
+}
+
+/// Threaded block-row-parallel SMVP over 3×3-block CSR storage: each thread
+/// owns a contiguous range of block rows (disjoint `y` slices, no
+/// synchronization), and the 3×3 blocks amortize index traffic — the layout
+/// the Quake stiffness matrices actually use.
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the block-row count or `threads == 0`.
+pub fn bmv(matrix: &quake_sparse::bcsr::Bcsr3, x: &[Vec3], threads: usize) -> Vec<Vec3> {
+    assert_eq!(x.len(), matrix.block_rows(), "x length must match block rows");
+    assert!(threads > 0, "need at least one thread");
+    let n = matrix.block_rows();
+    let mut y = vec![Vec3::ZERO; n];
+    let chunks = row_chunks(n, threads);
+    let row_ptr = matrix.row_ptr();
+    let col_idx = matrix.col_idx();
+    let blocks = matrix.blocks();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Vec3] = &mut y;
+        for range in &chunks {
+            let (mine, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            scope.spawn(move || {
+                for (slot, r) in mine.iter_mut().zip(range) {
+                    let mut acc = Vec3::ZERO;
+                    for k in row_ptr[r]..row_ptr[r + 1] {
+                        acc += blocks[k].mul_vec(x[col_idx[k]]);
+                    }
+                    *slot = acc;
+                }
+            });
+        }
+    });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_sparse::bcsr::Bcsr3Builder;
+    use quake_sparse::coo::Coo;
+    use quake_sparse::dense::Mat3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symmetric(n: usize, per_row: usize, seed: u64) -> Csr {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0 + rng.gen::<f64>()).unwrap();
+        }
+        for _ in 0..n * per_row {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let v = rng.gen::<f64>() - 0.5;
+                coo.push(a, b, v).unwrap();
+                coo.push(b, a, v).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn assert_vec_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-10 * (1.0 + x.abs()),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_with_sequential() {
+        let full = random_symmetric(500, 6, 1);
+        let sym = SymCsr::from_csr(&full, 1e-12).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<f64> = (0..500).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let reference = full.spmv_alloc(&x).unwrap();
+        assert_vec_close(&smv(&sym, &x), &reference);
+        for threads in [1, 2, 4, 7] {
+            assert_vec_close(&lmv(&sym, &x, threads), &reference);
+            assert_vec_close(&rmv(&sym, &x, threads), &reference);
+            assert_vec_close(&pmv(&full, &x, threads), &reference);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_safe() {
+        let full = random_symmetric(5, 2, 3);
+        let sym = SymCsr::from_csr(&full, 1e-12).unwrap();
+        let x = vec![1.0; 5];
+        let reference = full.spmv_alloc(&x).unwrap();
+        assert_vec_close(&lmv(&sym, &x, 64), &reference);
+        assert_vec_close(&rmv(&sym, &x, 64), &reference);
+        assert_vec_close(&pmv(&full, &x, 64), &reference);
+    }
+
+    #[test]
+    fn row_chunks_cover_everything() {
+        let chunks = row_chunks(10, 3);
+        assert_eq!(chunks.len(), 3);
+        let total: usize = chunks.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(chunks[0].start, 0);
+        assert_eq!(chunks.last().unwrap().end, 10);
+        // Degenerate shapes.
+        assert_eq!(row_chunks(0, 4).len(), 1);
+        assert_eq!(row_chunks(3, 8).len(), 3);
+    }
+
+    #[test]
+    fn bmv_matches_sequential_block_product() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 120;
+        let mut b = Bcsr3Builder::new(n);
+        for i in 0..n {
+            b.add_block(i, i, Mat3::identity() * (2.0 + rng.gen::<f64>()));
+            for _ in 0..4 {
+                let j = rng.gen_range(0..n);
+                let m = Mat3::outer(
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+                );
+                b.add_block(i, j, m);
+            }
+        }
+        let matrix = b.build();
+        let x: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen(), rng.gen()))
+            .collect();
+        let reference = matrix.spmv_alloc(&x).unwrap();
+        for threads in [1, 3, 8] {
+            let y = bmv(&matrix, &x, threads);
+            for (a, b) in reference.iter().zip(&y) {
+                assert!((*a - *b).norm() < 1e-12, "bmv disagrees at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block rows")]
+    fn bmv_wrong_x_length_panics() {
+        let matrix = Bcsr3Builder::new(3).build();
+        let _ = bmv(&matrix, &[Vec3::ZERO], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let full = random_symmetric(4, 1, 4);
+        let sym = SymCsr::from_csr(&full, 1e-12).unwrap();
+        let _ = rmv(&sym, &[0.0; 4], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn wrong_x_length_panics() {
+        let full = random_symmetric(4, 1, 5);
+        let _ = pmv(&full, &[0.0; 3], 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! Spark98-style shared-memory SMVP kernels (paper postscript).
+//!
+//! Rebuilds the shared-memory members of the Spark98 kernel family over
+//! this reproduction's symmetric stiffness matrices: a sequential baseline
+//! ([`kernels::smv`]), a lock-based parallel kernel ([`kernels::lmv`]), a
+//! reduction-buffer parallel kernel ([`kernels::rmv`]), and a row-parallel
+//! full-storage kernel ([`kernels::pmv`]), and a block-row-parallel 3×3-block
+//! kernel ([`kernels::bmv`]). The `bench_spark` target compares
+//! their throughput; all four produce identical results.
+
+pub mod kernels;
+
+pub use kernels::{bmv, lmv, pmv, rmv, smv};

@@ -1,0 +1,222 @@
+//! Coordinate (triplet) sparse format, used as an assembly staging area.
+//!
+//! Finite-element assembly naturally produces duplicate `(i, j)` contributions
+//! (one per element sharing the edge); [`Coo::to_csr`] sums them.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+
+/// A sparse matrix in coordinate (triplet) form.
+///
+/// Duplicate entries are allowed and are *summed* on conversion to CSR,
+/// matching finite-element assembly semantics.
+///
+/// # Examples
+///
+/// ```
+/// use quake_sparse::coo::Coo;
+/// let mut a = Coo::new(2, 2);
+/// a.push(0, 0, 1.0)?;
+/// a.push(0, 0, 2.0)?; // duplicate: summed
+/// a.push(1, 1, 5.0)?;
+/// let csr = a.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// # Ok::<(), quake_sparse::error::SparseError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty `rows × cols` triplet matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with capacity for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Coo { rows, cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no triplets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends the contribution `a[row, col] += val`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the indices exceed the
+    /// matrix dimensions.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<(), SparseError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row, col, val));
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+
+    /// Converts to CSR, summing duplicate entries. Entries that sum to an
+    /// exact `0.0` are *kept* (explicit zeros), because the sparsity pattern
+    /// of a stiffness matrix is structural, not numerical.
+    pub fn to_csr(&self) -> Csr {
+        // Counting sort by row, then sort each row segment by column and
+        // merge duplicates.
+        let mut row_counts = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut slot = row_counts.clone();
+        let mut cols = vec![0usize; self.entries.len()];
+        let mut vals = vec![0f64; self.entries.len()];
+        for &(r, c, v) in &self.entries {
+            let s = slot[r];
+            cols[s] = c;
+            vals[s] = v;
+            slot[r] += 1;
+        }
+        // Per-row: sort by column, merge duplicates into compacted output.
+        let mut out_ptr = Vec::with_capacity(self.rows + 1);
+        let mut out_cols = Vec::with_capacity(self.entries.len());
+        let mut out_vals = Vec::with_capacity(self.entries.len());
+        out_ptr.push(0usize);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.rows {
+            let (lo, hi) = (row_counts[r], row_counts[r + 1]);
+            scratch.clear();
+            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut sum = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    sum += scratch[i].1;
+                    i += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(sum);
+            }
+            out_ptr.push(out_cols.len());
+        }
+        Csr::from_raw_parts(self.rows, self.cols, out_ptr, out_cols, out_vals)
+            .expect("Coo::to_csr constructs valid CSR by construction")
+    }
+}
+
+impl Extend<(usize, usize, f64)> for Coo {
+    /// Extends with triplets, panicking on out-of-bounds indices.
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v).expect("triplet out of bounds in Extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut a = Coo::new(3, 3);
+        assert!(a.is_empty());
+        a.push(0, 1, 2.0).unwrap();
+        a.push(2, 2, 1.0).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 3);
+    }
+
+    #[test]
+    fn push_out_of_bounds_errors() {
+        let mut a = Coo::new(2, 2);
+        let err = a.push(2, 0, 1.0).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { row: 2, .. }));
+        let err = a.push(0, 5, 1.0).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { col: 5, .. }));
+    }
+
+    #[test]
+    fn to_csr_sums_duplicates() {
+        let mut a = Coo::new(2, 3);
+        a.push(0, 2, 1.0).unwrap();
+        a.push(0, 2, 4.0).unwrap();
+        a.push(0, 0, 2.0).unwrap();
+        a.push(1, 1, -1.0).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 2), 5.0);
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(1, 1), -1.0);
+        assert_eq!(csr.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn to_csr_rows_sorted_by_column() {
+        let mut a = Coo::new(1, 5);
+        for &c in &[4usize, 1, 3, 0] {
+            a.push(0, c, c as f64).unwrap();
+        }
+        let csr = a.to_csr();
+        let cols: Vec<usize> = csr.row(0).pairs().map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn to_csr_keeps_explicit_zero_sums() {
+        let mut a = Coo::new(1, 1);
+        a.push(0, 0, 1.0).unwrap();
+        a.push(0, 0, -1.0).unwrap();
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 1, "structural zero kept");
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let a = Coo::new(4, 4);
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.rows(), 4);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut a = Coo::new(2, 2);
+        a.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,519 @@
+//! Compressed sparse row (CSR) matrices and the scalar SMVP kernel.
+
+use crate::error::SparseError;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// This is the canonical storage for the Quake stiffness matrix at scalar
+/// granularity, and the operand of the paper's central kernel: the sparse
+/// matrix-vector product `y = Kx`, which costs exactly `2·nnz` flops
+/// (one multiply and one add per stored entry — the paper's `F = 2m`).
+///
+/// # Examples
+///
+/// ```
+/// use quake_sparse::coo::Coo;
+/// let mut a = Coo::new(2, 2);
+/// a.push(0, 0, 2.0)?;
+/// a.push(0, 1, 1.0)?;
+/// a.push(1, 1, 3.0)?;
+/// let k = a.to_csr();
+/// let y = k.spmv_alloc(&[1.0, 1.0])?;
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// # Ok::<(), quake_sparse::error::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedStructure`] if `row_ptr` does not have
+    /// `rows + 1` monotone entries bounded by `col_idx.len()`, if
+    /// `col_idx.len() != values.len()`, or if any column index is out of
+    /// range.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::MalformedStructure("row_ptr length must be rows + 1"));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::MalformedStructure("col_idx and values lengths differ"));
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&col_idx.len()) {
+            return Err(SparseError::MalformedStructure(
+                "row_ptr must start at 0 and end at nnz",
+            ));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::MalformedStructure("row_ptr must be non-decreasing"));
+        }
+        if col_idx.iter().any(|&c| c >= cols) {
+            return Err(SparseError::MalformedStructure("column index out of range"));
+        }
+        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (`m` in the paper; the local SMVP performs
+    /// `F = 2m` flops).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Flops performed by one SMVP with this matrix: `2·nnz`
+    /// (one multiply and one add per stored entry).
+    pub fn smvp_flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (`nnz` entries).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The value array (`nnz` entries).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the value array (pattern is fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Returns the stored `(column, value)` pairs of row `r`, sorted by
+    /// column if the matrix was built through [`crate::coo::Coo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> RowView<'_> {
+        assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        RowView { cols: &self.col_idx[lo..hi], vals: &self.values[lo..hi] }
+    }
+
+    /// Value at `(r, c)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r)
+            .pairs()
+            .find_map(|(cc, v)| (cc == c).then_some(v))
+            .unwrap_or(0.0)
+    }
+
+    /// Sparse matrix-vector product `y = Ax` into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `x.len() != cols` or
+    /// `y.len() != rows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+                what: "x vector",
+            });
+        }
+        if y.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.rows,
+                found: y.len(),
+                what: "y vector",
+            });
+        }
+        for r in 0..self.rows {
+            let mut sum = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = sum;
+        }
+        Ok(())
+    }
+
+    /// Sparse matrix-vector product returning a freshly allocated `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn spmv_alloc(&self, x: &[f64]) -> Result<Vec<f64>, SparseError> {
+        let mut y = vec![0.0; self.rows];
+        self.spmv(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Accumulating product `y += Ax`, used when summing subdomain
+    /// contributions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Csr::spmv`].
+    pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+                what: "x vector",
+            });
+        }
+        if y.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.rows,
+                found: y.len(),
+                what: "y vector",
+            });
+        }
+        for r in 0..self.rows {
+            let mut sum = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] += sum;
+        }
+        Ok(())
+    }
+
+    /// Transpose (also CSR).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut slot = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let s = slot[c];
+                col_idx[s] = r;
+                values[s] = self.values[k];
+                slot[c] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, row_ptr: counts, col_idx, values }
+    }
+
+    /// True if the matrix is structurally and numerically symmetric to
+    /// within absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr {
+            return false;
+        }
+        // Rows of the transpose are sorted by construction; compare per-row
+        // against sorted copies of our rows.
+        for r in 0..self.rows {
+            let mut mine: Vec<(usize, f64)> = self.row(r).pairs().collect();
+            mine.sort_unstable_by_key(|&(c, _)| c);
+            let theirs: Vec<(usize, f64)> = t.row(r).pairs().collect();
+            if mine.len() != theirs.len() {
+                return false;
+            }
+            for (&(c1, v1), &(c2, v2)) in mine.iter().zip(theirs.iter()) {
+                if c1 != c2 || (v1 - v2).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a symmetric permutation `B = P A Pᵀ`, i.e. `B[p[i], p[j]] = A[i, j]`
+    /// where `perm[old] = new`. Used by RCM reordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `perm.len() != rows`, or
+    /// [`SparseError::MalformedStructure`] if `perm` is not a permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Result<Csr, SparseError> {
+        assert_eq!(self.rows, self.cols, "symmetric permutation requires a square matrix");
+        if perm.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.rows,
+                found: perm.len(),
+                what: "permutation",
+            });
+        }
+        let mut seen = vec![false; self.rows];
+        for &p in perm {
+            if p >= self.rows || seen[p] {
+                return Err(SparseError::MalformedStructure("perm is not a permutation"));
+            }
+            seen[p] = true;
+        }
+        let mut inv = vec![0usize; self.rows];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new] = old;
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for new_r in 0..self.rows {
+            let old_r = inv[new_r];
+            scratch.clear();
+            scratch.extend(self.row(old_r).pairs().map(|(c, v)| (perm[c], v)));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_raw_parts(self.rows, self.cols, row_ptr, col_idx, values)
+    }
+
+    /// The structural bandwidth: `max_i max_{j in row i} |i - j|`.
+    /// Zero for an empty or diagonal matrix.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                bw = bw.max(self.col_idx[k].abs_diff(r));
+            }
+        }
+        bw
+    }
+
+    /// Average number of stored entries per row.
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.rows as f64
+        }
+    }
+}
+
+/// A borrowed view of one CSR row's `(column, value)` pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    cols: &'a [usize],
+    vals: &'a [f64],
+}
+
+impl<'a> RowView<'a> {
+    /// Number of stored entries in this row.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True if the row stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The column indices of this row.
+    pub fn cols(&self) -> &'a [usize] {
+        self.cols
+    }
+
+    /// The values of this row.
+    pub fn vals(&self) -> &'a [f64] {
+        self.vals
+    }
+}
+
+impl<'a> RowView<'a> {
+    /// Iterates owned `(column, value)` pairs without allocation.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.cols.iter().copied().zip(self.vals.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small() -> Csr {
+        // [ 2 1 0 ]
+        // [ 0 3 4 ]
+        // [ 5 0 6 ]
+        let mut a = Coo::new(3, 3);
+        for &(r, c, v) in
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (1, 2, 4.0), (2, 0, 5.0), (2, 2, 6.0)]
+        {
+            a.push(r, c, v).unwrap();
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let y = a.spmv_alloc(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![4.0, 18.0, 23.0]);
+    }
+
+    #[test]
+    fn spmv_dim_mismatch_errors() {
+        let a = small();
+        assert!(a.spmv_alloc(&[1.0, 2.0]).is_err());
+        let mut y = vec![0.0; 2];
+        assert!(a.spmv(&[1.0, 2.0, 3.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = small();
+        let mut y = vec![1.0, 1.0, 1.0];
+        a.spmv_add(&[1.0, 2.0, 3.0], &mut y).unwrap();
+        assert_eq!(y, vec![5.0, 19.0, 24.0]);
+    }
+
+    #[test]
+    fn identity_spmv_is_noop() {
+        let i = Csr::identity(4);
+        let x = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(i.spmv_alloc(&x).unwrap(), x);
+        assert_eq!(i.smvp_flops(), 8);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = small();
+        let att = a.transpose().transpose();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(a.get(r, c), att.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let a = small();
+        let t = a.transpose();
+        assert_eq!(t.get(0, 2), 5.0);
+        assert_eq!(t.get(1, 0), 1.0);
+        assert_eq!(t.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0).unwrap();
+        a.push(0, 1, 2.0).unwrap();
+        a.push(1, 0, 2.0).unwrap();
+        a.push(1, 1, 3.0).unwrap();
+        assert!(a.to_csr().is_symmetric(0.0));
+        assert!(!small().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn permute_symmetric_reverses() {
+        let a = small();
+        // perm[old] = new; reverse ordering.
+        let b = a.permute_symmetric(&[2, 1, 0]).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(b.get(2 - r, 2 - c), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rejects_non_permutation() {
+        let a = small();
+        assert!(a.permute_symmetric(&[0, 0, 1]).is_err());
+        assert!(a.permute_symmetric(&[0, 1]).is_err());
+        assert!(a.permute_symmetric(&[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn bandwidth_measures_extent() {
+        assert_eq!(Csr::identity(5).bandwidth(), 0);
+        assert_eq!(small().bandwidth(), 2);
+    }
+
+    #[test]
+    fn row_view_accessors() {
+        let a = small();
+        let r = a.row(1);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.cols(), &[1, 2]);
+        assert_eq!(r.vals(), &[3.0, 4.0]);
+        let pairs: Vec<(usize, f64)> = r.pairs().collect();
+        assert_eq!(pairs, vec![(1, 3.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn avg_row_nnz() {
+        assert_eq!(small().avg_row_nnz(), 2.0);
+        assert_eq!(Coo::new(0, 0).to_csr().avg_row_nnz(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_panics() {
+        let _ = small().row(3);
+    }
+}

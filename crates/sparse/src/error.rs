@@ -1,0 +1,76 @@
+//! Error type for sparse-matrix construction and operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sparse-matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Operand shapes are incompatible, e.g. a matrix-vector product where
+    /// the vector length does not equal the matrix column count.
+    DimensionMismatch {
+        /// What the operation expected (e.g. a length or shape).
+        expected: usize,
+        /// What it was given.
+        found: usize,
+        /// Short description of the operand that mismatched.
+        what: &'static str,
+    },
+    /// An explicit entry referenced a row or column outside the matrix.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// A CSR structure array is malformed (row pointers not monotonically
+    /// non-decreasing, or lengths inconsistent).
+    MalformedStructure(&'static str),
+    /// An operation requiring symmetry was applied to a non-symmetric matrix.
+    NotSymmetric,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { expected, found, what } => {
+                write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
+            }
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            }
+            SparseError::MalformedStructure(msg) => {
+                write!(f, "malformed sparse structure: {msg}")
+            }
+            SparseError::NotSymmetric => write!(f, "matrix is not symmetric"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SparseError::DimensionMismatch { expected: 3, found: 4, what: "x vector" };
+        let s = e.to_string();
+        assert!(s.contains("expected 3"));
+        assert!(s.contains("found 4"));
+        let e = SparseError::IndexOutOfBounds { row: 9, col: 1, rows: 3, cols: 3 };
+        assert!(e.to_string().contains("(9, 1)"));
+        assert!(SparseError::NotSymmetric.to_string().contains("symmetric"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

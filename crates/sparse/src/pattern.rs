@@ -1,0 +1,221 @@
+//! Sparsity patterns: symbolic structure shared by matrices assembled over
+//! the same mesh.
+//!
+//! A pattern is the node-adjacency structure of the mesh ("K can be likened
+//! to an adjacency matrix of the nodes of the mesh"), stored as sorted CSR
+//! index arrays without values.
+
+use crate::error::SparseError;
+
+/// A symmetric sparsity pattern over `n` nodes in CSR index form.
+///
+/// Every node is adjacent to itself (the stiffness matrix always has diagonal
+/// blocks). Off-diagonal adjacency is symmetric: `j ∈ adj(i) ⇔ i ∈ adj(j)`.
+///
+/// # Examples
+///
+/// ```
+/// use quake_sparse::pattern::Pattern;
+/// // A path graph 0 - 1 - 2.
+/// let p = Pattern::from_edges(3, &[(0, 1), (1, 2)])?;
+/// assert_eq!(p.degree(1), 3); // self + two neighbors
+/// assert_eq!(p.edge_count(), 2);
+/// # Ok::<(), quake_sparse::error::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl Pattern {
+    /// Builds a pattern from undirected edges between distinct nodes.
+    /// Self-loops are implied and must not be listed; duplicate edges are
+    /// merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if an edge endpoint is `≥ n`,
+    /// or [`SparseError::MalformedStructure`] if an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, SparseError> {
+        for &(a, b) in edges {
+            if a >= n || b >= n {
+                return Err(SparseError::IndexOutOfBounds { row: a, col: b, rows: n, cols: n });
+            }
+            if a == b {
+                return Err(SparseError::MalformedStructure(
+                    "explicit self-loop in edge list (self-adjacency is implied)",
+                ));
+            }
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            adj[i].push(i);
+        }
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        for list in adj.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            col_idx.extend_from_slice(list);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Pattern { n, row_ptr, col_idx })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges, excluding implied self-loops.
+    pub fn edge_count(&self) -> usize {
+        (self.col_idx.len() - self.n) / 2
+    }
+
+    /// Number of stored adjacency entries (block nonzeros), including
+    /// self-adjacency: `2·edges + n`.
+    pub fn block_nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Degree of node `i` including itself (the paper's node degree 14 ⇒ 42
+    /// scalar nonzeros per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= node_count()`.
+    pub fn degree(&self, i: usize) -> usize {
+        assert!(i < self.n, "node {i} out of range");
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// The sorted adjacency list of node `i`, including `i` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= node_count()`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        assert!(i < self.n, "node {i} out of range");
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Average node degree including self (paper: ≈ 14 for Quake meshes).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.block_nnz() as f64 / self.n as f64
+        }
+    }
+
+    /// The CSR row-pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The CSR column-index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Iterates over the undirected edges `(i, j)` with `i < j`
+    /// (self-loops excluded).
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            self.neighbors(i).iter().copied().filter_map(move |j| (i < j).then_some((i, j)))
+        })
+    }
+
+    /// Scalar-row nonzero count for the induced `3n × 3n` stiffness matrix:
+    /// `3 × degree` per node row.
+    pub fn scalar_nnz(&self) -> usize {
+        9 * self.block_nnz()
+    }
+
+    /// Flops of one SMVP on the induced stiffness matrix: `2 × 9 × block_nnz`.
+    pub fn smvp_flops(&self) -> u64 {
+        2 * self.scalar_nnz() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Pattern {
+        Pattern::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let p = path3();
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        assert_eq!(p.block_nnz(), 7); // 3 self + 4 directed
+        assert_eq!(p.scalar_nnz(), 63);
+        assert_eq!(p.smvp_flops(), 126);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let p = path3();
+        assert_eq!(p.degree(0), 2);
+        assert_eq!(p.degree(1), 3);
+        assert_eq!(p.neighbors(1), &[0, 1, 2]);
+        assert!((p.avg_degree() - 7.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let p = Pattern::from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(p.edge_count(), 1);
+        assert_eq!(p.degree(0), 2);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(matches!(
+            Pattern::from_edges(2, &[(1, 1)]),
+            Err(SparseError::MalformedStructure(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        assert!(Pattern::from_edges(2, &[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let input = [(0usize, 1usize), (1, 2), (0, 3), (2, 3)];
+        let p = Pattern::from_edges(4, &input).unwrap();
+        let mut got: Vec<(usize, usize)> = p.edges().collect();
+        got.sort_unstable();
+        let mut want = input.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let p = Pattern::from_edges(0, &[]).unwrap();
+        assert_eq!(p.block_nnz(), 0);
+        assert_eq!(p.avg_degree(), 0.0);
+        assert_eq!(p.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_self_adjacency() {
+        let p = Pattern::from_edges(3, &[]).unwrap();
+        assert_eq!(p.degree(2), 1);
+        assert_eq!(p.neighbors(2), &[2]);
+        assert_eq!(p.edge_count(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Symmetric sparse storage: diagonal plus strict upper triangle.
+//!
+//! The Quake stiffness matrix is symmetric, and the Spark98 kernels exploit
+//! this by storing each off-diagonal entry once and applying it to both `y_i`
+//! (as `K_ij·x_j`) and `y_j` (as `K_ij·x_i`). This halves memory traffic at
+//! the cost of a scattered write — a tradeoff the memory-system simulator
+//! can quantify.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+
+/// A symmetric sparse matrix storing the diagonal and strict upper triangle.
+///
+/// # Examples
+///
+/// ```
+/// use quake_sparse::coo::Coo;
+/// use quake_sparse::sym::SymCsr;
+/// let mut a = Coo::new(2, 2);
+/// a.push(0, 0, 2.0)?;
+/// a.push(0, 1, 1.0)?;
+/// a.push(1, 0, 1.0)?;
+/// a.push(1, 1, 3.0)?;
+/// let s = SymCsr::from_csr(&a.to_csr(), 1e-12)?;
+/// assert_eq!(s.spmv_alloc(&[1.0, 1.0])?, vec![3.0, 4.0]);
+/// # Ok::<(), quake_sparse::error::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymCsr {
+    n: usize,
+    diag: Vec<f64>,
+    // Strict upper triangle in CSR by row.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SymCsr {
+    /// Builds symmetric storage from a full CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSymmetric`] if the matrix is not symmetric
+    /// to within absolute tolerance `tol`, or
+    /// [`SparseError::DimensionMismatch`] if it is not square.
+    pub fn from_csr(full: &Csr, tol: f64) -> Result<Self, SparseError> {
+        if full.rows() != full.cols() {
+            return Err(SparseError::DimensionMismatch {
+                expected: full.rows(),
+                found: full.cols(),
+                what: "square matrix",
+            });
+        }
+        if !full.is_symmetric(tol) {
+            return Err(SparseError::NotSymmetric);
+        }
+        let n = full.rows();
+        let mut diag = vec![0.0; n];
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            for (c, v) in full.row(r).pairs() {
+                if c == r {
+                    diag[r] = v;
+                } else if c > r {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(SymCsr { n, diag, row_ptr, col_idx, values })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of *stored* entries: diagonal plus strict upper triangle.
+    pub fn stored_nnz(&self) -> usize {
+        self.n + self.col_idx.len()
+    }
+
+    /// Number of *logical* entries of the full matrix
+    /// (assuming a fully populated diagonal).
+    pub fn logical_nnz(&self) -> usize {
+        self.n + 2 * self.col_idx.len()
+    }
+
+    /// Symmetric SMVP `y = Ax`: each stored off-diagonal entry updates both
+    /// `y[r]` and `y[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] on length mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+        if x.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+                what: "x vector",
+            });
+        }
+        if y.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: y.len(),
+                what: "y vector",
+            });
+        }
+        for r in 0..self.n {
+            y[r] = self.diag[r] * x[r];
+        }
+        for r in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                acc += v * x[c];
+                y[c] += v * x[r];
+            }
+            y[r] += acc;
+        }
+        Ok(())
+    }
+
+    /// Symmetric SMVP returning a freshly allocated `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `x.len() != dim()`.
+    pub fn spmv_alloc(&self, x: &[f64]) -> Result<Vec<f64>, SparseError> {
+        let mut y = vec![0.0; self.n];
+        self.spmv(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Expands back to full CSR storage.
+    pub fn to_full_csr(&self) -> Csr {
+        let mut coo = crate::coo::Coo::with_capacity(self.n, self.n, self.logical_nnz());
+        for r in 0..self.n {
+            coo.push(r, r, self.diag[r]).expect("in range");
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                coo.push(r, c, v).expect("in range");
+                coo.push(c, r, v).expect("in range");
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// The diagonal entries.
+    pub fn diag(&self) -> &[f64] {
+        &self.diag
+    }
+
+    /// Borrowed views of the raw storage arrays, for kernels that traverse
+    /// the structure directly (e.g. the threaded Spark98-style kernels).
+    pub fn parts(&self) -> SymParts<'_> {
+        SymParts {
+            diag: &self.diag,
+            row_ptr: &self.row_ptr,
+            col_idx: &self.col_idx,
+            values: &self.values,
+        }
+    }
+}
+
+/// Borrowed views of a [`SymCsr`]'s storage: the diagonal plus the strict
+/// upper triangle in CSR form.
+#[derive(Debug, Clone, Copy)]
+pub struct SymParts<'a> {
+    /// Diagonal entries (length `dim`).
+    pub diag: &'a [f64],
+    /// Upper-triangle row pointers (length `dim + 1`).
+    pub row_ptr: &'a [usize],
+    /// Upper-triangle column indices.
+    pub col_idx: &'a [usize],
+    /// Upper-triangle values.
+    pub values: &'a [f64],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sym3() -> Csr {
+        // [ 2 1 0 ]
+        // [ 1 3 4 ]
+        // [ 0 4 6 ]
+        let mut a = Coo::new(3, 3);
+        for &(r, c, v) in &[
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 4.0),
+            (2, 1, 4.0),
+            (2, 2, 6.0),
+        ] {
+            a.push(r, c, v).unwrap();
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn storage_counts() {
+        let s = SymCsr::from_csr(&sym3(), 0.0).unwrap();
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.stored_nnz(), 5); // 3 diag + 2 upper
+        assert_eq!(s.logical_nnz(), 7);
+    }
+
+    #[test]
+    fn spmv_matches_full() {
+        let full = sym3();
+        let s = SymCsr::from_csr(&full, 0.0).unwrap();
+        let x = [1.0, -2.0, 0.5];
+        assert_eq!(s.spmv_alloc(&x).unwrap(), full.spmv_alloc(&x).unwrap());
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 1, 1.0).unwrap();
+        assert_eq!(SymCsr::from_csr(&a.to_csr(), 1e-12), Err(SparseError::NotSymmetric));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Coo::new(2, 3).to_csr();
+        assert!(matches!(
+            SymCsr::from_csr(&a, 0.0),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip_to_full() {
+        let full = sym3();
+        let s = SymCsr::from_csr(&full, 0.0).unwrap();
+        let back = s.to_full_csr();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(back.get(r, c), full.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn diag_accessor() {
+        let s = SymCsr::from_csr(&sym3(), 0.0).unwrap();
+        assert_eq!(s.diag(), &[2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn spmv_dim_mismatch() {
+        let s = SymCsr::from_csr(&sym3(), 0.0).unwrap();
+        assert!(s.spmv_alloc(&[1.0]).is_err());
+        let mut y = vec![0.0; 2];
+        assert!(s.spmv(&[1.0, 2.0, 3.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn missing_diagonal_treated_as_zero() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 1, 1.0).unwrap();
+        a.push(1, 0, 1.0).unwrap();
+        let s = SymCsr::from_csr(&a.to_csr(), 0.0).unwrap();
+        assert_eq!(s.diag(), &[0.0, 0.0]);
+        assert_eq!(s.spmv_alloc(&[3.0, 5.0]).unwrap(), vec![5.0, 3.0]);
+    }
+}

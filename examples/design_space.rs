@@ -1,0 +1,87 @@
+//! Design-space exploration: the paper's §4 question as a tool. Given a
+//! target machine (sustained MFLOPS per PE) and efficiency, sweep the Quake
+//! family (paper's published characterization) and report what the
+//! communication system must deliver — sustained bandwidth, burst
+//! bandwidth, and block latency under both block regimes — then check a
+//! concrete network (the measured Cray T3E) against the requirement.
+//!
+//! Run with: `cargo run --release --example design_space -- [mflops] [efficiency]`
+
+use quake_app::report::{fmt_mb_per_s, fmt_seconds, Table};
+use quake_core::machine::{BlockRegime, Network, Processor};
+use quake_core::model::eq1::{achieved_efficiency, required_tc};
+use quake_core::model::eq2::{delivered_tc, half_bandwidth_point};
+use quake_core::paperdata;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mflops: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200.0);
+    let efficiency: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .filter(|e| (0.0..1.0).contains(e) && *e > 0.0)
+        .unwrap_or(0.9);
+    let pe = Processor::from_mflops("target PE", mflops);
+    println!(
+        "== Communication requirements for {mflops:.0}-MFLOP PEs at E = {efficiency} ==\n"
+    );
+    let mut t = Table::new(vec![
+        "instance",
+        "F/C_max",
+        "sustained (MB/s)",
+        "burst@half (MB/s)",
+        "T_l@half (maximal)",
+        "T_l@half (4-word)",
+    ]);
+    let mut hardest: Option<(String, f64)> = None;
+    for inst in paperdata::figure7() {
+        let t_c = required_tc(&inst, efficiency, pe.t_f);
+        let maximal = half_bandwidth_point(&inst, t_c, BlockRegime::Maximal);
+        let fixed = half_bandwidth_point(&inst, t_c, BlockRegime::CACHE_LINE);
+        t.row(vec![
+            inst.label(),
+            format!("{:.0}", inst.comp_comm_ratio()),
+            fmt_mb_per_s(8.0 / t_c),
+            fmt_mb_per_s(maximal.burst_bandwidth_bytes()),
+            fmt_seconds(maximal.t_l),
+            fmt_seconds(fixed.t_l),
+        ]);
+        if hardest.as_ref().map(|(_, l)| maximal.t_l < *l).unwrap_or(true) {
+            hardest = Some((inst.label(), maximal.t_l));
+        }
+    }
+    println!("{}", t.render());
+    let (label, latency) = hardest.expect("instances exist");
+    println!("binding instance: {label} -> block latency budget {}\n", fmt_seconds(latency));
+
+    // Check the measured T3E network against every instance.
+    let t3e = Network::cray_t3e();
+    println!(
+        "== What the measured {} network (T_l = {}, T_w = {}) actually delivers ==\n",
+        t3e.name,
+        fmt_seconds(t3e.t_l),
+        fmt_seconds(t3e.t_w)
+    );
+    let mut t = Table::new(vec!["instance", "delivered T_c", "required T_c", "achieved E"]);
+    for inst in paperdata::figure7_app("sf2") {
+        let delivered = delivered_tc(&inst, &t3e, BlockRegime::Maximal);
+        let required = required_tc(&inst, efficiency, pe.t_f);
+        let achieved = achieved_efficiency(&inst, delivered, pe.t_f);
+        t.row(vec![
+            inst.label(),
+            fmt_seconds(delivered),
+            fmt_seconds(required),
+            format!("{achieved:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: wherever delivered T_c exceeds required T_c, the {}-class network\n\
+         cannot hold E = {efficiency} once PEs sustain {mflops:.0} MFLOPS — the paper's\n\
+         argument that latency, not bisection bandwidth, is the engineering problem.",
+        t3e.name
+    );
+}

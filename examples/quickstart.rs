@@ -1,0 +1,54 @@
+//! Quickstart: generate a synthetic Quake mesh, partition it, characterize
+//! the SMVP, and ask the paper's question — what network does this workload
+//! need?
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use quake_app::characterize::AnalyzedInstance;
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_app::report::{fmt_mb_per_s, fmt_seconds};
+use quake_core::machine::{BlockRegime, Processor};
+use quake_core::model::eq1::{required_sustained_bandwidth, required_tc};
+use quake_core::model::eq2::half_bandwidth_point;
+use quake_partition::geometric::RecursiveBisection;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a small synthetic earthquake mesh: the San-Fernando-like
+    //    basin resolving 10-second waves, domain shrunk 8x for speed.
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0))?;
+    let stats = app.size_stats();
+    println!("mesh: {stats}");
+    println!(
+        "avg node degree: {:.1} (paper: ~14), est. runtime memory: {:.1} MB",
+        app.mesh.avg_node_degree(),
+        app.mesh.estimated_runtime_bytes() as f64 / 1e6
+    );
+
+    // 2. Partition onto 16 PEs with recursive inertial bisection and
+    //    extract the paper's Figure 7 quantities.
+    let analyzed =
+        AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::inertial(), 16)?;
+    let inst = &analyzed.instance;
+    println!("\ncharacterization: {inst}");
+    println!("beta bound: {:.2} (Eq. 2 is near-exact when close to 1)", analyzed.beta);
+
+    // 3. Apply Equation (1): what sustained per-PE bandwidth does 90%
+    //    efficiency demand on a 200-MFLOP PE?
+    let pe = Processor::hypothetical_200mflops();
+    let bw = required_sustained_bandwidth(inst, 0.9, &pe);
+    println!(
+        "\nEq. (1): sustained per-PE bandwidth for E=0.9 on {}: {} MB/s",
+        pe.name,
+        fmt_mb_per_s(bw)
+    );
+
+    // 4. Apply Equation (2): the half-bandwidth design point.
+    let t_c = required_tc(inst, 0.9, pe.t_f);
+    let design = half_bandwidth_point(inst, t_c, BlockRegime::Maximal);
+    println!(
+        "Eq. (2): half-bandwidth design -> burst {} MB/s with block latency {}",
+        fmt_mb_per_s(design.burst_bandwidth_bytes()),
+        fmt_seconds(design.t_l)
+    );
+    Ok(())
+}

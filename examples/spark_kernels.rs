@@ -1,0 +1,77 @@
+//! Spark98-style kernel demo: run the sequential, lock-based,
+//! reduction-based, and row-parallel SMVP kernels on the same stiffness
+//! matrix, verify they agree, and print rough throughput.
+//!
+//! Run with: `cargo run --release --example spark_kernels`
+
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_app::report::Table;
+use quake_fem::assembly::{assemble, GroundMaterial};
+use quake_spark::kernels::{lmv, pmv, rmv, smv};
+use quake_sparse::sym::SymCsr;
+use std::time::Instant;
+
+fn time_mflops<F: FnMut() -> Vec<f64>>(flops: u64, reps: u32, mut f: F) -> (Vec<f64>, f64) {
+    let mut result = f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..reps {
+        result = f();
+    }
+    let dt = start.elapsed().as_secs_f64() / reps as f64;
+    (result, flops as f64 / dt / 1e6)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0))?;
+    let system = assemble(&app.mesh, &GroundMaterial(&app.ground))?;
+    let full = system.stiffness.to_scalar_csr();
+    // The stiffness values are huge (Pa·m); scale the symmetry tolerance.
+    let tol = 1e-9 * full.values().iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let sym = SymCsr::from_csr(&full, tol)?;
+    let n = full.rows();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0).collect();
+    let flops = full.smvp_flops();
+    println!(
+        "matrix: {} x {}, {} nonzeros, {} flops per SMVP\n",
+        n,
+        n,
+        full.nnz(),
+        flops
+    );
+
+    let reps = 20;
+    let (reference, base_mflops) = time_mflops(flops, reps, || smv(&sym, &x));
+    let mut t = Table::new(vec!["kernel", "threads", "MFLOPS", "max rel diff"]);
+    t.row(vec!["smv (sequential)".into(), "1".into(), format!("{base_mflops:.0}"), "0".into()]);
+    let scale = reference.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let check_row = |name: &str, threads: usize, result: &[f64], mflops: f64, t: &mut Table| {
+        let diff = reference
+            .iter()
+            .zip(result)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max)
+            / scale;
+        t.row(vec![
+            name.into(),
+            threads.to_string(),
+            format!("{mflops:.0}"),
+            format!("{diff:.2e}"),
+        ]);
+    };
+    for threads in [2usize, 4] {
+        let (r, m) = time_mflops(flops, reps, || lmv(&sym, &x, threads));
+        check_row("lmv (locks)", threads, &r, m, &mut t);
+        let (r, m) = time_mflops(flops, reps, || rmv(&sym, &x, threads));
+        check_row("rmv (reduction)", threads, &r, m, &mut t);
+        let (r, m) = time_mflops(flops, reps, || pmv(&full, &x, threads));
+        check_row("pmv (row-parallel)", threads, &r, m, &mut t);
+    }
+    println!("{}", t.render());
+    println!(
+        "All kernels compute the same y = Kx. The lock-based kernel pays per-update\n\
+         synchronization; the reduction kernel trades it for O(threads·n) buffer\n\
+         memory; the row-parallel kernel streams the full matrix (twice the bytes of\n\
+         symmetric storage) but needs no synchronization at all."
+    );
+    Ok(())
+}

@@ -1,0 +1,212 @@
+//! Command-line driver: `quake <command> [--flag value]...`
+//!
+//! A thin, dependency-free argument parser plus one function per
+//! subcommand. Parsing is separated from execution so it can be unit
+//! tested.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand name.
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Errors from parsing or validating the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// An argument did not start with `--` where a flag was expected.
+    UnexpectedArgument(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The unparsable text.
+        value: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "no command given; try 'quake help'"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command '{c}'; try 'quake help'"),
+            CliError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
+            CliError::UnexpectedArgument(a) => write!(f, "unexpected argument '{a}'"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "cannot parse '{value}' for --{flag}")
+            }
+        }
+    }
+}
+
+impl Error for CliError {}
+
+/// The available subcommands.
+pub const COMMANDS: [&str; 5] = ["mesh", "characterize", "requirements", "simulate", "help"];
+
+impl Invocation {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or(CliError::MissingCommand)?;
+        if !COMMANDS.contains(&command.as_str()) {
+            return Err(CliError::UnknownCommand(command));
+        }
+        let mut options = HashMap::new();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::UnexpectedArgument(arg.clone()))?
+                .to_string();
+            let value = it.next().ok_or_else(|| CliError::MissingValue(key.clone()))?;
+            options.insert(key, value);
+        }
+        Ok(Invocation { command, options })
+    }
+
+    /// A string option, or `default`.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A parsed numeric option, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparsable.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                flag: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A comma-separated list of usize, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparsable.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Result<Vec<usize>, CliError> {
+        match self.options.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| CliError::BadValue { flag: key.to_string(), value: v.clone() }),
+        }
+    }
+}
+
+/// The help text.
+pub fn help() -> &'static str {
+    "quake — reproduction driver for 'Architectural Implications of a Family of \
+Irregular Applications' (HPCA 1998)
+
+USAGE: quake <command> [--flag value]...
+
+COMMANDS:
+  mesh          generate a synthetic basin mesh and print its statistics
+                  --period <s: 10>  --scale <x: 8>  --seed <n>  --out <file>
+  characterize  partition a mesh and print its Figure-7 row(s)
+                  --period <s: 10>  --scale <x: 8>  --parts <list: 4,8,16>
+                  --partitioner <rib|rcb|spectral|morton|linear|random: rib>
+  requirements  evaluate Eq. (1)/(2) requirements over the paper's data
+                  --mflops <r: 200>  --efficiency <e: 0.9>  --app <sf2>
+  simulate      run the explicit wave simulation and print a summary
+                  --period <s: 10>  --scale <x: 8>  --steps <n: 300>
+  help          print this text"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Invocation, CliError> {
+        Invocation::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let inv = parse(&["mesh", "--period", "5", "--scale", "4"]).unwrap();
+        assert_eq!(inv.command, "mesh");
+        assert_eq!(inv.get("period", 10.0).unwrap(), 5.0);
+        assert_eq!(inv.get("scale", 8.0).unwrap(), 4.0);
+        assert_eq!(inv.get("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_commands() {
+        assert_eq!(parse(&[]), Err(CliError::MissingCommand));
+        assert!(matches!(parse(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(matches!(
+            parse(&["mesh", "period", "5"]),
+            Err(CliError::UnexpectedArgument(_))
+        ));
+        assert!(matches!(
+            parse(&["mesh", "--period"]),
+            Err(CliError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let inv = parse(&["mesh", "--period", "ten"]).unwrap();
+        assert!(matches!(
+            inv.get("period", 10.0),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn usize_lists() {
+        let inv = parse(&["characterize", "--parts", "4, 8,16"]).unwrap();
+        assert_eq!(inv.get_usize_list("parts", &[2]).unwrap(), vec![4, 8, 16]);
+        assert_eq!(inv.get_usize_list("absent", &[2]).unwrap(), vec![2]);
+        let bad = parse(&["characterize", "--parts", "4,x"]).unwrap();
+        assert!(bad.get_usize_list("parts", &[2]).is_err());
+    }
+
+    #[test]
+    fn string_defaults() {
+        let inv = parse(&["characterize"]).unwrap();
+        assert_eq!(inv.get_str("partitioner", "rib"), "rib");
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        for c in COMMANDS {
+            assert!(help().contains(c), "help must mention '{c}'");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CliError::MissingCommand.to_string().contains("help"));
+        assert!(CliError::BadValue { flag: "x".into(), value: "y".into() }
+            .to_string()
+            .contains("--x"));
+    }
+}

@@ -1,0 +1,4 @@
+//! Workspace root: the `quake` CLI, examples, and integration tests for
+//! the HPCA 1998 irregular-applications reproduction.
+
+pub mod cli;

@@ -1,0 +1,204 @@
+//! `quake` — the reproduction's command-line driver.
+
+use quake_app::characterize::AnalyzedInstance;
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_app::report::{fmt_mb_per_s, fmt_seconds, Table};
+use quake_core::machine::{BlockRegime, Processor};
+use quake_core::model::eq1::{required_sustained_bandwidth, required_tc};
+use quake_core::model::eq2::half_bandwidth_point;
+use quake_core::paperdata;
+use quake_fem::assembly::{assemble, GroundMaterial};
+use quake_fem::source::{PointSource, Ricker};
+use quake_fem::timestep::Simulation;
+use quake_repro::cli::{help, CliError, Invocation};
+use quake_sparse::dense::Vec3;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let inv = match Invocation::parse(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match inv.command.as_str() {
+        "help" => {
+            println!("{}", help());
+            Ok(())
+        }
+        "mesh" => cmd_mesh(&inv),
+        "characterize" => cmd_characterize(&inv),
+        "requirements" => cmd_requirements(&inv),
+        "simulate" => cmd_simulate(&inv),
+        other => unreachable!("parser admits only known commands, got {other}"),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn generate(inv: &Invocation) -> Result<QuakeApp, Box<dyn std::error::Error>> {
+    let period: f64 = inv.get("period", 10.0)?;
+    let scale: f64 = inv.get("scale", 8.0)?;
+    let seed: u64 = inv.get("seed", 0x5eedu64)?;
+    let mut config = AppConfig::new(format!("sf{period}"), period, scale);
+    config.seed = seed;
+    Ok(QuakeApp::generate(config)?)
+}
+
+fn cmd_mesh(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
+    let app = generate(inv)?;
+    let stats = app.size_stats();
+    println!("{stats}");
+    println!("avg node degree: {:.2}", app.mesh.avg_node_degree());
+    println!(
+        "estimated runtime memory: {:.2} MB (paper rule: 1.2 KB/node)",
+        app.mesh.estimated_runtime_bytes() as f64 / 1e6
+    );
+    let q = app.mesh.quality();
+    println!(
+        "radius-edge ratio: mean {:.2}, worst {:.2}",
+        q.mean_radius_edge, q.max_radius_edge
+    );
+    let out = inv.get_str("out", "");
+    if !out.is_empty() {
+        let file = std::fs::File::create(&out)?;
+        quake_mesh::io::write_text(&app.mesh, std::io::BufWriter::new(file))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn partitioner(
+    name: &str,
+) -> Result<Box<dyn quake_partition::geometric::Partitioner>, CliError> {
+    use quake_partition::geometric::{
+        LinearPartition, RandomPartition, RecursiveBisection,
+    };
+    use quake_partition::sfc::MortonPartition;
+    use quake_partition::spectral::SpectralBisection;
+    Ok(match name {
+        "rib" => Box::new(RecursiveBisection::inertial()),
+        "rcb" => Box::new(RecursiveBisection::coordinate()),
+        "spectral" => Box::new(SpectralBisection::default()),
+        "morton" => Box::new(MortonPartition),
+        "linear" => Box::new(LinearPartition),
+        "random" => Box::new(RandomPartition { seed: 1 }),
+        other => {
+            return Err(CliError::BadValue {
+                flag: "partitioner".to_string(),
+                value: other.to_string(),
+            })
+        }
+    })
+}
+
+fn cmd_characterize(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
+    let app = generate(inv)?;
+    let parts = inv.get_usize_list("parts", &[4, 8, 16])?;
+    let strat = partitioner(&inv.get_str("partitioner", "rib"))?;
+    let mut t = Table::new(vec![
+        "instance", "F", "C_max", "B_max", "M_avg", "F/C_max", "beta",
+    ]);
+    for &p in &parts {
+        let a = AnalyzedInstance::characterize(&app.config.name, &app.mesh, strat.as_ref(), p)?;
+        let i = &a.instance;
+        t.row(vec![
+            i.label(),
+            i.f.to_string(),
+            i.c_max.to_string(),
+            i.b_max.to_string(),
+            format!("{:.0}", i.m_avg),
+            format!("{:.0}", i.comp_comm_ratio()),
+            format!("{:.2}", a.beta),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_requirements(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
+    let mflops: f64 = inv.get("mflops", 200.0)?;
+    let efficiency: f64 = inv.get("efficiency", 0.9)?;
+    if !(efficiency > 0.0 && efficiency < 1.0) {
+        return Err(Box::new(CliError::BadValue {
+            flag: "efficiency".to_string(),
+            value: efficiency.to_string(),
+        }));
+    }
+    let app = inv.get_str("app", "sf2");
+    let instances = paperdata::figure7_app(&app);
+    if instances.is_empty() {
+        return Err(Box::new(CliError::BadValue { flag: "app".to_string(), value: app }));
+    }
+    let pe = Processor::from_mflops("target", mflops);
+    let mut t = Table::new(vec![
+        "instance",
+        "sustained (MB/s)",
+        "burst@half (MB/s)",
+        "T_l@half (maximal)",
+        "T_l@half (4-word)",
+    ]);
+    for inst in &instances {
+        let t_c = required_tc(inst, efficiency, pe.t_f);
+        let maximal = half_bandwidth_point(inst, t_c, BlockRegime::Maximal);
+        let fixed = half_bandwidth_point(inst, t_c, BlockRegime::CACHE_LINE);
+        t.row(vec![
+            inst.label(),
+            fmt_mb_per_s(required_sustained_bandwidth(inst, efficiency, &pe)),
+            fmt_mb_per_s(maximal.burst_bandwidth_bytes()),
+            fmt_seconds(maximal.t_l),
+            fmt_seconds(fixed.t_l),
+        ]);
+    }
+    println!(
+        "requirements for {mflops:.0}-MFLOP PEs at E = {efficiency} (paper Figure 7 data):\n"
+    );
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_simulate(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
+    let app = generate(inv)?;
+    let steps: u64 = inv.get("steps", 300u64)?;
+    let system = assemble(&app.mesh, &GroundMaterial(&app.ground))?;
+    let max_vp = 3f64.sqrt() * app.ground.vs_rock;
+    let dt = Simulation::stable_dt(&app.mesh, max_vp, 0.4);
+    let mut sim = Simulation::new(system, dt)?;
+    let source = PointSource::nearest(
+        &app.mesh,
+        app.ground.basin_center_surface() + Vec3::new(0.0, 0.0, -2_000.0),
+        Vec3::new(0.0, 0.0, 1e15),
+        Ricker::new(1.0 / app.config.period_s),
+    );
+    sim.add_source(source);
+    let rx = PointSource::nearest(
+        &app.mesh,
+        app.ground.basin_center_surface(),
+        Vec3::ZERO,
+        Ricker::new(1.0),
+    )
+    .node;
+    sim.add_receiver(rx);
+    sim.run(steps);
+    println!(
+        "mesh {} nodes / {} elements; dt = {:.4} s; ran {} steps = {:.1} s simulated",
+        app.mesh.node_count(),
+        app.mesh.element_count(),
+        dt,
+        sim.step_count(),
+        sim.time()
+    );
+    let smvp_flops = app.mesh.pattern().smvp_flops();
+    println!(
+        "per step: one SMVP of {smvp_flops} flops; receiver peak displacement {:.3e} m",
+        sim.seismograms()[0].peak()
+    );
+    println!("displacement energy: {:.3e} (finite => stable)", sim.displacement_energy());
+    Ok(())
+}

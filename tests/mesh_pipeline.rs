@@ -1,0 +1,55 @@
+//! Integration: mesh persistence and quality refinement across crates —
+//! a generated basin mesh survives text and binary round trips byte-exactly,
+//! and Delaunay quality refinement composes with the FEM assembly.
+
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_fem::assembly::{assemble, UniformMaterial};
+use quake_mesh::boundary::Boundary;
+use quake_mesh::io;
+use quake_mesh::refine::{refine_quality, QualityOptions};
+use quake_mesh::ground::Material;
+use std::io::BufReader;
+
+#[test]
+fn generated_mesh_survives_text_round_trip() {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let mut buf = Vec::new();
+    io::write_text(&app.mesh, &mut buf).expect("write");
+    let back = io::read_text(BufReader::new(&buf[..])).expect("read");
+    assert_eq!(back.node_count(), app.mesh.node_count());
+    assert_eq!(back.elements(), app.mesh.elements());
+    // Coordinates round-trip through decimal text exactly (Rust prints
+    // shortest-round-trip floats).
+    assert_eq!(back.nodes(), app.mesh.nodes());
+}
+
+#[test]
+fn generated_mesh_survives_binary_round_trip_through_file() {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let bytes = io::to_bytes(&app.mesh);
+    let path = std::env::temp_dir().join("quake_repro_roundtrip.qmb");
+    std::fs::write(&path, &bytes).expect("write file");
+    let raw = std::fs::read(&path).expect("read file");
+    std::fs::remove_file(&path).ok();
+    let back = io::from_bytes(raw.into()).expect("decode");
+    assert_eq!(back, app.mesh);
+}
+
+#[test]
+fn refined_mesh_still_assembles_and_has_closed_boundary() {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let domain = app.mesh.bounding_box().expect("non-empty");
+    let options = QualityOptions { max_rounds: 2, ..QualityOptions::default() };
+    let (refined, stats) = refine_quality(&app.mesh, domain, options).expect("refine");
+    assert!(refined.node_count() >= app.mesh.node_count());
+    // The refined mesh is still a valid solid: watertight boundary and a
+    // positive-definite-enough system for assembly.
+    let boundary = Boundary::extract(&refined);
+    assert!(boundary.is_closed(), "refined mesh must stay watertight");
+    let mat = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+    let sys = assemble(&refined, &UniformMaterial(mat)).expect("assembly");
+    assert_eq!(sys.stiffness.block_rows(), refined.node_count());
+    assert!(sys.mass.iter().all(|&m| m > 0.0));
+    // Stats are internally consistent.
+    assert!(stats.rounds <= 2);
+}

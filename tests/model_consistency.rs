@@ -1,0 +1,162 @@
+//! Integration: the models evaluated over the paper's published data must
+//! reproduce the paper's headline numbers and internal consistencies.
+
+use quake_core::machine::{BlockRegime, Network, Processor, WORD_BYTES};
+use quake_core::model::eq1::{achieved_efficiency, required_sustained_bandwidth, required_tc};
+use quake_core::model::eq2::{delivered_tc, half_bandwidth_point, latency_at_infinite_burst};
+use quake_core::paperdata;
+use quake_core::requirements::{
+    half_bandwidth_series, sustained_bandwidth_series, tradeoff_curve, EFFICIENCIES,
+};
+
+#[test]
+fn headline_sustained_bandwidths() {
+    // §4.3: "On a system with 100-MFLOP PEs, maintaining a sustained rate of
+    // 120 MBytes/sec per PE during the communication phase is sufficient to
+    // run all instances of the sf2 SMVP at 90% efficiency" and "On systems
+    // with 200-MFLOP PEs, a sustained PE bandwidth of about 300 MBytes/sec
+    // will be required".
+    let sf2 = paperdata::figure7_app("sf2");
+    let worst_at = |pe: &Processor| {
+        sf2.iter()
+            .map(|i| required_sustained_bandwidth(i, 0.9, pe))
+            .fold(0.0, f64::max)
+    };
+    let at100 = worst_at(&Processor::hypothetical_100mflops());
+    let at200 = worst_at(&Processor::hypothetical_200mflops());
+    assert!((120e6..160e6).contains(&at100), "{:.0} MB/s", at100 / 1e6);
+    assert!((250e6..320e6).contains(&at200), "{:.0} MB/s", at200 / 1e6);
+}
+
+#[test]
+fn network_of_workstations_case() {
+    // §4.3: 80% efficiency on networks of workstations "demands sustained
+    // per-PE bandwidths of about 100 MBytes/sec" (100-MFLOP PEs).
+    let sf2 = paperdata::figure7_app("sf2");
+    let worst = sf2
+        .iter()
+        .map(|i| required_sustained_bandwidth(i, 0.8, &Processor::hypothetical_100mflops()))
+        .fold(0.0, f64::max);
+    assert!((50e6..130e6).contains(&worst), "{:.0} MB/s", worst / 1e6);
+}
+
+#[test]
+fn conclusion_burst_bandwidth_and_latency() {
+    // §5: 200-MFLOP PEs with maximal blocks need ≈ 300 MB/s sustained,
+    // ≈ 600 MB/s burst, and µs-scale block latency for 90% efficiency.
+    let inst = paperdata::figure7_instance("sf2", 128).expect("row");
+    let tc = required_tc(&inst, 0.9, Processor::hypothetical_200mflops().t_f);
+    let hb = half_bandwidth_point(&inst, tc, BlockRegime::Maximal);
+    let burst = hb.burst_bandwidth_bytes();
+    assert!((450e6..700e6).contains(&burst), "{:.0} MB/s", burst / 1e6);
+    assert!((1e-6..10e-6).contains(&hb.t_l), "{} s", hb.t_l);
+    // Four-word blocks: tens of ns (§4.4 reads ≈ 70 ns off the plot).
+    let fixed = half_bandwidth_point(&inst, tc, BlockRegime::CACHE_LINE);
+    assert!((30e-9..100e-9).contains(&fixed.t_l), "{} s", fixed.t_l);
+}
+
+#[test]
+fn section_4_4_infinite_burst_latency_reading() {
+    // §4.4 (fixed 4-word blocks): "if burst bandwidth is infinite, then
+    // observed block latency must not exceed 100 ns" at E = 0.9.
+    let inst = paperdata::figure7_instance("sf2", 128).expect("row");
+    let tc = required_tc(&inst, 0.9, Processor::hypothetical_200mflops().t_f);
+    let bound = latency_at_infinite_burst(&inst, tc, BlockRegime::CACHE_LINE);
+    assert!(
+        (90e-9..130e-9).contains(&bound),
+        "expected ≈ 100 ns, got {} ns",
+        bound * 1e9
+    );
+}
+
+#[test]
+fn figure7_ratio_scaling_is_cube_root() {
+    // §4.1: problem size ×10 → F/C_max ≈ ×2 (n^(1/3) scaling). Check
+    // sf10 → sf2 (n × ~52) and sf5 → sf1 (n × ~82) at fixed p.
+    for p in paperdata::SUBDOMAIN_COUNTS {
+        let r10 = paperdata::figure7_instance("sf10", p).expect("row").comp_comm_ratio();
+        let r2 = paperdata::figure7_instance("sf2", p).expect("row").comp_comm_ratio();
+        let factor = r2 / r10;
+        // n grows 52x; cube root is 3.7. Accept a generous band.
+        assert!(
+            (2.0..8.0).contains(&factor),
+            "sfx growth at p={p}: {factor}"
+        );
+    }
+}
+
+#[test]
+fn t3e_network_cannot_hold_90_percent_at_200mflops() {
+    // The design-space argument: the measured T3E parameters fall short of
+    // the future-machine requirement for the latency-bound instances.
+    let inst = paperdata::figure7_instance("sf2", 128).expect("row");
+    let pe = Processor::hypothetical_200mflops();
+    let delivered = delivered_tc(&inst, &Network::cray_t3e(), BlockRegime::Maximal);
+    let e = achieved_efficiency(&inst, delivered, pe.t_f);
+    assert!(
+        e < 0.9,
+        "T3E-class comms should not sustain 90% on 200-MFLOP PEs (got {e:.3})"
+    );
+}
+
+#[test]
+fn tradeoff_curves_pass_through_half_bandwidth_points() {
+    // Figure 10 and Figure 11 must be mutually consistent: the half-
+    // bandwidth point lies on the corresponding tradeoff curve.
+    let inst = paperdata::figure7_instance("sf2", 128).expect("row");
+    let pe = Processor::hypothetical_200mflops();
+    for regime in [BlockRegime::Maximal, BlockRegime::CACHE_LINE] {
+        for &e in &EFFICIENCIES {
+            let tc = required_tc(&inst, e, pe.t_f);
+            let hb = half_bandwidth_point(&inst, tc, regime);
+            let curve = tradeoff_curve(
+                &inst,
+                e,
+                &pe,
+                regime,
+                &[hb.burst_bandwidth_bytes()],
+            );
+            assert_eq!(curve.points.len(), 1);
+            let (_, t_l) = curve.points[0];
+            assert!(
+                (t_l - hb.t_l).abs() < 1e-9 * hb.t_l.max(1e-12),
+                "curve latency {t_l} vs half-bandwidth {}",
+                hb.t_l
+            );
+        }
+    }
+}
+
+#[test]
+fn figure9_and_figure11_consistent() {
+    // The sustained bandwidth of Fig. 9 equals twice the half burst
+    // bandwidth... no: T_c = 2·T_w at the half point, so burst = 2×
+    // sustained. Verify across the full sweep.
+    let sf2 = paperdata::figure7_app("sf2");
+    let pes = [Processor::hypothetical_100mflops(), Processor::hypothetical_200mflops()];
+    let fig9 = sustained_bandwidth_series(&sf2, &pes, &EFFICIENCIES);
+    let fig11 = half_bandwidth_series(&sf2, &pes, &EFFICIENCIES, &[BlockRegime::Maximal]);
+    assert_eq!(fig9.len(), fig11.len());
+    for (p9, p11) in fig9.iter().zip(&fig11) {
+        assert_eq!(p9.label, p11.label);
+        let sustained = p9.bandwidth_bytes;
+        let burst = p11.point.burst_bandwidth_bytes();
+        assert!(
+            (burst / sustained - 2.0).abs() < 1e-9,
+            "burst must be twice sustained at the half point"
+        );
+        // Sanity: the sustained bandwidth in words matches 1/t_c.
+        let tc = WORD_BYTES / sustained;
+        assert!(tc > 0.0);
+    }
+}
+
+#[test]
+fn beta_table_shape_matches_paper() {
+    // The published β values are all in [1, 1.15]; our bound promises [1, 2].
+    for row in paperdata::FIGURE6_BETA {
+        for b in row {
+            assert!((1.0..=1.2).contains(&b));
+        }
+    }
+}
