@@ -119,13 +119,9 @@ mod tests {
     #[test]
     fn instance_fields_are_consistent() {
         let app = app();
-        let a = AnalyzedInstance::characterize(
-            "sf10",
-            &app.mesh,
-            &RecursiveBisection::inertial(),
-            8,
-        )
-        .unwrap();
+        let a =
+            AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::inertial(), 8)
+                .unwrap();
         let i = &a.instance;
         assert_eq!(i.subdomains, 8);
         assert!(i.f > 0);
@@ -146,10 +142,7 @@ mod tests {
             &[2, 4, 8, 16],
         );
         assert_eq!(table.len(), 4);
-        let ratios: Vec<f64> = table
-            .iter()
-            .map(|a| a.instance.comp_comm_ratio())
-            .collect();
+        let ratios: Vec<f64> = table.iter().map(|a| a.instance.comp_comm_ratio()).collect();
         for w in ratios.windows(2) {
             assert!(
                 w[1] < w[0] * 1.1,
@@ -161,13 +154,9 @@ mod tests {
     #[test]
     fn workload_matches_analysis() {
         let app = app();
-        let a = AnalyzedInstance::characterize(
-            "sf10",
-            &app.mesh,
-            &RecursiveBisection::coordinate(),
-            4,
-        )
-        .unwrap();
+        let a =
+            AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::coordinate(), 4)
+                .unwrap();
         let w = a.workload();
         assert_eq!(w.parts(), 4);
         assert_eq!(w.c_max(), a.instance.c_max);
@@ -178,13 +167,9 @@ mod tests {
     #[test]
     fn comm_summary_units() {
         let app = app();
-        let a = AnalyzedInstance::characterize(
-            "sf10",
-            &app.mesh,
-            &RecursiveBisection::inertial(),
-            8,
-        )
-        .unwrap();
+        let a =
+            AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::inertial(), 8)
+                .unwrap();
         let s = a.comm_summary(&app.mesh);
         assert!(s.data_mb_per_pe > 0.0);
         assert!(s.comm_kb_per_mflop > 0.0);

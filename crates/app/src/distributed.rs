@@ -42,11 +42,11 @@ impl LocalSubdomain {
 
 /// A message exchanged between two PEs during the communication phase.
 #[derive(Debug, Clone)]
-struct Exchange {
-    a: usize,
-    b: usize,
+pub(crate) struct Exchange {
+    pub(crate) a: usize,
+    pub(crate) b: usize,
     /// `(local index on a, local index on b)` for each shared node.
-    pairs: Vec<(usize, usize)>,
+    pub(crate) pairs: Vec<(usize, usize)>,
 }
 
 /// The distributed SMVP system: one subdomain per PE plus the exchange
@@ -92,8 +92,10 @@ impl DistributedSystem {
             .map(|nodes| nodes.iter().enumerate().map(|(l, &g)| (g, l)).collect())
             .collect();
         // Local assembly from each PE's own elements.
-        let mut builders: Vec<Bcsr3Builder> =
-            global_nodes.iter().map(|n| Bcsr3Builder::new(n.len())).collect();
+        let mut builders: Vec<Bcsr3Builder> = global_nodes
+            .iter()
+            .map(|n| Bcsr3Builder::new(n.len()))
+            .collect();
         for (e, &q) in partition.assignments().iter().enumerate() {
             let tet = mesh.tetra(e);
             let mat = field.material(mesh, e);
@@ -110,7 +112,10 @@ impl DistributedSystem {
         let subdomains: Vec<LocalSubdomain> = builders
             .into_iter()
             .zip(global_nodes)
-            .map(|(b, nodes)| LocalSubdomain { global_nodes: nodes, stiffness: b.build() })
+            .map(|(b, nodes)| LocalSubdomain {
+                global_nodes: nodes,
+                stiffness: b.build(),
+            })
             .collect();
         // Exchange schedule: for every node shared by several PEs, each
         // unordered pair of sharers exchanges that node's values.
@@ -131,12 +136,26 @@ impl DistributedSystem {
             .map(|((a, b), pairs)| Exchange { a, b, pairs })
             .collect();
         exchanges.sort_by_key(|e| (e.a, e.b));
-        Ok(DistributedSystem { subdomains, exchanges, node_count: mesh.node_count() })
+        Ok(DistributedSystem {
+            subdomains,
+            exchanges,
+            node_count: mesh.node_count(),
+        })
     }
 
     /// The per-PE subdomains.
     pub fn subdomains(&self) -> &[LocalSubdomain] {
         &self.subdomains
+    }
+
+    /// The pairwise exchange schedule (for the instrumented executor).
+    pub(crate) fn exchanges(&self) -> &[Exchange] {
+        &self.exchanges
+    }
+
+    /// Total mesh nodes of the global system.
+    pub fn global_nodes(&self) -> usize {
+        self.node_count
     }
 
     /// Number of PEs.
@@ -172,8 +191,7 @@ impl DistributedSystem {
             .subdomains
             .iter()
             .map(|sd| {
-                let x_local: Vec<Vec3> =
-                    sd.global_nodes.iter().map(|&g| x[g]).collect();
+                let x_local: Vec<Vec3> = sd.global_nodes.iter().map(|&g| x[g]).collect();
                 sd.stiffness
                     .spmv_alloc(&x_local)
                     .expect("local dimensions consistent by construction")
@@ -223,7 +241,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn mat() -> Material {
-        Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 }
+        Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        }
     }
 
     fn setup(parts: usize) -> (TetMesh, Partition, DistributedSystem) {
@@ -231,8 +253,7 @@ mod tests {
         let partition = RecursiveBisection::inertial()
             .partition(&app.mesh, parts)
             .unwrap();
-        let sys =
-            DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat())).unwrap();
+        let sys = DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat())).unwrap();
         (app.mesh, partition, sys)
     }
 
@@ -289,8 +310,7 @@ mod tests {
     fn single_pe_degenerates_to_sequential() {
         let (mesh, _, _) = setup(2);
         let partition = RecursiveBisection::inertial().partition(&mesh, 1).unwrap();
-        let sys =
-            DistributedSystem::build(&mesh, &partition, &UniformMaterial(mat())).unwrap();
+        let sys = DistributedSystem::build(&mesh, &partition, &UniformMaterial(mat())).unwrap();
         assert_eq!(sys.parts(), 1);
         assert_eq!(sys.message_words(0, 0), 0);
         let global = assemble(&mesh, &UniformMaterial(mat())).unwrap();
@@ -310,7 +330,10 @@ mod tests {
             .map(|v| partition.node_pes(v).len())
             .sum();
         assert_eq!(total_local, expected);
-        assert!(total_local > mesh.node_count(), "shared nodes are replicated");
+        assert!(
+            total_local > mesh.node_count(),
+            "shared nodes are replicated"
+        );
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Instrumented bulk-synchronous SMVP executor.
+//!
+//! [`DistributedSystem::smvp`](crate::distributed::DistributedSystem::smvp)
+//! models the paper's distributed product but runs serially and reports
+//! nothing. [`BspExecutor`] runs the same assemble→compute→exchange→fold
+//! phases over a persistent [`WorkerPool`] — one task per PE per phase,
+//! with the pool's batch barrier standing in for the machine's phase
+//! barriers — and *measures* what the characterization layer only
+//! *predicts*: per-PE flops, words and blocks sent/received, per-phase
+//! wall times, and per-PE barrier wait.
+//!
+//! Observed `F_i`/`C_i`/`B_i` are counted from the data structures the
+//! kernel actually traverses, so for a correct build they match
+//! [`CommAnalysis`](quake_partition::comm::CommAnalysis) *exactly* — that
+//! exact match (checked in tests and by `quake smvp-run`) is the executor's
+//! reason to exist: it closes the loop between the paper's Figure 7
+//! characterization and a live parallel execution, and its phase times feed
+//! the Eq. (1)/(2) validation in `quake_core::model::validate`.
+
+use crate::distributed::DistributedSystem;
+use quake_core::model::validate::MeasuredSmvp;
+use quake_spark::pool::{Task, WorkerPool};
+use quake_sparse::dense::Vec3;
+use std::time::Instant;
+
+/// Observability counters for one PE, accumulated over all executed steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PeCounters {
+    /// Flops executed by this PE's local SMVPs (18 per traversed 3×3 block,
+    /// the paper's `F_i = 2·m_i`).
+    pub flops: u64,
+    /// Words this PE sent during exchange phases.
+    pub words_sent: u64,
+    /// Words this PE received during exchange phases.
+    pub words_received: u64,
+    /// Messages (blocks under maximal aggregation) this PE sent.
+    pub blocks_sent: u64,
+    /// Messages this PE received.
+    pub blocks_received: u64,
+    /// Seconds spent gathering local `x` (assemble phase).
+    pub t_assemble: f64,
+    /// Seconds spent in local SMVP (compute phase).
+    pub t_compute: f64,
+    /// Seconds spent summing neighbor contributions (exchange phase).
+    pub t_exchange: f64,
+    /// Seconds spent waiting at phase barriers (phase wall time minus this
+    /// PE's own work, summed over phases and steps).
+    pub t_barrier: f64,
+}
+
+impl PeCounters {
+    /// Words sent + received (the paper's `C_i`).
+    pub fn words(&self) -> u64 {
+        self.words_sent + self.words_received
+    }
+
+    /// Blocks sent + received (the paper's `B_i`).
+    pub fn blocks(&self) -> u64 {
+        self.blocks_sent + self.blocks_received
+    }
+}
+
+/// Wall-clock seconds per phase, accumulated over all executed steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseWalls {
+    /// Assemble (gather local `x`) phase.
+    pub assemble: f64,
+    /// Compute (local SMVP) phase.
+    pub compute: f64,
+    /// Exchange (pairwise sum) phase.
+    pub exchange: f64,
+    /// Fold (replicated results → global vector) phase.
+    pub fold: f64,
+}
+
+impl PhaseWalls {
+    /// Total wall-clock across phases.
+    pub fn total(&self) -> f64 {
+        self.assemble + self.compute + self.exchange + self.fold
+    }
+}
+
+/// Structured measurement report of an executor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// SMVP steps executed.
+    pub steps: u64,
+    /// Per-PE counters (accumulated over all steps).
+    pub pe: Vec<PeCounters>,
+    /// Per-phase wall times (accumulated over all steps).
+    pub phases: PhaseWalls,
+}
+
+impl ExecutionReport {
+    /// Observed max per-PE flops per SMVP (the paper's `F`).
+    pub fn f_max(&self) -> u64 {
+        self.per_step_max(|c| c.flops)
+    }
+
+    /// Observed max per-PE words per SMVP (`C_max`).
+    pub fn c_max(&self) -> u64 {
+        self.per_step_max(|c| c.words())
+    }
+
+    /// Observed max per-PE blocks per SMVP (`B_max`).
+    pub fn b_max(&self) -> u64 {
+        self.per_step_max(|c| c.blocks())
+    }
+
+    /// Observed per-PE `(C_i, B_i)` loads per SMVP, the β-bound input.
+    pub fn comm_loads(&self) -> Vec<(u64, u64)> {
+        let steps = self.steps.max(1);
+        self.pe
+            .iter()
+            .map(|c| (c.words() / steps, c.blocks() / steps))
+            .collect()
+    }
+
+    /// Compute-phase wall seconds per SMVP step.
+    pub fn t_compute_per_step(&self) -> f64 {
+        self.phases.compute / self.steps.max(1) as f64
+    }
+
+    /// Exchange-phase wall seconds per SMVP step.
+    pub fn t_exchange_per_step(&self) -> f64 {
+        self.phases.exchange / self.steps.max(1) as f64
+    }
+
+    /// Measured parallel efficiency proxy: compute wall over compute +
+    /// exchange wall (the paper's `E` with communication as the only
+    /// overhead).
+    pub fn efficiency(&self) -> f64 {
+        let c = self.phases.compute;
+        let x = self.phases.exchange;
+        if c + x == 0.0 {
+            return 1.0;
+        }
+        c / (c + x)
+    }
+
+    /// Per-PE exchange seconds per step (for fitting effective `t_l`/`t_w`).
+    pub fn exchange_times_per_step(&self) -> Vec<f64> {
+        let steps = self.steps.max(1) as f64;
+        self.pe.iter().map(|c| c.t_exchange / steps).collect()
+    }
+
+    /// The per-SMVP measurements in the shape
+    /// [`quake_core::model::validate`] consumes.
+    pub fn measured(&self) -> MeasuredSmvp {
+        let steps = self.steps.max(1);
+        MeasuredSmvp {
+            per_pe_flops: self.pe.iter().map(|c| c.flops / steps).collect(),
+            per_pe_loads: self.comm_loads(),
+            per_pe_exchange: self.exchange_times_per_step(),
+            t_compute: self
+                .pe
+                .iter()
+                .map(|c| c.t_compute / steps as f64)
+                .fold(0.0, f64::max),
+        }
+    }
+
+    fn per_step_max(&self, f: impl Fn(&PeCounters) -> u64) -> u64 {
+        let steps = self.steps.max(1);
+        self.pe.iter().map(|c| f(c) / steps).max().unwrap_or(0)
+    }
+}
+
+/// Per-PE slice of the exchange schedule: what PE `q` receives, from whom.
+struct Inbound {
+    neighbor: usize,
+    /// `(local index on q, local index on neighbor)` per shared node.
+    pairs: Vec<(usize, usize)>,
+}
+
+/// Bulk-synchronous instrumented executor over a [`DistributedSystem`].
+pub struct BspExecutor<'a> {
+    system: &'a DistributedSystem,
+    pool: WorkerPool,
+    /// `inbound[q]`: messages PE q receives each exchange phase.
+    inbound: Vec<Vec<Inbound>>,
+    counters: Vec<PeCounters>,
+    phases: PhaseWalls,
+    steps: u64,
+}
+
+impl<'a> BspExecutor<'a> {
+    /// Creates an executor running `system`'s PEs on `threads` pooled
+    /// workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(system: &'a DistributedSystem, threads: usize) -> Self {
+        let p = system.parts();
+        let mut inbound: Vec<Vec<Inbound>> = (0..p).map(|_| Vec::new()).collect();
+        for ex in system.exchanges() {
+            inbound[ex.a].push(Inbound {
+                neighbor: ex.b,
+                pairs: ex.pairs.clone(),
+            });
+            inbound[ex.b].push(Inbound {
+                neighbor: ex.a,
+                pairs: ex.pairs.iter().map(|&(la, lb)| (lb, la)).collect(),
+            });
+        }
+        BspExecutor {
+            system,
+            pool: WorkerPool::new(threads),
+            inbound,
+            counters: vec![PeCounters::default(); p],
+            phases: PhaseWalls::default(),
+            steps: 0,
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Executes one bulk-synchronous SMVP `y = Kx` for a global input
+    /// vector, updating the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the mesh node count.
+    pub fn step(&mut self, x: &[Vec3]) -> Vec<Vec3> {
+        assert_eq!(
+            x.len(),
+            self.system.global_nodes(),
+            "x length must match mesh nodes"
+        );
+        let subdomains = self.system.subdomains();
+        let p = subdomains.len();
+        let mut elapsed = vec![0.0f64; p];
+
+        // --- Assemble phase: gather replicated local x per PE. ---
+        let mut x_local: Vec<Vec<Vec3>> = (0..p).map(|_| Vec::new()).collect();
+        let wall = self.phase(
+            x_local
+                .iter_mut()
+                .zip(subdomains)
+                .zip(elapsed.iter_mut())
+                .map(|((xl, sd), dt)| {
+                    Box::new(move || {
+                        let t0 = Instant::now();
+                        xl.extend(sd.global_nodes.iter().map(|&g| x[g]));
+                        *dt = t0.elapsed().as_secs_f64();
+                    }) as Task
+                })
+                .collect(),
+        );
+        self.phases.assemble += wall;
+        for (c, &dt) in self.counters.iter_mut().zip(&elapsed) {
+            c.t_assemble += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+        }
+
+        // --- Compute phase: local SMVP per PE. ---
+        let mut partials: Vec<Vec<Vec3>> = (0..p).map(|_| Vec::new()).collect();
+        let wall = self.phase(
+            partials
+                .iter_mut()
+                .zip(subdomains)
+                .zip(x_local.iter())
+                .zip(elapsed.iter_mut())
+                .map(|(((part, sd), xl), dt)| {
+                    Box::new(move || {
+                        let t0 = Instant::now();
+                        *part = sd
+                            .stiffness
+                            .spmv_alloc(xl)
+                            .expect("local dimensions consistent by construction");
+                        *dt = t0.elapsed().as_secs_f64();
+                    }) as Task
+                })
+                .collect(),
+        );
+        self.phases.compute += wall;
+        for ((c, &dt), sd) in self.counters.iter_mut().zip(&elapsed).zip(subdomains) {
+            c.t_compute += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+            // 18 flops per traversed 3×3 block: the paper's F_i = 2·m_i
+            // counted from the matrix this step just multiplied.
+            c.flops += sd.smvp_flops();
+        }
+
+        // --- Exchange phase: each PE sums neighbor contributions into its
+        // own copy, reading the immutable compute-phase snapshot. ---
+        let mut exchanged: Vec<Vec<Vec3>> = (0..p).map(|_| Vec::new()).collect();
+        let partials_ref = &partials;
+        let inbound_ref = &self.inbound;
+        let wall = self.phase(
+            exchanged
+                .iter_mut()
+                .zip(elapsed.iter_mut())
+                .enumerate()
+                .map(|(q, (out, dt))| {
+                    Box::new(move || {
+                        let t0 = Instant::now();
+                        let mut acc = partials_ref[q].clone();
+                        for msg in &inbound_ref[q] {
+                            let theirs = &partials_ref[msg.neighbor];
+                            for &(mine, their) in &msg.pairs {
+                                acc[mine] += theirs[their];
+                            }
+                        }
+                        *out = acc;
+                        *dt = t0.elapsed().as_secs_f64();
+                    }) as Task
+                })
+                .collect(),
+        );
+        self.phases.exchange += wall;
+        for (q, (c, &dt)) in self.counters.iter_mut().zip(&elapsed).enumerate() {
+            c.t_exchange += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+            for msg in &self.inbound[q] {
+                let words = 3 * msg.pairs.len() as u64;
+                // Each inbound message is matched by an equal outbound one
+                // (the exchange is symmetric), so count both directions.
+                c.words_received += words;
+                c.words_sent += words;
+                c.blocks_received += 1;
+                c.blocks_sent += 1;
+            }
+        }
+
+        // --- Fold phase: replicated results → global vector. ---
+        let t0 = Instant::now();
+        let mut y = vec![Vec3::ZERO; self.system.global_nodes()];
+        let mut written = vec![false; y.len()];
+        for (sd, part) in subdomains.iter().zip(&exchanged) {
+            for (l, &g) in sd.global_nodes.iter().enumerate() {
+                if written[g] {
+                    debug_assert!(
+                        (y[g] - part[l]).norm() <= 1e-9 * (1.0 + y[g].norm()),
+                        "replicas disagree at node {g}"
+                    );
+                } else {
+                    y[g] = part[l];
+                    written[g] = true;
+                }
+            }
+        }
+        self.phases.fold += t0.elapsed().as_secs_f64();
+
+        self.steps += 1;
+        y
+    }
+
+    /// Runs `steps` SMVPs of the same input (the paper's repeated time-loop
+    /// product) and returns the final result.
+    pub fn run(&mut self, x: &[Vec3], steps: u64) -> Vec<Vec3> {
+        let mut y = Vec::new();
+        for _ in 0..steps {
+            y = self.step(x);
+        }
+        y
+    }
+
+    /// The accumulated measurement report.
+    pub fn report(&self) -> ExecutionReport {
+        ExecutionReport {
+            threads: self.pool.threads(),
+            steps: self.steps,
+            pe: self.counters.clone(),
+            phases: self.phases,
+        }
+    }
+
+    /// Runs one task batch as a barrier-delimited phase, returning its wall
+    /// time in seconds.
+    fn phase(&self, tasks: Vec<Task>) -> f64 {
+        let t0 = Instant::now();
+        self.pool.execute(tasks);
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{AppConfig, QuakeApp};
+    use quake_fem::assembly::UniformMaterial;
+    use quake_mesh::ground::Material;
+    use quake_mesh::mesh::TetMesh;
+    use quake_partition::comm::CommAnalysis;
+    use quake_partition::geometric::{Partitioner, RecursiveBisection};
+    use quake_partition::partition::Partition;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(parts: usize) -> (TetMesh, Partition, DistributedSystem) {
+        let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).unwrap();
+        let partition = RecursiveBisection::inertial()
+            .partition(&app.mesh, parts)
+            .unwrap();
+        let mat = Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        };
+        let sys = DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat)).unwrap();
+        (app.mesh, partition, sys)
+    }
+
+    fn random_x(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn executor_matches_serial_distributed_smvp() {
+        let (mesh, _, sys) = setup(6);
+        let x = random_x(mesh.node_count(), 11);
+        let serial = sys.smvp(&x);
+        for threads in [1, 4] {
+            let mut exec = BspExecutor::new(&sys, threads);
+            let pooled = exec.step(&x);
+            let scale: f64 = serial.iter().map(|v| v.norm()).fold(0.0, f64::max);
+            for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
+                assert!(
+                    (*a - *b).norm() <= 1e-12 * (1.0 + scale),
+                    "node {i} at {threads} threads: serial {a} vs pooled {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_counters_match_characterization_exactly() {
+        let (mesh, partition, sys) = setup(4);
+        let analysis = CommAnalysis::new(&mesh, &partition);
+        let x = random_x(mesh.node_count(), 3);
+        let mut exec = BspExecutor::new(&sys, 4);
+        exec.run(&x, 3);
+        let report = exec.report();
+        assert_eq!(report.steps, 3);
+        assert_eq!(report.f_max(), analysis.f_max(), "F mismatch");
+        assert_eq!(report.c_max(), analysis.c_max(), "C_max mismatch");
+        assert_eq!(report.b_max(), analysis.b_max(), "B_max mismatch");
+        for (q, (c, predicted)) in report.pe.iter().zip(analysis.per_pe()).enumerate() {
+            assert_eq!(c.flops / 3, predicted.flops, "PE {q} flops");
+            assert_eq!(c.words() / 3, predicted.words, "PE {q} words");
+            assert_eq!(c.blocks() / 3, predicted.blocks, "PE {q} blocks");
+            assert_eq!(c.words_sent, c.words_received, "exchange is symmetric");
+        }
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let (mesh, _, sys) = setup(2);
+        let x = random_x(mesh.node_count(), 5);
+        let mut exec = BspExecutor::new(&sys, 2);
+        exec.run(&x, 2);
+        let report = exec.report();
+        assert!(report.phases.compute > 0.0);
+        assert!(report.phases.exchange > 0.0);
+        assert!(report.phases.total() > 0.0);
+        assert!(report.efficiency() > 0.0 && report.efficiency() <= 1.0);
+        for c in &report.pe {
+            assert!(c.t_compute > 0.0);
+            assert!(c.t_barrier >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_pe_has_no_communication() {
+        let (mesh, _, _) = setup(2);
+        let partition = RecursiveBisection::inertial().partition(&mesh, 1).unwrap();
+        let mat = Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        };
+        let sys = DistributedSystem::build(&mesh, &partition, &UniformMaterial(mat)).unwrap();
+        let x = random_x(mesh.node_count(), 7);
+        let mut exec = BspExecutor::new(&sys, 2);
+        exec.step(&x);
+        let report = exec.report();
+        assert_eq!(report.c_max(), 0);
+        assert_eq!(report.b_max(), 0);
+        assert_eq!(report.efficiency(), report.efficiency().clamp(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn wrong_x_length_panics() {
+        let (_, _, sys) = setup(2);
+        let mut exec = BspExecutor::new(&sys, 2);
+        let _ = exec.step(&[Vec3::ZERO]);
+    }
+}

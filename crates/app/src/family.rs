@@ -28,7 +28,12 @@ pub struct AppConfig {
 impl AppConfig {
     /// The canonical member with the given period at a given scale.
     pub fn new(name: impl Into<String>, period_s: f64, scale: f64) -> Self {
-        AppConfig { name: name.into(), period_s, scale, seed: 0x5eed }
+        AppConfig {
+            name: name.into(),
+            period_s,
+            scale,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -65,9 +70,16 @@ impl QuakeApp {
     /// Propagates mesh-generation failures.
     pub fn generate(config: AppConfig) -> Result<Self, GenerateError> {
         let ground = BasinModel::san_fernando_like();
-        let options = GeneratorOptions { seed: config.seed, ..GeneratorOptions::default() };
+        let options = GeneratorOptions {
+            seed: config.seed,
+            ..GeneratorOptions::default()
+        };
         let mesh = generate_basin_mesh(&ground, config.period_s, config.scale, options)?;
-        Ok(QuakeApp { config, ground, mesh })
+        Ok(QuakeApp {
+            config,
+            ground,
+            mesh,
+        })
     }
 
     /// Mesh size statistics (the synthetic Figure 2 row).

@@ -11,6 +11,9 @@
 //! * [`distributed`] — the executable distributed SMVP of §2.3 (local
 //!   products + exchange-and-sum), numerically identical to the sequential
 //!   product;
+//! * [`executor`] — the instrumented bulk-synchronous executor running
+//!   those phases on a persistent worker pool while measuring per-PE
+//!   flops, traffic, and phase/barrier times;
 //! * [`report`] — plain-text tables for the experiment binaries.
 //!
 //! # Examples
@@ -32,11 +35,13 @@
 #![allow(clippy::needless_range_loop)]
 pub mod characterize;
 pub mod distributed;
+pub mod executor;
 pub mod family;
 pub mod report;
 pub mod scaling;
 
 pub use characterize::{figure7_table, AnalyzedInstance};
 pub use distributed::{DistributedSystem, LocalSubdomain};
+pub use executor::{BspExecutor, ExecutionReport, PeCounters, PhaseWalls};
 pub use family::{standard_family, AppConfig, QuakeApp};
 pub use scaling::{scaling_study, ScalingRow, QUAKE_TIME_STEPS};

@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn computation_shrinks_with_more_pes() {
-        let rows = study(Network { name: "fast", t_l: 1e-7, t_w: 1e-9 });
+        let rows = study(Network {
+            name: "fast",
+            t_l: 1e-7,
+            t_w: 1e-9,
+        });
         for w in rows.windows(2) {
             assert!(
                 w[1].t_comp < w[0].t_comp,
@@ -103,8 +107,16 @@ mod tests {
 
     #[test]
     fn fast_network_scales_slow_network_saturates() {
-        let fast = study(Network { name: "fast", t_l: 1e-7, t_w: 1e-9 });
-        let slow = study(Network { name: "slow", t_l: 1e-3, t_w: 1e-6 });
+        let fast = study(Network {
+            name: "fast",
+            t_l: 1e-7,
+            t_w: 1e-9,
+        });
+        let slow = study(Network {
+            name: "slow",
+            t_l: 1e-3,
+            t_w: 1e-6,
+        });
         let fast_speedup = fast.last().unwrap().speedup_over(&fast[0]);
         let slow_speedup = slow.last().unwrap().speedup_over(&slow[0]);
         assert!(
@@ -117,7 +129,11 @@ mod tests {
 
     #[test]
     fn run_projection_is_6000_smvps() {
-        let rows = study(Network { name: "fast", t_l: 1e-7, t_w: 1e-9 });
+        let rows = study(Network {
+            name: "fast",
+            t_l: 1e-7,
+            t_w: 1e-9,
+        });
         for r in &rows {
             let per_smvp = r.t_comp + r.t_comm_sim;
             assert!((r.run_seconds - per_smvp * 6000.0).abs() < 1e-9 * r.run_seconds);

@@ -1,0 +1,89 @@
+//! Pooled vs spawn-per-call SMVP throughput.
+//!
+//! The paper's applications run thousands of SMVPs over one unchanging
+//! matrix, so per-call thread-spawn overhead is pure loss. This bench
+//! tracks three repeated-product strategies on the same sf10 stiffness
+//! matrix: spawn-per-call kernels (`rmv`/`pmv`), their pooled variants over
+//! a persistent [`WorkerPool`], and the full instrumented [`BspExecutor`]
+//! (which adds exchange phases and counter bookkeeping on top).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quake_app::executor::BspExecutor;
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_app::DistributedSystem;
+use quake_fem::assembly::{assemble, UniformMaterial};
+use quake_mesh::ground::Material;
+use quake_partition::geometric::{Partitioner, RecursiveBisection};
+use quake_spark::kernels::{pmv, pmv_pooled, rmv, rmv_pooled};
+use quake_spark::WorkerPool;
+use quake_sparse::dense::Vec3;
+use quake_sparse::sym::SymCsr;
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
+    let sys = assemble(&app.mesh, &UniformMaterial(mat)).expect("assembly");
+    let full = sys.stiffness.to_scalar_csr();
+    let sym = SymCsr::from_csr(&full, 1e-6 * 1e9).expect("symmetric");
+    let n = full.rows();
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+    let flops = full.smvp_flops();
+
+    let mut group = c.benchmark_group("pooled_vs_spawned");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(15);
+    for threads in [2usize, 4] {
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("rmv_spawned", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(rmv(&sym, black_box(&x), t))),
+        );
+        group.bench_with_input(BenchmarkId::new("rmv_pooled", threads), &threads, |b, _| {
+            b.iter(|| black_box(rmv_pooled(&sym, black_box(&x), &pool)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pmv_spawned", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(pmv(&full, black_box(&x), t))),
+        );
+        group.bench_with_input(BenchmarkId::new("pmv_pooled", threads), &threads, |b, _| {
+            b.iter(|| black_box(pmv_pooled(&full, black_box(&x), &pool)))
+        });
+    }
+    group.finish();
+
+    // The full bulk-synchronous executor: local products + exchange over a
+    // 4-way partition, with instrumentation on.
+    let partition = RecursiveBisection::inertial()
+        .partition(&app.mesh, 4)
+        .expect("partition");
+    let dist = DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat))
+        .expect("distributed system");
+    let xv: Vec<Vec3> = (0..app.mesh.node_count())
+        .map(|i| {
+            let s = i as f64;
+            Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
+        })
+        .collect();
+    let mut group = c.benchmark_group("bsp_executor");
+    group.throughput(Throughput::Elements(
+        dist.subdomains().iter().map(|s| s.smvp_flops()).sum(),
+    ));
+    group.sample_size(15);
+    for threads in [2usize, 4] {
+        let mut exec = BspExecutor::new(&dist, threads);
+        group.bench_with_input(BenchmarkId::new("bsp_step", threads), &threads, |b, _| {
+            b.iter(|| black_box(exec.step(black_box(&xv))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use quake_core::machine::{BlockRegime, Network, Processor};
 use quake_core::model::beta::beta_bound;
 use quake_core::paperdata;
-use quake_core::requirements::{
-    half_bandwidth_series, sustained_bandwidth_series, EFFICIENCIES,
-};
+use quake_core::requirements::{half_bandwidth_series, sustained_bandwidth_series, EFFICIENCIES};
 use quake_netsim::simulate::{simulate_comm_phase, SimOptions};
 use quake_netsim::workload::Workload;
 use std::hint::black_box;

@@ -21,7 +21,10 @@ fn bench_partitioners(c: &mut Criterion) {
         ("linear", Box::new(LinearPartition)),
     ];
     // Print the quality comparison once, so bench logs carry the ablation.
-    eprintln!("partition quality at p=16 (mesh: {} elements):", mesh.element_count());
+    eprintln!(
+        "partition quality at p=16 (mesh: {} elements):",
+        mesh.element_count()
+    );
     for (name, strat) in &strategies {
         let part = strat.partition(mesh, 16).expect("partition");
         eprintln!("  {name:>7}: {}", PartitionQuality::measure(mesh, &part));

@@ -13,7 +13,11 @@ use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {
     let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
-    let mat = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
     let sys = assemble(&app.mesh, &UniformMaterial(mat)).expect("assembly");
     let bcsr = sys.stiffness;
     let scalar = bcsr.to_scalar_csr();
@@ -22,10 +26,7 @@ fn bench_kernels(c: &mut Criterion) {
     let x_blocks: Vec<Vec3> = (0..n)
         .map(|i| Vec3::new(i as f64, (i % 7) as f64, 1.0))
         .collect();
-    let x_flat: Vec<f64> = x_blocks
-        .iter()
-        .flat_map(|v| v.to_array())
-        .collect();
+    let x_flat: Vec<f64> = x_blocks.iter().flat_map(|v| v.to_array()).collect();
     let flops = bcsr.smvp_flops();
 
     let mut group = c.benchmark_group("smvp_kernels");
@@ -35,7 +36,8 @@ fn bench_kernels(c: &mut Criterion) {
     let mut y_blocks = vec![Vec3::ZERO; n];
     group.bench_function("bcsr3_block", |b| {
         b.iter(|| {
-            bcsr.spmv(black_box(&x_blocks), &mut y_blocks).expect("dims");
+            bcsr.spmv(black_box(&x_blocks), &mut y_blocks)
+                .expect("dims");
             black_box(&y_blocks);
         })
     });
@@ -43,7 +45,8 @@ fn bench_kernels(c: &mut Criterion) {
     let mut y_flat = vec![0.0; 3 * n];
     group.bench_function("bcsr3_flat", |b| {
         b.iter(|| {
-            bcsr.spmv_flat(black_box(&x_flat), &mut y_flat).expect("dims");
+            bcsr.spmv_flat(black_box(&x_flat), &mut y_flat)
+                .expect("dims");
             black_box(&y_flat);
         })
     });

@@ -11,7 +11,11 @@ use std::hint::black_box;
 
 fn bench_spark(c: &mut Criterion) {
     let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
-    let mat = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
     let sys = assemble(&app.mesh, &UniformMaterial(mat)).expect("assembly");
     let full = sys.stiffness.to_scalar_csr();
     let sym = SymCsr::from_csr(&full, 1e-6 * 1e9).expect("symmetric");
@@ -22,17 +26,23 @@ fn bench_spark(c: &mut Criterion) {
     let mut group = c.benchmark_group("spark_kernels");
     group.throughput(Throughput::Elements(flops));
     group.sample_size(15);
-    group.bench_function("smv_sequential", |b| b.iter(|| black_box(smv(&sym, black_box(&x)))));
+    group.bench_function("smv_sequential", |b| {
+        b.iter(|| black_box(smv(&sym, black_box(&x))))
+    });
     for threads in [2usize, 4] {
         group.bench_with_input(BenchmarkId::new("lmv_locks", threads), &threads, |b, &t| {
             b.iter(|| black_box(lmv(&sym, black_box(&x), t)))
         });
-        group.bench_with_input(BenchmarkId::new("rmv_reduction", threads), &threads, |b, &t| {
-            b.iter(|| black_box(rmv(&sym, black_box(&x), t)))
-        });
-        group.bench_with_input(BenchmarkId::new("pmv_rowparallel", threads), &threads, |b, &t| {
-            b.iter(|| black_box(pmv(&full, black_box(&x), t)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rmv_reduction", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(rmv(&sym, black_box(&x), t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pmv_rowparallel", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(pmv(&full, black_box(&x), t))),
+        );
     }
     group.finish();
 }

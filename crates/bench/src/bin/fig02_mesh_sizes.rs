@@ -9,7 +9,14 @@ use quake_core::paperdata;
 
 fn main() {
     println!("== Figure 2 (paper): sizes of the San Fernando meshes ==\n");
-    let mut t = Table::new(vec!["mesh", "period (s)", "nodes", "elements", "edges", "growth"]);
+    let mut t = Table::new(vec![
+        "mesh",
+        "period (s)",
+        "nodes",
+        "elements",
+        "edges",
+        "growth",
+    ]);
     let rows = paperdata::figure2();
     let mut prev: Option<u64> = None;
     for r in &rows {
@@ -32,22 +39,30 @@ fn main() {
         "== Figure 2 (synthetic): basin meshes at scale {} ==\n",
         quake_bench::scale()
     );
-    let mut t = Table::new(vec!["mesh", "period (s)", "nodes", "elements", "edges", "growth"]);
-    let mut prev: Option<usize> = None;
-    for app in quake_bench::generate_family() {
-        let s = app.size_stats();
-        let growth = prev
-            .map(|p| format!("{:.1}x", s.nodes as f64 / p as f64))
-            .unwrap_or_else(|| "-".into());
+    let mut t = Table::new(vec![
+        "mesh",
+        "period (s)",
+        "nodes",
+        "elements",
+        "edges",
+        "growth",
+    ]);
+    let apps = quake_bench::generate_family();
+    let rows = quake_bench::figures::mesh_size_rows(&apps);
+    let growth = quake_bench::figures::growth_factors(&rows);
+    for (i, r) in rows.iter().enumerate() {
         t.row(vec![
-            app.config.name.clone(),
-            format!("{}", app.config.period_s),
-            s.nodes.to_string(),
-            s.elements.to_string(),
-            s.edges.to_string(),
-            growth,
+            r.name.clone(),
+            format!("{}", r.period_s),
+            r.nodes.to_string(),
+            r.elements.to_string(),
+            r.edges.to_string(),
+            if i == 0 {
+                "-".into()
+            } else {
+                format!("{:.1}x", growth[i - 1])
+            },
         ]);
-        prev = Some(s.nodes);
     }
     println!("{}", t.render());
     println!(

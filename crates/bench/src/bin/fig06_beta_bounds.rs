@@ -10,7 +10,10 @@ use quake_core::paperdata;
 fn main() {
     println!("== Figure 6 (paper): relative error bounds β on T_c ==\n");
     let mut t = Table::new(vec!["subdomains", "sf10", "sf5", "sf2", "sf1"]);
-    for (row, &p) in paperdata::FIGURE6_BETA.iter().zip(&paperdata::SUBDOMAIN_COUNTS) {
+    for (row, &p) in paperdata::FIGURE6_BETA
+        .iter()
+        .zip(&paperdata::SUBDOMAIN_COUNTS)
+    {
         t.row(
             std::iter::once(p.to_string())
                 .chain(row.iter().map(|b| format!("{b:.2}")))
@@ -26,15 +29,16 @@ fn main() {
     let family = quake_bench::generate_family();
     let parts = quake_bench::subdomain_counts();
     let tables: Vec<_> = family.iter().map(quake_bench::characterize_app).collect();
+    let betas = quake_bench::figures::beta_matrix(&tables);
     let mut t = Table::new(
         std::iter::once("subdomains".to_string())
             .chain(family.iter().map(|a| a.config.name.clone()))
             .collect(),
     );
-    for (pi, &p) in parts.iter().enumerate() {
+    for (&p, row) in parts.iter().zip(&betas) {
         t.row(
             std::iter::once(p.to_string())
-                .chain(tables.iter().map(|tab| format!("{:.2}", tab[pi].beta)))
+                .chain(row.iter().map(|b| format!("{b:.2}")))
                 .collect(),
         );
     }

@@ -11,11 +11,7 @@ use quake_core::requirements::{bisection_series, EFFICIENCIES};
 
 fn main() {
     let app = quake_bench::generate_app("sf2", 2.0);
-    let analyzed = quake_bench::characterize_app(&app);
-    let with_v: Vec<_> = analyzed
-        .iter()
-        .map(|a| (a.instance.clone(), a.bisection_words))
-        .collect();
+    let with_v = quake_bench::figures::bisection_inputs(&app, &quake_bench::subdomain_counts());
     let processors = [
         Processor::hypothetical_100mflops(),
         Processor::hypothetical_200mflops(),

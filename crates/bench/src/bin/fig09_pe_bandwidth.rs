@@ -44,10 +44,7 @@ fn main() {
         &paperdata::figure7_app("sf2"),
     );
     let app = quake_bench::generate_app("sf2", 2.0);
-    let instances: Vec<SmvpInstance> = quake_bench::characterize_app(&app)
-        .into_iter()
-        .map(|a| a.instance)
-        .collect();
+    let instances = quake_bench::figures::instances_of(&quake_bench::characterize_app(&app));
     print_block(
         &format!(
             "== Figure 9 (synthetic sf2-analog, scale {}) ==",

@@ -14,10 +14,18 @@ fn main() {
     let inst = paperdata::figure7_instance("sf2", 128).expect("paper row");
     let pe = Processor::hypothetical_200mflops();
     // Log-spaced burst bandwidths, 1 MB/s to 10 GB/s.
-    let bws: Vec<f64> = (0..=40).map(|i| 1e6 * 10f64.powf(i as f64 / 10.0)).collect();
+    let bws: Vec<f64> = (0..=40)
+        .map(|i| 1e6 * 10f64.powf(i as f64 / 10.0))
+        .collect();
     for (regime, label) in [
-        (BlockRegime::Maximal, "(a) arbitrarily large blocks (message passing)"),
-        (BlockRegime::CACHE_LINE, "(b) four-word blocks (cache-line shared memory)"),
+        (
+            BlockRegime::Maximal,
+            "(a) arbitrarily large blocks (message passing)",
+        ),
+        (
+            BlockRegime::CACHE_LINE,
+            "(b) four-word blocks (cache-line shared memory)",
+        ),
     ] {
         println!("== Figure 10{label}: sf2/128 on {} ==\n", pe.name);
         let curves: Vec<_> = EFFICIENCIES

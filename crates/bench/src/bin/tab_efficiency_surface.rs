@@ -34,7 +34,10 @@ fn main() {
             &pe,
             &latencies,
             &bursts,
-            SimOptions { block_words, ..SimOptions::default() },
+            SimOptions {
+                block_words,
+                ..SimOptions::default()
+            },
         );
         println!("-- {regime} --");
         print!("{}", render_surface(&cells, &latencies, &bursts));

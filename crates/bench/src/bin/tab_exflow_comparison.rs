@@ -32,13 +32,8 @@ fn main() {
     // Derive the same aggregates from the paper's own Figure 7 row to show
     // the formulas: C_max·8B / (F/1e6), B_max / (F/1e6), M_avg·8B.
     let inst = paperdata::figure7_instance("sf2", 128).expect("paper row");
-    let mflops = inst.f as f64 / 1e6;
-    let derived = AppCommSummary {
-        data_mb_per_pe: paperdata::figure2()[2].nodes as f64 * 1200.0 / 128.0 / 1e6,
-        comm_kb_per_mflop: inst.c_max as f64 * 8.0 / 1e3 / mflops,
-        messages_per_mflop: inst.b_max as f64 / mflops,
-        avg_message_kb: inst.m_avg * 8.0 / 1e3,
-    };
+    let derived =
+        quake_bench::figures::comm_summary_from_instance(&inst, paperdata::figure2()[2].nodes);
     row(&mut t, "Quake sf2/128 (derived from Fig. 7)", &derived);
     // And from the synthetic pipeline.
     let app = quake_bench::generate_app("sf2", 2.0);

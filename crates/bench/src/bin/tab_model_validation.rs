@@ -13,8 +13,16 @@ fn main() {
     let pe = Processor::hypothetical_200mflops();
     let networks = [
         Network::cray_t3e(),
-        Network { name: "low-latency", t_l: 2e-6, t_w: 13e-9 },
-        Network { name: "high-latency", t_l: 100e-6, t_w: 13e-9 },
+        Network {
+            name: "low-latency",
+            t_l: 2e-6,
+            t_w: 13e-9,
+        },
+        Network {
+            name: "high-latency",
+            t_l: 100e-6,
+            t_w: 13e-9,
+        },
     ];
     println!(
         "== Model vs discrete-event simulation (synthetic sf5-analog, scale {}) ==\n",

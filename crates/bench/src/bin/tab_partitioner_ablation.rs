@@ -5,33 +5,22 @@
 //! random assignment on the same mesh.
 
 use quake_app::report::Table;
+use quake_bench::figures::{ablation_strategies, partitioner_ablation};
 use quake_core::machine::Processor;
-use quake_core::model::eq1::required_sustained_bandwidth;
-use quake_partition::comm::CommAnalysis;
-use quake_partition::geometric::{
-    LinearPartition, Partitioner, RandomPartition, RecursiveBisection,
-};
-use quake_partition::refine::{refine, RefineOptions};
-use quake_partition::sfc::MortonPartition;
-use quake_partition::spectral::SpectralBisection;
 
 fn main() {
     let app = quake_bench::generate_app("sf5", 5.0);
-    let mesh = &app.mesh;
     let parts = 16;
     println!(
         "== Partitioner ablation: synthetic sf5-analog (scale {}), p = {parts} ==\n",
         quake_bench::scale()
     );
-    let strategies: Vec<(&str, Box<dyn Partitioner>)> = vec![
-        ("rib", Box::new(RecursiveBisection::inertial())),
-        ("rcb", Box::new(RecursiveBisection::coordinate())),
-        ("spectral", Box::new(SpectralBisection::default())),
-        ("morton", Box::new(MortonPartition)),
-        ("linear", Box::new(LinearPartition)),
-        ("random", Box::new(RandomPartition { seed: 1 })),
-    ];
-    let pe = Processor::hypothetical_200mflops();
+    let rows = partitioner_ablation(
+        &app.mesh,
+        parts,
+        &ablation_strategies(),
+        &Processor::hypothetical_200mflops(),
+    );
     let mut t = Table::new(vec![
         "partitioner",
         "shared nodes",
@@ -42,36 +31,17 @@ fn main() {
         "beta",
         "req. MB/s @E=0.9",
     ]);
-    for (name, strat) in &strategies {
-        for refined in [false, true] {
-            let base = strat.partition(mesh, parts).expect("partition");
-            let (partition, label) = if refined {
-                let (p, _) = refine(mesh, &base, RefineOptions::default()).expect("refine");
-                (p, format!("{name}+refine"))
-            } else {
-                (base, (*name).to_string())
-            };
-            let analysis = CommAnalysis::new(mesh, &partition);
-            let inst = quake_core::characterize::SmvpInstance::new(
-                "sf5",
-                parts,
-                analysis.f_max(),
-                analysis.c_max(),
-                analysis.b_max(),
-                analysis.m_avg(),
-            );
-            let bw = required_sustained_bandwidth(&inst, 0.9, &pe);
-            t.row(vec![
-                label,
-                partition.shared_node_count().to_string(),
-                format!("{:.3}", partition.replication_factor()),
-                analysis.c_max().to_string(),
-                analysis.b_max().to_string(),
-                format!("{:.0}", inst.comp_comm_ratio()),
-                format!("{:.2}", analysis.beta()),
-                format!("{:.0}", bw / 1e6),
-            ]);
-        }
+    for r in &rows {
+        t.row(vec![
+            r.label.clone(),
+            r.shared_nodes.to_string(),
+            format!("{:.3}", r.replication),
+            r.instance.c_max.to_string(),
+            r.instance.b_max.to_string(),
+            format!("{:.0}", r.instance.comp_comm_ratio()),
+            format!("{:.2}", r.beta),
+            format!("{:.0}", r.required_bandwidth / 1e6),
+        ]);
     }
     println!("{}", t.render());
     println!(

@@ -11,11 +11,22 @@ fn main() {
     let app = quake_bench::generate_app("sf10", 10.0);
     let analyzed = quake_bench::characterize_app(&app);
     let machines = [
-        (Processor::cray_t3d(), Network { name: "T3D-era", t_l: 60e-6, t_w: 200e-9 }),
+        (
+            Processor::cray_t3d(),
+            Network {
+                name: "T3D-era",
+                t_l: 60e-6,
+                t_w: 200e-9,
+            },
+        ),
         (Processor::cray_t3e(), Network::cray_t3e()),
         (
             Processor::hypothetical_200mflops(),
-            Network { name: "future (2 us / 600 MB/s)", t_l: 2e-6, t_w: 13.3e-9 },
+            Network {
+                name: "future (2 us / 600 MB/s)",
+                t_l: 2e-6,
+                t_w: 13.3e-9,
+            },
         ),
     ];
     println!(

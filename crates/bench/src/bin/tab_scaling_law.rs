@@ -26,7 +26,10 @@ fn main() {
     );
     println!("fit check (F/C_max, paper vs law):\n");
     let mut t = Table::new(vec!["instance", "nodes/PE", "paper", "law", "rel err"]);
-    for inst in instances.iter().filter(|i| i.subdomains == 16 || i.subdomains == 128) {
+    for inst in instances
+        .iter()
+        .filter(|i| i.subdomains == 16 || i.subdomains == 128)
+    {
         let n = paper_nodes(inst);
         let predicted = law.predict_ratio(n, inst.subdomains);
         t.row(vec![
@@ -57,20 +60,18 @@ fn main() {
         "nodes per PE",
         "memory per PE",
     ]);
-    for (pe, t_c_ns) in [
-        (Processor::hypothetical_100mflops(), 66.7), // 120 MB/s sustained
-        (Processor::hypothetical_200mflops(), 66.7),
-        (Processor::hypothetical_200mflops(), 26.7), // 300 MB/s sustained
-    ] {
-        // Eq. (1) inverted: F/C_max = t_c / (((1-E)/E)·t_f).
-        let ratio = (t_c_ns * 1e-9) / ((0.1 / 0.9) * pe.t_f);
-        let m = law.nodes_per_pe_for_ratio(ratio);
+    let cases = [
+        (Processor::hypothetical_100mflops(), 66.7e-9), // 120 MB/s sustained
+        (Processor::hypothetical_200mflops(), 66.7e-9),
+        (Processor::hypothetical_200mflops(), 26.7e-9), // 300 MB/s sustained
+    ];
+    for r in quake_bench::figures::iso_efficiency_rows(&law, &cases, 0.9) {
         t.row(vec![
-            pe.name.to_string(),
-            format!("{t_c_ns:.1}"),
-            format!("{ratio:.0}"),
-            format!("{m:.0}"),
-            format!("{:.1} MB", m * 1200.0 / 1e6),
+            r.processor.clone(),
+            format!("{:.1}", r.t_c * 1e9),
+            format!("{:.0}", r.required_ratio),
+            format!("{:.0}", r.nodes_per_pe),
+            format!("{:.1} MB", r.nodes_per_pe * 1200.0 / 1e6),
         ]);
     }
     println!("{}", t.render());

@@ -6,35 +6,8 @@
 //! the mechanism: irregular x-gathers miss, sustained rate collapses, and
 //! bandwidth-reducing (RCM) orderings recover part of it.
 
-#![allow(clippy::needless_range_loop)] // indexed loops are clearer here
-
 use quake_app::report::Table;
-use quake_memsim::hierarchy::Hierarchy;
-use quake_memsim::trace::estimate_tf;
-use quake_sparse::coo::Coo;
-use quake_sparse::csr::Csr;
-use quake_sparse::reorder::{identity_perm, permuted_bandwidth, rcm};
-
-fn mesh_matrix(ordering: &str) -> (Csr, usize) {
-    let app = quake_bench::generate_app("sf5", 5.0);
-    let pattern = app.mesh.pattern();
-    let n = pattern.node_count();
-    let perm = match ordering {
-        "natural" => identity_perm(n),
-        "rcm" => rcm(&pattern),
-        other => panic!("unknown ordering {other}"),
-    };
-    let bw = permuted_bandwidth(&pattern, &perm);
-    let mut coo = Coo::new(n, n);
-    for i in 0..n {
-        coo.push(perm[i], perm[i], 4.0).expect("in range");
-    }
-    for (a, b) in pattern.edges() {
-        coo.push(perm[a], perm[b], -1.0).expect("in range");
-        coo.push(perm[b], perm[a], -1.0).expect("in range");
-    }
-    (coo.to_csr(), bw)
-}
+use quake_bench::figures::sustained_tf_rows;
 
 fn main() {
     println!("== §3.1: sustained T_f for the local SMVP ==\n");
@@ -42,8 +15,10 @@ fn main() {
     println!("  Cray T3D (150 MHz 21064): T_f = 30 ns (~33 sustained MFLOPS)");
     println!("  Cray T3E (300 MHz 21164): T_f = 14 ns (~70 sustained MFLOPS, 12% of 600 peak)\n");
 
+    let app = quake_bench::generate_app("sf5", 5.0);
     let cycle = 1.0 / 300e6; // 1 flop/cycle raw arithmetic, 300 MHz.
     let peak_mflops = 300.0;
+    let rows = sustained_tf_rows(&app.mesh, cycle, &["natural", "rcm"]);
     let mut t = Table::new(vec![
         "ordering",
         "pattern bandwidth",
@@ -52,17 +27,14 @@ fn main() {
         "% of peak",
         "mem fraction",
     ]);
-    for ordering in ["natural", "rcm"] {
-        let (matrix, bw) = mesh_matrix(ordering);
-        let mut h = Hierarchy::alpha_21164_like();
-        let est = estimate_tf(&matrix, &mut h, cycle, 1);
+    for r in &rows {
         t.row(vec![
-            ordering.to_string(),
-            bw.to_string(),
-            format!("{:.1}", est.t_f * 1e9),
-            format!("{:.0}", est.mflops),
-            format!("{:.0}%", 100.0 * est.mflops / peak_mflops),
-            format!("{:.2}", est.memory_fraction),
+            r.ordering.clone(),
+            r.pattern_bandwidth.to_string(),
+            format!("{:.1}", r.estimate.t_f * 1e9),
+            format!("{:.0}", r.estimate.mflops),
+            format!("{:.0}%", 100.0 * r.estimate.mflops / peak_mflops),
+            format!("{:.2}", r.estimate.memory_fraction),
         ]);
     }
     println!(

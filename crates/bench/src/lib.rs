@@ -11,7 +11,8 @@
 
 use quake_app::characterize::AnalyzedInstance;
 use quake_app::family::{AppConfig, QuakeApp};
-use quake_partition::geometric::RecursiveBisection;
+
+pub mod figures;
 
 /// The scale factor for this run (`QUAKE_SCALE`, default 6).
 pub fn scale() -> f64 {
@@ -59,13 +60,7 @@ pub fn generate_app(name: &str, period_s: f64) -> QuakeApp {
 /// Characterizes `app` across the configured subdomain counts with the
 /// inertial geometric partitioner (the reproduction's Archimedes stand-in).
 pub fn characterize_app(app: &QuakeApp) -> Vec<AnalyzedInstance> {
-    let parts = subdomain_counts();
-    quake_app::characterize::figure7_table(
-        &app.config.name,
-        &app.mesh,
-        &RecursiveBisection::inertial(),
-        &parts,
-    )
+    figures::smvp_properties(app, &subdomain_counts())
 }
 
 #[cfg(test)]

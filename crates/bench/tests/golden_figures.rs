@@ -1,0 +1,526 @@
+//! Golden/smoke tests for every experiment binary.
+//!
+//! Each `fig*`/`tab_*` binary in `src/bin/` is a printer over a
+//! library-callable entry point (`quake_bench::figures` or the underlying
+//! `quake_core`/`quake_netsim`/`quake_app` function). These tests
+//! regenerate each figure's quantities at a reduced scale and assert the
+//! *shapes* the paper's argument rests on — monotonicities, bounds, and
+//! cross-figure orderings — rather than exact values, which depend on the
+//! synthetic mesh scale.
+
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_bench::figures;
+use quake_core::machine::{BlockRegime, Network, Processor};
+use quake_core::model::eq1::required_tc;
+use quake_core::model::eq2::latency_at_infinite_burst;
+use quake_core::model::scaling_law::ScalingLaw;
+use quake_core::paperdata;
+use quake_core::requirements::{
+    bisection_series, half_bandwidth_series, sustained_bandwidth_series, tradeoff_curve,
+    EFFICIENCIES,
+};
+use quake_netsim::simulate::SimOptions;
+use quake_netsim::sweep::{efficiency_surface, log_space};
+use std::sync::OnceLock;
+
+/// Small test parts sweep (the binaries default to 4,8,16,32).
+const PARTS: [usize; 2] = [2, 4];
+
+fn sf10() -> &'static QuakeApp {
+    static APP: OnceLock<QuakeApp> = OnceLock::new();
+    APP.get_or_init(|| QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh"))
+}
+
+fn sf5() -> &'static QuakeApp {
+    static APP: OnceLock<QuakeApp> = OnceLock::new();
+    APP.get_or_init(|| QuakeApp::generate(AppConfig::new("sf5", 5.0, 10.0)).expect("mesh"))
+}
+
+fn sf10_analyzed() -> &'static Vec<quake_app::AnalyzedInstance> {
+    static TAB: OnceLock<Vec<quake_app::AnalyzedInstance>> = OnceLock::new();
+    TAB.get_or_init(|| figures::smvp_properties(sf10(), &PARTS))
+}
+
+// --- fig02_mesh_sizes ---
+
+#[test]
+fn fig02_paper_meshes_grow_roughly_8x_per_period_halving() {
+    let rows = paperdata::figure2();
+    assert_eq!(rows.len(), 4);
+    for w in rows.windows(2) {
+        let growth = w[1].nodes as f64 / w[0].nodes as f64;
+        assert!(
+            (4.0..16.0).contains(&growth),
+            "{} -> {}: growth {growth:.1} far from the paper's ≈8x",
+            w[0].app,
+            w[1].app
+        );
+        assert!(w[1].elements > w[0].elements);
+        assert!(w[1].edges > w[0].edges);
+    }
+}
+
+#[test]
+fn fig02_synthetic_family_preserves_growth_ordering() {
+    // sf5 resolves half the period of sf10; even generated at a *smaller*
+    // domain scale (10 vs 8) it must out-size sf10 per the n ~ period^-3 law.
+    let rows = figures::mesh_size_rows(&[sf10().clone(), sf5().clone()]);
+    assert_eq!(rows.len(), 2);
+    let growth = figures::growth_factors(&rows);
+    assert_eq!(growth.len(), 1);
+    assert!(
+        growth[0] > 1.0,
+        "sf5 must out-size sf10, got growth {:.2}",
+        growth[0]
+    );
+    for r in &rows {
+        assert!(r.nodes > 0 && r.elements > 0 && r.edges > 0);
+    }
+}
+
+// --- fig06_beta_bounds ---
+
+#[test]
+fn fig06_beta_stays_within_its_proved_interval() {
+    for row in paperdata::FIGURE6_BETA {
+        for b in row {
+            assert!((1.0..=2.0).contains(&b), "paper beta {b} outside [1,2]");
+        }
+    }
+    let tables = vec![sf10_analyzed().clone()];
+    let matrix = figures::beta_matrix(&tables);
+    assert_eq!(matrix.len(), PARTS.len());
+    for row in &matrix {
+        for &b in row {
+            assert!(
+                (1.0..=2.0 + 1e-12).contains(&b),
+                "synthetic beta {b} outside [1,2]"
+            );
+        }
+    }
+}
+
+// --- fig07_smvp_properties ---
+
+#[test]
+fn fig07_ratio_falls_and_counters_keep_their_invariants_as_p_grows() {
+    let analyzed = sf10_analyzed();
+    assert_eq!(analyzed.len(), PARTS.len());
+    let mut prev_ratio = f64::INFINITY;
+    for a in analyzed.iter() {
+        let i = &a.instance;
+        assert!(i.f > 0, "{}: empty busiest PE", i.label());
+        // Words are 2·3·shared-nodes: always even and divisible by 3.
+        assert_eq!(
+            i.c_max % 6,
+            0,
+            "{}: C_max {} not divisible by 6",
+            i.label(),
+            i.c_max
+        );
+        let ratio = i.comp_comm_ratio();
+        assert!(
+            ratio < prev_ratio,
+            "{}: F/C_max must fall as p grows ({ratio:.0} !< {prev_ratio:.0})",
+            i.label()
+        );
+        prev_ratio = ratio;
+    }
+}
+
+// --- fig08_bisection_bandwidth ---
+
+#[test]
+fn fig08_bisection_requirement_rises_with_efficiency_and_pe_speed() {
+    let inputs = figures::bisection_inputs(sf10(), &PARTS);
+    assert_eq!(inputs.len(), PARTS.len());
+    for (_, v) in &inputs {
+        assert!(*v > 0, "bisection volume must be positive");
+    }
+    let pes = [
+        Processor::hypothetical_100mflops(),
+        Processor::hypothetical_200mflops(),
+    ];
+    let series = bisection_series(&inputs, &pes, &EFFICIENCIES);
+    // Chunks of |EFFICIENCIES| per (instance × processor), E ascending.
+    for chunk in series.chunks(EFFICIENCIES.len()) {
+        for w in chunk.windows(2) {
+            assert!(
+                w[1].bandwidth_bytes > w[0].bandwidth_bytes,
+                "required bisection bandwidth must rise with E"
+            );
+        }
+    }
+    // Doubling PE speed doubles the requirement at matching (instance, E).
+    let slow = bisection_series(&inputs, &[pes[0]], &EFFICIENCIES);
+    let fast = bisection_series(&inputs, &[pes[1]], &EFFICIENCIES);
+    for (s, f) in slow.iter().zip(&fast) {
+        assert!(f.bandwidth_bytes > s.bandwidth_bytes);
+    }
+}
+
+#[test]
+fn fig08_bisection_stays_below_aggregate_per_pe_requirement() {
+    // The paper's §4.2 conclusion: the bisection is not the constraint —
+    // the aggregate per-PE requirement (p × Figure 9's value) dwarfs it.
+    let inputs = figures::bisection_inputs(sf10(), &PARTS);
+    let instances: Vec<_> = inputs.iter().map(|(i, _)| i.clone()).collect();
+    let pe = [Processor::hypothetical_200mflops()];
+    let bisect = bisection_series(&inputs, &pe, &[0.9]);
+    let per_pe = sustained_bandwidth_series(&instances, &pe, &[0.9]);
+    for (b, s) in bisect.iter().zip(&per_pe) {
+        let aggregate = s.bandwidth_bytes * b.subdomains as f64;
+        assert!(
+            b.bandwidth_bytes < aggregate,
+            "p={}: bisection {:.1e} must stay below aggregate per-PE {:.1e}",
+            b.subdomains,
+            b.bandwidth_bytes,
+            aggregate
+        );
+    }
+}
+
+// --- fig09_pe_bandwidth ---
+
+#[test]
+fn fig09_required_tc_falls_as_efficiency_target_rises() {
+    let pe = Processor::hypothetical_200mflops();
+    for inst in paperdata::figure7_app("sf2") {
+        let mut prev = f64::INFINITY;
+        for &e in &EFFICIENCIES {
+            let tc = required_tc(&inst, e, pe.t_f);
+            assert!(
+                tc < prev,
+                "{}: higher E must tighten the per-word budget",
+                inst.label()
+            );
+            prev = tc;
+        }
+    }
+}
+
+#[test]
+fn fig09_synthetic_requirement_rises_with_p_and_matches_units() {
+    let instances = figures::instances_of(sf10_analyzed());
+    let pe = [Processor::hypothetical_200mflops()];
+    let series = sustained_bandwidth_series(&instances, &pe, &[0.9]);
+    assert_eq!(series.len(), instances.len());
+    for w in series.windows(2) {
+        assert!(
+            w[1].bandwidth_bytes > w[0].bandwidth_bytes,
+            "F/C_max falls with p, so required bandwidth must rise"
+        );
+    }
+    for s in &series {
+        assert!(s.bandwidth_bytes.is_finite() && s.bandwidth_bytes > 0.0);
+    }
+}
+
+// --- fig10_tradeoff_curves ---
+
+#[test]
+fn fig10_latency_budget_grows_with_burst_bandwidth_and_shrinks_with_e() {
+    let inst = paperdata::figure7_instance("sf2", 128).expect("paper row");
+    let pe = Processor::hypothetical_200mflops();
+    let bws: Vec<f64> = (0..=12).map(|i| 1e6 * 10f64.powf(i as f64 / 3.0)).collect();
+    for regime in [BlockRegime::Maximal, BlockRegime::CACHE_LINE] {
+        let lo = tradeoff_curve(&inst, 0.5, &pe, regime, &bws);
+        let hi = tradeoff_curve(&inst, 0.9, &pe, regime, &bws);
+        for w in hi.points.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "more burst bandwidth cannot shrink the T_l budget"
+            );
+        }
+        for ((_, tl_lo), (_, tl_hi)) in lo.points.iter().zip(&hi.points) {
+            assert!(
+                tl_hi <= tl_lo,
+                "E=0.9 must allow no more latency than E=0.5"
+            );
+        }
+        // Every feasible point stays below the infinite-burst asymptote.
+        let tc = required_tc(&inst, 0.9, pe.t_f);
+        let ceiling = latency_at_infinite_burst(&inst, tc, regime);
+        for &(_, tl) in &hi.points {
+            assert!(tl <= ceiling * (1.0 + 1e-9));
+        }
+    }
+}
+
+#[test]
+fn fig10_cache_line_blocks_demand_lower_latency_than_maximal() {
+    let inst = paperdata::figure7_instance("sf2", 128).expect("paper row");
+    let pe = Processor::hypothetical_200mflops();
+    let bws = [1e9];
+    let maximal = tradeoff_curve(&inst, 0.9, &pe, BlockRegime::Maximal, &bws);
+    let fixed = tradeoff_curve(&inst, 0.9, &pe, BlockRegime::CACHE_LINE, &bws);
+    match (maximal.points.first(), fixed.points.first()) {
+        (Some(&(_, tl_max)), Some(&(_, tl_fix))) => assert!(
+            tl_fix < tl_max,
+            "4-word blocks ({tl_fix:.1e}) must demand lower latency than maximal ({tl_max:.1e})"
+        ),
+        _ => panic!("1 GB/s must be feasible for sf2/128 at E=0.9"),
+    }
+}
+
+// --- fig11_half_bandwidth ---
+
+#[test]
+fn fig11_half_bandwidth_points_are_positive_and_regime_ordered() {
+    let sf2 = paperdata::figure7_app("sf2");
+    let pes = [Processor::hypothetical_200mflops()];
+    let maximal = half_bandwidth_series(&sf2, &pes, &EFFICIENCIES, &[BlockRegime::Maximal]);
+    let fixed = half_bandwidth_series(&sf2, &pes, &EFFICIENCIES, &[BlockRegime::CACHE_LINE]);
+    assert_eq!(maximal.len(), sf2.len() * EFFICIENCIES.len());
+    for (m, f) in maximal.iter().zip(&fixed) {
+        assert!(m.point.t_l > 0.0 && m.point.burst_bandwidth_bytes() > 0.0);
+        assert!(
+            f.point.t_l < m.point.t_l,
+            "{} E={}: fixed-block half-latency must be tighter",
+            m.label,
+            m.efficiency
+        );
+    }
+}
+
+// --- tab_efficiency_surface ---
+
+#[test]
+fn tab_efficiency_surface_degrades_with_latency() {
+    let workload = sf10_analyzed().last().expect("rows").workload();
+    let pe = Processor::hypothetical_200mflops();
+    let latencies = log_space(1e-6, 1e-3, 3);
+    let bursts = log_space(1e8, 1e9, 2);
+    let cells = efficiency_surface(&workload, &pe, &latencies, &bursts, SimOptions::default());
+    assert_eq!(cells.len(), latencies.len() * bursts.len());
+    for c in &cells {
+        assert!(
+            (0.0..=1.0).contains(&c.efficiency),
+            "E={} out of range",
+            c.efficiency
+        );
+    }
+    // At fixed burst bandwidth, growing block latency cannot help.
+    for (bi, _) in bursts.iter().enumerate() {
+        let col: Vec<f64> = latencies
+            .iter()
+            .enumerate()
+            .map(|(li, _)| cells[li * bursts.len() + bi].efficiency)
+            .collect();
+        for w in col.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "efficiency rose with latency: {col:?}"
+            );
+        }
+    }
+}
+
+// --- tab_exflow_comparison ---
+
+#[test]
+fn tab_exflow_derived_aggregates_reproduce_the_published_row() {
+    let inst = paperdata::figure7_instance("sf2", 128).expect("paper row");
+    let derived = figures::comm_summary_from_instance(&inst, paperdata::figure2()[2].nodes);
+    let published = paperdata::QUAKE_SF2_128;
+    // Memory per PE comes from the 1.2 KB/node rule of thumb while the
+    // paper quotes its own measurement — only same order of magnitude.
+    assert!(
+        derived.data_mb_per_pe > 0.5 * published.data_mb_per_pe
+            && derived.data_mb_per_pe < 4.0 * published.data_mb_per_pe,
+        "data/PE: derived {:.2} vs published {:.2}",
+        derived.data_mb_per_pe,
+        published.data_mb_per_pe
+    );
+    // The communication aggregates are exact formulas over the Figure 7
+    // row; they must land within 25% of the published values.
+    for (got, want, what) in [
+        (
+            derived.comm_kb_per_mflop,
+            published.comm_kb_per_mflop,
+            "comm/MFLOP",
+        ),
+        (
+            derived.messages_per_mflop,
+            published.messages_per_mflop,
+            "msgs/MFLOP",
+        ),
+        (derived.avg_message_kb, published.avg_message_kb, "avg msg"),
+    ] {
+        assert!(
+            (got - want).abs() <= 0.25 * want,
+            "{what}: derived {got:.2} vs published {want:.2}"
+        );
+    }
+}
+
+// --- tab_model_validation ---
+
+#[test]
+fn tab_model_validation_brackets_simulation_by_beta() {
+    let a = sf10_analyzed().last().expect("rows");
+    let pe = Processor::hypothetical_200mflops();
+    let net = Network {
+        name: "test",
+        t_l: 2e-6,
+        t_w: 13e-9,
+    };
+    let row = quake_netsim::validate::validate(&a.workload(), &pe, &net, SimOptions::default());
+    assert!(row.sim_t_comm > 0.0);
+    assert!(row.exact_t_comm > 0.0);
+    assert!(
+        row.model_t_comm >= row.exact_t_comm * (1.0 - 1e-12),
+        "model below lower bound"
+    );
+    assert!(
+        row.model_t_comm <= row.beta * row.exact_t_comm * (1.0 + 1e-9),
+        "model {:.3e} exceeds beta x exact {:.3e}",
+        row.model_t_comm,
+        row.beta * row.exact_t_comm
+    );
+    assert!(row.sim_efficiency > 0.0 && row.sim_efficiency <= 1.0);
+    assert!(row.model_efficiency > 0.0 && row.model_efficiency <= 1.0);
+}
+
+// --- tab_partitioner_ablation ---
+
+#[test]
+fn tab_ablation_geometric_partitioner_beats_random() {
+    let strategies = figures::ablation_strategies();
+    let subset: Vec<_> = strategies
+        .into_iter()
+        .filter(|(name, _)| *name == "rib" || *name == "random")
+        .collect();
+    let rows = figures::partitioner_ablation(
+        &sf10().mesh,
+        4,
+        &subset,
+        &Processor::hypothetical_200mflops(),
+    );
+    assert_eq!(rows.len(), 4, "two strategies x (plain, refined)");
+    let rib = rows.iter().find(|r| r.label == "rib").expect("rib row");
+    let random = rows
+        .iter()
+        .find(|r| r.label == "random")
+        .expect("random row");
+    assert!(
+        rib.instance.c_max < random.instance.c_max,
+        "geometric partitioner must cut C_max ({} !< {})",
+        rib.instance.c_max,
+        random.instance.c_max
+    );
+    assert!(rib.required_bandwidth < random.required_bandwidth);
+    assert!(rib.shared_nodes < random.shared_nodes);
+    for r in &rows {
+        assert!(r.replication >= 1.0);
+        assert!((1.0..=2.0 + 1e-12).contains(&r.beta));
+    }
+}
+
+// --- tab_runtime_projection ---
+
+#[test]
+fn tab_runtime_projection_better_network_means_higher_efficiency() {
+    let pe = Processor::cray_t3e();
+    let slow = Network {
+        name: "slow",
+        t_l: 60e-6,
+        t_w: 200e-9,
+    };
+    let fast = Network {
+        name: "fast",
+        t_l: 2e-6,
+        t_w: 13.3e-9,
+    };
+    let analyzed = sf10_analyzed();
+    let rows_slow = quake_app::scaling_study(analyzed, &pe, &slow, BlockRegime::Maximal);
+    let rows_fast = quake_app::scaling_study(analyzed, &pe, &fast, BlockRegime::Maximal);
+    assert_eq!(rows_slow.len(), analyzed.len());
+    for (s, f) in rows_slow.iter().zip(&rows_fast) {
+        assert!(s.run_seconds > 0.0 && f.run_seconds > 0.0);
+        assert!((0.0..=1.0).contains(&s.efficiency));
+        assert!(
+            f.efficiency > s.efficiency,
+            "p={}: faster network must raise E ({:.3} !> {:.3})",
+            s.parts,
+            f.efficiency,
+            s.efficiency
+        );
+        assert!(f.run_seconds < s.run_seconds);
+    }
+}
+
+// --- tab_scaling_law ---
+
+#[test]
+fn tab_scaling_law_fits_the_cube_root_growth() {
+    fn paper_nodes(inst: &quake_core::characterize::SmvpInstance) -> u64 {
+        paperdata::figure2()
+            .iter()
+            .find(|r| r.app == inst.app)
+            .expect("known app")
+            .nodes
+    }
+    let law = ScalingLaw::fit(&paperdata::figure7(), paper_nodes);
+    assert!(law.a > 0.0 && law.b > 0.0);
+    // 10x the nodes raises F/C_max by 10^(1/3) ≈ 2.15.
+    let r1 = law.predict_ratio(378_747, 128);
+    let r10 = law.predict_ratio(3_787_470, 128);
+    let boost = r10 / r1;
+    assert!(
+        (1.9..=2.4).contains(&boost),
+        "10x nodes raised ratio by {boost:.2}, expected ≈ 2.15"
+    );
+}
+
+#[test]
+fn tab_scaling_law_iso_efficiency_orders_machines_correctly() {
+    fn paper_nodes(inst: &quake_core::characterize::SmvpInstance) -> u64 {
+        paperdata::figure2()
+            .iter()
+            .find(|r| r.app == inst.app)
+            .expect("known app")
+            .nodes
+    }
+    let law = ScalingLaw::fit(&paperdata::figure7(), paper_nodes);
+    let cases = [
+        (Processor::hypothetical_100mflops(), 66.7e-9),
+        (Processor::hypothetical_200mflops(), 66.7e-9),
+        (Processor::hypothetical_200mflops(), 26.7e-9),
+    ];
+    let rows = figures::iso_efficiency_rows(&law, &cases, 0.9);
+    assert_eq!(rows.len(), 3);
+    // Faster PEs on the same network need more nodes per PE...
+    assert!(rows[1].nodes_per_pe > rows[0].nodes_per_pe);
+    // ...and a faster network relaxes the requirement.
+    assert!(rows[2].nodes_per_pe < rows[1].nodes_per_pe);
+    for r in &rows {
+        assert!(r.required_ratio > 0.0 && r.nodes_per_pe > 0.0);
+    }
+}
+
+// --- tab_sustained_tf ---
+
+#[test]
+fn tab_sustained_tf_rcm_reduces_bandwidth_and_never_slows_the_smvp() {
+    let cycle = 1.0 / 300e6;
+    let rows = figures::sustained_tf_rows(&sf10().mesh, cycle, &["natural", "rcm"]);
+    assert_eq!(rows.len(), 2);
+    let natural = &rows[0];
+    let reordered = &rows[1];
+    assert!(
+        reordered.pattern_bandwidth < natural.pattern_bandwidth,
+        "RCM must reduce pattern bandwidth ({} !< {})",
+        reordered.pattern_bandwidth,
+        natural.pattern_bandwidth
+    );
+    assert!(
+        reordered.estimate.t_f <= natural.estimate.t_f * (1.0 + 1e-9),
+        "RCM must not slow the SMVP"
+    );
+    for r in &rows {
+        assert!(r.estimate.t_f >= cycle, "T_f cannot beat the raw flop time");
+        assert!(r.estimate.mflops <= 300.0 + 1e-9, "cannot exceed peak");
+        assert!((0.0..=1.0).contains(&r.estimate.memory_fraction));
+    }
+}

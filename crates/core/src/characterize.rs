@@ -46,7 +46,14 @@ impl SmvpInstance {
         b_max: u64,
         m_avg: f64,
     ) -> Self {
-        SmvpInstance { app: app.into(), subdomains, f, c_max, b_max, m_avg }
+        SmvpInstance {
+            app: app.into(),
+            subdomains,
+            f,
+            c_max,
+            b_max,
+            m_avg,
+        }
     }
 
     /// Computation/communication ratio `F / C_max` (∞ if no communication).

@@ -35,7 +35,10 @@ impl Processor {
     /// Panics if `mflops` is not positive.
     pub fn from_mflops(name: &'static str, mflops: f64) -> Self {
         assert!(mflops > 0.0, "sustained rate must be positive");
-        Processor { name, t_f: 1e-6 / mflops }
+        Processor {
+            name,
+            t_f: 1e-6 / mflops,
+        }
     }
 
     /// Sustained rate in MFLOPS (`T_f⁻¹ / 10⁶`).
@@ -46,24 +49,36 @@ impl Processor {
     /// The Cray T3D measurement from the paper: local Quake SMVP at a steady
     /// `T_f = 30 ns` (150 MHz Alpha 21064, `cc -O3`).
     pub fn cray_t3d() -> Self {
-        Processor { name: "Cray T3D", t_f: 30e-9 }
+        Processor {
+            name: "Cray T3D",
+            t_f: 30e-9,
+        }
     }
 
     /// The Cray T3E measurement from the paper: `T_f = 14 ns`
     /// (300 MHz Alpha 21164, `cc -O3`) — about 70 sustained MFLOPS, only
     /// 12% of the 600 MFLOPS peak.
     pub fn cray_t3e() -> Self {
-        Processor { name: "Cray T3E", t_f: 14e-9 }
+        Processor {
+            name: "Cray T3E",
+            t_f: 14e-9,
+        }
     }
 
     /// The paper's "current machine": 100 sustained MFLOPS (`T_f = 10 ns`).
     pub fn hypothetical_100mflops() -> Self {
-        Processor { name: "100-MFLOP PE", t_f: 10e-9 }
+        Processor {
+            name: "100-MFLOP PE",
+            t_f: 10e-9,
+        }
     }
 
     /// The paper's "future machine": 200 sustained MFLOPS (`T_f = 5 ns`).
     pub fn hypothetical_200mflops() -> Self {
-        Processor { name: "200-MFLOP PE", t_f: 5e-9 }
+        Processor {
+            name: "200-MFLOP PE",
+            t_f: 5e-9,
+        }
     }
 }
 
@@ -91,8 +106,15 @@ impl Network {
     /// Panics if `burst_bytes_per_sec` is not positive or `t_l` is negative.
     pub fn from_burst_bandwidth(name: &'static str, t_l: f64, burst_bytes_per_sec: f64) -> Self {
         assert!(t_l >= 0.0, "latency must be non-negative");
-        assert!(burst_bytes_per_sec > 0.0, "burst bandwidth must be positive");
-        Network { name, t_l, t_w: WORD_BYTES / burst_bytes_per_sec }
+        assert!(
+            burst_bytes_per_sec > 0.0,
+            "burst bandwidth must be positive"
+        );
+        Network {
+            name,
+            t_l,
+            t_w: WORD_BYTES / burst_bytes_per_sec,
+        }
     }
 
     /// Burst bandwidth `T_w⁻¹` in bytes/second.
@@ -103,7 +125,11 @@ impl Network {
     /// The Cray T3E measurement from the paper: `T_l = 22 µs`, `T_w = 55 ns`
     /// (≈ 145 MB/s burst).
     pub fn cray_t3e() -> Self {
-        Network { name: "Cray T3E", t_l: 22e-6, t_w: 55e-9 }
+        Network {
+            name: "Cray T3E",
+            t_l: 22e-6,
+            t_w: 55e-9,
+        }
     }
 
     /// Transfer time of a block of `words` 64-bit words: `T_l + words·T_w`.
@@ -184,7 +210,11 @@ mod tests {
 
     #[test]
     fn block_transfer_time_is_affine() {
-        let net = Network { name: "n", t_l: 1e-6, t_w: 10e-9 };
+        let net = Network {
+            name: "n",
+            t_l: 1e-6,
+            t_w: 10e-9,
+        };
         assert!((net.block_transfer_time(0) - 1e-6).abs() < 1e-18);
         assert!((net.block_transfer_time(100) - 2e-6).abs() < 1e-15);
     }

@@ -73,11 +73,8 @@ mod tests {
     fn paper_headline_number() {
         // Paper conclusion: 200-MFLOP PEs need ≈ 300 MB/s sustained for
         // sf2/128 at 90% efficiency.
-        let bw = required_sustained_bandwidth(
-            &sf2_128(),
-            0.9,
-            &Processor::hypothetical_200mflops(),
-        );
+        let bw =
+            required_sustained_bandwidth(&sf2_128(), 0.9, &Processor::hypothetical_200mflops());
         assert!(
             (250e6..320e6).contains(&bw),
             "expected ≈ 300 MB/s, got {:.1} MB/s",
@@ -89,11 +86,8 @@ mod tests {
     fn hundred_mflops_needs_about_120mb() {
         // Paper §4.3: 120 MB/s per PE suffices for all sf2 instances at 90%
         // on 100-MFLOP PEs. The binding instance is sf2/128.
-        let bw = required_sustained_bandwidth(
-            &sf2_128(),
-            0.9,
-            &Processor::hypothetical_100mflops(),
-        );
+        let bw =
+            required_sustained_bandwidth(&sf2_128(), 0.9, &Processor::hypothetical_100mflops());
         assert!(
             (120e6..160e6).contains(&bw),
             "expected ≈ 120-140 MB/s, got {:.1} MB/s",
@@ -124,10 +118,8 @@ mod tests {
     #[test]
     fn faster_processors_demand_proportional_bandwidth() {
         let inst = sf2_128();
-        let bw100 =
-            required_sustained_bandwidth(&inst, 0.9, &Processor::hypothetical_100mflops());
-        let bw200 =
-            required_sustained_bandwidth(&inst, 0.9, &Processor::hypothetical_200mflops());
+        let bw100 = required_sustained_bandwidth(&inst, 0.9, &Processor::hypothetical_100mflops());
+        let bw200 = required_sustained_bandwidth(&inst, 0.9, &Processor::hypothetical_200mflops());
         assert!((bw200 / bw100 - 2.0).abs() < 1e-12);
     }
 

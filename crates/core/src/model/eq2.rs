@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn delivered_tc_matches_equation() {
         let inst = sf2_128();
-        let net = Network { name: "n", t_l: 10e-6, t_w: 50e-9 };
+        let net = Network {
+            name: "n",
+            t_l: 10e-6,
+            t_w: 50e-9,
+        };
         let tc = delivered_tc(&inst, &net, BlockRegime::Maximal);
         let expect = (50.0 / 16_260.0) * 10e-6 + 50e-9;
         assert!((tc - expect).abs() < 1e-18);
@@ -133,7 +137,11 @@ mod tests {
         let target = 30e-9;
         let t_w = 10e-9;
         let t_l = latency_for_target(&inst, target, t_w, BlockRegime::Maximal).unwrap();
-        let net = Network { name: "n", t_l, t_w };
+        let net = Network {
+            name: "n",
+            t_l,
+            t_w,
+        };
         let tc = delivered_tc(&inst, &net, BlockRegime::Maximal);
         assert!((tc - target).abs() < 1e-15);
     }
@@ -201,7 +209,11 @@ mod tests {
     #[test]
     fn comm_time_decomposition() {
         let inst = sf2_128();
-        let net = Network { name: "n", t_l: 1e-6, t_w: 10e-9 };
+        let net = Network {
+            name: "n",
+            t_l: 1e-6,
+            t_w: 10e-9,
+        };
         let t = comm_time(&inst, &net, BlockRegime::Maximal);
         assert!((t - (50.0 * 1e-6 + 16_260.0 * 10e-9)).abs() < 1e-12);
         // And T_comm = C_max · T_c.

@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn converges_to_equation_2_as_l_and_g_vanish() {
-        let net = Network { name: "x", t_l: 5e-6, t_w: 40e-9 };
+        let net = Network {
+            name: "x",
+            t_l: 5e-6,
+            t_w: 40e-9,
+        };
         let loads = [(10_000u64, 40u64), (8_000, 44), (12_000, 36)];
         let loggp = LogGp::from_network(&net, 0.0, 0.0);
         let loggp_time = loggp.comm_phase_time(&loads);
@@ -88,7 +92,12 @@ mod tests {
 
     #[test]
     fn message_time_formula() {
-        let m = LogGp { latency: 1e-6, overhead: 2e-6, gap: 0.0, gap_per_word: 10e-9 };
+        let m = LogGp {
+            latency: 1e-6,
+            overhead: 2e-6,
+            gap: 0.0,
+            gap_per_word: 10e-9,
+        };
         // 1 word: 2o + L.
         assert!((m.message_time(1) - 5e-6).abs() < 1e-18);
         // 101 words: + 100 G.
@@ -98,14 +107,24 @@ mod tests {
 
     #[test]
     fn gap_dominates_when_larger_than_overhead() {
-        let m = LogGp { latency: 0.0, overhead: 1e-6, gap: 4e-6, gap_per_word: 0.0 };
+        let m = LogGp {
+            latency: 0.0,
+            overhead: 1e-6,
+            gap: 4e-6,
+            gap_per_word: 0.0,
+        };
         // 10 messages at the injection gap, not the overhead.
         assert!((m.pe_comm_time(10, 0) - 40e-6).abs() < 1e-15);
     }
 
     #[test]
     fn latency_exposed_once() {
-        let m = LogGp { latency: 7e-6, overhead: 1e-6, gap: 0.0, gap_per_word: 0.0 };
+        let m = LogGp {
+            latency: 7e-6,
+            overhead: 1e-6,
+            gap: 0.0,
+            gap_per_word: 0.0,
+        };
         assert!((m.pe_comm_time(2, 0) - 9e-6).abs() < 1e-15);
         assert_eq!(m.comm_phase_time(&[]), 0.0);
     }

@@ -8,7 +8,9 @@
 //! * [`logp`] — the LogP/LogGP correspondence discussed in §3.3;
 //! * [`scaling_law`] — §4.1's O(n^{1/3}) surface-to-volume law, fitted;
 //! * [`overlap`] — the footnote-1 best case of overlapped phases;
-//! * [`bisection`] — bisection-bandwidth requirements.
+//! * [`bisection`] — bisection-bandwidth requirements;
+//! * [`validate`] — measured-vs-predicted comparison of instrumented runs
+//!   against the characterization and Eqs. (1)/(2).
 
 pub mod beta;
 pub mod bisection;
@@ -17,3 +19,4 @@ pub mod eq2;
 pub mod logp;
 pub mod overlap;
 pub mod scaling_law;
+pub mod validate;

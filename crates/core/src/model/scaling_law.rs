@@ -36,13 +36,20 @@ impl ScalingLaw {
         let mut log_a = 0.0;
         let mut log_b = 0.0;
         for inst in instances {
-            assert!(inst.c_max > 0, "instance {} has no communication", inst.label());
+            assert!(
+                inst.c_max > 0,
+                "instance {} has no communication",
+                inst.label()
+            );
             let m = nodes(inst) as f64 / inst.subdomains as f64;
             log_a += (inst.f as f64 / m).ln();
             log_b += (inst.c_max as f64 / m.powf(2.0 / 3.0)).ln();
         }
         let k = instances.len() as f64;
-        ScalingLaw { a: (log_a / k).exp(), b: (log_b / k).exp() }
+        ScalingLaw {
+            a: (log_a / k).exp(),
+            b: (log_b / k).exp(),
+        }
     }
 
     /// Predicted flops per PE for `n` nodes on `p` PEs.
@@ -141,7 +148,11 @@ mod tests {
             "flops/node {} should be O(2·9·14)",
             law.a
         );
-        assert!(law.b > 1.0 && law.b < 1_000.0, "surface coefficient {}", law.b);
+        assert!(
+            law.b > 1.0 && law.b < 1_000.0,
+            "surface coefficient {}",
+            law.b
+        );
     }
 
     #[test]

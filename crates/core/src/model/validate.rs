@@ -1,0 +1,426 @@
+//! Measured-vs-predicted validation of the paper's models.
+//!
+//! The characterization pipeline predicts, for each application × PE count,
+//! the busiest-PE flop count `F`, word count `C_max`, and block count
+//! `B_max`; Eq. (1) and Eq. (2) then turn those into phase-time predictions.
+//! This module closes the loop against an *instrumented run*: given per-PE
+//! counters and phase times observed by an executor (e.g.
+//! `quake_app::BspExecutor`), it
+//!
+//! 1. checks that the observed counters reproduce the characterization
+//!    **exactly** (the counts are deterministic properties of the partition,
+//!    so any mismatch is a bug, not noise);
+//! 2. fits effective machine parameters `(T_l, T_w)` to the per-PE exchange
+//!    times by least squares over `t_i ≈ B_i·T_l + C_i·T_w`;
+//! 3. compares the Eq. (2) communication-time prediction
+//!    `B_max·T_l + C_max·T_w` against the measured busiest-PE exchange time;
+//! 4. brackets the model's pessimism by the §3.4 β bound; and
+//! 5. re-derives the Eq. (1) required per-word communication time from the
+//!    measured efficiency and checks it against the delivered
+//!    `T_comm/C_max`.
+//!
+//! The module takes plain data so that `quake-core` stays independent of the
+//! application crates that produce the measurements.
+
+use std::fmt;
+
+use crate::characterize::SmvpInstance;
+use crate::model::beta::{beta_bound, exact_comm_time, modeled_comm_time};
+use crate::model::eq1;
+
+/// Per-SMVP measurements from one instrumented run.
+///
+/// All quantities are *per SMVP* (i.e. already divided by the step count)
+/// and indexed by PE. Counter values are exact integers because the executor
+/// performs the same traversal every step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredSmvp {
+    /// Flops executed by each PE.
+    pub per_pe_flops: Vec<u64>,
+    /// `(words, blocks)` transferred by each PE (sent + received).
+    pub per_pe_loads: Vec<(u64, u64)>,
+    /// Seconds each PE spent in the exchange phase.
+    pub per_pe_exchange: Vec<f64>,
+    /// Busiest-PE compute-phase seconds.
+    pub t_compute: f64,
+}
+
+impl MeasuredSmvp {
+    /// Busiest-PE flop count (the measured `F`).
+    pub fn f_max(&self) -> u64 {
+        self.per_pe_flops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Busiest-PE word count (the measured `C_max`).
+    pub fn c_max(&self) -> u64 {
+        self.per_pe_loads.iter().map(|&(c, _)| c).max().unwrap_or(0)
+    }
+
+    /// Busiest-PE block count (the measured `B_max`).
+    pub fn b_max(&self) -> u64 {
+        self.per_pe_loads.iter().map(|&(_, b)| b).max().unwrap_or(0)
+    }
+
+    /// Busiest-PE exchange time (the measured `T_comm`).
+    pub fn t_comm(&self) -> f64 {
+        self.per_pe_exchange.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Effective machine parameters fitted from per-PE exchange times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedNetwork {
+    /// Effective per-block latency in seconds.
+    pub t_l: f64,
+    /// Effective per-word transfer time in seconds.
+    pub t_w: f64,
+    /// Root-mean-square residual of the fit in seconds.
+    pub residual_rms: f64,
+}
+
+/// Fits `t_i ≈ B_i·T_l + C_i·T_w` by unweighted least squares (no
+/// intercept: a PE that communicates nothing spends no time exchanging).
+///
+/// Negative solutions are clamped to zero — with only a handful of PEs the
+/// normal equations can go slightly negative on one axis, and negative
+/// machine parameters are meaningless. Degenerate systems (fewer than two
+/// distinct load vectors) fall back to attributing all time to whichever
+/// axis has signal.
+pub fn fit_network(per_pe_loads: &[(u64, u64)], per_pe_exchange: &[f64]) -> FittedNetwork {
+    assert_eq!(
+        per_pe_loads.len(),
+        per_pe_exchange.len(),
+        "loads and exchange times must cover the same PEs"
+    );
+    let (mut sbb, mut sbc, mut scc, mut sbt, mut sct) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (&(c, b), &t) in per_pe_loads.iter().zip(per_pe_exchange) {
+        let (c, b) = (c as f64, b as f64);
+        sbb += b * b;
+        sbc += b * c;
+        scc += c * c;
+        sbt += b * t;
+        sct += c * t;
+    }
+    let det = sbb * scc - sbc * sbc;
+    // Relative threshold: the determinant of a well-conditioned 2×2 system
+    // is of the order of the product of its diagonal entries.
+    let (mut t_l, mut t_w) = if det > 1e-9 * sbb * scc {
+        ((scc * sbt - sbc * sct) / det, (sbb * sct - sbc * sbt) / det)
+    } else if scc > 0.0 {
+        // Collinear loads (e.g. a single communicating PE): attribute the
+        // whole time to the per-word axis, which dominates in practice.
+        (0.0, sct / scc)
+    } else {
+        (0.0, 0.0)
+    };
+    t_l = t_l.max(0.0);
+    t_w = t_w.max(0.0);
+    let mut ss = 0.0;
+    for (&(c, b), &t) in per_pe_loads.iter().zip(per_pe_exchange) {
+        let r = t - (b as f64 * t_l + c as f64 * t_w);
+        ss += r * r;
+    }
+    let n = per_pe_loads.len().max(1) as f64;
+    FittedNetwork {
+        t_l,
+        t_w,
+        residual_rms: (ss / n).sqrt(),
+    }
+}
+
+/// The measured-vs-predicted comparison for one application × PE count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// The characterization-side prediction.
+    pub predicted: SmvpInstance,
+    /// Measured − predicted busiest-PE flops (must be 0).
+    pub f_delta: i64,
+    /// Measured − predicted `C_max` (must be 0).
+    pub c_max_delta: i64,
+    /// Measured − predicted `B_max` (must be 0).
+    pub b_max_delta: i64,
+    /// Effective machine parameters fitted from the run.
+    pub fit: FittedNetwork,
+    /// Measured busiest-PE exchange time per SMVP.
+    pub t_comm_measured: f64,
+    /// Eq. (2) prediction `B_max·T_l + C_max·T_w` under the fitted
+    /// parameters.
+    pub t_comm_predicted: f64,
+    /// Relative error of the Eq. (2) prediction.
+    pub eq2_rel_error: f64,
+    /// The §3.4 β bound computed from the measured per-PE loads.
+    pub beta: f64,
+    /// Observed pessimism ratio `modeled/exact` under the fitted
+    /// parameters; the model guarantees `1 ≤ ratio ≤ β`.
+    pub beta_observed: f64,
+    /// Busiest-PE compute time per SMVP.
+    pub t_compute: f64,
+    /// Effective per-flop time `T_f = t_compute / F`.
+    pub t_f: f64,
+    /// Measured efficiency `t_compute / (t_compute + t_comm)`.
+    pub efficiency: f64,
+    /// Per-word communication time Eq. (1) requires at the measured
+    /// efficiency.
+    pub eq1_required_tc: f64,
+    /// Delivered per-word communication time `t_comm / C_max`.
+    pub delivered_tc: f64,
+    /// Relative error between required and delivered `T_c`.
+    pub eq1_rel_error: f64,
+}
+
+impl ValidationReport {
+    /// Whether the measured counters reproduce the characterization exactly.
+    pub fn counters_match(&self) -> bool {
+        self.f_delta == 0 && self.c_max_delta == 0 && self.b_max_delta == 0
+    }
+
+    /// Whether the observed pessimism ratio respects `1 ≤ ratio ≤ β`
+    /// (within floating-point slack).
+    pub fn beta_bracket_holds(&self) -> bool {
+        self.beta_observed >= 1.0 - 1e-12 && self.beta_observed <= self.beta + 1e-12
+    }
+}
+
+fn rel_err(measured: f64, predicted: f64) -> f64 {
+    if predicted == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - predicted).abs() / predicted.abs()
+    }
+}
+
+/// Compares one instrumented run against its characterization prediction.
+///
+/// # Examples
+///
+/// ```
+/// use quake_core::characterize::SmvpInstance;
+/// use quake_core::model::validate::{validate, MeasuredSmvp};
+///
+/// let predicted = SmvpInstance::new("sf2", 2, 1800, 120, 2, 60.0);
+/// let measured = MeasuredSmvp {
+///     per_pe_flops: vec![1800, 1700],
+///     per_pe_loads: vec![(120, 2), (120, 2)],
+///     per_pe_exchange: vec![3.2e-6, 3.1e-6],
+///     t_compute: 1.8e-5,
+/// };
+/// let report = validate(&predicted, &measured);
+/// assert!(report.counters_match());
+/// assert!(report.beta_bracket_holds());
+/// ```
+pub fn validate(predicted: &SmvpInstance, measured: &MeasuredSmvp) -> ValidationReport {
+    let fit = fit_network(&measured.per_pe_loads, &measured.per_pe_exchange);
+    let t_comm_measured = measured.t_comm();
+    let t_comm_predicted = modeled_comm_time(&measured.per_pe_loads, fit.t_l, fit.t_w);
+    let exact = exact_comm_time(&measured.per_pe_loads, fit.t_l, fit.t_w);
+    let beta_observed = if exact > 0.0 {
+        t_comm_predicted / exact
+    } else {
+        1.0
+    };
+
+    let f = measured.f_max();
+    let c_max = measured.c_max();
+    let t_f = if f > 0 {
+        measured.t_compute / f as f64
+    } else {
+        0.0
+    };
+    let total = measured.t_compute + t_comm_measured;
+    let efficiency = if total > 0.0 {
+        measured.t_compute / total
+    } else {
+        1.0
+    };
+    let measured_instance = SmvpInstance::new(
+        predicted.app.clone(),
+        predicted.subdomains,
+        f,
+        c_max,
+        measured.b_max(),
+        predicted.m_avg,
+    );
+    let eq1_required_tc = if c_max > 0 && t_f > 0.0 && efficiency > 0.0 && efficiency < 1.0 {
+        eq1::required_tc(&measured_instance, efficiency, t_f)
+    } else {
+        0.0
+    };
+    let delivered_tc = if c_max > 0 {
+        t_comm_measured / c_max as f64
+    } else {
+        0.0
+    };
+
+    ValidationReport {
+        predicted: predicted.clone(),
+        f_delta: f as i64 - predicted.f as i64,
+        c_max_delta: c_max as i64 - predicted.c_max as i64,
+        b_max_delta: measured.b_max() as i64 - predicted.b_max as i64,
+        fit,
+        t_comm_measured,
+        t_comm_predicted,
+        eq2_rel_error: rel_err(t_comm_measured, t_comm_predicted),
+        beta: beta_bound(&measured.per_pe_loads),
+        beta_observed,
+        t_compute: measured.t_compute,
+        t_f,
+        efficiency,
+        eq1_required_tc,
+        delivered_tc,
+        eq1_rel_error: rel_err(delivered_tc, eq1_required_tc),
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "measured vs predicted — {} on {} PEs",
+            self.predicted.app, self.predicted.subdomains
+        )?;
+        writeln!(
+            f,
+            "  counters   F = {} (Δ {}), C_max = {} (Δ {}), B_max = {} (Δ {})  [{}]",
+            self.predicted.f as i64 + self.f_delta,
+            self.f_delta,
+            self.predicted.c_max as i64 + self.c_max_delta,
+            self.c_max_delta,
+            self.predicted.b_max as i64 + self.b_max_delta,
+            self.b_max_delta,
+            if self.counters_match() {
+                "exact"
+            } else {
+                "MISMATCH"
+            },
+        )?;
+        writeln!(
+            f,
+            "  fit        T_l = {:.3e} s/block, T_w = {:.3e} s/word (rms {:.2e} s)",
+            self.fit.t_l, self.fit.t_w, self.fit.residual_rms
+        )?;
+        writeln!(
+            f,
+            "  eq (2)     T_comm measured = {:.3e} s, predicted = {:.3e} s (rel err {:.1}%)",
+            self.t_comm_measured,
+            self.t_comm_predicted,
+            100.0 * self.eq2_rel_error
+        )?;
+        writeln!(
+            f,
+            "  beta       bound = {:.4}, observed modeled/exact = {:.4}  [{}]",
+            self.beta,
+            self.beta_observed,
+            if self.beta_bracket_holds() {
+                "within bound"
+            } else {
+                "VIOLATED"
+            },
+        )?;
+        writeln!(
+            f,
+            "  eq (1)     E = {:.4}, T_f = {:.3e} s, required T_c = {:.3e} s, \
+             delivered T_c = {:.3e} s (rel err {:.1}%)",
+            self.efficiency,
+            self.t_f,
+            self.eq1_required_tc,
+            self.delivered_tc,
+            100.0 * self.eq1_rel_error
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_measured(t_l: f64, t_w: f64) -> MeasuredSmvp {
+        let loads = vec![(900, 6), (720, 4), (610, 8), (480, 2)];
+        let times = loads
+            .iter()
+            .map(|&(c, b)| b as f64 * t_l + c as f64 * t_w)
+            .collect();
+        MeasuredSmvp {
+            per_pe_flops: vec![18_000, 17_400, 16_100, 15_800],
+            per_pe_loads: loads,
+            per_pe_exchange: times,
+            t_compute: 2.4e-4,
+        }
+    }
+
+    #[test]
+    fn fit_recovers_exact_parameters_from_noiseless_times() {
+        let (t_l, t_w) = (8.0e-6, 4.0e-8);
+        let m = synthetic_measured(t_l, t_w);
+        let fit = fit_network(&m.per_pe_loads, &m.per_pe_exchange);
+        assert!((fit.t_l - t_l).abs() < 1e-12, "t_l = {:e}", fit.t_l);
+        assert!((fit.t_w - t_w).abs() < 1e-14, "t_w = {:e}", fit.t_w);
+        assert!(fit.residual_rms < 1e-12);
+    }
+
+    #[test]
+    fn eq2_prediction_is_exact_for_noiseless_times() {
+        let m = synthetic_measured(8.0e-6, 4.0e-8);
+        let predicted = SmvpInstance::new("syn", 4, 18_000, 900, 8, 450.0);
+        let report = validate(&predicted, &m);
+        assert!(report.counters_match());
+        // The busiest-word PE (900, 6) is not the busiest-block PE (610, 8),
+        // so Eq. (2) genuinely overestimates — but by less than β.
+        assert!(report.t_comm_predicted >= report.t_comm_measured);
+        assert!(report.beta_bracket_holds());
+        assert!(report.beta <= 2.0 + 1e-12 && report.beta >= 1.0);
+    }
+
+    #[test]
+    fn counter_mismatch_is_reported() {
+        let m = synthetic_measured(8.0e-6, 4.0e-8);
+        let predicted = SmvpInstance::new("syn", 4, 18_001, 900, 8, 450.0);
+        let report = validate(&predicted, &m);
+        assert!(!report.counters_match());
+        assert_eq!(report.f_delta, -1);
+    }
+
+    #[test]
+    fn eq1_identity_holds_for_measured_efficiency() {
+        // Eq. (1) is algebraically exact when E, T_f, and T_c all come from
+        // the same run: required T_c must equal delivered T_comm/C_max.
+        let m = synthetic_measured(8.0e-6, 4.0e-8);
+        let predicted = SmvpInstance::new("syn", 4, 18_000, 900, 8, 450.0);
+        let report = validate(&predicted, &m);
+        assert!(
+            report.eq1_rel_error < 1e-9,
+            "eq1 rel err = {:e}",
+            report.eq1_rel_error
+        );
+    }
+
+    #[test]
+    fn degenerate_single_pe_run_fits_without_panicking() {
+        let m = MeasuredSmvp {
+            per_pe_flops: vec![10_000],
+            per_pe_loads: vec![(0, 0)],
+            per_pe_exchange: vec![0.0],
+            t_compute: 1.0e-4,
+        };
+        let predicted = SmvpInstance::new("syn", 1, 10_000, 0, 0, 0.0);
+        let report = validate(&predicted, &m);
+        assert!(report.counters_match());
+        assert_eq!(report.fit.t_l, 0.0);
+        assert_eq!(report.fit.t_w, 0.0);
+        assert_eq!(report.efficiency, 1.0);
+        assert_eq!(report.eq1_rel_error, 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let m = synthetic_measured(8.0e-6, 4.0e-8);
+        let predicted = SmvpInstance::new("syn", 4, 18_000, 900, 8, 450.0);
+        let text = validate(&predicted, &m).to_string();
+        for needle in ["counters", "fit", "eq (2)", "beta", "eq (1)", "exact"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -30,7 +30,13 @@ pub struct MeshSizeRow {
 /// Figure 2: sizes of the San Fernando meshes.
 pub fn figure2() -> Vec<MeshSizeRow> {
     fn row(app: &'static str, period_s: f64, nodes: u64, elements: u64, edges: u64) -> MeshSizeRow {
-        MeshSizeRow { app, period_s, nodes, elements, edges }
+        MeshSizeRow {
+            app,
+            period_s,
+            nodes,
+            elements,
+            edges,
+        }
     }
     vec![
         row("sf10", 10.0, 7_294, 35_025, 44_922),

@@ -128,7 +128,11 @@ pub fn tradeoff_curve(
             latency_for_target(instance, t_c, t_w, regime).map(|t_l| (bw, t_l))
         })
         .collect();
-    TradeoffCurve { efficiency, regime, points }
+    TradeoffCurve {
+        efficiency,
+        regime,
+        points,
+    }
 }
 
 /// One point of Figure 11: a half-bandwidth design point.
@@ -187,15 +191,9 @@ mod tests {
     #[test]
     fn figure9_worst_case_is_about_300mb() {
         let sf2 = paperdata::figure7_app("sf2");
-        let series = sustained_bandwidth_series(
-            &sf2,
-            &[Processor::hypothetical_200mflops()],
-            &[0.9],
-        );
-        let worst = series
-            .iter()
-            .map(|p| p.bandwidth_bytes)
-            .fold(0.0, f64::max);
+        let series =
+            sustained_bandwidth_series(&sf2, &[Processor::hypothetical_200mflops()], &[0.9]);
+        let worst = series.iter().map(|p| p.bandwidth_bytes).fold(0.0, f64::max);
         assert!(
             (250e6..320e6).contains(&worst),
             "worst sf2 requirement = {:.0} MB/s",
@@ -287,13 +285,12 @@ mod tests {
         // paper's Fig. 8 worst case of 700 MB/s corresponds to V ≈ 2.5·C_max).
         let with_v: Vec<(SmvpInstance, u64)> =
             sf2.into_iter().map(|i| (i.clone(), i.c_max * 3)).collect();
-        let series = bisection_series(
-            &with_v,
-            &[Processor::hypothetical_200mflops()],
-            &[0.9],
-        );
+        let series = bisection_series(&with_v, &[Processor::hypothetical_200mflops()], &[0.9]);
         let worst = series.iter().map(|p| p.bandwidth_bytes).fold(0.0, f64::max);
-        assert!(worst < 2e9, "bisection requirement {worst} implausibly high");
+        assert!(
+            worst < 2e9,
+            "bisection requirement {worst} implausibly high"
+        );
         assert!(worst > 1e6);
     }
 

@@ -92,7 +92,10 @@ pub fn assemble<F: MaterialField>(
             }
         }
     }
-    Ok(AssembledSystem { stiffness: builder.build(), mass })
+    Ok(AssembledSystem {
+        stiffness: builder.build(),
+        mass,
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +107,11 @@ mod tests {
     use quake_sparse::dense::Vec3;
 
     fn mat() -> Material {
-        Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 }
+        Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        }
     }
 
     fn small_mesh() -> TetMesh {
@@ -147,7 +154,12 @@ mod tests {
         let sys = assemble(&mesh, &UniformMaterial(mat())).unwrap();
         let x = vec![Vec3::new(1.0, -2.0, 0.5); mesh.node_count()];
         let y = sys.stiffness.spmv_alloc(&x).unwrap();
-        let scale = sys.stiffness.blocks().iter().map(|b| b.frobenius_norm()).sum::<f64>();
+        let scale = sys
+            .stiffness
+            .blocks()
+            .iter()
+            .map(|b| b.frobenius_norm())
+            .sum::<f64>();
         let residual: f64 = y.iter().map(|v| v.norm()).sum();
         assert!(
             residual < 1e-9 * scale,

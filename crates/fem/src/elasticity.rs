@@ -18,7 +18,11 @@ pub struct DegenerateElement {
 
 impl fmt::Display for DegenerateElement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "element volume {} too small to integrate", self.signed_volume)
+        write!(
+            f,
+            "element volume {} too small to integrate",
+            self.signed_volume
+        )
     }
 }
 
@@ -68,9 +72,7 @@ pub fn shape_gradients(tet: &Tetra) -> Result<[Vec3; 4], DegenerateElement> {
         (x3 - x0).to_array(),
     ]);
     let signed_volume = j.det() / 6.0;
-    let inv = j
-        .inverse()
-        .ok_or(DegenerateElement { signed_volume })?;
+    let inv = j.inverse().ok_or(DegenerateElement { signed_volume })?;
     // Gradients of N1..N3 are the columns of J⁻¹ (rows of J⁻ᵀ); N0 = 1-ξ-η-ζ.
     let inv_t = inv.transpose();
     let g1 = Vec3::new(inv_t.m[0][0], inv_t.m[0][1], inv_t.m[0][2]);
@@ -183,8 +185,18 @@ mod tests {
         let k = element_stiffness(&unit_tet(), 2.0, 1.5).unwrap();
         // Random-ish displacements: uᵀ K u ≥ 0.
         let us = [
-            [Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0), Vec3::splat(0.5)],
-            [Vec3::new(-1.0, 0.5, 0.2), Vec3::new(0.3, 0.3, -0.9), Vec3::ZERO, Vec3::ZERO],
+            [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::ZERO,
+                Vec3::new(0.0, 2.0, 0.0),
+                Vec3::splat(0.5),
+            ],
+            [
+                Vec3::new(-1.0, 0.5, 0.2),
+                Vec3::new(0.3, 0.3, -0.9),
+                Vec3::ZERO,
+                Vec3::ZERO,
+            ],
         ];
         for u in us {
             let mut energy = 0.0;
@@ -203,7 +215,11 @@ mod tests {
         let tet = unit_tet();
         let (lambda, mu, eps) = (2.0, 1.5, 0.01);
         let k = element_stiffness(&tet, lambda, mu).unwrap();
-        let u: Vec<Vec3> = tet.v.iter().map(|p| Vec3::new(eps * p.x, 0.0, 0.0)).collect();
+        let u: Vec<Vec3> = tet
+            .v
+            .iter()
+            .map(|p| Vec3::new(eps * p.x, 0.0, 0.0))
+            .collect();
         let mut energy = 0.0;
         for a in 0..4 {
             for b in 0..4 {

@@ -84,7 +84,11 @@ impl PointSource {
             })
             .map(|(i, _)| i)
             .expect("non-empty");
-        PointSource { node, force, wavelet }
+        PointSource {
+            node,
+            force,
+            wavelet,
+        }
     }
 
     /// The force vector at time `t`.

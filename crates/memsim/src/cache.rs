@@ -39,7 +39,10 @@ impl Cache {
     /// Panics unless `line_bytes` and the resulting set count are powers of
     /// two and the capacity divides evenly.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "associativity must be at least 1");
         assert_eq!(
             capacity_bytes % (line_bytes * ways as u64),

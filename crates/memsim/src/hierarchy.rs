@@ -30,7 +30,11 @@ impl LatencyProfile {
     /// measured: 300 MHz, 2-cycle L1, ~10-cycle L2, ~60-cycle memory.
     pub fn alpha_21164_like() -> Self {
         let cycle = 1.0 / 300e6;
-        LatencyProfile { l1: 2.0 * cycle, l2: 10.0 * cycle, memory: 60.0 * cycle }
+        LatencyProfile {
+            l1: 2.0 * cycle,
+            l2: 10.0 * cycle,
+            memory: 60.0 * cycle,
+        }
     }
 }
 
@@ -55,7 +59,13 @@ impl Hierarchy {
             l2.capacity_bytes() > l1.capacity_bytes(),
             "L2 must be larger than L1"
         );
-        Hierarchy { l1, l2, profile, counts: [0; 3], total_time: 0.0 }
+        Hierarchy {
+            l1,
+            l2,
+            profile,
+            counts: [0; 3],
+            total_time: 0.0,
+        }
     }
 
     /// An Alpha-21164-like node: 8 KiB direct-mapped L1, 96 KiB 3-way L2,
@@ -129,7 +139,11 @@ mod tests {
         Hierarchy::new(
             Cache::new(256, 32, 1),
             Cache::new(1024, 32, 2),
-            LatencyProfile { l1: 1.0, l2: 10.0, memory: 100.0 },
+            LatencyProfile {
+                l1: 1.0,
+                l2: 10.0,
+                memory: 100.0,
+            },
         )
     }
 
@@ -168,7 +182,11 @@ mod tests {
         let _ = Hierarchy::new(
             Cache::new(1024, 32, 1),
             Cache::new(512, 32, 1),
-            LatencyProfile { l1: 1.0, l2: 2.0, memory: 3.0 },
+            LatencyProfile {
+                l1: 1.0,
+                l2: 2.0,
+                memory: 3.0,
+            },
         );
     }
 

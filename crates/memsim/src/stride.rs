@@ -26,11 +26,7 @@ pub struct CopyBandwidth {
 /// # Panics
 ///
 /// Panics if `stride == 0` or `elements == 0`.
-pub fn copy_bandwidth(
-    hierarchy: &mut Hierarchy,
-    elements: usize,
-    stride: usize,
-) -> CopyBandwidth {
+pub fn copy_bandwidth(hierarchy: &mut Hierarchy, elements: usize, stride: usize) -> CopyBandwidth {
     assert!(stride > 0, "stride must be positive");
     assert!(elements > 0, "need something to copy");
     const WORD: u64 = 8;

@@ -34,7 +34,13 @@ impl Layout {
         let values = align(col_idx + m.nnz() as u64 * IDX_BYTES);
         let x = align(values + m.nnz() as u64 * F64_BYTES);
         let y = align(x + m.cols() as u64 * F64_BYTES);
-        Layout { row_ptr, col_idx, values, x, y }
+        Layout {
+            row_ptr,
+            col_idx,
+            values,
+            x,
+            y,
+        }
     }
 }
 

@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn generated_mesh_boundary_is_closed_and_boxlike() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
-        let mesh =
-            generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
         let b = Boundary::extract(&mesh);
         assert!(b.face_count() > 0);
         assert!(b.is_closed(), "the hull of a Delaunay mesh is watertight");
@@ -161,8 +160,7 @@ mod tests {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(8.0));
         let coarse =
             generate_mesh(domain, &UniformSizing(2.0), GeneratorOptions::default()).unwrap();
-        let fine =
-            generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let fine = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
         let bc = Boundary::extract(&coarse).node_count() as f64;
         let bf = Boundary::extract(&fine).node_count() as f64;
         let growth = bf / bc;

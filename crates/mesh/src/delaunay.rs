@@ -32,7 +32,10 @@ impl fmt::Display for DelaunayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DelaunayError::TooFewPoints(n) => {
-                write!(f, "need at least 4 points for a tetrahedralization, got {n}")
+                write!(
+                    f,
+                    "need at least 4 points for a tetrahedralization, got {n}"
+                )
             }
             DelaunayError::LocationFailed { point } => {
                 write!(f, "point location failed while inserting point {point}")
@@ -124,7 +127,10 @@ fn morton_sort(points: &[Vec3]) -> Vec<Vec3> {
             let xi = scale(p.x, bbox.min.x, ext.x);
             let yi = scale(p.y, bbox.min.y, ext.y);
             let zi = scale(p.z, bbox.min.z, ext.z);
-            (interleave3(xi) | interleave3(yi) << 1 | interleave3(zi) << 2, p)
+            (
+                interleave3(xi) | interleave3(yi) << 1 | interleave3(zi) << 2,
+                p,
+            )
         })
         .collect();
     keyed.sort_by_key(|&(k, _)| k);
@@ -171,7 +177,11 @@ impl Builder {
         if orient3d(verts[0], verts[1], verts[2], verts[3]) < 0.0 {
             v0.swap(2, 3);
         }
-        let tets = vec![Tet { v: v0, nbr: [NONE; 4], alive: true }];
+        let tets = vec![Tet {
+            v: v0,
+            nbr: [NONE; 4],
+            alive: true,
+        }];
         Builder {
             verts,
             tets,
@@ -252,7 +262,10 @@ impl Builder {
         while let Some(t) = stack.pop() {
             for i in 0..4 {
                 let n = self.tets[t].nbr[i];
-                if n != NONE && self.mark[n] != gen && self.tets[n].alive && self.in_circumsphere(n, p)
+                if n != NONE
+                    && self.mark[n] != gen
+                    && self.tets[n].alive
+                    && self.in_circumsphere(n, p)
                 {
                     self.mark[n] = gen;
                     cavity.push(n);
@@ -283,12 +296,20 @@ impl Builder {
         for (f, ext) in boundary {
             let [a, b, c] = f;
             let mut v = [p, a, b, c];
-            if orient3d(self.verts[v[0]], self.verts[v[1]], self.verts[v[2]], self.verts[v[3]])
-                < 0.0
+            if orient3d(
+                self.verts[v[0]],
+                self.verts[v[1]],
+                self.verts[v[2]],
+                self.verts[v[3]],
+            ) < 0.0
             {
                 v.swap(2, 3);
             }
-            let idx = self.alloc(Tet { v, nbr: [NONE; 4], alive: true });
+            let idx = self.alloc(Tet {
+                v,
+                nbr: [NONE; 4],
+                alive: true,
+            });
             created.push(idx);
             // Link across the boundary face (opposite vertex p = index 0).
             self.tets[idx].nbr[0] = ext;
@@ -324,7 +345,10 @@ impl Builder {
                 }
             }
         }
-        debug_assert!(face_map.is_empty(), "unmatched internal faces in cavity fill");
+        debug_assert!(
+            face_map.is_empty(),
+            "unmatched internal faces in cavity fill"
+        );
         self.last = *created.last().expect("cavity has boundary faces");
         Ok(())
     }
@@ -399,7 +423,9 @@ mod tests {
                 orient3d(a, b, c, d) > 0.0,
                 "tet {tet:?} not positively oriented"
             );
-            let (center, r) = Tetra::new(a, b, c, d).circumsphere().expect("non-degenerate");
+            let (center, r) = Tetra::new(a, b, c, d)
+                .circumsphere()
+                .expect("non-degenerate");
             for (i, &p) in t.points.iter().enumerate() {
                 if tet.contains(&i) {
                     continue;
@@ -471,7 +497,10 @@ mod tests {
                 used[v] = true;
             }
         }
-        assert!(used.iter().all(|&u| u), "every point must be a vertex of some tet");
+        assert!(
+            used.iter().all(|&u| u),
+            "every point must be a vertex of some tet"
+        );
     }
 
     #[test]
@@ -493,7 +522,10 @@ mod tests {
         }
         let t = delaunay(&pts).unwrap();
         check_delaunay(&t, 1e-7);
-        assert!(t.tets.len() > 300, "5x5x5 jittered grid should yield many tets");
+        assert!(
+            t.tets.len() > 300,
+            "5x5x5 jittered grid should yield many tets"
+        );
     }
 
     #[test]
@@ -515,7 +547,9 @@ mod tests {
 
     #[test]
     fn display_of_errors() {
-        assert!(DelaunayError::TooFewPoints(2).to_string().contains("4 points"));
+        assert!(DelaunayError::TooFewPoints(2)
+            .to_string()
+            .contains("4 points"));
         assert!(DelaunayError::LocationFailed { point: 7 }
             .to_string()
             .contains("point 7"));

@@ -161,7 +161,10 @@ mod tests {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
         let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
         assert!(mesh.node_count() >= 60, "nodes = {}", mesh.node_count());
-        assert!(mesh.element_count() > mesh.node_count(), "tets outnumber nodes in 3D");
+        assert!(
+            mesh.element_count() > mesh.node_count(),
+            "tets outnumber nodes in 3D"
+        );
         // Mesh covers a solid fraction of the box volume (the convex hull of
         // jittered cell centers is inset ≈ half a cell from each wall, which
         // at 4 cells per side costs a significant shell).
@@ -186,7 +189,10 @@ mod tests {
         let a = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
         let b = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
         assert_eq!(a, b);
-        let other = GeneratorOptions { seed: 99, ..GeneratorOptions::default() };
+        let other = GeneratorOptions {
+            seed: 99,
+            ..GeneratorOptions::default()
+        };
         let c = generate_mesh(domain, &UniformSizing(1.0), other).unwrap();
         assert_ne!(a, c);
     }
@@ -194,8 +200,10 @@ mod tests {
     #[test]
     fn quality_filter_drops_slivers() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
-        let opts =
-            GeneratorOptions { max_radius_edge: f64::INFINITY, ..GeneratorOptions::default() };
+        let opts = GeneratorOptions {
+            max_radius_edge: f64::INFINITY,
+            ..GeneratorOptions::default()
+        };
         let unfiltered = generate_mesh(domain, &UniformSizing(1.0), opts).unwrap();
         let filtered =
             generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
@@ -206,8 +214,7 @@ mod tests {
     #[test]
     fn basin_mesh_small_scale() {
         let ground = BasinModel::san_fernando_like();
-        let mesh =
-            generate_basin_mesh(&ground, 10.0, 8.0, GeneratorOptions::default()).unwrap();
+        let mesh = generate_basin_mesh(&ground, 10.0, 8.0, GeneratorOptions::default()).unwrap();
         assert!(mesh.node_count() > 50, "nodes = {}", mesh.node_count());
         // Basin grading: nodes are denser near the surface basin than at depth.
         let bbox = mesh.bounding_box().unwrap();
@@ -220,8 +227,7 @@ mod tests {
     #[test]
     fn period_halving_grows_mesh() {
         let ground = BasinModel::san_fernando_like();
-        let coarse =
-            generate_basin_mesh(&ground, 20.0, 8.0, GeneratorOptions::default()).unwrap();
+        let coarse = generate_basin_mesh(&ground, 20.0, 8.0, GeneratorOptions::default()).unwrap();
         let fine = generate_basin_mesh(&ground, 10.0, 8.0, GeneratorOptions::default()).unwrap();
         let growth = fine.node_count() as f64 / coarse.node_count() as f64;
         assert!(
@@ -234,7 +240,9 @@ mod tests {
 
     #[test]
     fn generate_error_display() {
-        assert!(GenerateError::TooFewSamples(2).to_string().contains("2 sample"));
+        assert!(GenerateError::TooFewSamples(2)
+            .to_string()
+            .contains("2 sample"));
         let e = GenerateError::from(DelaunayError::TooFewPoints(1));
         assert!(e.to_string().contains("tetrahedralization"));
     }

@@ -171,11 +171,7 @@ impl Tetra {
         let ab = b - a;
         let ac = c - a;
         let ad = d - a;
-        let m = Mat3::new([
-            [ab.x, ab.y, ab.z],
-            [ac.x, ac.y, ac.z],
-            [ad.x, ad.y, ad.z],
-        ]);
+        let m = Mat3::new([[ab.x, ab.y, ab.z], [ac.x, ac.y, ac.z], [ad.x, ad.y, ad.z]]);
         let rhs = Vec3::new(
             0.5 * ab.norm_squared(),
             0.5 * ac.norm_squared(),
@@ -189,7 +185,9 @@ impl Tetra {
 
     /// The shortest edge length.
     pub fn shortest_edge(&self) -> f64 {
-        self.edge_lengths().into_iter().fold(f64::INFINITY, f64::min)
+        self.edge_lengths()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The longest edge length.
@@ -210,6 +208,27 @@ impl Tetra {
         ]
     }
 
+    /// The smallest of the four altitudes (vertex-to-opposite-face
+    /// distances), `3V / max face area`. This, not the shortest edge, is the
+    /// length an explicit wave-propagation time step must resolve: sliver
+    /// elements have moderate edges but near-zero altitudes, and it is the
+    /// altitude that bounds the element's highest stiffness eigenfrequency.
+    /// Returns `0.0` for degenerate (flat) elements.
+    pub fn min_altitude(&self) -> f64 {
+        const FACES: [[usize; 3]; 4] = [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]];
+        let max_face_area = FACES
+            .iter()
+            .map(|f| {
+                let (a, b, c) = (self.v[f[0]], self.v[f[1]], self.v[f[2]]);
+                0.5 * (b - a).cross(c - a).norm()
+            })
+            .fold(0.0, f64::max);
+        if max_face_area == 0.0 {
+            return 0.0;
+        }
+        3.0 * self.volume() / max_face_area
+    }
+
     /// Radius-edge ratio (circumradius / shortest edge), the quality measure
     /// of Delaunay refinement; ≈ 0.612 for the regular tetrahedron, larger
     /// for worse elements. Returns `f64::INFINITY` for degenerate elements.
@@ -228,8 +247,12 @@ impl Tetra {
     /// True if point `p` lies inside or on the boundary: for every face,
     /// `p` is on the same side as the opposite vertex.
     pub fn contains(&self, p: Vec3) -> bool {
-        const FACES: [([usize; 3], usize); 4] =
-            [([1, 2, 3], 0), ([0, 2, 3], 1), ([0, 1, 3], 2), ([0, 1, 2], 3)];
+        const FACES: [([usize; 3], usize); 4] = [
+            ([1, 2, 3], 0),
+            ([0, 2, 3], 1),
+            ([0, 1, 3], 2),
+            ([0, 1, 2], 3),
+        ];
         FACES.iter().all(|&(f, opp)| {
             let s_p = orient3d(self.v[f[0]], self.v[f[1]], self.v[f[2]], p);
             let s_o = orient3d(self.v[f[0]], self.v[f[1]], self.v[f[2]], self.v[opp]);
@@ -271,11 +294,7 @@ mod tests {
     #[test]
     fn aabb_from_points() {
         assert!(Aabb::from_points(&[]).is_none());
-        let b = Aabb::from_points(&[
-            Vec3::new(1.0, 5.0, -1.0),
-            Vec3::new(-2.0, 0.0, 3.0),
-        ])
-        .unwrap();
+        let b = Aabb::from_points(&[Vec3::new(1.0, 5.0, -1.0), Vec3::new(-2.0, 0.0, 3.0)]).unwrap();
         assert_eq!(b.min, Vec3::new(-2.0, 0.0, -1.0));
         assert_eq!(b.max, Vec3::new(1.0, 5.0, 3.0));
     }

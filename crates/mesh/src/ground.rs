@@ -157,12 +157,20 @@ impl BasinModel {
     /// `vp = √3·vs` in rock (a Poisson solid).
     pub fn material_at(&self, p: Vec3) -> Material {
         if self.in_basin(p) {
-            let vs = (self.vs_sediment_surface + self.vs_sediment_gradient * (-p.z))
-                .min(self.vs_rock);
-            Material { vs, vp: 2.0 * vs, rho: self.rho_sediment }
+            let vs =
+                (self.vs_sediment_surface + self.vs_sediment_gradient * (-p.z)).min(self.vs_rock);
+            Material {
+                vs,
+                vp: 2.0 * vs,
+                rho: self.rho_sediment,
+            }
         } else {
             let vs = self.vs_rock;
-            Material { vs, vp: 3f64.sqrt() * vs, rho: self.rho_rock }
+            Material {
+                vs,
+                vp: 3f64.sqrt() * vs,
+                rho: self.rho_rock,
+            }
         }
     }
 }
@@ -215,7 +223,11 @@ mod tests {
 
     #[test]
     fn material_lame_parameters() {
-        let m = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+        let m = Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        };
         assert_eq!(m.mu(), 2e9);
         assert_eq!(m.lambda(), 2000.0 * (4e6 - 2e6));
     }

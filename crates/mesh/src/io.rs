@@ -106,7 +106,9 @@ pub fn read_text<R: BufRead>(r: R) -> Result<TetMesh, IoError> {
     let parse_count = |line: &str, key: &str| -> Result<usize, IoError> {
         let mut it = line.split_whitespace();
         if it.next() != Some(key) {
-            return Err(IoError::BadFormat(format!("expected '{key} <count>', got '{line}'")));
+            return Err(IoError::BadFormat(format!(
+                "expected '{key} <count>', got '{line}'"
+            )));
         }
         it.next()
             .and_then(|v| v.parse().ok())
@@ -122,7 +124,9 @@ pub fn read_text<R: BufRead>(r: R) -> Result<TetMesh, IoError> {
             .collect::<Result<_, _>>()
             .map_err(|_| IoError::BadFormat(format!("bad node line '{line}'")))?;
         if vals.len() != 3 {
-            return Err(IoError::BadFormat(format!("node line needs 3 values: '{line}'")));
+            return Err(IoError::BadFormat(format!(
+                "node line needs 3 values: '{line}'"
+            )));
         }
         nodes.push(Vec3::new(vals[0], vals[1], vals[2]));
     }
@@ -136,7 +140,9 @@ pub fn read_text<R: BufRead>(r: R) -> Result<TetMesh, IoError> {
             .collect::<Result<_, _>>()
             .map_err(|_| IoError::BadFormat(format!("bad element line '{line}'")))?;
         if vals.len() != 4 {
-            return Err(IoError::BadFormat(format!("element line needs 4 values: '{line}'")));
+            return Err(IoError::BadFormat(format!(
+                "element line needs 4 values: '{line}'"
+            )));
         }
         elements.push([vals[0], vals[1], vals[2], vals[3]]);
     }

@@ -34,8 +34,8 @@ pub mod mesh;
 pub mod refine;
 pub mod sampling;
 
+pub use boundary::Boundary;
 pub use generator::{generate_basin_mesh, generate_mesh, GeneratorOptions};
 pub use ground::{BasinModel, Material, SizingField, WavelengthSizing};
-pub use boundary::Boundary;
 pub use mesh::{MeshSizeStats, TetMesh};
 pub use refine::{refine_quality, QualityOptions, RefineQualityStats};

@@ -81,7 +81,10 @@ impl TetMesh {
         for (ei, e) in elements.iter().enumerate() {
             for &v in e {
                 if v >= nodes.len() {
-                    return Err(MeshError::NodeIndexOutOfRange { element: ei, node: v });
+                    return Err(MeshError::NodeIndexOutOfRange {
+                        element: ei,
+                        node: v,
+                    });
                 }
             }
             for i in 0..4 {
@@ -155,7 +158,9 @@ impl TetMesh {
 
     /// Sum of element volumes.
     pub fn total_volume(&self) -> f64 {
-        (0..self.element_count()).map(|e| self.tetra(e).volume()).sum()
+        (0..self.element_count())
+            .map(|e| self.tetra(e).volume())
+            .sum()
     }
 
     /// Bounding box of the nodes, or `None` for an empty mesh.
@@ -407,8 +412,13 @@ mod tests {
 
     #[test]
     fn mesh_error_display() {
-        let e = MeshError::NodeIndexOutOfRange { element: 2, node: 9 };
+        let e = MeshError::NodeIndexOutOfRange {
+            element: 2,
+            node: 9,
+        };
         assert!(e.to_string().contains("element 2"));
-        assert!(MeshError::DegenerateElement(1).to_string().contains("repeated"));
+        assert!(MeshError::DegenerateElement(1)
+            .to_string()
+            .contains("repeated"));
     }
 }

@@ -82,8 +82,7 @@ pub fn refine_quality(
                     // Reject circumcenters that would crowd an existing
                     // vertex of the bad element.
                     let spacing = options.min_spacing_factor * tet.shortest_edge();
-                    let crowded =
-                        tet.v.iter().any(|&v| (v - center).norm() < spacing);
+                    let crowded = tet.v.iter().any(|&v| (v - center).norm() < spacing);
                     if crowded {
                         remaining += 1;
                     } else {
@@ -115,8 +114,8 @@ pub fn refine_quality(
         stats.inserted += inserted_this_round;
         stats.rounds += 1;
         let tri = delaunay(&points)?;
-        current = TetMesh::new(tri.points, tri.tets)
-            .expect("Delaunay output is valid connectivity");
+        current =
+            TetMesh::new(tri.points, tri.tets).expect("Delaunay output is valid connectivity");
         points = current.nodes().to_vec();
     }
     // Recount the final bad elements for an accurate report.
@@ -135,9 +134,14 @@ mod tests {
     fn raw_mesh() -> (TetMesh, Aabb) {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
         // Keep slivers so refinement has work to do.
-        let opts =
-            GeneratorOptions { max_radius_edge: f64::INFINITY, ..GeneratorOptions::default() };
-        (generate_mesh(domain, &UniformSizing(1.0), opts).unwrap(), domain)
+        let opts = GeneratorOptions {
+            max_radius_edge: f64::INFINITY,
+            ..GeneratorOptions::default()
+        };
+        (
+            generate_mesh(domain, &UniformSizing(1.0), opts).unwrap(),
+            domain,
+        )
     }
 
     fn worst_interior_ratio(mesh: &TetMesh, domain: &Aabb) -> f64 {
@@ -156,8 +160,7 @@ mod tests {
     fn refinement_improves_interior_quality() {
         let (mesh, domain) = raw_mesh();
         let before = worst_interior_ratio(&mesh, &domain);
-        let (refined, stats) =
-            refine_quality(&mesh, domain, QualityOptions::default()).unwrap();
+        let (refined, stats) = refine_quality(&mesh, domain, QualityOptions::default()).unwrap();
         let after = worst_interior_ratio(&refined, &domain);
         assert!(stats.inserted > 0, "raw mesh should contain bad elements");
         assert!(
@@ -171,7 +174,10 @@ mod tests {
     fn refinement_is_idempotent_on_good_meshes() {
         let (mesh, domain) = raw_mesh();
         let (refined, _) = refine_quality(&mesh, domain, QualityOptions::default()).unwrap();
-        let strict = QualityOptions { max_rounds: 1, ..QualityOptions::default() };
+        let strict = QualityOptions {
+            max_rounds: 1,
+            ..QualityOptions::default()
+        };
         let (again, stats2) = refine_quality(&refined, domain, strict).unwrap();
         // A second pass should insert far fewer points than the first.
         assert!(
@@ -186,7 +192,10 @@ mod tests {
     #[test]
     fn zero_rounds_is_identity() {
         let (mesh, domain) = raw_mesh();
-        let opts = QualityOptions { max_rounds: 0, ..QualityOptions::default() };
+        let opts = QualityOptions {
+            max_rounds: 0,
+            ..QualityOptions::default()
+        };
         let (out, stats) = refine_quality(&mesh, domain, opts).unwrap();
         assert_eq!(out, mesh);
         assert_eq!(stats.inserted, 0);

@@ -25,7 +25,10 @@ pub struct SamplingOptions {
 
 impl Default for SamplingOptions {
     fn default() -> Self {
-        SamplingOptions { jitter: 0.35, max_depth: 24 }
+        SamplingOptions {
+            jitter: 0.35,
+            max_depth: 24,
+        }
     }
 }
 
@@ -125,7 +128,12 @@ mod tests {
     fn uniform_counts_match_grid() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(8.0));
         let mut rng = StdRng::seed_from_u64(0);
-        let pts = sample_graded(domain, &UniformSizing(2.0), SamplingOptions::default(), &mut rng);
+        let pts = sample_graded(
+            domain,
+            &UniformSizing(2.0),
+            SamplingOptions::default(),
+            &mut rng,
+        );
         assert_eq!(pts.len(), 64); // (8/2)³
     }
 
@@ -133,7 +141,12 @@ mod tests {
     fn all_points_inside_domain() {
         let domain = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 3.0, 4.0));
         let mut rng = StdRng::seed_from_u64(3);
-        let pts = sample_graded(domain, &UniformSizing(0.4), SamplingOptions::default(), &mut rng);
+        let pts = sample_graded(
+            domain,
+            &UniformSizing(0.4),
+            SamplingOptions::default(),
+            &mut rng,
+        );
         assert!(!pts.is_empty());
         for p in pts {
             assert!(domain.contains(p), "{p} outside domain");
@@ -157,10 +170,18 @@ mod tests {
     fn halving_size_multiplies_count_by_eight() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(16.0));
         let mut rng = StdRng::seed_from_u64(2);
-        let coarse =
-            sample_graded(domain, &UniformSizing(2.0), SamplingOptions::default(), &mut rng);
-        let fine =
-            sample_graded(domain, &UniformSizing(1.0), SamplingOptions::default(), &mut rng);
+        let coarse = sample_graded(
+            domain,
+            &UniformSizing(2.0),
+            SamplingOptions::default(),
+            &mut rng,
+        );
+        let fine = sample_graded(
+            domain,
+            &UniformSizing(1.0),
+            SamplingOptions::default(),
+            &mut rng,
+        );
         assert_eq!(fine.len(), 8 * coarse.len());
     }
 
@@ -177,7 +198,10 @@ mod tests {
     fn max_depth_caps_refinement() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
         let mut rng = StdRng::seed_from_u64(5);
-        let opts = SamplingOptions { jitter: 0.3, max_depth: 2 };
+        let opts = SamplingOptions {
+            jitter: 0.3,
+            max_depth: 2,
+        };
         let pts = sample_graded(domain, &UniformSizing(1e-9), opts, &mut rng);
         assert_eq!(pts.len(), 64); // 8² leaves at depth 2
     }
@@ -187,7 +211,10 @@ mod tests {
     fn invalid_jitter_panics() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
         let mut rng = StdRng::seed_from_u64(6);
-        let opts = SamplingOptions { jitter: 0.7, max_depth: 4 };
+        let opts = SamplingOptions {
+            jitter: 0.7,
+            max_depth: 4,
+        };
         let _ = sample_graded(domain, &UniformSizing(1.0), opts, &mut rng);
     }
 
@@ -195,7 +222,10 @@ mod tests {
     fn zero_jitter_places_points_at_centers() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
         let mut rng = StdRng::seed_from_u64(7);
-        let opts = SamplingOptions { jitter: 0.0, max_depth: 8 };
+        let opts = SamplingOptions {
+            jitter: 0.0,
+            max_depth: 8,
+        };
         let pts = sample_graded(domain, &UniformSizing(1.0), opts, &mut rng);
         assert_eq!(pts.len(), 8);
         for p in pts {

@@ -62,7 +62,11 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { wire_latency: 0.0, staggered_sends: true, block_words: None }
+        SimOptions {
+            wire_latency: 0.0,
+            staggered_sends: true,
+            block_words: None,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ struct PeState {
 ///
 /// Panics if the network parameters are negative.
 pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimOptions) -> f64 {
-    assert!(network.t_l >= 0.0 && network.t_w >= 0.0, "negative network parameters");
+    assert!(
+        network.t_l >= 0.0 && network.t_w >= 0.0,
+        "negative network parameters"
+    );
     let p = workload.parts();
     let mut pes: Vec<PeState> = (0..p)
         .map(|i| {
@@ -150,14 +157,21 @@ pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimO
                 let pivot = sends.iter().position(|&(j, _)| j > i).unwrap_or(0);
                 sends.rotate_left(pivot);
             }
-            PeState { sends: sends.into(), recv_queue: VecDeque::new(), busy_until: 0.0 }
+            PeState {
+                sends: sends.into(),
+                recv_queue: VecDeque::new(),
+                busy_until: 0.0,
+            }
         })
         .collect();
 
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     // Kick every PE's NI at t = 0.
     for pe in 0..p {
-        heap.push(Reverse(Event { time: 0.0, kind: EventKind::NiFree { pe } }));
+        heap.push(Reverse(Event {
+            time: 0.0,
+            kind: EventKind::NiFree { pe },
+        }));
     }
     let mut makespan = 0.0f64;
     while let Some(Reverse(event)) = heap.pop() {
@@ -166,7 +180,10 @@ pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimO
             EventKind::Arrival { from: _, to, words } => {
                 pes[to].recv_queue.push_back(words);
                 // Wake the NI; a stale wake-up is filtered by busy_until.
-                heap.push(Reverse(Event { time: t, kind: EventKind::NiFree { pe: to } }));
+                heap.push(Reverse(Event {
+                    time: t,
+                    kind: EventKind::NiFree { pe: to },
+                }));
             }
             EventKind::NiFree { pe } => {
                 if t < pes[pe].busy_until {
@@ -184,11 +201,18 @@ pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimO
                     let dt = network.block_transfer_time(words);
                     pes[pe].busy_until = t + dt;
                     makespan = makespan.max(t + dt);
-                    heap.push(Reverse(Event { time: t + dt, kind: EventKind::NiFree { pe } }));
+                    heap.push(Reverse(Event {
+                        time: t + dt,
+                        kind: EventKind::NiFree { pe },
+                    }));
                     if let Some(dest) = dest {
                         heap.push(Reverse(Event {
                             time: t + dt + options.wire_latency,
-                            kind: EventKind::Arrival { from: pe, to: dest, words },
+                            kind: EventKind::Arrival {
+                                from: pe,
+                                to: dest,
+                                words,
+                            },
                         }));
                     }
                 }
@@ -196,7 +220,8 @@ pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimO
         }
     }
     debug_assert!(
-        pes.iter().all(|s| s.sends.is_empty() && s.recv_queue.is_empty()),
+        pes.iter()
+            .all(|s| s.sends.is_empty() && s.recv_queue.is_empty()),
         "all transfers must drain"
     );
     makespan
@@ -232,13 +257,20 @@ mod tests {
     use super::*;
 
     fn net(t_l: f64, t_w: f64) -> Network {
-        Network { name: "test", t_l, t_w }
+        Network {
+            name: "test",
+            t_l,
+            t_w,
+        }
     }
 
     #[test]
     fn no_traffic_is_instant() {
         let w = Workload::new(vec![100, 100], vec![vec![0, 0], vec![0, 0]]).unwrap();
-        assert_eq!(simulate_comm_phase(&w, &net(1e-6, 1e-9), SimOptions::default()), 0.0);
+        assert_eq!(
+            simulate_comm_phase(&w, &net(1e-6, 1e-9), SimOptions::default()),
+            0.0
+        );
         let timing = simulate_smvp(
             &w,
             &Processor::hypothetical_100mflops(),
@@ -292,7 +324,10 @@ mod tests {
             .iter()
             .map(|&(c, b)| b as f64 * t_l + c as f64 * t_w)
             .fold(0.0, f64::max);
-        assert!(sim >= lower * (1.0 - 1e-12), "sim {sim} below lower bound {lower}");
+        assert!(
+            sim >= lower * (1.0 - 1e-12),
+            "sim {sim} below lower bound {lower}"
+        );
     }
 
     #[test]
@@ -302,7 +337,10 @@ mod tests {
         let slow = simulate_comm_phase(
             &w,
             &net(1e-6, 10e-9),
-            SimOptions { wire_latency: 100e-6, ..SimOptions::default() },
+            SimOptions {
+                wire_latency: 100e-6,
+                ..SimOptions::default()
+            },
         );
         // The 100 µs wire latency overlaps the first block's processing,
         // so the delay shows up minus one block time.
@@ -313,8 +351,16 @@ mod tests {
     fn all_to_all_scales_with_p() {
         let t_l = 1e-6;
         let t_w = 1e-9;
-        let small = simulate_comm_phase(&Workload::all_to_all(4, 0, 10), &net(t_l, t_w), SimOptions::default());
-        let large = simulate_comm_phase(&Workload::all_to_all(16, 0, 10), &net(t_l, t_w), SimOptions::default());
+        let small = simulate_comm_phase(
+            &Workload::all_to_all(4, 0, 10),
+            &net(t_l, t_w),
+            SimOptions::default(),
+        );
+        let large = simulate_comm_phase(
+            &Workload::all_to_all(16, 0, 10),
+            &net(t_l, t_w),
+            SimOptions::default(),
+        );
         // B per PE: 2(p-1) → 6 vs 30: 5x.
         assert!(large > 4.0 * small, "small {small}, large {large}");
     }
@@ -351,7 +397,10 @@ mod tests {
         let off = simulate_comm_phase(
             &w,
             &n,
-            SimOptions { staggered_sends: false, ..SimOptions::default() },
+            SimOptions {
+                staggered_sends: false,
+                ..SimOptions::default()
+            },
         );
         assert!(on > 0.0 && off > 0.0);
         // Both within 3x of each other — sanity, not a strong claim.
@@ -365,13 +414,13 @@ mod tests {
         let w = Workload::new(vec![0, 0], vec![vec![0, 100], vec![100, 0]]).unwrap();
         let t_l = 1e-6;
         let t_w = 1e-9;
-        let options = SimOptions { block_words: Some(4), ..SimOptions::default() };
+        let options = SimOptions {
+            block_words: Some(4),
+            ..SimOptions::default()
+        };
         let t = simulate_comm_phase(&w, &net(t_l, t_w), options);
         let expect = 50.0 * (t_l + 4.0 * t_w);
-        assert!(
-            (t - expect).abs() < 1e-12,
-            "expected {expect}, got {t}"
-        );
+        assert!((t - expect).abs() < 1e-12, "expected {expect}, got {t}");
     }
 
     #[test]
@@ -382,7 +431,10 @@ mod tests {
         let fragmented = simulate_comm_phase(
             &w,
             &latency_bound,
-            SimOptions { block_words: Some(4), ..SimOptions::default() },
+            SimOptions {
+                block_words: Some(4),
+                ..SimOptions::default()
+            },
         );
         // 400-word messages become 100 blocks: ~100x the latency cost.
         assert!(
@@ -396,7 +448,10 @@ mod tests {
         // 10 words in 4-word blocks → 4+4+2: three blocks each way.
         let w = Workload::new(vec![0, 0], vec![vec![0, 10], vec![10, 0]]).unwrap();
         let t_l = 1e-6;
-        let options = SimOptions { block_words: Some(4), ..SimOptions::default() };
+        let options = SimOptions {
+            block_words: Some(4),
+            ..SimOptions::default()
+        };
         let t = simulate_comm_phase(&w, &net(t_l, 0.0), options);
         assert!((t - 6.0 * t_l).abs() < 1e-12, "got {t}");
     }

@@ -33,15 +33,26 @@ pub fn efficiency_surface(
     burst_bandwidths_bytes: &[f64],
     options: SimOptions,
 ) -> Vec<SurfaceCell> {
-    assert!(!latencies.is_empty() && !burst_bandwidths_bytes.is_empty(), "empty grid");
+    assert!(
+        !latencies.is_empty() && !burst_bandwidths_bytes.is_empty(),
+        "empty grid"
+    );
     let mut cells = Vec::with_capacity(latencies.len() * burst_bandwidths_bytes.len());
     for &t_l in latencies {
         assert!(t_l >= 0.0, "negative latency");
         for &bw in burst_bandwidths_bytes {
             assert!(bw > 0.0, "burst bandwidth must be positive");
-            let network = Network { name: "sweep", t_l, t_w: 8.0 / bw };
+            let network = Network {
+                name: "sweep",
+                t_l,
+                t_w: 8.0 / bw,
+            };
             let timing = simulate_smvp(workload, processor, &network, options);
-            cells.push(SurfaceCell { t_l, burst_bytes: bw, efficiency: timing.efficiency() });
+            cells.push(SurfaceCell {
+                t_l,
+                burst_bytes: bw,
+                efficiency: timing.efficiency(),
+            });
         }
     }
     cells
@@ -67,7 +78,7 @@ pub fn render_surface(cells: &[SurfaceCell], latencies: &[f64], bursts: &[f64]) 
         out.push_str(&format!("{:>9.2e}s | ", t_l));
         for (j, _) in bursts.iter().enumerate() {
             let e = cells[i * bursts.len() + j].efficiency;
-            let digit = (e * 10.0).floor().min(9.0).max(0.0) as u8;
+            let digit = (e * 10.0).floor().clamp(0.0, 9.0) as u8;
             out.push((b'0' + digit) as char);
         }
         out.push('\n');
@@ -124,7 +135,10 @@ mod tests {
         let text = render_surface(&cells, &lats, &bws);
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains('9'), "some corner must be efficient:\n{text}");
-        assert!(text.contains('0') || text.contains('1'), "some corner must be bound");
+        assert!(
+            text.contains('0') || text.contains('1'),
+            "some corner must be bound"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
     use super::*;
 
     fn net(t_l: f64, t_w: f64) -> Network {
-        Network { name: "test", t_l, t_w }
+        Network {
+            name: "test",
+            t_l,
+            t_w,
+        }
     }
 
     #[test]

@@ -95,12 +95,18 @@ impl Workload {
 
     /// Maximum words on any PE (`C_max`).
     pub fn c_max(&self) -> u64 {
-        (0..self.parts()).map(|i| self.words_of(i)).max().unwrap_or(0)
+        (0..self.parts())
+            .map(|i| self.words_of(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum blocks on any PE (`B_max`).
     pub fn b_max(&self) -> u64 {
-        (0..self.parts()).map(|i| self.blocks_of(i)).max().unwrap_or(0)
+        (0..self.parts())
+            .map(|i| self.blocks_of(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-PE `(words, blocks)` loads, for the β bound.
@@ -124,7 +130,10 @@ impl Workload {
             traffic[i][(i + 1) % p] = words;
             traffic[i][(i + p - 1) % p] = words;
         }
-        Workload { flops: vec![flops; p], traffic }
+        Workload {
+            flops: vec![flops; p],
+            traffic,
+        }
     }
 
     /// An all-to-all workload (`p·(p−1)` messages of `words` each), the
@@ -138,7 +147,10 @@ impl Workload {
                 }
             }
         }
-        Workload { flops: vec![flops; p], traffic }
+        Workload {
+            flops: vec![flops; p],
+            traffic,
+        }
     }
 
     /// A random sparse symmetric workload: each PE talks to ≈ `degree`

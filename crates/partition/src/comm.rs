@@ -109,7 +109,11 @@ impl CommAnalysis {
             per_pe[q].words = 2 * words;
             per_pe[q].blocks = 2 * neighbors;
         }
-        CommAnalysis { parts: p, per_pe, traffic }
+        CommAnalysis {
+            parts: p,
+            per_pe,
+            traffic,
+        }
     }
 
     /// Number of PEs.
@@ -187,8 +191,7 @@ impl CommAnalysis {
     ///
     /// Always in `[1, 2]`; exactly 1 when some PE attains both maxima.
     pub fn beta(&self) -> f64 {
-        let loads: Vec<(u64, u64)> =
-            self.per_pe.iter().map(|l| (l.words, l.blocks)).collect();
+        let loads: Vec<(u64, u64)> = self.per_pe.iter().map(|l| (l.words, l.blocks)).collect();
         quake_core::model::beta::beta_bound(&loads)
     }
 
@@ -212,11 +215,7 @@ impl CommAnalysis {
 
     /// Total directed messages per SMVP.
     pub fn total_messages(&self) -> u64 {
-        self.traffic
-            .iter()
-            .flatten()
-            .filter(|&&w| w > 0)
-            .count() as u64
+        self.traffic.iter().flatten().filter(|&&w| w > 0).count() as u64
     }
 
     /// Maximum number of distinct neighbor PEs of any PE.
@@ -289,10 +288,15 @@ mod tests {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
         let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
         for &p in &[2usize, 4, 8, 16] {
-            let part = RecursiveBisection::coordinate().partition(&mesh, p).unwrap();
+            let part = RecursiveBisection::coordinate()
+                .partition(&mesh, p)
+                .unwrap();
             let a = CommAnalysis::new(&mesh, &part);
             let beta = a.beta();
-            assert!((1.0..=2.0).contains(&beta), "β = {beta} out of [1, 2] for p = {p}");
+            assert!(
+                (1.0..=2.0).contains(&beta),
+                "β = {beta} out of [1, 2] for p = {p}"
+            );
         }
     }
 
@@ -348,7 +352,9 @@ mod tests {
     fn traffic_is_symmetric() {
         let domain = Aabb::new(Vec3::ZERO, Vec3::splat(5.0));
         let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
-        let part = RecursiveBisection::coordinate().partition(&mesh, 8).unwrap();
+        let part = RecursiveBisection::coordinate()
+            .partition(&mesh, 8)
+            .unwrap();
         let a = CommAnalysis::new(&mesh, &part);
         for i in 0..8 {
             for j in 0..8 {

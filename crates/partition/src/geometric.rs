@@ -51,20 +51,24 @@ pub struct RecursiveBisection {
 impl RecursiveBisection {
     /// Coordinate (longest-side) bisection.
     pub fn coordinate() -> Self {
-        RecursiveBisection { axis: CutAxis::LongestSide }
+        RecursiveBisection {
+            axis: CutAxis::LongestSide,
+        }
     }
 
     /// Inertial (principal-axis) bisection.
     pub fn inertial() -> Self {
-        RecursiveBisection { axis: CutAxis::Inertial }
+        RecursiveBisection {
+            axis: CutAxis::Inertial,
+        }
     }
 
     fn cut_direction(&self, centroids: &[Vec3], items: &[usize]) -> Vec3 {
         match self.axis {
             CutAxis::LongestSide => {
                 let pts: Vec<Vec3> = items.iter().map(|&e| centroids[e]).collect();
-                let bbox = quake_mesh::geometry::Aabb::from_points(&pts)
-                    .expect("non-empty subdomain");
+                let bbox =
+                    quake_mesh::geometry::Aabb::from_points(&pts).expect("non-empty subdomain");
                 let ext = bbox.extent();
                 if ext.x >= ext.y && ext.x >= ext.z {
                     Vec3::new(1.0, 0.0, 0.0)
@@ -76,10 +80,7 @@ impl RecursiveBisection {
             }
             CutAxis::Inertial => {
                 let n = items.len() as f64;
-                let mean = items
-                    .iter()
-                    .fold(Vec3::ZERO, |acc, &e| acc + centroids[e])
-                    * (1.0 / n);
+                let mean = items.iter().fold(Vec3::ZERO, |acc, &e| acc + centroids[e]) * (1.0 / n);
                 let mut cov = Mat3::ZERO;
                 for &e in items {
                     let d = centroids[e] - mean;
@@ -173,7 +174,9 @@ impl Partitioner for RandomPartition {
             return Err(PartitionError::ZeroParts);
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let assign = (0..mesh.element_count()).map(|_| rng.gen_range(0..parts)).collect();
+        let assign = (0..mesh.element_count())
+            .map(|_| rng.gen_range(0..parts))
+            .collect();
         Partition::new(mesh, parts, assign)
     }
 }
@@ -219,17 +222,16 @@ mod tests {
         let min = *sizes.iter().min().unwrap();
         // Geometric bisection with proportional splits keeps parts within a
         // few elements of each other.
-        assert!(
-            max - min <= part.parts(),
-            "imbalanced: {sizes:?}"
-        );
+        assert!(max - min <= part.parts(), "imbalanced: {sizes:?}");
     }
 
     #[test]
     fn rcb_partitions_evenly() {
         let mesh = cube_mesh();
         for &p in &[2usize, 4, 8, 16] {
-            let part = RecursiveBisection::coordinate().partition(&mesh, p).unwrap();
+            let part = RecursiveBisection::coordinate()
+                .partition(&mesh, p)
+                .unwrap();
             assert_eq!(part.parts(), p);
             check_balance(&part);
         }
@@ -262,7 +264,9 @@ mod tests {
     #[test]
     fn rcb_cuts_are_spatial() {
         let mesh = cube_mesh();
-        let part = RecursiveBisection::coordinate().partition(&mesh, 2).unwrap();
+        let part = RecursiveBisection::coordinate()
+            .partition(&mesh, 2)
+            .unwrap();
         // The two halves should separate along some axis: centroids of parts
         // must differ substantially in at least one coordinate.
         let mut sums = [Vec3::ZERO; 2];
@@ -280,7 +284,10 @@ mod tests {
     #[test]
     fn single_part_is_trivial() {
         let mesh = cube_mesh();
-        for strat in [RecursiveBisection::coordinate(), RecursiveBisection::inertial()] {
+        for strat in [
+            RecursiveBisection::coordinate(),
+            RecursiveBisection::inertial(),
+        ] {
             let part = strat.partition(&mesh, 1).unwrap();
             assert_eq!(part.shared_node_count(), 0);
         }
@@ -289,7 +296,9 @@ mod tests {
     #[test]
     fn zero_parts_rejected_everywhere() {
         let mesh = cube_mesh();
-        assert!(RecursiveBisection::coordinate().partition(&mesh, 0).is_err());
+        assert!(RecursiveBisection::coordinate()
+            .partition(&mesh, 0)
+            .is_err());
         assert!(RandomPartition { seed: 0 }.partition(&mesh, 0).is_err());
         assert!(LinearPartition.partition(&mesh, 0).is_err());
     }
@@ -299,7 +308,10 @@ mod tests {
         let mesh = cube_mesh();
         let part = LinearPartition.partition(&mesh, 4).unwrap();
         let a = part.assignments();
-        assert!(a.windows(2).all(|w| w[0] <= w[1]), "assignments must be monotone");
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "assignments must be monotone"
+        );
         check_balance(&part);
     }
 
@@ -332,7 +344,9 @@ mod tests {
             vec![[0, 1, 2, 3]],
         )
         .unwrap();
-        let part = RecursiveBisection::coordinate().partition(&mesh, 4).unwrap();
+        let part = RecursiveBisection::coordinate()
+            .partition(&mesh, 4)
+            .unwrap();
         assert_eq!(part.parts(), 4);
         assert_eq!(part.part_sizes().iter().sum::<usize>(), 1);
     }

@@ -41,7 +41,7 @@ pub mod spectral;
 pub use comm::{CommAnalysis, PeLoad};
 pub use geometric::{CutAxis, LinearPartition, Partitioner, RandomPartition, RecursiveBisection};
 pub use metrics::PartitionQuality;
+pub use partition::{Partition, PartitionError};
 pub use refine::{refine, RefineOptions, RefineStats};
 pub use sfc::MortonPartition;
 pub use spectral::SpectralBisection;
-pub use partition::{Partition, PartitionError};

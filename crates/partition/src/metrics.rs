@@ -107,10 +107,8 @@ mod tests {
             &m,
             &RecursiveBisection::inertial().partition(&m, 8).unwrap(),
         );
-        let bad = PartitionQuality::measure(
-            &m,
-            &RandomPartition { seed: 3 }.partition(&m, 8).unwrap(),
-        );
+        let bad =
+            PartitionQuality::measure(&m, &RandomPartition { seed: 3 }.partition(&m, 8).unwrap());
         assert!(good.shared_nodes < bad.shared_nodes);
         assert!(good.c_max < bad.c_max);
         assert!(good.replication_factor < bad.replication_factor);

@@ -37,11 +37,18 @@ pub enum PartitionError {
 impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PartitionError::LengthMismatch { elements, assignments } => write!(
+            PartitionError::LengthMismatch {
+                elements,
+                assignments,
+            } => write!(
                 f,
                 "assignment length {assignments} does not match element count {elements}"
             ),
-            PartitionError::PartOutOfRange { element, part, parts } => {
+            PartitionError::PartOutOfRange {
+                element,
+                part,
+                parts,
+            } => {
                 write!(f, "element {element} assigned to part {part} of {parts}")
             }
             PartitionError::ZeroParts => write!(f, "partition must have at least one part"),
@@ -105,7 +112,11 @@ impl Partition {
             });
         }
         if let Some((e, &p)) = elem_part.iter().enumerate().find(|&(_, &p)| p >= parts) {
-            return Err(PartitionError::PartOutOfRange { element: e, part: p, parts });
+            return Err(PartitionError::PartOutOfRange {
+                element: e,
+                part: p,
+                parts,
+            });
         }
         let mut node_pes: Vec<Vec<usize>> = vec![Vec::new(); mesh.node_count()];
         for (e, &p) in elem_part.iter().enumerate() {
@@ -118,7 +129,11 @@ impl Partition {
         for pes in node_pes.iter_mut() {
             pes.sort_unstable();
         }
-        Ok(Partition { parts, elem_part, node_pes })
+        Ok(Partition {
+            parts,
+            elem_part,
+            node_pes,
+        })
     }
 
     /// Number of parts (PEs / subdomains).
@@ -280,8 +295,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = PartitionError::PartOutOfRange { element: 1, part: 9, parts: 4 };
+        let e = PartitionError::PartOutOfRange {
+            element: 1,
+            part: 9,
+            parts: 4,
+        };
         assert!(e.to_string().contains("part 9 of 4"));
-        assert!(PartitionError::ZeroParts.to_string().contains("at least one"));
+        assert!(PartitionError::ZeroParts
+            .to_string()
+            .contains("at least one"));
     }
 }

@@ -24,7 +24,10 @@ pub struct RefineOptions {
 
 impl Default for RefineOptions {
     fn default() -> Self {
-        RefineOptions { max_imbalance: 1.05, sweeps: 4 }
+        RefineOptions {
+            max_imbalance: 1.05,
+            sweeps: 4,
+        }
     }
 }
 
@@ -150,7 +153,14 @@ pub fn refine(
     }
     let shared_after = shared_count(&elem_part);
     let refined = Partition::new(mesh, p, elem_part)?;
-    Ok((refined, RefineStats { moves, shared_before, shared_after }))
+    Ok((
+        refined,
+        RefineStats {
+            moves,
+            shared_before,
+            shared_after,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -171,7 +181,9 @@ mod tests {
     fn refinement_never_increases_shared_nodes() {
         let m = mesh();
         for parts in [2usize, 4, 8] {
-            let base = RecursiveBisection::coordinate().partition(&m, parts).unwrap();
+            let base = RecursiveBisection::coordinate()
+                .partition(&m, parts)
+                .unwrap();
             let (refined, stats) = refine(&m, &base, RefineOptions::default()).unwrap();
             assert!(
                 stats.shared_after <= stats.shared_before,
@@ -187,7 +199,10 @@ mod tests {
     fn refinement_respects_balance_cap() {
         let m = mesh();
         let base = RecursiveBisection::inertial().partition(&m, 4).unwrap();
-        let options = RefineOptions { max_imbalance: 1.05, sweeps: 6 };
+        let options = RefineOptions {
+            max_imbalance: 1.05,
+            sweeps: 6,
+        };
         let (refined, _) = refine(&m, &base, options).unwrap();
         assert!(
             refined.imbalance() <= 1.05 + 4.0 / (m.element_count() as f64 / 4.0),
@@ -215,7 +230,10 @@ mod tests {
         }
         let perturbed = Partition::new(&m, 4, assign).unwrap();
         assert!(perturbed.shared_node_count() > base.shared_node_count());
-        let options = RefineOptions { max_imbalance: 1.10, sweeps: 8 };
+        let options = RefineOptions {
+            max_imbalance: 1.10,
+            sweeps: 8,
+        };
         let (_, stats) = refine(&m, &perturbed, options).unwrap();
         assert!(stats.moves > 0);
         assert!(
@@ -232,7 +250,10 @@ mod tests {
         // never make things worse.
         let m = mesh();
         let base = RandomPartition { seed: 3 }.partition(&m, 4).unwrap();
-        let options = RefineOptions { max_imbalance: 1.10, sweeps: 2 };
+        let options = RefineOptions {
+            max_imbalance: 1.10,
+            sweeps: 2,
+        };
         let (refined, stats) = refine(&m, &base, options).unwrap();
         assert!(stats.shared_after <= stats.shared_before);
         assert_eq!(refined.parts(), 4);
@@ -255,7 +276,10 @@ mod tests {
     fn zero_sweeps_is_identity() {
         let m = mesh();
         let base = RecursiveBisection::inertial().partition(&m, 4).unwrap();
-        let options = RefineOptions { max_imbalance: 1.05, sweeps: 0 };
+        let options = RefineOptions {
+            max_imbalance: 1.05,
+            sweeps: 0,
+        };
         let (refined, stats) = refine(&m, &base, options).unwrap();
         assert_eq!(stats.moves, 0);
         assert_eq!(refined, base);

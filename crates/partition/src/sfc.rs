@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn morton_beats_random_loses_to_geometric() {
         let m = mesh();
-        let morton = MortonPartition.partition(&m, 8).unwrap().shared_node_count();
+        let morton = MortonPartition
+            .partition(&m, 8)
+            .unwrap()
+            .shared_node_count();
         let random = RandomPartition { seed: 1 }
             .partition(&m, 8)
             .unwrap()
@@ -100,7 +103,10 @@ mod tests {
             .shared_node_count();
         assert!(morton < random, "morton {morton} vs random {random}");
         // Geometric bisection should be at least as good (usually better).
-        assert!(rib as f64 <= morton as f64 * 1.2, "rib {rib} vs morton {morton}");
+        assert!(
+            rib as f64 <= morton as f64 * 1.2,
+            "rib {rib} vs morton {morton}"
+        );
     }
 
     #[test]
@@ -108,8 +114,14 @@ mod tests {
         // Our Delaunay emits Morton-sorted points, so LinearPartition is
         // already decent; Morton over centroids must be comparable or better.
         let m = mesh();
-        let morton = MortonPartition.partition(&m, 8).unwrap().shared_node_count();
-        let linear = LinearPartition.partition(&m, 8).unwrap().shared_node_count();
+        let morton = MortonPartition
+            .partition(&m, 8)
+            .unwrap()
+            .shared_node_count();
+        let linear = LinearPartition
+            .partition(&m, 8)
+            .unwrap()
+            .shared_node_count();
         assert!(
             (morton as f64) < 1.5 * linear as f64,
             "morton {morton} vs linear {linear}"

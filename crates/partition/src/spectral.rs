@@ -130,9 +130,7 @@ impl SpectralBisection {
         // Order items by their Fiedler coordinate and split at the balanced
         // median.
         let mut order: Vec<usize> = (0..items.len()).collect();
-        order.sort_by(|&a, &b| {
-            fiedler[a].partial_cmp(&fiedler[b]).expect("finite iterate")
-        });
+        order.sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).expect("finite iterate"));
         let reordered: Vec<usize> = order.iter().map(|&l| items[l]).collect();
         items.copy_from_slice(&reordered);
         let (left, right) = items.split_at_mut(split);

@@ -15,7 +15,13 @@
 //!
 //! All kernels compute exactly the same `y = Kx`; the benches compare their
 //! throughput, reproducing the classic locks-vs-reduction tradeoff.
+//!
+//! The `*_pooled` variants ([`rmv_pooled`], [`pmv_pooled`]) run the same
+//! algorithms over a persistent [`WorkerPool`] instead of spawning threads
+//! per call — the executor-grade path for repeated products such as the
+//! paper's 6000-step time loop.
 
+use crate::pool::{Task, WorkerPool};
 use parking_lot::Mutex;
 use quake_sparse::csr::Csr;
 use quake_sparse::dense::Vec3;
@@ -52,7 +58,11 @@ fn row_chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
 /// Panics if `x.len()` does not match the matrix dimension or
 /// `threads == 0`.
 pub fn lmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
-    assert_eq!(x.len(), matrix.dim(), "x length must match matrix dimension");
+    assert_eq!(
+        x.len(),
+        matrix.dim(),
+        "x length must match matrix dimension"
+    );
     assert!(threads > 0, "need at least one thread");
     let n = matrix.dim();
     let y: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
@@ -88,7 +98,11 @@ pub fn lmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
 /// Panics if `x.len()` does not match the matrix dimension or
 /// `threads == 0`.
 pub fn rmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
-    assert_eq!(x.len(), matrix.dim(), "x length must match matrix dimension");
+    assert_eq!(
+        x.len(),
+        matrix.dim(),
+        "x length must match matrix dimension"
+    );
     assert!(threads > 0, "need at least one thread");
     let n = matrix.dim();
     let full = matrix.parts();
@@ -115,7 +129,10 @@ pub fn rmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("kernel thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel thread panicked"))
+            .collect()
     });
     // Parallel-friendly reduction (serial here; the buffers dominate).
     let mut y = vec![0.0; n];
@@ -161,6 +178,83 @@ pub fn pmv(matrix: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
     y
 }
 
+/// [`rmv`] over a persistent [`WorkerPool`]: per-worker private buffers
+/// reduced after the pool barrier, no thread spawns on the call path.
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the matrix dimension.
+pub fn rmv_pooled(matrix: &SymCsr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
+    assert_eq!(
+        x.len(),
+        matrix.dim(),
+        "x length must match matrix dimension"
+    );
+    let n = matrix.dim();
+    let full = matrix.parts();
+    let chunks = row_chunks(n, pool.threads());
+    let mut buffers: Vec<Vec<f64>> = vec![vec![0.0; n]; chunks.len()];
+    let tasks: Vec<Task> = buffers
+        .iter_mut()
+        .zip(&chunks)
+        .map(|(buf, range)| {
+            let range = range.clone();
+            let full = &full;
+            Box::new(move || {
+                for r in range {
+                    let mut local = full.diag[r] * x[r];
+                    for k in full.row_ptr[r]..full.row_ptr[r + 1] {
+                        let c = full.col_idx[k];
+                        let v = full.values[k];
+                        local += v * x[c];
+                        buf[c] += v * x[r];
+                    }
+                    buf[r] += local;
+                }
+            }) as Task
+        })
+        .collect();
+    pool.execute(tasks);
+    let mut y = vec![0.0; n];
+    for buf in buffers {
+        for (yi, bi) in y.iter_mut().zip(buf) {
+            *yi += bi;
+        }
+    }
+    y
+}
+
+/// [`pmv`] over a persistent [`WorkerPool`]: disjoint row slices of `y`
+/// written in place, no thread spawns on the call path.
+///
+/// # Panics
+///
+/// Panics if `x.len() != matrix.cols()`.
+pub fn pmv_pooled(matrix: &Csr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
+    assert_eq!(x.len(), matrix.cols(), "x length must match matrix columns");
+    let n = matrix.rows();
+    let mut y = vec![0.0; n];
+    let chunks = row_chunks(n, pool.threads());
+    let mut tasks: Vec<Task> = Vec::with_capacity(chunks.len());
+    let mut rest: &mut [f64] = &mut y;
+    for range in &chunks {
+        let (mine, tail) = rest.split_at_mut(range.len());
+        rest = tail;
+        let range = range.clone();
+        tasks.push(Box::new(move || {
+            for (slot, r) in mine.iter_mut().zip(range) {
+                let mut sum = 0.0;
+                for (c, v) in matrix.row(r).pairs() {
+                    sum += v * x[c];
+                }
+                *slot = sum;
+            }
+        }) as Task);
+    }
+    pool.execute(tasks);
+    y
+}
+
 /// Threaded block-row-parallel SMVP over 3×3-block CSR storage: each thread
 /// owns a contiguous range of block rows (disjoint `y` slices, no
 /// synchronization), and the 3×3 blocks amortize index traffic — the layout
@@ -170,7 +264,11 @@ pub fn pmv(matrix: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
 ///
 /// Panics if `x.len()` does not match the block-row count or `threads == 0`.
 pub fn bmv(matrix: &quake_sparse::bcsr::Bcsr3, x: &[Vec3], threads: usize) -> Vec<Vec3> {
-    assert_eq!(x.len(), matrix.block_rows(), "x length must match block rows");
+    assert_eq!(
+        x.len(),
+        matrix.block_rows(),
+        "x length must match block rows"
+    );
     assert!(threads > 0, "need at least one thread");
     let n = matrix.block_rows();
     let mut y = vec![Vec3::ZERO; n];
@@ -298,7 +396,10 @@ mod tests {
         for threads in [1, 3, 8] {
             let y = bmv(&matrix, &x, threads);
             for (a, b) in reference.iter().zip(&y) {
-                assert!((*a - *b).norm() < 1e-12, "bmv disagrees at {threads} threads");
+                assert!(
+                    (*a - *b).norm() < 1e-12,
+                    "bmv disagrees at {threads} threads"
+                );
             }
         }
     }

@@ -3,11 +3,19 @@
 //! Rebuilds the shared-memory members of the Spark98 kernel family over
 //! this reproduction's symmetric stiffness matrices: a sequential baseline
 //! ([`kernels::smv`]), a lock-based parallel kernel ([`kernels::lmv`]), a
-//! reduction-buffer parallel kernel ([`kernels::rmv`]), and a row-parallel
-//! full-storage kernel ([`kernels::pmv`]), and a block-row-parallel 3×3-block
-//! kernel ([`kernels::bmv`]). The `bench_spark` target compares
-//! their throughput; all four produce identical results.
+//! reduction-buffer parallel kernel ([`kernels::rmv`]), a row-parallel
+//! full-storage kernel ([`kernels::pmv`]), and a block-row-parallel
+//! 3×3-block kernel ([`kernels::bmv`]). The `bench_spark` target compares
+//! their throughput; all produce identical results.
+//!
+//! For repeated products (the paper's 6000-step time loop) the
+//! [`pool::WorkerPool`] keeps worker threads persistent across calls, and
+//! [`kernels::rmv_pooled`]/[`kernels::pmv_pooled`] run the same algorithms
+//! over it without per-call thread spawns; `bench_executor` tracks the
+//! pooled-vs-spawned gap.
 
 pub mod kernels;
+pub mod pool;
 
-pub use kernels::{bmv, lmv, pmv, rmv, smv};
+pub use kernels::{bmv, lmv, pmv, pmv_pooled, rmv, rmv_pooled, smv};
+pub use pool::WorkerPool;

@@ -1,0 +1,285 @@
+//! A persistent worker pool for bulk-synchronous kernels.
+//!
+//! The spawn-per-call kernels in [`crate::kernels`] pay thread creation and
+//! teardown on every SMVP — acceptable for one product, ruinous for the
+//! paper's 6000-step time loop where the same parallel shape repeats every
+//! step. [`WorkerPool`] keeps a fixed set of OS threads alive and feeds
+//! them batches of borrowed closures; [`WorkerPool::execute`] is a full
+//! barrier (it returns only after every task has run), which is exactly the
+//! phase discipline a bulk-synchronous SMVP needs.
+//!
+//! # Safety model
+//!
+//! Tasks may borrow from the caller's stack (`'scope` lifetime). The pool
+//! erases that lifetime to move tasks onto long-lived worker threads, which
+//! is sound because `execute` blocks on a completion latch until every task
+//! in the batch has finished (or panicked) — no task can outlive the
+//! borrowed data. Worker panics are caught, counted, and re-raised on the
+//! calling thread after the batch drains.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A borrowed task: runs once on some worker thread.
+pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+type StaticTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch for one `execute` batch.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    /// First panic payload observed in the batch, re-raised by the caller.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.remaining > 0 {
+            state = self.cv.wait(state).expect("latch wait");
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+    }
+}
+
+struct Job {
+    task: StaticTask,
+    latch: Arc<Latch>,
+}
+
+/// A fixed-size pool of persistent worker threads executing borrowed task
+/// batches with barrier semantics.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("smvp-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task in `tasks` on the pool and returns once all have
+    /// completed — a full barrier. If any task panicked, the first payload
+    /// is re-raised here after the whole batch has drained (so borrowed
+    /// data is never abandoned mid-use).
+    pub fn execute<'scope>(&self, tasks: Vec<Task<'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let sender = self.sender.as_ref().expect("pool alive");
+        for task in tasks {
+            // SAFETY: `wait` below blocks until every task has run to
+            // completion (the latch is decremented after the task body
+            // returns or panics), so no `'scope` borrow escapes this call.
+            let task: StaticTask = unsafe { std::mem::transmute::<Task<'scope>, StaticTask>(task) };
+            sender
+                .send(Job {
+                    task,
+                    latch: Arc::clone(&latch),
+                })
+                .expect("worker threads alive while pool exists");
+        }
+        latch.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's receive loop.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(Job { task, latch }) => {
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                latch.complete(outcome.err());
+            }
+            // Channel closed: the pool is being dropped.
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Task> = (0..100)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Task
+            })
+            .collect();
+        pool.execute(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_may_borrow_stack_data() {
+        let pool = WorkerPool::new(3);
+        let input = vec![1u64, 2, 3, 4, 5, 6];
+        let mut outputs = vec![0u64; 6];
+        let tasks: Vec<Task> = outputs
+            .iter_mut()
+            .zip(&input)
+            .map(|(out, &v)| {
+                Box::new(move || {
+                    *out = v * v;
+                }) as Task
+            })
+            .collect();
+        pool.execute(tasks);
+        assert_eq!(outputs, vec![1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn execute_is_a_barrier_across_batches() {
+        // A second batch must observe every write of the first.
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 64];
+        let tasks: Vec<Task> = data
+            .iter_mut()
+            .map(|slot| Box::new(move || *slot = 7) as Task)
+            .collect();
+        pool.execute(tasks);
+        let sum = Mutex::new(0u64);
+        let data_ref = &data;
+        let sum_ref = &sum;
+        pool.execute(vec![Box::new(move || {
+            *sum_ref.lock().unwrap() = data_ref.iter().sum();
+        }) as Task]);
+        assert_eq!(sum.into_inner().unwrap(), 7 * 64);
+    }
+
+    #[test]
+    fn pool_outlives_many_batches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..50 {
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<Task> = (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Task
+                })
+                .collect();
+            pool.execute(tasks);
+            assert_eq!(counter.load(Ordering::Relaxed), 8, "round {round}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.execute(Vec::new());
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_batch_drains() {
+        let pool = WorkerPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut tasks: Vec<Task> = vec![Box::new(|| panic!("task failed"))];
+            for _ in 0..10 {
+                tasks.push(Box::new(|| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            pool.execute(tasks);
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            10,
+            "non-panicking tasks still complete before the panic is re-raised"
+        );
+        // The pool remains usable after a panicked batch.
+        let counter = AtomicUsize::new(0);
+        pool.execute(vec![Box::new(|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }) as Task]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = WorkerPool::new(0);
+    }
+}

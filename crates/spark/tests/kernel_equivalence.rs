@@ -1,0 +1,150 @@
+//! Property tests: every Spark98-style kernel computes the same product.
+//!
+//! The sequential baseline `smv` is the reference; the lock-based (`lmv`),
+//! reduction-buffer (`rmv`), row-parallel (`pmv`), and pooled
+//! (`rmv_pooled`/`pmv_pooled`) kernels must agree with it to within
+//! 1e-12 relative error on random symmetric matrices at every thread
+//! count the paper's shared-memory study sweeps (1, 2, 4, 8).
+//!
+//! Matrices are built from a proptest-chosen `(size, seed)` pair and a
+//! `StdRng::seed_from_u64(seed)` fill (the repository's deterministic
+//! seeding convention — see `tests/README.md` at the workspace root), so
+//! every failure is replayable from the printed inputs.
+
+use proptest::prelude::*;
+use quake_spark::kernels::{lmv, pmv, pmv_pooled, rmv, rmv_pooled, smv};
+use quake_spark::WorkerPool;
+use quake_sparse::coo::Coo;
+use quake_sparse::csr::Csr;
+use quake_sparse::sym::SymCsr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REL_TOL: f64 = 1e-12;
+
+/// Builds a random symmetric matrix with a guaranteed-nonzero diagonal and
+/// ~`fill` off-diagonal density, plus a matching x vector.
+fn random_symmetric(n: usize, seed: u64) -> (Csr, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        let d: f64 = rng.gen_range(1.0..10.0);
+        coo.push(i, i, d).expect("in range");
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.2) {
+                let v: f64 = rng.gen_range(-5.0..5.0);
+                coo.push(i, j, v).expect("in range");
+                coo.push(j, i, v).expect("in range");
+            }
+        }
+    }
+    let x = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    (coo.to_csr(), x)
+}
+
+/// Asserts `got` matches the reference product within `REL_TOL`, scaled by
+/// the largest reference magnitude.
+fn assert_matches(reference: &[f64], got: &[f64], kernel: &str, threads: usize) {
+    assert_eq!(
+        reference.len(),
+        got.len(),
+        "{kernel}/{threads}: length mismatch"
+    );
+    let scale = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+        assert!(
+            (r - g).abs() <= REL_TOL * (1.0 + scale),
+            "{kernel} at {threads} threads, row {i}: reference {r} vs {g}"
+        );
+    }
+}
+
+/// Runs every kernel variant against the sequential baseline.
+fn check_all_kernels(full: &Csr, x: &[f64]) {
+    let sym = SymCsr::from_csr(full, 1e-12).expect("matrix is symmetric by construction");
+    let reference = smv(&sym, x);
+    for &threads in &THREAD_COUNTS {
+        assert_matches(&reference, &lmv(&sym, x, threads), "lmv", threads);
+        assert_matches(&reference, &rmv(&sym, x, threads), "rmv", threads);
+        assert_matches(&reference, &pmv(full, x, threads), "pmv", threads);
+        let pool = WorkerPool::new(threads);
+        assert_matches(
+            &reference,
+            &rmv_pooled(&sym, x, &pool),
+            "rmv_pooled",
+            threads,
+        );
+        assert_matches(
+            &reference,
+            &pmv_pooled(full, x, &pool),
+            "pmv_pooled",
+            threads,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_kernels_agree_on_random_symmetric_matrices(
+        n in 2usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let (full, x) = random_symmetric(n, seed);
+        check_all_kernels(&full, &x);
+    }
+
+    #[test]
+    fn all_kernels_agree_when_threads_exceed_rows(
+        n in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        // More workers than rows: chunking must not drop or repeat rows.
+        let (full, x) = random_symmetric(n, seed);
+        check_all_kernels(&full, &x);
+    }
+}
+
+#[test]
+fn kernels_handle_the_empty_matrix() {
+    let (full, x) = random_symmetric(0, 1);
+    let sym = SymCsr::from_csr(&full, 1e-12).expect("empty is symmetric");
+    assert!(smv(&sym, &x).is_empty());
+    for &threads in &THREAD_COUNTS {
+        assert!(lmv(&sym, &x, threads).is_empty());
+        assert!(rmv(&sym, &x, threads).is_empty());
+        assert!(pmv(&full, &x, threads).is_empty());
+        let pool = WorkerPool::new(threads);
+        assert!(rmv_pooled(&sym, &x, &pool).is_empty());
+        assert!(pmv_pooled(&full, &x, &pool).is_empty());
+    }
+}
+
+#[test]
+fn kernels_handle_a_single_row() {
+    let mut coo = Coo::new(1, 1);
+    coo.push(0, 0, 2.5).expect("in range");
+    let full = coo.to_csr();
+    let x = vec![4.0];
+    check_all_kernels(&full, &x);
+    let sym = SymCsr::from_csr(&full, 1e-12).expect("symmetric");
+    assert_eq!(smv(&sym, &x), vec![10.0]);
+}
+
+#[test]
+fn pooled_kernels_are_reusable_across_products() {
+    // One pool serving many products (the paper's 6000-step loop shape):
+    // results must stay bit-identical to a fresh computation every time.
+    let (full, x) = random_symmetric(32, 99);
+    let sym = SymCsr::from_csr(&full, 1e-12).expect("symmetric");
+    let reference = smv(&sym, &x);
+    let pool = WorkerPool::new(4);
+    for round in 0..5 {
+        let got = rmv_pooled(&sym, &x, &pool);
+        assert_matches(&reference, &got, "rmv_pooled", round);
+        let got = pmv_pooled(&full, &x, &pool);
+        assert_matches(&reference, &got, "pmv_pooled", round);
+    }
+}

@@ -243,7 +243,10 @@ pub struct Bcsr3Builder {
 impl Bcsr3Builder {
     /// Creates a builder for an `n × n` block matrix.
     pub fn new(n: usize) -> Self {
-        Bcsr3Builder { n, rows: vec![Vec::new(); n] }
+        Bcsr3Builder {
+            n,
+            rows: vec![Vec::new(); n],
+        }
     }
 
     /// Number of block rows.
@@ -257,7 +260,11 @@ impl Bcsr3Builder {
     ///
     /// Panics if `i` or `j` is out of range.
     pub fn add_block(&mut self, i: usize, j: usize, b: Mat3) {
-        assert!(i < self.n && j < self.n, "block ({i}, {j}) out of range for n = {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "block ({i}, {j}) out of range for n = {}",
+            self.n
+        );
         let row = &mut self.rows[i];
         match row.binary_search_by_key(&j, |&(c, _)| c) {
             Ok(pos) => row[pos].1 += b,
@@ -279,7 +286,12 @@ impl Bcsr3Builder {
             }
             row_ptr.push(col_idx.len());
         }
-        Bcsr3 { n: self.n, row_ptr, col_idx, blocks }
+        Bcsr3 {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            blocks,
+        }
     }
 }
 

@@ -33,12 +33,20 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty `rows × cols` triplet matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with capacity for `cap` entries.
     pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
-        Coo { rows, cols, entries: Vec::with_capacity(cap) }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows.
@@ -116,7 +124,12 @@ impl Coo {
         for r in 0..self.rows {
             let (lo, hi) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

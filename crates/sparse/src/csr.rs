@@ -48,10 +48,14 @@ impl Csr {
         values: Vec<f64>,
     ) -> Result<Self, SparseError> {
         if row_ptr.len() != rows + 1 {
-            return Err(SparseError::MalformedStructure("row_ptr length must be rows + 1"));
+            return Err(SparseError::MalformedStructure(
+                "row_ptr length must be rows + 1",
+            ));
         }
         if col_idx.len() != values.len() {
-            return Err(SparseError::MalformedStructure("col_idx and values lengths differ"));
+            return Err(SparseError::MalformedStructure(
+                "col_idx and values lengths differ",
+            ));
         }
         if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&col_idx.len()) {
             return Err(SparseError::MalformedStructure(
@@ -59,12 +63,20 @@ impl Csr {
             ));
         }
         if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(SparseError::MalformedStructure("row_ptr must be non-decreasing"));
+            return Err(SparseError::MalformedStructure(
+                "row_ptr must be non-decreasing",
+            ));
         }
         if col_idx.iter().any(|&c| c >= cols) {
             return Err(SparseError::MalformedStructure("column index out of range"));
         }
-        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// An `n × n` identity matrix.
@@ -130,7 +142,10 @@ impl Csr {
         assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        RowView { cols: &self.col_idx[lo..hi], vals: &self.values[lo..hi] }
+        RowView {
+            cols: &self.col_idx[lo..hi],
+            vals: &self.values[lo..hi],
+        }
     }
 
     /// Value at `(r, c)`, or `0.0` if the entry is not stored.
@@ -239,7 +254,13 @@ impl Csr {
                 slot[c] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, row_ptr: counts, col_idx, values }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr: counts,
+            col_idx,
+            values,
+        }
     }
 
     /// True if the matrix is structurally and numerically symmetric to
@@ -282,7 +303,10 @@ impl Csr {
     ///
     /// Panics if the matrix is not square.
     pub fn permute_symmetric(&self, perm: &[usize]) -> Result<Csr, SparseError> {
-        assert_eq!(self.rows, self.cols, "symmetric permutation requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "symmetric permutation requires a square matrix"
+        );
         if perm.len() != self.rows {
             return Err(SparseError::DimensionMismatch {
                 expected: self.rows,
@@ -388,9 +412,14 @@ mod tests {
         // [ 0 3 4 ]
         // [ 5 0 6 ]
         let mut a = Coo::new(3, 3);
-        for &(r, c, v) in
-            &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (1, 2, 4.0), (2, 0, 5.0), (2, 2, 6.0)]
-        {
+        for &(r, c, v) in &[
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 4.0),
+            (2, 0, 5.0),
+            (2, 2, 6.0),
+        ] {
             a.push(r, c, v).unwrap();
         }
         a.to_csr()

@@ -37,11 +37,26 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::DimensionMismatch { expected, found, what } => {
-                write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
+            SparseError::DimensionMismatch {
+                expected,
+                found,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch for {what}: expected {expected}, found {found}"
+                )
             }
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => {
-                write!(f, "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => {
+                write!(
+                    f,
+                    "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+                )
             }
             SparseError::MalformedStructure(msg) => {
                 write!(f, "malformed sparse structure: {msg}")
@@ -59,11 +74,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = SparseError::DimensionMismatch { expected: 3, found: 4, what: "x vector" };
+        let e = SparseError::DimensionMismatch {
+            expected: 3,
+            found: 4,
+            what: "x vector",
+        };
         let s = e.to_string();
         assert!(s.contains("expected 3"));
         assert!(s.contains("found 4"));
-        let e = SparseError::IndexOutOfBounds { row: 9, col: 1, rows: 3, cols: 3 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 9,
+            col: 1,
+            rows: 3,
+            cols: 3,
+        };
         assert!(e.to_string().contains("(9, 1)"));
         assert!(SparseError::NotSymmetric.to_string().contains("symmetric"));
     }

@@ -41,7 +41,12 @@ impl Pattern {
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, SparseError> {
         for &(a, b) in edges {
             if a >= n || b >= n {
-                return Err(SparseError::IndexOutOfBounds { row: a, col: b, rows: n, cols: n });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: a,
+                    col: b,
+                    rows: n,
+                    cols: n,
+                });
             }
             if a == b {
                 return Err(SparseError::MalformedStructure(
@@ -66,7 +71,11 @@ impl Pattern {
             col_idx.extend_from_slice(list);
             row_ptr.push(col_idx.len());
         }
-        Ok(Pattern { n, row_ptr, col_idx })
+        Ok(Pattern {
+            n,
+            row_ptr,
+            col_idx,
+        })
     }
 
     /// Number of nodes.
@@ -129,7 +138,10 @@ impl Pattern {
     /// (self-loops excluded).
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |i| {
-            self.neighbors(i).iter().copied().filter_map(move |j| (i < j).then_some((i, j)))
+            self.neighbors(i)
+                .iter()
+                .copied()
+                .filter_map(move |j| (i < j).then_some((i, j)))
         })
     }
 

@@ -115,7 +115,11 @@ fn bfs_levels(pattern: &Pattern, root: usize, visited: &[bool]) -> (Vec<Option<u
 ///
 /// Panics if `perm.len() != pattern.node_count()`.
 pub fn permuted_bandwidth(pattern: &Pattern, perm: &[usize]) -> usize {
-    assert_eq!(perm.len(), pattern.node_count(), "perm length must equal node count");
+    assert_eq!(
+        perm.len(),
+        pattern.node_count(),
+        "perm length must equal node count"
+    );
     pattern
         .edges()
         .map(|(i, j)| perm[i].abs_diff(perm[j]))
@@ -154,12 +158,25 @@ mod tests {
     fn rcm_reduces_bandwidth_of_shuffled_path() {
         // A path graph whose identity numbering is scrambled: RCM should
         // recover near-optimal bandwidth 1.
-        let edges = [(0usize, 7usize), (7, 3), (3, 9), (9, 1), (1, 8), (8, 4), (4, 6), (6, 2), (2, 5)];
+        let edges = [
+            (0usize, 7usize),
+            (7, 3),
+            (3, 9),
+            (9, 1),
+            (1, 8),
+            (8, 4),
+            (4, 6),
+            (6, 2),
+            (2, 5),
+        ];
         let p = Pattern::from_edges(10, &edges).unwrap();
         let before = permuted_bandwidth(&p, &identity_perm(10));
         let perm = rcm(&p);
         let after = permuted_bandwidth(&p, &perm);
-        assert!(after < before, "RCM should shrink bandwidth ({after} !< {before})");
+        assert!(
+            after < before,
+            "RCM should shrink bandwidth ({after} !< {before})"
+        );
         assert_eq!(after, 1, "a path graph has optimal bandwidth 1");
     }
 

@@ -71,7 +71,13 @@ impl SymCsr {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(SymCsr { n, diag, row_ptr, col_idx, values })
+        Ok(SymCsr {
+            n,
+            diag,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Matrix dimension.
@@ -228,7 +234,10 @@ mod tests {
     fn rejects_asymmetric() {
         let mut a = Coo::new(2, 2);
         a.push(0, 1, 1.0).unwrap();
-        assert_eq!(SymCsr::from_csr(&a.to_csr(), 1e-12), Err(SparseError::NotSymmetric));
+        assert_eq!(
+            SymCsr::from_csr(&a.to_csr(), 1e-12),
+            Err(SparseError::NotSymmetric)
+        );
     }
 
     #[test]

@@ -15,19 +15,14 @@ use quake_core::paperdata;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let mflops: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(200.0);
+    let mflops: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200.0);
     let efficiency: f64 = args
         .next()
         .and_then(|a| a.parse().ok())
         .filter(|e| (0.0..1.0).contains(e) && *e > 0.0)
         .unwrap_or(0.9);
     let pe = Processor::from_mflops("target PE", mflops);
-    println!(
-        "== Communication requirements for {mflops:.0}-MFLOP PEs at E = {efficiency} ==\n"
-    );
+    println!("== Communication requirements for {mflops:.0}-MFLOP PEs at E = {efficiency} ==\n");
     let mut t = Table::new(vec![
         "instance",
         "F/C_max",
@@ -49,13 +44,20 @@ fn main() {
             fmt_seconds(maximal.t_l),
             fmt_seconds(fixed.t_l),
         ]);
-        if hardest.as_ref().map(|(_, l)| maximal.t_l < *l).unwrap_or(true) {
+        if hardest
+            .as_ref()
+            .map(|(_, l)| maximal.t_l < *l)
+            .unwrap_or(true)
+        {
             hardest = Some((inst.label(), maximal.t_l));
         }
     }
     println!("{}", t.render());
     let (label, latency) = hardest.expect("instances exist");
-    println!("binding instance: {label} -> block latency budget {}\n", fmt_seconds(latency));
+    println!(
+        "binding instance: {label} -> block latency budget {}\n",
+        fmt_seconds(latency)
+    );
 
     // Check the measured T3E network against every instance.
     let t3e = Network::cray_t3e();
@@ -65,7 +67,12 @@ fn main() {
         fmt_seconds(t3e.t_l),
         fmt_seconds(t3e.t_w)
     );
-    let mut t = Table::new(vec!["instance", "delivered T_c", "required T_c", "achieved E"]);
+    let mut t = Table::new(vec![
+        "instance",
+        "delivered T_c",
+        "required T_c",
+        "achieved E",
+    ]);
     for inst in paperdata::figure7_app("sf2") {
         let delivered = delivered_tc(&inst, &t3e, BlockRegime::Maximal);
         let required = required_tc(&inst, efficiency, pe.t_f);

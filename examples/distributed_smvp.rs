@@ -53,12 +53,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "distributed SMVP vs sequential: max abs error {:.3e} (scale {:.3e})",
         max_err, scale
     );
-    assert!(max_err <= 1e-9 * (1.0 + scale), "distributed product must match");
+    assert!(
+        max_err <= 1e-9 * (1.0 + scale),
+        "distributed product must match"
+    );
     println!("=> exchange-and-sum reproduces the global product exactly\n");
 
     // Per-PE structure: the quantities of the paper's model.
     let analysis = CommAnalysis::new(&app.mesh, &partition);
-    let mut t = Table::new(vec!["PE", "local nodes", "F_i (flops)", "C_i (words)", "B_i (blocks)"]);
+    let mut t = Table::new(vec![
+        "PE",
+        "local nodes",
+        "F_i (flops)",
+        "C_i (words)",
+        "B_i (blocks)",
+    ]);
     for (q, sd) in distributed.subdomains().iter().enumerate() {
         let load = analysis.per_pe()[q];
         t.row(vec![

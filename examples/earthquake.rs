@@ -16,7 +16,11 @@ use quake_fem::timestep::Simulation;
 use quake_sparse::dense::Vec3;
 
 fn ascii_trace(samples: &[f64], width: usize, height: usize) -> String {
-    let peak = samples.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs())).max(1e-30);
+    let peak = samples
+        .iter()
+        .cloned()
+        .fold(0.0f64, |a, b| a.max(b.abs()))
+        .max(1e-30);
     let mut rows = vec![vec![b' '; width]; height];
     for col in 0..width {
         let idx = col * samples.len() / width;

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::inertial(), 16)?;
     let inst = &analyzed.instance;
     println!("\ncharacterization: {inst}");
-    println!("beta bound: {:.2} (Eq. 2 is near-exact when close to 1)", analyzed.beta);
+    println!(
+        "beta bound: {:.2} (Eq. 2 is near-exact when close to 1)",
+        analyzed.beta
+    );
 
     // 3. Apply Equation (1): what sustained per-PE bandwidth does 90%
     //    efficiency demand on a 200-MFLOP PE?

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tol = 1e-9 * full.values().iter().fold(0.0f64, |a, &v| a.max(v.abs()));
     let sym = SymCsr::from_csr(&full, tol)?;
     let n = full.rows();
-    let x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+        .collect();
     let flops = full.smvp_flops();
     println!(
         "matrix: {} x {}, {} nonzeros, {} flops per SMVP\n",
@@ -42,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reps = 20;
     let (reference, base_mflops) = time_mflops(flops, reps, || smv(&sym, &x));
     let mut t = Table::new(vec!["kernel", "threads", "MFLOPS", "max rel diff"]);
-    t.row(vec!["smv (sequential)".into(), "1".into(), format!("{base_mflops:.0}"), "0".into()]);
+    t.row(vec![
+        "smv (sequential)".into(),
+        "1".into(),
+        format!("{base_mflops:.0}"),
+        "0".into(),
+    ]);
     let scale = reference.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
     let check_row = |name: &str, threads: usize, result: &[f64], mflops: f64, t: &mut Table| {
         let diff = reference

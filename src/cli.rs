@@ -53,7 +53,14 @@ impl fmt::Display for CliError {
 impl Error for CliError {}
 
 /// The available subcommands.
-pub const COMMANDS: [&str; 5] = ["mesh", "characterize", "requirements", "simulate", "help"];
+pub const COMMANDS: [&str; 6] = [
+    "mesh",
+    "characterize",
+    "requirements",
+    "simulate",
+    "smvp-run",
+    "help",
+];
 
 impl Invocation {
     /// Parses `args` (without the program name).
@@ -73,7 +80,9 @@ impl Invocation {
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::UnexpectedArgument(arg.clone()))?
                 .to_string();
-            let value = it.next().ok_or_else(|| CliError::MissingValue(key.clone()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::MissingValue(key.clone()))?;
             options.insert(key, value);
         }
         Ok(Invocation { command, options })
@@ -81,7 +90,10 @@ impl Invocation {
 
     /// A string option, or `default`.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A parsed numeric option, or `default`.
@@ -111,7 +123,10 @@ impl Invocation {
                 .split(',')
                 .map(|s| s.trim().parse::<usize>())
                 .collect::<Result<Vec<_>, _>>()
-                .map_err(|_| CliError::BadValue { flag: key.to_string(), value: v.clone() }),
+                .map_err(|_| CliError::BadValue {
+                    flag: key.to_string(),
+                    value: v.clone(),
+                }),
         }
     }
 }
@@ -133,6 +148,11 @@ COMMANDS:
                   --mflops <r: 200>  --efficiency <e: 0.9>  --app <sf2>
   simulate      run the explicit wave simulation and print a summary
                   --period <s: 10>  --scale <x: 8>  --steps <n: 300>
+  smvp-run      run the instrumented bulk-synchronous SMVP executor and
+                print a measured-vs-predicted model validation report
+                  --period <s: 10>  --scale <x: 8>  --parts <p: 4>
+                  --threads <t: 4>  --steps <n: 25>
+                  --partitioner <rib|rcb|spectral|morton|linear|random: rib>
   help          print this text"
 }
 
@@ -156,7 +176,10 @@ mod tests {
     #[test]
     fn rejects_missing_and_unknown_commands() {
         assert_eq!(parse(&[]), Err(CliError::MissingCommand));
-        assert!(matches!(parse(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            parse(&["frobnicate"]),
+            Err(CliError::UnknownCommand(_))
+        ));
     }
 
     #[test]
@@ -205,8 +228,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(CliError::MissingCommand.to_string().contains("help"));
-        assert!(CliError::BadValue { flag: "x".into(), value: "y".into() }
-            .to_string()
-            .contains("--x"));
+        assert!(CliError::BadValue {
+            flag: "x".into(),
+            value: "y".into()
+        }
+        .to_string()
+        .contains("--x"));
     }
 }

@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "characterize" => cmd_characterize(&inv),
         "requirements" => cmd_requirements(&inv),
         "simulate" => cmd_simulate(&inv),
+        "smvp-run" => cmd_smvp_run(&inv),
         other => unreachable!("parser admits only known commands, got {other}"),
     };
     match result {
@@ -74,12 +75,8 @@ fn cmd_mesh(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn partitioner(
-    name: &str,
-) -> Result<Box<dyn quake_partition::geometric::Partitioner>, CliError> {
-    use quake_partition::geometric::{
-        LinearPartition, RandomPartition, RecursiveBisection,
-    };
+fn partitioner(name: &str) -> Result<Box<dyn quake_partition::geometric::Partitioner>, CliError> {
+    use quake_partition::geometric::{LinearPartition, RandomPartition, RecursiveBisection};
     use quake_partition::sfc::MortonPartition;
     use quake_partition::spectral::SpectralBisection;
     Ok(match name {
@@ -134,7 +131,10 @@ fn cmd_requirements(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> 
     let app = inv.get_str("app", "sf2");
     let instances = paperdata::figure7_app(&app);
     if instances.is_empty() {
-        return Err(Box::new(CliError::BadValue { flag: "app".to_string(), value: app }));
+        return Err(Box::new(CliError::BadValue {
+            flag: "app".to_string(),
+            value: app,
+        }));
     }
     let pe = Processor::from_mflops("target", mflops);
     let mut t = Table::new(vec![
@@ -156,10 +156,66 @@ fn cmd_requirements(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> 
             fmt_seconds(fixed.t_l),
         ]);
     }
-    println!(
-        "requirements for {mflops:.0}-MFLOP PEs at E = {efficiency} (paper Figure 7 data):\n"
-    );
+    println!("requirements for {mflops:.0}-MFLOP PEs at E = {efficiency} (paper Figure 7 data):\n");
     println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
+    use quake_app::executor::BspExecutor;
+    use quake_core::model::validate::validate;
+    use quake_fem::assembly::UniformMaterial;
+    use quake_mesh::ground::Material;
+
+    let app = generate(inv)?;
+    let parts: usize = inv.get("parts", 4usize)?;
+    let threads: usize = inv.get("threads", 4usize)?;
+    let steps: u64 = inv.get("steps", 25u64)?;
+    for (flag, zero) in [("threads", threads == 0), ("steps", steps == 0)] {
+        if zero {
+            return Err(Box::new(CliError::BadValue {
+                flag: flag.to_string(),
+                value: "0".to_string(),
+            }));
+        }
+    }
+    let strat = partitioner(&inv.get_str("partitioner", "rib"))?;
+    let partition = strat.partition(&app.mesh, parts)?;
+
+    // Characterization-side prediction and executable system share one
+    // partition, so the counter comparison is exact by construction.
+    let analyzed = AnalyzedInstance::from_partition(&app.config.name, &app.mesh, &partition);
+    let mat = Material {
+        vs: app.ground.vs_rock,
+        vp: 2.0 * app.ground.vs_rock,
+        rho: 2600.0,
+    };
+    let system = quake_app::DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat))?;
+
+    let x: Vec<Vec3> = (0..app.mesh.node_count())
+        .map(|i| {
+            let s = i as f64;
+            Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
+        })
+        .collect();
+    let mut exec = BspExecutor::new(&system, threads);
+    exec.run(&x, steps);
+    let report = exec.report();
+
+    println!(
+        "{} on {} PEs — {} bulk-synchronous SMVPs over {} pooled worker threads",
+        app.config.name, parts, report.steps, report.threads
+    );
+    println!(
+        "phase walls (s): assemble {:.3e}, compute {:.3e}, exchange {:.3e}, fold {:.3e}",
+        report.phases.assemble, report.phases.compute, report.phases.exchange, report.phases.fold
+    );
+    println!("measured efficiency E = {:.4}\n", report.efficiency());
+    let validation = validate(&analyzed.instance, &report.measured());
+    println!("{validation}");
+    if !validation.counters_match() {
+        return Err("measured counters diverge from characterization".into());
+    }
     Ok(())
 }
 
@@ -199,6 +255,9 @@ fn cmd_simulate(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         "per step: one SMVP of {smvp_flops} flops; receiver peak displacement {:.3e} m",
         sim.seismograms()[0].peak()
     );
-    println!("displacement energy: {:.3e} (finite => stable)", sim.displacement_energy());
+    println!(
+        "displacement energy: {:.3e} (finite => stable)",
+        sim.displacement_energy()
+    );
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_executor-3960d85ec9aa8eea.d: crates/bench/benches/bench_executor.rs
+
+/root/repo/target/debug/deps/bench_executor-3960d85ec9aa8eea: crates/bench/benches/bench_executor.rs
+
+crates/bench/benches/bench_executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_models-4fa97f18f209c75f.d: crates/bench/benches/bench_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_models-4fa97f18f209c75f.rmeta: crates/bench/benches/bench_models.rs Cargo.toml
+
+crates/bench/benches/bench_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

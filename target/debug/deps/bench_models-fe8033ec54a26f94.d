@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_models-fe8033ec54a26f94.d: crates/bench/benches/bench_models.rs
+
+/root/repo/target/debug/deps/bench_models-fe8033ec54a26f94: crates/bench/benches/bench_models.rs
+
+crates/bench/benches/bench_models.rs:

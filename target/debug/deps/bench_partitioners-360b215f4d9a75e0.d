@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_partitioners-360b215f4d9a75e0.d: crates/bench/benches/bench_partitioners.rs
+
+/root/repo/target/debug/deps/bench_partitioners-360b215f4d9a75e0: crates/bench/benches/bench_partitioners.rs
+
+crates/bench/benches/bench_partitioners.rs:

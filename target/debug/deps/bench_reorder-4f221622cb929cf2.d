@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_reorder-4f221622cb929cf2.d: crates/bench/benches/bench_reorder.rs
+
+/root/repo/target/debug/deps/bench_reorder-4f221622cb929cf2: crates/bench/benches/bench_reorder.rs
+
+crates/bench/benches/bench_reorder.rs:

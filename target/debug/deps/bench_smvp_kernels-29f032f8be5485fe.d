@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smvp_kernels-29f032f8be5485fe.d: crates/bench/benches/bench_smvp_kernels.rs
+
+/root/repo/target/debug/deps/bench_smvp_kernels-29f032f8be5485fe: crates/bench/benches/bench_smvp_kernels.rs
+
+crates/bench/benches/bench_smvp_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smvp_kernels-f07a00bb30dc4805.d: crates/bench/benches/bench_smvp_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smvp_kernels-f07a00bb30dc4805.rmeta: crates/bench/benches/bench_smvp_kernels.rs Cargo.toml
+
+crates/bench/benches/bench_smvp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

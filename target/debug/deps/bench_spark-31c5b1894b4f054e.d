@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_spark-31c5b1894b4f054e.d: crates/bench/benches/bench_spark.rs
+
+/root/repo/target/debug/deps/bench_spark-31c5b1894b4f054e: crates/bench/benches/bench_spark.rs
+
+crates/bench/benches/bench_spark.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_spark-c69f3eeb603c266c.d: crates/bench/benches/bench_spark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_spark-c69f3eeb603c266c.rmeta: crates/bench/benches/bench_spark.rs Cargo.toml
+
+crates/bench/benches/bench_spark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mesh_sizes-1cbcd6867013d420.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/debug/deps/fig02_mesh_sizes-1cbcd6867013d420: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

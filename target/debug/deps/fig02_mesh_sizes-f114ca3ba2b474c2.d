@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mesh_sizes-f114ca3ba2b474c2.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/debug/deps/fig02_mesh_sizes-f114ca3ba2b474c2: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

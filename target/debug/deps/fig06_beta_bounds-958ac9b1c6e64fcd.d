@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_beta_bounds-958ac9b1c6e64fcd.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/debug/deps/fig06_beta_bounds-958ac9b1c6e64fcd: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_beta_bounds-be45b5ac98d1fd49.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/debug/deps/fig06_beta_bounds-be45b5ac98d1fd49: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_smvp_properties-44a35935821da3cc.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/debug/deps/fig07_smvp_properties-44a35935821da3cc: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

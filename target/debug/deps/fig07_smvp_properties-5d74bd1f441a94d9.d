@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_smvp_properties-5d74bd1f441a94d9.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/debug/deps/fig07_smvp_properties-5d74bd1f441a94d9: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-3602d266c8800d7d.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-3602d266c8800d7d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:

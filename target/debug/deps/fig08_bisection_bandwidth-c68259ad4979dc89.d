@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-c68259ad4979dc89.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-c68259ad4979dc89: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:

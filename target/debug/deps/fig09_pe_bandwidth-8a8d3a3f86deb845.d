@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pe_bandwidth-8a8d3a3f86deb845.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/debug/deps/fig09_pe_bandwidth-8a8d3a3f86deb845: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pe_bandwidth-b32d4b5b1c513388.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/debug/deps/fig09_pe_bandwidth-b32d4b5b1c513388: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff_curves-50c9e82f5f0dc769.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff_curves-50c9e82f5f0dc769: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

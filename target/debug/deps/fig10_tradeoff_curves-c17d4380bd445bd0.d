@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff_curves-c17d4380bd445bd0.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff_curves-c17d4380bd445bd0: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

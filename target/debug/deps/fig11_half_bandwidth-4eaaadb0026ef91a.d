@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_half_bandwidth-4eaaadb0026ef91a.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_half_bandwidth-4eaaadb0026ef91a: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_half_bandwidth-5d8e4dda4997a2fe.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_half_bandwidth-5d8e4dda4997a2fe: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

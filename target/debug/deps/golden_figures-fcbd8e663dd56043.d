@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_figures-fcbd8e663dd56043.d: crates/bench/tests/golden_figures.rs
+
+/root/repo/target/debug/deps/golden_figures-fcbd8e663dd56043: crates/bench/tests/golden_figures.rs
+
+crates/bench/tests/golden_figures.rs:

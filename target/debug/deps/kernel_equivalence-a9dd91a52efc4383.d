@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_equivalence-a9dd91a52efc4383.d: crates/spark/tests/kernel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_equivalence-a9dd91a52efc4383.rmeta: crates/spark/tests/kernel_equivalence.rs Cargo.toml
+
+crates/spark/tests/kernel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-fcec3540deb450c3.d: crates/spark/tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-fcec3540deb450c3: crates/spark/tests/kernel_equivalence.rs
+
+crates/spark/tests/kernel_equivalence.rs:

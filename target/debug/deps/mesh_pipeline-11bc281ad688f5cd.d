@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh_pipeline-11bc281ad688f5cd.d: tests/mesh_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh_pipeline-11bc281ad688f5cd.rmeta: tests/mesh_pipeline.rs Cargo.toml
+
+tests/mesh_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

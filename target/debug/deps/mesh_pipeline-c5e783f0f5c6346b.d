@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_pipeline-c5e783f0f5c6346b.d: tests/mesh_pipeline.rs
+
+/root/repo/target/debug/deps/mesh_pipeline-c5e783f0f5c6346b: tests/mesh_pipeline.rs
+
+tests/mesh_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_consistency-4730a99490132f59.d: tests/model_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_consistency-4730a99490132f59.rmeta: tests/model_consistency.rs Cargo.toml
+
+tests/model_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

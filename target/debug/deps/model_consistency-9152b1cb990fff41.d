@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_consistency-9152b1cb990fff41.d: tests/model_consistency.rs
+
+/root/repo/target/debug/deps/model_consistency-9152b1cb990fff41: tests/model_consistency.rs
+
+tests/model_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5c8b1492d0670b36.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5c8b1492d0670b36: tests/properties.rs
+
+tests/properties.rs:

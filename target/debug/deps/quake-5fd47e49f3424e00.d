@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quake-5fd47e49f3424e00.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake-5fd47e49f3424e00.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quake-6b07ff9187b709cb.d: src/main.rs
+
+/root/repo/target/debug/deps/quake-6b07ff9187b709cb: src/main.rs
+
+src/main.rs:

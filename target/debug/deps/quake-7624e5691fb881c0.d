@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quake-7624e5691fb881c0.d: src/main.rs
+
+/root/repo/target/debug/deps/quake-7624e5691fb881c0: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quake_bench-3cb3b13ce7f3e1f7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_bench-3cb3b13ce7f3e1f7.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

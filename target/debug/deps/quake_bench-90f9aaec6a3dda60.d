@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/quake_bench-90f9aaec6a3dda60.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/quake_bench-90f9aaec6a3dda60: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quake_bench-963ddd2deee3c3ed.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libquake_bench-963ddd2deee3c3ed.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libquake_bench-963ddd2deee3c3ed.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

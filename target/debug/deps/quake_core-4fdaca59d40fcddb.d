@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/quake_core-4fdaca59d40fcddb.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs
+
+/root/repo/target/debug/deps/libquake_core-4fdaca59d40fcddb.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs
+
+/root/repo/target/debug/deps/libquake_core-4fdaca59d40fcddb.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/machine.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/beta.rs:
+crates/core/src/model/bisection.rs:
+crates/core/src/model/eq1.rs:
+crates/core/src/model/eq2.rs:
+crates/core/src/model/logp.rs:
+crates/core/src/model/overlap.rs:
+crates/core/src/model/scaling_law.rs:
+crates/core/src/model/validate.rs:
+crates/core/src/paperdata.rs:
+crates/core/src/requirements.rs:

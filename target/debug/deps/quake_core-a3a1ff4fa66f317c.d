@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/quake_core-a3a1ff4fa66f317c.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_core-a3a1ff4fa66f317c.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/machine.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/beta.rs:
+crates/core/src/model/bisection.rs:
+crates/core/src/model/eq1.rs:
+crates/core/src/model/eq2.rs:
+crates/core/src/model/logp.rs:
+crates/core/src/model/overlap.rs:
+crates/core/src/model/scaling_law.rs:
+crates/core/src/model/validate.rs:
+crates/core/src/paperdata.rs:
+crates/core/src/requirements.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quake_memsim-420451e269f0765e.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+/root/repo/target/debug/deps/quake_memsim-420451e269f0765e: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/stride.rs:
+crates/memsim/src/trace.rs:

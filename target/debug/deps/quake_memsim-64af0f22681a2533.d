@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quake_memsim-64af0f22681a2533.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+/root/repo/target/debug/deps/libquake_memsim-64af0f22681a2533.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+/root/repo/target/debug/deps/libquake_memsim-64af0f22681a2533.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/stride.rs:
+crates/memsim/src/trace.rs:

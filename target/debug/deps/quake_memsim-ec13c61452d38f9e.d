@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quake_memsim-ec13c61452d38f9e.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_memsim-ec13c61452d38f9e.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/stride.rs:
+crates/memsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quake_mesh-5d6e8c027974ea94.d: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+/root/repo/target/debug/deps/libquake_mesh-5d6e8c027974ea94.rlib: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+/root/repo/target/debug/deps/libquake_mesh-5d6e8c027974ea94.rmeta: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/boundary.rs:
+crates/mesh/src/delaunay.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/geometry.rs:
+crates/mesh/src/ground.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/sampling.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/quake_mesh-9dea30826ee05186.d: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_mesh-9dea30826ee05186.rmeta: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/boundary.rs:
+crates/mesh/src/delaunay.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/geometry.rs:
+crates/mesh/src/ground.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quake_mesh-d9aba0bfa5311b3d.d: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+/root/repo/target/debug/deps/quake_mesh-d9aba0bfa5311b3d: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/boundary.rs:
+crates/mesh/src/delaunay.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/geometry.rs:
+crates/mesh/src/ground.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/sampling.rs:

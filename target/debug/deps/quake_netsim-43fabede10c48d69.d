@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quake_netsim-43fabede10c48d69.d: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/quake_netsim-43fabede10c48d69: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/simulate.rs:
+crates/netsim/src/sweep.rs:
+crates/netsim/src/validate.rs:
+crates/netsim/src/workload.rs:

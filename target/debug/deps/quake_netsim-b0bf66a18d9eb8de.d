@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quake_netsim-b0bf66a18d9eb8de.d: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/libquake_netsim-b0bf66a18d9eb8de.rlib: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+/root/repo/target/debug/deps/libquake_netsim-b0bf66a18d9eb8de.rmeta: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/simulate.rs:
+crates/netsim/src/sweep.rs:
+crates/netsim/src/validate.rs:
+crates/netsim/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quake_netsim-ec8261b79442308a.d: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_netsim-ec8261b79442308a.rmeta: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/simulate.rs:
+crates/netsim/src/sweep.rs:
+crates/netsim/src/validate.rs:
+crates/netsim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

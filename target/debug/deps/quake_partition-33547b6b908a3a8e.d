@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quake_partition-33547b6b908a3a8e.d: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+/root/repo/target/debug/deps/libquake_partition-33547b6b908a3a8e.rlib: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+/root/repo/target/debug/deps/libquake_partition-33547b6b908a3a8e.rmeta: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/geometric.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/sfc.rs:
+crates/partition/src/spectral.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quake_partition-59547847c84977c2.d: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_partition-59547847c84977c2.rmeta: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/geometric.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/sfc.rs:
+crates/partition/src/spectral.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

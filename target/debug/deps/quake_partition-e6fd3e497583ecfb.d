@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quake_partition-e6fd3e497583ecfb.d: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+/root/repo/target/debug/deps/quake_partition-e6fd3e497583ecfb: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/geometric.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/sfc.rs:
+crates/partition/src/spectral.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quake_repro-3a9c17005545bed0.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libquake_repro-3a9c17005545bed0.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libquake_repro-3a9c17005545bed0.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

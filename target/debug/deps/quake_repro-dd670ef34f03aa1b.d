@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/quake_repro-dd670ef34f03aa1b.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/quake_repro-dd670ef34f03aa1b: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quake_repro-f6fad4778e69f22b.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_repro-f6fad4778e69f22b.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quake_sparse-4f189c7c1db49d55.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+/root/repo/target/debug/deps/quake_sparse-4f189c7c1db49d55: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/pattern.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/sym.rs:

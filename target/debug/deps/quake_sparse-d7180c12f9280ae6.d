@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/quake_sparse-d7180c12f9280ae6.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+/root/repo/target/debug/deps/libquake_sparse-d7180c12f9280ae6.rlib: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+/root/repo/target/debug/deps/libquake_sparse-d7180c12f9280ae6.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/pattern.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/sym.rs:

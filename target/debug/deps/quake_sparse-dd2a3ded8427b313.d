@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/quake_sparse-dd2a3ded8427b313.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_sparse-dd2a3ded8427b313.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/pattern.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/sym.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

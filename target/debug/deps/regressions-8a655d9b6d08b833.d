@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regressions-8a655d9b6d08b833.d: tests/regressions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressions-8a655d9b6d08b833.rmeta: tests/regressions.rs Cargo.toml
+
+tests/regressions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

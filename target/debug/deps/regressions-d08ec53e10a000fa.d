@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressions-d08ec53e10a000fa.d: tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-d08ec53e10a000fa: tests/regressions.rs
+
+tests/regressions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_efficiency_surface-1c385975a0143b1e.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/debug/deps/tab_efficiency_surface-1c385975a0143b1e: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_efficiency_surface-40279ef1938988aa.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/debug/deps/tab_efficiency_surface-40279ef1938988aa: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

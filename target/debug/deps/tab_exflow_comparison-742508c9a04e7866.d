@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_exflow_comparison-742508c9a04e7866.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/debug/deps/tab_exflow_comparison-742508c9a04e7866: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_exflow_comparison-c3aabe9f8ca82aac.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/debug/deps/tab_exflow_comparison-c3aabe9f8ca82aac: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

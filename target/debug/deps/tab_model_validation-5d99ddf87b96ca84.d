@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_model_validation-5d99ddf87b96ca84.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/debug/deps/tab_model_validation-5d99ddf87b96ca84: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

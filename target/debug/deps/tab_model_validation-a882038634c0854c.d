@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_model_validation-a882038634c0854c.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/debug/deps/tab_model_validation-a882038634c0854c: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

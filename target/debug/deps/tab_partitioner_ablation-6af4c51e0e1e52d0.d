@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_partitioner_ablation-6af4c51e0e1e52d0.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/debug/deps/tab_partitioner_ablation-6af4c51e0e1e52d0: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_partitioner_ablation-7259ad69c5e53b4f.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/debug/deps/tab_partitioner_ablation-7259ad69c5e53b4f: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_runtime_projection-5d84f673c7dc6bdd.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/debug/deps/tab_runtime_projection-5d84f673c7dc6bdd: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_runtime_projection-9e4e4a624255b861.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/debug/deps/tab_runtime_projection-9e4e4a624255b861: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_scaling_law-2f84d2e4eb7418cc.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/debug/deps/tab_scaling_law-2f84d2e4eb7418cc: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_scaling_law-dd3ddf1fada0f7f7.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/debug/deps/tab_scaling_law-dd3ddf1fada0f7f7: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

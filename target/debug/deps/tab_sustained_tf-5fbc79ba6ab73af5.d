@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sustained_tf-5fbc79ba6ab73af5.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/debug/deps/tab_sustained_tf-5fbc79ba6ab73af5: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:

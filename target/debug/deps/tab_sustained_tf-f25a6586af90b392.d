@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sustained_tf-f25a6586af90b392.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/debug/deps/tab_sustained_tf-f25a6586af90b392: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:

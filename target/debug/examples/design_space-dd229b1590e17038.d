@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-dd229b1590e17038.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-dd229b1590e17038: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_smvp-0962e537ef956847.d: examples/distributed_smvp.rs
+
+/root/repo/target/debug/examples/distributed_smvp-0962e537ef956847: examples/distributed_smvp.rs
+
+examples/distributed_smvp.rs:

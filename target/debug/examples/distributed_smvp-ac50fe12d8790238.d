@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_smvp-ac50fe12d8790238.d: examples/distributed_smvp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_smvp-ac50fe12d8790238.rmeta: examples/distributed_smvp.rs Cargo.toml
+
+examples/distributed_smvp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/earthquake-e61ecbe129371e21.d: examples/earthquake.rs Cargo.toml
+
+/root/repo/target/debug/examples/libearthquake-e61ecbe129371e21.rmeta: examples/earthquake.rs Cargo.toml
+
+examples/earthquake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

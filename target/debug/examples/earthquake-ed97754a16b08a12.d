@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/earthquake-ed97754a16b08a12.d: examples/earthquake.rs
+
+/root/repo/target/debug/examples/earthquake-ed97754a16b08a12: examples/earthquake.rs
+
+examples/earthquake.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bff5e71a30702dc7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bff5e71a30702dc7: examples/quickstart.rs
+
+examples/quickstart.rs:

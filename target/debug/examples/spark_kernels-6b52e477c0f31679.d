@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spark_kernels-6b52e477c0f31679.d: examples/spark_kernels.rs
+
+/root/repo/target/debug/examples/spark_kernels-6b52e477c0f31679: examples/spark_kernels.rs
+
+examples/spark_kernels.rs:

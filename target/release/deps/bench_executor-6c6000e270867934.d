@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_executor-6c6000e270867934.d: crates/bench/benches/bench_executor.rs
+
+/root/repo/target/release/deps/bench_executor-6c6000e270867934: crates/bench/benches/bench_executor.rs
+
+crates/bench/benches/bench_executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_mesh_sizes-a5a60121fb546c05.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/release/deps/fig02_mesh_sizes-a5a60121fb546c05: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

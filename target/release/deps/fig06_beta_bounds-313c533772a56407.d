@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_beta_bounds-313c533772a56407.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/release/deps/fig06_beta_bounds-313c533772a56407: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_smvp_properties-a0f1a38b67df1adc.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/release/deps/fig07_smvp_properties-a0f1a38b67df1adc: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_pe_bandwidth-76cdf09b1c134b8d.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/release/deps/fig09_pe_bandwidth-76cdf09b1c134b8d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tradeoff_curves-a6a52013b6df1539.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/release/deps/fig10_tradeoff_curves-a6a52013b6df1539: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_half_bandwidth-c756a91972a7b341.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_half_bandwidth-c756a91972a7b341: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

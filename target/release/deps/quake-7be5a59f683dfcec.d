@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quake-7be5a59f683dfcec.d: src/main.rs
+
+/root/repo/target/release/deps/quake-7be5a59f683dfcec: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quake_bench-aae4a8562c2d44ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libquake_bench-aae4a8562c2d44ca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libquake_bench-aae4a8562c2d44ca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/quake_core-1b33d9a1c718cc00.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs
+
+/root/repo/target/release/deps/libquake_core-1b33d9a1c718cc00.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs
+
+/root/repo/target/release/deps/libquake_core-1b33d9a1c718cc00.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/machine.rs crates/core/src/model/mod.rs crates/core/src/model/beta.rs crates/core/src/model/bisection.rs crates/core/src/model/eq1.rs crates/core/src/model/eq2.rs crates/core/src/model/logp.rs crates/core/src/model/overlap.rs crates/core/src/model/scaling_law.rs crates/core/src/model/validate.rs crates/core/src/paperdata.rs crates/core/src/requirements.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/machine.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/beta.rs:
+crates/core/src/model/bisection.rs:
+crates/core/src/model/eq1.rs:
+crates/core/src/model/eq2.rs:
+crates/core/src/model/logp.rs:
+crates/core/src/model/overlap.rs:
+crates/core/src/model/scaling_law.rs:
+crates/core/src/model/validate.rs:
+crates/core/src/paperdata.rs:
+crates/core/src/requirements.rs:

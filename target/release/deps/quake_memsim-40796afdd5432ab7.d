@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quake_memsim-40796afdd5432ab7.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+/root/repo/target/release/deps/libquake_memsim-40796afdd5432ab7.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+/root/repo/target/release/deps/libquake_memsim-40796afdd5432ab7.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/hierarchy.rs crates/memsim/src/stride.rs crates/memsim/src/trace.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/stride.rs:
+crates/memsim/src/trace.rs:

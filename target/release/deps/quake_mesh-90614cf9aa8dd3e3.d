@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/quake_mesh-90614cf9aa8dd3e3.d: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+/root/repo/target/release/deps/libquake_mesh-90614cf9aa8dd3e3.rlib: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+/root/repo/target/release/deps/libquake_mesh-90614cf9aa8dd3e3.rmeta: crates/mesh/src/lib.rs crates/mesh/src/boundary.rs crates/mesh/src/delaunay.rs crates/mesh/src/generator.rs crates/mesh/src/geometry.rs crates/mesh/src/ground.rs crates/mesh/src/io.rs crates/mesh/src/mesh.rs crates/mesh/src/refine.rs crates/mesh/src/sampling.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/boundary.rs:
+crates/mesh/src/delaunay.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/geometry.rs:
+crates/mesh/src/ground.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/refine.rs:
+crates/mesh/src/sampling.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quake_netsim-eb4538e310a19c2e.d: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+/root/repo/target/release/deps/libquake_netsim-eb4538e310a19c2e.rlib: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+/root/repo/target/release/deps/libquake_netsim-eb4538e310a19c2e.rmeta: crates/netsim/src/lib.rs crates/netsim/src/simulate.rs crates/netsim/src/sweep.rs crates/netsim/src/validate.rs crates/netsim/src/workload.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/simulate.rs:
+crates/netsim/src/sweep.rs:
+crates/netsim/src/validate.rs:
+crates/netsim/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/quake_partition-49a99bd9eb4958c1.d: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+/root/repo/target/release/deps/libquake_partition-49a99bd9eb4958c1.rlib: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+/root/repo/target/release/deps/libquake_partition-49a99bd9eb4958c1.rmeta: crates/partition/src/lib.rs crates/partition/src/comm.rs crates/partition/src/geometric.rs crates/partition/src/metrics.rs crates/partition/src/partition.rs crates/partition/src/refine.rs crates/partition/src/sfc.rs crates/partition/src/spectral.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/geometric.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/sfc.rs:
+crates/partition/src/spectral.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/quake_repro-88303739042597bb.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libquake_repro-88303739042597bb.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libquake_repro-88303739042597bb.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/quake_sparse-8fad26ab9495a89d.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+/root/repo/target/release/deps/libquake_sparse-8fad26ab9495a89d.rlib: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+/root/repo/target/release/deps/libquake_sparse-8fad26ab9495a89d.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/pattern.rs crates/sparse/src/reorder.rs crates/sparse/src/sym.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/pattern.rs:
+crates/sparse/src/reorder.rs:
+crates/sparse/src/sym.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_efficiency_surface-386cebabdbf832ee.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/release/deps/tab_efficiency_surface-386cebabdbf832ee: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_exflow_comparison-006a83283b210f0f.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/release/deps/tab_exflow_comparison-006a83283b210f0f: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

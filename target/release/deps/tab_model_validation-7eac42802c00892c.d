@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_model_validation-7eac42802c00892c.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/release/deps/tab_model_validation-7eac42802c00892c: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_partitioner_ablation-8a6256096e606fbc.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/release/deps/tab_partitioner_ablation-8a6256096e606fbc: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

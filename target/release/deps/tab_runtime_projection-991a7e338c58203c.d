@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_runtime_projection-991a7e338c58203c.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/release/deps/tab_runtime_projection-991a7e338c58203c: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_scaling_law-a1319c6132f6a445.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/release/deps/tab_scaling_law-a1319c6132f6a445: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

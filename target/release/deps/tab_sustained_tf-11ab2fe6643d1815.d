@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_sustained_tf-11ab2fe6643d1815.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/release/deps/tab_sustained_tf-11ab2fe6643d1815: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:

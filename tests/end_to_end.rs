@@ -43,8 +43,7 @@ fn pipeline_distributed_smvp_equals_sequential_with_ground_materials() {
     let partition = RecursiveBisection::coordinate()
         .partition(&app.mesh, 6)
         .expect("partition");
-    let distributed =
-        DistributedSystem::build(&app.mesh, &partition, &field).expect("assembly");
+    let distributed = DistributedSystem::build(&app.mesh, &partition, &field).expect("assembly");
     let global = assemble(&app.mesh, &field).expect("assembly");
     let x: Vec<Vec3> = (0..app.mesh.node_count())
         .map(|i| Vec3::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos(), 1.0))
@@ -94,9 +93,8 @@ fn pipeline_partitioner_quality_propagates_to_requirements() {
     let good =
         AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::inertial(), 8)
             .expect("partition");
-    let bad =
-        AnalyzedInstance::characterize("sf10", &app.mesh, &RandomPartition { seed: 5 }, 8)
-            .expect("partition");
+    let bad = AnalyzedInstance::characterize("sf10", &app.mesh, &RandomPartition { seed: 5 }, 8)
+        .expect("partition");
     // Smaller t_c budget = stricter network requirement.
     assert!(
         tc_of(&bad) < tc_of(&good),
@@ -109,7 +107,11 @@ fn pipeline_wave_simulation_runs_on_generated_mesh() {
     let app = test_app();
     let system = assemble(
         &app.mesh,
-        &UniformMaterial(Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 }),
+        &UniformMaterial(Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        }),
     )
     .expect("assembly");
     let dt = Simulation::stable_dt(&app.mesh, 2000.0, 0.3);
@@ -141,11 +143,18 @@ fn fixed_block_regime_consistent_between_model_and_simulator() {
     let analyzed =
         AnalyzedInstance::characterize("sf10", &app.mesh, &RecursiveBisection::inertial(), 8)
             .expect("partition");
-    let net = Network { name: "latency-bound", t_l: 10e-6, t_w: 1e-9 };
+    let net = Network {
+        name: "latency-bound",
+        t_l: 10e-6,
+        t_w: 1e-9,
+    };
     let sim = simulate_comm_phase(
         &analyzed.workload(),
         &net,
-        SimOptions { block_words: Some(4), ..SimOptions::default() },
+        SimOptions {
+            block_words: Some(4),
+            ..SimOptions::default()
+        },
     );
     let model = comm_time(&analyzed.instance, &net, BlockRegime::CACHE_LINE);
     let ratio = sim / model;
@@ -155,7 +164,10 @@ fn fixed_block_regime_consistent_between_model_and_simulator() {
     );
     // And the fragmented phase must dwarf the maximal-block one.
     let maximal = simulate_comm_phase(&analyzed.workload(), &net, SimOptions::default());
-    assert!(sim > 10.0 * maximal, "fragmentation must dominate: {sim} vs {maximal}");
+    assert!(
+        sim > 10.0 * maximal,
+        "fragmentation must dominate: {sim} vs {maximal}"
+    );
 }
 
 #[test]

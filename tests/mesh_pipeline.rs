@@ -5,9 +5,9 @@
 use quake_app::family::{AppConfig, QuakeApp};
 use quake_fem::assembly::{assemble, UniformMaterial};
 use quake_mesh::boundary::Boundary;
+use quake_mesh::ground::Material;
 use quake_mesh::io;
 use quake_mesh::refine::{refine_quality, QualityOptions};
-use quake_mesh::ground::Material;
 use std::io::BufReader;
 
 #[test]
@@ -39,14 +39,21 @@ fn generated_mesh_survives_binary_round_trip_through_file() {
 fn refined_mesh_still_assembles_and_has_closed_boundary() {
     let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
     let domain = app.mesh.bounding_box().expect("non-empty");
-    let options = QualityOptions { max_rounds: 2, ..QualityOptions::default() };
+    let options = QualityOptions {
+        max_rounds: 2,
+        ..QualityOptions::default()
+    };
     let (refined, stats) = refine_quality(&app.mesh, domain, options).expect("refine");
     assert!(refined.node_count() >= app.mesh.node_count());
     // The refined mesh is still a valid solid: watertight boundary and a
     // positive-definite-enough system for assembly.
     let boundary = Boundary::extract(&refined);
     assert!(boundary.is_closed(), "refined mesh must stay watertight");
-    let mat = Material { vs: 1000.0, vp: 2000.0, rho: 2000.0 };
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
     let sys = assemble(&refined, &UniformMaterial(mat)).expect("assembly");
     assert_eq!(sys.stiffness.block_rows(), refined.node_count());
     assert!(sys.mass.iter().all(|&m| m > 0.0));

@@ -74,8 +74,12 @@ fn figure7_ratio_scaling_is_cube_root() {
     // §4.1: problem size ×10 → F/C_max ≈ ×2 (n^(1/3) scaling). Check
     // sf10 → sf2 (n × ~52) and sf5 → sf1 (n × ~82) at fixed p.
     for p in paperdata::SUBDOMAIN_COUNTS {
-        let r10 = paperdata::figure7_instance("sf10", p).expect("row").comp_comm_ratio();
-        let r2 = paperdata::figure7_instance("sf2", p).expect("row").comp_comm_ratio();
+        let r10 = paperdata::figure7_instance("sf10", p)
+            .expect("row")
+            .comp_comm_ratio();
+        let r2 = paperdata::figure7_instance("sf2", p)
+            .expect("row")
+            .comp_comm_ratio();
         let factor = r2 / r10;
         // n grows 52x; cube root is 3.7. Accept a generous band.
         assert!(
@@ -109,13 +113,7 @@ fn tradeoff_curves_pass_through_half_bandwidth_points() {
         for &e in &EFFICIENCIES {
             let tc = required_tc(&inst, e, pe.t_f);
             let hb = half_bandwidth_point(&inst, tc, regime);
-            let curve = tradeoff_curve(
-                &inst,
-                e,
-                &pe,
-                regime,
-                &[hb.burst_bandwidth_bytes()],
-            );
+            let curve = tradeoff_curve(&inst, e, &pe, regime, &[hb.burst_bandwidth_bytes()]);
             assert_eq!(curve.points.len(), 1);
             let (_, t_l) = curve.points[0];
             assert!(
@@ -133,7 +131,10 @@ fn figure9_and_figure11_consistent() {
     // bandwidth... no: T_c = 2·T_w at the half point, so burst = 2×
     // sustained. Verify across the full sweep.
     let sf2 = paperdata::figure7_app("sf2");
-    let pes = [Processor::hypothetical_100mflops(), Processor::hypothetical_200mflops()];
+    let pes = [
+        Processor::hypothetical_100mflops(),
+        Processor::hypothetical_200mflops(),
+    ];
     let fig9 = sustained_bandwidth_series(&sf2, &pes, &EFFICIENCIES);
     let fig11 = half_bandwidth_series(&sf2, &pes, &EFFICIENCIES, &[BlockRegime::Maximal]);
     assert_eq!(fig9.len(), fig11.len());

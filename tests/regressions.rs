@@ -1,0 +1,41 @@
+//! Pinned regression cases.
+//!
+//! The vendored proptest stand-in does not read
+//! `tests/properties.proptest-regressions`, so cases recorded there (and any
+//! future failing inputs printed by a property) are replayed here as plain
+//! deterministic tests. Convention: one test per pinned case, named after
+//! the property, with the inputs spelled out literally.
+
+use quake_netsim::simulate::{simulate_comm_phase, SimOptions};
+use quake_netsim::workload::Workload;
+
+/// Replays `netsim_respects_lower_bound` with the shrunk case recorded in
+/// `tests/properties.proptest-regressions`:
+/// `p = 4, words = 1, degree = 1, seed = 27`.
+#[test]
+fn netsim_lower_bound_p4_words1_degree1_seed27() {
+    let (p, words, degree, seed) = (4usize, 1u64, 1usize, 27u64);
+    let w = Workload::random_sparse(p, 1_000, words, degree.min(p - 1), seed);
+    let t_l = 1e-6;
+    let t_w = 10e-9;
+    let sim = simulate_comm_phase(
+        &w,
+        &quake_core::machine::Network {
+            name: "prop",
+            t_l,
+            t_w,
+        },
+        SimOptions::default(),
+    );
+    let per_pe = |(c, b): &(u64, u64)| *b as f64 * t_l + *c as f64 * t_w;
+    let lower = w.pe_loads().iter().map(per_pe).fold(0.0, f64::max);
+    let total: f64 = w.pe_loads().iter().map(per_pe).sum();
+    assert!(
+        sim >= lower * (1.0 - 1e-12),
+        "simulated {sim} beats the busiest-PE lower bound {lower}"
+    );
+    assert!(
+        sim <= total + 1e-12,
+        "simulated {sim} exceeds the serialized upper bound {total}"
+    );
+}

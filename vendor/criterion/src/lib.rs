@@ -1,0 +1,231 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! It keeps the upstream call shape (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `criterion_group!`/`criterion_main!`)
+//! but replaces the statistical engine with a fixed warmup + median-of-N
+//! timing loop printed as one line per benchmark. That keeps `cargo bench`
+//! useful for relative comparisons (pooled vs. spawn-per-call, natural vs.
+//! RCM order) without upstream's plotting/analysis dependency tree, and
+//! keeps bench binaries fast enough to smoke-test in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measured samples per benchmark (medians are reported).
+const DEFAULT_SAMPLES: usize = 7;
+
+/// Target wall-clock spent measuring one benchmark.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(350);
+
+/// Entry point handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), DEFAULT_SAMPLES, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (kept ≤ 16 here; the stub needs no more).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(3, 16);
+        self
+    }
+
+    /// Declares work per iteration so results print as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Times `f` with an explicit input under a parameterized id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.samples, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark id.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. flops) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate: one untimed iteration, then pick an iteration count that
+    // fits the target measure time across all samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = TARGET_MEASURE_TIME / samples as u32;
+    let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>10.1} Melem/s", n as f64 / median / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / median / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("  {id:<40} {:>12}{rate}", format_time(median));
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("stub");
+            group.sample_size(3);
+            group.throughput(Throughput::Elements(10));
+            group.bench_function("noop", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &p| {
+                b.iter(|| std::hint::black_box(p * 2))
+            });
+            group.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting_spans_units() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-5).ends_with("µs"));
+        assert!(format_time(5e-2).ends_with("ms"));
+        assert!(format_time(2.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`. The workspace only *derives*
+//! `Serialize`/`Deserialize` as forward-looking annotations — nothing
+//! serializes through serde yet (the mesh codec in `quake-mesh` is
+//! hand-rolled) — so the traits are empty markers and the derives (in
+//! `serde_derive`) expand to nothing. When a real serialization consumer
+//! lands, this crate is the seam to swap for upstream serde.
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,119 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The derives accept (and ignore) `#[serde(...)]` attributes so existing
+//! annotations keep compiling, and emit empty marker-trait impls without
+//! pulling in `syn`/`quote` — the only parsing needed is extracting the
+//! type's identifier and generics, done with a small hand-rolled scanner.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Some(item) => item.impl_block("::serde::Serialize", ""),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Some(item) => item.impl_block("::serde::Deserialize<'de>", "'de"),
+        None => TokenStream::new(),
+    }
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names (e.g. `T`), without bounds.
+    generics: Vec<String>,
+}
+
+impl Item {
+    fn impl_block(&self, trait_path: &str, extra_lifetime: &str) -> TokenStream {
+        let mut params: Vec<String> = Vec::new();
+        if !extra_lifetime.is_empty() {
+            params.push(extra_lifetime.to_string());
+        }
+        params.extend(self.generics.iter().cloned());
+        let impl_generics = if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(", "))
+        };
+        let ty_generics = if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        };
+        format!(
+            "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+            name = self.name
+        )
+        .parse()
+        .expect("generated impl parses")
+    }
+}
+
+/// Extracts the type name and generic parameter names from a
+/// struct/enum/union definition token stream.
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, visibility, and leading keywords until the
+    // struct/enum/union keyword, whose next ident is the type name.
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name?;
+
+    // Collect generic parameter names from `<...>` if present, keeping only
+    // top-level parameter identifiers/lifetimes (bounds are dropped — the
+    // marker traits need none).
+    let mut generics = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        let mut pending_lifetime = false;
+        for tok in tokens {
+            match &tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => expect_param = true,
+                    '\'' if depth == 1 && expect_param => pending_lifetime = true,
+                    ':' if depth == 1 => expect_param = false,
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let prefix = if pending_lifetime { "'" } else { "" };
+                    // `const N: usize` params: skip the `const` keyword.
+                    if id.to_string() == "const" {
+                        continue;
+                    }
+                    generics.push(format!("{prefix}{id}"));
+                    pending_lifetime = false;
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    Some(Item { name, generics })
+}
