@@ -186,17 +186,21 @@ impl DistributedSystem {
     /// Panics if `x.len()` does not match the mesh node count.
     pub fn smvp(&self, x: &[Vec3]) -> Vec<Vec3> {
         assert_eq!(x.len(), self.node_count, "x length must match mesh nodes");
-        // Computation phase: local products on replicated x.
+        // Computation phase: local products on replicated x, in place over
+        // one reusable gather buffer (no per-subdomain spmv_alloc).
         let mut partials: Vec<Vec<Vec3>> = self
             .subdomains
             .iter()
-            .map(|sd| {
-                let x_local: Vec<Vec3> = sd.global_nodes.iter().map(|&g| x[g]).collect();
-                sd.stiffness
-                    .spmv_alloc(&x_local)
-                    .expect("local dimensions consistent by construction")
-            })
+            .map(|sd| vec![Vec3::ZERO; sd.node_count()])
             .collect();
+        let mut x_local: Vec<Vec3> = Vec::new();
+        for (sd, part) in self.subdomains.iter().zip(partials.iter_mut()) {
+            x_local.clear();
+            x_local.extend(sd.global_nodes.iter().map(|&g| x[g]));
+            sd.stiffness
+                .spmv(&x_local, part)
+                .expect("local dimensions consistent by construction");
+        }
         // Communication phase: exchange original partials and sum. Snapshot
         // the partials first so multi-way shared nodes accumulate each
         // sharer's contribution exactly once.

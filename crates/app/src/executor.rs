@@ -3,11 +3,11 @@
 //! [`DistributedSystem::smvp`](crate::distributed::DistributedSystem::smvp)
 //! models the paper's distributed product but runs serially and reports
 //! nothing. [`BspExecutor`] runs the same assemble→compute→exchange→fold
-//! phases over a persistent [`WorkerPool`] — one task per PE per phase,
-//! with the pool's batch barrier standing in for the machine's phase
-//! barriers — and *measures* what the characterization layer only
-//! *predicts*: per-PE flops, words and blocks sent/received, per-phase
-//! wall times, and per-PE barrier wait.
+//! phases over a persistent [`WorkerPool`] — PEs striped across workers
+//! per phase, with the pool's broadcast barrier standing in for the
+//! machine's phase barriers — and *measures* what the characterization
+//! layer only *predicts*: per-PE flops, words and blocks sent/received,
+//! per-phase wall times, and per-PE barrier wait.
 //!
 //! Observed `F_i`/`C_i`/`B_i` are counted from the data structures the
 //! kernel actually traverses, so for a correct build they match
@@ -16,11 +16,38 @@
 //! reason to exist: it closes the loop between the paper's Figure 7
 //! characterization and a live parallel execution, and its phase times feed
 //! the Eq. (1)/(2) validation in `quake_core::model::validate`.
+//!
+//! # Allocation-free steady state
+//!
+//! The paper's time loop repeats this product 6000 times, so the executor
+//! owns every per-step buffer (`x_local`, partials, exchanged copies,
+//! timing scratch) and each [`BspExecutor::step_into`] reuses them: after
+//! the first step no phase allocates, dispatch goes through
+//! [`WorkerPool::broadcast`] (one shared closure per phase, nothing boxed),
+//! and the measured phase walls reflect memory-system behaviour instead of
+//! allocator traffic. [`BspExecutor::buffer_fingerprint`] exposes buffer
+//! pointers/capacities so tests can assert the steady state really is
+//! allocation-free.
+//!
+//! # RCM locality pre-pass
+//!
+//! [`BspExecutor::with_rcm`] renumbers each PE's local nodes with reverse
+//! Cuthill–McKee before executing: the local stiffness is permuted
+//! (`P K Pᵀ`), the gather list and exchange pair indices are remapped to
+//! match, and everything downstream runs over the bandwidth-reduced
+//! matrices. The permutation relabels rows within each PE, so flop and
+//! communication counters are invariant — the `CommAnalysis` match stays
+//! exact — while the `x[col]` gather of the compute phase touches a
+//! compact window of the local vector (the paper's "irregular memory
+//! reference" mitigation, executed rather than simulated).
 
 use crate::distributed::DistributedSystem;
 use quake_core::model::validate::MeasuredSmvp;
-use quake_spark::pool::{Task, WorkerPool};
+use quake_spark::pool::WorkerPool;
+use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::dense::Vec3;
+use quake_sparse::pattern::Pattern;
+use quake_sparse::reorder::rcm;
 use std::time::Instant;
 
 /// Observability counters for one PE, accumulated over all executed steps.
@@ -175,41 +202,177 @@ struct Inbound {
     pairs: Vec<(usize, usize)>,
 }
 
+/// One PE's executable state: the gather list and stiffness it actually
+/// traverses (identical to the subdomain's, or RCM-renumbered).
+struct PeState {
+    /// `gather[l]`: global node id held in local slot `l`.
+    gather: Vec<usize>,
+    stiffness: Bcsr3,
+}
+
+/// A raw pointer that may cross thread boundaries; each phase closure
+/// dereferences it only for the PEs its worker owns (disjoint indices), and
+/// the broadcast barrier orders every access.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derived ones would demand `T: Copy`, but copying the
+// *pointer* never copies the pointee.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: see the type's doc comment — all dereferences are to disjoint
+// per-PE elements between barriers.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// The `w`-th of `workers` near-equal contiguous chunks of `0..p` — the
+/// static PE-to-worker assignment, computed arithmetically so phase
+/// closures never allocate.
+fn pe_chunk(p: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
+    (p * w / workers)..(p * (w + 1) / workers)
+}
+
 /// Bulk-synchronous instrumented executor over a [`DistributedSystem`].
-pub struct BspExecutor<'a> {
-    system: &'a DistributedSystem,
+pub struct BspExecutor {
     pool: WorkerPool,
+    pe: Vec<PeState>,
     /// `inbound[q]`: messages PE q receives each exchange phase.
     inbound: Vec<Vec<Inbound>>,
+    global_nodes: usize,
+    rcm: bool,
+    // Persistent per-step buffers: sized once in `build`, reused by every
+    // `step_into` so the steady-state step never touches the allocator.
+    x_local: Vec<Vec<Vec3>>,
+    partials: Vec<Vec<Vec3>>,
+    exchanged: Vec<Vec<Vec3>>,
+    elapsed: Vec<f64>,
+    written: Vec<bool>,
     counters: Vec<PeCounters>,
     phases: PhaseWalls,
     steps: u64,
 }
 
-impl<'a> BspExecutor<'a> {
+impl BspExecutor {
     /// Creates an executor running `system`'s PEs on `threads` pooled
-    /// workers.
+    /// workers, in the subdomains' natural node order.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
-    pub fn new(system: &'a DistributedSystem, threads: usize) -> Self {
-        let p = system.parts();
+    pub fn new(system: &DistributedSystem, threads: usize) -> Self {
+        Self::build(system, threads, false)
+    }
+
+    /// Like [`BspExecutor::new`], but renumbers each PE's local nodes with
+    /// reverse Cuthill–McKee first (see the module docs). Numerics and
+    /// counters are unchanged; only the traversal order (and hence cache
+    /// behaviour) differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_rcm(system: &DistributedSystem, threads: usize) -> Self {
+        Self::build(system, threads, true)
+    }
+
+    fn build(system: &DistributedSystem, threads: usize, use_rcm: bool) -> Self {
+        let subdomains = system.subdomains();
+        let p = subdomains.len();
+        // Per-PE local permutations (`perm[old] = new`), or None for the
+        // natural order.
+        let perms: Vec<Option<Vec<usize>>> = subdomains
+            .iter()
+            .map(|sd| {
+                if !use_rcm {
+                    return None;
+                }
+                let n = sd.stiffness.block_rows();
+                let (row_ptr, col_idx) = sd.stiffness.adjacency();
+                let mut edges = Vec::new();
+                for i in 0..n {
+                    for k in row_ptr[i]..row_ptr[i + 1] {
+                        let j = col_idx[k];
+                        if j > i {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+                let pattern =
+                    Pattern::from_edges(n, &edges).expect("block adjacency indices are in range");
+                Some(rcm(&pattern))
+            })
+            .collect();
+        let pe: Vec<PeState> = subdomains
+            .iter()
+            .zip(&perms)
+            .map(|(sd, perm)| match perm {
+                None => PeState {
+                    gather: sd.global_nodes.clone(),
+                    stiffness: sd.stiffness.clone(),
+                },
+                Some(perm) => {
+                    let mut gather = vec![0usize; sd.node_count()];
+                    for (old, &g) in sd.global_nodes.iter().enumerate() {
+                        gather[perm[old]] = g;
+                    }
+                    PeState {
+                        gather,
+                        stiffness: sd
+                            .stiffness
+                            .permute_symmetric(perm)
+                            .expect("RCM yields a valid permutation"),
+                    }
+                }
+            })
+            .collect();
+        // Exchange pair indices are local slots, so they follow the
+        // renumbering.
+        let map = |q: usize, l: usize| perms[q].as_ref().map_or(l, |pm| pm[l]);
         let mut inbound: Vec<Vec<Inbound>> = (0..p).map(|_| Vec::new()).collect();
         for ex in system.exchanges() {
             inbound[ex.a].push(Inbound {
                 neighbor: ex.b,
-                pairs: ex.pairs.clone(),
+                pairs: ex
+                    .pairs
+                    .iter()
+                    .map(|&(la, lb)| (map(ex.a, la), map(ex.b, lb)))
+                    .collect(),
             });
             inbound[ex.b].push(Inbound {
                 neighbor: ex.a,
-                pairs: ex.pairs.iter().map(|&(la, lb)| (lb, la)).collect(),
+                pairs: ex
+                    .pairs
+                    .iter()
+                    .map(|&(la, lb)| (map(ex.b, lb), map(ex.a, la)))
+                    .collect(),
             });
         }
+        let local_buf = || {
+            pe.iter()
+                .map(|s| vec![Vec3::ZERO; s.gather.len()])
+                .collect::<Vec<_>>()
+        };
         BspExecutor {
-            system,
             pool: WorkerPool::new(threads),
+            x_local: local_buf(),
+            partials: local_buf(),
+            exchanged: local_buf(),
+            elapsed: vec![0.0; p],
+            written: vec![false; system.global_nodes()],
+            global_nodes: system.global_nodes(),
+            pe,
             inbound,
+            rcm: use_rcm,
             counters: vec![PeCounters::default(); p],
             phases: PhaseWalls::default(),
             steps: 0,
@@ -221,101 +384,135 @@ impl<'a> BspExecutor<'a> {
         self.pool.threads()
     }
 
+    /// True if this executor runs over RCM-renumbered subdomains.
+    pub fn rcm_enabled(&self) -> bool {
+        self.rcm
+    }
+
+    /// `(pointer, capacity)` of every persistent per-step buffer. Steady
+    /// state means this is identical before and after a `step_into` — the
+    /// step reallocated nothing.
+    pub fn buffer_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut fp = Vec::new();
+        for group in [&self.x_local, &self.partials, &self.exchanged] {
+            for v in group {
+                fp.push((v.as_ptr() as usize, v.capacity()));
+            }
+        }
+        fp.push((self.elapsed.as_ptr() as usize, self.elapsed.capacity()));
+        fp.push((self.written.as_ptr() as usize, self.written.capacity()));
+        fp
+    }
+
     /// Executes one bulk-synchronous SMVP `y = Kx` for a global input
-    /// vector, updating the counters.
+    /// vector, updating the counters. Allocation-free: every buffer
+    /// (including `y`) is caller- or executor-owned and reused.
     ///
     /// # Panics
     ///
-    /// Panics if `x.len()` does not match the mesh node count.
-    pub fn step(&mut self, x: &[Vec3]) -> Vec<Vec3> {
-        assert_eq!(
-            x.len(),
-            self.system.global_nodes(),
-            "x length must match mesh nodes"
-        );
-        let subdomains = self.system.subdomains();
-        let p = subdomains.len();
-        let mut elapsed = vec![0.0f64; p];
+    /// Panics if `x.len()` or `y.len()` does not match the mesh node count.
+    pub fn step_into(&mut self, x: &[Vec3], y: &mut [Vec3]) {
+        assert_eq!(x.len(), self.global_nodes, "x length must match mesh nodes");
+        assert_eq!(y.len(), self.global_nodes, "y length must match mesh nodes");
+        let p = self.pe.len();
+        let threads = self.pool.threads();
 
         // --- Assemble phase: gather replicated local x per PE. ---
-        let mut x_local: Vec<Vec<Vec3>> = (0..p).map(|_| Vec::new()).collect();
-        let wall = self.phase(
-            x_local
-                .iter_mut()
-                .zip(subdomains)
-                .zip(elapsed.iter_mut())
-                .map(|((xl, sd), dt)| {
-                    Box::new(move || {
-                        let t0 = Instant::now();
-                        xl.extend(sd.global_nodes.iter().map(|&g| x[g]));
-                        *dt = t0.elapsed().as_secs_f64();
-                    }) as Task
-                })
-                .collect(),
-        );
+        let wall = {
+            let pe = &self.pe;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: each PE q belongs to exactly one worker's
+                    // chunk, so these per-q accesses are disjoint.
+                    let xl = unsafe { &mut *x_local.get().add(q) };
+                    for (slot, &g) in xl.iter_mut().zip(&pe[q].gather) {
+                        *slot = x[g];
+                    }
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
         self.phases.assemble += wall;
-        for (c, &dt) in self.counters.iter_mut().zip(&elapsed) {
+        for (c, &dt) in self.counters.iter_mut().zip(&self.elapsed) {
             c.t_assemble += dt;
             c.t_barrier += (wall - dt).max(0.0);
         }
 
-        // --- Compute phase: local SMVP per PE. ---
-        let mut partials: Vec<Vec<Vec3>> = (0..p).map(|_| Vec::new()).collect();
-        let wall = self.phase(
-            partials
-                .iter_mut()
-                .zip(subdomains)
-                .zip(x_local.iter())
-                .zip(elapsed.iter_mut())
-                .map(|(((part, sd), xl), dt)| {
-                    Box::new(move || {
-                        let t0 = Instant::now();
-                        *part = sd
-                            .stiffness
-                            .spmv_alloc(xl)
-                            .expect("local dimensions consistent by construction");
-                        *dt = t0.elapsed().as_secs_f64();
-                    }) as Task
-                })
-                .collect(),
-        );
+        // --- Compute phase: local SMVP per PE, in place. ---
+        let wall = {
+            let pe = &self.pe;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let partials = SendPtr(self.partials.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: per-q accesses are disjoint (one worker per
+                    // PE); x_local was fully written before the assemble
+                    // barrier.
+                    let xl = unsafe { &*x_local.get().add(q) };
+                    let part = unsafe { &mut *partials.get().add(q) };
+                    pe[q]
+                        .stiffness
+                        .spmv(xl, part)
+                        .expect("local dimensions consistent by construction");
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
         self.phases.compute += wall;
-        for ((c, &dt), sd) in self.counters.iter_mut().zip(&elapsed).zip(subdomains) {
+        for ((c, &dt), s) in self.counters.iter_mut().zip(&self.elapsed).zip(&self.pe) {
             c.t_compute += dt;
             c.t_barrier += (wall - dt).max(0.0);
             // 18 flops per traversed 3×3 block: the paper's F_i = 2·m_i
             // counted from the matrix this step just multiplied.
-            c.flops += sd.smvp_flops();
+            c.flops += s.stiffness.smvp_flops();
         }
 
         // --- Exchange phase: each PE sums neighbor contributions into its
         // own copy, reading the immutable compute-phase snapshot. ---
-        let mut exchanged: Vec<Vec<Vec3>> = (0..p).map(|_| Vec::new()).collect();
-        let partials_ref = &partials;
-        let inbound_ref = &self.inbound;
-        let wall = self.phase(
-            exchanged
-                .iter_mut()
-                .zip(elapsed.iter_mut())
-                .enumerate()
-                .map(|(q, (out, dt))| {
-                    Box::new(move || {
-                        let t0 = Instant::now();
-                        let mut acc = partials_ref[q].clone();
-                        for msg in &inbound_ref[q] {
-                            let theirs = &partials_ref[msg.neighbor];
-                            for &(mine, their) in &msg.pairs {
-                                acc[mine] += theirs[their];
-                            }
+        let wall = {
+            let inbound = &self.inbound;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let partials = SendPtr(self.partials.as_mut_ptr());
+            let exchanged = SendPtr(self.exchanged.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: only exchanged[q] is written (one worker per
+                    // PE); partials are read-only this phase, so the shared
+                    // cross-PE reads don't race.
+                    let out = unsafe { &mut *exchanged.get().add(q) };
+                    let mine = unsafe { &*(partials.get().add(q) as *const Vec<Vec3>) };
+                    out.copy_from_slice(mine);
+                    for msg in &inbound[q] {
+                        let theirs =
+                            unsafe { &*(partials.get().add(msg.neighbor) as *const Vec<Vec3>) };
+                        for &(m, their) in &msg.pairs {
+                            out[m] += theirs[their];
                         }
-                        *out = acc;
-                        *dt = t0.elapsed().as_secs_f64();
-                    }) as Task
-                })
-                .collect(),
-        );
+                    }
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
         self.phases.exchange += wall;
-        for (q, (c, &dt)) in self.counters.iter_mut().zip(&elapsed).enumerate() {
+        for (q, (c, &dt)) in self.counters.iter_mut().zip(&self.elapsed).enumerate() {
             c.t_exchange += dt;
             c.t_barrier += (wall - dt).max(0.0);
             for msg in &self.inbound[q] {
@@ -331,33 +528,47 @@ impl<'a> BspExecutor<'a> {
 
         // --- Fold phase: replicated results → global vector. ---
         let t0 = Instant::now();
-        let mut y = vec![Vec3::ZERO; self.system.global_nodes()];
-        let mut written = vec![false; y.len()];
-        for (sd, part) in subdomains.iter().zip(&exchanged) {
-            for (l, &g) in sd.global_nodes.iter().enumerate() {
-                if written[g] {
+        self.written.fill(false);
+        for (s, part) in self.pe.iter().zip(&self.exchanged) {
+            for (l, &g) in s.gather.iter().enumerate() {
+                if self.written[g] {
                     debug_assert!(
                         (y[g] - part[l]).norm() <= 1e-9 * (1.0 + y[g].norm()),
                         "replicas disagree at node {g}"
                     );
                 } else {
                     y[g] = part[l];
-                    written[g] = true;
+                    self.written[g] = true;
                 }
             }
         }
+        debug_assert!(
+            self.written.iter().all(|&w| w),
+            "every node resides somewhere"
+        );
         self.phases.fold += t0.elapsed().as_secs_f64();
 
         self.steps += 1;
+    }
+
+    /// Executes one bulk-synchronous SMVP `y = Kx`, allocating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the mesh node count.
+    pub fn step(&mut self, x: &[Vec3]) -> Vec<Vec3> {
+        let mut y = vec![Vec3::ZERO; self.global_nodes];
+        self.step_into(x, &mut y);
         y
     }
 
     /// Runs `steps` SMVPs of the same input (the paper's repeated time-loop
-    /// product) and returns the final result.
+    /// product) and returns the final result. The output buffer is
+    /// allocated once and reused by every step.
     pub fn run(&mut self, x: &[Vec3], steps: u64) -> Vec<Vec3> {
-        let mut y = Vec::new();
+        let mut y = vec![Vec3::ZERO; self.global_nodes];
         for _ in 0..steps {
-            y = self.step(x);
+            self.step_into(x, &mut y);
         }
         y
     }
@@ -370,14 +581,6 @@ impl<'a> BspExecutor<'a> {
             pe: self.counters.clone(),
             phases: self.phases,
         }
-    }
-
-    /// Runs one task batch as a barrier-delimited phase, returning its wall
-    /// time in seconds.
-    fn phase(&self, tasks: Vec<Task>) -> f64 {
-        let t0 = Instant::now();
-        self.pool.execute(tasks);
-        t0.elapsed().as_secs_f64()
     }
 }
 
@@ -415,6 +618,16 @@ mod tests {
             .collect()
     }
 
+    fn assert_matches_serial(serial: &[Vec3], pooled: &[Vec3], what: &str) {
+        let scale: f64 = serial.iter().map(|v| v.norm()).fold(0.0, f64::max);
+        for (i, (a, b)) in serial.iter().zip(pooled).enumerate() {
+            assert!(
+                (*a - *b).norm() <= 1e-12 * (1.0 + scale),
+                "node {i} ({what}): serial {a} vs pooled {b}"
+            );
+        }
+    }
+
     #[test]
     fn executor_matches_serial_distributed_smvp() {
         let (mesh, _, sys) = setup(6);
@@ -423,14 +636,52 @@ mod tests {
         for threads in [1, 4] {
             let mut exec = BspExecutor::new(&sys, threads);
             let pooled = exec.step(&x);
-            let scale: f64 = serial.iter().map(|v| v.norm()).fold(0.0, f64::max);
-            for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
-                assert!(
-                    (*a - *b).norm() <= 1e-12 * (1.0 + scale),
-                    "node {i} at {threads} threads: serial {a} vs pooled {b}"
-                );
-            }
+            assert_matches_serial(&serial, &pooled, &format!("{threads} threads"));
         }
+    }
+
+    #[test]
+    fn rcm_executor_matches_serial_and_counters() {
+        let (mesh, partition, sys) = setup(4);
+        let analysis = CommAnalysis::new(&mesh, &partition);
+        let x = random_x(mesh.node_count(), 13);
+        let serial = sys.smvp(&x);
+        let mut exec = BspExecutor::with_rcm(&sys, 3);
+        assert!(exec.rcm_enabled());
+        let pooled = exec.step(&x);
+        assert_matches_serial(&serial, &pooled, "rcm");
+        // Renumbering is PE-local, so the characterization match stays
+        // exact.
+        let report = exec.report();
+        assert_eq!(report.f_max(), analysis.f_max(), "F mismatch under RCM");
+        assert_eq!(report.c_max(), analysis.c_max(), "C_max mismatch under RCM");
+        assert_eq!(report.b_max(), analysis.b_max(), "B_max mismatch under RCM");
+    }
+
+    #[test]
+    fn steady_state_steps_do_not_reallocate() {
+        let (mesh, _, sys) = setup(4);
+        let x = random_x(mesh.node_count(), 17);
+        let mut exec = BspExecutor::new(&sys, 2);
+        let mut y = vec![Vec3::ZERO; mesh.node_count()];
+        // Warmup step, then the buffers must be pinned.
+        exec.step_into(&x, &mut y);
+        let fp = exec.buffer_fingerprint();
+        let y_fp = (y.as_ptr() as usize, y.capacity());
+        for _ in 0..100 {
+            exec.step_into(&x, &mut y);
+        }
+        assert_eq!(
+            exec.buffer_fingerprint(),
+            fp,
+            "executor buffers moved or regrew during steady-state steps"
+        );
+        assert_eq!(
+            (y.as_ptr() as usize, y.capacity()),
+            y_fp,
+            "output buffer moved during steady-state steps"
+        );
+        assert_eq!(exec.report().steps, 101);
     }
 
     #[test]

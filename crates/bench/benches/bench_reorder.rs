@@ -59,6 +59,57 @@ fn bench_reorder(c: &mut Criterion) {
         b.iter(|| black_box(rcm(black_box(&pattern))))
     });
     group.finish();
+
+    // End-to-end ablation: the same distributed system stepped by the BSP
+    // executor with and without the per-subdomain RCM pre-pass. The
+    // pre-pass permutes each PE's stiffness and gather list once at
+    // construction; steps then traverse a banded local matrix.
+    bench_executor_rcm(c, &app);
+}
+
+fn bench_executor_rcm(c: &mut Criterion, app: &QuakeApp) {
+    use quake_app::executor::BspExecutor;
+    use quake_fem::assembly::UniformMaterial;
+    use quake_mesh::ground::Material;
+    use quake_partition::geometric::{Partitioner, RecursiveBisection};
+    use quake_sparse::dense::Vec3;
+
+    let partition = RecursiveBisection::inertial()
+        .partition(&app.mesh, 4)
+        .expect("partition");
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
+    let system = quake_app::DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat))
+        .expect("system");
+    let n = app.mesh.node_count();
+    let x: Vec<Vec3> = (0..n)
+        .map(|i| {
+            let s = i as f64;
+            Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
+        })
+        .collect();
+    let mut y = vec![Vec3::ZERO; n];
+
+    let mut group = c.benchmark_group("executor_rcm");
+    group.sample_size(20);
+    let mut natural = BspExecutor::new(&system, 2);
+    group.bench_function("bsp_step_natural_order", |b| {
+        b.iter(|| {
+            natural.step_into(black_box(&x), &mut y);
+            black_box(&y);
+        })
+    });
+    let mut renumbered = BspExecutor::with_rcm(&system, 2);
+    group.bench_function("bsp_step_rcm_order", |b| {
+        b.iter(|| {
+            renumbered.step_into(black_box(&x), &mut y);
+            black_box(&y);
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_reorder);

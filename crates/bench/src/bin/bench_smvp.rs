@@ -1,0 +1,598 @@
+//! SMVP hot-path throughput artifact (`BENCH_smvp.json`).
+//!
+//! Measures kernel × threads × mesh GFLOP/s for the Spark98 kernel family,
+//! comparing the allocating kernels and boxed per-task pool dispatch (the
+//! state of the tree before the zero-allocation rework, reimplemented here
+//! verbatim as frozen baselines) against the in-place `_into` kernels over
+//! reusable workspaces and the pool's closure-broadcast fast path.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_smvp [--quick] [--out PATH]   # run benchmarks, write JSON artifact
+//! bench_smvp --validate PATH          # schema-check an existing artifact
+//! ```
+//!
+//! `--quick` runs a single tiny mesh with few repetitions — enough for CI to
+//! exercise the full code path and validate the artifact schema, not enough
+//! for stable numbers. Honors `QUAKE_SCALE` in full mode.
+
+use quake_app::family::{standard_family, AppConfig, QuakeApp};
+use quake_bench::json::{parse, Json};
+use quake_fem::assembly::{assemble, UniformMaterial};
+use quake_mesh::ground::Material;
+use quake_spark::pool::Task;
+use quake_spark::{
+    bmv, bmv_pooled_into, lmv, lmv_into, pmv_pooled_into, rmv, rmv_into, rmv_pooled_into, smv,
+    smv_into, KernelWorkspace, WorkerPool,
+};
+use quake_sparse::bcsr::Bcsr3;
+use quake_sparse::csr::Csr;
+use quake_sparse::dense::Vec3;
+use quake_sparse::sym::SymCsr;
+use std::time::Instant;
+
+const SCHEMA: &str = "quake-bench/smvp-v1";
+
+// ---------------------------------------------------------------------------
+// Frozen PR-1 baselines.
+//
+// These reproduce the pooled kernels as they stood before this rework: one
+// boxed closure per chunk submitted through `WorkerPool::execute`, fresh
+// reduction buffers allocated and zeroed on every call, and a serial fold.
+// They exist only as the comparison baseline for the artifact.
+// ---------------------------------------------------------------------------
+
+fn row_chunks_pr1(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    (0..threads)
+        .map(|t| (n * t / threads)..(n * (t + 1) / threads))
+        .collect()
+}
+
+fn rmv_pooled_pr1(matrix: &SymCsr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
+    let n = matrix.dim();
+    let full = matrix.parts();
+    let chunks = row_chunks_pr1(n, pool.threads());
+    let mut buffers: Vec<Vec<f64>> = vec![vec![0.0; n]; chunks.len()];
+    let tasks: Vec<Task> = buffers
+        .iter_mut()
+        .zip(&chunks)
+        .map(|(buf, range)| {
+            let range = range.clone();
+            let full = &full;
+            Box::new(move || {
+                for r in range {
+                    let mut local = full.diag[r] * x[r];
+                    for k in full.row_ptr[r]..full.row_ptr[r + 1] {
+                        let c = full.col_idx[k];
+                        let v = full.values[k];
+                        local += v * x[c];
+                        buf[c] += v * x[r];
+                    }
+                    buf[r] += local;
+                }
+            }) as Task
+        })
+        .collect();
+    pool.execute(tasks);
+    let mut y = vec![0.0; n];
+    for buf in buffers {
+        for (yi, bi) in y.iter_mut().zip(buf) {
+            *yi += bi;
+        }
+    }
+    y
+}
+
+fn pmv_pooled_pr1(matrix: &Csr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
+    let n = matrix.rows();
+    let mut y = vec![0.0; n];
+    let chunks = row_chunks_pr1(n, pool.threads());
+    let mut tasks: Vec<Task> = Vec::with_capacity(chunks.len());
+    let mut rest: &mut [f64] = &mut y;
+    for range in &chunks {
+        let (mine, tail) = rest.split_at_mut(range.len());
+        rest = tail;
+        let range = range.clone();
+        tasks.push(Box::new(move || {
+            for (slot, r) in mine.iter_mut().zip(range) {
+                let mut sum = 0.0;
+                for (c, v) in matrix.row(r).pairs() {
+                    sum += v * x[c];
+                }
+                *slot = sum;
+            }
+        }) as Task);
+    }
+    pool.execute(tasks);
+    y
+}
+
+// ---------------------------------------------------------------------------
+// Measurement harness.
+// ---------------------------------------------------------------------------
+
+struct Case {
+    mesh: String,
+    nodes: usize,
+    sym: SymCsr,
+    csr: Csr,
+    bcsr: Bcsr3,
+    /// Useful flops of one product, the paper's `F = 2m` over full storage.
+    flops: f64,
+}
+
+fn build_case(app: &QuakeApp) -> Case {
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
+    let sys = assemble(&app.mesh, &UniformMaterial(mat)).expect("assembly");
+    let bcsr = sys.stiffness;
+    let csr = bcsr.to_scalar_csr();
+    let sym = SymCsr::from_csr(&csr, 1e-6 * 1e9).expect("symmetric stiffness");
+    let flops = 2.0 * csr.nnz() as f64;
+    Case {
+        mesh: app.config.name.clone(),
+        nodes: bcsr.block_rows(),
+        sym,
+        csr,
+        bcsr,
+        flops,
+    }
+}
+
+/// Measurement plan: several short blocks whose fastest block is kept.
+/// The minimum filters out interference from other load on the machine,
+/// which a single long average would fold into the result.
+fn plan(quick: bool, f: &mut impl FnMut()) -> (usize, usize) {
+    f(); // warmup (also grows workspaces to their high-water mark)
+    if quick {
+        (2, 2)
+    } else {
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().as_secs_f64().max(1e-7);
+        (6, ((0.05 / once) as usize).clamp(2, 2_000))
+    }
+}
+
+fn best_block(best: &mut f64, per_block: usize, f: &mut impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..per_block {
+        f();
+    }
+    *best = best.min(t0.elapsed().as_secs_f64() / per_block as f64);
+}
+
+/// Times a baseline/candidate pair with interleaved blocks (B C B C …), so
+/// machine-load drift hits both sides equally and their ratio stays fair.
+fn time_pair(quick: bool, mut f: impl FnMut(), mut g: impl FnMut()) -> [(f64, usize); 2] {
+    let (blocks, per_block) = plan(quick, &mut f);
+    g(); // warm the candidate too
+    let (mut bf, mut bg) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..blocks {
+        best_block(&mut bf, per_block, &mut f);
+        best_block(&mut bg, per_block, &mut g);
+    }
+    [(bf, blocks * per_block), (bg, blocks * per_block)]
+}
+
+struct Recorder {
+    quick: bool,
+    entries: Vec<Json>,
+    /// (mesh, kernel, dispatch, variant, threads) → secs/op for comparisons.
+    timings: Vec<(String, &'static str, &'static str, &'static str, usize, f64)>,
+}
+
+impl Recorder {
+    /// Records a baseline/candidate pair measured with interleaved blocks.
+    #[allow(clippy::too_many_arguments)]
+    fn record_pair(
+        &mut self,
+        case: &Case,
+        kernel: &'static str,
+        base: (&'static str, &'static str),
+        cand: (&'static str, &'static str),
+        threads: usize,
+        f: impl FnMut(),
+        g: impl FnMut(),
+    ) {
+        let [(bs, br), (cs, cr)] = time_pair(self.quick, f, g);
+        self.push(case, kernel, base.0, base.1, threads, bs, br);
+        self.push(case, kernel, cand.0, cand.1, threads, cs, cr);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        case: &Case,
+        kernel: &'static str,
+        dispatch: &'static str,
+        variant: &'static str,
+        threads: usize,
+        secs: f64,
+        reps: usize,
+    ) {
+        let gflops = case.flops / secs / 1e9;
+        eprintln!(
+            "  {kernel:>4} {dispatch:<12} {variant:<11} t={threads}  {:>10.2} us/op  {gflops:>7.3} GFLOP/s",
+            secs * 1e6
+        );
+        self.entries.push(Json::obj(vec![
+            ("mesh", Json::str(&case.mesh)),
+            ("nodes", Json::num(case.nodes as f64)),
+            ("scalar_nnz", Json::num(case.csr.nnz() as f64)),
+            ("kernel", Json::str(kernel)),
+            ("dispatch", Json::str(dispatch)),
+            ("variant", Json::str(variant)),
+            ("threads", Json::num(threads as f64)),
+            ("reps", Json::num(reps as f64)),
+            ("secs_per_op", Json::num(secs)),
+            ("gflops", Json::num(gflops)),
+        ]));
+        self.timings
+            .push((case.mesh.clone(), kernel, dispatch, variant, threads, secs));
+    }
+
+    fn lookup(
+        &self,
+        mesh: &str,
+        kernel: &str,
+        dispatch: &str,
+        variant: &str,
+        threads: usize,
+    ) -> Option<f64> {
+        self.timings
+            .iter()
+            .find(|(m, k, d, v, t, _)| {
+                m == mesh && *k == kernel && *d == dispatch && *v == variant && *t == threads
+            })
+            .map(|&(_, _, _, _, _, secs)| secs)
+    }
+}
+
+fn run_case(rec: &mut Recorder, case: &Case, thread_counts: &[usize]) {
+    eprintln!(
+        "mesh {} ({} nodes, {} scalar nnz):",
+        case.mesh,
+        case.nodes,
+        case.csr.nnz()
+    );
+    let n = case.sym.dim();
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+    let xb: Vec<Vec3> = (0..case.bcsr.block_rows())
+        .map(|i| Vec3::new(i as f64, (i % 7) as f64, 1.0))
+        .collect();
+    let mut y = vec![0.0; n];
+    let mut yb = vec![Vec3::ZERO; case.bcsr.block_rows()];
+    let mut ws = KernelWorkspace::new();
+
+    // Serial baseline: allocating vs in-place.
+    rec.record_pair(
+        case,
+        "smv",
+        ("serial", "alloc"),
+        ("serial", "in_place"),
+        1,
+        || {
+            std::hint::black_box(smv(&case.sym, &x));
+        },
+        || {
+            smv_into(&case.sym, &x, &mut y);
+            std::hint::black_box(&y);
+        },
+    );
+
+    for &threads in thread_counts {
+        let pool = WorkerPool::new(threads);
+
+        // Spawn-per-call kernels: allocating vs in-place twins.
+        rec.record_pair(
+            case,
+            "rmv",
+            ("spawn", "alloc"),
+            ("spawn", "in_place"),
+            threads,
+            || {
+                std::hint::black_box(rmv(&case.sym, &x, threads));
+            },
+            || {
+                rmv_into(&case.sym, &x, threads, &mut y, &mut ws);
+                std::hint::black_box(&y);
+            },
+        );
+        rec.record_pair(
+            case,
+            "lmv",
+            ("spawn", "alloc"),
+            ("spawn", "in_place"),
+            threads,
+            || {
+                std::hint::black_box(lmv(&case.sym, &x, threads));
+            },
+            || {
+                lmv_into(&case.sym, &x, threads, &mut y, &mut ws);
+                std::hint::black_box(&y);
+            },
+        );
+
+        // Pooled: frozen PR-1 dispatch (boxed tasks, allocating buffers,
+        // serial fold) vs the broadcast + workspace fast path.
+        rec.record_pair(
+            case,
+            "rmv",
+            ("pooled_boxed", "alloc"),
+            ("pooled", "in_place"),
+            threads,
+            || {
+                std::hint::black_box(rmv_pooled_pr1(&case.sym, &x, &pool));
+            },
+            || {
+                rmv_pooled_into(&case.sym, &x, &pool, &mut y, &mut ws);
+                std::hint::black_box(&y);
+            },
+        );
+        rec.record_pair(
+            case,
+            "pmv",
+            ("pooled_boxed", "alloc"),
+            ("pooled", "in_place"),
+            threads,
+            || {
+                std::hint::black_box(pmv_pooled_pr1(&case.csr, &x, &pool));
+            },
+            || {
+                pmv_pooled_into(&case.csr, &x, &pool, &mut y);
+                std::hint::black_box(&y);
+            },
+        );
+
+        // Block kernels: spawn-allocating vs pooled in-place.
+        rec.record_pair(
+            case,
+            "bmv",
+            ("spawn", "alloc"),
+            ("pooled", "in_place"),
+            threads,
+            || {
+                std::hint::black_box(bmv(&case.bcsr, &xb, threads));
+            },
+            || {
+                bmv_pooled_into(&case.bcsr, &xb, &pool, &mut yb);
+                std::hint::black_box(&yb);
+            },
+        );
+    }
+}
+
+fn comparisons(rec: &Recorder, largest_mesh: &str, thread_counts: &[usize]) -> Vec<Json> {
+    let meshes: Vec<String> = {
+        let mut seen = Vec::new();
+        for (m, ..) in &rec.timings {
+            if !seen.contains(m) {
+                seen.push(m.clone());
+            }
+        }
+        seen
+    };
+    let mut out = Vec::new();
+    for mesh in &meshes {
+        for &threads in thread_counts {
+            for (kernel, base_dispatch) in [("rmv", "pooled_boxed"), ("pmv", "pooled_boxed")] {
+                let base = rec.lookup(mesh, kernel, base_dispatch, "alloc", threads);
+                let cand = rec.lookup(mesh, kernel, "pooled", "in_place", threads);
+                if let (Some(b), Some(c)) = (base, cand) {
+                    out.push(Json::obj(vec![
+                        ("mesh", Json::str(mesh)),
+                        ("largest_mesh", Json::Bool(mesh == largest_mesh)),
+                        ("threads", Json::num(threads as f64)),
+                        ("kernel", Json::str(kernel)),
+                        (
+                            "baseline",
+                            Json::str(format!("{kernel}_{base_dispatch}_alloc")),
+                        ),
+                        ("candidate", Json::str(format!("{kernel}_pooled_in_place"))),
+                        ("speedup", Json::num(b / c)),
+                    ]));
+                }
+            }
+            // Allocating spawn kernel vs its in-place twin.
+            let base = rec.lookup(mesh, "rmv", "spawn", "alloc", threads);
+            let cand = rec.lookup(mesh, "rmv", "spawn", "in_place", threads);
+            if let (Some(b), Some(c)) = (base, cand) {
+                out.push(Json::obj(vec![
+                    ("mesh", Json::str(mesh)),
+                    ("largest_mesh", Json::Bool(mesh == largest_mesh)),
+                    ("threads", Json::num(threads as f64)),
+                    ("kernel", Json::str("rmv")),
+                    ("baseline", Json::str("rmv_spawn_alloc")),
+                    ("candidate", Json::str("rmv_spawn_in_place")),
+                    ("speedup", Json::num(b / c)),
+                ]));
+            }
+        }
+    }
+    out
+}
+
+fn render(doc_fields: Vec<(&str, Json)>, entries: &[Json], comps: &[Json]) -> String {
+    // Valid JSON, formatted one entry per line so the committed artifact
+    // diffs readably.
+    let mut out = String::from("{\n");
+    for (k, v) in &doc_fields {
+        out.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    let list = |items: &[Json]| {
+        items
+            .iter()
+            .map(|e| format!("    {e}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    out.push_str("  \"entries\": [\n");
+    out.push_str(&list(entries));
+    out.push_str("\n  ],\n  \"comparisons\": [\n");
+    out.push_str(&list(comps));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation (`--validate`).
+// ---------------------------------------------------------------------------
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| e.to_string())?;
+    let need_str = |v: &Json, key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    };
+    let need_num = |v: &Json, key: &str| -> Result<f64, String> {
+        let x = v
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+        if !x.is_finite() {
+            return Err(format!("field {key:?} is not finite"));
+        }
+        Ok(x)
+    };
+
+    if need_str(&doc, "schema")? != SCHEMA {
+        return Err(format!("schema is not {SCHEMA:?}"));
+    }
+    need_num(&doc, "scale")?;
+    doc.get("quick")
+        .filter(|v| matches!(v, Json::Bool(_)))
+        .ok_or("missing boolean field \"quick\"")?;
+
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"entries\"")?;
+    if entries.is_empty() {
+        return Err("\"entries\" is empty".into());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let ctx = |err: String| format!("entries[{i}]: {err}");
+        for key in ["mesh", "kernel", "dispatch", "variant"] {
+            need_str(e, key).map_err(ctx)?;
+        }
+        for key in ["nodes", "scalar_nnz", "threads", "reps"] {
+            let x = need_num(e, key).map_err(ctx)?;
+            if x < 1.0 || x.fract() != 0.0 {
+                return Err(ctx(format!("field {key:?} must be a positive integer")));
+            }
+        }
+        for key in ["secs_per_op", "gflops"] {
+            if need_num(e, key).map_err(ctx)? <= 0.0 {
+                return Err(ctx(format!("field {key:?} must be positive")));
+            }
+        }
+    }
+
+    let comps = doc
+        .get("comparisons")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"comparisons\"")?;
+    for (i, c) in comps.iter().enumerate() {
+        let ctx = |err: String| format!("comparisons[{i}]: {err}");
+        for key in ["mesh", "baseline", "candidate", "kernel"] {
+            need_str(c, key).map_err(ctx)?;
+        }
+        if need_num(c, "speedup").map_err(ctx)? <= 0.0 {
+            return Err(ctx("field \"speedup\" must be positive".into()));
+        }
+    }
+    if !comps
+        .iter()
+        .any(|c| c.get("candidate").and_then(Json::as_str) == Some("rmv_pooled_in_place"))
+    {
+        return Err("no comparison covers the pooled in-place rmv path".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_smvp.json");
+        match validate(path) {
+            Ok(()) => {
+                println!("{path}: schema OK");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_smvp.json".to_string());
+
+    let (scale, configs, thread_counts): (f64, Vec<AppConfig>, Vec<usize>) = if quick {
+        (12.0, vec![AppConfig::new("sf10", 10.0, 12.0)], vec![2])
+    } else {
+        let scale = quake_bench::scale();
+        (scale, standard_family(scale), vec![1, 2, 4])
+    };
+
+    let mut rec = Recorder {
+        quick,
+        entries: Vec::new(),
+        timings: Vec::new(),
+    };
+    let mut largest: Option<(usize, String)> = None;
+    for config in configs {
+        eprintln!("generating {} (scale {scale})...", config.name);
+        let app = QuakeApp::generate(config).expect("mesh generation failed");
+        let case = build_case(&app);
+        if largest.as_ref().is_none_or(|(n, _)| case.nodes > *n) {
+            largest = Some((case.nodes, case.mesh.clone()));
+        }
+        run_case(&mut rec, &case, &thread_counts);
+    }
+    let largest_mesh = largest.expect("at least one mesh").1;
+    let comps = comparisons(&rec, &largest_mesh, &thread_counts);
+
+    let doc = render(
+        vec![
+            ("schema", Json::str(SCHEMA)),
+            ("quick", Json::Bool(quick)),
+            ("scale", Json::num(scale)),
+            ("largest_mesh", Json::str(&largest_mesh)),
+        ],
+        &rec.entries,
+        &comps,
+    );
+    parse(&doc).expect("emitted artifact must parse");
+    std::fs::write(&out_path, &doc).expect("write artifact");
+    eprintln!("wrote {out_path}");
+
+    // Headline: the acceptance comparison on the largest seed mesh.
+    for c in &comps {
+        if c.get("largest_mesh") == Some(&Json::Bool(true))
+            && c.get("candidate").and_then(Json::as_str) == Some("rmv_pooled_in_place")
+        {
+            let t = c.get("threads").and_then(Json::as_f64).unwrap_or(0.0);
+            let s = c.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+            println!("{largest_mesh} t={t}: pooled in-place rmv is {s:.2}x the PR-1 pooled path");
+        }
+    }
+}

@@ -13,6 +13,7 @@ use quake_app::characterize::AnalyzedInstance;
 use quake_app::family::{AppConfig, QuakeApp};
 
 pub mod figures;
+pub mod json;
 
 /// The scale factor for this run (`QUAKE_SCALE`, default 6).
 pub fn scale() -> f64 {

@@ -8,24 +8,114 @@
 //! * [`smv`] — sequential symmetric SMVP (the baseline);
 //! * [`lmv`] — threaded, scattered `y` updates guarded by per-entry locks
 //!   (Spark98's LMV);
-//! * [`rmv`] — threaded, private per-thread `y` buffers reduced afterwards
-//!   (Spark98's RMV);
+//! * [`rmv`] — threaded, private per-thread `y` buffers combined by a
+//!   parallel tree reduction (Spark98's RMV);
 //! * [`pmv`] — threaded row-parallel product over the *full* (non-symmetric
-//!   storage) matrix: no conflicts, double the memory traffic.
+//!   storage) matrix: no conflicts, double the memory traffic;
+//! * [`bmv`] — threaded block-row-parallel product over 3×3-block CSR,
+//!   the layout the Quake stiffness matrices actually use.
 //!
 //! All kernels compute exactly the same `y = Kx`; the benches compare their
 //! throughput, reproducing the classic locks-vs-reduction tradeoff.
 //!
-//! The `*_pooled` variants ([`rmv_pooled`], [`pmv_pooled`]) run the same
-//! algorithms over a persistent [`WorkerPool`] instead of spawning threads
-//! per call — the executor-grade path for repeated products such as the
-//! paper's 6000-step time loop.
+//! # Allocation-free hot path
+//!
+//! Every kernel comes in two forms: an allocating convenience wrapper
+//! (`rmv`, …) that returns a fresh `Vec`, and an in-place `_into` variant
+//! (`rmv_into`, …) that writes into a caller-owned output and draws its
+//! scratch space from a reusable [`KernelWorkspace`]. The `_into` +
+//! `*_pooled` combination ([`rmv_pooled_into`], [`pmv_pooled_into`],
+//! [`bmv_pooled_into`]) is the executor-grade path: after warmup it
+//! performs **zero heap allocations per product** — workspace buffers are
+//! zeroed in place, work is dispatched over [`WorkerPool::broadcast`] (one
+//! shared closure per batch, nothing boxed), and chunk geometry is computed
+//! arithmetically by [`chunk_range`] instead of materializing a chunk list.
+//! That matters because the paper's time loop repeats the SMVP 6000 times:
+//! any per-call allocation shows up in the measured `T_f` as allocator
+//! noise rather than memory-system behaviour.
 
-use crate::pool::{Task, WorkerPool};
-use parking_lot::Mutex;
+use crate::pool::{BatchFn, WorkerPool};
+use crate::workspace::KernelWorkspace;
+use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::csr::Csr;
 use quake_sparse::dense::Vec3;
-use quake_sparse::sym::SymCsr;
+use quake_sparse::sym::{SymCsr, SymParts};
+
+/// A raw pointer that may cross thread boundaries.
+///
+/// Used to hand each worker of a shared [`BatchFn`] closure its own
+/// *disjoint* region of one output or scratch buffer without materializing
+/// per-worker `&mut` slices (which a shared `Fn` closure cannot hold).
+/// Every use site is responsible for disjointness; each documents its
+/// argument.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+// SAFETY: the pointer is only dereferenced inside kernel batches whose
+// workers write disjoint index ranges, and every batch is a full barrier
+// before the underlying buffer is touched again.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// The `k`-th of `parts` near-equal contiguous chunks of `0..n`, computed
+/// arithmetically so hot closures can derive their row range without
+/// allocating a chunk list. Chunks for `k < parts` cover `0..n` exactly
+/// once; when `parts > n` the excess chunks are empty.
+pub(crate) fn chunk_range(n: usize, parts: usize, k: usize) -> std::ops::Range<usize> {
+    debug_assert!(parts > 0, "chunk_range needs at least one part");
+    debug_assert!(k < parts, "chunk index out of range");
+    (n * k / parts)..(n * (k + 1) / parts)
+}
+
+/// Splits `n` rows into at most `threads` contiguous non-empty chunks of
+/// near-equal size. Returns an empty list for `n == 0` (there are no rows
+/// to chunk — callers iterate the list, so zero chunks means zero work).
+fn row_chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = threads.max(1).min(n);
+    (0..parts).map(|k| chunk_range(n, parts, k)).collect()
+}
+
+/// Scatters the symmetric contributions of `rows` into `buf`: for each row
+/// `r`, `buf[r] += (Kx)[r]`'s upper-triangle terms and `buf[c] += v·x[r]`
+/// for every stored `(r, c)` (the transpose term). `buf` must be zeroed
+/// beforehand over every column it can touch.
+///
+/// The inner loop uses unchecked indexing: [`SymCsr`] construction
+/// guarantees `row_ptr` is monotone with `row_ptr[dim]` equal to the
+/// stored-entry count and every stored column index `< dim`, and callers
+/// assert `x.len() == buf.len() == dim`. The allocating PR-1-era kernels
+/// kept per-access bounds checks; dropping them on this gather/scatter —
+/// the innermost loop of the paper's 6000-step workload — is part of the
+/// in-place hot path's measured advantage.
+#[inline]
+fn scatter_sym_rows(full: &SymParts<'_>, x: &[f64], buf: &mut [f64], rows: std::ops::Range<usize>) {
+    debug_assert_eq!(x.len(), buf.len());
+    debug_assert_eq!(x.len() + 1, full.row_ptr.len());
+    debug_assert!(rows.end <= x.len());
+    for r in rows {
+        // SAFETY: see above — every index is validated at construction.
+        unsafe {
+            let xr = *x.get_unchecked(r);
+            let mut local = *full.diag.get_unchecked(r) * xr;
+            for k in *full.row_ptr.get_unchecked(r)..*full.row_ptr.get_unchecked(r + 1) {
+                let c = *full.col_idx.get_unchecked(k);
+                let v = *full.values.get_unchecked(k);
+                local += v * *x.get_unchecked(c);
+                *buf.get_unchecked_mut(c) += v * xr;
+            }
+            *buf.get_unchecked_mut(r) += local;
+        }
+    }
+}
 
 /// Sequential symmetric SMVP (baseline).
 ///
@@ -33,19 +123,28 @@ use quake_sparse::sym::SymCsr;
 ///
 /// Panics if `x.len()` does not match the matrix dimension.
 pub fn smv(matrix: &SymCsr, x: &[f64]) -> Vec<f64> {
-    matrix.spmv_alloc(x).expect("dimension checked by caller")
+    let mut y = vec![0.0; matrix.dim()];
+    smv_into(matrix, x, &mut y);
+    y
 }
 
-/// Splits `n` rows into `threads` contiguous chunks of near-equal size.
-fn row_chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
-    let threads = threads.max(1).min(n.max(1));
-    (0..threads)
-        .map(|t| {
-            let lo = n * t / threads;
-            let hi = n * (t + 1) / threads;
-            lo..hi
-        })
-        .collect()
+/// In-place [`smv`]: writes `y = Kx` into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `y.len()` does not match the matrix dimension.
+pub fn smv_into(matrix: &SymCsr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        x.len(),
+        matrix.dim(),
+        "x length must match matrix dimension"
+    );
+    assert_eq!(
+        y.len(),
+        matrix.dim(),
+        "y length must match matrix dimension"
+    );
+    matrix.spmv(x, y).expect("dimensions asserted above");
 }
 
 /// Threaded symmetric SMVP with per-entry locks on the scattered updates.
@@ -58,21 +157,45 @@ fn row_chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
 /// Panics if `x.len()` does not match the matrix dimension or
 /// `threads == 0`.
 pub fn lmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
+    let mut y = vec![0.0; matrix.dim()];
+    let mut ws = KernelWorkspace::new();
+    lmv_into(matrix, x, threads, &mut y, &mut ws);
+    y
+}
+
+/// In-place [`lmv`]: accumulates into lock cells owned by `ws` (zeroed in
+/// place, reused across calls), then copies the result into `y`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `y.len()` does not match the matrix dimension or
+/// `threads == 0`.
+pub fn lmv_into(
+    matrix: &SymCsr,
+    x: &[f64],
+    threads: usize,
+    y: &mut [f64],
+    ws: &mut KernelWorkspace,
+) {
     assert_eq!(
         x.len(),
         matrix.dim(),
         "x length must match matrix dimension"
     );
+    assert_eq!(
+        y.len(),
+        matrix.dim(),
+        "y length must match matrix dimension"
+    );
     assert!(threads > 0, "need at least one thread");
     let n = matrix.dim();
-    let y: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
     let full = matrix.parts();
+    let cells = ws.lock_cells(n);
     let chunks = row_chunks(n, threads);
     std::thread::scope(|scope| {
+        let shared: &[parking_lot::Mutex<f64>] = cells;
         for range in &chunks {
             let range = range.clone();
-            let y = &y;
-            let full = &full;
             scope.spawn(move || {
                 for r in range {
                     let mut local = full.diag[r] * x[r];
@@ -80,68 +203,179 @@ pub fn lmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
                         let c = full.col_idx[k];
                         let v = full.values[k];
                         local += v * x[c];
-                        *y[c].lock() += v * x[r];
+                        *shared[c].lock() += v * x[r];
                     }
-                    *y[r].lock() += local;
+                    *shared[r].lock() += local;
                 }
             });
         }
     });
-    y.into_iter().map(|m| m.into_inner()).collect()
+    for (yi, cell) in y.iter_mut().zip(cells.iter_mut()) {
+        *yi = *cell.get_mut();
+    }
 }
 
-/// Threaded symmetric SMVP with per-thread private accumulation buffers,
-/// reduced after the barrier (Spark98's RMV strategy).
+/// Threaded symmetric SMVP with per-thread private accumulation buffers
+/// combined by a parallel tree reduction (Spark98's RMV strategy).
 ///
 /// # Panics
 ///
 /// Panics if `x.len()` does not match the matrix dimension or
 /// `threads == 0`.
 pub fn rmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
+    let mut y = vec![0.0; matrix.dim()];
+    let mut ws = KernelWorkspace::new();
+    rmv_into(matrix, x, threads, &mut y, &mut ws);
+    y
+}
+
+/// In-place [`rmv`]: per-thread reduction buffers live in `ws` (zeroed in
+/// place, reused across calls) and are combined by a parallel tree
+/// reduction instead of a serial fold.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `y.len()` does not match the matrix dimension or
+/// `threads == 0`.
+pub fn rmv_into(
+    matrix: &SymCsr,
+    x: &[f64],
+    threads: usize,
+    y: &mut [f64],
+    ws: &mut KernelWorkspace,
+) {
     assert_eq!(
         x.len(),
         matrix.dim(),
         "x length must match matrix dimension"
     );
+    assert_eq!(
+        y.len(),
+        matrix.dim(),
+        "y length must match matrix dimension"
+    );
     assert!(threads > 0, "need at least one thread");
     let n = matrix.dim();
     let full = matrix.parts();
     let chunks = row_chunks(n, threads);
-    let buffers: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|range| {
-                let range = range.clone();
-                let full = &full;
-                scope.spawn(move || {
-                    let mut buf = vec![0.0; n];
-                    for r in range {
-                        let mut local = full.diag[r] * x[r];
-                        for k in full.row_ptr[r]..full.row_ptr[r + 1] {
-                            let c = full.col_idx[k];
-                            let v = full.values[k];
-                            local += v * x[c];
-                            buf[c] += v * x[r];
-                        }
-                        buf[r] += local;
-                    }
-                    buf
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("kernel thread panicked"))
-            .collect()
-    });
-    // Parallel-friendly reduction (serial here; the buffers dominate).
-    let mut y = vec![0.0; n];
-    for buf in buffers {
-        for (yi, bi) in y.iter_mut().zip(buf) {
-            *yi += bi;
-        }
+    let buffers = chunks.len();
+    if buffers == 0 {
+        return;
     }
-    y
+    if buffers == 1 {
+        // Single reduction buffer: scatter straight into `y` serially — no
+        // workspace traffic, no reduction, no thread spawn.
+        y.fill(0.0);
+        scatter_sym_rows(&full, x, y, 0..n);
+        return;
+    }
+    let flat = ws.reduction_flat(buffers, n);
+    let ptr = SendPtr(flat.as_mut_ptr());
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for (t, range) in chunks.iter().enumerate() {
+            let range = range.clone();
+            scope.spawn(move || {
+                // SAFETY: buffer `t` is the flat range `[t*n, (t+1)*n)`;
+                // each spawned thread takes a distinct `t`, so the slices
+                // are disjoint, and the scope joins before `flat` is read.
+                let buf = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(t * n), n) };
+                buf.fill(0.0);
+                scatter_sym_rows(&full, x, buf, range);
+            });
+        }
+    });
+    tree_reduce_into(ptr, buffers, n, threads, y_ptr, &|f| {
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                scope.spawn(move || f(w));
+            }
+        });
+    });
+}
+
+/// Parallel tree reduction of `buffers` flat per-thread accumulation
+/// buffers (buffer `t` = `flat[t*n..(t+1)*n]`), writing the elementwise
+/// total into `y` (which must not alias the workspace).
+///
+/// Stride-doubling pairwise adds: in the round with stride `s`, buffer
+/// `dst + s` is added into buffer `dst` for every `dst ≡ 0 (mod 2s)`.
+/// Distinct pairs touch disjoint buffers, and each pair's element range is
+/// further chunked across `workers / npairs` workers, so every round is
+/// embarrassingly parallel; `log2(buffers)` rounds replace the old serial
+/// fold's `buffers · n` sequential adds. The final round always has a
+/// single pair `(0, s)` and stores its sums directly into `y`, fusing the
+/// copy-out that would otherwise cost one more barrier; with a single
+/// buffer the only round is a parallel copy.
+///
+/// `run` executes one round: it must call the given closure once per worker
+/// index in `0..workers` and act as a full barrier (the pool's `broadcast`
+/// or a spawn scope both qualify).
+fn tree_reduce_into(
+    flat: SendPtr<f64>,
+    buffers: usize,
+    n: usize,
+    workers: usize,
+    y: SendPtr<f64>,
+    run: &dyn Fn(&BatchFn<'_>),
+) {
+    if buffers == 1 {
+        run(&move |w: usize| {
+            // SAFETY: workers copy disjoint element chunks, and `y` never
+            // aliases the workspace.
+            unsafe {
+                let s = flat.get();
+                let d = y.get();
+                for i in chunk_range(n, workers, w) {
+                    *d.add(i) = *s.add(i);
+                }
+            }
+        });
+        return;
+    }
+    let mut stride = 1;
+    while stride < buffers {
+        // Pairs (dst, dst+stride) with dst ≡ 0 (mod 2·stride) and
+        // dst + stride < buffers; `stride < buffers` makes this ≥ 1.
+        let npairs = (buffers - stride - 1) / (2 * stride) + 1;
+        debug_assert!(
+            npairs <= workers,
+            "pairs outnumber workers (buffers > workers?)"
+        );
+        // Once `2s ≥ buffers` only the pair `(0, s)` remains: that round
+        // produces the final totals, so route them straight into `y`.
+        let last = 2 * stride >= buffers;
+        debug_assert!(!last || npairs == 1);
+        let chunks_per_pair = (workers / npairs).max(1);
+        run(&move |w: usize| {
+            let pair = w / chunks_per_pair;
+            if pair >= npairs {
+                return;
+            }
+            let dst = pair * 2 * stride;
+            let src = dst + stride;
+            let chunk = chunk_range(n, chunks_per_pair, w % chunks_per_pair);
+            // SAFETY: distinct pairs read/write disjoint buffers (dst is a
+            // multiple of 2·stride, src ≡ stride mod 2·stride), distinct
+            // workers of one pair write disjoint element chunks, and `run`
+            // is a barrier between rounds.
+            unsafe {
+                let d = flat.get().add(dst * n);
+                let s = flat.get().add(src * n);
+                if last {
+                    let out = y.get();
+                    for i in chunk {
+                        *out.add(i) = *d.add(i) + *s.add(i);
+                    }
+                } else {
+                    for i in chunk {
+                        *d.add(i) += *s.add(i);
+                    }
+                }
+            }
+        });
+        stride *= 2;
+    }
 }
 
 /// Threaded row-parallel SMVP over full CSR storage: each thread writes a
@@ -152,19 +386,31 @@ pub fn rmv(matrix: &SymCsr, x: &[f64], threads: usize) -> Vec<f64> {
 ///
 /// Panics if `x.len() != matrix.cols()` or `threads == 0`.
 pub fn pmv(matrix: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
+    let mut y = vec![0.0; matrix.rows()];
+    pmv_into(matrix, x, threads, &mut y);
+    y
+}
+
+/// In-place [`pmv`]: writes disjoint row slices of the caller-owned `y`.
+/// Needs no workspace — row-parallel full storage has no write conflicts.
+///
+/// # Panics
+///
+/// Panics if `x.len() != matrix.cols()`, `y.len() != matrix.rows()`, or
+/// `threads == 0`.
+pub fn pmv_into(matrix: &Csr, x: &[f64], threads: usize, y: &mut [f64]) {
     assert_eq!(x.len(), matrix.cols(), "x length must match matrix columns");
+    assert_eq!(y.len(), matrix.rows(), "y length must match matrix rows");
     assert!(threads > 0, "need at least one thread");
     let n = matrix.rows();
-    let mut y = vec![0.0; n];
     let chunks = row_chunks(n, threads);
     std::thread::scope(|scope| {
-        let mut rest: &mut [f64] = &mut y;
-        let mut handles = Vec::new();
+        let mut rest: &mut [f64] = y;
         for range in &chunks {
             let (mine, tail) = rest.split_at_mut(range.len());
             rest = tail;
             let range = range.clone();
-            handles.push(scope.spawn(move || {
+            scope.spawn(move || {
                 for (slot, r) in mine.iter_mut().zip(range) {
                     let mut sum = 0.0;
                     for (c, v) in matrix.row(r).pairs() {
@@ -172,56 +418,87 @@ pub fn pmv(matrix: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
                     }
                     *slot = sum;
                 }
-            }));
+            });
         }
     });
-    y
 }
 
 /// [`rmv`] over a persistent [`WorkerPool`]: per-worker private buffers
-/// reduced after the pool barrier, no thread spawns on the call path.
+/// combined by a pooled tree reduction, no thread spawns on the call path.
 ///
 /// # Panics
 ///
 /// Panics if `x.len()` does not match the matrix dimension.
 pub fn rmv_pooled(matrix: &SymCsr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
+    let mut y = vec![0.0; matrix.dim()];
+    let mut ws = KernelWorkspace::new();
+    rmv_pooled_into(matrix, x, pool, &mut y, &mut ws);
+    y
+}
+
+/// In-place [`rmv_pooled`] — the executor-grade symmetric path. After
+/// warmup this performs zero heap allocations per call: the scatter and
+/// the tree reduction (whose last round writes `y` directly) run as
+/// [`WorkerPool::broadcast`] batches over workspace buffers that are
+/// zeroed in place.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `y.len()` does not match the matrix dimension.
+pub fn rmv_pooled_into(
+    matrix: &SymCsr,
+    x: &[f64],
+    pool: &WorkerPool,
+    y: &mut [f64],
+    ws: &mut KernelWorkspace,
+) {
     assert_eq!(
         x.len(),
         matrix.dim(),
         "x length must match matrix dimension"
     );
+    assert_eq!(
+        y.len(),
+        matrix.dim(),
+        "y length must match matrix dimension"
+    );
     let n = matrix.dim();
-    let full = matrix.parts();
-    let chunks = row_chunks(n, pool.threads());
-    let mut buffers: Vec<Vec<f64>> = vec![vec![0.0; n]; chunks.len()];
-    let tasks: Vec<Task> = buffers
-        .iter_mut()
-        .zip(&chunks)
-        .map(|(buf, range)| {
-            let range = range.clone();
-            let full = &full;
-            Box::new(move || {
-                for r in range {
-                    let mut local = full.diag[r] * x[r];
-                    for k in full.row_ptr[r]..full.row_ptr[r + 1] {
-                        let c = full.col_idx[k];
-                        let v = full.values[k];
-                        local += v * x[c];
-                        buf[c] += v * x[r];
-                    }
-                    buf[r] += local;
-                }
-            }) as Task
-        })
-        .collect();
-    pool.execute(tasks);
-    let mut y = vec![0.0; n];
-    for buf in buffers {
-        for (yi, bi) in y.iter_mut().zip(buf) {
-            *yi += bi;
-        }
+    if n == 0 {
+        return;
     }
-    y
+    let threads = pool.threads();
+    let buffers = threads.min(n);
+    let full = matrix.parts();
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    if buffers == 1 {
+        // Single reduction buffer: scatter straight into `y` in one batch —
+        // no workspace traffic, no reduction round.
+        pool.broadcast(&move |w| {
+            if w != 0 {
+                return;
+            }
+            // SAFETY: only worker 0 touches `y`, and the broadcast barrier
+            // orders its writes before the caller reads `y`.
+            let yb = unsafe { std::slice::from_raw_parts_mut(y_ptr.get(), n) };
+            yb.fill(0.0);
+            scatter_sym_rows(&full, x, yb, 0..n);
+        });
+        return;
+    }
+    let flat = ws.reduction_flat(buffers, n);
+    let ptr = SendPtr(flat.as_mut_ptr());
+    pool.broadcast(&move |w| {
+        if w >= buffers {
+            return;
+        }
+        // SAFETY: worker `w < buffers` exclusively owns the flat range
+        // `[w*n, (w+1)*n)`; the broadcast barrier orders these writes
+        // before the reduction below.
+        let buf = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(w * n), n) };
+        buf.fill(0.0);
+        scatter_sym_rows(&full, x, buf, chunk_range(n, buffers, w));
+    });
+    tree_reduce_into(ptr, buffers, n, threads, y_ptr, &|f| pool.broadcast(f));
 }
 
 /// [`pmv`] over a persistent [`WorkerPool`]: disjoint row slices of `y`
@@ -231,28 +508,37 @@ pub fn rmv_pooled(matrix: &SymCsr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
 ///
 /// Panics if `x.len() != matrix.cols()`.
 pub fn pmv_pooled(matrix: &Csr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
-    assert_eq!(x.len(), matrix.cols(), "x length must match matrix columns");
-    let n = matrix.rows();
-    let mut y = vec![0.0; n];
-    let chunks = row_chunks(n, pool.threads());
-    let mut tasks: Vec<Task> = Vec::with_capacity(chunks.len());
-    let mut rest: &mut [f64] = &mut y;
-    for range in &chunks {
-        let (mine, tail) = rest.split_at_mut(range.len());
-        rest = tail;
-        let range = range.clone();
-        tasks.push(Box::new(move || {
-            for (slot, r) in mine.iter_mut().zip(range) {
-                let mut sum = 0.0;
-                for (c, v) in matrix.row(r).pairs() {
-                    sum += v * x[c];
-                }
-                *slot = sum;
-            }
-        }) as Task);
-    }
-    pool.execute(tasks);
+    let mut y = vec![0.0; matrix.rows()];
+    pmv_pooled_into(matrix, x, pool, &mut y);
     y
+}
+
+/// In-place [`pmv_pooled`]: one broadcast batch, zero heap allocations per
+/// call after pool warmup.
+///
+/// # Panics
+///
+/// Panics if `x.len() != matrix.cols()` or `y.len() != matrix.rows()`.
+pub fn pmv_pooled_into(matrix: &Csr, x: &[f64], pool: &WorkerPool, y: &mut [f64]) {
+    assert_eq!(x.len(), matrix.cols(), "x length must match matrix columns");
+    assert_eq!(y.len(), matrix.rows(), "y length must match matrix rows");
+    let n = matrix.rows();
+    let threads = pool.threads();
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    pool.broadcast(&move |w| {
+        // SAFETY: chunk_range partitions 0..n, so workers write disjoint
+        // elements of `y`; the broadcast barrier ends the writes before
+        // the caller's `&mut y` is used again.
+        for r in chunk_range(n, threads, w) {
+            let mut sum = 0.0;
+            for (c, v) in matrix.row(r).pairs() {
+                sum += v * x[c];
+            }
+            unsafe {
+                *y_ptr.get().add(r) = sum;
+            }
+        }
+    });
 }
 
 /// Threaded block-row-parallel SMVP over 3×3-block CSR storage: each thread
@@ -263,21 +549,38 @@ pub fn pmv_pooled(matrix: &Csr, x: &[f64], pool: &WorkerPool) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `x.len()` does not match the block-row count or `threads == 0`.
-pub fn bmv(matrix: &quake_sparse::bcsr::Bcsr3, x: &[Vec3], threads: usize) -> Vec<Vec3> {
+pub fn bmv(matrix: &Bcsr3, x: &[Vec3], threads: usize) -> Vec<Vec3> {
+    let mut y = vec![Vec3::ZERO; matrix.block_rows()];
+    bmv_into(matrix, x, threads, &mut y);
+    y
+}
+
+/// In-place [`bmv`]: writes disjoint block-row slices of the caller-owned
+/// `y`. Needs no workspace.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `y.len()` does not match the block-row count or
+/// `threads == 0`.
+pub fn bmv_into(matrix: &Bcsr3, x: &[Vec3], threads: usize, y: &mut [Vec3]) {
     assert_eq!(
         x.len(),
         matrix.block_rows(),
         "x length must match block rows"
     );
+    assert_eq!(
+        y.len(),
+        matrix.block_rows(),
+        "y length must match block rows"
+    );
     assert!(threads > 0, "need at least one thread");
     let n = matrix.block_rows();
-    let mut y = vec![Vec3::ZERO; n];
     let chunks = row_chunks(n, threads);
     let row_ptr = matrix.row_ptr();
     let col_idx = matrix.col_idx();
     let blocks = matrix.blocks();
     std::thread::scope(|scope| {
-        let mut rest: &mut [Vec3] = &mut y;
+        let mut rest: &mut [Vec3] = y;
         for range in &chunks {
             let (mine, tail) = rest.split_at_mut(range.len());
             rest = tail;
@@ -293,7 +596,57 @@ pub fn bmv(matrix: &quake_sparse::bcsr::Bcsr3, x: &[Vec3], threads: usize) -> Ve
             });
         }
     });
+}
+
+/// [`bmv`] over a persistent [`WorkerPool`] — the executor-grade path for
+/// the BCSR layout the Quake matrices actually use.
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the block-row count.
+pub fn bmv_pooled(matrix: &Bcsr3, x: &[Vec3], pool: &WorkerPool) -> Vec<Vec3> {
+    let mut y = vec![Vec3::ZERO; matrix.block_rows()];
+    bmv_pooled_into(matrix, x, pool, &mut y);
     y
+}
+
+/// In-place [`bmv_pooled`]: one broadcast batch, zero heap allocations per
+/// call after pool warmup.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `y.len()` does not match the block-row count.
+pub fn bmv_pooled_into(matrix: &Bcsr3, x: &[Vec3], pool: &WorkerPool, y: &mut [Vec3]) {
+    assert_eq!(
+        x.len(),
+        matrix.block_rows(),
+        "x length must match block rows"
+    );
+    assert_eq!(
+        y.len(),
+        matrix.block_rows(),
+        "y length must match block rows"
+    );
+    let n = matrix.block_rows();
+    let threads = pool.threads();
+    let row_ptr = matrix.row_ptr();
+    let col_idx = matrix.col_idx();
+    let blocks = matrix.blocks();
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    pool.broadcast(&move |w| {
+        // SAFETY: chunk_range partitions 0..n, so workers write disjoint
+        // block rows of `y`; the broadcast barrier ends the writes before
+        // the caller's `&mut y` is used again.
+        for r in chunk_range(n, threads, w) {
+            let mut acc = Vec3::ZERO;
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                acc += blocks[k].mul_vec(x[col_idx[k]]);
+            }
+            unsafe {
+                *y_ptr.get().add(r) = acc;
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -367,9 +720,75 @@ mod tests {
         assert_eq!(total, 10);
         assert_eq!(chunks[0].start, 0);
         assert_eq!(chunks.last().unwrap().end, 10);
-        // Degenerate shapes.
-        assert_eq!(row_chunks(0, 4).len(), 1);
+        // Degenerate shapes: no rows means no chunks (not one empty chunk),
+        // and chunks are never empty when rows exist.
+        assert!(row_chunks(0, 4).is_empty());
         assert_eq!(row_chunks(3, 8).len(), 3);
+        assert!(row_chunks(3, 8).iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn chunk_range_partitions_rows() {
+        for (n, parts) in [(10, 3), (3, 8), (0, 4), (16, 16), (7, 1)] {
+            let mut covered = Vec::new();
+            for k in 0..parts {
+                covered.extend(chunk_range(n, parts, k));
+            }
+            assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_safe_for_all_kernels() {
+        let full = Coo::new(0, 0).to_csr();
+        let sym = SymCsr::from_csr(&full, 1e-12).unwrap();
+        let pool = WorkerPool::new(3);
+        let mut ws = KernelWorkspace::new();
+        assert!(smv(&sym, &[]).is_empty());
+        assert!(lmv(&sym, &[], 4).is_empty());
+        assert!(rmv(&sym, &[], 4).is_empty());
+        assert!(pmv(&full, &[], 4).is_empty());
+        assert!(rmv_pooled(&sym, &[], &pool).is_empty());
+        assert!(pmv_pooled(&full, &[], &pool).is_empty());
+        rmv_pooled_into(&sym, &[], &pool, &mut [], &mut ws);
+    }
+
+    #[test]
+    fn pooled_kernels_agree_with_sequential() {
+        let full = random_symmetric(300, 5, 11);
+        let sym = SymCsr::from_csr(&full, 1e-12).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let x: Vec<f64> = (0..300).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let reference = full.spmv_alloc(&x).unwrap();
+        for threads in [1, 2, 5] {
+            let pool = WorkerPool::new(threads);
+            assert_vec_close(&rmv_pooled(&sym, &x, &pool), &reference);
+            assert_vec_close(&pmv_pooled(&full, &x, &pool), &reference);
+        }
+    }
+
+    #[test]
+    fn tree_reduce_sums_every_buffer_count() {
+        // Exercise odd, even, power-of-two, and singleton buffer counts.
+        for buffers in 1..=9usize {
+            let n = 13;
+            let mut flat: Vec<f64> = (0..buffers * n).map(|i| i as f64).collect();
+            let expected: Vec<f64> = (0..n)
+                .map(|i| (0..buffers).map(|t| (t * n + i) as f64).sum())
+                .collect();
+            let workers = 4;
+            let mut y = vec![f64::NAN; n];
+            let ptr = SendPtr(flat.as_mut_ptr());
+            let y_ptr = SendPtr(y.as_mut_ptr());
+            tree_reduce_into(ptr, buffers, n, workers, y_ptr, &|f| {
+                std::thread::scope(|scope| {
+                    for w in 0..workers {
+                        scope.spawn(move || f(w));
+                    }
+                });
+            });
+            assert_eq!(&y[..], &expected[..], "buffers={buffers}");
+        }
     }
 
     #[test]
@@ -402,6 +821,16 @@ mod tests {
                 );
             }
         }
+        for threads in [1, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let y = bmv_pooled(&matrix, &x, &pool);
+            for (a, b) in reference.iter().zip(&y) {
+                assert!(
+                    (*a - *b).norm() < 1e-12,
+                    "bmv_pooled disagrees at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]
@@ -424,5 +853,14 @@ mod tests {
     fn wrong_x_length_panics() {
         let full = random_symmetric(4, 1, 5);
         let _ = pmv(&full, &[0.0; 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "y length")]
+    fn wrong_y_length_panics() {
+        let full = random_symmetric(4, 1, 6);
+        let sym = SymCsr::from_csr(&full, 1e-12).unwrap();
+        let mut y = vec![0.0; 3];
+        smv_into(&sym, &[0.0; 4], &mut y);
     }
 }

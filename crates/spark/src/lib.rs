@@ -9,13 +9,22 @@
 //! their throughput; all produce identical results.
 //!
 //! For repeated products (the paper's 6000-step time loop) the
-//! [`pool::WorkerPool`] keeps worker threads persistent across calls, and
-//! [`kernels::rmv_pooled`]/[`kernels::pmv_pooled`] run the same algorithms
-//! over it without per-call thread spawns; `bench_executor` tracks the
-//! pooled-vs-spawned gap.
+//! [`pool::WorkerPool`] keeps worker threads persistent across calls and
+//! the `*_pooled` kernels run over it without per-call thread spawns.
+//! The in-place `_into` variants ([`kernels::rmv_pooled_into`],
+//! [`kernels::pmv_pooled_into`], [`kernels::bmv_pooled_into`], …) draw
+//! their scratch space from a reusable [`workspace::KernelWorkspace`] and
+//! dispatch over [`pool::WorkerPool::broadcast`], making the steady-state
+//! product allocation-free; `bench_executor` and `bench_smvp` track the
+//! pooled-vs-spawned and alloc-vs-in-place gaps.
 
 pub mod kernels;
 pub mod pool;
+pub mod workspace;
 
-pub use kernels::{bmv, lmv, pmv, pmv_pooled, rmv, rmv_pooled, smv};
+pub use kernels::{
+    bmv, bmv_into, bmv_pooled, bmv_pooled_into, lmv, lmv_into, pmv, pmv_into, pmv_pooled,
+    pmv_pooled_into, rmv, rmv_into, rmv_pooled, rmv_pooled_into, smv, smv_into,
+};
 pub use pool::WorkerPool;
+pub use workspace::KernelWorkspace;

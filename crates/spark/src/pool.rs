@@ -3,22 +3,30 @@
 //! The spawn-per-call kernels in [`crate::kernels`] pay thread creation and
 //! teardown on every SMVP — acceptable for one product, ruinous for the
 //! paper's 6000-step time loop where the same parallel shape repeats every
-//! step. [`WorkerPool`] keeps a fixed set of OS threads alive and feeds
-//! them batches of borrowed closures; [`WorkerPool::execute`] is a full
-//! barrier (it returns only after every task has run), which is exactly the
-//! phase discipline a bulk-synchronous SMVP needs.
+//! step. [`WorkerPool`] keeps a fixed set of OS threads alive, each with
+//! its **own** command queue (no shared `Mutex<Receiver>` on the dispatch
+//! path), and offers two ways to feed them:
+//!
+//! * [`WorkerPool::execute`] — a batch of boxed closures, round-robined
+//!   across the per-worker queues. Flexible (any number of tasks) but pays
+//!   one `Box` per task. Full barrier.
+//! * [`WorkerPool::broadcast`] — the steady-state fast path: one *shared*
+//!   closure invoked once per worker with that worker's index. Nothing is
+//!   boxed and nothing is allocated per call (the per-worker queues and the
+//!   completion latch are reused), so a 6000-step time loop can dispatch
+//!   6000 × phases batches without touching the allocator. Full barrier.
 //!
 //! # Safety model
 //!
 //! Tasks may borrow from the caller's stack (`'scope` lifetime). The pool
 //! erases that lifetime to move tasks onto long-lived worker threads, which
-//! is sound because `execute` blocks on a completion latch until every task
-//! in the batch has finished (or panicked) — no task can outlive the
-//! borrowed data. Worker panics are caught, counted, and re-raised on the
-//! calling thread after the batch drains.
+//! is sound because `execute`/`broadcast` block on a completion latch until
+//! every task in the batch has finished (or panicked) — no task can outlive
+//! the borrowed data. Worker panics are caught, counted, and re-raised on
+//! the calling thread after the batch drains.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -27,7 +35,10 @@ pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
 
 type StaticTask = Box<dyn FnOnce() + Send + 'static>;
 
-/// Completion latch for one `execute` batch.
+/// A shared batch closure, called once per worker with the worker index.
+pub type BatchFn<'scope> = dyn Fn(usize) + Sync + 'scope;
+
+/// Completion latch for one `execute`/`broadcast` batch.
 struct Latch {
     state: Mutex<LatchState>,
     cv: Condvar,
@@ -48,6 +59,15 @@ impl Latch {
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Re-arms a drained latch for the next batch (the zero-allocation
+    /// `broadcast` path reuses one latch for the pool's whole lifetime).
+    fn reset(&self, count: usize) {
+        let mut state = self.state.lock().expect("latch lock");
+        debug_assert_eq!(state.remaining, 0, "latch reset while a batch is live");
+        state.remaining = count;
+        state.panic = None;
     }
 
     fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
@@ -73,17 +93,79 @@ impl Latch {
     }
 }
 
-struct Job {
-    task: StaticTask,
-    latch: Arc<Latch>,
+/// One queued command for a specific worker.
+enum Cmd {
+    /// A boxed task from `execute`.
+    Task(StaticTask, Arc<Latch>),
+    /// A lifetime-erased shared closure from `broadcast`; the worker calls
+    /// it with its own index.
+    Batch(&'static BatchFn<'static>, Arc<Latch>),
+}
+
+struct QueueState {
+    cmds: VecDeque<Cmd>,
+    shutdown: bool,
+}
+
+/// A single worker's private command queue.
+struct WorkerQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl WorkerQueue {
+    fn new() -> Self {
+        WorkerQueue {
+            state: Mutex::new(QueueState {
+                cmds: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, cmd: Cmd) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.cmds.push_back(cmd);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next command; `None` once the queue is closed *and*
+    /// drained (so no queued work is ever abandoned on shutdown).
+    fn pop(&self) -> Option<Cmd> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(cmd) = state.cmds.pop_front() {
+                return Some(cmd);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.cv.wait(state).expect("queue wait");
+        }
+    }
 }
 
 /// A fixed-size pool of persistent worker threads executing borrowed task
 /// batches with barrier semantics.
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    queues: Arc<Vec<WorkerQueue>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Reusable latch for `broadcast` batches (serialized by `submit`).
+    batch_latch: Arc<Latch>,
+    /// Serializes `broadcast` callers so the reusable latch is never shared
+    /// between two live batches.
+    submit: Mutex<()>,
+    /// Round-robin start offset so small `execute` batches spread across
+    /// workers instead of piling onto worker 0.
+    next_worker: Mutex<usize>,
 }
 
 impl WorkerPool {
@@ -94,21 +176,24 @@ impl WorkerPool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
-        let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let queues: Arc<Vec<WorkerQueue>> =
+            Arc::new((0..threads).map(|_| WorkerQueue::new()).collect());
         let workers = (0..threads)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let queues = Arc::clone(&queues);
                 std::thread::Builder::new()
                     .name(format!("smvp-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(&queues[i], i))
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
-            sender: Some(sender),
+            queues,
             workers,
             threads,
+            batch_latch: Arc::new(Latch::new(0)),
+            submit: Mutex::new(()),
+            next_worker: Mutex::new(0),
         }
     }
 
@@ -118,54 +203,87 @@ impl WorkerPool {
     }
 
     /// Runs every task in `tasks` on the pool and returns once all have
-    /// completed — a full barrier. If any task panicked, the first payload
-    /// is re-raised here after the whole batch has drained (so borrowed
-    /// data is never abandoned mid-use).
+    /// completed — a full barrier. Tasks are distributed round-robin over
+    /// the per-worker queues. If any task panicked, the first payload is
+    /// re-raised here after the whole batch has drained (so borrowed data
+    /// is never abandoned mid-use).
     pub fn execute<'scope>(&self, tasks: Vec<Task<'scope>>) {
         if tasks.is_empty() {
             return;
         }
         let latch = Arc::new(Latch::new(tasks.len()));
-        let sender = self.sender.as_ref().expect("pool alive");
-        for task in tasks {
+        let start = {
+            let mut next = self.next_worker.lock().expect("next_worker lock");
+            let s = *next;
+            *next = (s + tasks.len()) % self.threads;
+            s
+        };
+        for (k, task) in tasks.into_iter().enumerate() {
             // SAFETY: `wait` below blocks until every task has run to
             // completion (the latch is decremented after the task body
             // returns or panics), so no `'scope` borrow escapes this call.
             let task: StaticTask = unsafe { std::mem::transmute::<Task<'scope>, StaticTask>(task) };
-            sender
-                .send(Job {
-                    task,
-                    latch: Arc::clone(&latch),
-                })
-                .expect("worker threads alive while pool exists");
+            self.queues[(start + k) % self.threads].push(Cmd::Task(task, Arc::clone(&latch)));
         }
         latch.wait();
+    }
+
+    /// The steady-state fast path: runs `f(w)` once on every worker
+    /// `w ∈ 0..threads()` and returns once all calls have completed — a
+    /// full barrier with the same panic semantics as [`WorkerPool::execute`].
+    ///
+    /// Nothing is boxed and nothing is heap-allocated on this path: the
+    /// closure is passed by reference, the per-worker queues reuse their
+    /// capacity, and the completion latch is owned by the pool. Concurrent
+    /// `broadcast` calls are serialized internally (each is a barrier
+    /// anyway).
+    ///
+    /// `f` is shared by all workers, so per-worker mutable state must be
+    /// reached through the worker index (disjoint slices, per-worker
+    /// buffers), not through `&mut` captures.
+    pub fn broadcast(&self, f: &BatchFn<'_>) {
+        // A previous broadcast may have poisoned the guard by re-raising a
+        // worker panic while holding it; the guard carries no data, so
+        // poisoning is harmless — recover and keep serializing.
+        let _guard = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.batch_latch.reset(self.threads);
+        // SAFETY: the latch `wait` below blocks until every worker has
+        // finished its `f(w)` call (or panicked), so the erased `'scope`
+        // borrow never outlives this stack frame.
+        let f: &'static BatchFn<'static> =
+            unsafe { std::mem::transmute::<&BatchFn<'_>, &'static BatchFn<'static>>(f) };
+        for queue in self.queues.iter() {
+            queue.push(Cmd::Batch(f, Arc::clone(&self.batch_latch)));
+        }
+        self.batch_latch.wait();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the channel ends every worker's receive loop.
-        self.sender.take();
+        for queue in self.queues.iter() {
+            queue.close();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
-    loop {
-        let job = match receiver.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return,
-        };
-        match job {
-            Ok(Job { task, latch }) => {
+fn worker_loop(queue: &WorkerQueue, index: usize) {
+    while let Some(cmd) = queue.pop() {
+        match cmd {
+            Cmd::Task(task, latch) => {
                 let outcome = catch_unwind(AssertUnwindSafe(task));
                 latch.complete(outcome.err());
             }
-            // Channel closed: the pool is being dropped.
-            Err(_) => return,
+            Cmd::Batch(f, latch) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(index)));
+                latch.complete(outcome.err());
+            }
         }
     }
 }
@@ -275,6 +393,73 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         }) as Task]);
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn broadcast_runs_once_per_worker_with_distinct_indices() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(&|w| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+        });
+        for (w, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn broadcast_is_a_barrier_and_reusable() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for round in 1..=50 {
+            pool.broadcast(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 3 * round, "round {round}");
+        }
+    }
+
+    #[test]
+    fn broadcast_may_borrow_stack_data() {
+        let pool = WorkerPool::new(4);
+        let input = [10u64, 20, 30, 40];
+        let squares: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(&|w| {
+            squares[w].store((input[w] * input[w]) as usize, Ordering::Relaxed);
+        });
+        let got: Vec<usize> = squares.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![100, 400, 900, 1600]);
+    }
+
+    #[test]
+    fn broadcast_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 0 {
+                    panic!("worker 0 failed");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        let counter = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn execute_and_broadcast_interleave() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.execute(vec![Box::new(|| {
+            counter.fetch_add(10, Ordering::Relaxed);
+        }) as Task]);
+        pool.broadcast(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
     }
 
     #[test]

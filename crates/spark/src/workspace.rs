@@ -1,0 +1,109 @@
+//! Reusable kernel scratch space for the allocation-free SMVP hot path.
+//!
+//! The paper's time loop repeats the same SMVP thousands of times, so any
+//! per-call allocation — the per-thread reduction buffers of the RMV
+//! strategy, the per-entry lock cells of the LMV strategy — turns into
+//! allocator traffic that pollutes the measured `T_f`. A
+//! [`KernelWorkspace`] owns those buffers across calls: they are sized on
+//! first use, zeroed in place on every subsequent use, and never
+//! re-allocated as long as the problem size does not grow (capacity is
+//! monotone). The steady-state stability test asserts exactly that via
+//! [`KernelWorkspace::fingerprint`].
+
+use parking_lot::Mutex;
+
+/// Reusable scratch buffers for the `_into` kernels in [`crate::kernels`].
+///
+/// One workspace serves any mix of kernels and problem sizes; buffers grow
+/// to the high-water mark and stay there. A workspace must not be shared
+/// between concurrent kernel calls (the `&mut` receiver enforces this).
+#[derive(Debug, Default)]
+pub struct KernelWorkspace {
+    /// Flat per-thread reduction storage: buffer `t` of an RMV-style kernel
+    /// with `b` buffers over `n` rows is `reduction[t*n..(t+1)*n]`. Flat
+    /// storage keeps the hot path to raw pointer arithmetic (no per-buffer
+    /// `Vec` headers to alias between workers).
+    reduction: Vec<f64>,
+    /// Per-entry lock cells for the LMV strategy, reused across calls.
+    locks: Vec<Mutex<f64>>,
+}
+
+impl KernelWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by first use.
+    pub fn new() -> Self {
+        KernelWorkspace::default()
+    }
+
+    /// A flat `buffers × n` reduction area. Contents are unspecified — the
+    /// kernels zero each per-thread slice in parallel before use.
+    pub(crate) fn reduction_flat(&mut self, buffers: usize, n: usize) -> &mut [f64] {
+        let want = buffers * n;
+        if self.reduction.len() < want {
+            self.reduction.resize(want, 0.0);
+        }
+        &mut self.reduction[..want]
+    }
+
+    /// `n` zeroed lock cells for scattered LMV updates.
+    pub(crate) fn lock_cells(&mut self, n: usize) -> &mut [Mutex<f64>] {
+        if self.locks.len() < n {
+            self.locks.resize_with(n, || Mutex::new(0.0));
+        }
+        let cells = &mut self.locks[..n];
+        for cell in cells.iter_mut() {
+            // Exclusive access: reset without touching the lock word.
+            *cell.get_mut() = 0.0;
+        }
+        cells
+    }
+
+    /// `(pointer, capacity)` of each owned buffer, for steady-state
+    /// stability tests: after warmup, repeated kernel calls at a fixed
+    /// problem size must leave the fingerprint unchanged (no reallocation).
+    pub fn fingerprint(&self) -> [(usize, usize); 2] {
+        [
+            (self.reduction.as_ptr() as usize, self.reduction.capacity()),
+            (self.locks.as_ptr() as usize, self.locks.capacity()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_grows_to_high_water_mark_and_stays() {
+        let mut ws = KernelWorkspace::new();
+        let a = ws.reduction_flat(4, 100).len();
+        assert_eq!(a, 400);
+        let fp = ws.fingerprint();
+        // Smaller request: same storage, no realloc.
+        assert_eq!(ws.reduction_flat(2, 50).len(), 100);
+        assert_eq!(ws.fingerprint(), fp);
+        // Same-size request: still stable.
+        ws.reduction_flat(4, 100);
+        assert_eq!(ws.fingerprint(), fp);
+    }
+
+    #[test]
+    fn lock_cells_are_zeroed_on_every_use() {
+        let mut ws = KernelWorkspace::new();
+        {
+            let cells = ws.lock_cells(8);
+            *cells[3].get_mut() = 42.0;
+        }
+        let cells = ws.lock_cells(8);
+        assert_eq!(*cells[3].get_mut(), 0.0);
+        assert_eq!(cells.len(), 8);
+    }
+
+    #[test]
+    fn lock_cells_shrinking_request_reuses_storage() {
+        let mut ws = KernelWorkspace::new();
+        ws.lock_cells(64);
+        let fp = ws.fingerprint();
+        assert_eq!(ws.lock_cells(16).len(), 16);
+        assert_eq!(ws.fingerprint(), fp);
+    }
+}

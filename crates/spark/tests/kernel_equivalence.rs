@@ -12,10 +12,15 @@
 //! every failure is replayable from the printed inputs.
 
 use proptest::prelude::*;
-use quake_spark::kernels::{lmv, pmv, pmv_pooled, rmv, rmv_pooled, smv};
-use quake_spark::WorkerPool;
+use quake_spark::kernels::{
+    bmv, bmv_into, bmv_pooled, bmv_pooled_into, lmv, lmv_into, pmv, pmv_into, pmv_pooled,
+    pmv_pooled_into, rmv, rmv_into, rmv_pooled, rmv_pooled_into, smv, smv_into,
+};
+use quake_spark::{KernelWorkspace, WorkerPool};
+use quake_sparse::bcsr::{Bcsr3, Bcsr3Builder};
 use quake_sparse::coo::Coo;
 use quake_sparse::csr::Csr;
+use quake_sparse::dense::{Mat3, Vec3};
 use quake_sparse::sym::SymCsr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +89,74 @@ fn check_all_kernels(full: &Csr, x: &[f64]) {
     }
 }
 
+/// Runs every `_into` kernel against its allocating twin, reusing one dirty
+/// workspace and NaN-prefilled output buffers across every call: results
+/// must not depend on workspace or output history.
+fn check_into_kernels(full: &Csr, x: &[f64], ws: &mut KernelWorkspace) {
+    let sym = SymCsr::from_csr(full, 1e-12).expect("matrix is symmetric by construction");
+    let n = sym.dim();
+    let mut y = vec![f64::NAN; n];
+    smv_into(&sym, x, &mut y);
+    assert_matches(&smv(&sym, x), &y, "smv_into", 1);
+    for &threads in &THREAD_COUNTS {
+        y.fill(f64::NAN);
+        lmv_into(&sym, x, threads, &mut y, ws);
+        assert_matches(&lmv(&sym, x, threads), &y, "lmv_into", threads);
+
+        y.fill(f64::NAN);
+        rmv_into(&sym, x, threads, &mut y, ws);
+        assert_matches(&rmv(&sym, x, threads), &y, "rmv_into", threads);
+
+        y.fill(f64::NAN);
+        pmv_into(full, x, threads, &mut y);
+        assert_matches(&pmv(full, x, threads), &y, "pmv_into", threads);
+
+        let pool = WorkerPool::new(threads);
+        y.fill(f64::NAN);
+        rmv_pooled_into(&sym, x, &pool, &mut y, ws);
+        assert_matches(&rmv_pooled(&sym, x, &pool), &y, "rmv_pooled_into", threads);
+
+        y.fill(f64::NAN);
+        pmv_pooled_into(full, x, &pool, &mut y);
+        assert_matches(&pmv_pooled(full, x, &pool), &y, "pmv_pooled_into", threads);
+    }
+}
+
+/// Builds a random symmetric 3×3-block matrix and a matching block vector.
+fn random_block_symmetric(n: usize, seed: u64) -> (Bcsr3, Vec<Vec3>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Bcsr3Builder::new(n);
+    for i in 0..n {
+        b.add_block(i, i, Mat3::identity() * rng.gen_range(1.0..10.0));
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.2) {
+                let m = Mat3::outer(
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+                );
+                b.add_block(i, j, m);
+                b.add_block(j, i, m.transpose());
+            }
+        }
+    }
+    let x = (0..n)
+        .map(|_| Vec3::new(rng.gen_range(-5.0..5.0), rng.gen(), rng.gen()))
+        .collect();
+    (b.build(), x)
+}
+
+fn assert_blocks_match(reference: &[Vec3], got: &[Vec3], kernel: &str, threads: usize) {
+    assert_eq!(reference.len(), got.len(), "{kernel}/{threads}: length");
+    for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+        for a in 0..3 {
+            assert!(
+                (r.to_array()[a] - g.to_array()[a]).abs() <= 1e-10,
+                "{kernel} at {threads} threads, block row {i}: {r:?} vs {g:?}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -104,6 +177,74 @@ proptest! {
         // More workers than rows: chunking must not drop or repeat rows.
         let (full, x) = random_symmetric(n, seed);
         check_all_kernels(&full, &x);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_twins(
+        n in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let (full, x) = random_symmetric(n, seed);
+        let mut ws = KernelWorkspace::new();
+        check_into_kernels(&full, &x, &mut ws);
+        // Same workspace, different matrix: history must not leak through.
+        let (full2, x2) = random_symmetric((n + 7) % 48 + 1, seed ^ 0xABCD);
+        check_into_kernels(&full2, &x2, &mut ws);
+    }
+
+    #[test]
+    fn block_into_kernels_match_allocating_twins(
+        n in 1usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let (bcsr, x) = random_block_symmetric(n, seed);
+        let mut reference = vec![Vec3::ZERO; n];
+        bcsr.spmv(&x, &mut reference).expect("dims");
+        for &threads in &THREAD_COUNTS {
+            assert_blocks_match(&reference, &bmv(&bcsr, &x, threads), "bmv", threads);
+            let mut y = vec![Vec3::new(f64::NAN, 0.0, 0.0); n];
+            bmv_into(&bcsr, &x, threads, &mut y);
+            assert_blocks_match(&reference, &y, "bmv_into", threads);
+
+            let pool = WorkerPool::new(threads);
+            assert_blocks_match(&reference, &bmv_pooled(&bcsr, &x, &pool), "bmv_pooled", threads);
+            y.fill(Vec3::new(f64::NAN, 0.0, 0.0));
+            bmv_pooled_into(&bcsr, &x, &pool, &mut y);
+            assert_blocks_match(&reference, &y, "bmv_pooled_into", threads);
+        }
+    }
+}
+
+#[test]
+fn workspace_reaches_steady_state_across_mixed_calls() {
+    // After one warmup call at the widest configuration, 100 further calls
+    // across every workspace-using kernel must never reallocate: the
+    // fingerprint (pointer + capacity of both workspace arenas) is frozen.
+    let (full, x) = random_symmetric(40, 7);
+    let sym = SymCsr::from_csr(&full, 1e-12).expect("symmetric");
+    let reference = smv(&sym, &x);
+    let mut ws = KernelWorkspace::new();
+    let mut y = vec![0.0; sym.dim()];
+    let pool = WorkerPool::new(8);
+    // Warmup at the high-water mark: 8 reduction buffers + lock cells.
+    rmv_into(&sym, &x, 8, &mut y, &mut ws);
+    lmv_into(&sym, &x, 8, &mut y, &mut ws);
+    let frozen = ws.fingerprint();
+    let y_ptr = (y.as_ptr() as usize, y.capacity());
+    for round in 0..100 {
+        match round % 4 {
+            0 => rmv_into(&sym, &x, 1 + round % 8, &mut y, &mut ws),
+            1 => lmv_into(&sym, &x, 1 + round % 8, &mut y, &mut ws),
+            2 => rmv_pooled_into(&sym, &x, &pool, &mut y, &mut ws),
+            _ => smv_into(&sym, &x, &mut y),
+        }
+        assert_matches(&reference, &y, "steady-state", round);
+        assert_eq!(
+            ws.fingerprint(),
+            frozen,
+            "workspace reallocated at round {round}"
+        );
+        assert_eq!((y.as_ptr() as usize, y.capacity()), y_ptr);
     }
 }
 

@@ -220,6 +220,61 @@ impl Bcsr3 {
         (&self.row_ptr, &self.col_idx)
     }
 
+    /// Applies a symmetric block permutation `B = P A Pᵀ`, i.e.
+    /// `B[perm[i], perm[j]] = A[i, j]` where `perm[old] = new`. Blocks are
+    /// relabeled, not transposed. Used by RCM reordering of the executed
+    /// SMVP path (the block analogue of [`Csr::permute_symmetric`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `perm.len()` is not the
+    /// block-row count, or [`SparseError::MalformedStructure`] if `perm` is
+    /// not a permutation.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Result<Bcsr3, SparseError> {
+        if perm.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: perm.len(),
+                what: "permutation",
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            if p >= self.n || seen[p] {
+                return Err(SparseError::MalformedStructure("perm is not a permutation"));
+            }
+            seen[p] = true;
+        }
+        let mut inv = vec![0usize; self.n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new] = old;
+        }
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.block_nnz());
+        let mut blocks = Vec::with_capacity(self.block_nnz());
+        let mut scratch: Vec<(usize, Mat3)> = Vec::new();
+        for new_r in 0..self.n {
+            let old_r = inv[new_r];
+            scratch.clear();
+            for k in self.row_ptr[old_r]..self.row_ptr[old_r + 1] {
+                scratch.push((perm[self.col_idx[k]], self.blocks[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, b) in &scratch {
+                col_idx.push(c);
+                blocks.push(b);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Bcsr3 {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            blocks,
+        })
+    }
+
     /// Average block-row degree including the self block (the paper's
     /// "14 × 3 = 42 nonzeros per row" corresponds to degree 14).
     pub fn avg_block_degree(&self) -> f64 {
@@ -412,5 +467,36 @@ mod tests {
     fn builder_rejects_out_of_range() {
         let mut b = Bcsr3Builder::new(1);
         b.add_block(0, 1, Mat3::identity());
+    }
+
+    #[test]
+    fn permute_symmetric_relabels_blocks() {
+        let m = two_node();
+        // Swap the two block rows/cols.
+        let pm = m.permute_symmetric(&[1, 0]).unwrap();
+        assert_eq!(pm.block(0, 0), m.block(1, 1));
+        assert_eq!(pm.block(1, 1), m.block(0, 0));
+        assert_eq!(pm.block(0, 1), m.block(1, 0));
+        // SMVP commutes with the permutation: (PAPᵀ)(Px) = P(Ax).
+        let x = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(-1.0, 0.5, 0.25)];
+        let y = m.spmv_alloc(&x).unwrap();
+        let px = [x[1], x[0]];
+        let py = pm.spmv_alloc(&px).unwrap();
+        assert_eq!(py[0], y[1]);
+        assert_eq!(py[1], y[0]);
+    }
+
+    #[test]
+    fn permute_symmetric_identity_is_noop() {
+        let m = two_node();
+        assert_eq!(m.permute_symmetric(&[0, 1]).unwrap(), m);
+    }
+
+    #[test]
+    fn permute_symmetric_rejects_bad_perms() {
+        let m = two_node();
+        assert!(m.permute_symmetric(&[0]).is_err());
+        assert!(m.permute_symmetric(&[0, 0]).is_err());
+        assert!(m.permute_symmetric(&[0, 2]).is_err());
     }
 }

@@ -153,6 +153,9 @@ COMMANDS:
                   --period <s: 10>  --scale <x: 8>  --parts <p: 4>
                   --threads <t: 4>  --steps <n: 25>
                   --partitioner <rib|rcb|spectral|morton|linear|random: rib>
+                  --rcm <true|false: false>  renumber each subdomain with
+                  reverse Cuthill-McKee before the run (locality pre-pass;
+                  counters and the validation report are unaffected)
   help          print this text"
 }
 

@@ -198,13 +198,26 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
         })
         .collect();
-    let mut exec = BspExecutor::new(&system, threads);
+    let rcm: bool = inv.get("rcm", false)?;
+    let mut exec = if rcm {
+        BspExecutor::with_rcm(&system, threads)
+    } else {
+        BspExecutor::new(&system, threads)
+    };
     exec.run(&x, steps);
     let report = exec.report();
 
     println!(
-        "{} on {} PEs — {} bulk-synchronous SMVPs over {} pooled worker threads",
-        app.config.name, parts, report.steps, report.threads
+        "{} on {} PEs — {} bulk-synchronous SMVPs over {} pooled worker threads{}",
+        app.config.name,
+        parts,
+        report.steps,
+        report.threads,
+        if rcm {
+            " (RCM-renumbered subdomains)"
+        } else {
+            ""
+        }
     );
     println!(
         "phase walls (s): assemble {:.3e}, compute {:.3e}, exchange {:.3e}, fold {:.3e}",

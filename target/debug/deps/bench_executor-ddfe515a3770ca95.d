@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_executor-ddfe515a3770ca95.d: crates/bench/benches/bench_executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_executor-ddfe515a3770ca95.rmeta: crates/bench/benches/bench_executor.rs Cargo.toml
+
+crates/bench/benches/bench_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

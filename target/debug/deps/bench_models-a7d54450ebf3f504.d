@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_models-a7d54450ebf3f504.d: crates/bench/benches/bench_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_models-a7d54450ebf3f504.rmeta: crates/bench/benches/bench_models.rs Cargo.toml
+
+crates/bench/benches/bench_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

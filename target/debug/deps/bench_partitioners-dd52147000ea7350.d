@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_partitioners-dd52147000ea7350.d: crates/bench/benches/bench_partitioners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_partitioners-dd52147000ea7350.rmeta: crates/bench/benches/bench_partitioners.rs Cargo.toml
+
+crates/bench/benches/bench_partitioners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_reorder-92d977faa285d0b7.d: crates/bench/benches/bench_reorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_reorder-92d977faa285d0b7.rmeta: crates/bench/benches/bench_reorder.rs Cargo.toml
+
+crates/bench/benches/bench_reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smvp-5345b41f2caec58d.d: crates/bench/src/bin/bench_smvp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smvp-5345b41f2caec58d.rmeta: crates/bench/src/bin/bench_smvp.rs Cargo.toml
+
+crates/bench/src/bin/bench_smvp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

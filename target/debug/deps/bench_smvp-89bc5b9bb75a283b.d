@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smvp-89bc5b9bb75a283b.d: crates/bench/src/bin/bench_smvp.rs
+
+/root/repo/target/debug/deps/bench_smvp-89bc5b9bb75a283b: crates/bench/src/bin/bench_smvp.rs
+
+crates/bench/src/bin/bench_smvp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smvp-b33d48756aa207bc.d: crates/bench/src/bin/bench_smvp.rs
+
+/root/repo/target/debug/deps/bench_smvp-b33d48756aa207bc: crates/bench/src/bin/bench_smvp.rs
+
+crates/bench/src/bin/bench_smvp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smvp_kernels-5d3a15297a84eb60.d: crates/bench/benches/bench_smvp_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smvp_kernels-5d3a15297a84eb60.rmeta: crates/bench/benches/bench_smvp_kernels.rs Cargo.toml
+
+crates/bench/benches/bench_smvp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_spark-e927e4c686797848.d: crates/bench/benches/bench_spark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_spark-e927e4c686797848.rmeta: crates/bench/benches/bench_spark.rs Cargo.toml
+
+crates/bench/benches/bench_spark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

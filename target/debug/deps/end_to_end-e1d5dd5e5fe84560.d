@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e1d5dd5e5fe84560.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e1d5dd5e5fe84560: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mesh_sizes-0d8bd9290bb0a4df.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/debug/deps/fig02_mesh_sizes-0d8bd9290bb0a4df: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mesh_sizes-3a663b5e38ed1b89.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/debug/deps/fig02_mesh_sizes-3a663b5e38ed1b89: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

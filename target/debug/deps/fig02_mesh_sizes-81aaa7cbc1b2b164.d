@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_mesh_sizes-81aaa7cbc1b2b164.d: crates/bench/src/bin/fig02_mesh_sizes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_mesh_sizes-81aaa7cbc1b2b164.rmeta: crates/bench/src/bin/fig02_mesh_sizes.rs Cargo.toml
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

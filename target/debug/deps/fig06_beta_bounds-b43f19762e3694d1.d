@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_beta_bounds-b43f19762e3694d1.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/debug/deps/fig06_beta_bounds-b43f19762e3694d1: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_beta_bounds-beab9332e2db693a.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/debug/deps/fig06_beta_bounds-beab9332e2db693a: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_beta_bounds-db5a75fc9dc4ceec.d: crates/bench/src/bin/fig06_beta_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_beta_bounds-db5a75fc9dc4ceec.rmeta: crates/bench/src/bin/fig06_beta_bounds.rs Cargo.toml
+
+crates/bench/src/bin/fig06_beta_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_beta_bounds-e0fb5d3e4fdc0185.d: crates/bench/src/bin/fig06_beta_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_beta_bounds-e0fb5d3e4fdc0185.rmeta: crates/bench/src/bin/fig06_beta_bounds.rs Cargo.toml
+
+crates/bench/src/bin/fig06_beta_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

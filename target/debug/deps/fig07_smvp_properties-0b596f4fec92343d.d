@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_smvp_properties-0b596f4fec92343d.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/debug/deps/fig07_smvp_properties-0b596f4fec92343d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_smvp_properties-e7d80bbed3a02979.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/debug/deps/fig07_smvp_properties-e7d80bbed3a02979: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

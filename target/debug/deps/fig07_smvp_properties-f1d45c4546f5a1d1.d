@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_smvp_properties-f1d45c4546f5a1d1.d: crates/bench/src/bin/fig07_smvp_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_smvp_properties-f1d45c4546f5a1d1.rmeta: crates/bench/src/bin/fig07_smvp_properties.rs Cargo.toml
+
+crates/bench/src/bin/fig07_smvp_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

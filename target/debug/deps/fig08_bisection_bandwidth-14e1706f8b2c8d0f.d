@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-14e1706f8b2c8d0f.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-14e1706f8b2c8d0f: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:

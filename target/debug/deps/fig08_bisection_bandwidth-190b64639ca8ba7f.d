@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-190b64639ca8ba7f.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_bisection_bandwidth-190b64639ca8ba7f.rmeta: crates/bench/src/bin/fig08_bisection_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

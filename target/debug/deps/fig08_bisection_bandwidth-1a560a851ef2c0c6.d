@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-1a560a851ef2c0c6.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-1a560a851ef2c0c6: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_bisection_bandwidth-eff70d480611d812.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_bisection_bandwidth-eff70d480611d812.rmeta: crates/bench/src/bin/fig08_bisection_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

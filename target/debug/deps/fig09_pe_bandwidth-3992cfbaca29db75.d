@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pe_bandwidth-3992cfbaca29db75.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/debug/deps/fig09_pe_bandwidth-3992cfbaca29db75: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

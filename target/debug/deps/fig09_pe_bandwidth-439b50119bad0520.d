@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_pe_bandwidth-439b50119bad0520.d: crates/bench/src/bin/fig09_pe_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_pe_bandwidth-439b50119bad0520.rmeta: crates/bench/src/bin/fig09_pe_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pe_bandwidth-7fa72d5f4dac268c.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/debug/deps/fig09_pe_bandwidth-7fa72d5f4dac268c: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff_curves-02828aa2bd42cc29.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff_curves-02828aa2bd42cc29: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_tradeoff_curves-679dd43db324cba9.d: crates/bench/src/bin/fig10_tradeoff_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_tradeoff_curves-679dd43db324cba9.rmeta: crates/bench/src/bin/fig10_tradeoff_curves.rs Cargo.toml
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

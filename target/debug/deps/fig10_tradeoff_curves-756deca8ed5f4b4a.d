@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tradeoff_curves-756deca8ed5f4b4a.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/debug/deps/fig10_tradeoff_curves-756deca8ed5f4b4a: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

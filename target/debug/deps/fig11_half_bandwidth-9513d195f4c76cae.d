@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_half_bandwidth-9513d195f4c76cae.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_half_bandwidth-9513d195f4c76cae: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

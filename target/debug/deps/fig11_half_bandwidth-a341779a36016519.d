@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_half_bandwidth-a341779a36016519.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_half_bandwidth-a341779a36016519: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

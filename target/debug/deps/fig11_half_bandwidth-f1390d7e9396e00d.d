@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_half_bandwidth-f1390d7e9396e00d.d: crates/bench/src/bin/fig11_half_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_half_bandwidth-f1390d7e9396e00d.rmeta: crates/bench/src/bin/fig11_half_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

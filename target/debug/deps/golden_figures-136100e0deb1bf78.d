@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_figures-136100e0deb1bf78.d: crates/bench/tests/golden_figures.rs
+
+/root/repo/target/debug/deps/golden_figures-136100e0deb1bf78: crates/bench/tests/golden_figures.rs
+
+crates/bench/tests/golden_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_figures-2384bcd2ad2b36ee.d: crates/bench/tests/golden_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_figures-2384bcd2ad2b36ee.rmeta: crates/bench/tests/golden_figures.rs Cargo.toml
+
+crates/bench/tests/golden_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh_pipeline-7f1671ebcffd8c1f.d: tests/mesh_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh_pipeline-7f1671ebcffd8c1f.rmeta: tests/mesh_pipeline.rs Cargo.toml
+
+tests/mesh_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_pipeline-aa8a8122600aae6e.d: tests/mesh_pipeline.rs
+
+/root/repo/target/debug/deps/mesh_pipeline-aa8a8122600aae6e: tests/mesh_pipeline.rs
+
+tests/mesh_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_consistency-d3655e94caf93fc0.d: tests/model_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_consistency-d3655e94caf93fc0.rmeta: tests/model_consistency.rs Cargo.toml
+
+tests/model_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

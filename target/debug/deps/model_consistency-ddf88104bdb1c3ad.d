@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_consistency-ddf88104bdb1c3ad.d: tests/model_consistency.rs
+
+/root/repo/target/debug/deps/model_consistency-ddf88104bdb1c3ad: tests/model_consistency.rs
+
+tests/model_consistency.rs:

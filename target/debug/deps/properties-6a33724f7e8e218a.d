@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a33724f7e8e218a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a33724f7e8e218a: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quake-3738ceb629c58e26.d: src/main.rs
+
+/root/repo/target/debug/deps/quake-3738ceb629c58e26: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quake-9a8d8012fb60cc33.d: src/main.rs
+
+/root/repo/target/debug/deps/quake-9a8d8012fb60cc33: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quake_app-12a1d92d3065b316.d: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+/root/repo/target/debug/deps/quake_app-12a1d92d3065b316: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+crates/app/src/lib.rs:
+crates/app/src/characterize.rs:
+crates/app/src/distributed.rs:
+crates/app/src/executor.rs:
+crates/app/src/family.rs:
+crates/app/src/report.rs:
+crates/app/src/scaling.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quake_app-6c047cf725778b83.d: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+/root/repo/target/debug/deps/libquake_app-6c047cf725778b83.rlib: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+/root/repo/target/debug/deps/libquake_app-6c047cf725778b83.rmeta: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+crates/app/src/lib.rs:
+crates/app/src/characterize.rs:
+crates/app/src/distributed.rs:
+crates/app/src/executor.rs:
+crates/app/src/family.rs:
+crates/app/src/report.rs:
+crates/app/src/scaling.rs:

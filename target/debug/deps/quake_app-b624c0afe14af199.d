@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/quake_app-b624c0afe14af199.d: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_app-b624c0afe14af199.rmeta: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs Cargo.toml
+
+crates/app/src/lib.rs:
+crates/app/src/characterize.rs:
+crates/app/src/distributed.rs:
+crates/app/src/executor.rs:
+crates/app/src/family.rs:
+crates/app/src/report.rs:
+crates/app/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quake_bench-1b64cf910d281837.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+/root/repo/target/debug/deps/quake_bench-1b64cf910d281837: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quake_bench-8e64f0595a79e154.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_bench-8e64f0595a79e154.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

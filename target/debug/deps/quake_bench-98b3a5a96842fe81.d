@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quake_bench-98b3a5a96842fe81.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+/root/repo/target/debug/deps/libquake_bench-98b3a5a96842fe81.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+/root/repo/target/debug/deps/libquake_bench-98b3a5a96842fe81.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:

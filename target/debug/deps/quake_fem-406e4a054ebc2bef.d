@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quake_fem-406e4a054ebc2bef.d: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+/root/repo/target/debug/deps/libquake_fem-406e4a054ebc2bef.rlib: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+/root/repo/target/debug/deps/libquake_fem-406e4a054ebc2bef.rmeta: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+crates/fem/src/lib.rs:
+crates/fem/src/assembly.rs:
+crates/fem/src/elasticity.rs:
+crates/fem/src/source.rs:
+crates/fem/src/timestep.rs:

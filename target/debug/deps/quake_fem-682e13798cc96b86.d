@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quake_fem-682e13798cc96b86.d: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+/root/repo/target/debug/deps/quake_fem-682e13798cc96b86: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+crates/fem/src/lib.rs:
+crates/fem/src/assembly.rs:
+crates/fem/src/elasticity.rs:
+crates/fem/src/source.rs:
+crates/fem/src/timestep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quake_fem-b53f56c635d4177f.d: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_fem-b53f56c635d4177f.rmeta: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs Cargo.toml
+
+crates/fem/src/lib.rs:
+crates/fem/src/assembly.rs:
+crates/fem/src/elasticity.rs:
+crates/fem/src/source.rs:
+crates/fem/src/timestep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quake_repro-51c5210f9635c46e.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquake_repro-51c5210f9635c46e.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

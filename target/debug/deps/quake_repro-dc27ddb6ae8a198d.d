@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/quake_repro-dc27ddb6ae8a198d.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/quake_repro-dc27ddb6ae8a198d: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quake_repro-f1f7432606e59f80.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libquake_repro-f1f7432606e59f80.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libquake_repro-f1f7432606e59f80.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

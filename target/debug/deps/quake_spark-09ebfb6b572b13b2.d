@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/quake_spark-09ebfb6b572b13b2.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/debug/deps/quake_spark-09ebfb6b572b13b2.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
-/root/repo/target/debug/deps/quake_spark-09ebfb6b572b13b2: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/debug/deps/quake_spark-09ebfb6b572b13b2: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
 crates/spark/src/lib.rs:
 crates/spark/src/kernels.rs:
 crates/spark/src/pool.rs:
+crates/spark/src/workspace.rs:

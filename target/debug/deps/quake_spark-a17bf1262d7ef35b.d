@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/quake_spark-a17bf1262d7ef35b.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/debug/deps/quake_spark-a17bf1262d7ef35b.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
-/root/repo/target/debug/deps/libquake_spark-a17bf1262d7ef35b.rlib: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/debug/deps/libquake_spark-a17bf1262d7ef35b.rlib: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
-/root/repo/target/debug/deps/libquake_spark-a17bf1262d7ef35b.rmeta: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/debug/deps/libquake_spark-a17bf1262d7ef35b.rmeta: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
 crates/spark/src/lib.rs:
 crates/spark/src/kernels.rs:
 crates/spark/src/pool.rs:
+crates/spark/src/workspace.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/quake_spark-cd62fcb5dc7337cb.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs Cargo.toml
+/root/repo/target/debug/deps/quake_spark-cd62fcb5dc7337cb.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libquake_spark-cd62fcb5dc7337cb.rmeta: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs Cargo.toml
+/root/repo/target/debug/deps/libquake_spark-cd62fcb5dc7337cb.rmeta: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs Cargo.toml
 
 crates/spark/src/lib.rs:
 crates/spark/src/kernels.rs:
 crates/spark/src/pool.rs:
+crates/spark/src/workspace.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

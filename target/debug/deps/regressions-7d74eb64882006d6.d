@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressions-7d74eb64882006d6.d: tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-7d74eb64882006d6: tests/regressions.rs
+
+tests/regressions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_efficiency_surface-1cac1b351b04c5c2.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/debug/deps/tab_efficiency_surface-1cac1b351b04c5c2: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_efficiency_surface-4455c2d9084f188f.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/debug/deps/tab_efficiency_surface-4455c2d9084f188f: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_efficiency_surface-756c424d3fb43347.d: crates/bench/src/bin/tab_efficiency_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_efficiency_surface-756c424d3fb43347.rmeta: crates/bench/src/bin/tab_efficiency_surface.rs Cargo.toml
+
+crates/bench/src/bin/tab_efficiency_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

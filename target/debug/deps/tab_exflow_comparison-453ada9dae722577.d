@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_exflow_comparison-453ada9dae722577.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/debug/deps/tab_exflow_comparison-453ada9dae722577: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_exflow_comparison-98727f9406de68c5.d: crates/bench/src/bin/tab_exflow_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_exflow_comparison-98727f9406de68c5.rmeta: crates/bench/src/bin/tab_exflow_comparison.rs Cargo.toml
+
+crates/bench/src/bin/tab_exflow_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_exflow_comparison-e2984a9a4fe94fb7.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/debug/deps/tab_exflow_comparison-e2984a9a4fe94fb7: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

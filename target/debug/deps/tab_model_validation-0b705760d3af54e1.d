@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_model_validation-0b705760d3af54e1.d: crates/bench/src/bin/tab_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_model_validation-0b705760d3af54e1.rmeta: crates/bench/src/bin/tab_model_validation.rs Cargo.toml
+
+crates/bench/src/bin/tab_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_model_validation-3d8aa3e47a399ab2.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/debug/deps/tab_model_validation-3d8aa3e47a399ab2: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_model_validation-6e3615f225386dcc.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/debug/deps/tab_model_validation-6e3615f225386dcc: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

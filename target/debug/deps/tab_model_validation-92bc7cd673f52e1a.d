@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_model_validation-92bc7cd673f52e1a.d: crates/bench/src/bin/tab_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_model_validation-92bc7cd673f52e1a.rmeta: crates/bench/src/bin/tab_model_validation.rs Cargo.toml
+
+crates/bench/src/bin/tab_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_partitioner_ablation-5406fb4bbeb474d5.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/debug/deps/tab_partitioner_ablation-5406fb4bbeb474d5: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

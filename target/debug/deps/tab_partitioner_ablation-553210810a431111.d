@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_partitioner_ablation-553210810a431111.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/debug/deps/tab_partitioner_ablation-553210810a431111: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

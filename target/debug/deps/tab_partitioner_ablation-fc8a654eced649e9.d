@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_partitioner_ablation-fc8a654eced649e9.d: crates/bench/src/bin/tab_partitioner_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_partitioner_ablation-fc8a654eced649e9.rmeta: crates/bench/src/bin/tab_partitioner_ablation.rs Cargo.toml
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_runtime_projection-1c6887d00cc0f21d.d: crates/bench/src/bin/tab_runtime_projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_runtime_projection-1c6887d00cc0f21d.rmeta: crates/bench/src/bin/tab_runtime_projection.rs Cargo.toml
+
+crates/bench/src/bin/tab_runtime_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_runtime_projection-8c63810a6b1de0ae.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/debug/deps/tab_runtime_projection-8c63810a6b1de0ae: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_runtime_projection-b6ac12cdd01c8107.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/debug/deps/tab_runtime_projection-b6ac12cdd01c8107: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

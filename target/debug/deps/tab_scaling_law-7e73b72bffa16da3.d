@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_scaling_law-7e73b72bffa16da3.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/debug/deps/tab_scaling_law-7e73b72bffa16da3: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

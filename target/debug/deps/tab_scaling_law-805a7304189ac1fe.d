@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_scaling_law-805a7304189ac1fe.d: crates/bench/src/bin/tab_scaling_law.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_scaling_law-805a7304189ac1fe.rmeta: crates/bench/src/bin/tab_scaling_law.rs Cargo.toml
+
+crates/bench/src/bin/tab_scaling_law.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

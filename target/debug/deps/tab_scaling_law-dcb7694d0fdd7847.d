@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_scaling_law-dcb7694d0fdd7847.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/debug/deps/tab_scaling_law-dcb7694d0fdd7847: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_sustained_tf-3b4cae0b0dd07a56.d: crates/bench/src/bin/tab_sustained_tf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_sustained_tf-3b4cae0b0dd07a56.rmeta: crates/bench/src/bin/tab_sustained_tf.rs Cargo.toml
+
+crates/bench/src/bin/tab_sustained_tf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sustained_tf-43eda1670a052119.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/debug/deps/tab_sustained_tf-43eda1670a052119: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sustained_tf-7ac71220f3e33bd5.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/debug/deps/tab_sustained_tf-7ac71220f3e33bd5: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:

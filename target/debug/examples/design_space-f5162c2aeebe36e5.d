@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-f5162c2aeebe36e5.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-f5162c2aeebe36e5: examples/design_space.rs
+
+examples/design_space.rs:

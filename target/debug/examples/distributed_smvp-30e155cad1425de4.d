@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_smvp-30e155cad1425de4.d: examples/distributed_smvp.rs
+
+/root/repo/target/debug/examples/distributed_smvp-30e155cad1425de4: examples/distributed_smvp.rs
+
+examples/distributed_smvp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_smvp-be53b4976f974c5a.d: examples/distributed_smvp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_smvp-be53b4976f974c5a.rmeta: examples/distributed_smvp.rs Cargo.toml
+
+examples/distributed_smvp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

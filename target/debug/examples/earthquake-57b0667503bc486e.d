@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/earthquake-57b0667503bc486e.d: examples/earthquake.rs
+
+/root/repo/target/debug/examples/earthquake-57b0667503bc486e: examples/earthquake.rs
+
+examples/earthquake.rs:

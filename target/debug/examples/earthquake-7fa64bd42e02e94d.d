@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/earthquake-7fa64bd42e02e94d.d: examples/earthquake.rs Cargo.toml
+
+/root/repo/target/debug/examples/libearthquake-7fa64bd42e02e94d.rmeta: examples/earthquake.rs Cargo.toml
+
+examples/earthquake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

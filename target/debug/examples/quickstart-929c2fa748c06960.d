@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-929c2fa748c06960.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-929c2fa748c06960: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spark_kernels-214f6188fda930ba.d: examples/spark_kernels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspark_kernels-214f6188fda930ba.rmeta: examples/spark_kernels.rs Cargo.toml
+
+examples/spark_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

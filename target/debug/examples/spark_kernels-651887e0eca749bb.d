@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spark_kernels-651887e0eca749bb.d: examples/spark_kernels.rs
+
+/root/repo/target/debug/examples/spark_kernels-651887e0eca749bb: examples/spark_kernels.rs
+
+examples/spark_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_executor-dff1aa8cb9cdcfe1.d: crates/bench/benches/bench_executor.rs
+
+/root/repo/target/release/deps/bench_executor-dff1aa8cb9cdcfe1: crates/bench/benches/bench_executor.rs
+
+crates/bench/benches/bench_executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_models-36f2d28da7f57fa5.d: crates/bench/benches/bench_models.rs
+
+/root/repo/target/release/deps/bench_models-36f2d28da7f57fa5: crates/bench/benches/bench_models.rs
+
+crates/bench/benches/bench_models.rs:

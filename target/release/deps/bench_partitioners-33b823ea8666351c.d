@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_partitioners-33b823ea8666351c.d: crates/bench/benches/bench_partitioners.rs
+
+/root/repo/target/release/deps/bench_partitioners-33b823ea8666351c: crates/bench/benches/bench_partitioners.rs
+
+crates/bench/benches/bench_partitioners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_reorder-c80c2d09f6948cf8.d: crates/bench/benches/bench_reorder.rs
+
+/root/repo/target/release/deps/bench_reorder-c80c2d09f6948cf8: crates/bench/benches/bench_reorder.rs
+
+crates/bench/benches/bench_reorder.rs:

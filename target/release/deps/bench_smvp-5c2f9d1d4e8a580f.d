@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smvp-5c2f9d1d4e8a580f.d: crates/bench/src/bin/bench_smvp.rs
+
+/root/repo/target/release/deps/bench_smvp-5c2f9d1d4e8a580f: crates/bench/src/bin/bench_smvp.rs
+
+crates/bench/src/bin/bench_smvp.rs:

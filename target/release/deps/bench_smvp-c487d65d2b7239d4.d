@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smvp-c487d65d2b7239d4.d: crates/bench/src/bin/bench_smvp.rs
+
+/root/repo/target/release/deps/bench_smvp-c487d65d2b7239d4: crates/bench/src/bin/bench_smvp.rs
+
+crates/bench/src/bin/bench_smvp.rs:

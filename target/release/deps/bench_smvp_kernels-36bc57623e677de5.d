@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smvp_kernels-36bc57623e677de5.d: crates/bench/benches/bench_smvp_kernels.rs
+
+/root/repo/target/release/deps/bench_smvp_kernels-36bc57623e677de5: crates/bench/benches/bench_smvp_kernels.rs
+
+crates/bench/benches/bench_smvp_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_spark-9c36eb9845fac5a9.d: crates/bench/benches/bench_spark.rs
+
+/root/repo/target/release/deps/bench_spark-9c36eb9845fac5a9: crates/bench/benches/bench_spark.rs
+
+crates/bench/benches/bench_spark.rs:

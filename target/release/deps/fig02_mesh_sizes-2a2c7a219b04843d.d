@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_mesh_sizes-2a2c7a219b04843d.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/release/deps/fig02_mesh_sizes-2a2c7a219b04843d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

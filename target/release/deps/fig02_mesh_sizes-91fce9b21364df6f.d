@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_mesh_sizes-91fce9b21364df6f.d: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+/root/repo/target/release/deps/fig02_mesh_sizes-91fce9b21364df6f: crates/bench/src/bin/fig02_mesh_sizes.rs
+
+crates/bench/src/bin/fig02_mesh_sizes.rs:

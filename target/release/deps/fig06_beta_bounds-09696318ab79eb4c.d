@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_beta_bounds-09696318ab79eb4c.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/release/deps/fig06_beta_bounds-09696318ab79eb4c: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

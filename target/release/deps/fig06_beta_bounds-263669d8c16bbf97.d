@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_beta_bounds-263669d8c16bbf97.d: crates/bench/src/bin/fig06_beta_bounds.rs
+
+/root/repo/target/release/deps/fig06_beta_bounds-263669d8c16bbf97: crates/bench/src/bin/fig06_beta_bounds.rs
+
+crates/bench/src/bin/fig06_beta_bounds.rs:

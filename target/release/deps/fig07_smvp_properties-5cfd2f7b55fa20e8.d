@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_smvp_properties-5cfd2f7b55fa20e8.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/release/deps/fig07_smvp_properties-5cfd2f7b55fa20e8: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

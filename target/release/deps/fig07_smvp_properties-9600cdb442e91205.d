@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_smvp_properties-9600cdb442e91205.d: crates/bench/src/bin/fig07_smvp_properties.rs
+
+/root/repo/target/release/deps/fig07_smvp_properties-9600cdb442e91205: crates/bench/src/bin/fig07_smvp_properties.rs
+
+crates/bench/src/bin/fig07_smvp_properties.rs:

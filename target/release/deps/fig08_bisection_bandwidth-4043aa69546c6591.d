@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_bisection_bandwidth-4043aa69546c6591.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+/root/repo/target/release/deps/fig08_bisection_bandwidth-4043aa69546c6591: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:

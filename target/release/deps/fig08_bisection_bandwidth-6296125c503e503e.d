@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_bisection_bandwidth-6296125c503e503e.d: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+/root/repo/target/release/deps/fig08_bisection_bandwidth-6296125c503e503e: crates/bench/src/bin/fig08_bisection_bandwidth.rs
+
+crates/bench/src/bin/fig08_bisection_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_pe_bandwidth-27d5af429c40c8d7.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/release/deps/fig09_pe_bandwidth-27d5af429c40c8d7: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_pe_bandwidth-5792462f9699b081.d: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+/root/repo/target/release/deps/fig09_pe_bandwidth-5792462f9699b081: crates/bench/src/bin/fig09_pe_bandwidth.rs
+
+crates/bench/src/bin/fig09_pe_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tradeoff_curves-29a29727b0f0bdfc.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/release/deps/fig10_tradeoff_curves-29a29727b0f0bdfc: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

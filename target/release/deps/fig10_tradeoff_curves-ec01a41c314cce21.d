@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tradeoff_curves-ec01a41c314cce21.d: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+/root/repo/target/release/deps/fig10_tradeoff_curves-ec01a41c314cce21: crates/bench/src/bin/fig10_tradeoff_curves.rs
+
+crates/bench/src/bin/fig10_tradeoff_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_half_bandwidth-8f9273cf162ff214.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_half_bandwidth-8f9273cf162ff214: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_half_bandwidth-e76c38258585da52.d: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_half_bandwidth-e76c38258585da52: crates/bench/src/bin/fig11_half_bandwidth.rs
+
+crates/bench/src/bin/fig11_half_bandwidth.rs:

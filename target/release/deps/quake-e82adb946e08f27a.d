@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quake-e82adb946e08f27a.d: src/main.rs
+
+/root/repo/target/release/deps/quake-e82adb946e08f27a: src/main.rs
+
+src/main.rs:

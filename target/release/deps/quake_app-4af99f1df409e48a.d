@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/quake_app-4af99f1df409e48a.d: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+/root/repo/target/release/deps/libquake_app-4af99f1df409e48a.rlib: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+/root/repo/target/release/deps/libquake_app-4af99f1df409e48a.rmeta: crates/app/src/lib.rs crates/app/src/characterize.rs crates/app/src/distributed.rs crates/app/src/executor.rs crates/app/src/family.rs crates/app/src/report.rs crates/app/src/scaling.rs
+
+crates/app/src/lib.rs:
+crates/app/src/characterize.rs:
+crates/app/src/distributed.rs:
+crates/app/src/executor.rs:
+crates/app/src/family.rs:
+crates/app/src/report.rs:
+crates/app/src/scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quake_bench-2b9ffa1eb9caa89c.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/quake_bench-2b9ffa1eb9caa89c: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:

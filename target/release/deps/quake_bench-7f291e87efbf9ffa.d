@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quake_bench-7f291e87efbf9ffa.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/libquake_bench-7f291e87efbf9ffa.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/libquake_bench-7f291e87efbf9ffa.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/json.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quake_fem-a5d78b3c15a52bed.d: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+/root/repo/target/release/deps/libquake_fem-a5d78b3c15a52bed.rlib: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+/root/repo/target/release/deps/libquake_fem-a5d78b3c15a52bed.rmeta: crates/fem/src/lib.rs crates/fem/src/assembly.rs crates/fem/src/elasticity.rs crates/fem/src/source.rs crates/fem/src/timestep.rs
+
+crates/fem/src/lib.rs:
+crates/fem/src/assembly.rs:
+crates/fem/src/elasticity.rs:
+crates/fem/src/source.rs:
+crates/fem/src/timestep.rs:

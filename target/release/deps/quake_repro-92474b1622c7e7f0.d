@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/quake_repro-92474b1622c7e7f0.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libquake_repro-92474b1622c7e7f0.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libquake_repro-92474b1622c7e7f0.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

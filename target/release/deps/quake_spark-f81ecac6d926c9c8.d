@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/quake_spark-f81ecac6d926c9c8.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/release/deps/quake_spark-f81ecac6d926c9c8.d: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
-/root/repo/target/release/deps/libquake_spark-f81ecac6d926c9c8.rlib: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/release/deps/libquake_spark-f81ecac6d926c9c8.rlib: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
-/root/repo/target/release/deps/libquake_spark-f81ecac6d926c9c8.rmeta: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs
+/root/repo/target/release/deps/libquake_spark-f81ecac6d926c9c8.rmeta: crates/spark/src/lib.rs crates/spark/src/kernels.rs crates/spark/src/pool.rs crates/spark/src/workspace.rs
 
 crates/spark/src/lib.rs:
 crates/spark/src/kernels.rs:
 crates/spark/src/pool.rs:
+crates/spark/src/workspace.rs:

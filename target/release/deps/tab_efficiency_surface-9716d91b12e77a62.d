@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_efficiency_surface-9716d91b12e77a62.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/release/deps/tab_efficiency_surface-9716d91b12e77a62: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

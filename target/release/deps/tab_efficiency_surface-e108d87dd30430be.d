@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_efficiency_surface-e108d87dd30430be.d: crates/bench/src/bin/tab_efficiency_surface.rs
+
+/root/repo/target/release/deps/tab_efficiency_surface-e108d87dd30430be: crates/bench/src/bin/tab_efficiency_surface.rs
+
+crates/bench/src/bin/tab_efficiency_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_exflow_comparison-57b2e0db487fbbac.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/release/deps/tab_exflow_comparison-57b2e0db487fbbac: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_exflow_comparison-6ca0a8e5c2da156d.d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+/root/repo/target/release/deps/tab_exflow_comparison-6ca0a8e5c2da156d: crates/bench/src/bin/tab_exflow_comparison.rs
+
+crates/bench/src/bin/tab_exflow_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_model_validation-6256a335ae4110af.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/release/deps/tab_model_validation-6256a335ae4110af: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

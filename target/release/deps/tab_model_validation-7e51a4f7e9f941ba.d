@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_model_validation-7e51a4f7e9f941ba.d: crates/bench/src/bin/tab_model_validation.rs
+
+/root/repo/target/release/deps/tab_model_validation-7e51a4f7e9f941ba: crates/bench/src/bin/tab_model_validation.rs
+
+crates/bench/src/bin/tab_model_validation.rs:

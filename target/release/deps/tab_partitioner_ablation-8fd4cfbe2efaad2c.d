@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_partitioner_ablation-8fd4cfbe2efaad2c.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/release/deps/tab_partitioner_ablation-8fd4cfbe2efaad2c: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

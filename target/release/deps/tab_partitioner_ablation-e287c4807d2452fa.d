@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_partitioner_ablation-e287c4807d2452fa.d: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+/root/repo/target/release/deps/tab_partitioner_ablation-e287c4807d2452fa: crates/bench/src/bin/tab_partitioner_ablation.rs
+
+crates/bench/src/bin/tab_partitioner_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_runtime_projection-6c708e9ebfedab2e.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/release/deps/tab_runtime_projection-6c708e9ebfedab2e: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

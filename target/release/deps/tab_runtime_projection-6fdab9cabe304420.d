@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_runtime_projection-6fdab9cabe304420.d: crates/bench/src/bin/tab_runtime_projection.rs
+
+/root/repo/target/release/deps/tab_runtime_projection-6fdab9cabe304420: crates/bench/src/bin/tab_runtime_projection.rs
+
+crates/bench/src/bin/tab_runtime_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_scaling_law-5facbc7d546e5577.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/release/deps/tab_scaling_law-5facbc7d546e5577: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

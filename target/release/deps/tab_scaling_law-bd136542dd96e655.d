@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_scaling_law-bd136542dd96e655.d: crates/bench/src/bin/tab_scaling_law.rs
+
+/root/repo/target/release/deps/tab_scaling_law-bd136542dd96e655: crates/bench/src/bin/tab_scaling_law.rs
+
+crates/bench/src/bin/tab_scaling_law.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_sustained_tf-6ff8fd2cdad5d1ff.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/release/deps/tab_sustained_tf-6ff8fd2cdad5d1ff: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_sustained_tf-9c4a21102d62f58f.d: crates/bench/src/bin/tab_sustained_tf.rs
+
+/root/repo/target/release/deps/tab_sustained_tf-9c4a21102d62f58f: crates/bench/src/bin/tab_sustained_tf.rs
+
+crates/bench/src/bin/tab_sustained_tf.rs:
