@@ -40,15 +40,39 @@
 //! exact — while the `x[col]` gather of the compute phase touches a
 //! compact window of the local vector (the paper's "irregular memory
 //! reference" mitigation, executed rather than simulated).
+//!
+//! # Fault injection & recovery
+//!
+//! [`BspExecutor::enable_faults`] arms a seeded
+//! [`FaultPlan`](quake_core::fault::FaultPlan): per-step, per-PE straggler
+//! delays and PE crashes fire in the compute phase; dropped and corrupted
+//! exchange blocks fire in the exchange phase, where every inbound block is
+//! routed through a staging buffer with a sender-side checksum. Recovery is
+//! built in — dropped blocks are re-fetched after a bounded
+//! exponential-backoff retry, checksum mismatches force a clean re-fetch,
+//! and a crashed PE is healed per [`RecoveryPolicy`]: `FailFast` re-raises
+//! (the pre-chaos behaviour), `Degrade` re-executes the dead shard on a
+//! surviving thread, `Restart` replaces the worker thread, restores the
+//! last in-memory checkpoint, and replays the lost steps. Because every
+//! injected event is one-shot and every recovery path re-executes exactly
+//! the deterministic work the fault interrupted, a recovered run is
+//! **bitwise-equal** to a fault-free run (asserted by the chaos tests), and
+//! under `Restart` the checkpoint rollback keeps even the accumulated
+//! `F`/`C`/`B` counters exactly equal to the fault-free characterization.
+//! With faults disabled the clean `step_into` path is untouched — zero
+//! overhead, identical counters.
 
 use crate::distributed::DistributedSystem;
+use quake_core::fault::{BlockChecksum, FaultKind, FaultPlan, FaultReport, RecoveryPolicy};
 use quake_core::model::validate::MeasuredSmvp;
 use quake_spark::pool::WorkerPool;
 use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::dense::Vec3;
 use quake_sparse::pattern::Pattern;
 use quake_sparse::reorder::rcm;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Observability counters for one PE, accumulated over all executed steps.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -118,6 +142,8 @@ pub struct ExecutionReport {
     pub pe: Vec<PeCounters>,
     /// Per-phase wall times (accumulated over all steps).
     pub phases: PhaseWalls,
+    /// Chaos-layer ledger, present when fault injection was enabled.
+    pub fault: Option<FaultReport>,
 }
 
 impl ExecutionReport {
@@ -242,6 +268,59 @@ fn pe_chunk(p: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
     (p * w / workers)..(p * (w + 1) / workers)
 }
 
+/// In-memory snapshot of the executor's accumulated measurement state,
+/// taken every K steps while chaos is armed. Restoring it and replaying the
+/// lost steps is [`RecoveryPolicy::Restart`]'s crash path; because each
+/// SMVP step is a pure function of `x`, replay heals the data buffers for
+/// free and the snapshot only needs the accumulators.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    step: u64,
+    counters: Vec<PeCounters>,
+    phases: PhaseWalls,
+}
+
+/// Per-PE chaos scratch, written by phase closures through disjoint
+/// [`SendPtr`] slots and folded into the [`FaultReport`] on the caller
+/// thread after each phase barrier (consumed by `std::mem::take`).
+#[derive(Debug, Clone, Copy, Default)]
+struct PeFaultScratch {
+    straggles: u64,
+    straggle_delay_s: f64,
+    crashes: u64,
+    drops: u64,
+    drops_detected: u64,
+    retries: u64,
+    corrupts: u64,
+    corrupts_detected: u64,
+    refetches: u64,
+}
+
+/// Everything the chaos layer owns while armed.
+struct FaultState {
+    plan: FaultPlan,
+    /// One consumed-flag per plan event. Events are one-shot: a shard
+    /// re-executed during recovery skips everything that already fired,
+    /// which is what makes every recovery loop converge.
+    fired: Vec<AtomicBool>,
+    policy: RecoveryPolicy,
+    checkpoint_every: u64,
+    report: FaultReport,
+    checkpoint: Checkpoint,
+    scratch: Vec<PeFaultScratch>,
+    /// Per-PE receive staging buffer (the modeled NI buffer), sized to the
+    /// largest inbound message so the chaos path never allocates per step.
+    stage: Vec<Vec<Vec3>>,
+    /// Crash events caught in the current failed attempt; credited as
+    /// recovered once the restart has restored state.
+    pending_crashes: u64,
+}
+
+/// Fetch attempts per exchange block before the executor gives up. Injected
+/// drops are transient by construction (events are one-shot), so attempt 2
+/// always succeeds; the bound guards the retry loop against logic bugs.
+const MAX_FETCH_ATTEMPTS: u32 = 5;
+
 /// Bulk-synchronous instrumented executor over a [`DistributedSystem`].
 pub struct BspExecutor {
     pool: WorkerPool,
@@ -250,6 +329,8 @@ pub struct BspExecutor {
     inbound: Vec<Vec<Inbound>>,
     global_nodes: usize,
     rcm: bool,
+    /// Armed chaos layer, or `None` for the untouched clean path.
+    fault: Option<Box<FaultState>>,
     // Persistent per-step buffers: sized once in `build`, reused by every
     // `step_into` so the steady-state step never touches the allocator.
     x_local: Vec<Vec<Vec3>>,
@@ -373,10 +454,65 @@ impl BspExecutor {
             pe,
             inbound,
             rcm: use_rcm,
+            fault: None,
             counters: vec![PeCounters::default(); p],
             phases: PhaseWalls::default(),
             steps: 0,
         }
+    }
+
+    /// Arms the chaos layer: from the next step on, `plan`'s events fire at
+    /// their scheduled (step, PE) slots and the executor recovers per
+    /// `policy`, snapshotting its accumulators every `checkpoint_every`
+    /// steps. With an empty plan the chaos path still runs (useful for
+    /// invariance tests) but injects nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_every == 0`.
+    pub fn enable_faults(
+        &mut self,
+        plan: FaultPlan,
+        policy: RecoveryPolicy,
+        checkpoint_every: u64,
+    ) {
+        assert!(
+            checkpoint_every > 0,
+            "checkpoint interval must be at least 1 step"
+        );
+        let p = self.pe.len();
+        // One staging buffer per PE, sized to its largest inbound message so
+        // the exchange fetch path never allocates.
+        let stage = self
+            .inbound
+            .iter()
+            .map(|msgs| {
+                let max = msgs.iter().map(|m| m.pairs.len()).max().unwrap_or(0);
+                vec![Vec3::ZERO; max]
+            })
+            .collect();
+        self.fault = Some(Box::new(FaultState {
+            fired: (0..plan.len()).map(|_| AtomicBool::new(false)).collect(),
+            plan,
+            policy,
+            checkpoint_every,
+            report: FaultReport::default(),
+            // Seed the checkpoint with the armed-at state so a crash before
+            // the first periodic snapshot restores to something valid.
+            checkpoint: Checkpoint {
+                step: self.steps,
+                counters: self.counters.clone(),
+                phases: self.phases,
+            },
+            scratch: vec![PeFaultScratch::default(); p],
+            stage,
+            pending_crashes: 0,
+        }));
+    }
+
+    /// The chaos ledger so far, or `None` if faults were never armed.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.fault.as_ref().map(|f| f.report)
     }
 
     /// Worker threads in the pool.
@@ -414,6 +550,9 @@ impl BspExecutor {
     pub fn step_into(&mut self, x: &[Vec3], y: &mut [Vec3]) {
         assert_eq!(x.len(), self.global_nodes, "x length must match mesh nodes");
         assert_eq!(y.len(), self.global_nodes, "y length must match mesh nodes");
+        if self.fault.is_some() {
+            return self.chaos_step_into(x, y);
+        }
         let p = self.pe.len();
         let threads = self.pool.threads();
 
@@ -551,6 +690,388 @@ impl BspExecutor {
         self.steps += 1;
     }
 
+    /// The chaos-armed variant of [`BspExecutor::step_into`]: checkpoints on
+    /// schedule, executes the logical step, and on a crashed attempt
+    /// (Restart policy) respawns the dead workers, restores the last
+    /// checkpoint, and replays forward until the target step completes.
+    fn chaos_step_into(&mut self, x: &[Vec3], y: &mut [Vec3]) {
+        let target = self.steps;
+        {
+            let fault = self
+                .fault
+                .as_deref_mut()
+                .expect("chaos step requires armed faults");
+            if target.is_multiple_of(fault.checkpoint_every) {
+                fault.checkpoint = Checkpoint {
+                    step: target,
+                    counters: self.counters.clone(),
+                    phases: self.phases,
+                };
+                fault.report.checkpoints += 1;
+            }
+        }
+        // Replay cursor: normally just `target`; after a restore it walks
+        // back up from the checkpoint. Each replayed step re-runs clean
+        // (its events are already consumed), so the loop always converges.
+        let mut s = target;
+        loop {
+            match self.chaos_execute_step(x, y, s) {
+                Ok(()) => {
+                    if s == target {
+                        break;
+                    }
+                    s += 1;
+                }
+                Err(panicked) => {
+                    for &w in &panicked {
+                        self.pool.respawn(w);
+                    }
+                    let fault = self
+                        .fault
+                        .as_deref_mut()
+                        .expect("chaos step requires armed faults");
+                    fault.report.respawned_workers += panicked.len() as u64;
+                    fault.report.restores += 1;
+                    fault.report.recovered.crash += fault.pending_crashes;
+                    fault.pending_crashes = 0;
+                    fault.report.replayed_steps += s - fault.checkpoint.step;
+                    self.counters = fault.checkpoint.counters.clone();
+                    self.phases = fault.checkpoint.phases;
+                    s = fault.checkpoint.step;
+                }
+            }
+        }
+        // One logical step regardless of how many attempts it took.
+        self.steps += 1;
+    }
+
+    /// Executes one step with fault events live. Returns `Err(panicked
+    /// worker indices)` only under [`RecoveryPolicy::Restart`] when a crash
+    /// event fired; every other fault (and every crash under `Degrade`) is
+    /// healed in here and the step completes with output bitwise-equal to
+    /// the fault-free path.
+    fn chaos_execute_step(
+        &mut self,
+        x: &[Vec3],
+        y: &mut [Vec3],
+        step: u64,
+    ) -> Result<(), Vec<usize>> {
+        let p = self.pe.len();
+        let threads = self.pool.threads();
+        let fault = self
+            .fault
+            .as_deref_mut()
+            .expect("chaos step requires armed faults");
+
+        // --- Assemble phase: identical to the clean path (no fault kind
+        // targets it). ---
+        let wall = {
+            let pe = &self.pe;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: each PE q belongs to exactly one worker's
+                    // chunk, so these per-q accesses are disjoint.
+                    let xl = unsafe { &mut *x_local.get().add(q) };
+                    for (slot, &g) in xl.iter_mut().zip(&pe[q].gather) {
+                        *slot = x[g];
+                    }
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
+        self.phases.assemble += wall;
+        for (c, &dt) in self.counters.iter_mut().zip(&self.elapsed) {
+            c.t_assemble += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+        }
+
+        // --- Compute phase: local SMVP, with Crash and Straggle events
+        // live. Crash is checked first so a consumed straggle always has a
+        // written elapsed slot behind it. ---
+        let mut restart_failed: Option<Vec<usize>> = None;
+        let (wall, degraded) = {
+            let pe = &self.pe;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let partials = SendPtr(self.partials.as_mut_ptr());
+            let plan = &fault.plan;
+            let fired = &fault.fired;
+            let scratch = SendPtr(fault.scratch.as_mut_ptr());
+            let compute = move |w: usize| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: per-q accesses are disjoint (one worker per
+                    // PE); the scratch slot likewise.
+                    let sc = unsafe { &mut *scratch.get().add(q) };
+                    for e in plan.at(step, q) {
+                        if let FaultKind::Crash = plan.events()[e].kind {
+                            if !fired[e].swap(true, Ordering::Relaxed) {
+                                sc.crashes += 1;
+                                panic!("injected fault: PE {q} crash at step {step}");
+                            }
+                        }
+                    }
+                    for e in plan.at(step, q) {
+                        if let FaultKind::Straggle { delay_us } = plan.events()[e].kind {
+                            if !fired[e].swap(true, Ordering::Relaxed) {
+                                let delay = Duration::from_micros(u64::from(delay_us));
+                                sc.straggles += 1;
+                                sc.straggle_delay_s += delay.as_secs_f64();
+                                std::thread::sleep(delay);
+                            }
+                        }
+                    }
+                    let xl = unsafe { &*x_local.get().add(q) };
+                    let part = unsafe { &mut *partials.get().add(q) };
+                    pe[q]
+                        .stiffness
+                        .spmv(xl, part)
+                        .expect("local dimensions consistent by construction");
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            };
+            let t0 = Instant::now();
+            let mut degraded = 0u64;
+            if let Err(failure) = self.pool.try_broadcast(&compute) {
+                match fault.policy {
+                    RecoveryPolicy::FailFast => failure.resume(),
+                    RecoveryPolicy::Degrade => {
+                        // Re-execute each dead shard inline on this thread.
+                        // spmv fully overwrites its output, so the re-run is
+                        // bitwise-identical to what the worker would have
+                        // produced; remaining one-shot events may fire (and
+                        // panic) again, hence the loop.
+                        for &w in &failure.panicked {
+                            loop {
+                                degraded += 1;
+                                if catch_unwind(AssertUnwindSafe(|| compute(w))).is_ok() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    RecoveryPolicy::Restart => restart_failed = Some(failure.panicked),
+                }
+            }
+            (t0.elapsed().as_secs_f64(), degraded)
+        };
+        fault.report.degraded_shards += degraded;
+        let mut crashes = 0u64;
+        for (q, slot) in fault.scratch.iter_mut().enumerate() {
+            let sc = std::mem::take(slot);
+            if sc.straggles > 0 {
+                fault.report.injected.straggle += sc.straggles;
+                // Detection is observational: the phase clock for this PE
+                // must actually show the injected delay.
+                if self.elapsed[q] >= sc.straggle_delay_s * 0.999 {
+                    fault.report.detected.straggle += sc.straggles;
+                    // The barrier absorbs the delay; nothing else to heal.
+                    fault.report.recovered.straggle += sc.straggles;
+                }
+            }
+            crashes += sc.crashes;
+        }
+        if crashes > 0 {
+            fault.report.injected.crash += crashes;
+            // Detection = the supervisor caught the panic.
+            fault.report.detected.crash += crashes;
+            match fault.policy {
+                RecoveryPolicy::Degrade => fault.report.recovered.crash += crashes,
+                // Credited as recovered once the restart actually restores.
+                RecoveryPolicy::Restart => fault.pending_crashes += crashes,
+                RecoveryPolicy::FailFast => {}
+            }
+        }
+        if let Some(panicked) = restart_failed {
+            return Err(panicked);
+        }
+        self.phases.compute += wall;
+        for ((c, &dt), s) in self.counters.iter_mut().zip(&self.elapsed).zip(&self.pe) {
+            c.t_compute += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+            c.flops += s.stiffness.smvp_flops();
+        }
+
+        // --- Exchange phase: every inbound block is fetched through a
+        // checksummed staging buffer, with Drop and Corrupt events live. ---
+        let wall = {
+            let inbound = &self.inbound;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let partials = SendPtr(self.partials.as_mut_ptr());
+            let exchanged = SendPtr(self.exchanged.as_mut_ptr());
+            let plan = &fault.plan;
+            let fired = &fault.fired;
+            let scratch = SendPtr(fault.scratch.as_mut_ptr());
+            let stage = SendPtr(fault.stage.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&move |w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: only exchanged[q], scratch[q], stage[q] are
+                    // written (one worker per PE); partials are read-only
+                    // this phase.
+                    let out = unsafe { &mut *exchanged.get().add(q) };
+                    let mine = unsafe { &*(partials.get().add(q) as *const Vec<Vec3>) };
+                    out.copy_from_slice(mine);
+                    let sc = unsafe { &mut *scratch.get().add(q) };
+                    let buf = unsafe { &mut *stage.get().add(q) };
+                    let n_msgs = inbound[q].len();
+                    for (mi, msg) in inbound[q].iter().enumerate() {
+                        let theirs =
+                            unsafe { &*(partials.get().add(msg.neighbor) as *const Vec<Vec3>) };
+                        let block = &mut buf[..msg.pairs.len()];
+                        let mut attempt: u32 = 0;
+                        loop {
+                            attempt += 1;
+                            assert!(
+                                attempt <= MAX_FETCH_ATTEMPTS,
+                                "PE {q} message {mi}: fetch failed after \
+                                 {MAX_FETCH_ATTEMPTS} attempts"
+                            );
+                            // The network eats this attempt if an unfired
+                            // Drop event charged to message `mi` exists (the
+                            // j-th Drop on PE q targets message j mod n).
+                            let mut dropped = false;
+                            let mut dcount = 0usize;
+                            for e in plan.at(step, q) {
+                                if let FaultKind::Drop = plan.events()[e].kind {
+                                    let victim = dcount % n_msgs;
+                                    dcount += 1;
+                                    if victim == mi && !fired[e].swap(true, Ordering::Relaxed) {
+                                        dropped = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if dropped {
+                                sc.drops += 1;
+                                // Detection: the fetch visibly failed.
+                                sc.drops_detected += 1;
+                                sc.retries += 1;
+                                // Bounded exponential backoff before retry.
+                                std::thread::sleep(Duration::from_micros(1 << attempt.min(6)));
+                                continue;
+                            }
+                            // Fetch: stage the neighbor block, checksummed
+                            // on the sender side of the modeled wire.
+                            let mut ck = BlockChecksum::new();
+                            for (slot, &(_, their)) in block.iter_mut().zip(&msg.pairs) {
+                                let v = theirs[their];
+                                *slot = v;
+                                ck.write_f64(v.x);
+                                ck.write_f64(v.y);
+                                ck.write_f64(v.z);
+                            }
+                            let sent = ck.finish();
+                            // In-flight corruption: flip one bit of one
+                            // staged ghost word, chosen by the event's salt.
+                            for e in plan.at(step, q) {
+                                if let FaultKind::Corrupt { salt } = plan.events()[e].kind {
+                                    if (salt as usize) % n_msgs == mi
+                                        && !fired[e].swap(true, Ordering::Relaxed)
+                                    {
+                                        let words = 3 * msg.pairs.len();
+                                        let wi = ((salt >> 8) as usize) % words;
+                                        let bit = ((salt >> 32) % 64) as u32;
+                                        let v = &mut block[wi / 3];
+                                        let c = match wi % 3 {
+                                            0 => &mut v.x,
+                                            1 => &mut v.y,
+                                            _ => &mut v.z,
+                                        };
+                                        *c = f64::from_bits(c.to_bits() ^ (1u64 << bit));
+                                        sc.corrupts += 1;
+                                        break;
+                                    }
+                                }
+                            }
+                            // Receiver-side verification; a mismatch forces
+                            // a clean re-fetch of the whole block.
+                            let mut rck = BlockChecksum::new();
+                            for v in block.iter() {
+                                rck.write_f64(v.x);
+                                rck.write_f64(v.y);
+                                rck.write_f64(v.z);
+                            }
+                            if rck.finish() != sent {
+                                sc.corrupts_detected += 1;
+                                sc.refetches += 1;
+                                continue;
+                            }
+                            break;
+                        }
+                        // Apply the verified block in clean-path pair order,
+                        // so the sums are bitwise-identical to fault-free.
+                        for (&(m, _), v) in msg.pairs.iter().zip(block.iter()) {
+                            out[m] += *v;
+                        }
+                    }
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
+        self.phases.exchange += wall;
+        for (q, (c, &dt)) in self.counters.iter_mut().zip(&self.elapsed).enumerate() {
+            c.t_exchange += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+            for msg in &self.inbound[q] {
+                let words = 3 * msg.pairs.len() as u64;
+                c.words_received += words;
+                c.words_sent += words;
+                c.blocks_received += 1;
+                c.blocks_sent += 1;
+            }
+        }
+        for slot in fault.scratch.iter_mut() {
+            let sc = std::mem::take(slot);
+            fault.report.injected.drop += sc.drops;
+            fault.report.detected.drop += sc.drops_detected;
+            // The step completed, so every detected drop/corruption was
+            // healed by its retry/re-fetch.
+            fault.report.recovered.drop += sc.drops_detected;
+            fault.report.retries += sc.retries;
+            fault.report.injected.corrupt += sc.corrupts;
+            fault.report.detected.corrupt += sc.corrupts_detected;
+            fault.report.recovered.corrupt += sc.corrupts_detected;
+            fault.report.refetches += sc.refetches;
+        }
+
+        // --- Fold phase: identical to the clean path. ---
+        let t0 = Instant::now();
+        self.written.fill(false);
+        for (s, part) in self.pe.iter().zip(&self.exchanged) {
+            for (l, &g) in s.gather.iter().enumerate() {
+                if self.written[g] {
+                    debug_assert!(
+                        (y[g] - part[l]).norm() <= 1e-9 * (1.0 + y[g].norm()),
+                        "replicas disagree at node {g}"
+                    );
+                } else {
+                    y[g] = part[l];
+                    self.written[g] = true;
+                }
+            }
+        }
+        debug_assert!(
+            self.written.iter().all(|&w| w),
+            "every node resides somewhere"
+        );
+        self.phases.fold += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
     /// Executes one bulk-synchronous SMVP `y = Kx`, allocating the result.
     ///
     /// # Panics
@@ -580,6 +1101,7 @@ impl BspExecutor {
             steps: self.steps,
             pe: self.counters.clone(),
             phases: self.phases,
+            fault: self.fault.as_ref().map(|f| f.report),
         }
     }
 }
@@ -746,5 +1268,296 @@ mod tests {
         let (_, _, sys) = setup(2);
         let mut exec = BspExecutor::new(&sys, 2);
         let _ = exec.step(&[Vec3::ZERO]);
+    }
+
+    // --- Chaos layer ---
+
+    use quake_core::fault::{FaultEvent, FaultRates};
+
+    fn assert_bitwise_equal(clean: &[Vec3], chaos: &[Vec3], what: &str) {
+        assert_eq!(clean.len(), chaos.len());
+        for (i, (a, b)) in clean.iter().zip(chaos).enumerate() {
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits(), a.z.to_bits()),
+                (b.x.to_bits(), b.y.to_bits(), b.z.to_bits()),
+                "node {i} ({what}): recovered run diverged from fault-free run"
+            );
+        }
+    }
+
+    /// A hand-built plan exercising all four fault kinds, including one PE
+    /// crash.
+    fn all_kinds_plan() -> FaultPlan {
+        FaultPlan::from_events(vec![
+            FaultEvent {
+                step: 0,
+                pe: 0,
+                kind: FaultKind::Straggle { delay_us: 200 },
+            },
+            FaultEvent {
+                step: 1,
+                pe: 1,
+                kind: FaultKind::Drop,
+            },
+            FaultEvent {
+                step: 1,
+                pe: 2,
+                kind: FaultKind::Corrupt {
+                    salt: 0xDEAD_BEEF_CAFE,
+                },
+            },
+            FaultEvent {
+                step: 3,
+                pe: 3,
+                kind: FaultKind::Corrupt {
+                    salt: 0x1234_5678_9ABC,
+                },
+            },
+            FaultEvent {
+                step: 2,
+                pe: 3,
+                kind: FaultKind::Crash,
+            },
+        ])
+    }
+
+    #[test]
+    fn empty_plan_chaos_path_is_bitwise_invariant() {
+        let (mesh, partition, sys) = setup(4);
+        let analysis = CommAnalysis::new(&mesh, &partition);
+        let x = random_x(mesh.node_count(), 23);
+        let steps = 3;
+
+        let mut clean = BspExecutor::new(&sys, 4);
+        let mut y_clean = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            clean.step_into(&x, &mut y_clean);
+        }
+
+        let mut armed = BspExecutor::new(&sys, 4);
+        armed.enable_faults(FaultPlan::none(), RecoveryPolicy::Restart, 4);
+        let mut y_armed = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            armed.step_into(&x, &mut y_armed);
+        }
+
+        assert_bitwise_equal(&y_clean, &y_armed, "empty plan");
+        let report = armed.report();
+        assert_eq!(report.f_max(), analysis.f_max());
+        assert_eq!(report.c_max(), analysis.c_max());
+        assert_eq!(report.b_max(), analysis.b_max());
+        let fr = report.fault.expect("armed executor reports faults");
+        assert!(fr.balanced());
+        assert_eq!(fr.injected.total(), 0);
+        assert_eq!(fr.retries + fr.refetches + fr.restores, 0);
+        assert_eq!(fr.checkpoints, 1, "one checkpoint at step 0");
+    }
+
+    #[test]
+    fn chaos_run_recovers_bitwise_equal_with_restart() {
+        let (mesh, partition, sys) = setup(6);
+        let analysis = CommAnalysis::new(&mesh, &partition);
+        let x = random_x(mesh.node_count(), 29);
+        let steps = 5;
+
+        let mut clean = BspExecutor::new(&sys, 4);
+        let mut y_clean = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            clean.step_into(&x, &mut y_clean);
+        }
+
+        let mut chaos = BspExecutor::new(&sys, 4);
+        chaos.enable_faults(all_kinds_plan(), RecoveryPolicy::Restart, 2);
+        let mut y_chaos = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            chaos.step_into(&x, &mut y_chaos);
+        }
+
+        assert_bitwise_equal(&y_clean, &y_chaos, "all kinds, restart");
+        let report = chaos.report();
+        assert_eq!(report.steps, steps as u64);
+        // Even with a crash + restore in the middle, the measured
+        // characterization stays exact.
+        assert_eq!(report.f_max(), analysis.f_max(), "F under chaos");
+        assert_eq!(report.c_max(), analysis.c_max(), "C_max under chaos");
+        assert_eq!(report.b_max(), analysis.b_max(), "B_max under chaos");
+        let fr = report.fault.expect("fault report present");
+        assert!(fr.balanced(), "unbalanced ledger: {fr}");
+        assert_eq!(fr.injected.straggle, 1);
+        assert_eq!(fr.injected.drop, 1);
+        assert_eq!(fr.injected.corrupt, 2);
+        assert_eq!(fr.injected.crash, 1);
+        assert!(fr.retries >= 1, "drop recovery retried");
+        assert!(fr.refetches >= 2, "corruption recovery re-fetched");
+        assert_eq!(fr.restores, 1, "one checkpoint restore");
+        assert_eq!(fr.respawned_workers, 1, "one worker replaced");
+        assert_eq!(fr.replayed_steps, 0, "crash at a checkpoint step");
+        assert_eq!(fr.degraded_shards, 0);
+    }
+
+    #[test]
+    fn crash_mid_interval_replays_lost_steps() {
+        let (mesh, partition, sys) = setup(4);
+        let analysis = CommAnalysis::new(&mesh, &partition);
+        let x = random_x(mesh.node_count(), 31);
+        let steps = 4;
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            step: 2,
+            pe: 1,
+            kind: FaultKind::Crash,
+        }]);
+
+        let mut clean = BspExecutor::new(&sys, 2);
+        let mut y_clean = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            clean.step_into(&x, &mut y_clean);
+        }
+
+        let mut chaos = BspExecutor::new(&sys, 2);
+        // Checkpoint interval 3: the crash at step 2 rolls back to the
+        // step-0 snapshot and replays steps 0 and 1.
+        chaos.enable_faults(plan, RecoveryPolicy::Restart, 3);
+        let mut y_chaos = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            chaos.step_into(&x, &mut y_chaos);
+        }
+
+        assert_bitwise_equal(&y_clean, &y_chaos, "mid-interval crash");
+        let report = chaos.report();
+        assert_eq!(report.f_max(), analysis.f_max());
+        assert_eq!(report.c_max(), analysis.c_max());
+        let fr = report.fault.unwrap();
+        assert!(fr.balanced(), "unbalanced ledger: {fr}");
+        assert_eq!(fr.replayed_steps, 2, "steps 0 and 1 replayed");
+        assert_eq!(fr.restores, 1);
+        // Per-PE counters must not double-count the replays.
+        for (q, (c, predicted)) in report.pe.iter().zip(analysis.per_pe()).enumerate() {
+            assert_eq!(c.flops / steps as u64, predicted.flops, "PE {q} flops");
+            assert_eq!(c.words() / steps as u64, predicted.words, "PE {q} words");
+        }
+    }
+
+    #[test]
+    fn degrade_policy_heals_crashes_inline() {
+        let (mesh, _, sys) = setup(4);
+        let x = random_x(mesh.node_count(), 37);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            step: 1,
+            pe: 2,
+            kind: FaultKind::Crash,
+        }]);
+
+        let mut clean = BspExecutor::new(&sys, 2);
+        let mut y_clean = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..3 {
+            clean.step_into(&x, &mut y_clean);
+        }
+
+        let mut chaos = BspExecutor::new(&sys, 2);
+        chaos.enable_faults(plan, RecoveryPolicy::Degrade, 4);
+        let mut y_chaos = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..3 {
+            chaos.step_into(&x, &mut y_chaos);
+        }
+
+        assert_bitwise_equal(&y_clean, &y_chaos, "degrade");
+        let fr = chaos.fault_report().unwrap();
+        assert!(fr.balanced(), "unbalanced ledger: {fr}");
+        assert_eq!(fr.injected.crash, 1);
+        assert!(fr.degraded_shards >= 1, "shard re-executed inline");
+        assert_eq!(fr.restores, 0, "degrade never restores");
+        assert_eq!(fr.respawned_workers, 0, "degrade never respawns");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn failfast_policy_propagates_the_crash() {
+        let (mesh, _, sys) = setup(4);
+        let x = random_x(mesh.node_count(), 41);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            step: 0,
+            pe: 0,
+            kind: FaultKind::Crash,
+        }]);
+        let mut chaos = BspExecutor::new(&sys, 2);
+        chaos.enable_faults(plan, RecoveryPolicy::FailFast, 4);
+        let _ = chaos.step(&x);
+    }
+
+    #[test]
+    fn checkpoint_restart_round_trip_under_rcm() {
+        let (mesh, partition, sys) = setup(4);
+        let analysis = CommAnalysis::new(&mesh, &partition);
+        let x = random_x(mesh.node_count(), 43);
+        let steps = 4;
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                step: 1,
+                pe: 0,
+                kind: FaultKind::Drop,
+            },
+            FaultEvent {
+                step: 2,
+                pe: 2,
+                kind: FaultKind::Crash,
+            },
+        ]);
+
+        let mut clean = BspExecutor::with_rcm(&sys, 3);
+        let mut y_clean = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            clean.step_into(&x, &mut y_clean);
+        }
+
+        let mut chaos = BspExecutor::with_rcm(&sys, 3);
+        chaos.enable_faults(plan, RecoveryPolicy::Restart, 2);
+        let mut y_chaos = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            chaos.step_into(&x, &mut y_chaos);
+        }
+
+        assert_bitwise_equal(&y_clean, &y_chaos, "rcm + restart");
+        let report = chaos.report();
+        assert_eq!(report.f_max(), analysis.f_max(), "F under RCM chaos");
+        assert_eq!(report.c_max(), analysis.c_max(), "C_max under RCM chaos");
+        assert_eq!(report.b_max(), analysis.b_max(), "B_max under RCM chaos");
+        let fr = report.fault.unwrap();
+        assert!(fr.balanced(), "unbalanced ledger: {fr}");
+        assert_eq!(fr.restores, 1);
+    }
+
+    #[test]
+    fn generated_plan_runs_to_completion_balanced() {
+        let (mesh, _, sys) = setup(6);
+        let x = random_x(mesh.node_count(), 47);
+        let steps = 8;
+        let plan = FaultPlan::generate(99, steps, 6, &FaultRates::uniform(0.3));
+        assert!(!plan.is_empty(), "rates high enough to schedule events");
+
+        let mut clean = BspExecutor::new(&sys, 4);
+        let mut y_clean = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            clean.step_into(&x, &mut y_clean);
+        }
+
+        let mut chaos = BspExecutor::new(&sys, 4);
+        chaos.enable_faults(plan, RecoveryPolicy::Restart, 2);
+        let mut y_chaos = vec![Vec3::ZERO; mesh.node_count()];
+        for _ in 0..steps {
+            chaos.step_into(&x, &mut y_chaos);
+        }
+
+        assert_bitwise_equal(&y_clean, &y_chaos, "generated plan");
+        let fr = chaos.fault_report().unwrap();
+        assert!(fr.balanced(), "unbalanced ledger: {fr}");
+        assert!(fr.injected.total() > 0, "something actually fired");
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn zero_checkpoint_interval_is_rejected() {
+        let (_, _, sys) = setup(2);
+        let mut exec = BspExecutor::new(&sys, 2);
+        exec.enable_faults(FaultPlan::none(), RecoveryPolicy::Restart, 0);
     }
 }

@@ -1,0 +1,642 @@
+//! Deterministic fault injection for the bulk-synchronous SMVP.
+//!
+//! The paper's central claim is that the BSP SMVP is *latency-bound*: every
+//! barrier waits for the worst-case PE, so one straggling, silent, or dead
+//! PE defines `T_comm` (Eq. 1/2 and the β bound of §3.4). A perfect-machine
+//! executor can only ever measure the best case. This module supplies the
+//! other half: a seeded, fully deterministic **fault plan** — per-step,
+//! per-PE events — that an executor injects at precise points in the
+//! assemble→compute→exchange→fold cycle and then *recovers from*, so the
+//! realized efficiency under faults can be compared against the clean
+//! Eq. (1) prediction.
+//!
+//! Determinism is the load-bearing property. A [`FaultPlan`] is a pure
+//! function of `(seed, steps, pes, rates)`: the same plan replays the same
+//! chaos every run, which is what makes "every recovered run is bitwise
+//! equal to a fault-free run" a testable statement rather than a hope.
+//!
+//! Four fault kinds model the failure modes of the paper's machine:
+//!
+//! * [`FaultKind::Straggle`] — one PE's compute phase is delayed (per-PE
+//!   jitter; the barrier absorbs it, and barrier-wait accounting sees it);
+//! * [`FaultKind::Drop`] — an exchange block is lost in flight and must be
+//!   re-fetched after a timeout (bounded retry with exponential backoff);
+//! * [`FaultKind::Corrupt`] — ghost words arrive bit-flipped; per-block
+//!   checksums detect the damage and force a clean re-fetch;
+//! * [`FaultKind::Crash`] — the PE dies mid-step; recovery is re-execution
+//!   of its shard ([`RecoveryPolicy::Degrade`]) or checkpoint/restart
+//!   ([`RecoveryPolicy::Restart`]).
+//!
+//! [`FaultReport`] accounts for every event three ways — injected,
+//! detected, recovered — plus the recovery work performed (retries,
+//! re-fetches, replayed steps, restores). Under a healing policy the three
+//! counts must balance; [`FaultReport::balanced`] is the invariant the
+//! chaos tests assert.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The PE's compute phase is delayed by `delay_us` microseconds —
+    /// per-PE jitter that every barrier in the step must absorb.
+    Straggle {
+        /// Injected delay in microseconds.
+        delay_us: u32,
+    },
+    /// One of the PE's inbound exchange blocks is dropped in flight; the
+    /// first fetch attempt fails and must be retried.
+    Drop,
+    /// The PE's inbound ghost words arrive corrupted; `salt` selects which
+    /// word and which bit the executor flips (derived, so the plan stays
+    /// topology-independent).
+    Corrupt {
+        /// Deterministic selector for the corrupted word/bit.
+        salt: u64,
+    },
+    /// The PE crashes mid-step (modeled as a worker panic while executing
+    /// the PE's compute shard).
+    Crash,
+}
+
+impl FaultKind {
+    /// Short lower-case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Straggle { .. } => "straggle",
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt { .. } => "corrupt",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+/// One scheduled fault: a kind firing at `(step, pe)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Zero-based SMVP step at which the fault fires.
+    pub step: u64,
+    /// The victim PE.
+    pub pe: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Per-kind injection probabilities, sampled once per `(step, pe, kind)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a PE straggles in a given step.
+    pub straggle: f64,
+    /// Probability one of a PE's inbound blocks is dropped in a given step.
+    pub drop: f64,
+    /// Probability a PE's inbound ghost words are corrupted in a given step.
+    pub corrupt: f64,
+    /// Probability a PE crashes in a given step (usually much smaller than
+    /// the transient rates).
+    pub crash: f64,
+    /// Hard cap on generated crash events across the whole plan (crashes
+    /// are the expensive faults to recover from; `u32::MAX` means no cap).
+    pub max_crashes: u32,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultRates {
+            straggle: 0.0,
+            drop: 0.0,
+            corrupt: 0.0,
+            crash: 0.0,
+            max_crashes: 0,
+        }
+    }
+
+    /// The CLI's one-knob preset: transient faults (straggle, drop,
+    /// corrupt) at `rate`, crashes at a tenth of it capped to one — the
+    /// paper's "one bad PE" scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn uniform(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        FaultRates {
+            straggle: rate,
+            drop: rate,
+            corrupt: rate,
+            crash: rate / 10.0,
+            max_crashes: 1,
+        }
+    }
+
+    /// True if every rate is zero (the plan will be empty).
+    pub fn is_zero(&self) -> bool {
+        self.straggle == 0.0 && self.drop == 0.0 && self.corrupt == 0.0 && self.crash == 0.0
+    }
+}
+
+/// A seeded, deterministic schedule of faults: the chaos layer's script.
+///
+/// Events are stored sorted by `(step, pe)` so an executor can look up the
+/// faults for the cell it is about to execute in `O(log n)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults; executors treat it as "chaos disabled").
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit events (tests and targeted experiments);
+    /// events are sorted into canonical `(step, pe)` order.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.step, e.pe));
+        FaultPlan { events }
+    }
+
+    /// Generates the deterministic plan for `steps × pes` cells: for each
+    /// cell, each fault kind fires independently with its
+    /// [`FaultRates`] probability. Identical `(seed, steps, pes, rates)`
+    /// always yield the identical plan.
+    pub fn generate(seed: u64, steps: u64, pes: usize, rates: &FaultRates) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut crashes = 0u32;
+        for step in 0..steps {
+            for pe in 0..pes {
+                if rates.straggle > 0.0 && rng.gen_bool(rates.straggle) {
+                    let delay_us = rng.gen_range(30u32..=300);
+                    events.push(FaultEvent {
+                        step,
+                        pe,
+                        kind: FaultKind::Straggle { delay_us },
+                    });
+                }
+                if rates.drop > 0.0 && rng.gen_bool(rates.drop) {
+                    events.push(FaultEvent {
+                        step,
+                        pe,
+                        kind: FaultKind::Drop,
+                    });
+                }
+                if rates.corrupt > 0.0 && rng.gen_bool(rates.corrupt) {
+                    let salt = rng.gen::<u64>();
+                    events.push(FaultEvent {
+                        step,
+                        pe,
+                        kind: FaultKind::Corrupt { salt },
+                    });
+                }
+                if rates.crash > 0.0 && crashes < rates.max_crashes && rng.gen_bool(rates.crash) {
+                    crashes += 1;
+                    events.push(FaultEvent {
+                        step,
+                        pe,
+                        kind: FaultKind::Crash,
+                    });
+                }
+            }
+        }
+        // Generation order is already (step, pe)-sorted.
+        FaultPlan { events }
+    }
+
+    /// All scheduled events, sorted by `(step, pe)`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Global indices of the events scheduled for `(step, pe)` — the
+    /// contiguous sorted range, so the executor can pair each event with
+    /// its own consumed-flag.
+    pub fn at(&self, step: u64, pe: usize) -> std::ops::Range<usize> {
+        let lo = self.events.partition_point(|e| (e.step, e.pe) < (step, pe));
+        let hi = self
+            .events
+            .partition_point(|e| (e.step, e.pe) <= (step, pe));
+        lo..hi
+    }
+
+    /// Count of scheduled events per kind.
+    pub fn counts(&self) -> FaultCounts {
+        let mut c = FaultCounts::default();
+        for e in &self.events {
+            c.add(&e.kind, 1);
+        }
+        c
+    }
+}
+
+/// What an executor does when a PE crashes (and how a supervising worker
+/// pool treats a panicking worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Re-raise the failure and abort the run (the pre-chaos behaviour).
+    FailFast,
+    /// Keep going on the survivors: the dead PE's shard is re-executed on a
+    /// surviving thread, the run continues degraded.
+    Degrade,
+    /// Heal fully: replace the dead worker, restore the last checkpoint,
+    /// and replay the lost steps.
+    #[default]
+    Restart,
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryPolicy::FailFast => "failfast",
+            RecoveryPolicy::Degrade => "degrade",
+            RecoveryPolicy::Restart => "restart",
+        })
+    }
+}
+
+impl FromStr for RecoveryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "failfast" => Ok(RecoveryPolicy::FailFast),
+            "degrade" => Ok(RecoveryPolicy::Degrade),
+            "restart" => Ok(RecoveryPolicy::Restart),
+            other => Err(format!(
+                "unknown recovery policy '{other}' (expected failfast|degrade|restart)"
+            )),
+        }
+    }
+}
+
+/// Per-kind event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Straggler delays.
+    pub straggle: u64,
+    /// Dropped exchange blocks.
+    pub drop: u64,
+    /// Corrupted ghost-word blocks.
+    pub corrupt: u64,
+    /// PE crashes.
+    pub crash: u64,
+}
+
+impl FaultCounts {
+    /// Adds `n` events of `kind`.
+    pub fn add(&mut self, kind: &FaultKind, n: u64) {
+        match kind {
+            FaultKind::Straggle { .. } => self.straggle += n,
+            FaultKind::Drop => self.drop += n,
+            FaultKind::Corrupt { .. } => self.corrupt += n,
+            FaultKind::Crash => self.crash += n,
+        }
+    }
+
+    /// Total events across kinds.
+    pub fn total(&self) -> u64 {
+        self.straggle + self.drop + self.corrupt + self.crash
+    }
+}
+
+impl fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (straggle {}, drop {}, corrupt {}, crash {})",
+            self.total(),
+            self.straggle,
+            self.drop,
+            self.corrupt,
+            self.crash
+        )
+    }
+}
+
+/// The chaos layer's ledger: every fault accounted for three ways, plus
+/// the recovery work it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Events the plan actually fired during executed steps.
+    pub injected: FaultCounts,
+    /// Events the recovery machinery noticed (timeout, checksum mismatch,
+    /// caught panic, observed delay).
+    pub detected: FaultCounts,
+    /// Events fully recovered from (output provably unaffected).
+    pub recovered: FaultCounts,
+    /// Exchange fetch attempts beyond the first (drop recovery).
+    pub retries: u64,
+    /// Clean re-fetches after a checksum mismatch (corruption recovery).
+    pub refetches: u64,
+    /// Steps re-executed after a checkpoint restore.
+    pub replayed_steps: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Checkpoint restores performed.
+    pub restores: u64,
+    /// Crashed shards re-executed on a surviving thread (Degrade policy).
+    pub degraded_shards: u64,
+    /// Worker threads replaced after a crash (Restart policy).
+    pub respawned_workers: u64,
+}
+
+impl FaultReport {
+    /// The healing invariant: every injected fault was detected, and every
+    /// detected fault was recovered. Holds for any run that completes under
+    /// [`RecoveryPolicy::Restart`] or [`RecoveryPolicy::Degrade`].
+    pub fn balanced(&self) -> bool {
+        self.injected == self.detected && self.detected == self.recovered
+    }
+
+    /// Compact single-line JSON for machine consumption (CI assertions,
+    /// sweep tooling). Hand-rolled: the counts are all integers, so no
+    /// escaping is needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"injected\":{},\"detected\":{},\"recovered\":{},",
+                "\"injected_by_kind\":{{\"straggle\":{},\"drop\":{},\"corrupt\":{},\"crash\":{}}},",
+                "\"retries\":{},\"refetches\":{},\"replayed_steps\":{},",
+                "\"checkpoints\":{},\"restores\":{},\"degraded_shards\":{},",
+                "\"respawned_workers\":{},\"balanced\":{}}}"
+            ),
+            self.injected.total(),
+            self.detected.total(),
+            self.recovered.total(),
+            self.injected.straggle,
+            self.injected.drop,
+            self.injected.corrupt,
+            self.injected.crash,
+            self.retries,
+            self.refetches,
+            self.replayed_steps,
+            self.checkpoints,
+            self.restores,
+            self.degraded_shards,
+            self.respawned_workers,
+            self.balanced(),
+        )
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fault report:")?;
+        writeln!(f, "  injected:  {}", self.injected)?;
+        writeln!(f, "  detected:  {}", self.detected)?;
+        writeln!(f, "  recovered: {}", self.recovered)?;
+        writeln!(
+            f,
+            "  recovery work: {} retries, {} re-fetches, {} replayed steps, \
+             {} restores ({} checkpoints), {} degraded shards, {} respawned workers",
+            self.retries,
+            self.refetches,
+            self.replayed_steps,
+            self.restores,
+            self.checkpoints,
+            self.degraded_shards,
+            self.respawned_workers
+        )?;
+        write!(
+            f,
+            "  balance: {}",
+            if self.balanced() {
+                "injected == detected == recovered"
+            } else {
+                "UNBALANCED"
+            }
+        )
+    }
+}
+
+/// Incremental FNV-1a over `f64` bit patterns — the per-block checksum used
+/// to detect corrupted ghost words. Bit-exact: any single flipped mantissa
+/// or exponent bit changes the sum.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockChecksum(u64);
+
+impl Default for BlockChecksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockChecksum {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh (empty-input) checksum state.
+    pub fn new() -> Self {
+        BlockChecksum(Self::OFFSET)
+    }
+
+    /// Feeds one word's bit pattern.
+    pub fn write_f64(&mut self, w: f64) {
+        for b in w.to_bits().to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot [`BlockChecksum`] over a word slice.
+pub fn block_checksum(words: &[f64]) -> u64 {
+    let mut h = BlockChecksum::new();
+    for &w in words {
+        h.write_f64(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_rates() -> FaultRates {
+        FaultRates {
+            straggle: 0.3,
+            drop: 0.3,
+            corrupt: 0.3,
+            crash: 0.05,
+            max_crashes: u32::MAX,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(42, 50, 8, &dense_rates());
+        let b = FaultPlan::generate(42, 50, 8, &dense_rates());
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "dense rates over 400 cells must fire");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, 50, 8, &dense_rates());
+        let b = FaultPlan::generate(2, 50, 8, &dense_rates());
+        assert_ne!(a, b, "seeds must steer the plan");
+    }
+
+    #[test]
+    fn zero_rates_yield_empty_plan() {
+        let plan = FaultPlan::generate(7, 100, 16, &FaultRates::none());
+        assert!(plan.is_empty());
+        assert_eq!(plan.counts().total(), 0);
+    }
+
+    #[test]
+    fn events_are_sorted_and_lookup_finds_them() {
+        let plan = FaultPlan::generate(9, 30, 6, &dense_rates());
+        assert!(plan
+            .events()
+            .windows(2)
+            .all(|w| (w[0].step, w[0].pe) <= (w[1].step, w[1].pe)));
+        // Every event is found by its cell lookup, and only there.
+        let mut seen = 0;
+        for step in 0..30 {
+            for pe in 0..6 {
+                for i in plan.at(step, pe) {
+                    let e = plan.events()[i];
+                    assert_eq!((e.step, e.pe), (step, pe));
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, plan.len());
+        assert!(plan.at(1000, 0).is_empty());
+    }
+
+    #[test]
+    fn rates_scale_event_volume() {
+        let sparse = FaultPlan::generate(3, 200, 8, &FaultRates::uniform(0.01));
+        let dense = FaultPlan::generate(3, 200, 8, &FaultRates::uniform(0.3));
+        assert!(
+            dense.len() > sparse.len(),
+            "30x the rate must fire more events ({} vs {})",
+            dense.len(),
+            sparse.len()
+        );
+    }
+
+    #[test]
+    fn crash_cap_is_honored() {
+        let mut rates = dense_rates();
+        rates.crash = 1.0;
+        rates.max_crashes = 3;
+        let plan = FaultPlan::generate(5, 100, 4, &rates);
+        assert_eq!(plan.counts().crash, 3);
+        // uniform() caps at one crash.
+        let plan = FaultPlan::generate(5, 400, 4, &FaultRates::uniform(0.5));
+        assert!(plan.counts().crash <= 1);
+    }
+
+    #[test]
+    fn from_events_sorts() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                step: 5,
+                pe: 1,
+                kind: FaultKind::Drop,
+            },
+            FaultEvent {
+                step: 0,
+                pe: 3,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                step: 5,
+                pe: 0,
+                kind: FaultKind::Corrupt { salt: 1 },
+            },
+        ]);
+        assert_eq!(plan.events()[0].step, 0);
+        assert_eq!(plan.events()[1].pe, 0);
+        assert_eq!(plan.at(5, 1), 2..3);
+    }
+
+    #[test]
+    fn counts_and_balance() {
+        let mut report = FaultReport::default();
+        let kinds = [
+            FaultKind::Straggle { delay_us: 10 },
+            FaultKind::Drop,
+            FaultKind::Corrupt { salt: 0 },
+            FaultKind::Crash,
+        ];
+        for k in &kinds {
+            report.injected.add(k, 2);
+            report.detected.add(k, 2);
+            report.recovered.add(k, 2);
+        }
+        assert_eq!(report.injected.total(), 8);
+        assert!(report.balanced());
+        report.recovered.drop -= 1;
+        assert!(!report.balanced());
+    }
+
+    #[test]
+    fn report_json_is_parsable_shape() {
+        let report = FaultReport::default();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"injected\":",
+            "\"detected\":",
+            "\"recovered\":",
+            "\"retries\":",
+            "\"replayed_steps\":",
+            "\"balanced\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn recovery_policy_round_trips() {
+        for p in [
+            RecoveryPolicy::FailFast,
+            RecoveryPolicy::Degrade,
+            RecoveryPolicy::Restart,
+        ] {
+            assert_eq!(p.to_string().parse::<RecoveryPolicy>().unwrap(), p);
+        }
+        assert!("chaos".parse::<RecoveryPolicy>().is_err());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let words = [1.5f64, -2.25, 1e-300, 0.0, 6000.0];
+        let clean = block_checksum(&words);
+        for i in 0..words.len() {
+            for bit in [0u32, 17, 31, 52, 63] {
+                let mut corrupted = words;
+                corrupted[i] = f64::from_bits(corrupted[i].to_bits() ^ (1u64 << bit));
+                assert_ne!(
+                    block_checksum(&corrupted),
+                    clean,
+                    "flip of word {i} bit {bit} must change the checksum"
+                );
+            }
+        }
+        assert_eq!(block_checksum(&words), clean, "checksum is pure");
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`requirements`] — the sweeps behind Figures 8–11;
 //! * [`machine`] — `T_f`/`T_l`/`T_w` presets including the paper's Cray
 //!   T3D/T3E measurements;
+//! * [`fault`] — the deterministic chaos layer: seeded per-step/per-PE
+//!   fault plans (stragglers, drops, corruption, crashes), recovery
+//!   policies, and the injected/detected/recovered ledger;
 //! * [`paperdata`] — the published Figure 2/6/7 tables, embedded so Figures
 //!   8–11 can be regenerated exactly.
 //!
@@ -38,6 +41,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod characterize;
+pub mod fault;
 pub mod machine;
 pub mod model;
 pub mod paperdata;

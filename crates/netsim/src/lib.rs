@@ -28,11 +28,13 @@
 // Indexed loops over parallel arrays are the clearest form for the numeric
 // kernels in this crate; the iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+pub mod fault;
 pub mod simulate;
 pub mod sweep;
 pub mod validate;
 pub mod workload;
 
+pub use fault::{half_bandwidth_shift, render_straggler_surface, straggler_surface, StragglerCell};
 pub use simulate::{simulate_comm_phase, simulate_run, simulate_smvp, SimOptions, SmvpTiming};
 pub use sweep::{efficiency_surface, log_space, render_surface, SurfaceCell};
 pub use validate::{validate, ValidationRow};

@@ -153,6 +153,41 @@ impl Workload {
         }
     }
 
+    /// A copy of this workload with seeded straggler PEs: each PE is
+    /// independently selected with probability `prob` and its flop count
+    /// scaled by `factor`, modeling a degraded core (thermal throttling, a
+    /// failed-over shard, or the executor's injected compute delays). The
+    /// traffic matrix is untouched — stragglers slow computation, not the
+    /// wire — and the same `seed` always picks the same victims, so sweeps
+    /// over `factor` vary one knob at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ prob ≤ 1` and `factor ≥ 1`.
+    pub fn with_stragglers(&self, prob: f64, factor: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "straggler probability must be in [0, 1]"
+        );
+        assert!(factor >= 1.0, "slowdown factor must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flops = self
+            .flops
+            .iter()
+            .map(|&f| {
+                if rng.gen_bool(prob) {
+                    (f as f64 * factor).round() as u64
+                } else {
+                    f
+                }
+            })
+            .collect();
+        Workload {
+            flops,
+            traffic: self.traffic.clone(),
+        }
+    }
+
     /// A random sparse symmetric workload: each PE talks to ≈ `degree`
     /// partners with message sizes jittered around `words`; flops are
     /// jittered around `flops` (models partitioner imperfection).
@@ -256,6 +291,36 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn tiny_ring_panics() {
         let _ = Workload::ring(2, 1, 1);
+    }
+
+    #[test]
+    fn stragglers_scale_flops_only_and_are_reproducible() {
+        let w = Workload::ring(16, 1_000, 10);
+        let a = w.with_stragglers(0.5, 4.0, 7);
+        let b = w.with_stragglers(0.5, 4.0, 7);
+        assert_eq!(a, b, "same seed, same victims");
+        // Traffic is untouched; every PE's flops are either 1× or 4×.
+        let mut slowed = 0;
+        for i in 0..16 {
+            assert_eq!(a.words_of(i), w.words_of(i));
+            assert_eq!(a.blocks_of(i), w.blocks_of(i));
+            match a.flops()[i] {
+                1_000 => {}
+                4_000 => slowed += 1,
+                other => panic!("unexpected flop count {other}"),
+            }
+        }
+        assert!(slowed > 0, "p=0.5 over 16 PEs picks someone");
+        assert!(slowed < 16, "p=0.5 over 16 PEs spares someone");
+        // Degenerate knobs are identity.
+        assert_eq!(w.with_stragglers(0.0, 8.0, 7), w);
+        assert_eq!(w.with_stragglers(1.0, 1.0, 7), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn speedup_factor_is_rejected() {
+        let _ = Workload::ring(4, 1, 1).with_stragglers(0.5, 0.5, 1);
     }
 
     #[test]

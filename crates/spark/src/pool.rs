@@ -24,6 +24,20 @@
 //! every task in the batch has finished (or panicked) — no task can outlive
 //! the borrowed data. Worker panics are caught, counted, and re-raised on
 //! the calling thread after the batch drains.
+//!
+//! # Supervision
+//!
+//! The pool can also act as a *supervisor* instead of a mere conduit for
+//! panics: [`WorkerPool::try_broadcast`] reports which workers panicked (as
+//! a [`BatchFailure`]) rather than re-raising, and
+//! [`WorkerPool::supervised_broadcast`] applies a [`SupervisionPolicy`] —
+//! fail fast (the classic behaviour), degrade (re-run the failed shard on
+//! the calling thread), or restart (replace the dead worker thread via
+//! [`WorkerPool::respawn`] and re-run its shard there). This is the
+//! substrate the fault-injected BSP executor builds its PE-crash recovery
+//! on: a crashed shard is never silently lost, and the barrier semantics
+//! are preserved because every recovery path completes before the batch
+//! call returns.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -38,6 +52,57 @@ type StaticTask = Box<dyn FnOnce() + Send + 'static>;
 /// A shared batch closure, called once per worker with the worker index.
 pub type BatchFn<'scope> = dyn Fn(usize) + Sync + 'scope;
 
+/// What a supervising batch call does about panicking workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SupervisionPolicy {
+    /// Re-raise the first panic on the caller after the batch drains (the
+    /// classic [`WorkerPool::broadcast`] behaviour).
+    #[default]
+    FailFast,
+    /// Log nothing, lose nothing: re-run each failed worker's shard on the
+    /// calling thread, then return normally.
+    Degrade,
+    /// Replace each failed worker with a freshly spawned thread and re-run
+    /// its shard on the replacement.
+    Restart,
+}
+
+/// A batch in which one or more workers panicked.
+///
+/// Returned by [`WorkerPool::try_broadcast`]; the batch itself has fully
+/// drained (barrier semantics hold), so the caller may recover — re-run the
+/// failed shards, respawn workers — or [`BatchFailure::resume`] the panic.
+pub struct BatchFailure {
+    /// Indices of the workers whose shard panicked, ascending.
+    pub panicked: Vec<usize>,
+    /// The first panic payload observed in the batch.
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl BatchFailure {
+    /// Re-raises the first panic payload on the current thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.payload)
+    }
+
+    /// The panic message, if the payload was a string (the common case).
+    pub fn message(&self) -> Option<&str> {
+        self.payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| self.payload.downcast_ref::<String>().map(String::as_str))
+    }
+}
+
+impl std::fmt::Debug for BatchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchFailure")
+            .field("panicked", &self.panicked)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
 /// Completion latch for one `execute`/`broadcast` batch.
 struct Latch {
     state: Mutex<LatchState>,
@@ -48,6 +113,8 @@ struct LatchState {
     remaining: usize,
     /// First panic payload observed in the batch, re-raised by the caller.
     panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Worker indices whose command panicked, in completion order.
+    panicked_workers: Vec<usize>,
 }
 
 impl Latch {
@@ -56,6 +123,7 @@ impl Latch {
             state: Mutex::new(LatchState {
                 remaining: count,
                 panic: None,
+                panicked_workers: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -68,11 +136,15 @@ impl Latch {
         debug_assert_eq!(state.remaining, 0, "latch reset while a batch is live");
         state.remaining = count;
         state.panic = None;
+        state.panicked_workers.clear();
     }
 
-    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+    fn complete(&self, worker: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
         let mut state = self.state.lock().expect("latch lock");
         state.remaining -= 1;
+        if panic.is_some() {
+            state.panicked_workers.push(worker);
+        }
         if state.panic.is_none() {
             state.panic = panic;
         }
@@ -81,14 +153,26 @@ impl Latch {
         }
     }
 
-    fn wait(&self) {
+    /// Blocks until the batch drains; reports a panicked batch instead of
+    /// re-raising.
+    fn wait_outcome(&self) -> Result<(), BatchFailure> {
         let mut state = self.state.lock().expect("latch lock");
         while state.remaining > 0 {
             state = self.cv.wait(state).expect("latch wait");
         }
-        if let Some(payload) = state.panic.take() {
-            drop(state);
-            resume_unwind(payload);
+        match state.panic.take() {
+            None => Ok(()),
+            Some(payload) => {
+                let mut panicked = std::mem::take(&mut state.panicked_workers);
+                panicked.sort_unstable();
+                Err(BatchFailure { panicked, payload })
+            }
+        }
+    }
+
+    fn wait(&self) {
+        if let Err(failure) = self.wait_outcome() {
+            failure.resume();
         }
     }
 }
@@ -100,6 +184,9 @@ enum Cmd {
     /// A lifetime-erased shared closure from `broadcast`; the worker calls
     /// it with its own index.
     Batch(&'static BatchFn<'static>, Arc<Latch>),
+    /// Terminate this worker's loop (used by `respawn` to retire one
+    /// worker without closing its queue).
+    Exit,
 }
 
 struct QueueState {
@@ -156,7 +243,9 @@ impl WorkerQueue {
 /// batches with barrier semantics.
 pub struct WorkerPool {
     queues: Arc<Vec<WorkerQueue>>,
-    workers: Vec<JoinHandle<()>>,
+    /// One handle per worker slot; `None` only transiently inside
+    /// [`WorkerPool::respawn`].
+    workers: Vec<Option<JoinHandle<()>>>,
     threads: usize,
     /// Reusable latch for `broadcast` batches (serialized by `submit`).
     batch_latch: Arc<Latch>,
@@ -181,10 +270,12 @@ impl WorkerPool {
         let workers = (0..threads)
             .map(|i| {
                 let queues = Arc::clone(&queues);
-                std::thread::Builder::new()
-                    .name(format!("smvp-worker-{i}"))
-                    .spawn(move || worker_loop(&queues[i], i))
-                    .expect("spawn worker thread")
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("smvp-worker-{i}"))
+                        .spawn(move || worker_loop(&queues[i], i))
+                        .expect("spawn worker thread"),
+                )
             })
             .collect();
         WorkerPool {
@@ -242,6 +333,21 @@ impl WorkerPool {
     /// reached through the worker index (disjoint slices, per-worker
     /// buffers), not through `&mut` captures.
     pub fn broadcast(&self, f: &BatchFn<'_>) {
+        if let Err(failure) = self.try_broadcast(f) {
+            failure.resume();
+        }
+    }
+
+    /// Like [`WorkerPool::broadcast`], but a panicking worker is reported
+    /// rather than re-raised: the returned [`BatchFailure`] names every
+    /// worker whose `f(w)` call panicked. The batch has fully drained
+    /// either way, so the pool (and any data `f` borrowed) is safe to
+    /// touch — this is the supervision primitive crash-recovery builds on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BatchFailure`] if any worker panicked.
+    pub fn try_broadcast(&self, f: &BatchFn<'_>) -> Result<(), BatchFailure> {
         // A previous broadcast may have poisoned the guard by re-raising a
         // worker panic while holding it; the guard carries no data, so
         // poisoning is harmless — recover and keep serializing.
@@ -250,7 +356,7 @@ impl WorkerPool {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         self.batch_latch.reset(self.threads);
-        // SAFETY: the latch `wait` below blocks until every worker has
+        // SAFETY: the latch wait below blocks until every worker has
         // finished its `f(w)` call (or panicked), so the erased `'scope`
         // borrow never outlives this stack frame.
         let f: &'static BatchFn<'static> =
@@ -258,7 +364,96 @@ impl WorkerPool {
         for queue in self.queues.iter() {
             queue.push(Cmd::Batch(f, Arc::clone(&self.batch_latch)));
         }
-        self.batch_latch.wait();
+        self.batch_latch.wait_outcome()
+    }
+
+    /// Runs `f(w)` once on worker `w` only and waits for it — the targeted
+    /// re-run primitive used after a [`WorkerPool::respawn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BatchFailure`] if the shard panicked again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid worker index.
+    pub fn run_on(&self, w: usize, f: &BatchFn<'_>) -> Result<(), BatchFailure> {
+        assert!(w < self.threads, "worker {w} out of range");
+        let latch = Arc::new(Latch::new(1));
+        // SAFETY: as in `try_broadcast` — the wait below outlives the
+        // erased borrow.
+        let f: &'static BatchFn<'static> =
+            unsafe { std::mem::transmute::<&BatchFn<'_>, &'static BatchFn<'static>>(f) };
+        self.queues[w].push(Cmd::Batch(f, Arc::clone(&latch)));
+        latch.wait_outcome()
+    }
+
+    /// Retires worker `w`'s thread and spawns a replacement on the same
+    /// queue — the "replace the dead PE" half of crash recovery. Any
+    /// commands already queued for `w` are handed to the replacement (the
+    /// queue is never closed), so no work is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid worker index or the replacement thread
+    /// cannot be spawned.
+    pub fn respawn(&mut self, w: usize) {
+        assert!(w < self.threads, "worker {w} out of range");
+        // Retire the old worker *before* spawning its replacement: both
+        // read the same queue, so a replacement spawned early could eat
+        // the Exit command itself and leave the old thread (and this
+        // join) waiting forever.
+        self.queues[w].push(Cmd::Exit);
+        if let Some(old) = self.workers[w].take() {
+            let _ = old.join();
+        }
+        let queues = Arc::clone(&self.queues);
+        let replacement = std::thread::Builder::new()
+            .name(format!("smvp-worker-{w}r"))
+            .spawn(move || worker_loop(&queues[w], w))
+            .expect("spawn replacement worker thread");
+        self.workers[w] = Some(replacement);
+    }
+
+    /// A broadcast that *supervises* its workers: on panic, applies
+    /// `policy` — [`SupervisionPolicy::FailFast`] re-raises,
+    /// [`SupervisionPolicy::Degrade`] re-runs each failed shard on the
+    /// calling thread, and [`SupervisionPolicy::Restart`] replaces each
+    /// failed worker thread and re-runs the shard on the replacement.
+    /// Returns which workers panicked (empty on a clean batch) so callers
+    /// can log and account.
+    ///
+    /// A shard that fails again during its recovery re-run is considered
+    /// genuinely broken (not a transient fault) and its panic is re-raised
+    /// regardless of policy.
+    pub fn supervised_broadcast(
+        &mut self,
+        f: &BatchFn<'_>,
+        policy: SupervisionPolicy,
+    ) -> Vec<usize> {
+        match self.try_broadcast(f) {
+            Ok(()) => Vec::new(),
+            Err(failure) => match policy {
+                SupervisionPolicy::FailFast => failure.resume(),
+                SupervisionPolicy::Degrade => {
+                    for &w in &failure.panicked {
+                        if let Err(again) = catch_unwind(AssertUnwindSafe(|| f(w))) {
+                            resume_unwind(again);
+                        }
+                    }
+                    failure.panicked
+                }
+                SupervisionPolicy::Restart => {
+                    for &w in &failure.panicked {
+                        self.respawn(w);
+                        if let Err(again) = self.run_on(w, f) {
+                            again.resume();
+                        }
+                    }
+                    failure.panicked
+                }
+            },
+        }
     }
 }
 
@@ -267,7 +462,7 @@ impl Drop for WorkerPool {
         for queue in self.queues.iter() {
             queue.close();
         }
-        for handle in self.workers.drain(..) {
+        for handle in self.workers.drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -278,12 +473,13 @@ fn worker_loop(queue: &WorkerQueue, index: usize) {
         match cmd {
             Cmd::Task(task, latch) => {
                 let outcome = catch_unwind(AssertUnwindSafe(task));
-                latch.complete(outcome.err());
+                latch.complete(index, outcome.err());
             }
             Cmd::Batch(f, latch) => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(index)));
-                latch.complete(outcome.err());
+                latch.complete(index, outcome.err());
             }
+            Cmd::Exit => return,
         }
     }
 }
@@ -466,5 +662,134 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn try_broadcast_reports_exactly_the_panicked_workers() {
+        let pool = WorkerPool::new(4);
+        let failure = pool
+            .try_broadcast(&|w| {
+                if w == 1 || w == 3 {
+                    panic!("injected crash on worker {w}");
+                }
+            })
+            .expect_err("two workers panicked");
+        assert_eq!(failure.panicked, vec![1, 3]);
+        assert!(failure.message().unwrap().contains("injected crash"));
+        // Clean batches return Ok and the pool stays usable.
+        let counter = AtomicUsize::new(0);
+        pool.try_broadcast(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("clean batch");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn run_on_targets_a_single_worker() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_on(2, &|w| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("clean run");
+        let got: Vec<usize> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![0, 0, 1]);
+        assert!(pool.run_on(0, &|_| panic!("again")).is_err());
+    }
+
+    #[test]
+    fn respawn_replaces_a_worker_and_keeps_the_pool_whole() {
+        let mut pool = WorkerPool::new(2);
+        pool.respawn(0);
+        assert_eq!(pool.threads(), 2);
+        // Both queues are still consumed: every broadcast still runs once
+        // per worker index.
+        let hits: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            pool.broadcast(&|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits[0].load(Ordering::Relaxed), 10);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn supervised_degrade_reruns_failed_shard_inline() {
+        let mut pool = WorkerPool::new(3);
+        // Worker 1's shard fails once, then succeeds on the re-run.
+        let attempts = AtomicUsize::new(0);
+        let done: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let panicked = pool.supervised_broadcast(
+            &|w| {
+                if w == 1 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient fault");
+                }
+                done[w].fetch_add(1, Ordering::SeqCst);
+            },
+            SupervisionPolicy::Degrade,
+        );
+        assert_eq!(panicked, vec![1]);
+        for (w, d) in done.iter().enumerate() {
+            assert_eq!(d.load(Ordering::SeqCst), 1, "worker {w} shard ran once");
+        }
+    }
+
+    #[test]
+    fn supervised_restart_respawns_and_reruns_on_replacement() {
+        let mut pool = WorkerPool::new(2);
+        let attempts = AtomicUsize::new(0);
+        let done: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        let panicked = pool.supervised_broadcast(
+            &|w| {
+                if w == 0 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("PE crash");
+                }
+                done[w].fetch_add(1, Ordering::SeqCst);
+            },
+            SupervisionPolicy::Restart,
+        );
+        assert_eq!(panicked, vec![0]);
+        assert_eq!(done[0].load(Ordering::SeqCst), 1);
+        assert_eq!(done[1].load(Ordering::SeqCst), 1);
+        // The replacement worker participates in later batches.
+        let counter = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn supervised_failfast_reraises() {
+        let mut pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.supervised_broadcast(
+                &|w| {
+                    if w == 0 {
+                        panic!("fatal");
+                    }
+                },
+                SupervisionPolicy::FailFast,
+            );
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn persistently_failing_shard_reraises_even_under_supervision() {
+        let mut pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.supervised_broadcast(
+                &|w| {
+                    if w == 1 {
+                        panic!("hard fault");
+                    }
+                },
+                SupervisionPolicy::Degrade,
+            );
+        }));
+        assert!(result.is_err(), "a shard that fails its re-run is fatal");
     }
 }

@@ -156,7 +156,17 @@ COMMANDS:
                   --rcm <true|false: false>  renumber each subdomain with
                   reverse Cuthill-McKee before the run (locality pre-pass;
                   counters and the validation report are unaffected)
-  help          print this text"
+                  --fault-rate <r: 0>  arm the chaos layer: per-(step, PE)
+                  probability of injected stragglers/drops/corruption (PE
+                  crashes at r/10, at most one); 0 leaves the clean path
+                  untouched
+                  --fault-seed <n: 0>  seed for the deterministic fault plan
+                  --recovery <failfast|degrade|restart: restart>
+                  --checkpoint-every <k: 5>  snapshot interval for restart
+                  --fault-json <file>  write the FaultReport as JSON
+  help          print this text
+
+EXIT STATUS: 0 on success, 1 on runtime failure, 2 on a usage error."
 }
 
 #[cfg(test)]
@@ -226,6 +236,20 @@ mod tests {
         for c in COMMANDS {
             assert!(help().contains(c), "help must mention '{c}'");
         }
+    }
+
+    #[test]
+    fn help_documents_the_chaos_flags_and_exit_codes() {
+        for flag in [
+            "--fault-rate",
+            "--fault-seed",
+            "--recovery",
+            "--checkpoint-every",
+            "--fault-json",
+        ] {
+            assert!(help().contains(flag), "help must mention '{flag}'");
+        }
+        assert!(help().contains("EXIT STATUS"));
     }
 
     #[test]

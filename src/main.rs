@@ -14,13 +14,20 @@ use quake_repro::cli::{help, CliError, Invocation};
 use quake_sparse::dense::Vec3;
 use std::process::ExitCode;
 
+/// Exit code for malformed command lines, distinct from runtime failures
+/// (`1`) per Unix convention.
+const EXIT_USAGE: u8 = 2;
+
+fn usage_error(e: &CliError) -> ExitCode {
+    eprintln!("error: {e}");
+    eprintln!("usage: quake <command> [--flag value]...  (see 'quake help')");
+    ExitCode::from(EXIT_USAGE)
+}
+
 fn main() -> ExitCode {
     let inv = match Invocation::parse(std::env::args().skip(1)) {
         Ok(inv) => inv,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
     let result = match inv.command.as_str() {
         "help" => {
@@ -36,10 +43,15 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        // Flag-validation failures surface from inside commands as boxed
+        // CliErrors; they are usage errors too.
+        Err(e) => match e.downcast_ref::<CliError>() {
+            Some(cli) => usage_error(cli),
+            None => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
 }
 
@@ -163,6 +175,7 @@ fn cmd_requirements(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> 
 
 fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     use quake_app::executor::BspExecutor;
+    use quake_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
     use quake_core::model::validate::validate;
     use quake_fem::assembly::UniformMaterial;
     use quake_mesh::ground::Material;
@@ -171,13 +184,34 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     let parts: usize = inv.get("parts", 4usize)?;
     let threads: usize = inv.get("threads", 4usize)?;
     let steps: u64 = inv.get("steps", 25u64)?;
-    for (flag, zero) in [("threads", threads == 0), ("steps", steps == 0)] {
+    let fault_seed: u64 = inv.get("fault-seed", 0u64)?;
+    let fault_rate: f64 = inv.get("fault-rate", 0.0f64)?;
+    let checkpoint_every: u64 = inv.get("checkpoint-every", 5u64)?;
+    let recovery: RecoveryPolicy =
+        inv.get_str("recovery", "restart")
+            .parse()
+            .map_err(|_| CliError::BadValue {
+                flag: "recovery".to_string(),
+                value: inv.get_str("recovery", "restart"),
+            })?;
+    let fault_json = inv.get_str("fault-json", "");
+    for (flag, zero) in [
+        ("threads", threads == 0),
+        ("steps", steps == 0),
+        ("checkpoint-every", checkpoint_every == 0),
+    ] {
         if zero {
             return Err(Box::new(CliError::BadValue {
                 flag: flag.to_string(),
                 value: "0".to_string(),
             }));
         }
+    }
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(Box::new(CliError::BadValue {
+            flag: "fault-rate".to_string(),
+            value: fault_rate.to_string(),
+        }));
     }
     let strat = partitioner(&inv.get_str("partitioner", "rib"))?;
     let partition = strat.partition(&app.mesh, parts)?;
@@ -204,7 +238,18 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         BspExecutor::new(&system, threads)
     };
-    exec.run(&x, steps);
+    // --fault-rate 0 leaves the chaos layer unarmed entirely, so the clean
+    // step path (and its zero-overhead guarantee) is untouched.
+    if fault_rate > 0.0 {
+        let plan = FaultPlan::generate(fault_seed, steps, parts, &FaultRates::uniform(fault_rate));
+        println!(
+            "chaos armed: {} scheduled events (seed {fault_seed}, rate {fault_rate}), \
+             recovery {recovery}, checkpoint every {checkpoint_every} steps",
+            plan.len()
+        );
+        exec.enable_faults(plan, recovery, checkpoint_every);
+    }
+    let y = exec.run(&x, steps);
     let report = exec.report();
 
     println!(
@@ -228,6 +273,35 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     println!("{validation}");
     if !validation.counters_match() {
         return Err("measured counters diverge from characterization".into());
+    }
+    if let Some(fr) = report.fault {
+        // Prove the healing claim: a fault-free reference run of the same
+        // product must be bitwise-identical to the recovered output.
+        let mut reference = if rcm {
+            BspExecutor::with_rcm(&system, threads)
+        } else {
+            BspExecutor::new(&system, threads)
+        };
+        let y_ref = reference.run(&x, steps);
+        let bitwise_equal = y.iter().zip(&y_ref).all(|(a, b)| {
+            (a.x.to_bits(), a.y.to_bits(), a.z.to_bits())
+                == (b.x.to_bits(), b.y.to_bits(), b.z.to_bits())
+        });
+        println!("\n{fr}");
+        println!(
+            "recovered output bitwise-equal to fault-free reference: {}",
+            if bitwise_equal { "yes" } else { "NO" }
+        );
+        if !fault_json.is_empty() {
+            std::fs::write(&fault_json, format!("{}\n", fr.to_json()))?;
+            println!("wrote {fault_json}");
+        }
+        if !bitwise_equal {
+            return Err("recovered output diverges from fault-free reference".into());
+        }
+        if !fr.balanced() {
+            return Err("fault ledger is unbalanced (injected != detected != recovered)".into());
+        }
     }
     Ok(())
 }
