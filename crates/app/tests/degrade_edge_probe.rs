@@ -1,0 +1,55 @@
+//! Reviewer probe: Degrade policy with a straggle and a crash on the same
+//! worker chunk in the same step. The inline re-run overwrites the
+//! straggled PE's elapsed slot without the delay, which may break the
+//! straggle-detection check and unbalance the ledger.
+
+use quake_app::executor::BspExecutor;
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_app::DistributedSystem;
+use quake_core::fault::{FaultEvent, FaultKind, FaultPlan, RecoveryPolicy};
+use quake_fem::assembly::UniformMaterial;
+use quake_mesh::ground::Material;
+use quake_partition::geometric::{Partitioner, RecursiveBisection};
+use quake_sparse::dense::Vec3;
+
+#[test]
+fn degrade_straggle_before_crash_same_chunk_stays_balanced() {
+    let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("mesh");
+    let partition = RecursiveBisection::inertial()
+        .partition(&app.mesh, 4)
+        .expect("partition");
+    let mat = Material {
+        vs: 1000.0,
+        vp: 2000.0,
+        rho: 2000.0,
+    };
+    let system =
+        DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat)).expect("system");
+    let x: Vec<Vec3> = (0..app.mesh.node_count())
+        .map(|i| {
+            let s = i as f64;
+            Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
+        })
+        .collect();
+    // One worker thread => all 4 PEs share one chunk. PE 0 straggles, PE 1
+    // crashes in the same step. Under Degrade, the inline re-run of the
+    // whole chunk rewrites elapsed[0] without the sleep.
+    let plan = FaultPlan::from_events(vec![
+        FaultEvent {
+            step: 0,
+            pe: 0,
+            kind: FaultKind::Straggle { delay_us: 300 },
+        },
+        FaultEvent {
+            step: 0,
+            pe: 1,
+            kind: FaultKind::Crash,
+        },
+    ]);
+    let mut exec = BspExecutor::new(&system, 1);
+    exec.enable_faults(plan, RecoveryPolicy::Degrade, 4);
+    let _ = exec.run(&x, 2);
+    let fr = exec.fault_report().unwrap();
+    eprintln!("{fr}");
+    assert!(fr.balanced(), "ledger unbalanced: {fr}");
+}
