@@ -1,5 +1,6 @@
 //! Plain-text table formatting for the experiment binaries.
 
+use quake_core::telemetry::{HistSummary, PhaseId, Telemetry};
 use std::fmt::Write as _;
 
 /// A fixed-width text table with right-aligned numeric columns, in the
@@ -101,19 +102,125 @@ pub fn fmt_mb_per_s(bytes_per_sec: f64) -> String {
     }
 }
 
-/// Formats a duration in engineering units (ns/µs/ms/s).
+/// Formats a duration in engineering units (ns/us/ms/s) with three
+/// significant figures. Unit thresholds sit at the rounding boundary
+/// (999.5 of the smaller unit), so 999.7 ns renders as "1.00 us" rather
+/// than the "1000.0 ns" the naive `< 1e-6` cut produced.
 pub fn fmt_seconds(s: f64) -> String {
     if s == 0.0 {
-        "0".to_string()
-    } else if s < 1e-6 {
-        format!("{:.1} ns", s * 1e9)
-    } else if s < 1e-3 {
-        format!("{:.2} us", s * 1e6)
-    } else if s < 1.0 {
-        format!("{:.2} ms", s * 1e3)
-    } else {
-        format!("{s:.2} s")
+        return "0".to_string();
     }
+    let (v, unit) = if s < 999.5e-9 {
+        (s * 1e9, "ns")
+    } else if s < 999.5e-6 {
+        (s * 1e6, "us")
+    } else if s < 0.9995 {
+        (s * 1e3, "ms")
+    } else {
+        (s, "s")
+    };
+    let digits = if v < 9.995 {
+        2
+    } else if v < 99.95 {
+        1
+    } else {
+        0
+    };
+    format!("{v:.digits$} {unit}")
+}
+
+/// Formats a count exactly below 10 000 and with a k/M/G suffix (three
+/// significant figures) above.
+pub fn fmt_count(n: u64) -> String {
+    if n < 10_000 {
+        return n.to_string();
+    }
+    let v = n as f64;
+    let (v, suffix) = if v < 999.5e3 {
+        (v / 1e3, "k")
+    } else if v < 999.5e6 {
+        (v / 1e6, "M")
+    } else {
+        (v / 1e9, "G")
+    };
+    let digits = if v < 9.995 {
+        2
+    } else if v < 99.95 {
+        1
+    } else {
+        0
+    };
+    format!("{v:.digits$}{suffix}")
+}
+
+/// Renders the telemetry report: a header line, per-phase wall times, the
+/// channel percentile table, and the drift-monitor verdict.
+pub fn telemetry_summary(t: &Telemetry) -> String {
+    let ns = |v: u64| fmt_seconds(v as f64 * 1e-9);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry: {} steps, {} spans retained ({} dropped), {} fault instants",
+        t.steps,
+        fmt_count(t.spans.len() as u64),
+        fmt_count(t.spans.dropped()),
+        fmt_count(t.instants().len() as u64 + t.instants_dropped()),
+    );
+    let walls: Vec<String> = PhaseId::ALL
+        .iter()
+        .filter(|&&p| t.phase_wall_ns(p) > 0)
+        .map(|&p| format!("{} {}", p.name(), ns(t.phase_wall_ns(p))))
+        .collect();
+    if !walls.is_empty() {
+        let _ = writeln!(out, "phase walls: {}", walls.join(", "));
+    }
+    let mut table = Table::new(vec!["channel", "count", "p50", "p90", "p99", "max"]);
+    let channels: [(&str, HistSummary, bool); 4] = [
+        ("block latency", t.block_latency_ns.summary(), true),
+        ("block size (words)", t.block_words.summary(), false),
+        ("PE compute", t.compute_ns.summary(), true),
+        ("retry delay", t.retry_ns.summary(), true),
+    ];
+    for (name, s, is_time) in channels {
+        let cell = |v: u64| if is_time { ns(v) } else { v.to_string() };
+        table.row(vec![
+            name.to_string(),
+            fmt_count(s.count),
+            cell(s.p50),
+            cell(s.p90),
+            cell(s.p99),
+            cell(s.max),
+        ]);
+    }
+    out.push_str(&table.render());
+    match &t.drift {
+        None => {
+            let _ = writeln!(out, "model drift: monitor off");
+        }
+        Some(d) => {
+            let _ = write!(
+                out,
+                "model drift: {}/{} observed steps flagged (threshold {:.2})",
+                d.flagged_total(),
+                d.steps_observed(),
+                d.threshold(),
+            );
+            match d.worst() {
+                Some(w) => {
+                    let _ = writeln!(
+                        out,
+                        "; worst score {:.2} at step {} (measured {}, Eq. (2) predicted {})",
+                        w.score,
+                        w.step,
+                        fmt_seconds(w.measured),
+                        fmt_seconds(w.predicted),
+                    );
+                }
+                None => out.push('\n'),
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -159,9 +266,76 @@ mod tests {
     #[test]
     fn duration_formats() {
         assert_eq!(fmt_seconds(0.0), "0");
-        assert_eq!(fmt_seconds(7e-9), "7.0 ns");
-        assert_eq!(fmt_seconds(22e-6), "22.00 us");
+        assert_eq!(fmt_seconds(7e-9), "7.00 ns");
+        assert_eq!(fmt_seconds(22e-6), "22.0 us");
         assert_eq!(fmt_seconds(3.5e-3), "3.50 ms");
         assert_eq!(fmt_seconds(2.0), "2.00 s");
+    }
+
+    #[test]
+    fn duration_unit_boundaries_round_up_cleanly() {
+        // The old `< 1e-6` cut rendered these as "1000.0 ns" / "1000.00 us".
+        assert_eq!(fmt_seconds(999.7e-9), "1.00 us");
+        assert_eq!(fmt_seconds(999.7e-6), "1.00 ms");
+        assert_eq!(fmt_seconds(0.9996), "1.00 s");
+        // Just below the boundary stays in the smaller unit.
+        assert_eq!(fmt_seconds(999.4e-9), "999 ns");
+        assert_eq!(fmt_seconds(150e-9), "150 ns");
+    }
+
+    #[test]
+    fn count_formats() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(9_999), "9999");
+        assert_eq!(fmt_count(10_000), "10.0k");
+        assert_eq!(fmt_count(123_456), "123k");
+        assert_eq!(fmt_count(1_234_567), "1.23M");
+        assert_eq!(fmt_count(9_870_000_000), "9.87G");
+    }
+
+    #[test]
+    fn telemetry_summary_renders_channels_walls_and_drift() {
+        use quake_core::telemetry::{Span, Telemetry, TelemetryConfig};
+        let mut t = Telemetry::new(2, vec![(12, 2), (10, 2)], TelemetryConfig::default());
+        t.steps = 3;
+        t.span(Span {
+            phase: PhaseId::Compute,
+            pe: 0,
+            step: 0,
+            start_ns: 0,
+            dur_ns: 1_500,
+        });
+        t.add_phase_wall(PhaseId::Compute, 1_500);
+        t.block_latency_ns.record(2_000);
+        t.block_words.record(12);
+        t.compute_ns.record(1_500);
+        let text = telemetry_summary(&t);
+        assert!(text.contains("telemetry: 3 steps"));
+        assert!(text.contains("phase walls: compute 1.50 us"));
+        for channel in [
+            "block latency",
+            "block size (words)",
+            "PE compute",
+            "retry delay",
+        ] {
+            assert!(text.contains(channel), "summary must list '{channel}'");
+        }
+        for header in ["p50", "p90", "p99", "max"] {
+            assert!(
+                text.contains(header),
+                "summary must have a '{header}' column"
+            );
+        }
+        assert!(text.contains("model drift: 0/0 observed steps flagged"));
+
+        let off = Telemetry::new(
+            1,
+            vec![(0, 0)],
+            TelemetryConfig {
+                drift: None,
+                ..TelemetryConfig::default()
+            },
+        );
+        assert!(telemetry_summary(&off).contains("model drift: monitor off"));
     }
 }

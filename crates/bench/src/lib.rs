@@ -14,6 +14,7 @@ use quake_app::family::{AppConfig, QuakeApp};
 
 pub mod figures;
 pub mod json;
+pub mod trace;
 
 /// The scale factor for this run (`QUAKE_SCALE`, default 6).
 pub fn scale() -> f64 {

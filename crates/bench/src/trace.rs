@@ -1,0 +1,385 @@
+//! Validators for the telemetry artifacts `quake smvp-run` writes: the
+//! Chrome `trace_event` JSON trace (`--trace-json`) and the Prometheus
+//! text exposition (`--metrics`).
+//!
+//! CI runs these (via the `validate_trace` binary) against a live sf10
+//! run, so the exporters in `quake_core::telemetry` cannot silently drift
+//! away from the two formats' actual grammars. The checks are
+//! deliberately structural — event shape, phase vocabulary, label syntax,
+//! cumulative-bucket monotonicity — not byte-for-byte golden files, so
+//! they stay stable across timing noise.
+
+use crate::json::{parse, Json};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a validated Chrome trace contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `ph:"M"` metadata events (process/thread names).
+    pub metadata: usize,
+    /// `ph:"X"` complete (span) events.
+    pub spans: usize,
+    /// `ph:"i"` instant events.
+    pub instants: usize,
+    /// Distinct span names observed, sorted.
+    pub span_names: BTreeSet<String>,
+    /// Distinct instant names observed, sorted.
+    pub instant_names: BTreeSet<String>,
+}
+
+impl TraceSummary {
+    /// True if a span with the given name (a BSP phase) was present.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.span_names.contains(name)
+    }
+}
+
+fn field<'a>(event: &'a Json, key: &str, i: usize) -> Result<&'a Json, String> {
+    event
+        .get(key)
+        .ok_or_else(|| format!("event {i}: missing '{key}'"))
+}
+
+fn num_field(event: &Json, key: &str, i: usize) -> Result<f64, String> {
+    field(event, key, i)?
+        .as_f64()
+        .ok_or_else(|| format!("event {i}: '{key}' is not a number"))
+}
+
+fn str_field<'a>(event: &'a Json, key: &str, i: usize) -> Result<&'a str, String> {
+    field(event, key, i)?
+        .as_str()
+        .ok_or_else(|| format!("event {i}: '{key}' is not a string"))
+}
+
+/// Validates a Chrome `trace_event` JSON document (Object Format: a root
+/// object with a `traceEvents` array) and summarizes its contents.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation: unparsable
+/// JSON, a missing/ill-typed required field, an unknown event phase, or a
+/// negative timestamp/duration.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("root object must have a 'traceEvents' array")?;
+    let mut summary = TraceSummary::default();
+    for (i, event) in events.iter().enumerate() {
+        if event.as_object().is_none() {
+            return Err(format!("event {i}: not an object"));
+        }
+        let name = str_field(event, "name", i)?.to_string();
+        let ph = str_field(event, "ph", i)?;
+        num_field(event, "pid", i)?;
+        num_field(event, "tid", i)?;
+        match ph {
+            "M" => {
+                // Metadata: args.name carries the process/thread label.
+                let args = field(event, "args", i)?;
+                args.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: metadata without args.name"))?;
+                summary.metadata += 1;
+            }
+            "X" => {
+                let ts = num_field(event, "ts", i)?;
+                let dur = num_field(event, "dur", i)?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                summary.spans += 1;
+                summary.span_names.insert(name);
+            }
+            "i" => {
+                let ts = num_field(event, "ts", i)?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+                let scope = str_field(event, "s", i)?;
+                if !matches!(scope, "t" | "p" | "g") {
+                    return Err(format!("event {i}: bad instant scope '{scope}'"));
+                }
+                summary.instants += 1;
+                summary.instant_names.insert(name);
+            }
+            other => return Err(format!("event {i}: unsupported phase '{other}'")),
+        }
+    }
+    Ok(summary)
+}
+
+/// What a validated Prometheus exposition contained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// `# TYPE` declarations: family name → type string.
+    pub families: BTreeMap<String, String>,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+impl MetricsSummary {
+    /// True if the family was declared with the given type.
+    pub fn has_family(&self, name: &str, kind: &str) -> bool {
+        self.families.get(name).map(String::as_str) == Some(kind)
+    }
+}
+
+fn metric_name_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into (metric name, label text or "", value).
+fn split_sample(line: &str) -> Result<(&str, &str, f64), String> {
+    let (name_and_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample without value: '{line}'"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad sample value '{value}' in '{line}'"))?;
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels, ""),
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in '{line}'"))?;
+            (name, labels)
+        }
+    };
+    if !metric_name_ok(name) {
+        return Err(format!("bad metric name '{name}'"));
+    }
+    // Each label must be key="value" (the exporter never emits quotes or
+    // commas inside label values, so a flat split is exact here).
+    for pair in labels.split(',').filter(|p| !p.is_empty()) {
+        let (key, val) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad label '{pair}' in '{line}'"))?;
+        if !metric_name_ok(key) || !val.starts_with('"') || !val.ends_with('"') || val.len() < 2 {
+            return Err(format!("bad label '{pair}' in '{line}'"));
+        }
+    }
+    Ok((name, labels, value))
+}
+
+/// The family a sample belongs to: histogram series drop their
+/// `_bucket`/`_sum`/`_count` suffix when such a family was declared.
+fn family_of<'a>(name: &'a str, families: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if families.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+fn le_value(labels: &str) -> Option<f64> {
+    labels.split(',').find_map(|pair| {
+        let (key, val) = pair.split_once('=')?;
+        if key != "le" {
+            return None;
+        }
+        val.trim_matches('"').parse().ok()
+    })
+}
+
+/// Validates a Prometheus text exposition: comment/HELP/TYPE grammar,
+/// sample syntax, every sample belonging to a declared family, and for
+/// each histogram a cumulative, `+Inf`-terminated bucket series whose
+/// total agrees with `_count`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_prometheus(text: &str) -> Result<MetricsSummary, String> {
+    let mut summary = MetricsSummary::default();
+    // Histogram family → (le thresholds, bucket values, count, saw _sum).
+    type HistState = (Vec<f64>, Vec<f64>, Option<f64>, bool);
+    let mut histograms: BTreeMap<String, HistState> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match words.next() {
+                Some("HELP") => {
+                    let name = words.next().ok_or("HELP without a metric name")?;
+                    if !metric_name_ok(name) {
+                        return Err(format!("bad metric name in HELP: '{name}'"));
+                    }
+                }
+                Some("TYPE") => {
+                    let name = words.next().ok_or("TYPE without a metric name")?;
+                    let kind = words.next().ok_or("TYPE without a type")?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("unknown metric type '{kind}'"));
+                    }
+                    summary.families.insert(name.to_string(), kind.to_string());
+                    if kind == "histogram" {
+                        histograms.insert(name.to_string(), (Vec::new(), Vec::new(), None, false));
+                    }
+                }
+                // Free-form comments are legal exposition.
+                _ => {}
+            }
+            continue;
+        }
+        let (name, labels, value) = split_sample(line)?;
+        let family = family_of(name, &summary.families);
+        if !summary.families.contains_key(family) {
+            return Err(format!("sample '{name}' has no # TYPE declaration"));
+        }
+        summary.samples += 1;
+        if let Some((les, buckets, count, saw_sum)) = histograms.get_mut(family) {
+            if name.ends_with("_bucket") {
+                let le = le_value(labels)
+                    .ok_or_else(|| format!("bucket without an 'le' label: '{line}'"))?;
+                les.push(le);
+                buckets.push(value);
+            } else if name.ends_with("_count") {
+                *count = Some(value);
+            } else if name.ends_with("_sum") {
+                *saw_sum = true;
+            }
+        }
+    }
+    for (family, (les, buckets, count, saw_sum)) in &histograms {
+        if buckets.is_empty() {
+            return Err(format!("histogram '{family}' has no buckets"));
+        }
+        if !les.windows(2).all(|w| w[0] <= w[1]) || *les.last().expect("nonempty") != f64::INFINITY
+        {
+            return Err(format!(
+                "histogram '{family}' 'le' series must ascend to +Inf"
+            ));
+        }
+        if !buckets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(format!("histogram '{family}' buckets are not cumulative"));
+        }
+        let count = count.ok_or_else(|| format!("histogram '{family}' missing _count"))?;
+        if !saw_sum {
+            return Err(format!("histogram '{family}' missing _sum"));
+        }
+        let last = *buckets.last().expect("nonempty");
+        if (last - count).abs() > 1e-9 {
+            return Err(format!(
+                "histogram '{family}': +Inf bucket {last} != _count {count}"
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_core::telemetry::{PhaseId, Span, Telemetry, TelemetryConfig, TraceInstant};
+
+    fn sample_telemetry() -> Telemetry {
+        let mut t = Telemetry::new(2, vec![(20, 2), (16, 2)], TelemetryConfig::default());
+        for (pe, phase) in [(0, PhaseId::Compute), (1, PhaseId::Exchange)] {
+            t.span(Span {
+                phase,
+                pe,
+                step: 0,
+                start_ns: 100 * u64::from(pe),
+                dur_ns: 1_000,
+            });
+            t.add_phase_wall(phase, 1_000);
+        }
+        t.instant(TraceInstant {
+            name: "fault:drop",
+            pe: 1,
+            step: 0,
+            at_ns: 42,
+        });
+        t.block_latency_ns.record(2_000);
+        t.block_words.record(20);
+        t.compute_ns.record(1_000);
+        t.steps = 1;
+        t
+    }
+
+    #[test]
+    fn live_chrome_trace_passes_validation() {
+        let trace = sample_telemetry().to_chrome_trace("sf-test");
+        let summary = validate_chrome_trace(&trace).expect("valid trace");
+        assert!(summary.metadata >= 3, "process + 2 PE lanes at minimum");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.instants, 1);
+        assert!(summary.has_span("compute") && summary.has_span("exchange"));
+        assert!(summary.instant_names.contains("fault:drop"));
+    }
+
+    #[test]
+    fn live_prometheus_exposition_passes_validation() {
+        let text = sample_telemetry().to_prometheus();
+        let summary = validate_prometheus(&text).expect("valid exposition");
+        assert!(summary.has_family("quake_block_latency_seconds", "histogram"));
+        assert!(summary.has_family("quake_block_size_words", "histogram"));
+        assert!(summary.has_family("quake_steps_total", "counter"));
+        assert!(summary.samples > 10);
+    }
+
+    #[test]
+    fn trace_validator_rejects_structural_violations() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"traceEvents":[{"ph":"X"}]}"#,
+            r#"{"traceEvents":[{"name":"x","ph":"Q","pid":0,"tid":0}]}"#,
+            r#"{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":-1,"dur":0}]}"#,
+            r#"{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0,"ts":0,"s":"z"}]}"#,
+            r#"{"traceEvents":[{"name":"x","ph":"M","pid":0,"tid":0,"args":{}}]}"#,
+        ] {
+            assert!(validate_chrome_trace(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_structural_violations() {
+        for bad in [
+            "quake_undeclared_total 1",
+            "# TYPE quake_x counter\nquake_x",
+            "# TYPE quake_x counter\nquake_x notanumber",
+            "# TYPE quake_x frobnitz\nquake_x 1",
+            "# TYPE quake_x counter\nquake_x{le=\"unterminated} 1",
+            "# TYPE quake_h histogram\nquake_h_sum 0\nquake_h_count 0",
+            // Non-cumulative buckets.
+            "# TYPE quake_h histogram\n\
+             quake_h_bucket{le=\"1\"} 5\nquake_h_bucket{le=\"+Inf\"} 3\n\
+             quake_h_sum 1\nquake_h_count 3",
+            // +Inf bucket disagrees with _count.
+            "# TYPE quake_h histogram\n\
+             quake_h_bucket{le=\"+Inf\"} 3\nquake_h_sum 1\nquake_h_count 4",
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_a_minimal_hand_written_exposition() {
+        let text = "# HELP quake_x total things\n# TYPE quake_x counter\n\
+                    quake_x{phase=\"compute\"} 12\n\
+                    # TYPE quake_h histogram\n\
+                    quake_h_bucket{le=\"1\"} 1\nquake_h_bucket{le=\"+Inf\"} 2\n\
+                    quake_h_sum 3.5\nquake_h_count 2\n";
+        let summary = validate_prometheus(text).expect("valid");
+        assert_eq!(summary.samples, 5);
+        assert!(summary.has_family("quake_h", "histogram"));
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`fault`] — the deterministic chaos layer: seeded per-step/per-PE
 //!   fault plans (stragglers, drops, corruption, crashes), recovery
 //!   policies, and the injected/detected/recovered ledger;
+//! * [`telemetry`] — the observability layer: per-phase span tracing,
+//!   log2-bucketed latency/size histograms, live Eq. (2) drift detection,
+//!   and Chrome-trace/Prometheus exporters;
 //! * [`paperdata`] — the published Figure 2/6/7 tables, embedded so Figures
 //!   8–11 can be regenerated exactly.
 //!
@@ -46,6 +49,7 @@ pub mod machine;
 pub mod model;
 pub mod paperdata;
 pub mod requirements;
+pub mod telemetry;
 
 pub use characterize::{AppCommSummary, SmvpInstance};
 pub use machine::{BlockRegime, Network, Processor, WORD_BYTES};

@@ -1,0 +1,349 @@
+//! Live model-drift detection: measured exchange time vs the Eq. (2)
+//! prediction, step by step.
+//!
+//! The validation layer (`model::validate`) compares one *aggregate* run
+//! against the model after the fact. That hides transients: a single
+//! straggling step, a page-cache hiccup, a neighbor-link slowdown — all
+//! average away over thousands of SMVPs. [`DriftMonitor`] instead fits the
+//! machine parameters `(T_l, T_w)` to each step's per-PE exchange times,
+//! evaluates the Eq. (2) prediction `T_c = B_max·T_l + C_max·T_w` for that
+//! step, and flags the step when the measurement cannot be explained by the
+//! linear model — i.e. when the worst per-PE fit residual, normalized by
+//! the step's median exchange time, exceeds a configurable threshold. Each sample also reports where the observed model pessimism
+//! `predicted/measured` sits relative to the §3.4 β bracket `[1, β]`: on a
+//! healthy step the fit is near-exact and the ratio obeys the paper's
+//! theorem, while an anomalous step pushes it outside.
+//!
+//! Each step's fit uses only that step's own times, so the monitor needs no
+//! warmup, no history, and no allocation in steady state (the flagged
+//! window is bounded).
+
+use crate::model::beta::{beta_bound, modeled_comm_time};
+use crate::model::validate::fit_network;
+
+/// Tolerance on the β bracket before a step's pessimism ratio counts as
+/// escaped: real timing noise makes the busiest-PE measurement wobble a few
+/// percent around the fitted model.
+const BETA_SLACK: f64 = 0.25;
+
+/// One flagged (or inspected) step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSample {
+    /// The BSP step observed.
+    pub step: u64,
+    /// Busiest-PE measured exchange seconds.
+    pub measured: f64,
+    /// Eq. (2) prediction under this step's fitted `(T_l, T_w)`.
+    pub predicted: f64,
+    /// Drift score: worst per-PE residual of this step's fit, normalized by
+    /// the step's median exchange time (see [`DriftMonitor::observe`]).
+    pub score: f64,
+    /// Observed model pessimism `predicted/measured` for this step. The
+    /// paper's §3.4 theorem keeps `modeled/exact` in `[1, β]`; when the fit
+    /// explains the step, the measured ratio lands in the same bracket.
+    pub pessimism: f64,
+    /// True when `pessimism` escaped `[1, β]` beyond slack — the measured
+    /// step is incompatible with the bound the model proves.
+    pub beta_excess: bool,
+}
+
+/// Configuration for [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Relative drift score above which a step is flagged. 1.0 means "the
+    /// model mispredicts this step by 100%".
+    pub threshold: f64,
+    /// Busiest-PE exchange seconds below which a step is skipped as
+    /// noise-dominated: at microsecond scale, scheduler jitter alone leaves
+    /// residuals no linear model explains, and flagging those would bury
+    /// real anomalies. The paper's quantities at production scale are
+    /// milliseconds, well above the default.
+    pub min_time_s: f64,
+    /// Flagged samples kept for the report (oldest dropped beyond this).
+    pub max_flagged: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            threshold: 2.0,
+            min_time_s: 1e-4,
+            max_flagged: 64,
+        }
+    }
+}
+
+/// Per-step comparison of measured exchange time against the Eq. (2) model.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    /// Per-PE `(words, blocks)` per step — constant for a fixed exchange
+    /// schedule, so captured once at arm time.
+    loads: Vec<(u64, u64)>,
+    beta: f64,
+    config: DriftConfig,
+    steps_observed: u64,
+    flagged: Vec<DriftSample>,
+    flagged_total: u64,
+    /// The worst-scoring step seen, flagged or not.
+    worst: Option<DriftSample>,
+    /// Reused sort buffer for the per-step median (no steady-state
+    /// allocation).
+    scratch: Vec<f64>,
+}
+
+impl DriftMonitor {
+    /// A monitor for an executor whose PEs carry `loads` = per-PE
+    /// `(words, blocks)` each step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threshold` is not positive.
+    pub fn new(loads: Vec<(u64, u64)>, config: DriftConfig) -> Self {
+        assert!(
+            config.threshold > 0.0,
+            "drift threshold must be positive (got {})",
+            config.threshold
+        );
+        let pes = loads.len();
+        DriftMonitor {
+            beta: beta_bound(&loads),
+            loads,
+            config,
+            steps_observed: 0,
+            flagged: Vec::with_capacity(config.max_flagged.min(1024)),
+            flagged_total: 0,
+            worst: None,
+            scratch: Vec::with_capacity(pes),
+        }
+    }
+
+    /// The §3.4 β bound for the armed loads.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.config.threshold
+    }
+
+    /// Steps observed so far.
+    pub fn steps_observed(&self) -> u64 {
+        self.steps_observed
+    }
+
+    /// Total steps flagged (including any dropped from the kept window).
+    pub fn flagged_total(&self) -> u64 {
+        self.flagged_total
+    }
+
+    /// The kept window of flagged samples, oldest first.
+    pub fn flagged(&self) -> &[DriftSample] {
+        &self.flagged
+    }
+
+    /// The worst-scoring step seen, flagged or not.
+    pub fn worst(&self) -> Option<DriftSample> {
+        self.worst
+    }
+
+    /// Observes one step's per-PE exchange times and returns the sample if
+    /// the step was flagged.
+    ///
+    /// The drift score is the worst per-PE absolute residual of this step's
+    /// own `(T_l, T_w)` fit, normalized by the step's *median* exchange
+    /// time. The fit, prediction, and measurement all come from this step
+    /// alone: a step whose times are proportional to its loads scores near
+    /// zero regardless of absolute speed (the fit absorbs uniform
+    /// machine-speed wobble), while a step with a latency anomaly on *some*
+    /// PEs cannot be explained by any `(T_l, T_w)` and leaves a residual
+    /// many multiples of the healthy time scale. The median keeps the
+    /// normalizer honest when the anomaly itself dominates the mean or max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_pe_exchange` does not cover the armed PEs.
+    pub fn observe(&mut self, step: u64, per_pe_exchange: &[f64]) -> Option<DriftSample> {
+        assert_eq!(
+            per_pe_exchange.len(),
+            self.loads.len(),
+            "exchange times must cover the armed PEs"
+        );
+        self.steps_observed += 1;
+        let fit = fit_network(&self.loads, per_pe_exchange);
+        let predicted = modeled_comm_time(&self.loads, fit.t_l, fit.t_w);
+        let measured = per_pe_exchange.iter().copied().fold(0.0, f64::max);
+        // A silent machine (no communication) cannot drift, and a step
+        // faster than the noise floor cannot be judged.
+        if predicted <= 0.0 || measured <= 0.0 || measured < self.config.min_time_s {
+            return None;
+        }
+        let mut worst_residual = 0.0f64;
+        for (&(c, b), &t) in self.loads.iter().zip(per_pe_exchange) {
+            let r = t - (b as f64 * fit.t_l + c as f64 * fit.t_w);
+            worst_residual = worst_residual.max(r.abs());
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(per_pe_exchange);
+        self.scratch.sort_by(|a, b| a.total_cmp(b));
+        let median = self.scratch[self.scratch.len() / 2];
+        // A majority-silent step degenerates the median; fall back to the
+        // busiest PE, which is positive here.
+        let t_ref = if median > 0.0 { median } else { measured };
+        let score = worst_residual / t_ref;
+        let pessimism = predicted / measured;
+        let beta_excess =
+            pessimism < 1.0 - BETA_SLACK || pessimism > self.beta * (1.0 + BETA_SLACK);
+        let sample = DriftSample {
+            step,
+            measured,
+            predicted,
+            score,
+            pessimism,
+            beta_excess,
+        };
+        if self.worst.is_none_or(|w| sample.score > w.score) {
+            self.worst = Some(sample);
+        }
+        if score > self.config.threshold {
+            self.flagged_total += 1;
+            if self.flagged.len() >= self.config.max_flagged {
+                self.flagged.remove(0);
+            }
+            self.flagged.push(sample);
+            Some(sample)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOADS: [(u64, u64); 4] = [(900, 6), (720, 4), (610, 8), (480, 2)];
+
+    /// Times exactly proportional to the loads under (t_l, t_w).
+    fn clean_times(t_l: f64, t_w: f64) -> Vec<f64> {
+        LOADS
+            .iter()
+            .map(|&(c, b)| b as f64 * t_l + c as f64 * t_w)
+            .collect()
+    }
+
+    /// The default config minus the noise floor, so µs-scale synthetic
+    /// times are judged rather than skipped.
+    fn judging_config() -> DriftConfig {
+        DriftConfig {
+            min_time_s: 0.0,
+            ..DriftConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_steps_stay_silent_with_beta_in_bracket() {
+        let mut m = DriftMonitor::new(LOADS.to_vec(), judging_config());
+        for step in 0..50 {
+            // Uniform machine-speed wobble: the per-step fit absorbs it.
+            let wobble = 1.0 + 0.1 * (step as f64 * 0.7).sin();
+            let times: Vec<f64> = clean_times(8.0e-6 * wobble, 4.0e-8 * wobble);
+            assert!(m.observe(step, &times).is_none(), "step {step} flagged");
+        }
+        assert_eq!(m.flagged_total(), 0);
+        assert_eq!(m.steps_observed(), 50);
+        let worst = m.worst().expect("steps were observed");
+        assert!(worst.score < 1e-6, "clean score {}", worst.score);
+        // With a perfect fit, pessimism == modeled/exact, which the paper's
+        // theorem keeps in [1, β].
+        assert!(!worst.beta_excess);
+        assert!(worst.pessimism >= 1.0 - 1e-9 && worst.pessimism <= m.beta() + 1e-9);
+    }
+
+    #[test]
+    fn perturbed_step_is_flagged() {
+        let mut m = DriftMonitor::new(LOADS.to_vec(), judging_config());
+        for step in 0..10 {
+            let mut times = clean_times(8.0e-6, 4.0e-8);
+            if step == 7 {
+                // One PE's exchange stalls 100×: no (T_l, T_w) explains it.
+                times[1] *= 100.0;
+            }
+            let flagged = m.observe(step, &times);
+            assert_eq!(flagged.is_some(), step == 7, "step {step}");
+            if let Some(s) = flagged {
+                assert_eq!(s.step, 7);
+                assert!(s.score > m.threshold());
+            }
+        }
+        assert_eq!(m.flagged_total(), 1);
+        assert_eq!(m.worst().unwrap().step, 7);
+    }
+
+    #[test]
+    fn silent_machine_never_flags() {
+        let mut m = DriftMonitor::new(vec![(0, 0), (0, 0)], judging_config());
+        assert!(m.observe(0, &[0.0, 0.0]).is_none());
+        assert_eq!(m.flagged_total(), 0);
+        assert_eq!(m.beta(), 1.0);
+    }
+
+    #[test]
+    fn noise_floor_skips_fast_steps() {
+        // Default floor is 100 µs; this anomalous step finishes in 50 µs,
+        // so it is jitter, not drift.
+        let mut m = DriftMonitor::new(LOADS.to_vec(), DriftConfig::default());
+        let mut times = clean_times(5.0e-7, 2.5e-9);
+        times[1] *= 10.0;
+        assert!(times.iter().copied().fold(0.0, f64::max) < 1e-4);
+        assert!(m.observe(0, &times).is_none());
+        assert_eq!(m.steps_observed(), 1);
+        // The same shape above the floor is judged (and flagged).
+        let mut slow: Vec<f64> = clean_times(5.0e-4, 2.5e-6);
+        slow[1] *= 10.0;
+        assert!(m.observe(1, &slow).is_some());
+    }
+
+    #[test]
+    fn flagged_window_is_bounded() {
+        let mut m = DriftMonitor::new(
+            LOADS.to_vec(),
+            DriftConfig {
+                threshold: 0.5,
+                min_time_s: 0.0,
+                max_flagged: 3,
+            },
+        );
+        for step in 0..10 {
+            let mut times = clean_times(8.0e-6, 4.0e-8);
+            times[2] *= 50.0; // every step drifts
+            m.observe(step, &times);
+        }
+        assert_eq!(m.flagged_total(), 10);
+        assert_eq!(m.flagged().len(), 3);
+        assert_eq!(
+            m.flagged().iter().map(|s| s.step).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn nonpositive_threshold_is_rejected() {
+        let _ = DriftMonitor::new(
+            vec![(1, 1)],
+            DriftConfig {
+                threshold: 0.0,
+                min_time_s: 0.0,
+                max_flagged: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the armed PEs")]
+    fn wrong_pe_count_panics() {
+        let mut m = DriftMonitor::new(LOADS.to_vec(), DriftConfig::default());
+        let _ = m.observe(0, &[1.0]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Log2-bucketed (HDR-style) histograms for latency- and size-scale values.
+//!
+//! The paper's headline quantities span five orders of magnitude — ~7 ns
+//! cache-line block latencies up to µs-scale maximal blocks — so a
+//! fixed-width histogram either clips the tail or wastes its resolution.
+//! [`Log2Histogram`] buckets by bit length instead: bucket `b` holds the
+//! values whose highest set bit is `b-1` (bucket 0 holds exactly zero), so
+//! every decade gets ~3.3 buckets and recording is two instructions. The
+//! whole struct is a fixed 65-slot array — no allocation on record, merge,
+//! or query — which is what lets the executor feed it from the hot path.
+
+use std::fmt;
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-footprint histogram over `u64` values with power-of-two bucket
+/// boundaries and exact count/sum/min/max side channels.
+///
+/// # Examples
+///
+/// ```
+/// use quake_core::telemetry::Log2Histogram;
+/// let mut h = Log2Histogram::new();
+/// for v in [3, 5, 9, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.percentile(0.5) >= 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+/// The index of the bucket holding `v`: 0 for zero, else `v`'s bit length.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `b`.
+pub fn bucket_lower(b: usize) -> u64 {
+    assert!(b < BUCKETS, "bucket index out of range");
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b`.
+pub fn bucket_upper(b: usize) -> u64 {
+    assert!(b < BUCKETS, "bucket index out of range");
+    if b == 0 {
+        0
+    } else if b == 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Percentile summary of one histogram, as rendered by the report table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Median (bucket-resolution upper estimate).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records `n` occurrences of `v` (used when only an aggregate count
+    /// survives the hot path).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Merging is associative and commutative:
+    /// any merge tree over the same records yields the same histogram
+    /// (asserted by proptest).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts (index by [`bucket_of`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) at bucket resolution: the upper
+    /// bound of the bucket containing the ⌈q·count⌉-th smallest sample,
+    /// clamped to the exact observed maximum. Returns 0 for an empty
+    /// histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < q <= 1.0`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The p50/p90/p99/max summary used by the report table and the
+    /// Prometheus export.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_exhaustive() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..BUCKETS {
+            assert_eq!(
+                bucket_lower(b),
+                bucket_upper(b - 1).wrapping_add(1),
+                "gap between buckets {} and {}",
+                b - 1,
+                b
+            );
+        }
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let mut h = Log2Histogram::new();
+        // 100 values: 1..=100.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        // p50 lands in the bucket of 50 (32..=63): upper bound 63.
+        assert_eq!(s.p50, 63);
+        // p99 lands in 64..=127, clamped to the observed max.
+        assert_eq!(s.p99, 100);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for _ in 0..7 {
+            a.record(42);
+        }
+        b.record_n(42, 7);
+        b.record_n(9, 0); // no-op
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn zero_quantile_is_rejected() {
+        let _ = Log2Histogram::new().percentile(0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn every_value_lands_inside_its_bucket(v in 0u64..=u64::MAX) {
+            let b = bucket_of(v);
+            prop_assert!(bucket_lower(b) <= v, "lower({b}) > {v}");
+            prop_assert!(v <= bucket_upper(b), "{v} > upper({b})");
+        }
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            xs in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+            ys in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+            zs in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+        ) {
+            let build = |vals: &[u64]| {
+                let mut h = Log2Histogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            let (x, y, z) = (build(&xs), build(&ys), build(&zs));
+            // (x ⊕ y) ⊕ z
+            let mut left = x.clone();
+            left.merge(&y);
+            left.merge(&z);
+            // x ⊕ (y ⊕ z)
+            let mut yz = y.clone();
+            yz.merge(&z);
+            let mut right = x.clone();
+            right.merge(&yz);
+            prop_assert_eq!(&left, &right);
+            // y ⊕ x == x ⊕ y
+            let mut xy = x.clone();
+            xy.merge(&y);
+            let mut yx = y.clone();
+            yx.merge(&x);
+            prop_assert_eq!(&xy, &yx);
+            // And the merge equals one histogram over the concatenation.
+            let mut all = xs.clone();
+            all.extend_from_slice(&ys);
+            all.extend_from_slice(&zs);
+            prop_assert_eq!(&left, &build(&all));
+        }
+
+        #[test]
+        fn percentiles_are_monotone_and_bracket_the_data(
+            xs in proptest::collection::vec(0u64..1_000_000_000, 1..128),
+        ) {
+            let mut h = Log2Histogram::new();
+            for &v in &xs {
+                h.record(v);
+            }
+            let s = h.summary();
+            let lo = *xs.iter().min().unwrap();
+            let hi = *xs.iter().max().unwrap();
+            prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+            prop_assert_eq!(s.max, hi);
+            prop_assert_eq!(h.min(), lo);
+            // Bucket-resolution quantiles never undershoot the true value's
+            // bucket lower bound and never exceed the max.
+            prop_assert!(s.p50 >= lo);
+        }
+    }
+}

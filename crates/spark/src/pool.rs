@@ -41,6 +41,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -255,6 +256,28 @@ pub struct WorkerPool {
     /// Round-robin start offset so small `execute` batches spread across
     /// workers instead of piling onto worker 0.
     next_worker: Mutex<usize>,
+    /// Lifetime dispatch counters (relaxed; noise next to the batch
+    /// barrier itself) for the observability layer.
+    stats: PoolCounters,
+}
+
+#[derive(Debug, Default)]
+struct PoolCounters {
+    broadcasts: AtomicU64,
+    targeted: AtomicU64,
+    respawns: AtomicU64,
+}
+
+/// A snapshot of the pool's lifetime dispatch counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Full-pool batches dispatched (`broadcast`, `try_broadcast`,
+    /// `supervised_broadcast`).
+    pub broadcasts: u64,
+    /// Single-worker re-runs dispatched via [`WorkerPool::run_on`].
+    pub targeted: u64,
+    /// Worker threads replaced via [`WorkerPool::respawn`].
+    pub respawns: u64,
 }
 
 impl WorkerPool {
@@ -285,12 +308,22 @@ impl WorkerPool {
             batch_latch: Arc::new(Latch::new(0)),
             submit: Mutex::new(()),
             next_worker: Mutex::new(0),
+            stats: PoolCounters::default(),
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Lifetime dispatch counters: batches, targeted re-runs, respawns.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            broadcasts: self.stats.broadcasts.load(Ordering::Relaxed),
+            targeted: self.stats.targeted.load(Ordering::Relaxed),
+            respawns: self.stats.respawns.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs every task in `tasks` on the pool and returns once all have
@@ -355,6 +388,7 @@ impl WorkerPool {
             .submit
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
         self.batch_latch.reset(self.threads);
         // SAFETY: the latch wait below blocks until every worker has
         // finished its `f(w)` call (or panicked), so the erased `'scope`
@@ -379,6 +413,7 @@ impl WorkerPool {
     /// Panics if `w` is not a valid worker index.
     pub fn run_on(&self, w: usize, f: &BatchFn<'_>) -> Result<(), BatchFailure> {
         assert!(w < self.threads, "worker {w} out of range");
+        self.stats.targeted.fetch_add(1, Ordering::Relaxed);
         let latch = Arc::new(Latch::new(1));
         // SAFETY: as in `try_broadcast` — the wait below outlives the
         // erased borrow.
@@ -399,6 +434,7 @@ impl WorkerPool {
     /// cannot be spawned.
     pub fn respawn(&mut self, w: usize) {
         assert!(w < self.threads, "worker {w} out of range");
+        self.stats.respawns.fetch_add(1, Ordering::Relaxed);
         // Retire the old worker *before* spawning its replacement: both
         // read the same queue, so a replacement spawned early could eat
         // the Exit command itself and leave the old thread (and this
@@ -696,6 +732,20 @@ mod tests {
         let got: Vec<usize> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
         assert_eq!(got, vec![0, 0, 1]);
         assert!(pool.run_on(0, &|_| panic!("again")).is_err());
+    }
+
+    #[test]
+    fn stats_count_broadcasts_targeted_runs_and_respawns() {
+        let mut pool = WorkerPool::new(2);
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.broadcast(&|_| {});
+        pool.broadcast(&|_| {});
+        pool.run_on(1, &|_| {}).expect("targeted run");
+        pool.respawn(0);
+        let s = pool.stats();
+        assert_eq!(s.broadcasts, 2);
+        assert_eq!(s.targeted, 1);
+        assert_eq!(s.respawns, 1);
     }
 
     #[test]

@@ -164,6 +164,19 @@ COMMANDS:
                   --recovery <failfast|degrade|restart: restart>
                   --checkpoint-every <k: 5>  snapshot interval for restart
                   --fault-json <file>  write the FaultReport as JSON
+                  --trace <on|off>  arm the telemetry layer: per-phase span
+                  ring, latency/size histograms, live Eq. (2) drift monitor
+                  (defaults to on when --trace-json or --metrics is given,
+                  else off; off leaves the clean hot path untouched)
+                  --trace-json <file>  write a Chrome trace_event JSON
+                  trace (load in chrome://tracing or Perfetto)
+                  --metrics <file>  write Prometheus text exposition
+                  --drift-threshold <x: 2>  flag steps whose worst per-PE
+                  exchange residual exceeds x times the median exchange time
+                  --span-capacity <n: 65536>  span ring size; the ring keeps
+                  the most recent spans and counts the overwritten rest
+                  --quiet <true|false: false>  suppress the per-run report
+                  and validation tables (errors still print to stderr)
   help          print this text
 
 EXIT STATUS: 0 on success, 1 on runtime failure, 2 on a usage error."
@@ -250,6 +263,20 @@ mod tests {
             assert!(help().contains(flag), "help must mention '{flag}'");
         }
         assert!(help().contains("EXIT STATUS"));
+    }
+
+    #[test]
+    fn help_documents_the_telemetry_flags() {
+        for flag in [
+            "--trace",
+            "--trace-json",
+            "--metrics",
+            "--drift-threshold",
+            "--span-capacity",
+            "--quiet",
+        ] {
+            assert!(help().contains(flag), "help must mention '{flag}'");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use quake_app::characterize::AnalyzedInstance;
 use quake_app::family::{AppConfig, QuakeApp};
-use quake_app::report::{fmt_mb_per_s, fmt_seconds, Table};
+use quake_app::report::{fmt_mb_per_s, fmt_seconds, telemetry_summary, Table};
 use quake_core::machine::{BlockRegime, Processor};
 use quake_core::model::eq1::{required_sustained_bandwidth, required_tc};
 use quake_core::model::eq2::half_bandwidth_point;
@@ -177,6 +177,7 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     use quake_app::executor::BspExecutor;
     use quake_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
     use quake_core::model::validate::validate;
+    use quake_core::telemetry::TelemetryConfig;
     use quake_fem::assembly::UniformMaterial;
     use quake_mesh::ground::Material;
 
@@ -187,6 +188,37 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     let fault_seed: u64 = inv.get("fault-seed", 0u64)?;
     let fault_rate: f64 = inv.get("fault-rate", 0.0f64)?;
     let checkpoint_every: u64 = inv.get("checkpoint-every", 5u64)?;
+    let quiet: bool = inv.get("quiet", false)?;
+    let trace_json = inv.get_str("trace-json", "");
+    let metrics = inv.get_str("metrics", "");
+    let drift_threshold: f64 = inv.get("drift-threshold", 2.0f64)?;
+    let span_capacity: usize = inv.get("span-capacity", 65_536usize)?;
+    // --trace defaults to on as soon as an exporter needs the data; an
+    // explicit `off` alongside an exporter flag is contradictory.
+    let trace = inv.get_str("trace", "");
+    let telemetry_on = match trace.as_str() {
+        "on" => true,
+        "off" if trace_json.is_empty() && metrics.is_empty() => false,
+        "off" => {
+            return Err(Box::new(CliError::BadValue {
+                flag: "trace".to_string(),
+                value: "off (conflicts with --trace-json/--metrics)".to_string(),
+            }))
+        }
+        "" => !trace_json.is_empty() || !metrics.is_empty(),
+        _ => {
+            return Err(Box::new(CliError::BadValue {
+                flag: "trace".to_string(),
+                value: trace,
+            }))
+        }
+    };
+    if !(drift_threshold.is_finite() && drift_threshold > 0.0) {
+        return Err(Box::new(CliError::BadValue {
+            flag: "drift-threshold".to_string(),
+            value: drift_threshold.to_string(),
+        }));
+    }
     let recovery: RecoveryPolicy =
         inv.get_str("recovery", "restart")
             .parse()
@@ -199,6 +231,7 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         ("threads", threads == 0),
         ("steps", steps == 0),
         ("checkpoint-every", checkpoint_every == 0),
+        ("span-capacity", span_capacity == 0),
     ] {
         if zero {
             return Err(Box::new(CliError::BadValue {
@@ -242,37 +275,78 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     // step path (and its zero-overhead guarantee) is untouched.
     if fault_rate > 0.0 {
         let plan = FaultPlan::generate(fault_seed, steps, parts, &FaultRates::uniform(fault_rate));
-        println!(
-            "chaos armed: {} scheduled events (seed {fault_seed}, rate {fault_rate}), \
-             recovery {recovery}, checkpoint every {checkpoint_every} steps",
-            plan.len()
-        );
+        if !quiet {
+            println!(
+                "chaos armed: {} scheduled events (seed {fault_seed}, rate {fault_rate}), \
+                 recovery {recovery}, checkpoint every {checkpoint_every} steps",
+                plan.len()
+            );
+        }
         exec.enable_faults(plan, recovery, checkpoint_every);
+    }
+    if telemetry_on {
+        let mut config = TelemetryConfig {
+            span_capacity,
+            ..TelemetryConfig::default()
+        };
+        if let Some(d) = config.drift.as_mut() {
+            d.threshold = drift_threshold;
+        }
+        exec.enable_telemetry(config);
     }
     let y = exec.run(&x, steps);
     let report = exec.report();
 
-    println!(
-        "{} on {} PEs — {} bulk-synchronous SMVPs over {} pooled worker threads{}",
-        app.config.name,
-        parts,
-        report.steps,
-        report.threads,
-        if rcm {
-            " (RCM-renumbered subdomains)"
-        } else {
-            ""
-        }
-    );
-    println!(
-        "phase walls (s): assemble {:.3e}, compute {:.3e}, exchange {:.3e}, fold {:.3e}",
-        report.phases.assemble, report.phases.compute, report.phases.exchange, report.phases.fold
-    );
-    println!("measured efficiency E = {:.4}\n", report.efficiency());
+    if !quiet {
+        println!(
+            "{} on {} PEs — {} bulk-synchronous SMVPs over {} pooled worker threads{}",
+            app.config.name,
+            parts,
+            report.steps,
+            report.threads,
+            if rcm {
+                " (RCM-renumbered subdomains)"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "phase walls (s): assemble {:.3e}, compute {:.3e}, exchange {:.3e}, fold {:.3e}",
+            report.phases.assemble,
+            report.phases.compute,
+            report.phases.exchange,
+            report.phases.fold
+        );
+        println!("measured efficiency E = {:.4}\n", report.efficiency());
+    }
     let validation = validate(&analyzed.instance, &report.measured());
-    println!("{validation}");
+    if !quiet {
+        println!("{validation}");
+    }
     if !validation.counters_match() {
         return Err("measured counters diverge from characterization".into());
+    }
+    if let Some(telemetry) = exec.telemetry() {
+        if !quiet {
+            println!("{}", telemetry_summary(telemetry));
+            let ps = exec.pool_stats();
+            println!(
+                "worker pool: {} batches dispatched, {} targeted re-runs, {} thread respawns\n",
+                ps.broadcasts, ps.targeted, ps.respawns
+            );
+        }
+        if !trace_json.is_empty() {
+            std::fs::write(&trace_json, telemetry.to_chrome_trace(&app.config.name))?;
+            if !quiet {
+                println!("wrote {trace_json}");
+            }
+        }
+        if !metrics.is_empty() {
+            std::fs::write(&metrics, telemetry.to_prometheus())?;
+            if !quiet {
+                println!("wrote {metrics}");
+            }
+        }
     }
     if let Some(fr) = report.fault {
         // Prove the healing claim: a fault-free reference run of the same
@@ -287,14 +361,18 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             (a.x.to_bits(), a.y.to_bits(), a.z.to_bits())
                 == (b.x.to_bits(), b.y.to_bits(), b.z.to_bits())
         });
-        println!("\n{fr}");
-        println!(
-            "recovered output bitwise-equal to fault-free reference: {}",
-            if bitwise_equal { "yes" } else { "NO" }
-        );
+        if !quiet {
+            println!("\n{fr}");
+            println!(
+                "recovered output bitwise-equal to fault-free reference: {}",
+                if bitwise_equal { "yes" } else { "NO" }
+            );
+        }
         if !fault_json.is_empty() {
             std::fs::write(&fault_json, format!("{}\n", fr.to_json()))?;
-            println!("wrote {fault_json}");
+            if !quiet {
+                println!("wrote {fault_json}");
+            }
         }
         if !bitwise_equal {
             return Err("recovered output diverges from fault-free reference".into());
