@@ -41,6 +41,32 @@
 //! compact window of the local vector (the paper's "irregular memory
 //! reference" mitigation, executed rather than simulated).
 //!
+//! # Latency-hiding overlap
+//!
+//! [`BspExecutor::with_options`] can replace the strict compute→exchange
+//! barrier with a latency-hiding schedule. At build time each PE's local
+//! rows are split: a row is **boundary** if it appears in an exchange pair
+//! (a neighbor consumes its partial), **interior** otherwise; a stable
+//! boundary-first permutation makes the boundary rows contiguous at the
+//! front without disturbing any row's entry order. At step time compute
+//! and exchange share ONE pool broadcast: every worker first computes and
+//! *posts* its PEs' boundary rows (a Release-flagged publish — the only
+//! data any neighbor waits on), then computes the interior rows while
+//! other workers are still posting, then runs the exchange, blocking per
+//! inbound message only until that sender's flag is up. The interior SMVP
+//! is the work the schedule hides the exchange latency behind — the
+//! paper's overlap opportunity, executed rather than simulated — and
+//! [`OverlapAnalysis`](quake_partition::comm::OverlapAnalysis) prices
+//! exactly this schedule (`T_step = max(T_interior, T_exchange) +
+//! T_boundary`). Because rows are independent, the permutation is
+//! entry-order-stable, and inbound pairs apply in the barrier order, the
+//! overlapped product is **bitwise-equal** to the barrier product and
+//! every flop/word/block counter is unchanged (both asserted by the
+//! `overlap_equivalence` tests). With faults armed the executor falls
+//! back to the barrier-phase chaos path — the staged, checksummed
+//! exchange already serializes against compute — over the same
+//! boundary-first matrices, so recovery invariants survive unchanged.
+//!
 //! # Fault injection & recovery
 //!
 //! [`BspExecutor::enable_faults`] arms a seeded
@@ -66,6 +92,7 @@ use crate::distributed::DistributedSystem;
 use quake_core::fault::{BlockChecksum, FaultKind, FaultPlan, FaultReport, RecoveryPolicy};
 use quake_core::model::validate::MeasuredSmvp;
 use quake_core::telemetry::{PhaseId, Span, Telemetry, TelemetryConfig, TraceInstant};
+use quake_spark::kernels::bmv_range_into;
 use quake_spark::pool::WorkerPool;
 use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::dense::Vec3;
@@ -342,6 +369,69 @@ struct TelemetryState {
     msg_ns: Vec<Vec<u64>>,
 }
 
+/// Everything the latency-hiding schedule owns while enabled: the
+/// boundary-first row split plus the publish flags and timing scratch its
+/// merged compute+exchange broadcast uses (see the module docs).
+struct OverlapState {
+    /// `boundary_rows[q]`: PE q's rows `0..nb` are boundary rows (consumed
+    /// by a neighbor's exchange), `nb..n` are interior.
+    boundary_rows: Vec<usize>,
+    /// `posted[q]`: set (Release) once PE q's boundary partials are
+    /// written; pass C's Acquire load pairs with it, so a consumer that
+    /// sees the flag also sees the rows.
+    posted: Vec<AtomicBool>,
+    /// Raw base pointer of `partials[q]`, refreshed by the driver each
+    /// step. Workers carve disjoint sub-slices out of it (boundary rows in
+    /// pass A, interior rows in pass B) and read neighbor boundary
+    /// elements through it in pass C — never through a reference that
+    /// covers rows another thread is writing.
+    part_base: Vec<SendPtr<Vec3>>,
+    /// Per-PE boundary-SMVP seconds (pass A).
+    post_elapsed: Vec<f64>,
+    /// Per-PE exchange seconds (pass C, spin waits included).
+    exch_elapsed: Vec<f64>,
+    /// Per-PE seconds of pass C spent spinning on neighbor flags.
+    wait_elapsed: Vec<f64>,
+    /// Per-PE pass-A start offsets (ns since telemetry epoch).
+    post_start: Vec<u64>,
+    /// Per-PE pass-C start offsets (ns since telemetry epoch).
+    exch_start: Vec<u64>,
+    /// Drift-monitor input scratch (exchange minus spin wait).
+    drift_scratch: Vec<f64>,
+}
+
+/// Blocks until a neighbor's post flag is up, returning the seconds spent
+/// waiting (0.0 when the flag was already set — the hot case once the
+/// interior work is long enough to hide the exchange). Escalates gently:
+/// a short spin catches the cache-hot handoff, a few yields catch a
+/// runnable producer, and from there short sleeps take the waiter off the
+/// runqueue entirely. The sleeps matter on an oversubscribed (or
+/// single-CPU) machine: the *producing* worker needs this core to make
+/// progress, and a yield loop still competes with it for timeslices —
+/// `sched_yield` does not lower the caller's share — so an unyielding
+/// waiter can burn half the machine while its neighbor computes.
+fn wait_for_post(flag: &AtomicBool) -> f64 {
+    if flag.load(Ordering::Acquire) {
+        return 0.0;
+    }
+    let t0 = Instant::now();
+    let mut round = 0u32;
+    while !flag.load(Ordering::Acquire) {
+        if round < 128 {
+            std::hint::spin_loop();
+        } else if round < 144 {
+            std::thread::yield_now();
+        } else {
+            // Exponential backoff, 5 µs doubling to a 160 µs cap — small
+            // against an SMVP step, generous against a scheduler switch.
+            let exp = (round - 144).min(5);
+            std::thread::sleep(std::time::Duration::from_micros(5 << exp));
+        }
+        round += 1;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
 /// Seconds to integer nanoseconds for span durations.
 fn secs_to_ns(s: f64) -> u64 {
     (s * 1e9) as u64
@@ -398,6 +488,8 @@ pub struct BspExecutor {
     fault: Option<Box<FaultState>>,
     /// Armed telemetry layer, or `None` for the untouched clean path.
     telemetry: Option<Box<TelemetryState>>,
+    /// Latency-hiding schedule state, or `None` for the barrier schedule.
+    overlap: Option<Box<OverlapState>>,
     // Persistent per-step buffers: sized once in `build`, reused by every
     // `step_into` so the steady-state step never touches the allocator.
     x_local: Vec<Vec<Vec3>>,
@@ -418,7 +510,7 @@ impl BspExecutor {
     ///
     /// Panics if `threads == 0`.
     pub fn new(system: &DistributedSystem, threads: usize) -> Self {
-        Self::build(system, threads, false)
+        Self::build(system, threads, false, false)
     }
 
     /// Like [`BspExecutor::new`], but renumbers each PE's local nodes with
@@ -430,21 +522,55 @@ impl BspExecutor {
     ///
     /// Panics if `threads == 0`.
     pub fn with_rcm(system: &DistributedSystem, threads: usize) -> Self {
-        Self::build(system, threads, true)
+        Self::build(system, threads, true, false)
     }
 
-    fn build(system: &DistributedSystem, threads: usize, use_rcm: bool) -> Self {
+    /// Creates an executor with both locality options explicit: `use_rcm`
+    /// for the reverse Cuthill–McKee pre-pass and `use_overlap` for the
+    /// latency-hiding interior/boundary schedule (see the module docs).
+    /// The options compose; either way output is bitwise-equal to
+    /// [`BspExecutor::new`] with the same `use_rcm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_options(
+        system: &DistributedSystem,
+        threads: usize,
+        use_rcm: bool,
+        use_overlap: bool,
+    ) -> Self {
+        Self::build(system, threads, use_rcm, use_overlap)
+    }
+
+    fn build(system: &DistributedSystem, threads: usize, use_rcm: bool, use_overlap: bool) -> Self {
         let subdomains = system.subdomains();
         let p = subdomains.len();
-        // Per-PE local permutations (`perm[old] = new`), or None for the
-        // natural order.
-        let perms: Vec<Option<Vec<usize>>> = subdomains
+        // Boundary flags in the subdomains' natural numbering: a local node
+        // is boundary iff it appears in some exchange pair (a neighbor PE
+        // holds a replica and will consume its partial), interior otherwise.
+        let mut boundary_old: Vec<Vec<bool>> = subdomains
             .iter()
-            .map(|sd| {
-                if !use_rcm {
-                    return None;
+            .map(|sd| vec![false; sd.node_count()])
+            .collect();
+        if use_overlap {
+            for ex in system.exchanges() {
+                for &(la, lb) in &ex.pairs {
+                    boundary_old[ex.a][la] = true;
+                    boundary_old[ex.b][lb] = true;
                 }
-                let n = sd.stiffness.block_rows();
+            }
+        }
+        // Per-PE: composed local permutation (`perm[old] = new`, or None
+        // for the natural order), executable state, boundary row count.
+        let mut perms: Vec<Option<Vec<usize>>> = Vec::with_capacity(p);
+        let mut pe: Vec<PeState> = Vec::with_capacity(p);
+        let mut boundary_rows: Vec<usize> = Vec::with_capacity(p);
+        for (q, sd) in subdomains.iter().enumerate() {
+            let n = sd.node_count();
+            // Stage 1: RCM bandwidth reduction — the column-sorted
+            // permutation `with_rcm` always applied.
+            let p1: Option<Vec<usize>> = if use_rcm {
                 let (row_ptr, col_idx) = sd.stiffness.adjacency();
                 let mut edges = Vec::new();
                 for i in 0..n {
@@ -458,31 +584,66 @@ impl BspExecutor {
                 let pattern =
                     Pattern::from_edges(n, &edges).expect("block adjacency indices are in range");
                 Some(rcm(&pattern))
-            })
-            .collect();
-        let pe: Vec<PeState> = subdomains
-            .iter()
-            .zip(&perms)
-            .map(|(sd, perm)| match perm {
-                None => PeState {
-                    gather: sd.global_nodes.clone(),
-                    stiffness: sd.stiffness.clone(),
-                },
-                Some(perm) => {
-                    let mut gather = vec![0usize; sd.node_count()];
-                    for (old, &g) in sd.global_nodes.iter().enumerate() {
-                        gather[perm[old]] = g;
-                    }
-                    PeState {
-                        gather,
-                        stiffness: sd
-                            .stiffness
-                            .permute_symmetric(perm)
-                            .expect("RCM yields a valid permutation"),
+            } else {
+                None
+            };
+            // Stage 2: boundary-first reorder, stable within each class so
+            // every row keeps its stage-1 entry order — and with it its
+            // floating-point summation order. That stability is what keeps
+            // the overlapped schedule bitwise-equal to the barrier one.
+            let (p2, nb): (Option<Vec<usize>>, usize) = if use_overlap {
+                let mut b1 = vec![false; n];
+                for (old, &flag) in boundary_old[q].iter().enumerate() {
+                    if flag {
+                        b1[p1.as_ref().map_or(old, |pm| pm[old])] = true;
                     }
                 }
-            })
-            .collect();
+                let nb = b1.iter().filter(|&&b| b).count();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| (!b1[i], i));
+                let mut p2 = vec![0usize; n];
+                for (rank, &i) in order.iter().enumerate() {
+                    p2[i] = rank;
+                }
+                (Some(p2), nb)
+            } else {
+                (None, 0)
+            };
+            let composed: Option<Vec<usize>> = match (&p1, &p2) {
+                (None, None) => None,
+                (Some(a), None) => Some(a.clone()),
+                (None, Some(b)) => Some(b.clone()),
+                (Some(a), Some(b)) => Some(a.iter().map(|&s1| b[s1]).collect()),
+            };
+            let stiffness = {
+                let s1 = match &p1 {
+                    None => sd.stiffness.clone(),
+                    Some(a) => sd
+                        .stiffness
+                        .permute_symmetric(a)
+                        .expect("RCM yields a valid permutation"),
+                };
+                match &p2 {
+                    None => s1,
+                    Some(b) => s1
+                        .permute_symmetric_stable(b)
+                        .expect("boundary-first reorder is a valid permutation"),
+                }
+            };
+            let gather = match &composed {
+                None => sd.global_nodes.clone(),
+                Some(f) => {
+                    let mut gather = vec![0usize; n];
+                    for (old, &g) in sd.global_nodes.iter().enumerate() {
+                        gather[f[old]] = g;
+                    }
+                    gather
+                }
+            };
+            perms.push(composed);
+            pe.push(PeState { gather, stiffness });
+            boundary_rows.push(nb);
+        }
         // Exchange pair indices are local slots, so they follow the
         // renumbering.
         let map = |q: usize, l: usize| perms[q].as_ref().map_or(l, |pm| pm[l]);
@@ -510,6 +671,21 @@ impl BspExecutor {
                 .map(|s| vec![Vec3::ZERO; s.gather.len()])
                 .collect::<Vec<_>>()
         };
+        let overlap = if use_overlap {
+            Some(Box::new(OverlapState {
+                boundary_rows,
+                posted: (0..p).map(|_| AtomicBool::new(false)).collect(),
+                part_base: vec![SendPtr(std::ptr::null_mut()); p],
+                post_elapsed: vec![0.0; p],
+                exch_elapsed: vec![0.0; p],
+                wait_elapsed: vec![0.0; p],
+                post_start: vec![0; p],
+                exch_start: vec![0; p],
+                drift_scratch: vec![0.0; p],
+            }))
+        } else {
+            None
+        };
         BspExecutor {
             pool: WorkerPool::new(threads),
             x_local: local_buf(),
@@ -523,6 +699,7 @@ impl BspExecutor {
             rcm: use_rcm,
             fault: None,
             telemetry: None,
+            overlap,
             counters: vec![PeCounters::default(); p],
             phases: PhaseWalls::default(),
             steps: 0,
@@ -638,6 +815,20 @@ impl BspExecutor {
         self.rcm
     }
 
+    /// True if this executor runs the latency-hiding overlap schedule.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap.is_some()
+    }
+
+    /// Per-PE boundary row counts of the overlap split, or `None` when the
+    /// executor runs the barrier schedule. Matches
+    /// [`OverlapAnalysis`](quake_partition::comm::OverlapAnalysis) exactly
+    /// (checked in tests): the split the executor runs is the split the
+    /// model prices.
+    pub fn overlap_boundary_rows(&self) -> Option<&[usize]> {
+        self.overlap.as_deref().map(|o| o.boundary_rows.as_slice())
+    }
+
     /// `(pointer, capacity)` of every persistent per-step buffer. Steady
     /// state means this is identical before and after a `step_into` — the
     /// step reallocated nothing.
@@ -664,7 +855,17 @@ impl BspExecutor {
         assert_eq!(x.len(), self.global_nodes, "x length must match mesh nodes");
         assert_eq!(y.len(), self.global_nodes, "y length must match mesh nodes");
         if self.fault.is_some() {
+            // Chaos keeps the barrier phases (the staged, checksummed
+            // exchange already serializes against compute); the
+            // boundary-first row order is baked into the matrices, so the
+            // output and counters still match the overlap-off run exactly.
             return self.chaos_step_into(x, y);
+        }
+        if self.overlap.is_some() {
+            if self.telemetry.is_some() {
+                return self.overlap_traced_step_into(x, y);
+            }
+            return self.overlap_step_into(x, y);
         }
         if self.telemetry.is_some() {
             return self.traced_step_into(x, y);
@@ -973,6 +1174,472 @@ impl BspExecutor {
                 at_ns: ns_since(epoch, Instant::now()),
             });
         }
+
+        // --- Fold phase: replicated results → global vector (driver). ---
+        let t0 = Instant::now();
+        self.written.fill(false);
+        for (s, part) in self.pe.iter().zip(&self.exchanged) {
+            for (l, &g) in s.gather.iter().enumerate() {
+                if self.written[g] {
+                    debug_assert!(
+                        (y[g] - part[l]).norm() <= 1e-9 * (1.0 + y[g].norm()),
+                        "replicas disagree at node {g}"
+                    );
+                } else {
+                    y[g] = part[l];
+                    self.written[g] = true;
+                }
+            }
+        }
+        debug_assert!(
+            self.written.iter().all(|&w| w),
+            "every node resides somewhere"
+        );
+        let fold_dt = t0.elapsed().as_secs_f64();
+        self.phases.fold += fold_dt;
+        telem.data.span(Span {
+            phase: PhaseId::Fold,
+            pe: p as u32,
+            step,
+            start_ns: ns_since(epoch, t0),
+            dur_ns: secs_to_ns(fold_dt),
+        });
+        telem
+            .data
+            .add_phase_wall(PhaseId::Fold, secs_to_ns(fold_dt));
+        telem.data.steps += 1;
+
+        self.steps += 1;
+        self.telemetry = Some(telem);
+    }
+
+    /// The latency-hiding variant of [`BspExecutor::step_into`] (see the
+    /// module docs). Assemble and fold are unchanged, but compute and
+    /// exchange run inside ONE pool broadcast with no barrier between
+    /// them. Each worker, for every PE it owns: (A) computes the boundary
+    /// rows and publishes them with a Release flag — neighbors consume
+    /// nothing else, so this is the only data the exchange waits on; (B)
+    /// computes the interior rows while other workers are still posting —
+    /// the work the schedule hides the exchange latency behind; (C) copies
+    /// its own partials and folds in each inbound message as soon as its
+    /// sender's flag says the boundary rows landed (Acquire). Pass A never
+    /// blocks, so every flag is eventually set and pass C cannot deadlock,
+    /// no matter how PEs are striped across workers.
+    ///
+    /// Output is bitwise-identical to the barrier schedule: rows are
+    /// independent, so computing them in two passes changes nothing; the
+    /// boundary-first permutation is entry-order-stable, so every row sums
+    /// in the same floating-point order; and pass C applies inbound pairs
+    /// in the same order as the barrier exchange. Flop/word/block counters
+    /// are identical for the same reason.
+    fn overlap_step_into(&mut self, x: &[Vec3], y: &mut [Vec3]) {
+        let p = self.pe.len();
+        let threads = self.pool.threads();
+        let mut ov = self
+            .overlap
+            .take()
+            .expect("overlap step requires overlap state");
+
+        // --- Assemble phase: gather replicated local x per PE. ---
+        let wall = {
+            let pe = &self.pe;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: each PE q belongs to exactly one worker's
+                    // chunk, so these per-q accesses are disjoint.
+                    let xl = unsafe { &mut *x_local.get().add(q) };
+                    for (slot, &g) in xl.iter_mut().zip(&pe[q].gather) {
+                        *slot = x[g];
+                    }
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
+        self.phases.assemble += wall;
+        for (c, &dt) in self.counters.iter_mut().zip(&self.elapsed) {
+            c.t_assemble += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+        }
+
+        // --- Overlapped compute+exchange: one broadcast, three passes. ---
+        for (slot, buf) in ov.part_base.iter_mut().zip(self.partials.iter_mut()) {
+            *slot = SendPtr(buf.as_mut_ptr());
+        }
+        for flag in &ov.posted {
+            flag.store(false, Ordering::Relaxed);
+        }
+        let wall = {
+            let pe = &self.pe;
+            let inbound = &self.inbound;
+            let post_elapsed = SendPtr(ov.post_elapsed.as_mut_ptr());
+            let exch_elapsed = SendPtr(ov.exch_elapsed.as_mut_ptr());
+            let wait_elapsed = SendPtr(ov.wait_elapsed.as_mut_ptr());
+            let boundary = &ov.boundary_rows;
+            let posted = &ov.posted;
+            let part_base = &ov.part_base;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let exchanged = SendPtr(self.exchanged.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                // Pass A — post the boundary rows.
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: per-q accesses are disjoint (one worker per
+                    // PE); x_local was fully written before the assemble
+                    // barrier; rows 0..nb of partials[q] are written only
+                    // by this pass.
+                    let xl = unsafe { &*x_local.get().add(q) };
+                    let nb = boundary[q];
+                    let out = unsafe { std::slice::from_raw_parts_mut(part_base[q].get(), nb) };
+                    bmv_range_into(&pe[q].stiffness, xl, 0..nb, out);
+                    posted[q].store(true, Ordering::Release);
+                    unsafe {
+                        *post_elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+                // Pass B — interior rows, overlapping the neighbors' posts.
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    let xl = unsafe { &*x_local.get().add(q) };
+                    let n = pe[q].stiffness.block_rows();
+                    let nb = boundary[q];
+                    // SAFETY: this sub-slice starts at nb — disjoint from
+                    // pass A's rows and from every cross-PE boundary read
+                    // (those stop below nb).
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(part_base[q].get().add(nb), n - nb)
+                    };
+                    bmv_range_into(&pe[q].stiffness, xl, nb..n, out);
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+                // Pass C — exchange as the posts land.
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    let mut waited = 0.0f64;
+                    // SAFETY: only exchanged[q] is written (one worker per
+                    // PE). Own partials are complete — this worker ran
+                    // passes A and B for q above. Neighbor elements are
+                    // read through raw pointers, only below that PE's
+                    // boundary count, and only after its Release store.
+                    let out = unsafe { &mut *exchanged.get().add(q) };
+                    let mine = unsafe {
+                        std::slice::from_raw_parts(part_base[q].get() as *const Vec3, out.len())
+                    };
+                    out.copy_from_slice(mine);
+                    for msg in &inbound[q] {
+                        waited += wait_for_post(&posted[msg.neighbor]);
+                        let theirs = part_base[msg.neighbor].get() as *const Vec3;
+                        for &(m, their) in &msg.pairs {
+                            out[m] += unsafe { *theirs.add(their) };
+                        }
+                    }
+                    unsafe {
+                        *exch_elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                        *wait_elapsed.get().add(q) = waited;
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
+        let mut cmax = 0.0f64;
+        for (q, c) in self.counters.iter_mut().enumerate() {
+            let post = ov.post_elapsed[q];
+            let interior = self.elapsed[q];
+            let exch = ov.exch_elapsed[q];
+            c.t_compute += post + interior;
+            c.t_exchange += exch;
+            c.t_barrier += (wall - (post + interior + exch)).max(0.0);
+            c.flops += self.pe[q].stiffness.smvp_flops();
+            for msg in &self.inbound[q] {
+                let words = 3 * msg.pairs.len() as u64;
+                // Each inbound message is matched by an equal outbound one
+                // (the exchange is symmetric), so count both directions.
+                c.words_received += words;
+                c.words_sent += words;
+                c.blocks_received += 1;
+                c.blocks_sent += 1;
+            }
+            cmax = cmax.max(post + interior);
+        }
+        // The slowest PE's SMVP bills to compute; whatever wall remains
+        // past it is exchange that the interior work failed to hide.
+        self.phases.compute += cmax;
+        self.phases.exchange += (wall - cmax).max(0.0);
+        self.overlap = Some(ov);
+
+        // --- Fold phase: replicated results → global vector. ---
+        let t0 = Instant::now();
+        self.written.fill(false);
+        for (s, part) in self.pe.iter().zip(&self.exchanged) {
+            for (l, &g) in s.gather.iter().enumerate() {
+                if self.written[g] {
+                    debug_assert!(
+                        (y[g] - part[l]).norm() <= 1e-9 * (1.0 + y[g].norm()),
+                        "replicas disagree at node {g}"
+                    );
+                } else {
+                    y[g] = part[l];
+                    self.written[g] = true;
+                }
+            }
+        }
+        debug_assert!(
+            self.written.iter().all(|&w| w),
+            "every node resides somewhere"
+        );
+        self.phases.fold += t0.elapsed().as_secs_f64();
+
+        self.steps += 1;
+    }
+
+    /// [`BspExecutor::overlap_step_into`] with telemetry recording folded
+    /// in — the overlap analogue of [`BspExecutor::traced_step_into`].
+    /// Spans are recorded manually rather than through `record_phase`
+    /// (which would bill a full barrier wait to each of the three passes
+    /// of the merged broadcast): each PE gets one Post, one Compute, one
+    /// Exchange span at its measured offsets, plus a single Barrier span
+    /// for the wall time past its own work. The drift monitor is fed
+    /// exchange time *minus* spin wait, which is the barrier schedule's
+    /// exchange-work equivalent — so a healthy overlapped run stays
+    /// drift-silent.
+    fn overlap_traced_step_into(&mut self, x: &[Vec3], y: &mut [Vec3]) {
+        let mut telem = self
+            .telemetry
+            .take()
+            .expect("traced step requires armed telemetry");
+        let mut ov = self
+            .overlap
+            .take()
+            .expect("overlap step requires overlap state");
+        let step = self.steps;
+        let p = self.pe.len();
+        let threads = self.pool.threads();
+        let epoch = telem.epoch;
+
+        // --- Assemble phase: gather replicated local x per PE. ---
+        let wall = {
+            let pe = &self.pe;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let start_ns = SendPtr(telem.start_ns.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: each PE q belongs to exactly one worker's
+                    // chunk, so these per-q accesses are disjoint.
+                    unsafe {
+                        *start_ns.get().add(q) = ns_since(epoch, t);
+                    }
+                    let xl = unsafe { &mut *x_local.get().add(q) };
+                    for (slot, &g) in xl.iter_mut().zip(&pe[q].gather) {
+                        *slot = x[g];
+                    }
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
+        self.phases.assemble += wall;
+        for (c, &dt) in self.counters.iter_mut().zip(&self.elapsed) {
+            c.t_assemble += dt;
+            c.t_barrier += (wall - dt).max(0.0);
+        }
+        telem.record_phase(PhaseId::Assemble, step, &self.elapsed, wall);
+
+        // --- Overlapped compute+exchange: one broadcast, three passes,
+        // per-pass start offsets staged for manual span recording. ---
+        for (slot, buf) in ov.part_base.iter_mut().zip(self.partials.iter_mut()) {
+            *slot = SendPtr(buf.as_mut_ptr());
+        }
+        for flag in &ov.posted {
+            flag.store(false, Ordering::Relaxed);
+        }
+        let wall = {
+            let pe = &self.pe;
+            let inbound = &self.inbound;
+            let post_elapsed = SendPtr(ov.post_elapsed.as_mut_ptr());
+            let exch_elapsed = SendPtr(ov.exch_elapsed.as_mut_ptr());
+            let wait_elapsed = SendPtr(ov.wait_elapsed.as_mut_ptr());
+            let post_start = SendPtr(ov.post_start.as_mut_ptr());
+            let exch_start = SendPtr(ov.exch_start.as_mut_ptr());
+            let boundary = &ov.boundary_rows;
+            let posted = &ov.posted;
+            let part_base = &ov.part_base;
+            let elapsed = SendPtr(self.elapsed.as_mut_ptr());
+            let x_local = SendPtr(self.x_local.as_mut_ptr());
+            let exchanged = SendPtr(self.exchanged.as_mut_ptr());
+            let start_ns = SendPtr(telem.start_ns.as_mut_ptr());
+            let msg_ns = SendPtr(telem.msg_ns.as_mut_ptr());
+            let t0 = Instant::now();
+            self.pool.broadcast(&|w| {
+                // Pass A — post the boundary rows.
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    // SAFETY: same disjointness argument as the untraced
+                    // overlap path; the timing scratch is per-PE too.
+                    unsafe {
+                        *post_start.get().add(q) = ns_since(epoch, t);
+                    }
+                    let xl = unsafe { &*x_local.get().add(q) };
+                    let nb = boundary[q];
+                    let out = unsafe { std::slice::from_raw_parts_mut(part_base[q].get(), nb) };
+                    bmv_range_into(&pe[q].stiffness, xl, 0..nb, out);
+                    posted[q].store(true, Ordering::Release);
+                    unsafe {
+                        *post_elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+                // Pass B — interior rows, overlapping the neighbors' posts.
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    unsafe {
+                        *start_ns.get().add(q) = ns_since(epoch, t);
+                    }
+                    let xl = unsafe { &*x_local.get().add(q) };
+                    let n = pe[q].stiffness.block_rows();
+                    let nb = boundary[q];
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(part_base[q].get().add(nb), n - nb)
+                    };
+                    bmv_range_into(&pe[q].stiffness, xl, nb..n, out);
+                    unsafe {
+                        *elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                    }
+                }
+                // Pass C — exchange as the posts land; per-message fetch
+                // latency (spin wait included — that IS the latency the
+                // schedule is hiding) feeds the block histogram.
+                for q in pe_chunk(p, threads, w) {
+                    let t = Instant::now();
+                    let mut waited = 0.0f64;
+                    unsafe {
+                        *exch_start.get().add(q) = ns_since(epoch, t);
+                    }
+                    let out = unsafe { &mut *exchanged.get().add(q) };
+                    let mine = unsafe {
+                        std::slice::from_raw_parts(part_base[q].get() as *const Vec3, out.len())
+                    };
+                    out.copy_from_slice(mine);
+                    let lat = unsafe { &mut *msg_ns.get().add(q) };
+                    for (mi, msg) in inbound[q].iter().enumerate() {
+                        let tm = Instant::now();
+                        waited += wait_for_post(&posted[msg.neighbor]);
+                        let theirs = part_base[msg.neighbor].get() as *const Vec3;
+                        for &(m, their) in &msg.pairs {
+                            out[m] += unsafe { *theirs.add(their) };
+                        }
+                        lat[mi] = tm.elapsed().as_nanos() as u64;
+                    }
+                    unsafe {
+                        *exch_elapsed.get().add(q) = t.elapsed().as_secs_f64();
+                        *wait_elapsed.get().add(q) = waited;
+                    }
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        };
+        let mut cmax = 0.0f64;
+        let mut post_max = 0.0f64;
+        let mut interior_max = 0.0f64;
+        for (q, c) in self.counters.iter_mut().enumerate() {
+            let post = ov.post_elapsed[q];
+            let interior = self.elapsed[q];
+            let exch = ov.exch_elapsed[q];
+            c.t_compute += post + interior;
+            c.t_exchange += exch;
+            c.t_barrier += (wall - (post + interior + exch)).max(0.0);
+            c.flops += self.pe[q].stiffness.smvp_flops();
+            for msg in &self.inbound[q] {
+                let words = 3 * msg.pairs.len() as u64;
+                // Each inbound message is matched by an equal outbound one
+                // (the exchange is symmetric), so count both directions.
+                c.words_received += words;
+                c.words_sent += words;
+                c.blocks_received += 1;
+                c.blocks_sent += 1;
+            }
+            cmax = cmax.max(post + interior);
+            post_max = post_max.max(post);
+            interior_max = interior_max.max(interior);
+        }
+        self.phases.compute += cmax;
+        self.phases.exchange += (wall - cmax).max(0.0);
+        telem
+            .data
+            .add_phase_wall(PhaseId::Post, secs_to_ns(post_max));
+        telem
+            .data
+            .add_phase_wall(PhaseId::Compute, secs_to_ns(interior_max));
+        telem
+            .data
+            .add_phase_wall(PhaseId::Exchange, secs_to_ns((wall - cmax).max(0.0)));
+        for q in 0..p {
+            let post = ov.post_elapsed[q];
+            let interior = self.elapsed[q];
+            let exch = ov.exch_elapsed[q];
+            for (phase, start, dur) in [
+                (PhaseId::Post, ov.post_start[q], post),
+                (PhaseId::Compute, telem.start_ns[q], interior),
+                (PhaseId::Exchange, ov.exch_start[q], exch),
+            ] {
+                telem.data.span(Span {
+                    phase,
+                    pe: q as u32,
+                    step,
+                    start_ns: start,
+                    dur_ns: secs_to_ns(dur),
+                });
+            }
+            let wait = (wall - (post + interior + exch)).max(0.0);
+            if wait > 0.0 {
+                let wait_ns = secs_to_ns(wait);
+                telem.data.add_phase_wall(PhaseId::Barrier, wait_ns);
+                telem.data.span(Span {
+                    phase: PhaseId::Barrier,
+                    pe: q as u32,
+                    step,
+                    start_ns: ov.exch_start[q] + secs_to_ns(exch),
+                    dur_ns: wait_ns,
+                });
+            }
+            telem.data.compute_ns.record(secs_to_ns(post + interior));
+        }
+        for (q, msgs) in self.inbound.iter().enumerate() {
+            for (mi, msg) in msgs.iter().enumerate() {
+                telem.data.block_latency_ns.record(telem.msg_ns[q][mi]);
+                telem.data.block_words.record(3 * msg.pairs.len() as u64);
+            }
+        }
+        for q in 0..p {
+            ov.drift_scratch[q] = (ov.exch_elapsed[q] - ov.wait_elapsed[q]).max(0.0);
+        }
+        let flagged = telem
+            .data
+            .drift
+            .as_mut()
+            .and_then(|m| m.observe(step, &ov.drift_scratch));
+        if flagged.is_some() {
+            telem.data.instant(TraceInstant {
+                name: "drift:flagged",
+                pe: p as u32,
+                step,
+                at_ns: ns_since(epoch, Instant::now()),
+            });
+        }
+        self.overlap = Some(ov);
 
         // --- Fold phase: replicated results → global vector (driver). ---
         let t0 = Instant::now();
@@ -1706,6 +2373,53 @@ mod tests {
             (y.as_ptr() as usize, y.capacity()),
             y_fp,
             "output buffer moved during steady-state steps"
+        );
+        assert_eq!(exec.report().steps, 101);
+    }
+
+    #[test]
+    fn overlap_executor_matches_serial_distributed_smvp() {
+        let (mesh, _, sys) = setup(6);
+        let x = random_x(mesh.node_count(), 19);
+        let serial = sys.smvp(&x);
+        for threads in [1, 4] {
+            let mut exec = BspExecutor::with_options(&sys, threads, false, true);
+            assert!(exec.overlap_enabled());
+            let pooled = exec.step(&x);
+            assert_matches_serial(&serial, &pooled, &format!("overlap, {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn overlap_single_pe_is_all_interior_and_still_correct() {
+        let (mesh, _, sys) = setup(1);
+        let x = random_x(mesh.node_count(), 23);
+        let serial = sys.smvp(&x);
+        let mut exec = BspExecutor::with_options(&sys, 2, false, true);
+        assert_eq!(
+            exec.overlap_boundary_rows(),
+            Some(&[0usize][..]),
+            "a lone PE exchanges nothing, so nothing is boundary"
+        );
+        let pooled = exec.step(&x);
+        assert_matches_serial(&serial, &pooled, "overlap, single PE");
+    }
+
+    #[test]
+    fn overlap_steady_state_steps_do_not_reallocate() {
+        let (mesh, _, sys) = setup(4);
+        let x = random_x(mesh.node_count(), 29);
+        let mut exec = BspExecutor::with_options(&sys, 2, false, true);
+        let mut y = vec![Vec3::ZERO; mesh.node_count()];
+        exec.step_into(&x, &mut y);
+        let fp = exec.buffer_fingerprint();
+        for _ in 0..100 {
+            exec.step_into(&x, &mut y);
+        }
+        assert_eq!(
+            exec.buffer_fingerprint(),
+            fp,
+            "overlap buffers moved or regrew during steady-state steps"
         );
         assert_eq!(exec.report().steps, 101);
     }

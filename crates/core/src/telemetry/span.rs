@@ -28,12 +28,16 @@ pub enum PhaseId {
     Fold,
     /// Fault recovery: checkpoint restore, replay, inline re-execution.
     Recover,
+    /// Overlapped step only: computing and publishing the boundary-row
+    /// partials that neighbors consume (the "post outgoing blocks" window).
+    Post,
 }
 
 impl PhaseId {
     /// Every phase, in execution order.
-    pub const ALL: [PhaseId; 8] = [
+    pub const ALL: [PhaseId; 9] = [
         PhaseId::Assemble,
+        PhaseId::Post,
         PhaseId::Compute,
         PhaseId::Stage,
         PhaseId::Verify,
@@ -54,6 +58,7 @@ impl PhaseId {
             PhaseId::Barrier => "barrier",
             PhaseId::Fold => "fold",
             PhaseId::Recover => "recover",
+            PhaseId::Post => "post",
         }
     }
 }

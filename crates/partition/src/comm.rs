@@ -224,6 +224,165 @@ impl CommAnalysis {
     }
 }
 
+/// Per-PE interior/boundary split of the local rows, the input to the
+/// latency-hiding executor's schedule.
+///
+/// A local row is *boundary* when its node resides on more than one PE —
+/// its partial result participates in the exchange (sent to and summed with
+/// every co-resident PE's contribution). Every other row is *interior*:
+/// its result is complete after the local SMVP and nothing remote ever
+/// touches it, so it can be computed while the exchange is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlapPe {
+    /// Local rows (nodes resident on this PE, counting replicas).
+    pub rows: u64,
+    /// Rows whose node is shared with at least one other PE.
+    pub boundary_rows: u64,
+    /// Flops in interior rows per SMVP (18 per traversed 3×3 block).
+    pub interior_flops: u64,
+    /// Flops in boundary rows per SMVP.
+    pub boundary_flops: u64,
+    /// Words sent + received per SMVP (`C_i`, same as [`PeLoad::words`]).
+    pub words: u64,
+    /// Blocks sent + received per SMVP (`B_i`, same as [`PeLoad::blocks`]).
+    pub blocks: u64,
+}
+
+impl OverlapPe {
+    /// Rows with no remote coupling; always `rows - boundary_rows`.
+    pub fn interior_rows(&self) -> u64 {
+        self.rows - self.boundary_rows
+    }
+
+    /// Total flops per SMVP; equals the matching [`PeLoad::flops`].
+    pub fn flops(&self) -> u64 {
+        self.interior_flops + self.boundary_flops
+    }
+}
+
+/// [`CommAnalysis`] extended with the interior/boundary row split, so the
+/// hidden-latency step time of the overlapped executor can be predicted
+/// the same way Eq. (2) predicts the barrier step:
+///
+/// * barrier step (per PE): `T = (T_boundary + T_interior) + T_exchange`
+/// * overlapped step (per PE): `T = max(T_interior, T_exchange) + T_boundary`
+///
+/// with `T_exchange = B_i·t_l + C_i·t_w`. Whatever part of the exchange
+/// fits under the interior-compute window is hidden; only the boundary
+/// work (which must wait for inbound blocks) stays on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapAnalysis {
+    comm: CommAnalysis,
+    per_pe: Vec<OverlapPe>,
+}
+
+impl OverlapAnalysis {
+    /// Analyzes a partitioned mesh, classifying every PE's local rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` was built for a different mesh (via
+    /// [`CommAnalysis::new`]).
+    pub fn new(mesh: &TetMesh, partition: &Partition) -> Self {
+        let comm = CommAnalysis::new(mesh, partition);
+        let p = partition.parts();
+        // A node on several PEs is shared; its row is boundary on each.
+        let shared: Vec<bool> = (0..mesh.node_count())
+            .map(|v| partition.node_pes(v).len() > 1)
+            .collect();
+        let mut per_pe = vec![OverlapPe::default(); p];
+        for v in 0..mesh.node_count() {
+            for &q in partition.node_pes(v) {
+                per_pe[q].rows += 1;
+                // The self block of row v.
+                if shared[v] {
+                    per_pe[q].boundary_rows += 1;
+                    per_pe[q].boundary_flops += 18;
+                } else {
+                    per_pe[q].interior_flops += 18;
+                }
+            }
+        }
+        // Off-diagonal blocks: the pair (a, b) puts one block in row a and
+        // one in row b of the local stiffness, exactly as CommAnalysis
+        // counts them.
+        let mut local_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); p];
+        for (e, &q) in partition.assignments().iter().enumerate() {
+            let el = mesh.elements()[e];
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    let (a, b) = (el[i].min(el[j]) as u32, el[i].max(el[j]) as u32);
+                    local_pairs[q].push((a, b));
+                }
+            }
+        }
+        for (q, pairs) in local_pairs.iter_mut().enumerate() {
+            pairs.sort_unstable();
+            pairs.dedup();
+            for &(a, b) in pairs.iter() {
+                for row in [a as usize, b as usize] {
+                    if shared[row] {
+                        per_pe[q].boundary_flops += 18;
+                    } else {
+                        per_pe[q].interior_flops += 18;
+                    }
+                }
+            }
+            per_pe[q].words = comm.per_pe()[q].words;
+            per_pe[q].blocks = comm.per_pe()[q].blocks;
+        }
+        OverlapAnalysis { comm, per_pe }
+    }
+
+    /// The underlying communication analysis.
+    pub fn comm(&self) -> &CommAnalysis {
+        &self.comm
+    }
+
+    /// Per-PE interior/boundary splits.
+    pub fn per_pe(&self) -> &[OverlapPe] {
+        &self.per_pe
+    }
+
+    /// Predicted barrier-step seconds: `max_i[(T_b + T_i) + T_x]` with
+    /// `t_f` seconds per flop, `t_l` per block, `t_w` per word.
+    pub fn predicted_step_barrier(&self, t_f: f64, t_l: f64, t_w: f64) -> f64 {
+        self.per_pe
+            .iter()
+            .map(|l| l.flops() as f64 * t_f + exchange_time(l, t_l, t_w))
+            .fold(0.0, f64::max)
+    }
+
+    /// Predicted overlapped-step seconds:
+    /// `max_i[max(T_interior, T_exchange) + T_boundary]`.
+    pub fn predicted_step_overlapped(&self, t_f: f64, t_l: f64, t_w: f64) -> f64 {
+        self.per_pe
+            .iter()
+            .map(|l| {
+                let t_int = l.interior_flops as f64 * t_f;
+                let t_bnd = l.boundary_flops as f64 * t_f;
+                t_int.max(exchange_time(l, t_l, t_w)) + t_bnd
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Model speedup of overlapping, `T_barrier / T_overlapped` (≥ 1 by
+    /// construction; 1 when there is nothing to hide).
+    pub fn predicted_hiding_gain(&self, t_f: f64, t_l: f64, t_w: f64) -> f64 {
+        let over = self.predicted_step_overlapped(t_f, t_l, t_w);
+        if over == 0.0 {
+            return 1.0;
+        }
+        self.predicted_step_barrier(t_f, t_l, t_w) / over
+    }
+}
+
+/// `T_exchange` for one PE under the Eq. (2) convention (`B_i·t_l + C_i·t_w`
+/// with both-direction counts, matching the drift monitor).
+fn exchange_time(l: &OverlapPe, t_l: f64, t_w: f64) -> f64 {
+    l.blocks as f64 * t_l + l.words as f64 * t_w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +520,81 @@ mod tests {
                 assert_eq!(a.traffic(i, j), a.traffic(j, i));
             }
         }
+    }
+
+    // --- OverlapAnalysis ---
+
+    #[test]
+    fn overlap_split_partitions_rows_and_flops_exactly() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        for &p in &[2usize, 4, 8] {
+            let part = RecursiveBisection::inertial().partition(&mesh, p).unwrap();
+            let overlap = OverlapAnalysis::new(&mesh, &part);
+            assert_eq!(overlap.per_pe().len(), p);
+            let mut local_rows = vec![0u64; p];
+            for v in 0..mesh.node_count() {
+                for &q in part.node_pes(v) {
+                    local_rows[q] += 1;
+                }
+            }
+            for (q, (o, c)) in overlap
+                .per_pe()
+                .iter()
+                .zip(overlap.comm().per_pe())
+                .enumerate()
+            {
+                // Interior + boundary is an exact partition of the rows...
+                assert_eq!(o.rows, local_rows[q], "PE {q} rows");
+                assert_eq!(o.interior_rows() + o.boundary_rows, o.rows, "PE {q}");
+                // ...and of the flops the characterization already counts.
+                assert_eq!(o.flops(), c.flops, "PE {q} flop split");
+                assert_eq!(o.words, c.words, "PE {q} words");
+                assert_eq!(o.blocks, c.blocks, "PE {q} blocks");
+                // Multi-PE partitions of a connected mesh have both kinds.
+                assert!(o.boundary_rows > 0, "PE {q} has no boundary rows");
+                assert!(o.interior_rows() > 0, "PE {q} has no interior rows");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_single_pe_is_all_interior() {
+        let mesh = two_tets();
+        let part = Partition::new(&mesh, 1, vec![0, 0]).unwrap();
+        let overlap = OverlapAnalysis::new(&mesh, &part);
+        let o = &overlap.per_pe()[0];
+        assert_eq!(o.boundary_rows, 0);
+        assert_eq!(o.boundary_flops, 0);
+        assert_eq!(o.interior_rows(), mesh.node_count() as u64);
+        assert_eq!(o.flops(), overlap.comm().f_max());
+        // Nothing to hide: the model agrees.
+        assert_eq!(overlap.predicted_hiding_gain(1e-9, 1e-6, 1e-8), 1.0);
+    }
+
+    #[test]
+    fn overlap_model_never_predicts_a_slowdown() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::splat(6.0));
+        let mesh = generate_mesh(domain, &UniformSizing(1.0), GeneratorOptions::default()).unwrap();
+        let part = RecursiveBisection::inertial().partition(&mesh, 8).unwrap();
+        let overlap = OverlapAnalysis::new(&mesh, &part);
+        // Sweep t_l across the Fig. 10 regimes. Overlapping can only help
+        // (gain ≥ 1, hidden ≤ barrier); the gain peaks where the exchange
+        // roughly fills the interior-compute window and decays toward 1 on
+        // both sides (pure compute-bound or pure latency-bound).
+        let mut best = 1.0f64;
+        for t_l in [1e-8, 1e-7, 1e-6, 1e-5, 1e-4] {
+            let gain = overlap.predicted_hiding_gain(1e-9, t_l, 1e-8);
+            assert!(gain >= 1.0, "t_l = {t_l}: gain {gain} < 1");
+            let barrier = overlap.predicted_step_barrier(1e-9, t_l, 1e-8);
+            let hidden = overlap.predicted_step_overlapped(1e-9, t_l, 1e-8);
+            assert!(hidden <= barrier, "t_l = {t_l}");
+            best = best.max(gain);
+        }
+        assert!(
+            best > 1.01,
+            "no latency regime benefits from overlap: best gain {best}"
+        );
     }
 
     #[test]

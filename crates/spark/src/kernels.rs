@@ -38,7 +38,7 @@ use crate::pool::{BatchFn, WorkerPool};
 use crate::workspace::KernelWorkspace;
 use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::csr::Csr;
-use quake_sparse::dense::Vec3;
+use quake_sparse::dense::{Mat3, Vec3};
 use quake_sparse::sym::{SymCsr, SymParts};
 
 /// A raw pointer that may cross thread boundaries.
@@ -524,17 +524,28 @@ pub fn pmv_pooled_into(matrix: &Csr, x: &[f64], pool: &WorkerPool, y: &mut [f64]
     assert_eq!(y.len(), matrix.rows(), "y length must match matrix rows");
     let n = matrix.rows();
     let threads = pool.threads();
+    // Hoisted raw CSR parts: resolving `matrix.row(r)` inside the hot loop
+    // costs two bounds-checked slice constructions per row, which is what
+    // made this path lose to the boxed-task baseline in BENCH_smvp.
+    let row_ptr = matrix.row_ptr();
+    let col_idx = matrix.col_idx();
+    let values = matrix.values();
     let y_ptr = SendPtr(y.as_mut_ptr());
     pool.broadcast(&move |w| {
         // SAFETY: chunk_range partitions 0..n, so workers write disjoint
         // elements of `y`; the broadcast barrier ends the writes before
-        // the caller's `&mut y` is used again.
+        // the caller's `&mut y` is used again. Unchecked indexing relies on
+        // `Csr`'s construction invariants: `row_ptr` is monotone with
+        // `row_ptr[n] == nnz`, and every `col_idx` is `< cols == x.len()`
+        // (asserted above).
         for r in chunk_range(n, threads, w) {
-            let mut sum = 0.0;
-            for (c, v) in matrix.row(r).pairs() {
-                sum += v * x[c];
-            }
             unsafe {
+                let start = *row_ptr.get_unchecked(r);
+                let end = *row_ptr.get_unchecked(r + 1);
+                let mut sum = 0.0;
+                for k in start..end {
+                    sum += values.get_unchecked(k) * x.get_unchecked(*col_idx.get_unchecked(k));
+                }
                 *y_ptr.get().add(r) = sum;
             }
         }
@@ -629,24 +640,84 @@ pub fn bmv_pooled_into(matrix: &Bcsr3, x: &[Vec3], pool: &WorkerPool, y: &mut [V
     );
     let n = matrix.block_rows();
     let threads = pool.threads();
-    let row_ptr = matrix.row_ptr();
-    let col_idx = matrix.col_idx();
-    let blocks = matrix.blocks();
     let y_ptr = SendPtr(y.as_mut_ptr());
     pool.broadcast(&move |w| {
+        let range = chunk_range(n, threads, w);
         // SAFETY: chunk_range partitions 0..n, so workers write disjoint
         // block rows of `y`; the broadcast barrier ends the writes before
         // the caller's `&mut y` is used again.
-        for r in chunk_range(n, threads, w) {
-            let mut acc = Vec3::ZERO;
-            for k in row_ptr[r]..row_ptr[r + 1] {
-                acc += blocks[k].mul_vec(x[col_idx[k]]);
-            }
-            unsafe {
-                *y_ptr.get().add(r) = acc;
-            }
-        }
+        let out =
+            unsafe { std::slice::from_raw_parts_mut(y_ptr.get().add(range.start), range.len()) };
+        bmv_range_into(matrix, x, range, out);
     });
+}
+
+/// SMVP over the contiguous block-row range `rows`, through the
+/// register-blocked 3×3 microkernel. `out` holds exactly one [`Vec3`] per
+/// row of the range (`out[i - rows.start]` is row `i`'s result); `x` spans
+/// the full matrix. This is the shared inner kernel of [`bmv_pooled_into`]
+/// and the latency-hiding executor, which multiplies a PE's boundary and
+/// interior rows as two separate ranges.
+///
+/// The microkernel walks each row's blocks as one sequential stream over
+/// the flat `[f64; 9]` tile of each [`Mat3`] ([`Mat3::as_flat`]) with
+/// three independent accumulator lanes held in registers — enough ILP to
+/// keep the FMA ports busy without breaking the streaming access pattern
+/// (a two-row lockstep variant measured ~10% slower on meshes that spill
+/// the last-level cache, because it interleaves two block streams). Each
+/// row's accumulation order is identical to [`Bcsr3::spmv`], so the
+/// result is **bitwise**-equal to the scalar path (the overlapped
+/// executor's equality proof depends on this).
+///
+/// # Panics
+///
+/// Panics if `rows` extends past the block-row count, `x.len()` does not
+/// match the block-row count, or `out.len() != rows.len()`.
+pub fn bmv_range_into(matrix: &Bcsr3, x: &[Vec3], rows: std::ops::Range<usize>, out: &mut [Vec3]) {
+    let n = matrix.block_rows();
+    assert!(
+        rows.start <= rows.end && rows.end <= n,
+        "row range {rows:?} out of bounds for {n} block rows"
+    );
+    assert_eq!(x.len(), n, "x length must match block rows");
+    assert_eq!(out.len(), rows.len(), "out length must match the row range");
+    let row_ptr = matrix.row_ptr();
+    let col_idx = matrix.col_idx();
+    let blocks = matrix.blocks();
+    // SAFETY (whole loop): Bcsr3 construction guarantees `row_ptr` is
+    // monotone with `row_ptr[n] == block_nnz` and every `col_idx[k] < n ==
+    // x.len()` (asserted above); `r` stays inside `rows`, which the entry
+    // assertions bound by `n` and `out.len()`.
+    for r in rows.clone() {
+        unsafe {
+            let mut acc = [0.0f64; 3];
+            for k in *row_ptr.get_unchecked(r)..*row_ptr.get_unchecked(r + 1) {
+                micro_3x3(blocks, col_idx, x, k, &mut acc);
+            }
+            *out.get_unchecked_mut(r - rows.start) = Vec3::new(acc[0], acc[1], acc[2]);
+        }
+    }
+}
+
+/// One 3×3 block × vector multiply-accumulate over the flat 9-tile.
+///
+/// Each lane computes `acc += (t·vx + t·vy) + t·vz` with exactly the
+/// association of [`Mat3::mul_vec`](quake_sparse::dense::Mat3::mul_vec)
+/// followed by `+=` — re-associating (e.g. per-term accumulators) would
+/// break the bitwise contract with [`Bcsr3::spmv`].
+///
+/// # Safety
+///
+/// `k` must index `blocks` and `col_idx`, and `col_idx[k]` must index `x` —
+/// guaranteed by `Bcsr3`'s construction invariants when `k` lies between
+/// valid `row_ptr` entries.
+#[inline(always)]
+unsafe fn micro_3x3(blocks: &[Mat3], col_idx: &[usize], x: &[Vec3], k: usize, acc: &mut [f64; 3]) {
+    let t = blocks.get_unchecked(k).as_flat();
+    let v = *x.get_unchecked(*col_idx.get_unchecked(k));
+    acc[0] += t[0] * v.x + t[1] * v.y + t[2] * v.z;
+    acc[1] += t[3] * v.x + t[4] * v.y + t[5] * v.z;
+    acc[2] += t[6] * v.x + t[7] * v.y + t[8] * v.z;
 }
 
 #[cfg(test)]
@@ -838,6 +909,100 @@ mod tests {
     fn bmv_wrong_x_length_panics() {
         let matrix = Bcsr3Builder::new(3).build();
         let _ = bmv(&matrix, &[Vec3::ZERO], 2);
+    }
+
+    fn random_bcsr(n: usize, seed: u64) -> (Bcsr3, Vec<Vec3>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Bcsr3Builder::new(n);
+        for i in 0..n {
+            b.add_block(i, i, Mat3::identity() * (2.0 + rng.gen::<f64>()));
+            for _ in 0..rng.gen_range(0..5) {
+                let j = rng.gen_range(0..n);
+                let m = Mat3::outer(
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+                    Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+                );
+                b.add_block(i, j, m);
+            }
+        }
+        let matrix = b.build();
+        let x: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() - 0.5, rng.gen(), rng.gen()))
+            .collect();
+        (matrix, x)
+    }
+
+    fn assert_vec3_bits_eq(a: &[Vec3], b: &[Vec3], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (p, q)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()],
+                [q.x.to_bits(), q.y.to_bits(), q.z.to_bits()],
+                "{what}: row {i} differs bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn bmv_range_full_range_is_bitwise_equal_to_spmv() {
+        let (matrix, x) = random_bcsr(97, 21);
+        let reference = matrix.spmv_alloc(&x).unwrap();
+        let mut out = vec![Vec3::ZERO; 97];
+        bmv_range_into(&matrix, &x, 0..97, &mut out);
+        assert_vec3_bits_eq(&reference, &out, "full range");
+    }
+
+    #[test]
+    fn bmv_range_empty_range_is_a_noop() {
+        let (matrix, x) = random_bcsr(16, 22);
+        let mut out: Vec<Vec3> = Vec::new();
+        bmv_range_into(&matrix, &x, 7..7, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bmv_range_single_row_matches_that_row_only() {
+        let (matrix, x) = random_bcsr(33, 23);
+        let reference = matrix.spmv_alloc(&x).unwrap();
+        for r in [0usize, 16, 32] {
+            let mut out = vec![Vec3::new(f64::NAN, f64::NAN, f64::NAN); 1];
+            bmv_range_into(&matrix, &x, r..r + 1, &mut out);
+            assert_vec3_bits_eq(&reference[r..r + 1], &out, "single row");
+        }
+    }
+
+    #[test]
+    fn bmv_range_arbitrary_splits_tile_the_product_bitwise() {
+        let (matrix, x) = random_bcsr(61, 24);
+        let reference = matrix.spmv_alloc(&x).unwrap();
+        for cuts in [vec![0, 61], vec![0, 1, 61], vec![0, 13, 14, 40, 61]] {
+            let mut out = vec![Vec3::ZERO; 61];
+            for w in cuts.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                bmv_range_into(&matrix, &x, lo..hi, &mut out[lo..hi]);
+            }
+            assert_vec3_bits_eq(&reference, &out, "tiled ranges");
+        }
+    }
+
+    #[test]
+    fn bmv_pooled_into_is_bitwise_equal_to_spmv() {
+        let (matrix, x) = random_bcsr(120, 25);
+        let reference = matrix.spmv_alloc(&x).unwrap();
+        for threads in [1, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let mut out = vec![Vec3::ZERO; 120];
+            bmv_pooled_into(&matrix, &x, &pool, &mut out);
+            assert_vec3_bits_eq(&reference, &out, "bmv_pooled_into");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn bmv_range_rejects_out_of_bounds_rows() {
+        let (matrix, x) = random_bcsr(8, 26);
+        let mut out = vec![Vec3::ZERO; 2];
+        bmv_range_into(&matrix, &x, 7..9, &mut out);
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod pool;
 pub mod workspace;
 
 pub use kernels::{
-    bmv, bmv_into, bmv_pooled, bmv_pooled_into, lmv, lmv_into, pmv, pmv_into, pmv_pooled,
-    pmv_pooled_into, rmv, rmv_into, rmv_pooled, rmv_pooled_into, smv, smv_into,
+    bmv, bmv_into, bmv_pooled, bmv_pooled_into, bmv_range_into, lmv, lmv_into, pmv, pmv_into,
+    pmv_pooled, pmv_pooled_into, rmv, rmv_into, rmv_pooled, rmv_pooled_into, smv, smv_into,
 };
 pub use pool::{BatchFailure, PoolStats, SupervisionPolicy, WorkerPool};
 pub use workspace::KernelWorkspace;

@@ -250,6 +250,16 @@ impl Mat3 {
         )
     }
 
+    /// The block as a flat row-major 9-tile, `[m00, m01, m02, m10, …]` —
+    /// the value layout the register-blocked SMVP microkernel indexes.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64; 9] {
+        // SAFETY: `[[f64; 3]; 3]` and `[f64; 9]` have identical size and
+        // alignment, and nested arrays are guaranteed contiguous with no
+        // padding, so the reinterpretation is layout-exact.
+        unsafe { &*(self.m.as_ptr() as *const [f64; 9]) }
+    }
+
     /// Matrix-matrix product `self · rhs`.
     pub fn mul_mat(&self, rhs: &Mat3) -> Mat3 {
         let mut out = [[0.0; 3]; 3];

@@ -156,6 +156,12 @@ COMMANDS:
                   --rcm <true|false: false>  renumber each subdomain with
                   reverse Cuthill-McKee before the run (locality pre-pass;
                   counters and the validation report are unaffected)
+                  --overlap <on|off: off>  latency-hiding schedule: each PE
+                  posts its boundary-row partials first, computes interior
+                  rows while the exchange is in flight, and applies inbound
+                  blocks as they land; output is bitwise-equal to the
+                  barrier schedule (proved every run) and counters are
+                  unaffected; composes with --rcm, --trace and --fault-rate
                   --fault-rate <r: 0>  arm the chaos layer: per-(step, PE)
                   probability of injected stragglers/drops/corruption (PE
                   crashes at r/10, at most one); 0 leaves the clean path
@@ -263,6 +269,12 @@ mod tests {
             assert!(help().contains(flag), "help must mention '{flag}'");
         }
         assert!(help().contains("EXIT STATUS"));
+    }
+
+    #[test]
+    fn help_documents_the_overlap_flag() {
+        assert!(help().contains("--overlap <on|off: off>"));
+        assert!(help().contains("bitwise-equal"));
     }
 
     #[test]
