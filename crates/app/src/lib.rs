@@ -39,6 +39,7 @@ pub mod executor;
 pub mod family;
 pub mod report;
 pub mod scaling;
+pub mod transport;
 
 pub use characterize::{figure7_table, AnalyzedInstance};
 pub use distributed::{DistributedSystem, LocalSubdomain};

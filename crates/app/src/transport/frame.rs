@@ -1,0 +1,397 @@
+//! Length-prefixed frame codec for the socket transport.
+//!
+//! Every message on a proc-transport socket is one frame:
+//!
+//! ```text
+//! [magic u16 = 0x5147 "QG"] [kind u8] [reserved u8 = 0]
+//! [payload_len u32 le] [payload bytes] [fnv64(payload) u64 le]
+//! ```
+//!
+//! Decoding is total: truncated, oversized, garbage-magic, unknown-kind
+//! and checksum-corrupted inputs all surface as typed [`FrameError`]s —
+//! never a panic — so a hostile or flaky peer cannot take a shard down.
+//! A [`FrameError::ChecksumMismatch`] is recoverable: the reader keeps
+//! the stream framed (header and trailer were fully consumed) and asks
+//! the peer to resend its cached ghost blocks, feeding the same re-fetch
+//! path the chaos layer's corruption detector uses.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: "QG" little-endian.
+pub const MAGIC: u16 = 0x5147;
+
+/// Largest accepted payload (16 MiB) — far above any ghost block or
+/// result bundle this repo produces, far below an OOM.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Frame header length in bytes (magic + kind + reserved + payload_len).
+pub const HEADER_LEN: usize = 8;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Peer identifies itself: payload = shard id (u32).
+    Hello = 1,
+    /// Child finished its bootstrap and is ready to run.
+    Ready = 2,
+    /// Parent releases the children into the run loop.
+    Go = 3,
+    /// Latency microbenchmark probe (parent -> child).
+    Ping = 4,
+    /// Latency microbenchmark echo (child -> parent).
+    Pong = 5,
+    /// Throughput microbenchmark payload (parent -> child).
+    Bulk = 6,
+    /// Throughput microbenchmark acknowledgement (child -> parent).
+    BulkAck = 7,
+    /// A posted ghost block (see [`super::wire::GhostPayload`]).
+    Ghost = 8,
+    /// Request to resend all cached ghost blocks on this connection.
+    Resend = 9,
+    /// A child's merged run results (see [`super::wire`]).
+    Result = 10,
+    /// Orderly goodbye.
+    Bye = 11,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Ready,
+            3 => FrameKind::Go,
+            4 => FrameKind::Ping,
+            5 => FrameKind::Pong,
+            6 => FrameKind::Bulk,
+            7 => FrameKind::BulkAck,
+            8 => FrameKind::Ghost,
+            9 => FrameKind::Resend,
+            10 => FrameKind::Result,
+            11 => FrameKind::Bye,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// The payload bytes (checksum already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Typed decode/IO failures. No codec path panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary (peer closed its socket).
+    Closed,
+    /// The stream ended in the middle of a frame.
+    Truncated {
+        /// How many bytes of the frame were still expected.
+        missing: usize,
+    },
+    /// The first two bytes were not [`MAGIC`] — the stream is desynced.
+    BadMagic {
+        /// The bytes actually seen.
+        got: u16,
+    },
+    /// An undefined kind byte.
+    UnknownKind(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The declared length.
+        len: u32,
+    },
+    /// The payload checksum did not match; the stream is still framed
+    /// and the block can be re-requested.
+    ChecksumMismatch {
+        /// Checksum declared by the sender.
+        expected: u64,
+        /// Checksum recomputed over the received payload.
+        got: u64,
+    },
+    /// An OS-level I/O error.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the stream"),
+            FrameError::Truncated { missing } => {
+                write!(f, "stream truncated mid-frame ({missing} bytes missing)")
+            }
+            FrameError::BadMagic { got } => {
+                write!(f, "bad frame magic {got:#06x} (expected {MAGIC:#06x})")
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {MAX_PAYLOAD} cap"
+                )
+            }
+            FrameError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "frame checksum mismatch (sent {expected:#018x}, received {got:#018x})"
+            ),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// FNV-1a over raw bytes — the same core `BlockChecksum` folds f64
+/// words through, applied to the frame payload.
+fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Encodes one frame into a byte vector.
+pub fn encode(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u32 <= MAX_PAYLOAD);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(kind as u8);
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out
+}
+
+/// Writes one frame to `w`.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on a write failure.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
+    let bytes = encode(kind, payload);
+    w.write_all(&bytes)
+        .map_err(|e| FrameError::Io(e.to_string()))?;
+    w.flush().map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Reads exactly `buf.len()` bytes; distinguishes clean EOF at offset 0
+/// (`at_boundary`) from a mid-frame truncation.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Truncated {
+                        missing: buf.len() - filled,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return if at_boundary && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Truncated {
+                        missing: buf.len() - filled,
+                    })
+                };
+            }
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates one frame from `r`.
+///
+/// # Errors
+///
+/// Every malformed input maps to a typed [`FrameError`]; a
+/// `ChecksumMismatch` leaves the stream positioned at the next frame
+/// boundary so the caller can request a resend and keep reading.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or(r, &mut header, true)?;
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { got: magic });
+    }
+    let kind = FrameKind::from_u8(header[2]).ok_or(FrameError::UnknownKind(header[2]))?;
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let mut trailer = [0u8; 8];
+    read_exact_or(r, &mut trailer, false)?;
+    let expected = u64::from_le_bytes(trailer);
+    let got = fnv64(&payload);
+    if got != expected {
+        return Err(FrameError::ChecksumMismatch { expected, got });
+    }
+    Ok(Frame { kind, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    const KINDS: [FrameKind; 11] = [
+        FrameKind::Hello,
+        FrameKind::Ready,
+        FrameKind::Go,
+        FrameKind::Ping,
+        FrameKind::Pong,
+        FrameKind::Bulk,
+        FrameKind::BulkAck,
+        FrameKind::Ghost,
+        FrameKind::Resend,
+        FrameKind::Result,
+        FrameKind::Bye,
+    ];
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_payloads(
+            kind_idx in 0usize..11,
+            payload in proptest::collection::vec(0u8..=255, 0..2048),
+        ) {
+            let kind = KINDS[kind_idx];
+            let bytes = encode(kind, &payload);
+            let frame = read_frame(&mut Cursor::new(&bytes)).expect("round trip");
+            prop_assert_eq!(frame.kind, kind);
+            prop_assert_eq!(frame.payload, payload);
+        }
+
+        #[test]
+        fn every_truncation_is_a_typed_error(
+            payload in proptest::collection::vec(0u8..=255, 0..256),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let bytes = encode(FrameKind::Ghost, &payload);
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]))
+                .expect_err("truncated frame must not decode");
+            prop_assert!(matches!(
+                err,
+                FrameError::Closed | FrameError::Truncated { .. }
+            ), "got {:?}", err);
+        }
+
+        #[test]
+        fn garbage_never_panics(
+            junk in proptest::collection::vec(0u8..=255, 0..512),
+        ) {
+            // Any byte soup must produce a typed error or, by one-in-2^80
+            // coincidence, a valid frame — never a panic.
+            let _ = read_frame(&mut Cursor::new(&junk));
+        }
+
+        #[test]
+        fn single_bit_flips_in_the_payload_are_caught(
+            payload in proptest::collection::vec(0u8..=255, 1..256),
+            bit in 0usize..8,
+            pos_frac in 0.0f64..1.0,
+        ) {
+            let mut bytes = encode(FrameKind::Ghost, &payload);
+            let pos = HEADER_LEN + ((payload.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            let err = read_frame(&mut Cursor::new(&bytes))
+                .expect_err("corrupted payload must not decode");
+            prop_assert!(
+                matches!(err, FrameError::ChecksumMismatch { .. }),
+                "got {:?}", err
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_truncated() {
+        let empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut Cursor::new(empty)), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn bad_magic_is_reported_with_the_bytes_seen() {
+        let mut bytes = encode(FrameKind::Ping, b"x");
+        bytes[0] = 0xde;
+        bytes[1] = 0xad;
+        assert_eq!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(FrameError::BadMagic { got: 0xadde })
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected() {
+        let mut bytes = encode(FrameKind::Ping, b"");
+        bytes[2] = 0xfe;
+        assert_eq!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(FrameError::UnknownKind(0xfe))
+        );
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_without_allocating() {
+        let mut bytes = encode(FrameKind::Bulk, b"");
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut Cursor::new(&bytes)),
+            Err(FrameError::Oversized { len: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_keeps_the_stream_framed() {
+        // Corrupt frame A's payload, then append a good frame B: the
+        // reader must report the mismatch AND decode B on the next call —
+        // the property the resend protocol relies on.
+        let mut stream = encode(FrameKind::Ghost, b"abcdef");
+        let flip = HEADER_LEN + 2;
+        stream[flip] ^= 0x40;
+        stream.extend_from_slice(&encode(FrameKind::Resend, b""));
+        let mut cursor = Cursor::new(&stream);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        let next = read_frame(&mut cursor).expect("stream must stay framed");
+        assert_eq!(next.kind, FrameKind::Resend);
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        for e in [
+            FrameError::Closed,
+            FrameError::Truncated { missing: 3 },
+            FrameError::BadMagic { got: 1 },
+            FrameError::UnknownKind(0),
+            FrameError::Oversized { len: u32::MAX },
+            FrameError::ChecksumMismatch {
+                expected: 1,
+                got: 2,
+            },
+            FrameError::Io("nope".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

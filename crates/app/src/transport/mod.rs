@@ -1,0 +1,794 @@
+//! Pluggable ghost-block transport for the BSP executor.
+//!
+//! Every exchange the executor performs — barrier schedule, latency-hiding
+//! overlap schedule, and the chaos layer's staged, checksummed fetches —
+//! moves whole *ghost blocks* (one packed `Vec3` block per directed
+//! neighbor edge per step). The [`Transport`] trait captures exactly that
+//! contract: a sender **posts** the packed block for a directed edge, a
+//! receiver **acquires** it (blocking until posted), checksums ride along
+//! for receiver-side **verify**, and `shutdown` tears the fabric down. The
+//! executor is written against this trait alone, so the same schedules,
+//! fault/recovery machinery and telemetry spans run unchanged over:
+//!
+//! * [`SharedTransport`] — the in-process path: per-edge double-buffered
+//!   mailboxes in shared memory, synchronized by Release/Acquire flags.
+//!   This is the pre-existing `WorkerPool` execution model with the ghost
+//!   hand-off made explicit.
+//! * [`NetsimTransport`] — the same mailboxes plus the netsim cost model:
+//!   every acquired block is billed `T_l + words·T_w` against a preset
+//!   [`Network`](quake_core::machine::Network), so a run reports what the
+//!   paper's postal model *predicts* the exchange should have cost.
+//! * [`proc::ProcLink`] — a real multi-process backend: shard processes
+//!   connected by Unix-domain sockets, ghost blocks as length-prefixed
+//!   frames ([`frame`]), and Eq. (2) parameters *measured* from socket
+//!   ping/throughput microbenchmarks instead of presets.
+//!
+//! # Wait contract
+//!
+//! Every blocking acquire — on a shared-memory flag or a socket-fed
+//! mailbox slot — escalates identically: a short spin catches the
+//! cache-hot hand-off, a few yields catch a runnable producer, then
+//! exponentially growing sleeps (5 µs doubling to a 160 µs cap) take the
+//! waiter off the runqueue. [`wait_action`] is that schedule as a pure
+//! function, shared by every backend and unit-tested directly, so the
+//! socket path provably mirrors the shared-memory path's spin→yield→sleep
+//! contract.
+//!
+//! # Step parity and replay
+//!
+//! Mailbox slots are double-buffered by step parity: step `s` lands in
+//! slot `s % 2`. A sender is never more than one step ahead of a receiver
+//! on the same edge (its own acquire of step `s` gates its post of
+//! `s + 2`), so a slot is never overwritten before its reader is done.
+//! Posted flags advance monotonically (`fetch_max`), which makes the
+//! chaos layer's checkpoint/replay loop safe: a replayed step re-posts
+//! bitwise-identical blocks (each SMVP step is a pure function of the
+//! run's constant `x`) and never regresses a flag a remote reader already
+//! observed.
+
+use quake_core::fault::BlockChecksum;
+use quake_core::machine::Network;
+use quake_sparse::dense::Vec3;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+pub mod frame;
+pub mod proc;
+pub mod run;
+pub mod wire;
+
+/// Which transport fabric carries the ghost blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process shared-memory mailboxes (the `WorkerPool` path).
+    Shared,
+    /// Shared mailboxes plus the netsim postal-model cost accounting.
+    Netsim,
+    /// Shard processes over Unix-domain sockets.
+    Proc,
+}
+
+impl TransportKind {
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Shared => "shared",
+            TransportKind::Netsim => "netsim",
+            TransportKind::Proc => "proc",
+        }
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "shared" => Ok(TransportKind::Shared),
+            "netsim" => Ok(TransportKind::Netsim),
+            "proc" => Ok(TransportKind::Proc),
+            other => Err(format!("unknown transport '{other}'")),
+        }
+    }
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors surfaced by a transport backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No such directed edge in the exchange schedule.
+    UnknownEdge {
+        /// Sending PE.
+        from: usize,
+        /// Receiving PE.
+        to: usize,
+    },
+    /// The posted block's length does not match the edge schedule.
+    LengthMismatch {
+        /// Expected `Vec3` count.
+        expected: usize,
+        /// Offered `Vec3` count.
+        got: usize,
+    },
+    /// An acquire exceeded its deadline with the peer still alive.
+    Timeout {
+        /// Sending PE waited on.
+        from: usize,
+        /// Receiving PE.
+        to: usize,
+        /// Step waited for.
+        step: u64,
+        /// Seconds spent waiting.
+        waited_s: u64,
+    },
+    /// The peer process owning the sender side died or closed its socket.
+    PeerDisconnected {
+        /// The dead peer's shard id.
+        shard: usize,
+    },
+    /// A malformed frame on the wire (see [`frame::FrameError`]).
+    Frame(frame::FrameError),
+    /// A socket-level I/O failure.
+    Io(String),
+    /// The peer violated the bootstrap/result protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownEdge { from, to } => {
+                write!(f, "no ghost edge {from} -> {to} in the exchange schedule")
+            }
+            TransportError::LengthMismatch { expected, got } => {
+                write!(f, "ghost block length {got} != scheduled {expected}")
+            }
+            TransportError::Timeout {
+                from,
+                to,
+                step,
+                waited_s,
+            } => write!(
+                f,
+                "acquire of edge {from} -> {to} timed out after {waited_s} s at step {step}"
+            ),
+            TransportError::PeerDisconnected { shard } => {
+                write!(f, "shard {shard} disconnected (peer process died)")
+            }
+            TransportError::Frame(e) => write!(f, "frame error: {e}"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::Protocol(e) => write!(f, "transport protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<frame::FrameError> for TransportError {
+    fn from(e: frame::FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+/// The postal-model parameters a transport runs at: Eq. (2)'s block
+/// latency `T_l` and per-word time `T_w`, and whether they were measured
+/// on the live fabric or taken from a preset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Block latency, seconds.
+    pub t_l: f64,
+    /// Per-64-bit-word time, seconds.
+    pub t_w: f64,
+    /// `true` if measured by a microbenchmark on this run's fabric,
+    /// `false` for a model preset (or the shared path's nominal zeros).
+    pub measured: bool,
+}
+
+/// What an acquire observed: how long it blocked and the sender-side
+/// checksum that [`Transport::verify`] checks the staged copy against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcquireInfo {
+    /// Seconds spent blocked waiting for the post (0.0 when already up).
+    pub waited_s: f64,
+    /// FNV-1a checksum the sender computed over the block at post time.
+    pub checksum: u64,
+}
+
+/// One directed edge of the ghost-exchange schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostEdge {
+    /// Sending PE.
+    pub from: usize,
+    /// Receiving PE.
+    pub to: usize,
+    /// Block length in `Vec3` entries (3 words each).
+    pub len: usize,
+}
+
+/// The directed ghost-edge schedule of a distributed system, in the
+/// canonical order both ends of every transport agree on.
+pub fn ghost_edges(system: &crate::distributed::DistributedSystem) -> Vec<GhostEdge> {
+    let mut edges = Vec::new();
+    for ex in system.exchanges() {
+        edges.push(GhostEdge {
+            from: ex.b,
+            to: ex.a,
+            len: ex.pairs.len(),
+        });
+        edges.push(GhostEdge {
+            from: ex.a,
+            to: ex.b,
+            len: ex.pairs.len(),
+        });
+    }
+    edges
+}
+
+/// FNV-1a checksum of a ghost block, word by word — the same digest the
+/// chaos layer's staged exchange has always used (x, y, z per entry).
+pub fn block_checksum_vec3(block: &[Vec3]) -> u64 {
+    let mut ck = BlockChecksum::new();
+    for v in block {
+        ck.write_f64(v.x);
+        ck.write_f64(v.y);
+        ck.write_f64(v.z);
+    }
+    ck.finish()
+}
+
+/// A transport carrying ghost blocks between PEs. Methods take `&self`:
+/// pool workers post and acquire concurrently, so implementations use
+/// interior mutability with per-edge single-writer discipline.
+pub trait Transport: Send + Sync {
+    /// Which fabric this is.
+    fn kind(&self) -> TransportKind;
+
+    /// Publishes the packed ghost block for directed edge `from -> to` at
+    /// `step`. The block must match the edge's scheduled length.
+    fn post(&self, step: u64, from: usize, to: usize, block: &[Vec3])
+        -> Result<(), TransportError>;
+
+    /// Blocks until the `from -> to` block for `step` is posted, then
+    /// copies it into `out` and returns the wait time and sender checksum.
+    fn acquire(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        out: &mut [Vec3],
+    ) -> Result<AcquireInfo, TransportError>;
+
+    /// A step-boundary hook. The in-process backends realize the BSP
+    /// barrier through the pool broadcast itself and the socket backend
+    /// through acquire dependencies, so the default is a no-op.
+    fn barrier(&self, _step: u64) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    /// Receiver-side integrity check of a staged block against the
+    /// sender's posted checksum.
+    fn verify(&self, block: &[Vec3], expected: u64) -> bool {
+        block_checksum_vec3(block) == expected
+    }
+
+    /// The Eq. (2) parameters this fabric runs at.
+    fn link(&self) -> LinkParams;
+
+    /// Tears the fabric down (closes sockets, reaps peers). Idempotent.
+    fn shutdown(&self) -> Result<(), TransportError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared wait contract.
+// ---------------------------------------------------------------------------
+
+/// What a blocked acquire does on its `round`-th failed poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitAction {
+    /// Busy-spin (`spin_loop` hint) — the cache-hot hand-off window.
+    Spin,
+    /// `yield_now` — give a runnable producer the core.
+    Yield,
+    /// Sleep for the given duration — off the runqueue entirely.
+    Sleep(Duration),
+}
+
+/// The escalation schedule every transport wait follows: spin for rounds
+/// `0..128`, yield for `128..144`, then exponential sleeps starting at
+/// 5 µs and doubling to a 160 µs cap. This is the executor's historical
+/// `wait_for_post` contract, extracted so the socket backend provably
+/// runs the same policy as the shared-memory flags.
+pub fn wait_action(round: u32) -> WaitAction {
+    if round < 128 {
+        WaitAction::Spin
+    } else if round < 144 {
+        WaitAction::Yield
+    } else {
+        let exp = (round - 144).min(5);
+        WaitAction::Sleep(Duration::from_micros(5 << exp))
+    }
+}
+
+/// Polls `ready` under the [`wait_action`] escalation schedule until it
+/// returns `true` (Ok: seconds waited) or `deadline` elapses (Err:
+/// seconds waited). The deadline is only checked once the wait has
+/// escalated past the spin phase, so the hot path stays clock-free.
+pub fn escalating_wait(deadline: Duration, mut ready: impl FnMut() -> bool) -> Result<f64, f64> {
+    if ready() {
+        return Ok(0.0);
+    }
+    let t0 = Instant::now();
+    let mut round = 0u32;
+    while !ready() {
+        match wait_action(round) {
+            WaitAction::Spin => std::hint::spin_loop(),
+            WaitAction::Yield => std::thread::yield_now(),
+            WaitAction::Sleep(d) => {
+                if t0.elapsed() >= deadline {
+                    return Err(t0.elapsed().as_secs_f64());
+                }
+                std::thread::sleep(d);
+            }
+        }
+        round += 1;
+    }
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+/// The default acquire deadline, overridable (milliseconds) through
+/// `QUAKE_TRANSPORT_TIMEOUT_MS` — tests shrink it to exercise the
+/// timeout path without waiting half a minute.
+pub fn default_timeout() -> Duration {
+    std::env::var("QUAKE_TRANSPORT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30))
+}
+
+// ---------------------------------------------------------------------------
+// The double-buffered mailbox shared by the in-process backends (and the
+// proc backend's local + socket-fed slots).
+// ---------------------------------------------------------------------------
+
+/// One directed edge's mailbox: two step-parity slots, each a fixed-size
+/// block buffer plus its sender checksum and a monotonic posted flag
+/// (`step + 1` of the newest block in the slot).
+struct Slot {
+    posted: [AtomicU64; 2],
+    checksum: [AtomicU64; 2],
+    buf: [UnsafeCell<Vec<Vec3>>; 2],
+}
+
+/// Per-edge double-buffered ghost mailboxes. Single-writer per edge (the
+/// owning sender PE's worker, or the one socket reader thread that feeds
+/// the edge); readers are gated by the slot's Acquire-loaded posted flag,
+/// which the writer stores with Release ordering after filling the
+/// buffer — a reader that observes `posted >= step + 1` therefore also
+/// observes the block bytes.
+pub(crate) struct Mailbox {
+    slots: Vec<Slot>,
+    index: HashMap<(usize, usize), usize>,
+    lens: Vec<usize>,
+    timeout: Duration,
+}
+
+// SAFETY: see the struct docs — the UnsafeCell buffers follow a
+// single-writer, flag-gated protocol.
+unsafe impl Sync for Mailbox {}
+unsafe impl Send for Mailbox {}
+
+impl Mailbox {
+    pub(crate) fn new(edges: &[GhostEdge], timeout: Duration) -> Self {
+        let mut index = HashMap::with_capacity(edges.len());
+        let mut slots = Vec::with_capacity(edges.len());
+        let mut lens = Vec::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            index.insert((e.from, e.to), i);
+            slots.push(Slot {
+                posted: [AtomicU64::new(0), AtomicU64::new(0)],
+                checksum: [AtomicU64::new(0), AtomicU64::new(0)],
+                buf: [
+                    UnsafeCell::new(vec![Vec3::ZERO; e.len]),
+                    UnsafeCell::new(vec![Vec3::ZERO; e.len]),
+                ],
+            });
+            lens.push(e.len);
+        }
+        Mailbox {
+            slots,
+            index,
+            lens,
+            timeout,
+        }
+    }
+
+    fn edge(&self, from: usize, to: usize) -> Result<usize, TransportError> {
+        self.index
+            .get(&(from, to))
+            .copied()
+            .ok_or(TransportError::UnknownEdge { from, to })
+    }
+
+    pub(crate) fn post(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        block: &[Vec3],
+    ) -> Result<u64, TransportError> {
+        let i = self.edge(from, to)?;
+        if block.len() != self.lens[i] {
+            return Err(TransportError::LengthMismatch {
+                expected: self.lens[i],
+                got: block.len(),
+            });
+        }
+        let checksum = block_checksum_vec3(block);
+        self.deliver(i, step, block, checksum);
+        Ok(checksum)
+    }
+
+    /// Writes a block (with its already-computed sender checksum) into the
+    /// edge's parity slot and raises the posted flag. Used by `post` and
+    /// by the proc backend's socket reader threads.
+    pub(crate) fn deliver(&self, edge: usize, step: u64, block: &[Vec3], checksum: u64) {
+        let slot = &self.slots[edge];
+        let parity = (step % 2) as usize;
+        // SAFETY: single writer per edge; readers are gated by `posted`.
+        unsafe {
+            (*slot.buf[parity].get()).copy_from_slice(block);
+        }
+        slot.checksum[parity].store(checksum, Ordering::Relaxed);
+        // Monotonic: a replayed (older) step never regresses the flag, and
+        // its bytes are identical by the constant-x replay invariant.
+        slot.posted[parity].fetch_max(step + 1, Ordering::Release);
+    }
+
+    pub(crate) fn acquire(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        out: &mut [Vec3],
+    ) -> Result<AcquireInfo, TransportError> {
+        self.acquire_watch(step, from, to, out, || true)
+    }
+
+    /// `acquire`, aborting early (PeerDisconnected is diagnosed by the
+    /// caller) when `alive` turns false.
+    pub(crate) fn acquire_watch(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        out: &mut [Vec3],
+        mut alive: impl FnMut() -> bool,
+    ) -> Result<AcquireInfo, TransportError> {
+        let i = self.edge(from, to)?;
+        if out.len() != self.lens[i] {
+            return Err(TransportError::LengthMismatch {
+                expected: self.lens[i],
+                got: out.len(),
+            });
+        }
+        let slot = &self.slots[i];
+        let parity = (step % 2) as usize;
+        let flag = &slot.posted[parity];
+        let mut dead = false;
+        let waited_s = escalating_wait(self.timeout, || {
+            if flag.load(Ordering::Acquire) > step {
+                return true;
+            }
+            if !alive() {
+                dead = true;
+                return true;
+            }
+            false
+        })
+        .map_err(|waited| TransportError::Timeout {
+            from,
+            to,
+            step,
+            waited_s: waited as u64,
+        })?;
+        if dead && flag.load(Ordering::Acquire) < step + 1 {
+            return Err(TransportError::PeerDisconnected { shard: usize::MAX });
+        }
+        // SAFETY: the Acquire load above pairs with the writer's Release
+        // store; the writer will not touch this parity slot again before
+        // our own step-parity progression allows it.
+        unsafe {
+            out.copy_from_slice(&*slot.buf[parity].get());
+        }
+        Ok(AcquireInfo {
+            waited_s,
+            checksum: slot.checksum[parity].load(Ordering::Relaxed),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend (a): shared memory.
+// ---------------------------------------------------------------------------
+
+/// The in-process transport: ghost blocks cross PEs through shared-memory
+/// mailboxes, the execution model the repo has always run.
+pub struct SharedTransport {
+    mailbox: Mailbox,
+}
+
+impl SharedTransport {
+    /// A shared-memory fabric over the given edge schedule.
+    pub fn new(edges: &[GhostEdge]) -> Self {
+        SharedTransport {
+            mailbox: Mailbox::new(edges, default_timeout()),
+        }
+    }
+}
+
+impl Transport for SharedTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Shared
+    }
+
+    fn post(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        block: &[Vec3],
+    ) -> Result<(), TransportError> {
+        self.mailbox.post(step, from, to, block).map(|_| ())
+    }
+
+    fn acquire(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        out: &mut [Vec3],
+    ) -> Result<AcquireInfo, TransportError> {
+        self.mailbox.acquire(step, from, to, out)
+    }
+
+    fn link(&self) -> LinkParams {
+        // Nominal: the shared path pays no modeled message cost.
+        LinkParams {
+            t_l: 0.0,
+            t_w: 0.0,
+            measured: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend (b): netsim cost model.
+// ---------------------------------------------------------------------------
+
+/// The netsim-model transport: data moves through the same shared
+/// mailboxes (so outputs and counters are bitwise/exactly identical), and
+/// every acquired block is additionally billed `T_l + words·T_w` against
+/// a preset [`Network`] — the paper's postal model riding along with the
+/// live run.
+pub struct NetsimTransport {
+    mailbox: Mailbox,
+    network: Network,
+    /// Modeled exchange nanoseconds accumulated per receiving PE.
+    modeled_ns: Vec<AtomicU64>,
+}
+
+impl NetsimTransport {
+    /// A modeled fabric over the given edges with `pes` receiving PEs.
+    pub fn new(edges: &[GhostEdge], pes: usize, network: Network) -> Self {
+        NetsimTransport {
+            mailbox: Mailbox::new(edges, default_timeout()),
+            network,
+            modeled_ns: (0..pes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The preset network this model bills against.
+    pub fn network(&self) -> Network {
+        self.network
+    }
+
+    /// Modeled exchange seconds accumulated per PE (all steps).
+    pub fn modeled_exchange_s(&self) -> Vec<f64> {
+        self.modeled_ns
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed) as f64 / 1e9)
+            .collect()
+    }
+}
+
+impl Transport for NetsimTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Netsim
+    }
+
+    fn post(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        block: &[Vec3],
+    ) -> Result<(), TransportError> {
+        self.mailbox.post(step, from, to, block).map(|_| ())
+    }
+
+    fn acquire(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        out: &mut [Vec3],
+    ) -> Result<AcquireInfo, TransportError> {
+        let info = self.mailbox.acquire(step, from, to, out)?;
+        let words = 3 * out.len() as u64;
+        let cost_ns = (self.network.block_transfer_time(words) * 1e9) as u64;
+        if let Some(acc) = self.modeled_ns.get(to) {
+            acc.fetch_add(cost_ns, Ordering::Relaxed);
+        }
+        Ok(info)
+    }
+
+    fn link(&self) -> LinkParams {
+        LinkParams {
+            t_l: self.network.t_l,
+            t_w: self.network.t_w,
+            measured: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges2() -> Vec<GhostEdge> {
+        vec![
+            GhostEdge {
+                from: 0,
+                to: 1,
+                len: 2,
+            },
+            GhostEdge {
+                from: 1,
+                to: 0,
+                len: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn wait_action_contract_is_spin_yield_sleep() {
+        for round in 0..128 {
+            assert_eq!(wait_action(round), WaitAction::Spin, "round {round}");
+        }
+        for round in 128..144 {
+            assert_eq!(wait_action(round), WaitAction::Yield, "round {round}");
+        }
+        // Exponential sleeps: 5 µs doubling to the 160 µs cap.
+        for (i, want_us) in [(0u32, 5u64), (1, 10), (2, 20), (3, 40), (4, 80), (5, 160)] {
+            assert_eq!(
+                wait_action(144 + i),
+                WaitAction::Sleep(Duration::from_micros(want_us))
+            );
+        }
+        for round in [150, 200, 1_000_000] {
+            assert_eq!(
+                wait_action(round),
+                WaitAction::Sleep(Duration::from_micros(160)),
+                "sleep must stay capped at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn escalating_wait_returns_immediately_when_ready() {
+        assert_eq!(escalating_wait(Duration::from_secs(1), || true), Ok(0.0));
+    }
+
+    #[test]
+    fn escalating_wait_times_out_against_a_never_ready_condition() {
+        let waited =
+            escalating_wait(Duration::from_millis(5), || false).expect_err("must time out");
+        assert!(waited >= 0.005, "reported wait {waited} below the deadline");
+        assert!(waited < 5.0, "timeout took absurdly long: {waited}");
+    }
+
+    #[test]
+    fn mailbox_round_trips_blocks_with_checksums() {
+        let mb = Mailbox::new(&edges2(), Duration::from_secs(1));
+        let block = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(-4.0, 0.5, 9.0)];
+        let ck = mb.post(0, 0, 1, &block).unwrap();
+        assert_eq!(ck, block_checksum_vec3(&block));
+        let mut out = [Vec3::ZERO; 2];
+        let info = mb.acquire(0, 0, 1, &mut out).unwrap();
+        assert_eq!(info.checksum, ck);
+        assert_eq!(out[1].x.to_bits(), block[1].x.to_bits());
+        // Unknown edges and wrong lengths are typed errors, not panics.
+        assert!(matches!(
+            mb.post(0, 0, 7, &block),
+            Err(TransportError::UnknownEdge { .. })
+        ));
+        assert!(matches!(
+            mb.post(0, 0, 1, &block[..1]),
+            Err(TransportError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mailbox_acquire_times_out_when_nothing_is_posted() {
+        let mb = Mailbox::new(&edges2(), Duration::from_millis(5));
+        let mut out = [Vec3::ZERO; 2];
+        assert!(matches!(
+            mb.acquire(3, 0, 1, &mut out),
+            Err(TransportError::Timeout { step: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn mailbox_parity_slots_hold_two_steps_in_flight() {
+        let mb = Mailbox::new(&edges2(), Duration::from_secs(1));
+        let b0 = [Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO];
+        let b1 = [Vec3::new(2.0, 0.0, 0.0), Vec3::ZERO];
+        mb.post(0, 0, 1, &b0).unwrap();
+        mb.post(1, 0, 1, &b1).unwrap();
+        let mut out = [Vec3::ZERO; 2];
+        mb.acquire(0, 0, 1, &mut out).unwrap();
+        assert_eq!(out[0].x, 1.0, "step 0 slot intact with step 1 posted");
+        mb.acquire(1, 0, 1, &mut out).unwrap();
+        assert_eq!(out[0].x, 2.0);
+    }
+
+    #[test]
+    fn replayed_posts_never_regress_the_flag() {
+        let mb = Mailbox::new(&edges2(), Duration::from_secs(1));
+        let b = [Vec3::new(5.0, 5.0, 5.0), Vec3::ZERO];
+        mb.post(4, 0, 1, &b).unwrap();
+        // A checkpoint-replay re-post of step 2 (same parity) must not make
+        // step 4 unacquirable.
+        mb.post(2, 0, 1, &b).unwrap();
+        let mut out = [Vec3::ZERO; 2];
+        assert!(mb.acquire(4, 0, 1, &mut out).is_ok());
+    }
+
+    #[test]
+    fn netsim_transport_bills_the_postal_model() {
+        let net = Network::cray_t3e();
+        let t = NetsimTransport::new(&edges2(), 2, net);
+        let block = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        t.post(0, 0, 1, &block).unwrap();
+        let mut out = [Vec3::ZERO; 2];
+        t.acquire(0, 0, 1, &mut out).unwrap();
+        let modeled = t.modeled_exchange_s();
+        let expect = net.block_transfer_time(6);
+        assert!((modeled[1] - expect).abs() < 1e-9, "{modeled:?}");
+        assert_eq!(modeled[0], 0.0);
+        assert!(!t.link().measured, "presets are not measurements");
+    }
+
+    #[test]
+    fn shared_transport_verifies_checksums() {
+        let t = SharedTransport::new(&edges2());
+        let block = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        t.post(7, 1, 0, &block).unwrap();
+        let mut out = [Vec3::ZERO; 2];
+        let info = t.acquire(7, 1, 0, &mut out).unwrap();
+        assert!(t.verify(&out, info.checksum));
+        out[0].x = -out[0].x;
+        assert!(!t.verify(&out, info.checksum), "tampering must be caught");
+    }
+}

@@ -1,0 +1,275 @@
+//! Spec-driven run construction shared by every transport host.
+//!
+//! The proc backend's shard children rebuild the *entire* problem from a
+//! [`RunSpec`] — mesh generation, partitioning, assembly and the input
+//! vector are all pure functions of the spec, so only ghost blocks and
+//! results ever cross a socket. The same builder drives the in-process
+//! backends, which is what makes the cross-transport conformance suite
+//! meaningful: every backend runs the bitwise-identical problem.
+
+use super::wire::RunSpec;
+use super::{
+    ghost_edges, proc, LinkParams, NetsimTransport, SharedTransport, Transport, TransportKind,
+};
+use crate::distributed::DistributedSystem;
+use crate::executor::{BspExecutor, ExecutionReport};
+use crate::family::{AppConfig, QuakeApp};
+use quake_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
+use quake_core::machine::Network;
+use quake_core::telemetry::TelemetryConfig;
+use quake_fem::assembly::UniformMaterial;
+use quake_mesh::ground::Material;
+use quake_partition::geometric::Partitioner;
+use quake_partition::partition::Partition;
+use quake_sparse::dense::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A fully constructed problem instance: everything deterministic that a
+/// run needs, before any transport is chosen.
+pub struct Built {
+    /// The generated application (mesh + ground model).
+    pub app: QuakeApp,
+    /// The element partition every PE count derives from.
+    pub partition: Partition,
+    /// The executable distributed system.
+    pub system: DistributedSystem,
+    /// The global input vector.
+    pub x: Vec<Vec3>,
+}
+
+/// What one transport run produced, in transport-independent shape.
+pub struct RunOutput {
+    /// The folded global product after the last step.
+    pub y: Vec<Vec3>,
+    /// The measurement report (proc: merged across shard processes).
+    pub report: ExecutionReport,
+    /// Per-PE boundary-row counts when the overlap schedule ran.
+    pub boundary_rows: Option<Vec<usize>>,
+    /// The Eq. (2) parameters the fabric ran at (proc: measured).
+    pub link: LinkParams,
+    /// Netsim only: modeled exchange seconds per PE over all steps.
+    pub modeled_exchange_s: Option<Vec<f64>>,
+}
+
+/// The partitioner registry, keyed by the CLI spelling.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown partitioner.
+pub fn partitioner(name: &str) -> Result<Box<dyn Partitioner>, String> {
+    use quake_partition::geometric::{LinearPartition, RandomPartition, RecursiveBisection};
+    use quake_partition::sfc::MortonPartition;
+    use quake_partition::spectral::SpectralBisection;
+    Ok(match name {
+        "rib" => Box::new(RecursiveBisection::inertial()),
+        "rcb" => Box::new(RecursiveBisection::coordinate()),
+        "spectral" => Box::new(SpectralBisection::default()),
+        "morton" => Box::new(MortonPartition),
+        "linear" => Box::new(LinearPartition),
+        "random" => Box::new(RandomPartition { seed: 1 }),
+        other => return Err(format!("unknown partitioner '{other}'")),
+    })
+}
+
+/// The deterministic input vector for a spec: the CLI's trig formula, or a
+/// seeded uniform sample for conformance runs.
+///
+/// # Errors
+///
+/// Returns a message on an unknown `x_kind`.
+pub fn make_x(spec: &RunSpec, nodes: usize) -> Result<Vec<Vec3>, String> {
+    match spec.x_kind.as_str() {
+        "trig" => Ok((0..nodes)
+            .map(|i| {
+                let s = i as f64;
+                Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
+            })
+            .collect()),
+        "rng" => {
+            let mut rng = StdRng::seed_from_u64(spec.x_seed);
+            Ok((0..nodes)
+                .map(|_| Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect())
+        }
+        other => Err(format!("unknown x_kind '{other}'")),
+    }
+}
+
+/// Builds the full problem instance a spec describes. Mirrors the
+/// `smvp-run` command's construction path exactly — a shard child calling
+/// this reproduces the parent's mesh, partition and matrices bit for bit.
+///
+/// # Errors
+///
+/// Returns a message on an invalid spec or a generation failure.
+pub fn build(spec: &RunSpec) -> Result<Built, String> {
+    let mut config = AppConfig::new(format!("sf{}", spec.period), spec.period, spec.scale);
+    config.seed = spec.seed;
+    let app = QuakeApp::generate(config).map_err(|e| e.to_string())?;
+    let strat = partitioner(&spec.partitioner)?;
+    let partition = strat
+        .partition(&app.mesh, spec.parts)
+        .map_err(|e| e.to_string())?;
+    let mat = Material {
+        vs: app.ground.vs_rock,
+        vp: 2.0 * app.ground.vs_rock,
+        rho: 2600.0,
+    };
+    let system = DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat))
+        .map_err(|e| e.to_string())?;
+    let x = make_x(spec, app.mesh.node_count())?;
+    Ok(Built {
+        app,
+        partition,
+        system,
+        x,
+    })
+}
+
+/// Arms the fault and telemetry layers on an executor per the spec —
+/// shared by the in-process runner and the proc shard children so every
+/// backend runs the same chaos plan and the same telemetry config.
+///
+/// # Errors
+///
+/// Returns a message on an unknown recovery policy.
+pub(crate) fn arm(exec: &mut BspExecutor, spec: &RunSpec) -> Result<(), String> {
+    if spec.fault_rate > 0.0 {
+        let policy: RecoveryPolicy = spec
+            .recovery
+            .parse()
+            .map_err(|_| format!("unknown recovery policy '{}'", spec.recovery))?;
+        let plan = FaultPlan::generate(
+            spec.fault_seed,
+            spec.steps,
+            spec.parts,
+            &FaultRates::uniform(spec.fault_rate),
+        );
+        exec.enable_faults(plan, policy, spec.checkpoint_every);
+    }
+    if spec.trace {
+        let mut config = TelemetryConfig {
+            span_capacity: spec.span_capacity,
+            ..TelemetryConfig::default()
+        };
+        if let Some(d) = config.drift.as_mut() {
+            d.threshold = spec.drift_threshold;
+        }
+        exec.enable_telemetry(config);
+    }
+    Ok(())
+}
+
+/// Runs the spec over the chosen transport and returns the folded product
+/// plus the merged report. `shared` and `netsim` run in-process over the
+/// mailbox fabric; `proc` forks `spec.shards` shard processes connected
+/// by Unix-domain sockets (see [`proc::run_parent`]).
+///
+/// # Errors
+///
+/// Returns a message on any build, protocol or child-process failure —
+/// never panics on transport faults.
+pub fn run_with(kind: TransportKind, spec: &RunSpec, built: &Built) -> Result<RunOutput, String> {
+    if kind == TransportKind::Proc {
+        return proc::run_parent(spec, built).map_err(|e| e.to_string());
+    }
+    let edges = ghost_edges(&built.system);
+    let p = built.system.subdomains().len();
+    let mut netsim: Option<Arc<NetsimTransport>> = None;
+    let link: Arc<dyn Transport> = match kind {
+        TransportKind::Shared => Arc::new(SharedTransport::new(&edges)),
+        TransportKind::Netsim => {
+            let t = Arc::new(NetsimTransport::new(&edges, p, Network::cray_t3e()));
+            netsim = Some(Arc::clone(&t));
+            t
+        }
+        TransportKind::Proc => unreachable!("handled above"),
+    };
+    let params = link.link();
+    let mut exec = BspExecutor::with_transport(
+        &built.system,
+        spec.threads,
+        spec.rcm,
+        spec.overlap,
+        0..p,
+        link,
+    );
+    arm(&mut exec, spec)?;
+    let y = exec.run(&built.x, spec.steps);
+    Ok(RunOutput {
+        y,
+        report: exec.report(),
+        boundary_rows: exec.overlap_boundary_rows().map(|b| b.to_vec()),
+        link: params,
+        modeled_exchange_s: netsim.map(|t| t.modeled_exchange_s()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trig_x_matches_the_cli_formula() {
+        let spec = RunSpec::default();
+        let x = make_x(&spec, 4).unwrap();
+        assert_eq!(x[3].x.to_bits(), (0.1f64 * 3.0).sin().to_bits());
+        assert_eq!(x[3].y.to_bits(), (0.2f64 * 3.0).cos().to_bits());
+    }
+
+    #[test]
+    fn rng_x_is_seed_deterministic() {
+        let mut spec = RunSpec {
+            x_kind: "rng".into(),
+            x_seed: 7,
+            ..RunSpec::default()
+        };
+        let a = make_x(&spec, 16).unwrap();
+        let b = make_x(&spec, 16).unwrap();
+        assert_eq!(a, b, "same seed, same vector");
+        spec.x_seed = 8;
+        assert_ne!(a, make_x(&spec, 16).unwrap(), "different seed differs");
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        assert!(partitioner("voronoi").is_err());
+        let spec = RunSpec {
+            x_kind: "zeros".into(),
+            ..RunSpec::default()
+        };
+        assert!(make_x(&spec, 3).is_err());
+    }
+
+    #[test]
+    fn shared_and_netsim_runners_agree_bitwise() {
+        let spec = RunSpec {
+            parts: 4,
+            threads: 2,
+            steps: 3,
+            ..RunSpec::default()
+        };
+        let built = build(&spec).expect("sf10 builds");
+        let a = run_with(TransportKind::Shared, &spec, &built).unwrap();
+        let b = run_with(TransportKind::Netsim, &spec, &built).unwrap();
+        assert_eq!(a.y.len(), b.y.len());
+        for (u, v) in a.y.iter().zip(&b.y) {
+            assert_eq!(u.x.to_bits(), v.x.to_bits());
+            assert_eq!(u.y.to_bits(), v.y.to_bits());
+            assert_eq!(u.z.to_bits(), v.z.to_bits());
+        }
+        assert_eq!(a.report.pe.len(), b.report.pe.len());
+        for (u, v) in a.report.pe.iter().zip(&b.report.pe) {
+            assert_eq!(u.flops, v.flops);
+            assert_eq!(u.words_sent, v.words_sent);
+            assert_eq!(u.words_received, v.words_received);
+            assert_eq!(u.blocks_sent, v.blocks_sent);
+            assert_eq!(u.blocks_received, v.blocks_received);
+        }
+        let modeled = b.modeled_exchange_s.expect("netsim models the exchange");
+        assert!(modeled.iter().sum::<f64>() > 0.0, "postal model billed");
+        assert!(!b.link.measured, "netsim runs a preset, not a measurement");
+    }
+}

@@ -18,7 +18,7 @@ use quake_app::executor::BspExecutor;
 use quake_app::family::{AppConfig, QuakeApp};
 use quake_app::DistributedSystem;
 use quake_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
-use quake_core::telemetry::{PhaseId, TelemetryConfig};
+use quake_core::telemetry::{DriftConfig, PhaseId, TelemetryConfig};
 use quake_fem::assembly::UniformMaterial;
 use quake_mesh::ground::Material;
 use quake_partition::comm::CommAnalysis;
@@ -81,13 +81,28 @@ fn bitwise_eq(a: &[Vec3], b: &[Vec3]) -> bool {
         })
 }
 
+/// Telemetry with the drift noise floor raised past anything a loaded CI
+/// machine can produce: these tests assert wiring and bitwise equality
+/// under arbitrary scheduler contention, where a multi-millisecond
+/// preemption mid-exchange is indistinguishable from real drift. The
+/// monitor's sensitivity has its own unit tests over synthetic times.
+fn ci_quiet_telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        drift: Some(DriftConfig {
+            min_time_s: 1.0,
+            ..DriftConfig::default()
+        }),
+        ..TelemetryConfig::default()
+    }
+}
+
 fn traced_executor(fx: &Fixture, threads: usize, rcm: bool) -> BspExecutor {
     let mut exec = if rcm {
         BspExecutor::with_rcm(&fx.system, threads)
     } else {
         BspExecutor::new(&fx.system, threads)
     };
-    exec.enable_telemetry(TelemetryConfig::default());
+    exec.enable_telemetry(ci_quiet_telemetry());
     exec
 }
 
@@ -139,7 +154,9 @@ fn traced_runs_are_bitwise_equal_across_thread_counts_and_orderings() {
             assert_eq!(
                 drift.flagged_total(),
                 0,
-                "{threads} threads, rcm={rcm}: drift flagged a clean run"
+                "{threads} threads, rcm={rcm}: drift flagged a clean run \
+                 (worst: {:?})",
+                drift.worst()
             );
             assert!(t.instants().is_empty(), "clean run recorded fault instants");
         }

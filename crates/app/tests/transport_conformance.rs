@@ -1,0 +1,274 @@
+//! Cross-transport conformance: every `Transport` backend must produce the
+//! bitwise-identical folded product and exactly matching measurement
+//! counters for the same [`RunSpec`], across the full option surface —
+//! worker-thread counts 1–8, ±RCM renumbering, ±latency-hiding overlap,
+//! ±telemetry, ±chaos-layer fault injection.
+//!
+//! `harness = false`: the proc backend re-executes this binary as shard
+//! children via `current_exe()`, and the shard hook must run before any
+//! other code (libtest's argument parsing included). A custom `main`
+//! routes children first, then runs the sections sequentially.
+//!
+//! `QUAKE_CONFORMANCE_QUICK=1` shrinks the matrix for CI smoke runs.
+
+use quake_app::transport::run::{self, RunOutput};
+use quake_app::transport::wire::RunSpec;
+use quake_app::transport::{proc, TransportKind};
+use quake_partition::comm::{CommAnalysis, OverlapAnalysis};
+
+const PARTS: usize = 5;
+const STEPS: u64 = 6;
+
+fn base_spec(case: u64) -> RunSpec {
+    RunSpec {
+        parts: PARTS,
+        steps: STEPS,
+        checkpoint_every: 3,
+        span_capacity: 4096,
+        x_kind: "rng".to_string(),
+        x_seed: 40 + case,
+        ..RunSpec::default()
+    }
+}
+
+fn bitwise_eq(a: &[quake_sparse::dense::Vec3], b: &[quake_sparse::dense::Vec3]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(u, v)| {
+            (u.x.to_bits(), u.y.to_bits(), u.z.to_bits())
+                == (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())
+        })
+}
+
+/// Per-PE measurement counters must match *exactly* — not approximately —
+/// between two transports: the trait carries blocks, not arithmetic, so
+/// nothing about the fabric may change what was counted.
+fn assert_counters_match(label: &str, reference: &RunOutput, other: &RunOutput) {
+    assert_eq!(
+        reference.report.pe.len(),
+        other.report.pe.len(),
+        "{label}: PE count"
+    );
+    for (q, (a, b)) in reference.report.pe.iter().zip(&other.report.pe).enumerate() {
+        assert_eq!(a.flops, b.flops, "{label}: PE {q} flops");
+        assert_eq!(a.words_sent, b.words_sent, "{label}: PE {q} words_sent");
+        assert_eq!(
+            a.words_received, b.words_received,
+            "{label}: PE {q} words_received"
+        );
+        assert_eq!(a.blocks_sent, b.blocks_sent, "{label}: PE {q} blocks_sent");
+        assert_eq!(
+            a.blocks_received, b.blocks_received,
+            "{label}: PE {q} blocks_received"
+        );
+    }
+}
+
+/// The conformance matrix. Each thread count runs two flag combinations,
+/// chosen so every ±rcm/±overlap/±trace/±faults value appears at several
+/// thread counts, and shards alternate between 2 and 3.
+fn matrix(quick: bool) {
+    let threads: &[usize] = if quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
+    let mut case = 0u64;
+    for &t in threads {
+        for pick in 0..2u64 {
+            // Complementary flag pattern per thread count: case parity
+            // flips rcm/overlap, thread parity flips trace/faults.
+            let rcm = (case + pick) % 2 == 1;
+            let overlap = pick == 1;
+            let trace = (t + pick as usize).is_multiple_of(2);
+            let faults = (t as u64 + case).is_multiple_of(3);
+            let mut spec = base_spec(case);
+            spec.threads = t;
+            spec.rcm = rcm;
+            spec.overlap = overlap;
+            spec.trace = trace;
+            spec.shards = 2 + (case as usize % 2);
+            if faults {
+                spec.fault_rate = 0.25;
+                spec.fault_seed = 1000 + case;
+            }
+            run_case(&spec, case);
+            case += 1;
+        }
+    }
+    println!("conformance matrix: {case} cases passed");
+}
+
+fn run_case(spec: &RunSpec, case: u64) {
+    let label = format!(
+        "case {case} (threads {}, rcm {}, overlap {}, trace {}, faults {}, shards {})",
+        spec.threads,
+        spec.rcm,
+        spec.overlap,
+        spec.trace,
+        spec.fault_rate > 0.0,
+        spec.shards
+    );
+    let built = run::build(spec).unwrap_or_else(|e| panic!("{label}: build failed: {e}"));
+    let shared = run::run_with(TransportKind::Shared, spec, &built)
+        .unwrap_or_else(|e| panic!("{label}: shared run failed: {e}"));
+    let netsim = run::run_with(TransportKind::Netsim, spec, &built)
+        .unwrap_or_else(|e| panic!("{label}: netsim run failed: {e}"));
+    let procr = run::run_with(TransportKind::Proc, spec, &built)
+        .unwrap_or_else(|e| panic!("{label}: proc run failed: {e}"));
+
+    // Headline invariant: the folded product is bitwise-identical across
+    // every backend.
+    assert!(
+        bitwise_eq(&shared.y, &netsim.y),
+        "{label}: netsim y diverged from shared"
+    );
+    assert!(
+        bitwise_eq(&shared.y, &procr.y),
+        "{label}: proc y diverged from shared"
+    );
+    assert_counters_match(&format!("{label} netsim"), &shared, &netsim);
+    assert_counters_match(&format!("{label} proc"), &shared, &procr);
+
+    // Counters must also match the static characterization exactly: the
+    // same convention the validation layer enforces, per PE.
+    let analysis = CommAnalysis::new(&built.app.mesh, &built.partition);
+    let steps = spec.steps;
+    for (q, (c, predicted)) in shared.report.pe.iter().zip(analysis.per_pe()).enumerate() {
+        assert_eq!(c.flops / steps, predicted.flops, "{label}: PE {q} flops");
+        assert_eq!(
+            (c.words_sent + c.words_received) / steps,
+            predicted.words,
+            "{label}: PE {q} words"
+        );
+        assert_eq!(
+            (c.blocks_sent + c.blocks_received) / steps,
+            predicted.blocks,
+            "{label}: PE {q} blocks"
+        );
+    }
+    if spec.overlap {
+        let oa = OverlapAnalysis::new(&built.app.mesh, &built.partition);
+        let predicted: Vec<usize> = oa
+            .per_pe()
+            .iter()
+            .map(|p| p.boundary_rows as usize)
+            .collect();
+        for (transport, out) in [("shared", &shared), ("proc", &procr)] {
+            let got = out
+                .boundary_rows
+                .as_deref()
+                .unwrap_or_else(|| panic!("{label}: {transport} reported no boundary split"));
+            assert_eq!(got, predicted, "{label}: {transport} boundary rows");
+        }
+    }
+
+    // Link provenance: proc measures its parameters from the live socket,
+    // the in-process backends run presets.
+    assert!(
+        procr.link.measured,
+        "{label}: proc link must be microbenchmarked"
+    );
+    assert!(
+        procr.link.t_l > 0.0 && procr.link.t_w > 0.0,
+        "{label}: measured link parameters must be positive"
+    );
+    assert!(!shared.link.measured, "{label}: shared link is a preset");
+    assert!(!netsim.link.measured, "{label}: netsim link is a preset");
+    let modeled = netsim
+        .modeled_exchange_s
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: netsim must model the exchange"));
+    assert!(
+        modeled.iter().sum::<f64>() > 0.0,
+        "{label}: postal model billed nothing"
+    );
+
+    // Chaos composition: the ledger balances and matches across fabrics
+    // (the plan is a pure function of the spec, and shards own disjoint
+    // PE ranges, so the merged proc ledger equals the in-process one).
+    if spec.fault_rate > 0.0 {
+        match (&shared.report.fault, &procr.report.fault) {
+            (Some(a), Some(b)) => {
+                assert!(a.balanced(), "{label}: shared ledger unbalanced");
+                assert!(b.balanced(), "{label}: proc ledger unbalanced");
+                assert_eq!(a.injected, b.injected, "{label}: injected mismatch");
+                assert_eq!(a.detected, b.detected, "{label}: detected mismatch");
+                assert_eq!(a.recovered, b.recovered, "{label}: recovered mismatch");
+            }
+            (a, b) => panic!(
+                "{label}: fault report presence diverged (shared {}, proc {})",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+}
+
+/// A shard killed mid-step under a non-restart policy must surface as a
+/// clean typed error from the parent — no panic, no hang.
+fn peer_kill_is_a_clean_error(tmp: &std::path::Path) {
+    let mut spec = base_spec(900);
+    spec.threads = 2;
+    spec.shards = 2;
+    spec.recovery = "degrade".to_string();
+    let marker = tmp.join("kill-once-degrade");
+    let built = run::build(&spec).expect("kill fixture builds");
+    std::env::set_var("QUAKE_PROC_KILL", "1:3");
+    std::env::set_var("QUAKE_PROC_KILL_ONCE", &marker);
+    let result = run::run_with(TransportKind::Proc, &spec, &built);
+    std::env::remove_var("QUAKE_PROC_KILL");
+    std::env::remove_var("QUAKE_PROC_KILL_ONCE");
+    let err = match result {
+        Ok(_) => panic!("a killed shard must fail the run"),
+        Err(e) => e,
+    };
+    assert!(
+        err.contains("disconnected") || err.contains("shard"),
+        "error must name the dead peer, got: {err}"
+    );
+    println!("peer-kill failfast: clean typed error ({err})");
+}
+
+/// The same mid-step kill under `restart` recovery: the parent tears the
+/// ensemble down and relaunches it once; the one-shot marker keeps the
+/// second ensemble clean, and the recovered output is bitwise-identical
+/// to the shared-memory transport.
+fn peer_kill_restart_recovers(tmp: &std::path::Path) {
+    let mut spec = base_spec(901);
+    spec.threads = 2;
+    spec.shards = 2;
+    spec.recovery = "restart".to_string();
+    let marker = tmp.join("kill-once-restart");
+    let built = run::build(&spec).expect("restart fixture builds");
+    let reference = run::run_with(TransportKind::Shared, &spec, &built).expect("shared reference");
+    std::env::set_var("QUAKE_PROC_KILL", "0:2");
+    std::env::set_var("QUAKE_PROC_KILL_ONCE", &marker);
+    let result = run::run_with(TransportKind::Proc, &spec, &built);
+    std::env::remove_var("QUAKE_PROC_KILL");
+    std::env::remove_var("QUAKE_PROC_KILL_ONCE");
+    assert!(
+        marker.exists(),
+        "the kill plan must have armed (marker missing)"
+    );
+    let out = result.expect("restart recovery must relaunch the ensemble");
+    assert!(
+        bitwise_eq(&reference.y, &out.y),
+        "recovered proc output diverged from shared"
+    );
+    println!("peer-kill restart: ensemble relaunched, output bitwise-equal");
+}
+
+fn main() {
+    proc::shard_host_hook();
+    let quick = std::env::var("QUAKE_CONFORMANCE_QUICK").is_ok();
+    if quick {
+        println!("transport conformance: quick mode");
+    }
+    let tmp = std::env::temp_dir().join(format!("quake-conformance-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("scratch dir");
+    matrix(quick);
+    peer_kill_is_a_clean_error(&tmp);
+    peer_kill_restart_recovers(&tmp);
+    let _ = std::fs::remove_dir_all(&tmp);
+    println!("transport conformance: all sections passed");
+}

@@ -19,6 +19,9 @@
 
 use quake_app::executor::BspExecutor;
 use quake_app::family::{standard_family, AppConfig, QuakeApp};
+use quake_app::transport::run as transport_run;
+use quake_app::transport::wire::RunSpec;
+use quake_app::transport::{LinkParams, TransportKind};
 use quake_app::DistributedSystem;
 use quake_bench::json::{parse, Json};
 use quake_fem::assembly::{assemble, UniformMaterial};
@@ -504,6 +507,76 @@ fn run_case(rec: &mut Recorder, case: &Case, thread_counts: &[usize]) {
     }
 }
 
+/// Shared-memory vs multi-process transport over whole instrumented runs.
+///
+/// One op is one BSP step of a full `steps`-step run through the
+/// spec-driven runner. For `proc` that amortizes in the ensemble's real
+/// startup cost — forking the shard processes, the children's problem
+/// rebuild and the socket microbenchmark — which is the honest unit a
+/// user pays for `--transport proc`. Runs are interleaved shared/proc so
+/// host-load drift cancels in the ratio, and the folded products are
+/// checked bitwise-equal every repetition. Returns the socket link
+/// parameters measured by the proc ensemble (Eq. (2)'s T_l/T_w on this
+/// host's Unix-domain sockets).
+fn transport_pair(rec: &mut Recorder, case: &Case, period: f64, scale: f64) -> LinkParams {
+    let steps: u64 = if rec.quick { 3 } else { 10 };
+    let reps = if rec.quick { 2 } else { 5 };
+    let spec = RunSpec {
+        period,
+        scale,
+        parts: EXEC_PARTS,
+        threads: 2,
+        steps,
+        shards: 2,
+        ..RunSpec::default()
+    };
+    let built = transport_run::build(&spec).expect("transport-pair build");
+    let bitwise = |a: &[Vec3], b: &[Vec3]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(u, v)| {
+                (u.x.to_bits(), u.y.to_bits(), u.z.to_bits())
+                    == (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())
+            })
+    };
+    // Warm both paths (first proc run also pages in the child binary).
+    transport_run::run_with(TransportKind::Shared, &spec, &built).expect("shared warmup");
+    transport_run::run_with(TransportKind::Proc, &spec, &built).expect("proc warmup");
+    let (mut s_shared, mut s_proc) = (Vec::new(), Vec::new());
+    let mut link = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let a = transport_run::run_with(TransportKind::Shared, &spec, &built)
+            .expect("shared transport run");
+        s_shared.push(t0.elapsed().as_secs_f64() / steps as f64);
+        let t0 = Instant::now();
+        let b = transport_run::run_with(TransportKind::Proc, &spec, &built)
+            .expect("proc transport run");
+        s_proc.push(t0.elapsed().as_secs_f64() / steps as f64);
+        assert!(
+            bitwise(&a.y, &b.y),
+            "proc transport diverged from shared in the bench harness"
+        );
+        assert!(b.link.measured, "proc link must be microbenchmarked");
+        link = Some(b.link);
+    }
+    let median = |s: &mut Vec<f64>| {
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    let n = reps * steps as usize;
+    rec.push(
+        case,
+        "exec",
+        "shared",
+        "transport",
+        2,
+        median(&mut s_shared),
+        n,
+    );
+    rec.push(case, "exec", "proc", "transport", 2, median(&mut s_proc), n);
+    link.expect("at least one proc repetition ran")
+}
+
 fn comparisons(rec: &Recorder, largest_mesh: &str, thread_counts: &[usize]) -> Vec<Json> {
     let meshes: Vec<String> = {
         let mut seen = Vec::new();
@@ -560,6 +633,21 @@ fn comparisons(rec: &Recorder, largest_mesh: &str, thread_counts: &[usize]) -> V
                     ("kernel", Json::str("exec")),
                     ("baseline", Json::str("exec_barrier_in_place")),
                     ("candidate", Json::str("exec_overlap_in_place")),
+                    ("speedup", Json::num(b / c)),
+                ]));
+            }
+            // Shared-memory vs multi-process transport (only recorded at
+            // the transport pair's fixed thread count).
+            let base = rec.lookup(mesh, "exec", "shared", "transport", threads);
+            let cand = rec.lookup(mesh, "exec", "proc", "transport", threads);
+            if let (Some(b), Some(c)) = (base, cand) {
+                out.push(Json::obj(vec![
+                    ("mesh", Json::str(mesh)),
+                    ("largest_mesh", Json::Bool(mesh == largest_mesh)),
+                    ("threads", Json::num(threads as f64)),
+                    ("kernel", Json::str("exec")),
+                    ("baseline", Json::str("exec_shared_transport")),
+                    ("candidate", Json::str("exec_proc_transport")),
                     ("speedup", Json::num(b / c)),
                 ]));
             }
@@ -633,6 +721,13 @@ fn validate(path: &str) -> Result<(), String> {
         return Err(format!("schema is not {SCHEMA:?}"));
     }
     need_num(&doc, "scale")?;
+    // Eq. (2) link parameters measured on this host's Unix-domain sockets
+    // by the proc-transport pair.
+    for key in ["socket_t_l", "socket_t_w"] {
+        if need_num(&doc, key)? <= 0.0 {
+            return Err(format!("field {key:?} must be positive"));
+        }
+    }
     doc.get("quick")
         .filter(|v| matches!(v, Json::Bool(_)))
         .ok_or("missing boolean field \"quick\"")?;
@@ -682,6 +777,7 @@ fn validate(path: &str) -> Result<(), String> {
             "the latency-hiding executor schedule",
         ),
         ("bmv_serial_micro", "the 3x3 register-blocked microkernel"),
+        ("exec_proc_transport", "the multi-process socket transport"),
     ] {
         if !comps
             .iter()
@@ -694,6 +790,9 @@ fn validate(path: &str) -> Result<(), String> {
 }
 
 fn main() {
+    // The proc transport re-executes this binary as shard children; the
+    // hook must route them before any argument parsing.
+    quake_app::transport::proc::shard_host_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--validate") {
         let path = args
@@ -733,15 +832,25 @@ fn main() {
         timings: Vec::new(),
     };
     let mut largest: Option<(usize, String)> = None;
+    // The shared-vs-proc transport pair runs on sf5 (the largest full-mode
+    // mesh); quick mode only generates sf10.
+    let transport_mesh = if quick { "sf10" } else { "sf5" };
+    let mut socket_link: Option<LinkParams> = None;
     for config in configs {
         eprintln!("generating {} (scale {scale})...", config.name);
+        let period = config.period_s;
         let app = QuakeApp::generate(config).expect("mesh generation failed");
         let case = build_case(&app);
         if largest.as_ref().is_none_or(|(n, _)| case.nodes > *n) {
             largest = Some((case.nodes, case.mesh.clone()));
         }
         run_case(&mut rec, &case, &thread_counts);
+        if case.mesh == transport_mesh {
+            eprintln!("  transport pair: shared vs proc (2 shards), whole runs...");
+            socket_link = Some(transport_pair(&mut rec, &case, period, scale));
+        }
     }
+    let socket = socket_link.expect("transport-pair mesh missing from the family");
     let largest_mesh = largest.expect("at least one mesh").1;
     let comps = comparisons(&rec, &largest_mesh, &thread_counts);
 
@@ -751,6 +860,8 @@ fn main() {
             ("quick", Json::Bool(quick)),
             ("scale", Json::num(scale)),
             ("largest_mesh", Json::str(&largest_mesh)),
+            ("socket_t_l", Json::num(socket.t_l)),
+            ("socket_t_w", Json::num(socket.t_w)),
         ],
         &rec.entries,
         &comps,
@@ -779,6 +890,15 @@ fn main() {
             }
             Some("bmv_serial_micro") => {
                 println!("{largest_mesh}: 3x3 microkernel is {s:.2}x the mul_vec loop");
+            }
+            Some("exec_proc_transport") => {
+                println!(
+                    "{largest_mesh} t={t}: shared transport is {:.2}x the proc ensemble \
+                     (socket link: T_l = {:.3e} s, T_w = {:.3e} s/word)",
+                    1.0 / s,
+                    socket.t_l,
+                    socket.t_w
+                );
             }
             _ => {}
         }

@@ -153,6 +153,15 @@ COMMANDS:
                   --period <s: 10>  --scale <x: 8>  --parts <p: 4>
                   --threads <t: 4>  --steps <n: 25>
                   --partitioner <rib|rcb|spectral|morton|linear|random: rib>
+                  --transport <shared|netsim|proc: shared>  the fabric the
+                  exchange runs over: 'shared' is the in-process mailbox,
+                  'netsim' bills each block against the postal model
+                  (preset T_l/T_w) while carrying it in memory, and 'proc'
+                  forks --shards shard processes joined by Unix-domain
+                  sockets, microbenchmarks the socket's own T_l/T_w for
+                  the Eq. (2) validation, and proves the folded product
+                  bitwise-equal to the shared-memory run
+                  --shards <n: 2>  shard-process count for --transport proc
                   --rcm <true|false: false>  renumber each subdomain with
                   reverse Cuthill-McKee before the run (locality pre-pass;
                   counters and the validation report are unaffected)
@@ -275,6 +284,13 @@ mod tests {
     fn help_documents_the_overlap_flag() {
         assert!(help().contains("--overlap <on|off: off>"));
         assert!(help().contains("bitwise-equal"));
+    }
+
+    #[test]
+    fn help_documents_the_transport_flags() {
+        assert!(help().contains("--transport <shared|netsim|proc: shared>"));
+        assert!(help().contains("--shards <n: 2>"));
+        assert!(help().contains("microbenchmarks"));
     }
 
     #[test]

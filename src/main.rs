@@ -25,6 +25,10 @@ fn usage_error(e: &CliError) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // The proc transport re-executes this binary as shard children; the
+    // hook routes them into the shard protocol (and never returns for
+    // them) before any argument parsing can run.
+    quake_app::transport::proc::shard_host_hook();
     let inv = match Invocation::parse(std::env::args().skip(1)) {
         Ok(inv) => inv,
         Err(e) => return usage_error(&e),
@@ -175,11 +179,14 @@ fn cmd_requirements(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> 
 
 fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     use quake_app::executor::BspExecutor;
+    use quake_app::transport::{ghost_edges, NetsimTransport, TransportKind};
     use quake_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
+    use quake_core::machine::Network;
     use quake_core::model::validate::validate;
     use quake_core::telemetry::TelemetryConfig;
     use quake_fem::assembly::UniformMaterial;
     use quake_mesh::ground::Material;
+    use std::sync::Arc;
 
     let app = generate(inv)?;
     let parts: usize = inv.get("parts", 4usize)?;
@@ -227,11 +234,22 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
                 value: inv.get_str("recovery", "restart"),
             })?;
     let fault_json = inv.get_str("fault-json", "");
+    // --transport picks the exchange fabric; a misspelling is a usage
+    // error (exit 2), matching the other enumerated flags.
+    let transport: TransportKind =
+        inv.get_str("transport", "shared")
+            .parse()
+            .map_err(|_| CliError::BadValue {
+                flag: "transport".to_string(),
+                value: inv.get_str("transport", "shared"),
+            })?;
+    let shards: usize = inv.get("shards", 2usize)?;
     for (flag, zero) in [
         ("threads", threads == 0),
         ("steps", steps == 0),
         ("checkpoint-every", checkpoint_every == 0),
         ("span-capacity", span_capacity == 0),
+        ("shards", shards == 0),
     ] {
         if zero {
             return Err(Box::new(CliError::BadValue {
@@ -278,7 +296,47 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             }))
         }
     };
-    let mut exec = BspExecutor::with_options(&system, threads, rcm, overlap);
+    let spec = quake_app::transport::wire::RunSpec {
+        period: inv.get("period", 10.0)?,
+        scale: inv.get("scale", 8.0)?,
+        seed: inv.get("seed", 0x5eedu64)?,
+        parts,
+        threads,
+        steps,
+        partitioner: inv.get_str("partitioner", "rib"),
+        rcm,
+        overlap,
+        fault_rate,
+        fault_seed,
+        recovery: recovery.to_string(),
+        checkpoint_every,
+        trace: telemetry_on,
+        drift_threshold,
+        span_capacity,
+        shards,
+        x_kind: "trig".to_string(),
+        x_seed: 0,
+    };
+    if transport == TransportKind::Proc {
+        let built = quake_app::transport::run::Built {
+            app,
+            partition,
+            system,
+            x,
+        };
+        return run_smvp_proc(&spec, &built, &analyzed, quiet, &fault_json);
+    }
+    let mut netsim = None;
+    let mut exec = match transport {
+        TransportKind::Shared => BspExecutor::with_options(&system, threads, rcm, overlap),
+        TransportKind::Netsim => {
+            let edges = ghost_edges(&system);
+            let t = Arc::new(NetsimTransport::new(&edges, parts, Network::cray_t3e()));
+            netsim = Some(Arc::clone(&t));
+            BspExecutor::with_transport(&system, threads, rcm, overlap, 0..parts, t)
+        }
+        TransportKind::Proc => unreachable!("dispatched above"),
+    };
     if overlap && !quiet {
         let split = exec.overlap_boundary_rows().unwrap_or(&[]);
         let boundary: usize = split.iter().sum();
@@ -338,6 +396,17 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             report.phases.fold
         );
         println!("measured efficiency E = {:.4}\n", report.efficiency());
+    }
+    if let Some(t) = &netsim {
+        let net = t.network();
+        let busiest = t.modeled_exchange_s().iter().copied().fold(0.0, f64::max);
+        if !quiet {
+            println!(
+                "netsim postal model: busiest-PE modeled exchange {:.3e} s over {} steps \
+                 (preset T_l {:.3e} s, T_w {:.3e} s/word)\n",
+                busiest, steps, net.t_l, net.t_w
+            );
+        }
     }
     let validation = validate(&analyzed.instance, &report.measured());
     if !quiet {
@@ -415,6 +484,115 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         }
         if !bitwise_equal {
             return Err("recovered output diverges from fault-free reference".into());
+        }
+        if !fr.balanced() {
+            return Err("fault ledger is unbalanced (injected != detected != recovered)".into());
+        }
+    }
+    Ok(())
+}
+
+/// The `--transport proc` arm of `smvp-run`: forks shard processes over
+/// unix-domain sockets, re-derives Eq. (2)'s `(T_l, T_w)` from socket
+/// microbenchmarks, and proves the merged output bitwise-equal to an
+/// in-process shared-memory twin of the same spec.
+fn run_smvp_proc(
+    spec: &quake_app::transport::wire::RunSpec,
+    built: &quake_app::transport::run::Built,
+    analyzed: &AnalyzedInstance,
+    quiet: bool,
+    fault_json: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use quake_app::transport::{run, TransportKind};
+    use quake_core::model::validate::validate;
+
+    let out = run::run_with(TransportKind::Proc, spec, built)?;
+    let report = &out.report;
+    if !quiet {
+        println!(
+            "{} on {} PEs — {} bulk-synchronous SMVPs over {} shard processes × {} worker \
+             threads (unix-socket transport){}",
+            built.app.config.name,
+            spec.parts,
+            report.steps,
+            spec.shards,
+            spec.threads,
+            match (spec.rcm, spec.overlap) {
+                (true, true) => " (RCM-renumbered subdomains, latency-hiding overlap)",
+                (true, false) => " (RCM-renumbered subdomains)",
+                (false, true) => " (latency-hiding overlap)",
+                (false, false) => "",
+            }
+        );
+        println!(
+            "phase walls (s): assemble {:.3e}, compute {:.3e}, exchange {:.3e}, fold {:.3e}",
+            report.phases.assemble,
+            report.phases.compute,
+            report.phases.exchange,
+            report.phases.fold
+        );
+        println!(
+            "measured socket link ({}): T_l = {:.3e} s, T_w = {:.3e} s/word",
+            if out.link.measured {
+                "ping/throughput microbenchmark"
+            } else {
+                "preset"
+            },
+            out.link.t_l,
+            out.link.t_w
+        );
+        // Eq. (2) under the measured parameters, against the measured
+        // exchange wall — the proc analogue of the netsim postal model.
+        let i = &analyzed.instance;
+        let predicted = i.b_max as f64 * out.link.t_l + i.c_max as f64 * out.link.t_w;
+        let measured = report.phases.exchange / spec.steps.max(1) as f64;
+        println!(
+            "Eq. (2) with measured link: B_max·T_l + C_max·T_w = {:.3e} s/step \
+             vs measured exchange {:.3e} s/step (ratio {:.2})\n",
+            predicted,
+            measured,
+            measured / predicted.max(f64::MIN_POSITIVE)
+        );
+    }
+    let validation = validate(&analyzed.instance, &report.measured());
+    if !quiet {
+        println!("{validation}");
+    }
+    if !validation.counters_match() {
+        return Err("measured counters diverge from characterization".into());
+    }
+    // Prove the transport claim on the spot: an in-process shared-memory
+    // run of the identical spec must be bitwise-identical.
+    let twin = run::run_with(TransportKind::Shared, spec, built)?;
+    let bitwise_equal = out.y.len() == twin.y.len()
+        && out.y.iter().zip(&twin.y).all(|(a, b)| {
+            (a.x.to_bits(), a.y.to_bits(), a.z.to_bits())
+                == (b.x.to_bits(), b.y.to_bits(), b.z.to_bits())
+        });
+    if !quiet {
+        println!(
+            "proc output bitwise-equal to shared transport: {}",
+            if bitwise_equal { "yes" } else { "NO" }
+        );
+    }
+    if !bitwise_equal {
+        return Err("proc output diverges from the shared transport".into());
+    }
+    if spec.trace && !quiet {
+        println!(
+            "telemetry: spans stay in the shard processes; trace-file export is \
+             unavailable over --transport proc"
+        );
+    }
+    if let Some(fr) = &report.fault {
+        if !quiet {
+            println!("\n{fr}");
+        }
+        if !fault_json.is_empty() {
+            std::fs::write(fault_json, format!("{}\n", fr.to_json()))?;
+            if !quiet {
+                println!("wrote {fault_json}");
+            }
         }
         if !fr.balanced() {
             return Err("fault ledger is unbalanced (injected != detected != recovered)".into());
