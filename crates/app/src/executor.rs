@@ -93,12 +93,15 @@ use crate::transport::{ghost_edges, SharedTransport, Transport};
 use quake_core::fault::{FaultKind, FaultPlan, FaultReport, RecoveryPolicy};
 use quake_core::model::validate::MeasuredSmvp;
 use quake_core::telemetry::{PhaseId, Span, Telemetry, TelemetryConfig, TraceInstant};
+use quake_memsim::hierarchy::Hierarchy;
 use quake_spark::kernels::bmv_range_into;
 use quake_spark::pool::WorkerPool;
+use quake_spark::tile_kernels::bmv_tiles_banded_into;
 use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::dense::Vec3;
 use quake_sparse::pattern::Pattern;
 use quake_sparse::reorder::rcm;
+use quake_sparse::tiles::{BandPlan, Bcsr3Tiles};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -269,12 +272,86 @@ struct Outbound {
     send_idx: Vec<usize>,
 }
 
+/// Which local SMVP microkernel the compute phases run. Both kernels
+/// traverse the same matrix in the same row order with the same per-lane
+/// operation order, so the choice never changes a single output bit or
+/// counter — only raw speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// The register-blocked scalar 3×3 microkernel (`bmv_range_into`).
+    #[default]
+    Micro,
+    /// The SIMD tile kernel over the flat BCSR layout ([`Bcsr3Tiles`]),
+    /// cache-blocked by a memsim-sized [`BandPlan`], with runtime AVX
+    /// dispatch and a bitwise-identical scalar fallback.
+    MicroSimd,
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "micro" => Ok(KernelKind::Micro),
+            "micro-simd" => Ok(KernelKind::MicroSimd),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected micro or micro-simd)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelKind::Micro => "micro",
+            KernelKind::MicroSimd => "micro-simd",
+        })
+    }
+}
+
+/// The x-window budget for [`BandPlan`] sizing: half the modeled modern
+/// core's L2, leaving the other half to the streamed tiles and indices.
+/// Derived from the memsim hierarchy so the model that *predicts* the
+/// blocking win is the one that sizes it.
+fn band_window_bytes() -> usize {
+    (Hierarchy::modern_core_like().l2().capacity_bytes() / 2) as usize
+}
+
 /// One PE's executable state: the gather list and stiffness it actually
 /// traverses (identical to the subdomain's, or RCM-renumbered).
 struct PeState {
     /// `gather[l]`: global node id held in local slot `l`.
     gather: Vec<usize>,
     stiffness: Bcsr3,
+    /// The stiffness's flat tile twin plus its band plan, present exactly
+    /// when [`KernelKind::MicroSimd`] is selected.
+    tiled: Option<(Bcsr3Tiles, BandPlan)>,
+}
+
+impl PeState {
+    /// Local SMVP over the block-row range `rows` through the selected
+    /// microkernel; `out[i - rows.start]` receives row `i`. Bitwise-equal
+    /// across kernels.
+    fn mult_range(&self, xl: &[Vec3], rows: Range<usize>, out: &mut [Vec3]) {
+        match &self.tiled {
+            Some((tiles, plan)) => bmv_tiles_banded_into(tiles, plan, xl, rows, out),
+            None => bmv_range_into(&self.stiffness, xl, rows, out),
+        }
+    }
+
+    /// Full local SMVP (every block row), overwriting `out`.
+    fn mult_full(&self, xl: &[Vec3], out: &mut [Vec3]) {
+        match &self.tiled {
+            Some((tiles, plan)) => {
+                bmv_tiles_banded_into(tiles, plan, xl, 0..tiles.block_rows(), out)
+            }
+            None => self
+                .stiffness
+                .spmv(xl, out)
+                .expect("local dimensions consistent by construction"),
+        }
+    }
 }
 
 /// A raw pointer that may cross thread boundaries; each phase closure
@@ -481,6 +558,8 @@ pub struct BspExecutor {
     link: Arc<dyn Transport>,
     global_nodes: usize,
     rcm: bool,
+    /// The microkernel the compute phases dispatch to.
+    kernel: KernelKind,
     /// Armed chaos layer, or `None` for the untouched clean path.
     fault: Option<Box<FaultState>>,
     /// Armed telemetry layer, or `None` for the untouched clean path.
@@ -675,7 +754,11 @@ impl BspExecutor {
                 }
             };
             perms.push(composed);
-            pe.push(PeState { gather, stiffness });
+            pe.push(PeState {
+                gather,
+                stiffness,
+                tiled: None,
+            });
             boundary_rows.push(nb);
         }
         // Exchange pair indices are local slots, so they follow the
@@ -775,6 +858,7 @@ impl BspExecutor {
             owned,
             link,
             rcm: use_rcm,
+            kernel: KernelKind::Micro,
             fault: None,
             telemetry: None,
             overlap,
@@ -885,6 +969,35 @@ impl BspExecutor {
     /// True if this executor runs the latency-hiding overlap schedule.
     pub fn overlap_enabled(&self) -> bool {
         self.overlap.is_some()
+    }
+
+    /// Selects the compute-phase microkernel. `MicroSimd` builds each
+    /// owned PE's flat tile twin and memsim-sized band plan (a one-time
+    /// cost, like the RCM pre-pass); `Micro` drops them. Output, counters
+    /// and every schedule/transport interaction are bitwise-unchanged —
+    /// the kernels share one traversal and operation order.
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        if kernel == self.kernel {
+            return;
+        }
+        self.kernel = kernel;
+        let window = band_window_bytes();
+        for q in self.owned.clone() {
+            let s = &mut self.pe[q];
+            s.tiled = match kernel {
+                KernelKind::Micro => None,
+                KernelKind::MicroSimd => {
+                    let tiles = Bcsr3Tiles::from_bcsr(&s.stiffness);
+                    let plan = BandPlan::for_tiles(&tiles, window);
+                    Some((tiles, plan))
+                }
+            };
+        }
+    }
+
+    /// The microkernel the compute phases currently dispatch to.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// Per-PE boundary row counts of the overlap split, or `None` when the
@@ -1011,10 +1124,7 @@ impl BspExecutor {
                     // barrier.
                     let xl = unsafe { &*x_local.get().add(q) };
                     let part = unsafe { &mut *partials.get().add(q) };
-                    pe[q]
-                        .stiffness
-                        .spmv(xl, part)
-                        .expect("local dimensions consistent by construction");
+                    pe[q].mult_full(xl, part);
                     unsafe {
                         *elapsed.get().add(q) = t.elapsed().as_secs_f64();
                     }
@@ -1215,10 +1325,7 @@ impl BspExecutor {
                     }
                     let xl = unsafe { &*x_local.get().add(q) };
                     let part = unsafe { &mut *partials.get().add(q) };
-                    pe[q]
-                        .stiffness
-                        .spmv(xl, part)
-                        .expect("local dimensions consistent by construction");
+                    pe[q].mult_full(xl, part);
                     unsafe {
                         *elapsed.get().add(q) = t.elapsed().as_secs_f64();
                     }
@@ -1487,7 +1594,7 @@ impl BspExecutor {
                     let xl = unsafe { &*x_local.get().add(q) };
                     let nb = boundary[q];
                     let out = unsafe { std::slice::from_raw_parts_mut(part_base[q].get(), nb) };
-                    bmv_range_into(&pe[q].stiffness, xl, 0..nb, out);
+                    pe[q].mult_range(xl, 0..nb, out);
                     let buf = unsafe { &mut *pack.get().add(q) };
                     for ob in &outbound[q] {
                         let blk = &mut buf[..ob.send_idx.len()];
@@ -1511,7 +1618,7 @@ impl BspExecutor {
                     let out = unsafe {
                         std::slice::from_raw_parts_mut(part_base[q].get().add(nb), n - nb)
                     };
-                    bmv_range_into(&pe[q].stiffness, xl, nb..n, out);
+                    pe[q].mult_range(xl, nb..n, out);
                     unsafe {
                         *elapsed.get().add(q) = t.elapsed().as_secs_f64();
                     }
@@ -1701,7 +1808,7 @@ impl BspExecutor {
                     let xl = unsafe { &*x_local.get().add(q) };
                     let nb = boundary[q];
                     let out = unsafe { std::slice::from_raw_parts_mut(part_base[q].get(), nb) };
-                    bmv_range_into(&pe[q].stiffness, xl, 0..nb, out);
+                    pe[q].mult_range(xl, 0..nb, out);
                     let buf = unsafe { &mut *pack.get().add(q) };
                     for ob in &outbound[q] {
                         let blk = &mut buf[..ob.send_idx.len()];
@@ -1726,7 +1833,7 @@ impl BspExecutor {
                     let out = unsafe {
                         std::slice::from_raw_parts_mut(part_base[q].get().add(nb), n - nb)
                     };
-                    bmv_range_into(&pe[q].stiffness, xl, nb..n, out);
+                    pe[q].mult_range(xl, nb..n, out);
                     unsafe {
                         *elapsed.get().add(q) = t.elapsed().as_secs_f64();
                     }
@@ -2076,10 +2183,7 @@ impl BspExecutor {
                     }
                     let xl = unsafe { &*x_local.get().add(q) };
                     let part = unsafe { &mut *partials.get().add(q) };
-                    pe[q]
-                        .stiffness
-                        .spmv(xl, part)
-                        .expect("local dimensions consistent by construction");
+                    pe[q].mult_full(xl, part);
                     unsafe {
                         *elapsed.get().add(q) = t.elapsed().as_secs_f64();
                     }
@@ -2636,6 +2740,72 @@ mod tests {
             assert!(exec.overlap_enabled());
             let pooled = exec.step(&x);
             assert_matches_serial(&serial, &pooled, &format!("overlap, {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn simd_kernel_is_bitwise_equal_across_schedules_with_exact_counters() {
+        let (mesh, _, sys) = setup(5);
+        let x = random_x(mesh.node_count(), 29);
+        for (threads, use_rcm, use_overlap) in [
+            (1, false, false),
+            (4, false, false),
+            (3, true, false),
+            (2, false, true),
+            (4, true, true),
+        ] {
+            let what = format!("threads {threads}, rcm {use_rcm}, overlap {use_overlap}");
+            let mut scalar = BspExecutor::with_options(&sys, threads, use_rcm, use_overlap);
+            assert_eq!(scalar.kernel(), KernelKind::Micro);
+            let mut simd = BspExecutor::with_options(&sys, threads, use_rcm, use_overlap);
+            simd.set_kernel(KernelKind::MicroSimd);
+            assert_eq!(simd.kernel(), KernelKind::MicroSimd);
+            let a = scalar.run(&x, 3);
+            let b = simd.run(&x, 3);
+            for (i, (u, v)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(u.x.to_bits(), v.x.to_bits(), "node {i} .x ({what})");
+                assert_eq!(u.y.to_bits(), v.y.to_bits(), "node {i} .y ({what})");
+                assert_eq!(u.z.to_bits(), v.z.to_bits(), "node {i} .z ({what})");
+            }
+            // The kernels traverse the same matrices, so every counter is
+            // identical — not merely close.
+            let (ra, rb) = (scalar.report(), simd.report());
+            for (ca, cb) in ra.pe.iter().zip(&rb.pe) {
+                assert_eq!(ca.flops, cb.flops, "flops ({what})");
+                assert_eq!(ca.words_sent, cb.words_sent, "words_sent ({what})");
+                assert_eq!(
+                    ca.words_received, cb.words_received,
+                    "words_received ({what})"
+                );
+                assert_eq!(ca.blocks_sent, cb.blocks_sent, "blocks_sent ({what})");
+                assert_eq!(
+                    ca.blocks_received, cb.blocks_received,
+                    "blocks_received ({what})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_round_trips_its_cli_spelling() {
+        for k in [KernelKind::Micro, KernelKind::MicroSimd] {
+            assert_eq!(k.to_string().parse::<KernelKind>().unwrap(), k);
+        }
+        assert!("turbo".parse::<KernelKind>().is_err());
+    }
+
+    #[test]
+    fn switching_kernels_back_drops_the_tile_twin() {
+        let (mesh, _, sys) = setup(2);
+        let x = random_x(mesh.node_count(), 31);
+        let mut exec = BspExecutor::new(&sys, 2);
+        exec.set_kernel(KernelKind::MicroSimd);
+        let a = exec.step(&x);
+        exec.set_kernel(KernelKind::Micro);
+        assert!(exec.pe.iter().all(|s| s.tiled.is_none()));
+        let b = exec.step(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(u.x.to_bits(), v.x.to_bits());
         }
     }
 

@@ -136,6 +136,7 @@ pub fn build(spec: &RunSpec) -> Result<Built, String> {
 ///
 /// Returns a message on an unknown recovery policy.
 pub(crate) fn arm(exec: &mut BspExecutor, spec: &RunSpec) -> Result<(), String> {
+    exec.set_kernel(spec.kernel.parse()?);
     if spec.fault_rate > 0.0 {
         let policy: RecoveryPolicy = spec
             .recovery

@@ -395,6 +395,8 @@ pub struct RunSpec {
     pub x_kind: String,
     /// Seed for the `rng` input generator.
     pub x_seed: u64,
+    /// Compute-phase microkernel (CLI spelling: `micro` or `micro-simd`).
+    pub kernel: String,
 }
 
 impl Default for RunSpec {
@@ -419,6 +421,7 @@ impl Default for RunSpec {
             shards: 2,
             x_kind: "trig".into(),
             x_seed: 0,
+            kernel: "micro".into(),
         }
     }
 }
@@ -431,7 +434,7 @@ impl RunSpec {
             "period {:?}\nscale {:?}\nseed {}\nparts {}\nthreads {}\nsteps {}\n\
              partitioner {}\nrcm {}\noverlap {}\nfault_rate {:?}\nfault_seed {}\n\
              recovery {}\ncheckpoint_every {}\ntrace {}\ndrift_threshold {:?}\n\
-             span_capacity {}\nshards {}\nx_kind {}\nx_seed {}\n",
+             span_capacity {}\nshards {}\nx_kind {}\nx_seed {}\nkernel {}\n",
             self.period,
             self.scale,
             self.seed,
@@ -451,6 +454,7 @@ impl RunSpec {
             self.shards,
             self.x_kind,
             self.x_seed,
+            self.kernel,
         )
     }
 
@@ -495,6 +499,7 @@ impl RunSpec {
                 "shards" => set(&mut spec.shards, key, val)?,
                 "x_kind" => spec.x_kind = val.to_string(),
                 "x_seed" => set(&mut spec.x_seed, key, val)?,
+                "kernel" => spec.kernel = val.to_string(),
                 other => return Err(format!("unknown spec key '{other}'")),
             }
         }
@@ -521,6 +526,7 @@ mod tests {
             shards: 3,
             x_kind: "rng".into(),
             x_seed: 42,
+            kernel: "micro-simd".into(),
             ..RunSpec::default()
         };
         spec.drift_threshold = 1.75;

@@ -9,13 +9,19 @@
 //! Usage:
 //!
 //! ```text
-//! bench_smvp [--quick] [--out PATH]   # run benchmarks, write JSON artifact
-//! bench_smvp --validate PATH          # schema-check an existing artifact
+//! bench_smvp [--quick] [--with-lmv] [--out PATH]   # run, write JSON artifact
+//! bench_smvp --validate PATH                       # schema-check an artifact
 //! ```
 //!
 //! `--quick` runs a single tiny mesh with few repetitions — enough for CI to
 //! exercise the full code path and validate the artifact schema, not enough
 //! for stable numbers. Honors `QUAKE_SCALE` in full mode.
+//!
+//! `--with-lmv` opts the per-entry-mutex `lmv` kernel back into the sweep.
+//! It is excluded by default: its ~0.2 GFLOP/s is a structural property of
+//! taking one lock per matrix entry (confirmed flat across thread counts
+//! 1–8, not a tuning artifact or contention knee), so re-measuring it every
+//! run adds minutes of wall time without information. See EXPERIMENTS.md.
 
 use quake_app::executor::BspExecutor;
 use quake_app::family::{standard_family, AppConfig, QuakeApp};
@@ -25,17 +31,20 @@ use quake_app::transport::{LinkParams, TransportKind};
 use quake_app::DistributedSystem;
 use quake_bench::json::{parse, Json};
 use quake_fem::assembly::{assemble, UniformMaterial};
+use quake_memsim::hierarchy::Hierarchy;
 use quake_mesh::ground::Material;
 use quake_partition::geometric::{Partitioner, RecursiveBisection};
 use quake_spark::pool::Task;
 use quake_spark::{
-    bmv, bmv_pooled_into, bmv_range_into, lmv, lmv_into, pmv_pooled_into, rmv, rmv_into,
-    rmv_pooled_into, smv, smv_into, KernelWorkspace, WorkerPool,
+    bmv, bmv_pooled_into, bmv_range_into, bmv_tiles_banded_into, bmv_tiles_range_into, lmv,
+    lmv_into, pmv_pooled_into, rmv, rmv_into, rmv_pooled_into, simd_active, smv, smv_into,
+    KernelWorkspace, WorkerPool,
 };
 use quake_sparse::bcsr::Bcsr3;
 use quake_sparse::csr::Csr;
 use quake_sparse::dense::{Mat3, Vec3};
 use quake_sparse::sym::SymCsr;
+use quake_sparse::tiles::{BandPlan, Bcsr3Tiles};
 use std::time::Instant;
 
 const SCHEMA: &str = "quake-bench/smvp-v1";
@@ -325,7 +334,7 @@ impl Recorder {
     }
 }
 
-fn run_case(rec: &mut Recorder, case: &Case, thread_counts: &[usize]) {
+fn run_case(rec: &mut Recorder, case: &Case, thread_counts: &[usize], with_lmv: bool) {
     eprintln!(
         "mesh {} ({} nodes, {} scalar nnz):",
         case.mesh,
@@ -380,6 +389,68 @@ fn run_case(rec: &mut Recorder, case: &Case, thread_counts: &[usize]) {
         );
     }
 
+    // SIMD tile-kernel pairs over the flat BCSR tile layout. Two interleaved
+    // pairs so each headline ratio comes from one drift-cancelled pair: the
+    // scalar 3×3 microkernel is re-measured as `micro_ref` against the AVX
+    // tile kernel (layout + vectorization + prefetch), then the flat tile
+    // sweep against the memsim-sized row-band blocked sweep (pure blocking).
+    // All three outputs are asserted bitwise-equal to the scalar kernel —
+    // the ratios are layout and code generation, never arithmetic.
+    {
+        let tiles = Bcsr3Tiles::from_bcsr(&case.bcsr);
+        let window = (Hierarchy::modern_core_like().l2().capacity_bytes() / 2) as usize;
+        let plan = BandPlan::for_tiles(&tiles, window);
+        let nb = case.bcsr.block_rows();
+        let mut y_ref = vec![Vec3::ZERO; nb];
+        let mut y_simd = vec![Vec3::ZERO; nb];
+        let mut y_band = vec![Vec3::ZERO; nb];
+        rec.record_pair(
+            case,
+            "bmv",
+            ("serial", "micro_ref"),
+            ("serial", "micro_simd"),
+            1,
+            || {
+                bmv_range_into(&case.bcsr, &xb, 0..nb, &mut y_ref);
+                std::hint::black_box(&y_ref);
+            },
+            || {
+                bmv_tiles_range_into(&tiles, &xb, 0..nb, &mut y_simd);
+                std::hint::black_box(&y_simd);
+            },
+        );
+        rec.record_pair(
+            case,
+            "bmv",
+            ("serial", "micro_simd_flat"),
+            ("serial", "micro_simd_banded"),
+            1,
+            || {
+                bmv_tiles_range_into(&tiles, &xb, 0..nb, &mut y_simd);
+                std::hint::black_box(&y_simd);
+            },
+            || {
+                bmv_tiles_banded_into(&tiles, &plan, &xb, 0..nb, &mut y_band);
+                std::hint::black_box(&y_band);
+            },
+        );
+        let bits = |v: &[Vec3]| -> Vec<(u64, u64, u64)> {
+            v.iter()
+                .map(|u| (u.x.to_bits(), u.y.to_bits(), u.z.to_bits()))
+                .collect()
+        };
+        assert_eq!(
+            bits(&y_ref),
+            bits(&y_simd),
+            "tile kernel diverged from the scalar microkernel in the bench harness"
+        );
+        assert_eq!(
+            bits(&y_simd),
+            bits(&y_band),
+            "banded tile sweep diverged from the flat sweep in the bench harness"
+        );
+    }
+
     for &threads in thread_counts {
         let pool = WorkerPool::new(threads);
 
@@ -398,20 +469,25 @@ fn run_case(rec: &mut Recorder, case: &Case, thread_counts: &[usize]) {
                 std::hint::black_box(&y);
             },
         );
-        rec.record_pair(
-            case,
-            "lmv",
-            ("spawn", "alloc"),
-            ("spawn", "in_place"),
-            threads,
-            || {
-                std::hint::black_box(lmv(&case.sym, &x, threads));
-            },
-            || {
-                lmv_into(&case.sym, &x, threads, &mut y, &mut ws);
-                std::hint::black_box(&y);
-            },
-        );
+        // The mutex-per-entry lmv kernel is opt-in (see module docs): its
+        // throughput is pinned by lock traffic, a structural property that
+        // never moves between runs.
+        if with_lmv {
+            rec.record_pair(
+                case,
+                "lmv",
+                ("spawn", "alloc"),
+                ("spawn", "in_place"),
+                threads,
+                || {
+                    std::hint::black_box(lmv(&case.sym, &x, threads));
+                },
+                || {
+                    lmv_into(&case.sym, &x, threads, &mut y, &mut ws);
+                    std::hint::black_box(&y);
+                },
+            );
+        }
 
         // Pooled: frozen PR-1 dispatch (boxed tasks, allocating buffers,
         // serial fold) vs the broadcast + workspace fast path.
@@ -667,6 +743,27 @@ fn comparisons(rec: &Recorder, largest_mesh: &str, thread_counts: &[usize]) -> V
                 ("speedup", Json::num(b / c)),
             ]));
         }
+        // Scalar microkernel vs the AVX tile kernel, and flat tile sweep vs
+        // the row-band blocked sweep (serial pairs, measured once per mesh;
+        // each ratio comes from one interleaved pair).
+        for (base_variant, cand_variant) in [
+            ("micro_ref", "micro_simd"),
+            ("micro_simd_flat", "micro_simd_banded"),
+        ] {
+            let base = rec.lookup(mesh, "bmv", "serial", base_variant, 1);
+            let cand = rec.lookup(mesh, "bmv", "serial", cand_variant, 1);
+            if let (Some(b), Some(c)) = (base, cand) {
+                out.push(Json::obj(vec![
+                    ("mesh", Json::str(mesh)),
+                    ("largest_mesh", Json::Bool(mesh == largest_mesh)),
+                    ("threads", Json::num(1.0)),
+                    ("kernel", Json::str("bmv")),
+                    ("baseline", Json::str(format!("bmv_serial_{base_variant}"))),
+                    ("candidate", Json::str(format!("bmv_serial_{cand_variant}"))),
+                    ("speedup", Json::num(b / c)),
+                ]));
+            }
+        }
     }
     out
 }
@@ -777,6 +874,11 @@ fn validate(path: &str) -> Result<(), String> {
             "the latency-hiding executor schedule",
         ),
         ("bmv_serial_micro", "the 3x3 register-blocked microkernel"),
+        ("bmv_serial_micro_simd", "the AVX tile kernel"),
+        (
+            "bmv_serial_micro_simd_banded",
+            "the row-band blocked tile sweep",
+        ),
         ("exec_proc_transport", "the multi-process socket transport"),
     ] {
         if !comps
@@ -812,6 +914,7 @@ fn main() {
     }
 
     let quick = args.iter().any(|a| a == "--quick");
+    let with_lmv = args.iter().any(|a| a == "--with-lmv");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -844,7 +947,7 @@ fn main() {
         if largest.as_ref().is_none_or(|(n, _)| case.nodes > *n) {
             largest = Some((case.nodes, case.mesh.clone()));
         }
-        run_case(&mut rec, &case, &thread_counts);
+        run_case(&mut rec, &case, &thread_counts, with_lmv);
         if case.mesh == transport_mesh {
             eprintln!("  transport pair: shared vs proc (2 shards), whole runs...");
             socket_link = Some(transport_pair(&mut rec, &case, period, scale));
@@ -860,6 +963,7 @@ fn main() {
             ("quick", Json::Bool(quick)),
             ("scale", Json::num(scale)),
             ("largest_mesh", Json::str(&largest_mesh)),
+            ("simd", Json::Bool(simd_active())),
             ("socket_t_l", Json::num(socket.t_l)),
             ("socket_t_w", Json::num(socket.t_w)),
         ],
@@ -890,6 +994,18 @@ fn main() {
             }
             Some("bmv_serial_micro") => {
                 println!("{largest_mesh}: 3x3 microkernel is {s:.2}x the mul_vec loop");
+            }
+            Some("bmv_serial_micro_simd") => {
+                println!(
+                    "{largest_mesh}: AVX tile kernel is {s:.2}x the scalar 3x3 microkernel \
+                     (simd dispatch {})",
+                    if simd_active() { "active" } else { "inactive" }
+                );
+            }
+            Some("bmv_serial_micro_simd_banded") => {
+                println!(
+                    "{largest_mesh}: memsim-sized row-band blocking is {s:.2}x the flat tile sweep"
+                );
             }
             Some("exec_proc_transport") => {
                 println!(

@@ -78,6 +78,46 @@ impl Hierarchy {
         )
     }
 
+    /// A contemporary x86 core: 32 KiB 8-way L1, 1 MiB 16-way L2, 64-byte
+    /// lines, ~3 GHz latencies. Used to size cache-blocking bands and to
+    /// predict transform miss rates for the SIMD microkernel on the
+    /// machines the benches actually run on.
+    pub fn modern_core_like() -> Self {
+        let cycle = 1.0 / 3.0e9;
+        Hierarchy::new(
+            Cache::new(32 * 1024, 64, 8),
+            Cache::new(1024 * 1024, 64, 16),
+            LatencyProfile {
+                l1: 4.0 * cycle,
+                l2: 14.0 * cycle,
+                memory: 90.0 * cycle,
+            },
+        )
+    }
+
+    /// The level-1 cache (capacity and line size inform blocking choices).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The level-2 cache.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Installs the line containing `addr` without charging demand
+    /// counters or access time — the model of a software prefetch, whose
+    /// fill is assumed to overlap with compute. A later demand access to
+    /// the same line then hits, which is exactly the latency-criticality
+    /// shift prefetching buys; the bytes still move, so use
+    /// [`TransformPrediction::bytes_streamed`](crate::predict::TransformPrediction)
+    /// alongside miss rates when judging a transform.
+    pub fn prefetch(&mut self, addr: u64) {
+        if let Access::Miss = self.l1.access(addr) {
+            let _ = self.l2.access(addr);
+        }
+    }
+
     /// Accesses an address, charging the appropriate level cost.
     pub fn access(&mut self, addr: u64) -> HitLevel {
         let level = match self.l1.access(addr) {

@@ -34,10 +34,12 @@
 #![allow(clippy::needless_range_loop)]
 pub mod cache;
 pub mod hierarchy;
+pub mod predict;
 pub mod stride;
 pub mod trace;
 
 pub use cache::{Access, Cache};
 pub use hierarchy::{Hierarchy, HitLevel, LatencyProfile};
+pub use predict::{predict_transforms, TransformPrediction};
 pub use stride::{copy_bandwidth, stride_sweep, CopyBandwidth};
 pub use trace::{estimate_tf, replay_smvp, TfEstimate};

@@ -18,8 +18,15 @@
 //! product allocation-free; `bench_executor` and `bench_smvp` track the
 //! pooled-vs-spawned and alloc-vs-in-place gaps.
 
+//!
+//! The [`tile_kernels`] module layers an AVX microkernel (behind the
+//! `simd` cargo feature, runtime-dispatched) and a cache-blocked banded
+//! variant over the flat [`quake_sparse::tiles::Bcsr3Tiles`] layout,
+//! bitwise-equal to the scalar 3×3 micro path.
+
 pub mod kernels;
 pub mod pool;
+pub mod tile_kernels;
 pub mod workspace;
 
 pub use kernels::{
@@ -27,4 +34,5 @@ pub use kernels::{
     pmv_pooled, pmv_pooled_into, rmv, rmv_into, rmv_pooled, rmv_pooled_into, smv, smv_into,
 };
 pub use pool::{BatchFailure, PoolStats, SupervisionPolicy, WorkerPool};
+pub use tile_kernels::{bmv_tiles_banded_into, bmv_tiles_range_into, force_scalar, simd_active};
 pub use workspace::KernelWorkspace;

@@ -1,0 +1,527 @@
+//! SIMD block-SMVP kernels over the flat [`Bcsr3Tiles`] layout.
+//!
+//! The scalar 3×3 microkernel ([`crate::kernels::bmv_range_into`]) is
+//! throughput-bound on its 18 scalar multiply-adds per tile. These kernels
+//! vectorize across a block's three *rows*: each column of the column-major
+//! tile is one 4-lane `f64` load (lanes 0–2 live, lane 3 overhanging into
+//! the next column or the stream's zero tail pad), the three source-vector
+//! components are broadcast, and each tile costs three packed multiplies
+//! and three packed adds instead of eighteen scalar operations.
+//!
+//! **The bitwise contract.** Per lane, the vector kernel performs exactly
+//! the scalar microkernel's operation sequence —
+//! `acc += (t·vx + t·vy) + t·vz` with multiplies and adds as separate
+//! instructions (no FMA contraction — a fused multiply-add rounds once
+//! where the scalar path rounds twice, which would break equality) — so
+//! the result is **bitwise-equal** to the scalar path on every input. The
+//! executor's cross-schedule and cross-transport equality proofs rely on
+//! this. Lane 3 accumulates garbage (finite tile values, or zero at the
+//! tail pad) and is never stored.
+//!
+//! **Dispatch.** The AVX path is compiled behind the `simd` cargo feature
+//! and selected at runtime via `is_x86_feature_detected!("avx")`; the
+//! scalar tile path (same layout, same operation order) is the fallback
+//! everywhere else. [`force_scalar`] disables the vector path at runtime
+//! so the fallback is testable on AVX hardware, and [`simd_active`]
+//! reports which path dispatch would take.
+//!
+//! **Prefetch and banding.** The irregular `x[col]` gather is the stream
+//! the hardware prefetcher cannot predict; the AVX path issues a software
+//! prefetch for the gather target a few tiles ahead (plus the tile stream
+//! itself, cheap insurance when the hardware stride prefetcher lags). The
+//! banded entry ([`bmv_tiles_banded_into`]) additionally sweeps a
+//! [`BandPlan`] band's x-window into cache before gathering from it —
+//! band traversal is row order, so output remains bitwise-identical.
+
+use crate::kernels::bmv_range_into;
+use quake_sparse::bcsr::Bcsr3;
+use quake_sparse::dense::Vec3;
+use quake_sparse::tiles::{BandPlan, Bcsr3Tiles, TILE_LANES};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, [`bmv_tiles_range_into`] and the banded entry take the scalar
+/// tile path even where AVX is available.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or un-forces) the scalar fallback path at runtime, overriding
+/// feature detection. Output is bitwise-identical either way — this exists
+/// so tests and A/B measurements can pin the path explicitly.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// True if the vector path would be taken right now: the `simd` feature is
+/// compiled in, the CPU reports AVX, and [`force_scalar`] is not set.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        !FORCE_SCALAR.load(Ordering::Relaxed) && std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// SMVP over the contiguous block-row range `rows` of the tiled layout —
+/// the SIMD twin of [`bmv_range_into`], with the same calling convention:
+/// `out[i - rows.start]` receives row `i`, `x` spans the full matrix.
+///
+/// Output is bitwise-equal to [`bmv_range_into`] on the source [`Bcsr3`]
+/// (and therefore to [`Bcsr3::spmv`]) regardless of which path dispatch
+/// selects.
+///
+/// # Panics
+///
+/// Panics if `rows` extends past the block-row count, `x.len()` does not
+/// match the block-row count, or `out.len() != rows.len()`.
+pub fn bmv_tiles_range_into(tiles: &Bcsr3Tiles, x: &[Vec3], rows: Range<usize>, out: &mut [Vec3]) {
+    check_args(tiles, x, &rows, out);
+    if simd_active() {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: simd_active() verified AVX support at runtime; argument
+        // invariants were checked above.
+        unsafe {
+            avx::rows_range(tiles, x, rows, out);
+            return;
+        }
+    }
+    rows_range_scalar(tiles, x, rows, out);
+}
+
+/// Cache-blocked SMVP: [`bmv_tiles_range_into`] with the traversal grouped
+/// by `plan`'s row bands, each band's x-window swept by software prefetch
+/// before its gathers issue (vector path only; the sweep is a hint and the
+/// scalar path skips it). Two guards keep the sweep from inverting the
+/// blocking win. It is *incremental*: consecutive bands' windows overlap
+/// (heavily so at natural mesh ordering), and only the part of a band's
+/// window not covered by the previous band's is swept, so one product
+/// sweeps each source line O(1) times instead of once per band touching
+/// it. And it is *amortization-gated*: a band whose fresh window is wider
+/// than its own tile stream — the degenerate single-row bands
+/// [`BandPlan::for_tiles`] emits when one scattered row gathers wider than
+/// the budget — skips the sweep outright. Bands are visited in row order,
+/// so the accumulation order — and therefore every output bit — is
+/// identical to the unbanded kernel.
+///
+/// # Panics
+///
+/// As [`bmv_tiles_range_into`]; additionally debug-asserts that `plan`
+/// covers the matrix's rows.
+pub fn bmv_tiles_banded_into(
+    tiles: &Bcsr3Tiles,
+    plan: &BandPlan,
+    x: &[Vec3],
+    rows: Range<usize>,
+    out: &mut [Vec3],
+) {
+    check_args(tiles, x, &rows, out);
+    debug_assert_eq!(
+        plan.bands().last().map_or(0, |b| b.rows.end),
+        tiles.block_rows(),
+        "band plan does not cover the matrix"
+    );
+    let vector = simd_active();
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    let mut swept: Range<usize> = 0..0;
+    for band in plan.bands() {
+        let lo = band.rows.start.max(rows.start);
+        let hi = band.rows.end.min(rows.end);
+        if lo >= hi {
+            continue;
+        }
+        let out_band = &mut out[lo - rows.start..hi - rows.start];
+        if vector {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            // SAFETY: simd_active() verified AVX; args checked on entry and
+            // band.cols lies within 0..block_rows == x.len() by BandPlan
+            // construction.
+            unsafe {
+                // Fresh window: the parts of this band's window the
+                // previous band did not already sweep (up to two contiguous
+                // pieces around the overlap). Skipping prefetches never
+                // changes output — the sweep is a pure hint.
+                let c = &band.cols;
+                let head = c.start..c.end.min(swept.start.max(c.start));
+                let tail = c.start.max(swept.end.min(c.end))..c.end;
+                let fresh = head.len() + tail.len();
+                let fresh_lines = (fresh * quake_sparse::tiles::X_ENTRY_BYTES).div_ceil(64);
+                let band_tiles = tiles.row_ptr()[hi] - tiles.row_ptr()[lo];
+                // Amortization gate: at most ~one prefetch per tile the
+                // band itself processes. Degenerate bands — one scattered
+                // row forced over the plan's budget — would otherwise sweep
+                // a window wider than the cache for a few dozen flops.
+                if fresh_lines <= band_tiles {
+                    avx::sweep_window(x, head);
+                    avx::sweep_window(x, tail);
+                    swept = c.clone();
+                }
+                avx::rows_range(tiles, x, lo..hi, out_band);
+            }
+            #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+            rows_range_scalar(tiles, x, lo..hi, out_band);
+        } else {
+            rows_range_scalar(tiles, x, lo..hi, out_band);
+        }
+    }
+}
+
+fn check_args(tiles: &Bcsr3Tiles, x: &[Vec3], rows: &Range<usize>, out: &[Vec3]) {
+    let n = tiles.block_rows();
+    assert!(
+        rows.start <= rows.end && rows.end <= n,
+        "row range {rows:?} out of bounds for {n} block rows"
+    );
+    assert_eq!(x.len(), n, "x length must match block rows");
+    assert_eq!(out.len(), rows.len(), "out length must match the row range");
+}
+
+/// The scalar path over the tiled layout: column-major indexing, but the
+/// per-lane operation order of [`crate::kernels::bmv_range_into`]'s
+/// `micro_3x3` exactly — `acc[l] += (t·vx + t·vy) + t·vz` — so all three
+/// implementations agree bitwise.
+fn rows_range_scalar(tiles: &Bcsr3Tiles, x: &[Vec3], rows: Range<usize>, out: &mut [Vec3]) {
+    let row_ptr = tiles.row_ptr();
+    let col_idx = tiles.col_idx();
+    let values = tiles.values();
+    // SAFETY (whole loop): Bcsr3Tiles::audit guarantees row_ptr is monotone
+    // with row_ptr[n] == block_nnz, every col_idx[k] < n == x.len(), and the
+    // value stream holds TILE_LANES words per tile; rows/out bounds were
+    // asserted by the caller.
+    for r in rows.clone() {
+        unsafe {
+            let mut acc = [0.0f64; 3];
+            for k in *row_ptr.get_unchecked(r)..*row_ptr.get_unchecked(r + 1) {
+                let t = values.as_ptr().add(k * TILE_LANES);
+                let v = *x.get_unchecked(*col_idx.get_unchecked(k) as usize);
+                for (lane, slot) in acc.iter_mut().enumerate() {
+                    *slot += *t.add(lane) * v.x + *t.add(3 + lane) * v.y + *t.add(6 + lane) * v.z;
+                }
+            }
+            *out.get_unchecked_mut(r - rows.start) = Vec3::new(acc[0], acc[1], acc[2]);
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Gather-prefetch lookahead, in tiles. Far enough to beat an L2 miss
+    /// at ~15 tiles/row, near enough that the line is rarely evicted
+    /// before use.
+    const LOOKAHEAD: usize = 4;
+
+    /// One cache line, for the band-window sweep stride.
+    const LINE_BYTES: usize = 64;
+
+    /// Prefetches the source-vector window `cols` (a [`BandPlan`] band's
+    /// gather range) into cache, one request per line.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have AVX verified. `cols` must lie within `x`
+    /// (prefetch never faults, but the pointer arithmetic must not leave
+    /// the allocation except via `wrapping_add`).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn sweep_window(x: &[Vec3], cols: Range<usize>) {
+        let base = x.as_ptr().add(cols.start) as *const i8;
+        let bytes = cols.len() * std::mem::size_of::<Vec3>();
+        let mut off = 0;
+        while off < bytes {
+            // T1: the window targets L2 residency — T0 would thrash an
+            // 8-way L1 long before a band-sized window fits it.
+            _mm_prefetch(base.wrapping_add(off), _MM_HINT_T1);
+            off += LINE_BYTES;
+        }
+    }
+
+    /// The AVX row-range kernel. Per tile: three 4-lane column loads
+    /// (lane 3 overhangs into the next column / zero tail pad and is
+    /// discarded), three broadcasts, three `mul` + three `add` — the
+    /// scalar operation order per lane, never contracted to FMA.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have AVX verified and the `check_args` invariants hold;
+    /// `tiles` must pass its audit (aligned stream, zero tail tile,
+    /// in-range columns — guaranteed by `Bcsr3Tiles` construction).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn rows_range(tiles: &Bcsr3Tiles, x: &[Vec3], rows: Range<usize>, out: &mut [Vec3]) {
+        let row_ptr = tiles.row_ptr();
+        let col_idx = tiles.col_idx();
+        let values = tiles.values();
+        let nk = col_idx.len();
+        let xp = x.as_ptr();
+        for r in rows.clone() {
+            let mut acc = _mm256_setzero_pd();
+            for k in *row_ptr.get_unchecked(r)..*row_ptr.get_unchecked(r + 1) {
+                let t = values.as_ptr().add(k * TILE_LANES);
+                // Prefetch the gather target LOOKAHEAD tiles ahead (the
+                // access the hardware prefetcher cannot predict) and the
+                // tile stream at the same distance. Addresses use
+                // wrapping arithmetic: prefetch never faults, but only
+                // wrapping_add may leave the allocation without UB.
+                if nk != 0 {
+                    let kp = (k + LOOKAHEAD).min(nk - 1);
+                    let cp = *col_idx.get_unchecked(kp) as usize;
+                    _mm_prefetch(xp.add(cp) as *const i8, _MM_HINT_T0);
+                    _mm_prefetch(
+                        (t as *const i8).wrapping_add(LOOKAHEAD * TILE_LANES * 8),
+                        _MM_HINT_T0,
+                    );
+                }
+                let v = x.get_unchecked(*col_idx.get_unchecked(k) as usize);
+                let bx = _mm256_set1_pd(v.x);
+                let by = _mm256_set1_pd(v.y);
+                let bz = _mm256_set1_pd(v.z);
+                // Columns at word offsets 0, 3, 6; each load reads four
+                // words, one past the column — in bounds thanks to the
+                // stream's zero tail tile (audited at construction).
+                let c0 = _mm256_loadu_pd(t);
+                let c1 = _mm256_loadu_pd(t.add(3));
+                let c2 = _mm256_loadu_pd(t.add(6));
+                // (c0·vx + c1·vy) + c2·vz, then acc + — the scalar
+                // association, as separate mul/add (no FMA).
+                let s = _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(c0, bx), _mm256_mul_pd(c1, by)),
+                    _mm256_mul_pd(c2, bz),
+                );
+                acc = _mm256_add_pd(acc, s);
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            *out.get_unchecked_mut(r - rows.start) = Vec3::new(lanes[0], lanes[1], lanes[2]);
+        }
+    }
+}
+
+/// Reference product for tests and bench twins: the scalar microkernel
+/// over the *source* matrix, which the tile kernels must match bitwise.
+#[doc(hidden)]
+pub fn reference_bmv(matrix: &Bcsr3, x: &[Vec3], y: &mut [Vec3]) {
+    bmv_range_into(matrix, x, 0..matrix.block_rows(), y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_sparse::bcsr::Bcsr3Builder;
+    use quake_sparse::dense::Mat3;
+    use quake_sparse::tiles::X_ENTRY_BYTES;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the global [`force_scalar`] switch.
+    static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+    fn random_bcsr(n: usize, seed: u64) -> Bcsr3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Bcsr3Builder::new(n);
+        for r in 0..n {
+            // Degree 0..=8 so every per-row tile-count residue appears,
+            // including empty rows.
+            let deg = rng.gen_range(0..=8usize);
+            for _ in 0..deg {
+                let c = rng.gen_range(0..n);
+                let m = Mat3::new([
+                    [rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0), 0.1],
+                    [rng.gen_range(-2.0..2.0), 1.0, rng.gen_range(-2.0..2.0)],
+                    [0.3, rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)],
+                ]);
+                b.add_block(r, c, m);
+            }
+        }
+        b.build()
+    }
+
+    fn random_x(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-3.0..3.0),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_vec3_bits_eq(a: &[Vec3], b: &[Vec3], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (u, v)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                (u.x.to_bits(), u.y.to_bits(), u.z.to_bits()),
+                (v.x.to_bits(), v.y.to_bits(), v.z.to_bits()),
+                "{what}: row {i} differs: {u} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_kernel_matches_scalar_micro_bitwise() {
+        for seed in 0..12u64 {
+            let n = 40 + (seed as usize) * 13;
+            let matrix = random_bcsr(n, seed);
+            let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+            let x = random_x(n, seed);
+            let mut want = vec![Vec3::ZERO; n];
+            reference_bmv(&matrix, &x, &mut want);
+            let mut got = vec![Vec3::ZERO; n];
+            bmv_tiles_range_into(&tiles, &x, 0..n, &mut got);
+            assert_vec3_bits_eq(&got, &want, &format!("dispatched, seed {seed}"));
+            // The scalar tile path must agree even when dispatch would
+            // have picked the vector path.
+            let mut scalar = vec![Vec3::ZERO; n];
+            rows_range_scalar(&tiles, &x, 0..n, &mut scalar);
+            assert_vec3_bits_eq(&scalar, &want, &format!("scalar tiles, seed {seed}"));
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn avx_path_matches_scalar_micro_bitwise() {
+        if !std::arch::is_x86_feature_detected!("avx") {
+            eprintln!("skipping: no AVX on this host");
+            return;
+        }
+        for seed in 0..12u64 {
+            let n = 64 + (seed as usize) * 7;
+            let matrix = random_bcsr(n, seed.wrapping_mul(31).wrapping_add(5));
+            let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+            let x = random_x(n, seed);
+            let mut want = vec![Vec3::ZERO; n];
+            reference_bmv(&matrix, &x, &mut want);
+            let mut got = vec![Vec3::ZERO; n];
+            // SAFETY: AVX verified above; ranges are in bounds.
+            unsafe { avx::rows_range(&tiles, &x, 0..n, &mut got) };
+            assert_vec3_bits_eq(&got, &want, &format!("avx explicit, seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn partial_ranges_match_scalar_micro() {
+        let n = 120;
+        let matrix = random_bcsr(n, 99);
+        let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+        let x = random_x(n, 99);
+        let mut want = vec![Vec3::ZERO; n];
+        reference_bmv(&matrix, &x, &mut want);
+        for (lo, hi) in [(0, 0), (0, 1), (7, 7), (3, 50), (50, 120), (119, 120)] {
+            let mut got = vec![Vec3::ZERO; hi - lo];
+            bmv_tiles_range_into(&tiles, &x, lo..hi, &mut got);
+            assert_vec3_bits_eq(&got, &want[lo..hi], &format!("range {lo}..{hi}"));
+        }
+    }
+
+    #[test]
+    fn banded_matches_unbanded_bitwise_at_every_window() {
+        let n = 150;
+        let matrix = random_bcsr(n, 7);
+        let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+        let x = random_x(n, 7);
+        let mut want = vec![Vec3::ZERO; n];
+        bmv_tiles_range_into(&tiles, &x, 0..n, &mut want);
+        for window in [X_ENTRY_BYTES, 16 * X_ENTRY_BYTES, 4096, usize::MAX / 2] {
+            let plan = BandPlan::for_tiles(&tiles, window);
+            let mut got = vec![Vec3::ZERO; n];
+            bmv_tiles_banded_into(&tiles, &plan, &x, 0..n, &mut got);
+            assert_vec3_bits_eq(&got, &want, &format!("window {window}"));
+            // Banded partial ranges (the executor's boundary/interior
+            // split) must honor the same out-offset convention.
+            let mid = n / 3;
+            let mut head = vec![Vec3::ZERO; mid];
+            let mut tail = vec![Vec3::ZERO; n - mid];
+            bmv_tiles_banded_into(&tiles, &plan, &x, 0..mid, &mut head);
+            bmv_tiles_banded_into(&tiles, &plan, &x, mid..n, &mut tail);
+            assert_vec3_bits_eq(&head, &want[..mid], "banded head");
+            assert_vec3_bits_eq(&tail, &want[mid..], "banded tail");
+        }
+    }
+
+    #[test]
+    fn tail_tiles_of_every_residue_match() {
+        // Matrices whose total tile count runs through every residue mod 4
+        // (the lane-block granularity) and whose last row has 1..=8 tiles,
+        // so the overhanging tail-column load exercises every alignment of
+        // the final tile against the zero pad.
+        for extra in 0..8usize {
+            let n = 16;
+            let mut b = Bcsr3Builder::new(n);
+            for r in 0..n - 1 {
+                b.add_block(r, r, Mat3::identity());
+                b.add_block(r, (r + 5) % n, Mat3::new([[0.5; 3]; 3]));
+            }
+            for j in 0..=extra {
+                b.add_block(n - 1, j, Mat3::new([[1.0 + j as f64; 3]; 3]));
+            }
+            let matrix = b.build();
+            let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+            let x = random_x(n, extra as u64);
+            let mut want = vec![Vec3::ZERO; n];
+            reference_bmv(&matrix, &x, &mut want);
+            let mut got = vec![Vec3::ZERO; n];
+            bmv_tiles_range_into(&tiles, &x, 0..n, &mut got);
+            assert_vec3_bits_eq(&got, &want, &format!("tail residue {extra}"));
+        }
+    }
+
+    #[test]
+    fn forced_fallback_disables_simd_and_stays_bitwise_equal() {
+        let _guard = DISPATCH_LOCK.lock().unwrap();
+        let n = 80;
+        let matrix = random_bcsr(n, 3);
+        let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+        let x = random_x(n, 3);
+        let mut want = vec![Vec3::ZERO; n];
+        reference_bmv(&matrix, &x, &mut want);
+
+        let hardware = simd_active();
+        force_scalar(true);
+        assert!(
+            !simd_active(),
+            "force_scalar(true) must disable the vector path"
+        );
+        let mut forced = vec![Vec3::ZERO; n];
+        bmv_tiles_range_into(&tiles, &x, 0..n, &mut forced);
+        let plan = BandPlan::for_tiles(&tiles, 4096);
+        let mut forced_banded = vec![Vec3::ZERO; n];
+        bmv_tiles_banded_into(&tiles, &plan, &x, 0..n, &mut forced_banded);
+        force_scalar(false);
+        assert_eq!(
+            simd_active(),
+            hardware,
+            "force_scalar(false) must restore detection"
+        );
+
+        assert_vec3_bits_eq(&forced, &want, "forced fallback");
+        assert_vec3_bits_eq(&forced_banded, &want, "forced banded fallback");
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_rows() {
+        let tiles = Bcsr3Tiles::from_bcsr(&Bcsr3Builder::new(0).build());
+        let mut out: Vec<Vec3> = Vec::new();
+        bmv_tiles_range_into(&tiles, &[], 0..0, &mut out);
+        let n = 5;
+        let matrix = Bcsr3Builder::new(n).build(); // all rows empty
+        let tiles = Bcsr3Tiles::from_bcsr(&matrix);
+        let x = random_x(n, 1);
+        let mut got = vec![Vec3::new(9.0, 9.0, 9.0); n];
+        bmv_tiles_range_into(&tiles, &x, 0..n, &mut got);
+        assert!(got.iter().all(|v| v.x == 0.0 && v.y == 0.0 && v.z == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_past_end_panics() {
+        let tiles = Bcsr3Tiles::from_bcsr(&random_bcsr(10, 0));
+        let x = random_x(10, 0);
+        let mut out = vec![Vec3::ZERO; 11];
+        bmv_tiles_range_into(&tiles, &x, 0..11, &mut out);
+    }
+}

@@ -12,6 +12,8 @@
 //!   Spark98 kernels;
 //! * [`pattern::Pattern`] — symbolic node-adjacency structure;
 //! * [`reorder`] — reverse Cuthill–McKee bandwidth reduction;
+//! * [`tiles`] — SIMD-friendly flat tile layout and row-band cache
+//!   blocking over [`bcsr::Bcsr3`];
 //! * [`dense`] — `Vec3`/`Mat3` micro-kernels.
 //!
 //! # Examples
@@ -43,6 +45,7 @@ pub mod error;
 pub mod pattern;
 pub mod reorder;
 pub mod sym;
+pub mod tiles;
 
 pub use bcsr::{Bcsr3, Bcsr3Builder};
 pub use coo::Coo;
@@ -51,3 +54,4 @@ pub use dense::{Mat3, Vec3};
 pub use error::SparseError;
 pub use pattern::Pattern;
 pub use sym::SymCsr;
+pub use tiles::{Band, BandPlan, Bcsr3Tiles};

@@ -1,0 +1,517 @@
+//! SIMD-friendly flat tile layout for [`Bcsr3`] and row-band cache blocking.
+//!
+//! [`Bcsr3`] stores its blocks as row-major [`Mat3`]s — the natural layout
+//! for the scalar register-blocked microkernel, but the wrong transpose for
+//! a vector unit: SIMD wants each block *column* contiguous so the three
+//! `y += column · x_component` multiply-adds become one packed multiply per
+//! column with `x` components broadcast across lanes. [`Bcsr3Tiles`] is the
+//! kernel-ready transposition:
+//!
+//! * each 3×3 block becomes a **column-major 9-word tile**
+//!   (`[c0r0 c0r1 c0r2  c1r0 c1r1 c1r2  c2r0 c2r1 c2r2]`), packed
+//!   back-to-back at 72-byte strides so the matrix stream carries exactly
+//!   the same byte traffic as the [`Mat3`] layout (a 4-lane-padded tile was
+//!   measured 33% more bytes — a net loss on meshes that spill the cache);
+//! * the backing store is built from [`LaneBlock`]s —
+//!   `#[repr(C, align(32))]` groups of four `f64` — so the stream's base is
+//!   **32-byte aligned** and construction can audit that invariant loudly
+//!   ([`Bcsr3Tiles::audit`]) instead of a kernel silently taking unaligned
+//!   penalties;
+//! * one **zero tail tile** pads the stream so a vector load of a tile's
+//!   last column may read one lane past the 72-byte tile (the idiom a
+//!   4-lane load of a 3-lane column needs), and software prefetch of
+//!   `tiles[k + d]` stays in bounds for any lookahead `d ≤` one tile;
+//! * column indices narrow to `u32` (a 3×3-block matrix with 2³² block
+//!   rows would already be a 300-GB index array — asserted at
+//!   construction), shaving 4 bytes per block off the streamed index
+//!   traffic next to the 72-byte tile.
+//!
+//! [`BandPlan`] adds row-band cache blocking on top: contiguous row bands
+//! sized so each band's source-vector window stays resident in a target
+//! cache level. Bands preserve row order — processing them in sequence is
+//! the *same* traversal as an unblocked sweep, so banding never perturbs
+//! the floating-point summation order (the bitwise-equality contract the
+//! executor proves every run). The transform's benefit is locality shaping
+//! only: a band's x-window can be swept ahead by software prefetch and is
+//! then guaranteed to still be resident when the band's irregular gathers
+//! land on it.
+
+use crate::bcsr::Bcsr3;
+use std::ops::Range;
+
+/// Four `f64` lanes at the vector unit's natural 32-byte alignment — the
+/// building block of the tile stream's backing store.
+///
+/// `4 × 8 = 32` bytes with 32-byte alignment means a `Vec<LaneBlock>` is
+/// gap-free and its base address is always 32-byte aligned, which is the
+/// whole point: reinterpreting it as a flat `&[f64]` gives an aligned,
+/// contiguous value stream without padding individual 9-word tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C, align(32))]
+pub struct LaneBlock(pub [f64; 4]);
+
+/// The alignment (bytes) the tile stream's base is guaranteed to have.
+pub const STREAM_ALIGN: usize = std::mem::align_of::<LaneBlock>();
+
+/// Words (f64 lanes) per 3×3 tile in the flat stream.
+pub const TILE_LANES: usize = 9;
+
+/// A [`Bcsr3`] re-laid for SIMD: column-major 9-word tiles in an aligned
+/// flat stream, `u32` column indices, and a zero tail tile for overhanging
+/// vector loads and prefetch.
+///
+/// # Examples
+///
+/// ```
+/// use quake_sparse::bcsr::Bcsr3Builder;
+/// use quake_sparse::dense::{Mat3, Vec3};
+/// use quake_sparse::tiles::Bcsr3Tiles;
+///
+/// let mut b = Bcsr3Builder::new(2);
+/// b.add_block(0, 0, Mat3::identity());
+/// b.add_block(1, 1, Mat3::identity());
+/// let m = b.build();
+/// let tiles = Bcsr3Tiles::from_bcsr(&m);
+/// assert_eq!(tiles.block_rows(), 2);
+/// // Tile 0 is the identity, column-major: e0, e1, e2.
+/// assert_eq!(tiles.tile(0)[0], 1.0);
+/// assert_eq!(tiles.tile(0)[4], 1.0);
+/// assert_eq!(tiles.tile(0)[8], 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bcsr3Tiles {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    /// Aligned backing store; the live stream is `blocks · TILE_LANES`
+    /// words plus one zero tail tile, rounded up to whole lane blocks.
+    store: Vec<LaneBlock>,
+    /// Number of real (non-pad) tiles.
+    blocks: usize,
+}
+
+impl Bcsr3Tiles {
+    /// Transposes `matrix` into the flat tile layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has 2³² or more block rows (the `u32` column
+    /// index would overflow). Debug builds additionally run the full
+    /// [`audit`](Bcsr3Tiles::audit).
+    pub fn from_bcsr(matrix: &Bcsr3) -> Self {
+        let n = matrix.block_rows();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "matrix with {n} block rows overflows u32 column indices"
+        );
+        let blocks = matrix.blocks().len();
+        // Live words + one zero tail tile, rounded up to whole LaneBlocks;
+        // the tail tile doubles as the round-up slack's zero source.
+        let words = blocks * TILE_LANES + TILE_LANES;
+        let store = vec![LaneBlock::default(); words.div_ceil(4)];
+        let mut tiles = Bcsr3Tiles {
+            n,
+            row_ptr: matrix.row_ptr().to_vec(),
+            col_idx: matrix.col_idx().iter().map(|&c| c as u32).collect(),
+            store,
+            blocks,
+        };
+        {
+            let values = tiles.values_mut();
+            for (k, block) in matrix.blocks().iter().enumerate() {
+                let tile = &mut values[k * TILE_LANES..(k + 1) * TILE_LANES];
+                for (c, col) in tile.chunks_exact_mut(3).enumerate() {
+                    for (r, slot) in col.iter_mut().enumerate() {
+                        *slot = block.m[r][c];
+                    }
+                }
+            }
+        }
+        debug_assert!(tiles.audit().is_ok(), "{:?}", tiles.audit());
+        tiles
+    }
+
+    /// Block-row (and block-column) count.
+    #[inline]
+    pub fn block_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored 3×3 tiles (excluding the tail pad).
+    #[inline]
+    pub fn block_nnz(&self) -> usize {
+        self.blocks
+    }
+
+    /// Row pointers: tile `k` of row `r` satisfies
+    /// `row_ptr[r] <= k < row_ptr[r + 1]`.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Block-column index per tile.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The flat value stream: `block_nnz()` column-major 9-word tiles
+    /// followed by one zero tail tile. The base pointer is 32-byte aligned.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        // SAFETY: LaneBlock is #[repr(C, align(32))] over [f64; 4] with no
+        // padding, so a Vec<LaneBlock> of L elements is exactly 4·L
+        // contiguous f64s; the slice stays within the allocation and the
+        // lifetime is tied to &self.
+        unsafe {
+            std::slice::from_raw_parts(self.store.as_ptr() as *const f64, self.store.len() * 4)
+        }
+    }
+
+    fn values_mut(&mut self) -> &mut [f64] {
+        // SAFETY: as in `values`, plus exclusive access through &mut self.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.store.as_mut_ptr() as *mut f64,
+                self.store.len() * 4,
+            )
+        }
+    }
+
+    /// Tile `k` as a column-major 9-word array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= block_nnz()`.
+    #[inline]
+    pub fn tile(&self, k: usize) -> &[f64; 9] {
+        assert!(k < self.blocks, "tile {k} out of {} blocks", self.blocks);
+        let values = self.values();
+        // SAFETY: the stream holds TILE_LANES words per tile plus a tail
+        // tile, so indices k·9..k·9+9 are in bounds for k < blocks.
+        unsafe { &*(values.as_ptr().add(k * TILE_LANES) as *const [f64; 9]) }
+    }
+
+    /// Verifies every layout invariant the SIMD kernel relies on; returns
+    /// the first violation as a message. Construction debug-asserts this,
+    /// so a misaligned or short stream fails loudly instead of silently
+    /// producing unaligned loads or out-of-bounds prefetch.
+    pub fn audit(&self) -> Result<(), String> {
+        let base = self.store.as_ptr() as usize;
+        if !base.is_multiple_of(STREAM_ALIGN) {
+            return Err(format!(
+                "tile stream base {base:#x} is not {STREAM_ALIGN}-byte aligned"
+            ));
+        }
+        if self.row_ptr.len() != self.n + 1 {
+            return Err(format!(
+                "row_ptr has {} entries for {} rows",
+                self.row_ptr.len(),
+                self.n
+            ));
+        }
+        if self.row_ptr[0] != 0 || self.row_ptr[self.n] != self.blocks {
+            return Err("row_ptr does not span 0..block_nnz".into());
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("row_ptr is not monotone".into());
+        }
+        if self.col_idx.len() != self.blocks {
+            return Err("col_idx length does not match block count".into());
+        }
+        if let Some(&c) = self.col_idx.iter().find(|&&c| c as usize >= self.n) {
+            return Err(format!("column {c} out of {} block rows", self.n));
+        }
+        // The stream must hold every tile plus one full tail tile...
+        let need = (self.blocks + 1) * TILE_LANES;
+        if self.values().len() < need {
+            return Err(format!(
+                "stream holds {} words; {need} required (tiles + tail pad)",
+                self.values().len()
+            ));
+        }
+        // ...and everything past the last real tile must be zero, so the
+        // overhanging lane of a tail-column vector load multiplies to a
+        // finite value and prefetch lands on mapped memory.
+        if self.values()[self.blocks * TILE_LANES..]
+            .iter()
+            .any(|&v| v != 0.0)
+        {
+            return Err("tail pad is not zeroed".into());
+        }
+        Ok(())
+    }
+}
+
+/// One cache-blocking band: a contiguous row range and the block-column
+/// window its tiles gather from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Band {
+    /// Block rows of the band.
+    pub rows: Range<usize>,
+    /// Smallest contiguous block-column range covering every gather the
+    /// band performs (`x[cols]` is the band's source-vector window).
+    pub cols: Range<usize>,
+}
+
+/// Row-band cache blocking: contiguous bands whose source-vector windows
+/// each fit a byte budget (sized from a cache level's capacity).
+///
+/// Bands partition `0..block_rows` in order, so a banded sweep visits rows
+/// — and therefore accumulates floating-point terms — in exactly the
+/// unblocked order. The plan only *shapes locality*: a kernel can sweep
+/// prefetches over `band.cols` before gathering from it.
+///
+/// # Examples
+///
+/// ```
+/// use quake_sparse::bcsr::Bcsr3Builder;
+/// use quake_sparse::dense::Mat3;
+/// use quake_sparse::tiles::{BandPlan, Bcsr3Tiles};
+///
+/// let mut b = Bcsr3Builder::new(100);
+/// for i in 0..100 {
+///     b.add_block(i, i, Mat3::identity());
+/// }
+/// let tiles = Bcsr3Tiles::from_bcsr(&b.build());
+/// // 24 bytes per x entry; a 240-byte window holds 10 entries.
+/// let plan = BandPlan::for_tiles(&tiles, 240);
+/// assert_eq!(plan.bands().len(), 10);
+/// assert!(plan.bands().iter().all(|b| b.rows.len() == 10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandPlan {
+    bands: Vec<Band>,
+    window_bytes: usize,
+}
+
+/// Bytes one source-vector entry occupies (a `Vec3` of three `f64`).
+pub const X_ENTRY_BYTES: usize = 24;
+
+impl BandPlan {
+    /// Plans bands over `tiles` so each band's x-window spans at most
+    /// `window_bytes` (at least one row per band — a single row whose own
+    /// window exceeds the budget still forms a band; blocking cannot help
+    /// a row that gathers wider than the cache).
+    pub fn for_tiles(tiles: &Bcsr3Tiles, window_bytes: usize) -> Self {
+        let n = tiles.block_rows();
+        let row_ptr = tiles.row_ptr();
+        let col_idx = tiles.col_idx();
+        let budget_entries = (window_bytes / X_ENTRY_BYTES).max(1);
+        let mut bands = Vec::new();
+        let mut start = 0usize;
+        let (mut lo, mut hi) = (usize::MAX, 0usize); // current window (min, max+1)
+        for r in 0..n {
+            let (mut rlo, mut rhi) = (lo, hi);
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                rlo = rlo.min(c as usize);
+                rhi = rhi.max(c as usize + 1);
+            }
+            let fits = rlo == usize::MAX || rhi - rlo <= budget_entries;
+            if fits || r == start {
+                // Row joins the current band (possibly overflowing a
+                // single-row band, which is allowed).
+                lo = rlo;
+                hi = rhi;
+            } else {
+                bands.push(Band {
+                    rows: start..r,
+                    cols: if lo == usize::MAX { 0..0 } else { lo..hi },
+                });
+                start = r;
+                lo = usize::MAX;
+                hi = 0;
+                for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                    lo = lo.min(c as usize);
+                    hi = hi.max(c as usize + 1);
+                }
+            }
+        }
+        if start < n || n == 0 {
+            bands.push(Band {
+                rows: start..n,
+                cols: if lo == usize::MAX { 0..0 } else { lo..hi },
+            });
+        }
+        BandPlan {
+            bands,
+            window_bytes,
+        }
+    }
+
+    /// The planned bands, in row order, partitioning `0..block_rows`.
+    #[inline]
+    pub fn bands(&self) -> &[Band] {
+        &self.bands
+    }
+
+    /// The x-window byte budget the plan was sized for.
+    #[inline]
+    pub fn window_bytes(&self) -> usize {
+        self.window_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcsr::Bcsr3Builder;
+    use crate::dense::{Mat3, Vec3};
+
+    fn dense_band_matrix(n: usize, half_band: usize) -> Bcsr3 {
+        let mut b = Bcsr3Builder::new(n);
+        for r in 0..n {
+            let lo = r.saturating_sub(half_band);
+            let hi = (r + half_band + 1).min(n);
+            for c in lo..hi {
+                let v = (r * 31 + c * 7 + 1) as f64;
+                b.add_block(
+                    r,
+                    c,
+                    Mat3::new([[v, -v, 0.5], [v * 2.0, v, -1.0], [0.0, v, v]]),
+                );
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tiles_transpose_blocks_column_major() {
+        let mut b = Bcsr3Builder::new(2);
+        let m = Mat3::new([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        b.add_block(0, 1, m);
+        b.add_block(1, 0, Mat3::identity());
+        let tiles = Bcsr3Tiles::from_bcsr(&b.build());
+        assert_eq!(tiles.block_nnz(), 2);
+        assert_eq!(tiles.col_idx(), &[1, 0]);
+        // Column-major: [col0, col1, col2] of the row-major source.
+        assert_eq!(
+            tiles.tile(0),
+            &[1.0, 4.0, 7.0, 2.0, 5.0, 8.0, 3.0, 6.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn stream_is_aligned_and_tail_padded() {
+        let m = dense_band_matrix(37, 3);
+        let tiles = Bcsr3Tiles::from_bcsr(&m);
+        tiles
+            .audit()
+            .expect("fresh tiles must pass their own audit");
+        assert_eq!(tiles.values().as_ptr() as usize % STREAM_ALIGN, 0);
+        // Tail: at least one full zero tile past the last real one.
+        let live = tiles.block_nnz() * TILE_LANES;
+        assert!(tiles.values().len() >= live + TILE_LANES);
+        assert!(tiles.values()[live..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn audit_reports_unzeroed_tail() {
+        let m = dense_band_matrix(5, 1);
+        let mut tiles = Bcsr3Tiles::from_bcsr(&m);
+        let live = tiles.block_nnz() * TILE_LANES;
+        tiles.values_mut()[live + 2] = 1.0;
+        let err = tiles.audit().unwrap_err();
+        assert!(err.contains("tail pad"), "unexpected audit error: {err}");
+    }
+
+    #[test]
+    fn audit_reports_bad_columns() {
+        let m = dense_band_matrix(5, 1);
+        let mut tiles = Bcsr3Tiles::from_bcsr(&m);
+        tiles.col_idx[0] = 99;
+        let err = tiles.audit().unwrap_err();
+        assert!(err.contains("column 99"), "unexpected audit error: {err}");
+    }
+
+    #[test]
+    fn tiles_match_source_product_bitwise() {
+        // Rebuilding the product from tiles (scalar, column-major order of
+        // operations chosen to match Mat3::mul_vec) must be bitwise equal.
+        let m = dense_band_matrix(64, 5);
+        let tiles = Bcsr3Tiles::from_bcsr(&m);
+        let x: Vec<Vec3> = (0..64)
+            .map(|i| Vec3::new(i as f64 * 0.37, -(i as f64), 1.0 / (i + 1) as f64))
+            .collect();
+        let mut want = vec![Vec3::ZERO; 64];
+        m.spmv(&x, &mut want).unwrap();
+        let (row_ptr, col_idx, values) = (tiles.row_ptr(), tiles.col_idx(), tiles.values());
+        for r in 0..64 {
+            let mut acc = [0.0f64; 3];
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                let t = &values[k * TILE_LANES..(k + 1) * TILE_LANES];
+                let v = x[col_idx[k] as usize];
+                for lane in 0..3 {
+                    acc[lane] += t[lane] * v.x + t[3 + lane] * v.y + t[6 + lane] * v.z;
+                }
+            }
+            assert_eq!(acc[0].to_bits(), want[r].x.to_bits(), "row {r}");
+            assert_eq!(acc[1].to_bits(), want[r].y.to_bits(), "row {r}");
+            assert_eq!(acc[2].to_bits(), want[r].z.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn band_plan_partitions_rows_in_order() {
+        let m = dense_band_matrix(200, 4);
+        let tiles = Bcsr3Tiles::from_bcsr(&m);
+        for window in [X_ENTRY_BYTES, 480, 4800, usize::MAX / 2] {
+            let plan = BandPlan::for_tiles(&tiles, window);
+            let mut next = 0;
+            for band in plan.bands() {
+                assert_eq!(band.rows.start, next, "bands must be contiguous");
+                assert!(!band.rows.is_empty());
+                next = band.rows.end;
+            }
+            assert_eq!(next, 200, "bands must cover every row");
+        }
+    }
+
+    #[test]
+    fn band_windows_cover_their_gathers() {
+        let m = dense_band_matrix(150, 6);
+        let tiles = Bcsr3Tiles::from_bcsr(&m);
+        let plan = BandPlan::for_tiles(&tiles, 40 * X_ENTRY_BYTES);
+        for band in plan.bands() {
+            for r in band.rows.clone() {
+                for k in tiles.row_ptr()[r]..tiles.row_ptr()[r + 1] {
+                    let c = tiles.col_idx()[k] as usize;
+                    assert!(
+                        band.cols.contains(&c),
+                        "row {r} gathers column {c} outside window {:?}",
+                        band.cols
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_windows_respect_budget_except_single_rows() {
+        let m = dense_band_matrix(150, 6);
+        let tiles = Bcsr3Tiles::from_bcsr(&m);
+        let budget = 20 * X_ENTRY_BYTES;
+        let plan = BandPlan::for_tiles(&tiles, budget);
+        assert!(plan.bands().len() > 1, "budget should force multiple bands");
+        for band in plan.bands() {
+            if band.rows.len() > 1 {
+                assert!(
+                    band.cols.len() * X_ENTRY_BYTES <= budget,
+                    "multi-row band {:?} window {:?} exceeds budget",
+                    band.rows,
+                    band.cols
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_plans_one_empty_band() {
+        let tiles = Bcsr3Tiles::from_bcsr(&Bcsr3Builder::new(0).build());
+        tiles.audit().expect("empty tiles are valid");
+        let plan = BandPlan::for_tiles(&tiles, 4096);
+        assert_eq!(plan.bands().len(), 1);
+        assert_eq!(plan.bands()[0].rows, 0..0);
+    }
+}

@@ -165,6 +165,14 @@ COMMANDS:
                   --rcm <true|false: false>  renumber each subdomain with
                   reverse Cuthill-McKee before the run (locality pre-pass;
                   counters and the validation report are unaffected)
+                  --kernel <micro|micro-simd: micro>  compute-phase
+                  microkernel: 'micro' is the register-blocked scalar 3x3
+                  kernel, 'micro-simd' runs the AVX tile kernel over the
+                  flat BCSR layout with memsim-sized row-band cache
+                  blocking (runtime CPU detection, scalar fallback);
+                  output is bitwise-equal to 'micro' (proved every run)
+                  and counters are unaffected; composes with every
+                  schedule and transport
                   --overlap <on|off: off>  latency-hiding schedule: each PE
                   posts its boundary-row partials first, computes interior
                   rows while the exchange is in flight, and applies inbound
@@ -284,6 +292,12 @@ mod tests {
     fn help_documents_the_overlap_flag() {
         assert!(help().contains("--overlap <on|off: off>"));
         assert!(help().contains("bitwise-equal"));
+    }
+
+    #[test]
+    fn help_documents_the_kernel_flag() {
+        assert!(help().contains("--kernel <micro|micro-simd: micro>"));
+        assert!(help().contains("scalar fallback"));
     }
 
     #[test]

@@ -244,6 +244,15 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
                 value: inv.get_str("transport", "shared"),
             })?;
     let shards: usize = inv.get("shards", 2usize)?;
+    // --kernel picks the compute-phase microkernel; both spellings are
+    // bitwise-equal, so this is purely a raw-speed knob.
+    let kernel: quake_app::executor::KernelKind =
+        inv.get_str("kernel", "micro")
+            .parse()
+            .map_err(|_| CliError::BadValue {
+                flag: "kernel".to_string(),
+                value: inv.get_str("kernel", "micro"),
+            })?;
     for (flag, zero) in [
         ("threads", threads == 0),
         ("steps", steps == 0),
@@ -316,6 +325,7 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         shards,
         x_kind: "trig".to_string(),
         x_seed: 0,
+        kernel: kernel.to_string(),
     };
     if transport == TransportKind::Proc {
         let built = quake_app::transport::run::Built {
@@ -337,6 +347,17 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         }
         TransportKind::Proc => unreachable!("dispatched above"),
     };
+    exec.set_kernel(kernel);
+    if kernel == quake_app::executor::KernelKind::MicroSimd && !quiet {
+        println!(
+            "kernel micro-simd armed: AVX dispatch {}, row bands sized from the memsim L2",
+            if quake_spark::tile_kernels::simd_active() {
+                "active"
+            } else {
+                "unavailable (scalar tile fallback)"
+            }
+        );
+    }
     if overlap && !quiet {
         let split = exec.overlap_boundary_rows().unwrap_or(&[]);
         let boundary: usize = split.iter().sum();
@@ -417,8 +438,10 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     }
     if overlap {
         // Prove the latency-hiding claim on the spot: a barrier-schedule
-        // twin of the same product must be bitwise-identical.
+        // twin of the same product must be bitwise-identical. The twin
+        // keeps the selected kernel so only the schedule varies.
         let mut twin = BspExecutor::with_options(&system, threads, rcm, false);
+        twin.set_kernel(kernel);
         let y_twin = twin.run(&x, steps);
         let bitwise_equal = y.iter().zip(&y_twin).all(|(a, b)| {
             (a.x.to_bits(), a.y.to_bits(), a.z.to_bits())
@@ -432,6 +455,25 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         }
         if !bitwise_equal {
             return Err("overlapped output diverges from the barrier schedule".into());
+        }
+    }
+    if kernel == quake_app::executor::KernelKind::MicroSimd {
+        // Prove the raw-speed claim's safety on the spot: a scalar-kernel
+        // twin of the same schedule must be bitwise-identical.
+        let mut twin = BspExecutor::with_options(&system, threads, rcm, overlap);
+        let y_twin = twin.run(&x, steps);
+        let bitwise_equal = y.iter().zip(&y_twin).all(|(a, b)| {
+            (a.x.to_bits(), a.y.to_bits(), a.z.to_bits())
+                == (b.x.to_bits(), b.y.to_bits(), b.z.to_bits())
+        });
+        if !quiet {
+            println!(
+                "micro-simd output bitwise-equal to scalar micro kernel: {}",
+                if bitwise_equal { "yes" } else { "NO" }
+            );
+        }
+        if !bitwise_equal {
+            return Err("micro-simd output diverges from the scalar kernel".into());
         }
     }
     if let Some(telemetry) = exec.telemetry() {
