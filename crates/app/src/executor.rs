@@ -90,7 +90,7 @@
 
 use crate::distributed::DistributedSystem;
 use crate::transport::{ghost_edges, SharedTransport, Transport};
-use quake_core::fault::{FaultKind, FaultPlan, FaultReport, RecoveryPolicy};
+use quake_core::fault::{mix64, FaultKind, FaultPlan, FaultReport, RecoveryPolicy, RetryBackoff};
 use quake_core::model::validate::MeasuredSmvp;
 use quake_core::telemetry::{PhaseId, Span, Telemetry, TelemetryConfig, TraceInstant};
 use quake_memsim::hierarchy::Hierarchy;
@@ -2354,6 +2354,12 @@ impl BspExecutor {
                         let tm = Instant::now();
                         let block = &mut buf[..msg.pairs.len()];
                         let mut attempt: u32 = 0;
+                        // Deterministic decorrelated jitter for re-fetch
+                        // retries, seeded per (step, PE, message) so a
+                        // replayed step sleeps the identical schedule.
+                        let mut retry = RetryBackoff::new(mix64(
+                            step ^ ((q as u64) << 40) ^ ((mi as u64) << 20),
+                        ));
                         loop {
                             attempt += 1;
                             assert!(
@@ -2381,8 +2387,9 @@ impl BspExecutor {
                                 // Detection: the fetch visibly failed.
                                 sc.drops_detected += 1;
                                 sc.retries += 1;
-                                // Bounded exponential backoff before retry.
-                                let backoff = Duration::from_micros(1 << attempt.min(6));
+                                // Bounded decorrelated-jitter backoff
+                                // before retry.
+                                let backoff = retry.next_delay();
                                 sc.backoff_ns += backoff.as_nanos() as u64;
                                 std::thread::sleep(backoff);
                                 continue;

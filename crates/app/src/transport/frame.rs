@@ -54,6 +54,16 @@ pub enum FrameKind {
     Result = 10,
     /// Orderly goodbye.
     Bye = 11,
+    /// Liveness beacon sent during long compute phases so a slow peer can
+    /// be told apart from a hung one.
+    Heartbeat = 12,
+    /// A shard tells the supervisor a peer has been silent past the
+    /// deadline: payload = suspect shard id (u32).
+    Suspect = 13,
+    /// A shard notifies the supervisor of a wire-chaos event it is about
+    /// to suffer and cannot account for itself (e.g. a stall that ends in
+    /// the shard being killed): payload = event code (u32).
+    WireEvent = 14,
 }
 
 impl FrameKind {
@@ -70,6 +80,9 @@ impl FrameKind {
             9 => FrameKind::Resend,
             10 => FrameKind::Result,
             11 => FrameKind::Bye,
+            12 => FrameKind::Heartbeat,
+            13 => FrameKind::Suspect,
+            14 => FrameKind::WireEvent,
             _ => return None,
         })
     }
@@ -114,6 +127,10 @@ pub enum FrameError {
         /// Checksum recomputed over the received payload.
         got: u64,
     },
+    /// A read deadline expired at a frame boundary with no bytes in
+    /// flight — the peer is silent, not broken. Only surfaced when the
+    /// caller armed a socket read timeout.
+    TimedOut,
     /// An OS-level I/O error.
     Io(String),
 }
@@ -139,6 +156,7 @@ impl fmt::Display for FrameError {
                 f,
                 "frame checksum mismatch (sent {expected:#018x}, received {got:#018x})"
             ),
+            FrameError::TimedOut => write!(f, "read deadline expired at a frame boundary"),
             FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
         }
     }
@@ -201,6 +219,21 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A socket read deadline fired. Clean at a boundary; a
+                // mid-frame expiry leaves the stream desynced and must
+                // surface as a hard error.
+                return if at_boundary && filled == 0 {
+                    Err(FrameError::TimedOut)
+                } else {
+                    Err(FrameError::Io("read timed out mid-frame".into()))
+                };
+            }
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
                 return if at_boundary && filled == 0 {
                     Err(FrameError::Closed)
@@ -253,7 +286,7 @@ mod tests {
     use proptest::prelude::*;
     use std::io::Cursor;
 
-    const KINDS: [FrameKind; 11] = [
+    const KINDS: [FrameKind; 14] = [
         FrameKind::Hello,
         FrameKind::Ready,
         FrameKind::Go,
@@ -265,12 +298,15 @@ mod tests {
         FrameKind::Resend,
         FrameKind::Result,
         FrameKind::Bye,
+        FrameKind::Heartbeat,
+        FrameKind::Suspect,
+        FrameKind::WireEvent,
     ];
 
     proptest! {
         #[test]
         fn round_trips_arbitrary_payloads(
-            kind_idx in 0usize..11,
+            kind_idx in 0usize..14,
             payload in proptest::collection::vec(0u8..=255, 0..2048),
         ) {
             let kind = KINDS[kind_idx];
@@ -302,6 +338,101 @@ mod tests {
             // Any byte soup must produce a typed error or, by one-in-2^80
             // coincidence, a valid frame — never a panic.
             let _ = read_frame(&mut Cursor::new(&junk));
+        }
+
+        #[test]
+        fn corrupted_length_prefixes_always_yield_typed_errors(
+            payload in proptest::collection::vec(0u8..=255, 0..512),
+            raw_len in 0u32..=u32::MAX,
+        ) {
+            let mut bytes = encode(FrameKind::Ghost, &payload);
+            // Any length but the true one is a lie worth testing.
+            let bogus_len = if raw_len == payload.len() as u32 {
+                raw_len + 1
+            } else {
+                raw_len
+            };
+            bytes[4..8].copy_from_slice(&bogus_len.to_le_bytes());
+            let err = read_frame(&mut Cursor::new(&bytes))
+                .expect_err("a lying length prefix must not decode");
+            if bogus_len > MAX_PAYLOAD {
+                prop_assert_eq!(err, FrameError::Oversized { len: bogus_len });
+            } else {
+                // Shorter: trailer bytes come from the old payload, so the
+                // checksum misses; longer: the stream runs dry mid-read.
+                prop_assert!(matches!(
+                    err,
+                    FrameError::Truncated { .. } | FrameError::ChecksumMismatch { .. }
+                ), "got {:?}", err);
+            }
+        }
+
+        #[test]
+        fn oversized_lengths_are_rejected_before_any_payload_is_read(
+            declared in MAX_PAYLOAD + 1..=u32::MAX,
+            kind_idx in 0usize..14,
+        ) {
+            // Feed ONLY the 8-byte header: if the length guard ran after the
+            // payload read (or after allocation), this would report
+            // Truncated or hang on a multi-gigabyte buffer; Oversized proves
+            // the check precedes both.
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&MAGIC.to_le_bytes());
+            header.push(KINDS[kind_idx] as u8);
+            header.push(0);
+            header.extend_from_slice(&declared.to_le_bytes());
+            let err = read_frame(&mut Cursor::new(&header))
+                .expect_err("oversized declaration must not decode");
+            prop_assert_eq!(err, FrameError::Oversized { len: declared });
+        }
+
+        #[test]
+        fn truncated_multi_frame_streams_fail_typed_after_good_frames(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 0..64), 1..4),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            // Several good frames followed by a cut-off one: the reader must
+            // hand back every intact frame, then a typed Closed/Truncated.
+            let mut stream = Vec::new();
+            for p in &payloads {
+                stream.extend_from_slice(&encode(FrameKind::Ghost, p));
+            }
+            let tail = encode(FrameKind::Ghost, b"severed");
+            let cut = ((tail.len() - 1) as f64 * cut_frac) as usize;
+            stream.extend_from_slice(&tail[..cut]);
+            let mut cursor = Cursor::new(&stream);
+            for p in &payloads {
+                let frame = read_frame(&mut cursor).expect("intact frame");
+                prop_assert_eq!(&frame.payload, p);
+            }
+            prop_assert!(matches!(
+                read_frame(&mut cursor),
+                Err(FrameError::Closed) | Err(FrameError::Truncated { .. })
+            ));
+        }
+
+        #[test]
+        fn tail_zeroed_runt_frames_are_caught_and_keep_the_stream_framed(
+            payload in proptest::collection::vec(1u8..=255, 1..256),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            // The wire injector's truncation model: length prefix intact,
+            // payload+trailer zeroed from a cut point. Must surface as a
+            // checksum mismatch with the NEXT frame still decodable.
+            let mut bytes = encode(FrameKind::Ghost, &payload);
+            let cut = HEADER_LEN + ((payload.len() - 1) as f64 * cut_frac) as usize;
+            for b in bytes[cut..].iter_mut() {
+                *b = 0;
+            }
+            bytes.extend_from_slice(&encode(FrameKind::Resend, b""));
+            let mut cursor = Cursor::new(&bytes);
+            prop_assert!(matches!(
+                read_frame(&mut cursor),
+                Err(FrameError::ChecksumMismatch { .. })
+            ));
+            let next = read_frame(&mut cursor).expect("stream must stay framed");
+            prop_assert_eq!(next.kind, FrameKind::Resend);
         }
 
         #[test]

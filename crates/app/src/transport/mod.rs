@@ -134,6 +134,16 @@ pub enum TransportError {
         /// The dead peer's shard id.
         shard: usize,
     },
+    /// The peer held its connection open but stayed silent past every
+    /// deadline and degraded-wait round — hung, not slow. Raised only
+    /// after the heartbeat layer stopped hearing from it and the
+    /// supervisor was given the chance to respawn it.
+    PeerSuspect {
+        /// The suspect peer's shard id.
+        shard: usize,
+        /// Seconds the peer has been silent.
+        silent_s: u64,
+    },
     /// A malformed frame on the wire (see [`frame::FrameError`]).
     Frame(frame::FrameError),
     /// A socket-level I/O failure.
@@ -162,6 +172,12 @@ impl fmt::Display for TransportError {
             ),
             TransportError::PeerDisconnected { shard } => {
                 write!(f, "shard {shard} disconnected (peer process died)")
+            }
+            TransportError::PeerSuspect { shard, silent_s } => {
+                write!(
+                    f,
+                    "shard {shard} suspected hung (silent for {silent_s} s past every deadline)"
+                )
             }
             TransportError::Frame(e) => write!(f, "frame error: {e}"),
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
@@ -445,6 +461,14 @@ impl Mailbox {
     pub(crate) fn deliver(&self, edge: usize, step: u64, block: &[Vec3], checksum: u64) {
         let slot = &self.slots[edge];
         let parity = (step % 2) as usize;
+        // A delivery that skips ahead of everything this mailbox has seen
+        // (a peer's cache replay into a freshly respawned shard, which
+        // carries only the newest step per edge) must satisfy acquires of
+        // *both* parities: by the constant-x replay invariant the bytes
+        // are valid for every step, so mirror them into the other slot.
+        let newest = slot.posted[0]
+            .load(Ordering::Acquire)
+            .max(slot.posted[1].load(Ordering::Acquire));
         // SAFETY: single writer per edge; readers are gated by `posted`.
         unsafe {
             (*slot.buf[parity].get()).copy_from_slice(block);
@@ -453,6 +477,16 @@ impl Mailbox {
         // Monotonic: a replayed (older) step never regresses the flag, and
         // its bytes are identical by the constant-x replay invariant.
         slot.posted[parity].fetch_max(step + 1, Ordering::Release);
+        if step > newest {
+            let other = parity ^ 1;
+            // SAFETY: same single-writer protocol as above.
+            unsafe {
+                (*slot.buf[other].get()).copy_from_slice(block);
+            }
+            slot.checksum[other].store(checksum, Ordering::Relaxed);
+            // `step` is exactly "step - 1, the other parity, plus one".
+            slot.posted[other].fetch_max(step, Ordering::Release);
+        }
     }
 
     pub(crate) fn acquire(
@@ -763,6 +797,33 @@ mod tests {
         mb.post(2, 0, 1, &b).unwrap();
         let mut out = [Vec3::ZERO; 2];
         assert!(mb.acquire(4, 0, 1, &mut out).is_ok());
+    }
+
+    #[test]
+    fn skip_ahead_deliveries_satisfy_both_parities() {
+        // A respawned shard's fresh mailbox is fed by peer cache replay,
+        // which carries only the newest step per edge. The replay must
+        // unblock acquires of either parity, or the respawned shard would
+        // deadlock replaying odd steps from an even-step cache entry.
+        let mb = Mailbox::new(&edges2(), Duration::from_secs(1));
+        let b = [Vec3::new(7.0, 8.0, 9.0), Vec3::ZERO];
+        let ck = block_checksum_vec3(&b);
+        mb.deliver(0, 5, &b, ck);
+        let mut out = [Vec3::ZERO; 2];
+        for step in 0..=5 {
+            let info = mb
+                .acquire(step, 0, 1, &mut out)
+                .unwrap_or_else(|e| panic!("step {step} blocked: {e}"));
+            assert_eq!(info.checksum, ck, "step {step}");
+            assert_eq!(out[0].x.to_bits(), b[0].x.to_bits(), "step {step}");
+        }
+        // Steps past the replayed frontier still block.
+        let mb2 = Mailbox::new(&edges2(), Duration::from_millis(5));
+        mb2.deliver(0, 5, &b, ck);
+        assert!(matches!(
+            mb2.acquire(6, 0, 1, &mut out),
+            Err(TransportError::Timeout { .. })
+        ));
     }
 
     #[test]

@@ -25,35 +25,61 @@
 //! `Go` frame carrying the measured parameters. The reported link is
 //! therefore *measured on this run's fabric*, never a preset.
 //!
-//! # Failure semantics
+//! # Fault domain
 //!
-//! A peer death is detected twice over: the dead process's sockets close,
-//! which flips the connection's `alive` flag (waking any blocked acquire
-//! into a typed [`TransportError::PeerDisconnected`]), and the parent's
-//! `try_wait` polling sees the exit status. The parent then kills the
-//! remaining children and surfaces one clean error — or, when the spec's
-//! recovery policy is `restart`, retries the whole ensemble once (the
-//! run is a pure function of the spec, so a retry is exact). A frame
-//! whose payload checksum fails leaves the stream framed; the receiver
-//! answers with `Resend` and the sender replays its per-edge cache of
-//! posted blocks — the constant-`x` replay invariant makes any
-//! superseding re-delivery bitwise-harmless.
+//! The socket fabric is a supervised fault domain with a five-rung
+//! recovery ladder: resend → deadline + backoff → shard respawn →
+//! ensemble retry → typed failure.
+//!
+//! *Wire chaos.* With `--wire-fault-rate` nonzero, a seeded
+//! [`WireFaultPlan`] samples every outgoing ghost frame and the injector
+//! mangles the live byte stream: payload corruption and tail-zeroing
+//! truncation (caught by the frame checksum, recovered by `Resend` +
+//! cache replay), artificial delays (billed to the delay histogram), one
+//! connection reset per peer (recovered by redial + cache replay), and
+//! one hung-peer stall per process (recovered by shard respawn). Every
+//! injected event lands in the [`FaultReport`] ledger on the injecting
+//! side, so `injected == detected == recovered` holds per process and
+//! survives summation — a shard that dies takes its whole ledger with
+//! it, never a partial triple.
+//!
+//! *Deadlines + heartbeats.* Every shard heartbeats its peers and the
+//! parent at `conn-timeout / 4`. Steady-state reads carry `conn-timeout`
+//! deadlines (the parent's result readers included — a hung-but-alive
+//! peer can no longer block the ensemble forever). An acquire that times
+//! out checks the heartbeat clock: a peer that is dead or silent past
+//! the deadline is reported to the parent with a `Suspect` frame, and
+//! only after every degraded-wait round expires does the waiter fail
+//! with a typed [`TransportError::PeerSuspect`].
+//!
+//! *Per-shard supervised restart.* The parent respawns only the dead or
+//! suspect shard (within `--restart-budget`), replays the stored `Go`,
+//! and the survivors hold in degraded waits: their posts keep landing in
+//! the resend caches, the respawned child replays to the current step
+//! from the spec (the run is a pure function of it), and reconnecting
+//! sides replay their caches — the constant-`x` replay invariant makes
+//! every superseding re-delivery bitwise-harmless. Only when the budget
+//! is exhausted does the parent fall back to the one-shot whole-ensemble
+//! retry, and past that to a typed error.
 
-use super::frame::{read_frame, write_frame, FrameError, FrameKind};
+use super::frame::{self, read_frame, write_frame, FrameError, FrameKind};
 use super::wire::{
     decode_ghost, decode_result, encode_ghost, encode_result, ByteReader, ByteWriter, PeResult,
     RunSpec, ShardResult,
 };
 use super::{
-    block_checksum_vec3, default_timeout, ghost_edges, AcquireInfo, LinkParams, Mailbox, Transport,
-    TransportError, TransportKind,
+    block_checksum_vec3, ghost_edges, AcquireInfo, LinkParams, Mailbox, Transport, TransportError,
+    TransportKind,
 };
 use crate::executor::{BspExecutor, ExecutionReport, PeCounters, PhaseWalls};
-use crate::transport::run::{Built, RunOutput};
-use quake_core::fault::FaultReport;
+use crate::transport::run::{Built, Incident, RunOutput};
+use quake_core::fault::{
+    mix64, record_delay_us, FaultReport, RetryBackoff, WireFaultKind, WireFaultPlan,
+};
 use quake_sparse::dense::Vec3;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
+use std::net::Shutdown;
 use std::ops::Range;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,13 +95,13 @@ const ENV_ROLE: &str = "QUAKE_PROC_ROLE";
 const ENV_ID: &str = "QUAKE_PROC_ID";
 /// The rendezvous directory holding the spec file and sockets.
 const ENV_DIR: &str = "QUAKE_PROC_DIR";
+/// Respawn generation (0 = first launch). Nonzero disarms wire chaos so
+/// a recovery run cannot re-injure itself.
+const ENV_ATTEMPT: &str = "QUAKE_PROC_ATTEMPT";
 /// Test knob: `"<shard>:<step>"` makes that shard exit hard at that step.
 const ENV_KILL: &str = "QUAKE_PROC_KILL";
 /// Test knob: marker-file path making [`ENV_KILL`] fire only once.
 const ENV_KILL_ONCE: &str = "QUAKE_PROC_KILL_ONCE";
-
-/// Wall-clock budget for the bootstrap handshakes.
-const BOOTSTRAP_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Shard `k`'s contiguous owned-PE slice — the same near-equal chunking
 /// the executor uses for its worker assignment.
@@ -85,6 +111,23 @@ pub fn shard_pe_range(parts: usize, shards: usize, k: usize) -> Range<usize> {
 
 fn io_err(e: std::io::Error) -> TransportError {
     TransportError::Io(e.to_string())
+}
+
+/// The steady-state mailbox deadline: the test override when set, the
+/// spec's `--conn-timeout` otherwise.
+fn steady_timeout(conn_timeout: Duration) -> Duration {
+    std::env::var("QUAKE_TRANSPORT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(conn_timeout)
+}
+
+fn attempt_from_env() -> u64 {
+    std::env::var(ENV_ATTEMPT)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Intercepts shard-child invocations. Must be the first statement of
@@ -108,27 +151,86 @@ pub fn shard_host_hook() {
 }
 
 // ---------------------------------------------------------------------------
-// The socket-backed Transport.
+// Child-side fabric: peers, chaos injector, reconnects, heartbeats.
 // ---------------------------------------------------------------------------
 
-/// One peer connection: serialized writer, per-edge resend cache, and the
-/// liveness flag the reader thread owns.
+/// One peer connection: swappable serialized writer, per-edge resend
+/// cache, liveness/heartbeat state and the injector's per-connection
+/// bookkeeping.
 struct Peer {
     /// The reporting shard id of the peer.
     shard: usize,
-    writer: Mutex<UnixStream>,
+    /// The writer half; `None` while disconnected. Replaced in place on
+    /// reconnect so every handle stays valid across epochs.
+    conn: Mutex<Option<UnixStream>>,
     /// Latest posted payload per directed edge on this connection. A
-    /// `Resend` request replays the whole cache; superseded steps are
-    /// bitwise-identical by the constant-`x` invariant, so over-delivery
-    /// is harmless.
+    /// `Resend` request — and every (re)connect — replays the whole
+    /// cache; superseded steps are bitwise-identical by the constant-`x`
+    /// invariant, so over-delivery is harmless.
     cache: Mutex<HashMap<(usize, usize), Vec<u8>>>,
     alive: AtomicBool,
+    /// The peer sent an orderly `Bye`: its posted blocks stay
+    /// acquirable and nothing further is expected from it.
+    done: AtomicBool,
+    /// Bumped on every (re)connect; a reader of a superseded epoch
+    /// stands down without touching the fresh connection's state.
+    epoch: AtomicU64,
+    /// Heartbeat clock: milliseconds (on the fabric origin) of the last
+    /// frame heard from this peer.
+    last_heard_ms: AtomicU64,
+    /// Ghost-frame sequence number driving the wire-fault sampler.
+    seq: AtomicU64,
+    /// Injected corrupt/truncate events whose `Resend` credit is still
+    /// in flight (FIFO — frames are ordered per connection).
+    pending_damage: Mutex<VecDeque<WireFaultKind>>,
+    /// An injected reset awaiting its reconnect credit.
+    pending_reset: AtomicBool,
+    /// At most one injected reset per peer connection.
+    reset_used: AtomicBool,
+    /// `epoch + 1` of the last `Suspect` escalation — one per epoch.
+    suspected_epoch: AtomicU64,
+    /// A redial thread for this peer is already running.
+    redialing: AtomicBool,
 }
 
 impl Peer {
+    fn new(shard: usize) -> Self {
+        Peer {
+            shard,
+            conn: Mutex::new(None),
+            cache: Mutex::new(HashMap::new()),
+            alive: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            last_heard_ms: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            pending_damage: Mutex::new(VecDeque::new()),
+            pending_reset: AtomicBool::new(false),
+            reset_used: AtomicBool::new(false),
+            suspected_epoch: AtomicU64::new(0),
+            redialing: AtomicBool::new(false),
+        }
+    }
+
     fn send(&self, kind: FrameKind, payload: &[u8]) -> Result<(), TransportError> {
-        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        write_frame(&mut *w, kind, payload).map_err(|_| {
+        let mut g = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(w) = g.as_mut() else {
+            return Err(TransportError::PeerDisconnected { shard: self.shard });
+        };
+        write_frame(w, kind, payload).map_err(|_| {
+            self.alive.store(false, Ordering::Release);
+            TransportError::PeerDisconnected { shard: self.shard }
+        })
+    }
+
+    /// Writes pre-encoded (injector-mangled) frame bytes.
+    fn send_raw(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        use std::io::Write as _;
+        let mut g = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(w) = g.as_mut() else {
+            return Err(TransportError::PeerDisconnected { shard: self.shard });
+        };
+        w.write_all(bytes).map_err(|_| {
             self.alive.store(false, Ordering::Release);
             TransportError::PeerDisconnected { shard: self.shard }
         })
@@ -139,17 +241,430 @@ impl Peer {
 /// and its reader threads.
 type EdgeMap = HashMap<(usize, usize), (usize, usize)>;
 
+/// Everything the connection machinery shares: the peer table, the
+/// mailbox the readers deliver into, the chaos plan, and the wire-fault
+/// ledger. One per shard process.
+struct Fabric {
+    /// Our shard id.
+    id: usize,
+    /// The rendezvous directory (redial targets live here).
+    dir: PathBuf,
+    /// The `--conn-timeout` deadline governing bootstrap, heartbeats,
+    /// staleness and degraded waits.
+    conn_timeout: Duration,
+    /// Whether the supervised-restart machinery (degraded waits, redial,
+    /// rejoin accepts) is armed.
+    respawn: bool,
+    restart_budget: u64,
+    /// The seeded wire-fault plan (rate 0 when disarmed).
+    plan: WireFaultPlan,
+    /// Epoch for the heartbeat clock.
+    origin: Instant,
+    /// The wire-fault ledger this process injects into.
+    wire: Mutex<FaultReport>,
+    /// Serialized writer to the parent (`None` in unit tests).
+    parent: Option<Mutex<UnixStream>>,
+    /// At most one injected stall per process.
+    stall_used: AtomicBool,
+    /// Run teardown: stops heartbeat/accept/redial threads.
+    stop: AtomicBool,
+    /// Peer table by shard id (`None` at our own slot).
+    peers: Vec<Option<Arc<Peer>>>,
+    mailbox: Arc<Mailbox>,
+    edges: Arc<EdgeMap>,
+}
+
+impl Fabric {
+    fn peer(&self, shard: usize) -> Result<&Arc<Peer>, TransportError> {
+        match self.peers.get(shard) {
+            Some(Some(p)) => Ok(p),
+            _ => Err(TransportError::PeerDisconnected { shard }),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// The peer has been silent past the deadline.
+    fn stale(&self, peer: &Peer) -> bool {
+        let heard = peer.last_heard_ms.load(Ordering::Relaxed);
+        self.now_ms().saturating_sub(heard) > self.conn_timeout.as_millis() as u64
+    }
+
+    fn ledger<R>(&self, f: impl FnOnce(&mut FaultReport) -> R) -> R {
+        let mut l = self.wire.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut l)
+    }
+
+    fn send_parent(&self, kind: FrameKind, payload: &[u8]) -> Result<(), TransportError> {
+        let Some(p) = &self.parent else { return Ok(()) };
+        let mut w = p.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut *w, kind, payload).map_err(TransportError::Frame)
+    }
+}
+
+/// Replays the whole resend cache to the peer's current connection —
+/// the recovery step behind both `Resend` requests and reconnects.
+fn replay_cache(peer: &Peer) {
+    let payloads: Vec<Vec<u8>> = {
+        let cache = peer.cache.lock().unwrap_or_else(|p| p.into_inner());
+        cache.values().cloned().collect()
+    };
+    for payload in payloads {
+        if peer.send(FrameKind::Ghost, &payload).is_err() {
+            return;
+        }
+    }
+}
+
+/// Installs a (re)connected stream into the peer slot: swaps the writer,
+/// bumps the epoch, credits a pending reset, spawns the reader for the
+/// new connection and replays the resend cache across it.
+fn install_conn(
+    fabric: &Arc<Fabric>,
+    peer: &Arc<Peer>,
+    stream: UnixStream,
+) -> Result<(), TransportError> {
+    let rs = stream.try_clone().map_err(io_err)?;
+    let epoch = {
+        let mut g = peer.conn.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(old) = g.take() {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        *g = Some(stream);
+        peer.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    };
+    peer.alive.store(true, Ordering::Release);
+    peer.done.store(false, Ordering::Release);
+    peer.last_heard_ms.store(fabric.now_ms(), Ordering::Relaxed);
+    if peer.pending_reset.swap(false, Ordering::SeqCst) {
+        fabric.ledger(|l| {
+            l.wire_detected.reset += 1;
+            l.wire_recovered.reset += 1;
+        });
+    }
+    {
+        let (f, p) = (Arc::clone(fabric), Arc::clone(peer));
+        std::thread::spawn(move || reader_loop(f, p, rs, epoch));
+    }
+    replay_cache(peer);
+    Ok(())
+}
+
+/// The connection died under this epoch: mark the peer down, settle the
+/// injector's books (damage whose `Resend` can no longer arrive is
+/// recovered by the reconnect replay instead) and, when we are the
+/// designated initiator (the higher id dials the lower one's listener —
+/// the bootstrap rule), start redialing.
+fn conn_down(fabric: &Arc<Fabric>, peer: &Arc<Peer>, epoch: u64) {
+    if peer.epoch.load(Ordering::SeqCst) != epoch {
+        return; // superseded: a fresh connection is already installed
+    }
+    peer.alive.store(false, Ordering::Release);
+    let drained: Vec<WireFaultKind> = {
+        let mut dmg = peer
+            .pending_damage
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        dmg.drain(..).collect()
+    };
+    if !drained.is_empty() {
+        fabric.ledger(|l| {
+            for k in &drained {
+                l.wire_detected.add(k, 1);
+                l.wire_recovered.add(k, 1);
+            }
+        });
+    }
+    if fabric.respawn && !fabric.stop.load(Ordering::Acquire) && peer.shard < fabric.id {
+        spawn_redial(Arc::clone(fabric), Arc::clone(peer));
+    }
+}
+
+/// Redials a lower peer's listener with decorrelated-jitter backoff until
+/// it answers (a reset heals, a respawned shard rejoins) or the budgeted
+/// window closes.
+fn spawn_redial(fabric: Arc<Fabric>, peer: Arc<Peer>) {
+    if peer.redialing.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    std::thread::spawn(move || {
+        let give_up = Instant::now()
+            + fabric
+                .conn_timeout
+                .mul_f64(fabric.restart_budget as f64 + 3.0);
+        let seed = mix64(((fabric.id as u64) << 32) | peer.shard as u64);
+        let mut backoff = RetryBackoff::with_bounds(seed, 500, 100_000);
+        let path = fabric.dir.join(format!("shard{}.sock", peer.shard));
+        while !fabric.stop.load(Ordering::Acquire) && Instant::now() < give_up {
+            if let Ok(mut s) = UnixStream::connect(&path) {
+                if write_frame(&mut s, FrameKind::Hello, &hello_payload(fabric.id)).is_ok()
+                    && install_conn(&fabric, &peer, s).is_ok()
+                {
+                    fabric.ledger(|l| l.reconnects += 1);
+                    break;
+                }
+            }
+            std::thread::sleep(backoff.next_delay());
+        }
+        peer.redialing.store(false, Ordering::SeqCst);
+    });
+}
+
+/// Accepts rejoin dials for the rest of the run: a respawned shard (or a
+/// reset-healing higher peer) dials our listener exactly like bootstrap.
+fn spawn_accept(fabric: Arc<Fabric>, listener: UnixListener) {
+    let _ = listener.set_nonblocking(true);
+    std::thread::spawn(move || loop {
+        if fabric.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                if s.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let _ = s.set_read_timeout(Some(fabric.conn_timeout));
+                let Ok(j) = expect_hello(&mut s) else {
+                    continue;
+                };
+                let _ = s.set_read_timeout(None);
+                if j == fabric.id {
+                    continue;
+                }
+                if let Some(Some(peer)) = fabric.peers.get(j) {
+                    let _ = install_conn(&fabric, peer, s);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    });
+}
+
+/// Heartbeats every live peer and the parent at a quarter of the
+/// deadline, so silence is a signal and not just slowness. Skipping a
+/// held writer mutex is deliberate: a stalled connection must fall
+/// silent for its peer's staleness check to fire.
+fn spawn_heartbeats(fabric: Arc<Fabric>) {
+    std::thread::spawn(move || {
+        let interval =
+            (fabric.conn_timeout / 4).clamp(Duration::from_millis(25), Duration::from_secs(2));
+        loop {
+            std::thread::sleep(interval);
+            if fabric.stop.load(Ordering::Acquire) {
+                return;
+            }
+            for peer in fabric.peers.iter().flatten() {
+                if !peer.alive.load(Ordering::Acquire) || peer.done.load(Ordering::Acquire) {
+                    continue;
+                }
+                if let Ok(mut g) = peer.conn.try_lock() {
+                    if let Some(w) = g.as_mut() {
+                        let _ = write_frame(w, FrameKind::Heartbeat, &[]);
+                    }
+                }
+            }
+            let _ = fabric.send_parent(FrameKind::Heartbeat, &[]);
+        }
+    });
+}
+
+/// Sends a ghost frame through the chaos injector. The payload is
+/// already in the resend cache, so a send that cannot complete while the
+/// respawn machinery is armed is *held*, not failed: the reconnect
+/// replay delivers it.
+fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), TransportError> {
+    let inject = fabric.plan.is_armed()
+        && peer.alive.load(Ordering::Acquire)
+        && !peer.done.load(Ordering::Acquire);
+    if !inject {
+        return send_or_hold(fabric, peer, payload);
+    }
+    let seq = peer.seq.fetch_add(1, Ordering::Relaxed);
+    match fabric.plan.sample(fabric.id, peer.shard, seq) {
+        None => send_or_hold(fabric, peer, payload),
+        Some(WireFaultKind::Delay { delay_us }) => {
+            std::thread::sleep(Duration::from_micros(u64::from(delay_us)));
+            fabric.ledger(|l| {
+                l.wire_injected.delay += 1;
+                l.wire_detected.delay += 1;
+                l.wire_recovered.delay += 1;
+                record_delay_us(&mut l.wire_delay_us_hist, u64::from(delay_us));
+            });
+            send_or_hold(fabric, peer, payload)
+        }
+        Some(kind @ WireFaultKind::Corrupt { salt }) => {
+            let mut bytes = frame::encode(FrameKind::Ghost, payload);
+            let pos = frame::HEADER_LEN + (salt as usize) % payload.len().max(1);
+            bytes[pos] ^= 0x5a;
+            fabric.ledger(|l| l.wire_injected.corrupt += 1);
+            push_damage(peer, kind);
+            raw_send_or_hold(fabric, peer, &bytes)
+        }
+        Some(kind @ WireFaultKind::Truncate { cut }) => {
+            // The truncation model keeps the stream framed: the declared
+            // length still arrives, but everything past the cut —
+            // including the checksum trailer — is zeroed, and the last
+            // trailer byte is flipped so the mismatch is guaranteed.
+            let mut bytes = frame::encode(FrameKind::Ghost, payload);
+            let start = frame::HEADER_LEN + (cut as usize) % (payload.len() + 8);
+            for b in &mut bytes[start..] {
+                *b = 0;
+            }
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xa5;
+            fabric.ledger(|l| l.wire_injected.truncate += 1);
+            push_damage(peer, kind);
+            raw_send_or_hold(fabric, peer, &bytes)
+        }
+        Some(WireFaultKind::Reset) => {
+            if !fabric.respawn || peer.reset_used.swap(true, Ordering::SeqCst) {
+                return send_or_hold(fabric, peer, payload);
+            }
+            fabric.ledger(|l| l.wire_injected.reset += 1);
+            peer.pending_reset.store(true, Ordering::SeqCst);
+            {
+                let g = peer.conn.lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(s) = g.as_ref() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+            // The frame is lost with the connection; the reconnect
+            // replay carries its cached payload across.
+            Ok(())
+        }
+        Some(WireFaultKind::Stall) => {
+            if !fabric.respawn || fabric.stall_used.swap(true, Ordering::SeqCst) {
+                return send_or_hold(fabric, peer, payload);
+            }
+            // Announce to the parent (its ledger owns the stall triple:
+            // this process usually dies mid-nap), then go silent holding
+            // the writer mutex — heartbeats to this peer stop, its
+            // staleness check fires, and a Suspect escalation follows.
+            // The nap must outlive the victim's staleness deadline but
+            // stay well inside every recovery deadline: a stall that is
+            // never escalated must release the mutex before it can jam
+            // the reconnect replay of some *other* shard's respawn.
+            let _ = fabric.send_parent(FrameKind::WireEvent, &[0]);
+            let hold = fabric.conn_timeout.mul_f64(2.5);
+            let mut g = peer.conn.lock().unwrap_or_else(|p| p.into_inner());
+            std::thread::sleep(hold);
+            // Only reached when the supervisor never killed us (budget
+            // spent elsewhere): resume, the parent credits the stall on
+            // our late Result.
+            if let Some(w) = g.as_mut() {
+                if write_frame(w, FrameKind::Ghost, payload).is_err() {
+                    peer.alive.store(false, Ordering::Release);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn push_damage(peer: &Peer, kind: WireFaultKind) {
+    peer.pending_damage
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push_back(kind);
+}
+
+fn send_or_hold(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), TransportError> {
+    match peer.send(FrameKind::Ghost, payload) {
+        Err(e) if !fabric.respawn => Err(e),
+        _ => Ok(()), // held: the reconnect replay delivers the cache
+    }
+}
+
+fn raw_send_or_hold(fabric: &Fabric, peer: &Arc<Peer>, bytes: &[u8]) -> Result<(), TransportError> {
+    match peer.send_raw(bytes) {
+        Err(e) if !fabric.respawn => Err(e),
+        _ => Ok(()),
+    }
+}
+
+/// Drains one peer connection into the mailbox until the peer says `Bye`,
+/// the socket dies, or a fresh connection supersedes this epoch.
+/// Checksum-mismatched frames leave the stream framed and trigger a
+/// `Resend` request; `Resend` requests from the peer replay our cache and
+/// settle one outstanding injected-damage credit.
+fn reader_loop(fabric: Arc<Fabric>, peer: Arc<Peer>, mut stream: UnixStream, epoch: u64) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(f) => {
+                peer.last_heard_ms.store(fabric.now_ms(), Ordering::Relaxed);
+                match f.kind {
+                    FrameKind::Ghost => {
+                        let Ok(g) = decode_ghost(&f.payload) else {
+                            break;
+                        };
+                        let Some(&(edge, len)) = fabric.edges.get(&(g.from, g.to)) else {
+                            break;
+                        };
+                        if g.block.len() != len {
+                            break;
+                        }
+                        // Recompute the receiver-side checksum the
+                        // executor's verify path will check the staged
+                        // copy against.
+                        let ck = block_checksum_vec3(&g.block);
+                        fabric.mailbox.deliver(edge, g.step, &g.block, ck);
+                    }
+                    FrameKind::Resend => {
+                        let popped = peer
+                            .pending_damage
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .pop_front();
+                        fabric.ledger(|l| {
+                            if let Some(kind) = &popped {
+                                l.wire_detected.add(kind, 1);
+                                l.wire_recovered.add(kind, 1);
+                            }
+                            l.wire_resends += 1;
+                        });
+                        replay_cache(&peer);
+                    }
+                    FrameKind::Heartbeat => {}
+                    // An orderly goodbye: the peer finished its run. Its
+                    // posted blocks stay acquirable, so `alive` stays up.
+                    FrameKind::Bye => {
+                        peer.done.store(true, Ordering::Release);
+                        return;
+                    }
+                    _ => break,
+                }
+            }
+            Err(FrameError::ChecksumMismatch { .. }) => {
+                // Stream still framed: ask for a replay of everything
+                // this peer posted us.
+                if peer.send(FrameKind::Resend, &[]).is_err() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    conn_down(&fabric, &peer, epoch);
+}
+
+// ---------------------------------------------------------------------------
+// The socket-backed Transport.
+// ---------------------------------------------------------------------------
+
 /// The socket-backed [`Transport`] a shard child runs over: local edges
-/// through the shared [`Mailbox`], remote edges as `Ghost` frames, with
-/// the remote side's reader thread delivering into the same mailbox.
+/// through the shared [`Mailbox`], remote edges as `Ghost` frames through
+/// the chaos injector, with the remote side's reader thread delivering
+/// into the same mailbox.
 pub struct ProcLink {
     shard: usize,
-    mailbox: Arc<Mailbox>,
+    fabric: Arc<Fabric>,
     /// PE -> owning shard.
     pe_owner: Vec<usize>,
-    edges: Arc<EdgeMap>,
-    /// Peer connections by shard id (`None` at our own slot).
-    peers: Vec<Option<Arc<Peer>>>,
     params: LinkParams,
     /// Fault-injection knob: hard-exit when posting this step.
     kill_at: Option<u64>,
@@ -166,17 +681,10 @@ impl ProcLink {
             })
     }
 
-    fn peer(&self, shard: usize) -> Result<&Arc<Peer>, TransportError> {
-        match self.peers.get(shard) {
-            Some(Some(p)) => Ok(p),
-            _ => Err(TransportError::PeerDisconnected { shard }),
-        }
-    }
-
     /// Sends an orderly goodbye to every peer (errors ignored — a peer
     /// that already left closed the socket first).
     fn farewell(&self) {
-        for peer in self.peers.iter().flatten() {
+        for peer in self.fabric.peers.iter().flatten() {
             let _ = peer.send(FrameKind::Bye, &[]);
         }
     }
@@ -202,9 +710,10 @@ impl Transport for ProcLink {
             }
         }
         if self.owner_of(to, from)? == self.shard {
-            return self.mailbox.post(step, from, to, block).map(|_| ());
+            return self.fabric.mailbox.post(step, from, to, block).map(|_| ());
         }
         let &(_, len) = self
+            .fabric
             .edges
             .get(&(from, to))
             .ok_or(TransportError::UnknownEdge { from, to })?;
@@ -214,13 +723,13 @@ impl Transport for ProcLink {
                 got: block.len(),
             });
         }
-        let peer = self.peer(self.owner_of(to, from)?)?;
+        let peer = self.fabric.peer(self.owner_of(to, from)?)?;
         let payload = encode_ghost(step, from, to, block);
         peer.cache
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert((from, to), payload.clone());
-        peer.send(FrameKind::Ghost, &payload)
+        ghost_send(&self.fabric, peer, &payload)
     }
 
     fn acquire(
@@ -232,18 +741,56 @@ impl Transport for ProcLink {
     ) -> Result<AcquireInfo, TransportError> {
         let owner = self.owner_of(from, to)?;
         if owner == self.shard {
-            return self.mailbox.acquire(step, from, to, out);
+            return self.fabric.mailbox.acquire(step, from, to, out);
         }
-        let peer = self.peer(owner)?;
-        let alive = Arc::clone(peer);
-        self.mailbox
-            .acquire_watch(step, from, to, out, || alive.alive.load(Ordering::Acquire))
-            .map_err(|e| match e {
-                TransportError::PeerDisconnected { .. } => {
-                    TransportError::PeerDisconnected { shard: owner }
+        let peer = self.fabric.peer(owner)?;
+        if !self.fabric.respawn {
+            // Legacy path: a dead peer fails the acquire immediately.
+            let alive = Arc::clone(peer);
+            return self
+                .fabric
+                .mailbox
+                .acquire_watch(step, from, to, out, || alive.alive.load(Ordering::Acquire))
+                .map_err(|e| match e {
+                    TransportError::PeerDisconnected { .. } => {
+                        TransportError::PeerDisconnected { shard: owner }
+                    }
+                    other => other,
+                });
+        }
+        // Degraded wait: hold through `restart_budget + 2` deadline
+        // rounds — the frame may be riding a reconnect replay, or the
+        // peer may be respawning under the parent's supervision. A peer
+        // that is dead or silent past the deadline is escalated to the
+        // parent once per connection epoch.
+        let rounds = self.fabric.restart_budget + 2;
+        let mut silent_s = 0u64;
+        for _ in 0..rounds {
+            match self
+                .fabric
+                .mailbox
+                .acquire_watch(step, from, to, out, || true)
+            {
+                Ok(info) => return Ok(info),
+                Err(TransportError::Timeout { waited_s, .. }) => {
+                    silent_s += waited_s;
+                    let dead = !peer.alive.load(Ordering::Acquire);
+                    if (dead || self.fabric.stale(peer)) && !peer.done.load(Ordering::Acquire) {
+                        let ep = peer.epoch.load(Ordering::SeqCst) + 1;
+                        if peer.suspected_epoch.swap(ep, Ordering::SeqCst) != ep {
+                            let mut w = ByteWriter::new();
+                            w.u32(owner as u32);
+                            let _ = self.fabric.send_parent(FrameKind::Suspect, &w.finish());
+                        }
+                    }
                 }
-                other => other,
-            })
+                Err(other) => return Err(other),
+            }
+        }
+        Err(TransportError::PeerSuspect {
+            shard: owner,
+            silent_s,
+        })
     }
 
     fn link(&self) -> LinkParams {
@@ -253,75 +800,6 @@ impl Transport for ProcLink {
     fn shutdown(&self) -> Result<(), TransportError> {
         self.farewell();
         Ok(())
-    }
-}
-
-/// Drains one peer connection into the mailbox until the peer says `Bye`
-/// or the socket dies. Checksum-mismatched frames leave the stream framed
-/// and trigger a `Resend` request; `Resend` requests from the peer replay
-/// our cache through the shared writer.
-fn reader_loop(
-    mut stream: UnixStream,
-    peer: Arc<Peer>,
-    mailbox: Arc<Mailbox>,
-    edges: Arc<EdgeMap>,
-) {
-    loop {
-        match read_frame(&mut stream) {
-            Ok(f) => match f.kind {
-                FrameKind::Ghost => {
-                    let Ok(g) = decode_ghost(&f.payload) else {
-                        peer.alive.store(false, Ordering::Release);
-                        return;
-                    };
-                    let Some(&(edge, len)) = edges.get(&(g.from, g.to)) else {
-                        peer.alive.store(false, Ordering::Release);
-                        return;
-                    };
-                    if g.block.len() != len {
-                        peer.alive.store(false, Ordering::Release);
-                        return;
-                    }
-                    // Recompute the receiver-side checksum the executor's
-                    // verify path will check the staged copy against.
-                    let ck = block_checksum_vec3(&g.block);
-                    mailbox.deliver(edge, g.step, &g.block, ck);
-                }
-                FrameKind::Resend => {
-                    let cache = peer.cache.lock().unwrap_or_else(|p| p.into_inner());
-                    for payload in cache.values() {
-                        if peer.send_locked_is_dead(payload) {
-                            return;
-                        }
-                    }
-                }
-                // An orderly goodbye: the peer finished its run. Its
-                // posted blocks stay acquirable, so `alive` stays up.
-                FrameKind::Bye => return,
-                _ => {
-                    peer.alive.store(false, Ordering::Release);
-                    return;
-                }
-            },
-            Err(FrameError::ChecksumMismatch { .. }) => {
-                // Stream still framed: ask for a replay of everything
-                // this peer posted us.
-                if peer.send(FrameKind::Resend, &[]).is_err() {
-                    return;
-                }
-            }
-            Err(_) => {
-                peer.alive.store(false, Ordering::Release);
-                return;
-            }
-        }
-    }
-}
-
-impl Peer {
-    /// Resends one cached payload; returns `true` when the peer is gone.
-    fn send_locked_is_dead(&self, payload: &[u8]) -> bool {
-        self.send(FrameKind::Ghost, payload).is_err()
     }
 }
 
@@ -355,8 +833,8 @@ fn env_usize(key: &str) -> Result<usize, TransportError> {
 
 /// Parses the kill knob for this shard. Creating the once-marker at plan
 /// time is deliberate: this process will deterministically die at the
-/// planned step, and the marker must already exist when the parent's
-/// retry ensemble re-reads the environment.
+/// planned step, and the marker must already exist when the respawned
+/// (or retried) shard re-reads the environment.
 fn kill_plan(shard: usize) -> Option<u64> {
     let spec = std::env::var(ENV_KILL).ok()?;
     let (victim, step) = spec.split_once(':')?;
@@ -392,8 +870,8 @@ fn hello_payload(id: usize) -> Vec<u8> {
     w.finish()
 }
 
-/// The shard-child entry point: rebuild the problem, join the socket
-/// mesh, serve the microbenchmark, run the owned PE slice, report.
+/// The shard-child entry point: join the socket mesh, rebuild the
+/// problem, serve the microbenchmark, run the owned PE slice, report.
 fn child_main() -> Result<(), TransportError> {
     let id = env_usize(ENV_ID)?;
     let dir = PathBuf::from(
@@ -402,19 +880,35 @@ fn child_main() -> Result<(), TransportError> {
     );
     let spec_text = std::fs::read_to_string(dir.join("spec.txt")).map_err(io_err)?;
     let spec = RunSpec::deserialize(&spec_text).map_err(TransportError::Protocol)?;
-    let built = super::run::build(&spec).map_err(TransportError::Protocol)?;
     let shards = spec.shards;
-    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    let conn_timeout = Duration::from_secs_f64(spec.conn_timeout.max(0.001));
+    let attempt = attempt_from_env();
+    let respawn = spec.recovery == "restart" && spec.restart_budget > 0 && shards > 1;
+    // Wire chaos arms only on a shard's first launch: a respawned or
+    // retried generation must not re-injure the recovery it exists for.
+    let plan = if attempt == 0 && spec.wire_fault_rate > 0.0 {
+        WireFaultPlan::uniform(spec.wire_fault_seed, spec.wire_fault_rate)
+    } else {
+        WireFaultPlan::none()
+    };
+    let deadline = Instant::now() + conn_timeout;
 
+    // Dial the parent before the (slow) problem build: a respawned shard
+    // must announce itself within the supervisor's accept window.
     let mut parent = connect_retry(&dir.join("parent.sock"), deadline)?;
     write_frame(&mut parent, FrameKind::Hello, &hello_payload(id))?;
+    let built = super::run::build(&spec).map_err(TransportError::Protocol)?;
 
     // Peer mesh: bind first, then dial down, then accept from above — the
-    // bind-before-dial order makes the mesh deadlock-free.
-    let listener = UnixListener::bind(dir.join(format!("shard{id}.sock"))).map_err(io_err)?;
+    // bind-before-dial order makes the mesh deadlock-free. A respawned
+    // shard unlinks its stale socket file from the previous generation.
+    let sock_path = dir.join(format!("shard{id}.sock"));
+    let _ = std::fs::remove_file(&sock_path);
+    let listener = UnixListener::bind(&sock_path).map_err(io_err)?;
+    let mesh_deadline = Instant::now() + conn_timeout;
     let mut streams: Vec<Option<UnixStream>> = (0..shards).map(|_| None).collect();
     for j in 0..id {
-        let mut s = connect_retry(&dir.join(format!("shard{j}.sock")), deadline)?;
+        let mut s = connect_retry(&dir.join(format!("shard{j}.sock")), mesh_deadline)?;
         write_frame(&mut s, FrameKind::Hello, &hello_payload(id))?;
         streams[j] = Some(s);
     }
@@ -449,11 +943,11 @@ fn child_main() -> Result<(), TransportError> {
         }
     };
 
-    // Assemble the link and its reader threads.
+    // Assemble the fabric and its reader threads.
     let parts = spec.parts;
     let owned = shard_pe_range(parts, shards, id);
     let edge_list = ghost_edges(&built.system);
-    let mailbox = Arc::new(Mailbox::new(&edge_list, default_timeout()));
+    let mailbox = Arc::new(Mailbox::new(&edge_list, steady_timeout(conn_timeout)));
     let edges: Arc<EdgeMap> = Arc::new(
         edge_list
             .iter()
@@ -465,28 +959,38 @@ fn child_main() -> Result<(), TransportError> {
         .map(|q| (0..shards).find(|&k| shard_pe_range(parts, shards, k).contains(&q)))
         .map(|k| k.expect("shard ranges tile the PE space"))
         .collect();
-    let mut peers: Vec<Option<Arc<Peer>>> = (0..shards).map(|_| None).collect();
-    let mut readers = Vec::new();
+    let peers: Vec<Option<Arc<Peer>>> = (0..shards)
+        .map(|j| (j != id).then(|| Arc::new(Peer::new(j))))
+        .collect();
+    let fabric = Arc::new(Fabric {
+        id,
+        dir: dir.clone(),
+        conn_timeout,
+        respawn,
+        restart_budget: spec.restart_budget,
+        plan,
+        origin: Instant::now(),
+        wire: Mutex::new(FaultReport::default()),
+        parent: Some(Mutex::new(parent.try_clone().map_err(io_err)?)),
+        stall_used: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        peers,
+        mailbox,
+        edges,
+    });
     for (j, slot) in streams.iter_mut().enumerate() {
         let Some(s) = slot.take() else { continue };
-        let rs = s.try_clone().map_err(io_err)?;
-        let peer = Arc::new(Peer {
-            shard: j,
-            writer: Mutex::new(s),
-            cache: Mutex::new(HashMap::new()),
-            alive: AtomicBool::new(true),
-        });
-        peers[j] = Some(Arc::clone(&peer));
-        let mb = Arc::clone(&mailbox);
-        let em = Arc::clone(&edges);
-        readers.push(std::thread::spawn(move || reader_loop(rs, peer, mb, em)));
+        let peer = fabric.peer(j)?;
+        install_conn(&fabric, &Arc::clone(peer), s)?;
     }
+    if respawn {
+        spawn_accept(Arc::clone(&fabric), listener);
+    }
+    spawn_heartbeats(Arc::clone(&fabric));
     let link = Arc::new(ProcLink {
         shard: id,
-        mailbox,
+        fabric: Arc::clone(&fabric),
         pe_owner,
-        edges,
-        peers,
         params: LinkParams {
             t_l,
             t_w,
@@ -519,10 +1023,39 @@ fn child_main() -> Result<(), TransportError> {
         )));
     }
 
+    // Let the injector's books settle before snapshotting the ledger:
+    // outstanding damage credits ride on peers' Resend requests, which
+    // may still be in flight right after the last step.
+    if fabric.plan.is_armed() {
+        let settle = Instant::now() + conn_timeout;
+        while Instant::now() < settle {
+            let outstanding = fabric.peers.iter().flatten().any(|p| {
+                !p.pending_damage
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty()
+                    || p.pending_reset.load(Ordering::SeqCst)
+            });
+            if !outstanding {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     // Report: gather lists + post-exchange partials per owned PE, plus
-    // counters, phase walls and the fault ledger.
+    // counters, phase walls and the fault ledger (with this process's
+    // wire-chaos triple folded in).
     let report = exec.report();
     let boundary = exec.overlap_boundary_rows().map(|b| b.to_vec());
+    let wire = fabric.ledger(|l| *l);
+    let mut fault = report.fault;
+    if wire.wire_injected.total() > 0 || wire.wire_resends > 0 || wire.reconnects > 0 {
+        match fault.as_mut() {
+            Some(acc) => acc.merge(&wire),
+            None => fault = Some(wire),
+        }
+    }
     let pes: Vec<PeResult> = owned
         .clone()
         .map(|q| {
@@ -553,13 +1086,30 @@ fn child_main() -> Result<(), TransportError> {
             report.phases.fold,
         ],
         pes,
-        fault: report.fault,
+        fault,
     };
-    write_frame(&mut parent, FrameKind::Result, &encode_result(&result))?;
+    fabric.send_parent(FrameKind::Result, &encode_result(&result))?;
     link.farewell();
-    // The parent stops reading the moment the Result frame lands, so this
-    // courtesy Bye can race the dropped socket — not a failure.
-    let _ = write_frame(&mut parent, FrameKind::Bye, &[]);
+    if respawn {
+        // Hold the mesh open for laggards: a survivor that exits now
+        // would strand a respawned peer's rejoin dial. The parent's Bye
+        // releases everyone after the last Result lands.
+        parent
+            .set_read_timeout(Some(conn_timeout.mul_f64(spec.restart_budget as f64 + 4.0)))
+            .map_err(io_err)?;
+        loop {
+            match read_frame(&mut parent) {
+                Ok(f) if f.kind == FrameKind::Bye => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    } else {
+        // The parent stops reading the moment the Result frame lands, so
+        // this courtesy Bye can race the dropped socket — not a failure.
+        let _ = write_frame(&mut parent, FrameKind::Bye, &[]);
+    }
+    fabric.stop.store(true, Ordering::Release);
     Ok(())
 }
 
@@ -659,29 +1209,256 @@ fn microbench(conn: &mut UnixStream) -> Result<LinkParams, TransportError> {
     })
 }
 
-fn merge_fault(into: &mut FaultReport, fr: &FaultReport) {
-    for (a, b) in [
-        (&mut into.injected, &fr.injected),
-        (&mut into.detected, &fr.detected),
-        (&mut into.recovered, &fr.recovered),
-    ] {
-        a.straggle += b.straggle;
-        a.drop += b.drop;
-        a.corrupt += b.corrupt;
-        a.crash += b.crash;
-    }
-    into.retries += fr.retries;
-    into.refetches += fr.refetches;
-    into.replayed_steps += fr.replayed_steps;
-    into.checkpoints += fr.checkpoints;
-    into.restores += fr.restores;
-    into.degraded_shards += fr.degraded_shards;
-    into.respawned_workers += fr.respawned_workers;
+fn spawn_child(exe: &Path, dir: &Path, k: usize, attempt: u64) -> Result<Child, TransportError> {
+    Command::new(exe)
+        .env(ENV_ROLE, "shard")
+        .env(ENV_ID, k.to_string())
+        .env(ENV_DIR, dir)
+        .env(ENV_ATTEMPT, attempt.to_string())
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(io_err)
 }
 
-/// Launches the shard ensemble for a spec and merges its results. With
-/// the `restart` recovery policy a failed ensemble is retried once — the
-/// run is a pure function of the spec, so the retry is exact.
+/// What one shard's result reader tells the supervisor.
+enum Ev {
+    Result(Box<ShardResult>),
+    /// The shard accuses another of hanging (`Suspect` frame).
+    Suspect(usize),
+    /// The shard announced an injected stall (`WireEvent` frame).
+    Stall,
+    /// Nothing heard for a whole deadline — not even a heartbeat.
+    Silent,
+    /// The connection or the protocol died with this error.
+    Gone(TransportError),
+}
+
+/// `(shard, generation, event)` — stale generations are dropped.
+type EvMsg = (usize, u64, Ev);
+
+/// One blocking reader per live shard connection. The read deadline is
+/// the supervision clock: heartbeats reset it, and a full deadline of
+/// silence surfaces as [`Ev::Silent`] instead of blocking forever (the
+/// hung-peer hazard the old unbounded reader had).
+fn parent_reader(mut s: UnixStream, k: usize, gen: u64, tx: mpsc::Sender<EvMsg>) {
+    loop {
+        match read_frame(&mut s) {
+            Ok(f) => match f.kind {
+                FrameKind::Result => {
+                    let ev = match decode_result(&f.payload) {
+                        Ok(res) => Ev::Result(Box::new(res)),
+                        Err(e) => Ev::Gone(e),
+                    };
+                    let _ = tx.send((k, gen, ev));
+                    return;
+                }
+                FrameKind::Heartbeat => {}
+                FrameKind::Suspect => {
+                    let mut r = ByteReader::new(&f.payload);
+                    if let Ok(victim) = r.u32() {
+                        let _ = tx.send((k, gen, Ev::Suspect(victim as usize)));
+                    }
+                }
+                FrameKind::WireEvent => {
+                    let _ = tx.send((k, gen, Ev::Stall));
+                }
+                FrameKind::Bye => {
+                    let _ = tx.send((
+                        k,
+                        gen,
+                        Ev::Gone(TransportError::Protocol("Bye before Result".into())),
+                    ));
+                    return;
+                }
+                _ => {}
+            },
+            Err(FrameError::TimedOut) => {
+                let _ = tx.send((k, gen, Ev::Silent));
+            }
+            Err(FrameError::Closed) => {
+                let _ = tx.send((
+                    k,
+                    gen,
+                    Ev::Gone(TransportError::PeerDisconnected { shard: k }),
+                ));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send((k, gen, Ev::Gone(TransportError::Frame(e))));
+                return;
+            }
+        }
+    }
+}
+
+/// The supervision state the parent threads share per ensemble attempt.
+struct Supervisor<'a> {
+    spec: &'a RunSpec,
+    exe: &'a Path,
+    dir: &'a Path,
+    listener: &'a UnixListener,
+    conn_timeout: Duration,
+    attempt_base: u64,
+    respawn_mode: bool,
+    /// The stored Go frame a respawned shard is released with.
+    go: Vec<u8>,
+    tx: mpsc::Sender<EvMsg>,
+    /// Respawn generation per shard; stale reader events are dropped.
+    gen: Vec<u64>,
+    writers: Vec<UnixStream>,
+    /// The parent's own supervision ledger (stall triple, suspects,
+    /// respawns) merged into the run's fault report at the end.
+    ledger: FaultReport,
+    incidents: Vec<Incident>,
+    /// A shard announced an injected stall and has not resolved yet.
+    pending_stall: Vec<bool>,
+    /// Post-respawn grace window: stale Suspect/Silent events for a
+    /// shard that is rebuilding are expected, not re-escalated.
+    grace: Vec<Option<Instant>>,
+    respawns_used: u64,
+    t0: Instant,
+}
+
+impl Supervisor<'_> {
+    fn t_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    fn in_grace(&self, k: usize) -> bool {
+        matches!(self.grace[k], Some(g) if Instant::now() < g)
+    }
+
+    /// Credits a pending stall: the injured shard either respawned or
+    /// delivered a late Result, so the stall is detected and recovered.
+    fn settle_stall(&mut self, k: usize) {
+        if std::mem::take(&mut self.pending_stall[k]) {
+            self.ledger.wire_detected.stall += 1;
+            self.ledger.wire_recovered.stall += 1;
+        }
+    }
+
+    /// Escalation: respawn the victim — and, in the same batch, every
+    /// other result-less child that has already died — within budget,
+    /// else return the cause as the attempt's failure. Batching is what
+    /// makes concurrent deaths recoverable: a lone rejoiner's mesh
+    /// bootstrap blocks on every peer's listener, so respawning one
+    /// shard at a time would deadlock against a second corpse.
+    fn try_respawn(
+        &mut self,
+        ens: &mut Ensemble,
+        k: usize,
+        done: &[bool],
+        cause: TransportError,
+    ) -> Option<TransportError> {
+        if !self.respawn_mode {
+            return Some(cause);
+        }
+        let mut dead = vec![k];
+        for (j, c) in ens.children.iter_mut().enumerate() {
+            if j != k && !done[j] && matches!(c.try_wait(), Ok(Some(_))) {
+                dead.push(j);
+            }
+        }
+        if self.respawns_used + dead.len() as u64 > self.spec.restart_budget {
+            return Some(cause);
+        }
+        self.respawns_used += dead.len() as u64;
+        self.respawn_shards(ens, &dead).err()
+    }
+
+    /// Kills and relaunches a batch of shards, walks each through the
+    /// bootstrap handshake (Hello, Ready, stored Go) and hands its
+    /// connection to a fresh generation-tagged reader. All replacements
+    /// are spawned before any handshake completes, so their mesh
+    /// bootstraps can re-knit against each other; the survivors'
+    /// redial/accept threads handle their side on their own.
+    fn respawn_shards(&mut self, ens: &mut Ensemble, dead: &[usize]) -> Result<(), TransportError> {
+        for &k in dead {
+            self.gen[k] += 1;
+            let _ = ens.children[k].kill();
+            let _ = ens.children[k].wait();
+            ens.children[k] = spawn_child(self.exe, self.dir, k, self.attempt_base + self.gen[k])?;
+        }
+        // Accept the replacements' Hellos in whatever order they dial in.
+        let deadline = Instant::now() + self.conn_timeout.mul_f64(2.0);
+        let mut conns: Vec<Option<UnixStream>> = (0..self.spec.shards).map(|_| None).collect();
+        let mut missing = dead.len();
+        while missing > 0 {
+            match self.listener.accept() {
+                Ok((mut s, _)) => {
+                    s.set_nonblocking(false).map_err(io_err)?;
+                    s.set_read_timeout(Some(self.conn_timeout))
+                        .map_err(io_err)?;
+                    match expect_hello(&mut s) {
+                        Ok(id) if dead.contains(&id) && conns[id].is_none() => {
+                            conns[id] = Some(s);
+                            missing -= 1;
+                        }
+                        // A stale dial from a dead generation: drop it.
+                        _ => continue,
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    for &k in dead {
+                        if conns[k].is_none() {
+                            if let Ok(Some(status)) = ens.children[k].try_wait() {
+                                if !status.success() {
+                                    return Err(TransportError::PeerDisconnected { shard: k });
+                                }
+                            }
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Io("respawn accept timed out".into()));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        // The rebuild happens between Hello and Ready; the waits are
+        // sequential but the children proceed concurrently.
+        for &k in dead {
+            let mut conn = conns[k].take().expect("accepted above");
+            conn.set_read_timeout(Some(self.conn_timeout.mul_f64(4.0)))
+                .map_err(io_err)?;
+            loop {
+                let f = read_frame(&mut conn)?;
+                match f.kind {
+                    FrameKind::Ready => break,
+                    FrameKind::Heartbeat => continue,
+                    other => {
+                        return Err(TransportError::Protocol(format!(
+                            "respawned shard {k}: expected Ready, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            write_frame(&mut conn, FrameKind::Go, &self.go)?;
+            conn.set_read_timeout(Some(self.conn_timeout))
+                .map_err(io_err)?;
+            let rs = conn.try_clone().map_err(io_err)?;
+            self.writers[k] = conn;
+            let (gen, tx) = (self.gen[k], self.tx.clone());
+            std::thread::spawn(move || parent_reader(rs, k, gen, tx));
+            self.ledger.respawned_shards += 1;
+            self.settle_stall(k);
+            self.grace[k] = Some(Instant::now() + self.conn_timeout.mul_f64(1.5));
+            self.incidents.push(Incident {
+                t_s: self.t_s(),
+                kind: "shard-respawn",
+                shard: k,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Launches the shard ensemble for a spec and merges its results. Inside
+/// an attempt the supervisor recovers per shard (respawn within
+/// `--restart-budget`); with the `restart` recovery policy a failed
+/// attempt is then retried once whole — the run is a pure function of
+/// the spec, so the retry is exact.
 ///
 /// # Errors
 ///
@@ -692,16 +1469,38 @@ pub fn run_parent(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportE
     }
     let attempts = if spec.recovery == "restart" { 2 } else { 1 };
     let mut last = None;
-    for _ in 0..attempts {
-        match run_ensemble(spec, built) {
-            Ok(out) => return Ok(out),
-            Err(e) => last = Some(e),
+    for attempt in 0..attempts {
+        match run_ensemble(spec, built, attempt) {
+            Ok(mut out) => {
+                if attempt > 0 {
+                    let f = out.report.fault.get_or_insert_with(FaultReport::default);
+                    f.ensemble_restarts += attempt;
+                    out.incidents.push(Incident {
+                        t_s: 0.0,
+                        kind: "ensemble-restart",
+                        shard: 0,
+                    });
+                }
+                return Ok(out);
+            }
+            Err(e) => {
+                if attempt + 1 < attempts {
+                    eprintln!("quake: ensemble attempt {attempt} failed ({e}); retrying whole");
+                }
+                last = Some(e);
+            }
         }
     }
     Err(last.expect("at least one attempt ran"))
 }
 
-fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportError> {
+fn run_ensemble(
+    spec: &RunSpec,
+    built: &Built,
+    attempt_base: u64,
+) -> Result<RunOutput, TransportError> {
+    let conn_timeout = Duration::from_secs_f64(spec.conn_timeout.max(0.001));
+    let respawn_mode = spec.recovery == "restart" && spec.restart_budget > 0 && spec.shards > 1;
     let dir = rendezvous_dir()?;
     std::fs::write(dir.join("spec.txt"), spec.serialize()).map_err(io_err)?;
     let listener = UnixListener::bind(dir.join("parent.sock")).map_err(io_err)?;
@@ -712,26 +1511,20 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         dir: dir.clone(),
     };
     for k in 0..spec.shards {
-        let child = Command::new(&exe)
-            .env(ENV_ROLE, "shard")
-            .env(ENV_ID, k.to_string())
-            .env(ENV_DIR, &dir)
-            .stdin(Stdio::null())
-            .spawn()
-            .map_err(io_err)?;
-        ensemble.children.push(child);
+        ensemble
+            .children
+            .push(spawn_child(&exe, &dir, k, attempt_base)?);
     }
 
-    // Collect Hellos.
-    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    // Collect Hellos (children dial before their problem build).
+    let deadline = Instant::now() + conn_timeout.mul_f64(2.0);
     let mut conns: Vec<Option<UnixStream>> = (0..spec.shards).map(|_| None).collect();
     let mut connected = 0;
     while connected < spec.shards {
         match listener.accept() {
             Ok((mut s, _)) => {
                 s.set_nonblocking(false).map_err(io_err)?;
-                s.set_read_timeout(Some(BOOTSTRAP_TIMEOUT))
-                    .map_err(io_err)?;
+                s.set_read_timeout(Some(conn_timeout)).map_err(io_err)?;
                 let id = expect_hello(&mut s)?;
                 if id >= spec.shards || conns[id].is_some() {
                     return Err(TransportError::Protocol(format!(
@@ -759,8 +1552,11 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         .map(|c| c.expect("all shards connected"))
         .collect();
 
-    // Readies, then the microbenchmark, then Go.
+    // Readies (the slow rebuild happens before these), then the
+    // microbenchmark, then Go.
     for (k, conn) in conns.iter_mut().enumerate() {
+        conn.set_read_timeout(Some(conn_timeout.mul_f64(4.0)))
+            .map_err(io_err)?;
         let f = read_frame(conn)?;
         if f.kind != FrameKind::Ready {
             return Err(TransportError::Protocol(format!(
@@ -778,34 +1574,42 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         write_frame(conn, FrameKind::Go, &go)?;
     }
 
-    // One blocking reader per child; the main thread polls for results
-    // and child deaths.
-    let (tx, rx) = mpsc::channel::<(usize, Result<ShardResult, TransportError>)>();
-    let mut handles = Vec::new();
-    for (k, mut s) in conns.into_iter().enumerate() {
-        s.set_read_timeout(None).map_err(io_err)?;
-        let tx = tx.clone();
-        handles.push(std::thread::spawn(move || {
-            let out = (|| loop {
-                let f = read_frame(&mut s)?;
-                match f.kind {
-                    FrameKind::Result => return decode_result(&f.payload),
-                    FrameKind::Bye => {
-                        return Err(TransportError::Protocol("Bye before Result".into()))
-                    }
-                    _ => {}
-                }
-            })();
-            let _ = tx.send((k, out));
-        }));
+    // One deadline-bounded reader per child; the main thread supervises:
+    // results, suspects, stall announcements, silence and deaths.
+    let (tx, rx) = mpsc::channel::<EvMsg>();
+    let mut sup = Supervisor {
+        spec,
+        exe: &exe,
+        dir: &dir,
+        listener: &listener,
+        conn_timeout,
+        attempt_base,
+        respawn_mode,
+        go,
+        tx,
+        gen: vec![0; spec.shards],
+        writers: Vec::new(),
+        ledger: FaultReport::default(),
+        incidents: Vec::new(),
+        pending_stall: vec![false; spec.shards],
+        grace: vec![None; spec.shards],
+        respawns_used: 0,
+        t0: Instant::now(),
+    };
+    for (k, s) in conns.into_iter().enumerate() {
+        s.set_read_timeout(Some(conn_timeout)).map_err(io_err)?;
+        let rs = s.try_clone().map_err(io_err)?;
+        sup.writers.push(s);
+        let tx = sup.tx.clone();
+        std::thread::spawn(move || parent_reader(rs, k, 0, tx));
     }
-    drop(tx);
     let mut results: Vec<Option<ShardResult>> = (0..spec.shards).map(|_| None).collect();
     let mut failure: Option<TransportError> = None;
     let mut pending = spec.shards;
     while pending > 0 && failure.is_none() {
         match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok((k, Ok(res))) => {
+            Ok((k, gen, _)) if gen != sup.gen[k] => {} // stale generation
+            Ok((k, _, Ev::Result(res))) => {
                 if res.shard != k
                     || (res.pe_lo..res.pe_hi) != shard_pe_range(spec.parts, spec.shards, k)
                 {
@@ -814,22 +1618,79 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
                         res.pe_lo, res.pe_hi
                     )));
                 } else {
-                    results[k] = Some(res);
+                    sup.settle_stall(k); // a late Result resolves a stall
+                    results[k] = Some(*res);
                     pending -= 1;
                 }
             }
-            Ok((k, Err(e))) => {
-                failure = Some(match e {
-                    TransportError::Frame(FrameError::Closed) => {
-                        TransportError::PeerDisconnected { shard: k }
-                    }
-                    other => other,
+            Ok((k, _, Ev::Suspect(victim))) => {
+                let actionable =
+                    victim < spec.shards && results[victim].is_none() && !sup.in_grace(victim);
+                if actionable {
+                    sup.ledger.suspects += 1;
+                    sup.incidents.push(Incident {
+                        t_s: sup.t_s(),
+                        kind: "suspect",
+                        shard: victim,
+                    });
+                    let silent_s = conn_timeout.as_secs();
+                    let done: Vec<bool> = results.iter().map(|r| r.is_some()).collect();
+                    failure = sup.try_respawn(
+                        &mut ensemble,
+                        victim,
+                        &done,
+                        TransportError::PeerSuspect {
+                            shard: victim,
+                            silent_s,
+                        },
+                    );
+                }
+                let _ = k;
+            }
+            Ok((k, _, Ev::Stall)) => {
+                sup.ledger.wire_injected.stall += 1;
+                sup.pending_stall[k] = true;
+                sup.incidents.push(Incident {
+                    t_s: sup.t_s(),
+                    kind: "wire-stall",
+                    shard: k,
                 });
+            }
+            Ok((k, _, Ev::Silent)) => {
+                if results[k].is_none() && !sup.in_grace(k) {
+                    sup.ledger.suspects += 1;
+                    sup.incidents.push(Incident {
+                        t_s: sup.t_s(),
+                        kind: "suspect",
+                        shard: k,
+                    });
+                    let silent_s = conn_timeout.as_secs();
+                    let done: Vec<bool> = results.iter().map(|r| r.is_some()).collect();
+                    failure = sup.try_respawn(
+                        &mut ensemble,
+                        k,
+                        &done,
+                        TransportError::PeerSuspect { shard: k, silent_s },
+                    );
+                }
+            }
+            Ok((k, _, Ev::Gone(e))) => {
+                if results[k].is_none() {
+                    let done: Vec<bool> = results.iter().map(|r| r.is_some()).collect();
+                    failure = sup.try_respawn(&mut ensemble, k, &done, e);
+                }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 let done: Vec<bool> = results.iter().map(|r| r.is_some()).collect();
                 if let Some(k) = any_child_dead(&mut ensemble.children, &done) {
-                    failure = Some(TransportError::PeerDisconnected { shard: k });
+                    if !sup.in_grace(k) {
+                        failure = sup.try_respawn(
+                            &mut ensemble,
+                            k,
+                            &done,
+                            TransportError::PeerDisconnected { shard: k },
+                        );
+                    }
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -840,16 +1701,15 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         }
     }
     if let Some(e) = failure {
-        // Ensemble::drop kills the survivors; the closed sockets unblock
-        // the reader threads, so the joins below cannot hang.
+        // Ensemble::drop kills the survivors; the closed sockets and the
+        // read deadlines unwind the reader threads on their own.
         drop(ensemble);
-        for h in handles {
-            let _ = h.join();
-        }
         return Err(e);
     }
-    for h in handles {
-        let _ = h.join();
+    // Release: the respawn-mode children hold the mesh open until this
+    // Bye so a late rejoiner always finds its peers.
+    for w in sup.writers.iter_mut() {
+        let _ = write_frame(w, FrameKind::Bye, &[]);
     }
 
     // Merge: counters per owned slot, phase walls elementwise max (the
@@ -903,7 +1763,7 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         phases.fold = phases.fold.max(res.phases[3]);
         if let Some(fr) = &res.fault {
             match fault.as_mut() {
-                Some(acc) => merge_fault(acc, fr),
+                Some(acc) => acc.merge(fr),
                 None => fault = Some(*fr),
             }
         }
@@ -912,6 +1772,17 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         return Err(TransportError::Protocol(
             "shard results do not cover every global node".into(),
         ));
+    }
+    // Fold in the parent's own supervision ledger (stall triple,
+    // suspects, respawns).
+    let supervised = sup.ledger.respawned_shards > 0
+        || sup.ledger.suspects > 0
+        || sup.ledger.wire_injected.total() > 0;
+    if supervised {
+        match fault.as_mut() {
+            Some(acc) => acc.merge(&sup.ledger),
+            None => fault = Some(sup.ledger),
+        }
     }
     Ok(RunOutput {
         y,
@@ -925,6 +1796,7 @@ fn run_ensemble(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportErr
         boundary_rows: boundary,
         link: params,
         modeled_exchange_s: None,
+        incidents: sup.incidents,
     })
 }
 
@@ -967,10 +1839,9 @@ mod tests {
         ]
     }
 
-    fn spawn_reader(
-        stream: UnixStream,
-        peer_shard: usize,
-    ) -> (Arc<Peer>, Arc<Mailbox>, std::thread::JoinHandle<()>) {
+    /// A two-shard fabric whose only remote peer (shard 1) is a bare
+    /// socketpair end — no parent, no respawn machinery.
+    fn test_fabric(plan: WireFaultPlan) -> (Arc<Fabric>, Arc<Peer>) {
         let edges = test_edges();
         let mailbox = Arc::new(Mailbox::new(&edges, Duration::from_secs(2)));
         let map: Arc<EdgeMap> = Arc::new(
@@ -980,28 +1851,64 @@ mod tests {
                 .map(|(i, e)| ((e.from, e.to), (i, e.len)))
                 .collect(),
         );
-        let peer = Arc::new(Peer {
-            shard: peer_shard,
-            writer: Mutex::new(stream.try_clone().unwrap()),
-            cache: Mutex::new(HashMap::new()),
-            alive: AtomicBool::new(true),
+        let peer = Arc::new(Peer::new(1));
+        let fabric = Arc::new(Fabric {
+            id: 0,
+            dir: std::env::temp_dir(),
+            conn_timeout: Duration::from_secs(2),
+            respawn: false,
+            restart_budget: 0,
+            plan,
+            origin: Instant::now(),
+            wire: Mutex::new(FaultReport::default()),
+            parent: None,
+            stall_used: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            peers: vec![None, Some(Arc::clone(&peer))],
+            mailbox,
+            edges: map,
         });
-        let h = {
-            let (p, m, e) = (Arc::clone(&peer), Arc::clone(&mailbox), Arc::clone(&map));
-            std::thread::spawn(move || reader_loop(stream, p, m, e))
-        };
-        (peer, mailbox, h)
+        (fabric, peer)
+    }
+
+    /// Wires a socketpair end into the peer slot and spawns its reader
+    /// under epoch 0, returning the join handle.
+    fn wire_up(
+        fabric: &Arc<Fabric>,
+        peer: &Arc<Peer>,
+        stream: UnixStream,
+    ) -> std::thread::JoinHandle<()> {
+        *peer.conn.lock().unwrap() = Some(stream.try_clone().unwrap());
+        peer.alive.store(true, Ordering::Release);
+        peer.last_heard_ms.store(fabric.now_ms(), Ordering::Relaxed);
+        let (f, p) = (Arc::clone(fabric), Arc::clone(peer));
+        std::thread::spawn(move || reader_loop(f, p, stream, 0))
+    }
+
+    fn test_link(fabric: &Arc<Fabric>) -> ProcLink {
+        ProcLink {
+            shard: 0,
+            fabric: Arc::clone(fabric),
+            pe_owner: vec![0, 1],
+            params: LinkParams {
+                t_l: 0.0,
+                t_w: 0.0,
+                measured: false,
+            },
+            kill_at: None,
+        }
     }
 
     #[test]
     fn reader_delivers_remote_ghost_blocks_into_the_mailbox() {
         let (mut ours, theirs) = UnixStream::pair().unwrap();
-        let (peer, mailbox, h) = spawn_reader(theirs, 1);
+        let (fabric, peer) = test_fabric(WireFaultPlan::none());
+        let h = wire_up(&fabric, &peer, theirs);
         let block = [Vec3::new(1.5, -2.5, 3.5), Vec3::new(0.25, 0.5, 0.75)];
         let payload = encode_ghost(3, 0, 1, &block);
         write_frame(&mut ours, FrameKind::Ghost, &payload).unwrap();
         let mut out = [Vec3::ZERO; 2];
-        let info = mailbox.acquire(3, 0, 1, &mut out).unwrap();
+        let info = fabric.mailbox.acquire(3, 0, 1, &mut out).unwrap();
         assert_eq!(out[0].x.to_bits(), block[0].x.to_bits());
         assert_eq!(info.checksum, block_checksum_vec3(&block));
         assert!(peer.alive.load(Ordering::Acquire));
@@ -1009,13 +1916,15 @@ mod tests {
         h.join().unwrap();
         // An orderly Bye leaves posted blocks acquirable.
         assert!(peer.alive.load(Ordering::Acquire));
-        assert!(mailbox.acquire(3, 0, 1, &mut out).is_ok());
+        assert!(peer.done.load(Ordering::Acquire));
+        assert!(fabric.mailbox.acquire(3, 0, 1, &mut out).is_ok());
     }
 
     #[test]
     fn checksum_mismatch_triggers_resend_and_stream_stays_framed() {
         let (mut ours, theirs) = UnixStream::pair().unwrap();
-        let (_peer, mailbox, h) = spawn_reader(theirs, 1);
+        let (fabric, peer) = test_fabric(WireFaultPlan::none());
+        let h = wire_up(&fabric, &peer, theirs);
         let block = [Vec3::new(9.0, 8.0, 7.0), Vec3::new(6.0, 5.0, 4.0)];
         let payload = encode_ghost(0, 0, 1, &block);
         // Corrupt one payload byte after framing: the frame checksum now
@@ -1031,7 +1940,7 @@ mod tests {
         // ...and accept the clean replay on the still-framed stream.
         write_frame(&mut ours, FrameKind::Ghost, &payload).unwrap();
         let mut out = [Vec3::ZERO; 2];
-        let info = mailbox.acquire(0, 0, 1, &mut out).unwrap();
+        let info = fabric.mailbox.acquire(0, 0, 1, &mut out).unwrap();
         assert_eq!(out[1].z.to_bits(), block[1].z.to_bits());
         assert_eq!(info.checksum, block_checksum_vec3(&block));
         drop(ours);
@@ -1040,41 +1949,11 @@ mod tests {
 
     #[test]
     fn peer_resends_its_cache_on_request() {
-        // Build a minimal ProcLink whose only remote peer is our end of a
-        // socketpair, post through it, then ask for a resend.
+        // Post through a minimal ProcLink, then ask for a resend.
         let (ours, theirs) = UnixStream::pair().unwrap();
-        let edges = test_edges();
-        let mailbox = Arc::new(Mailbox::new(&edges, Duration::from_secs(2)));
-        let map: Arc<EdgeMap> = Arc::new(
-            edges
-                .iter()
-                .enumerate()
-                .map(|(i, e)| ((e.from, e.to), (i, e.len)))
-                .collect(),
-        );
-        let peer = Arc::new(Peer {
-            shard: 1,
-            writer: Mutex::new(theirs.try_clone().unwrap()),
-            cache: Mutex::new(HashMap::new()),
-            alive: AtomicBool::new(true),
-        });
-        let reader = {
-            let (p, m, e) = (Arc::clone(&peer), Arc::clone(&mailbox), Arc::clone(&map));
-            std::thread::spawn(move || reader_loop(theirs, p, m, e))
-        };
-        let link = ProcLink {
-            shard: 0,
-            mailbox: Arc::clone(&mailbox),
-            pe_owner: vec![0, 1],
-            edges: map,
-            peers: vec![None, Some(Arc::clone(&peer))],
-            params: LinkParams {
-                t_l: 0.0,
-                t_w: 0.0,
-                measured: false,
-            },
-            kill_at: None,
-        };
+        let (fabric, peer) = test_fabric(WireFaultPlan::none());
+        let reader = wire_up(&fabric, &peer, theirs);
+        let link = test_link(&fabric);
         let block = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
         link.post(5, 0, 1, &block).unwrap();
         let mut ours_r = ours.try_clone().unwrap();
@@ -1089,6 +1968,7 @@ mod tests {
         assert_eq!(g.step, 5);
         assert_eq!((g.from, g.to), (0, 1));
         assert_eq!(g.block[1].y.to_bits(), block[1].y.to_bits());
+        assert_eq!(fabric.ledger(|l| l.wire_resends), 1);
         // Typed errors on bad posts, never panics.
         assert!(matches!(
             link.post(5, 0, 1, &block[..1]),
@@ -1106,27 +1986,9 @@ mod tests {
     #[test]
     fn dead_peer_turns_acquires_into_typed_disconnects() {
         let (ours, theirs) = UnixStream::pair().unwrap();
-        let (peer, mailbox, h) = spawn_reader(theirs, 1);
-        let map: Arc<EdgeMap> = Arc::new(
-            test_edges()
-                .iter()
-                .enumerate()
-                .map(|(i, e)| ((e.from, e.to), (i, e.len)))
-                .collect(),
-        );
-        let link = ProcLink {
-            shard: 0,
-            mailbox,
-            pe_owner: vec![0, 1],
-            edges: map,
-            peers: vec![None, Some(Arc::clone(&peer))],
-            params: LinkParams {
-                t_l: 0.0,
-                t_w: 0.0,
-                measured: false,
-            },
-            kill_at: None,
-        };
+        let (fabric, peer) = test_fabric(WireFaultPlan::none());
+        let h = wire_up(&fabric, &peer, theirs);
+        let link = test_link(&fabric);
         drop(ours); // peer dies without Bye
         h.join().unwrap();
         let mut out = [Vec3::ZERO; 2];
@@ -1134,5 +1996,80 @@ mod tests {
             link.acquire(0, 1, 0, &mut out).unwrap_err(),
             TransportError::PeerDisconnected { shard: 1 }
         );
+    }
+
+    #[test]
+    fn injected_wire_damage_is_resent_and_the_ledger_balances() {
+        // A hot plan (rate 0.9) over a legacy fabric: resets and stalls
+        // fall through to clean sends (they need the respawn machinery),
+        // so every injection is a delay, a corruption or a truncation —
+        // all recoverable on a bare socketpair via Resend + replay.
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let (fabric, peer) = test_fabric(WireFaultPlan::uniform(7, 0.9));
+        let reader = wire_up(&fabric, &peer, theirs);
+        let link = test_link(&fabric);
+        let block = [Vec3::new(2.0, 4.0, 8.0), Vec3::new(1.0, 3.0, 9.0)];
+        for step in 0..40u64 {
+            link.post(step, 0, 1, &block).unwrap();
+        }
+        let injected = fabric.ledger(|l| l.wire_injected);
+        assert!(injected.total() > 0, "a 0.9 plan over 40 frames injects");
+        assert!(
+            injected.corrupt + injected.truncate > 0,
+            "damage kinds sampled"
+        );
+        assert_eq!(injected.reset + injected.stall, 0, "gated off respawn");
+        // Far side: drain ghosts, answer every mismatch with Resend,
+        // until the injector's books settle.
+        ours.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut ours_r = ours.try_clone().unwrap();
+        let mut ours_w = ours;
+        let settle = Instant::now() + Duration::from_secs(10);
+        loop {
+            match read_frame(&mut ours_r) {
+                Ok(_) => {}
+                Err(FrameError::ChecksumMismatch { .. }) => {
+                    write_frame(&mut ours_w, FrameKind::Resend, &[]).unwrap();
+                }
+                Err(FrameError::TimedOut) | Err(FrameError::Io(_)) => {
+                    let l = fabric.ledger(|l| *l);
+                    if l.wire_detected.total() == l.wire_injected.total() {
+                        break;
+                    }
+                    assert!(Instant::now() < settle, "ledger never balanced: {l:?}");
+                }
+                Err(e) => panic!("far side lost framing: {e}"),
+            }
+        }
+        let l = fabric.ledger(|l| *l);
+        assert!(l.balanced(), "wire triple balances: {l:?}");
+        assert_eq!(l.wire_detected.total(), l.wire_injected.total());
+        assert_eq!(l.wire_recovered.total(), l.wire_injected.total());
+        assert!(
+            l.wire_resends >= l.wire_injected.corrupt + l.wire_injected.truncate,
+            "every damaged frame drew a Resend"
+        );
+        drop(ours_w);
+        drop(ours_r);
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn damage_credits_survive_a_dying_connection() {
+        // A corrupted frame whose Resend never comes back must still
+        // settle when the connection dies: the drain-credit at conn_down
+        // keeps the shard's ledger a full triple.
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let (fabric, peer) = test_fabric(WireFaultPlan::none());
+        let h = wire_up(&fabric, &peer, theirs);
+        push_damage(&peer, WireFaultKind::Corrupt { salt: 3 });
+        fabric.ledger(|l| l.wire_injected.corrupt += 1);
+        drop(ours); // the peer dies before requesting a resend
+        h.join().unwrap();
+        let l = fabric.ledger(|l| *l);
+        assert!(l.balanced(), "drain-credit balanced the triple: {l:?}");
+        assert_eq!(l.wire_detected.corrupt, 1);
+        assert_eq!(l.wire_recovered.corrupt, 1);
     }
 }

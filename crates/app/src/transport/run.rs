@@ -51,6 +51,22 @@ pub struct RunOutput {
     pub link: LinkParams,
     /// Netsim only: modeled exchange seconds per PE over all steps.
     pub modeled_exchange_s: Option<Vec<f64>>,
+    /// Proc only: supervisor-observed recovery incidents (suspects,
+    /// shard respawns, stall announcements), in wall-clock order.
+    pub incidents: Vec<Incident>,
+}
+
+/// One supervisor-observed recovery event on the proc fabric, stamped
+/// relative to the ensemble's Go.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Seconds since the ensemble released the shards.
+    pub t_s: f64,
+    /// What happened: `wire-stall`, `suspect`, `shard-respawn`,
+    /// `ensemble-restart`.
+    pub kind: &'static str,
+    /// The shard the event concerns.
+    pub shard: usize,
 }
 
 /// The partitioner registry, keyed by the CLI spelling.
@@ -205,6 +221,7 @@ pub fn run_with(kind: TransportKind, spec: &RunSpec, built: &Built) -> Result<Ru
         boundary_rows: exec.overlap_boundary_rows().map(|b| b.to_vec()),
         link: params,
         modeled_exchange_s: netsim.map(|t| t.modeled_exchange_s()),
+        incidents: Vec::new(),
     })
 }
 

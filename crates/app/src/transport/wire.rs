@@ -212,6 +212,25 @@ fn encode_fault(w: &mut ByteWriter, fr: &FaultReport) {
     ] {
         w.u64(v);
     }
+    for c in [&fr.wire_injected, &fr.wire_detected, &fr.wire_recovered] {
+        w.u64(c.corrupt);
+        w.u64(c.truncate);
+        w.u64(c.delay);
+        w.u64(c.reset);
+        w.u64(c.stall);
+    }
+    for v in [
+        fr.wire_resends,
+        fr.reconnects,
+        fr.suspects,
+        fr.respawned_shards,
+        fr.ensemble_restarts,
+    ] {
+        w.u64(v);
+    }
+    for b in fr.wire_delay_us_hist {
+        w.u64(b);
+    }
 }
 
 fn decode_fault(r: &mut ByteReader<'_>) -> Result<FaultReport, TransportError> {
@@ -222,7 +241,7 @@ fn decode_fault(r: &mut ByteReader<'_>) -> Result<FaultReport, TransportError> {
         c.corrupt = r.u64()?;
         c.crash = r.u64()?;
     }
-    Ok(FaultReport {
+    let mut fr = FaultReport {
         injected: counts[0],
         detected: counts[1],
         recovered: counts[2],
@@ -233,7 +252,28 @@ fn decode_fault(r: &mut ByteReader<'_>) -> Result<FaultReport, TransportError> {
         restores: r.u64()?,
         degraded_shards: r.u64()?,
         respawned_workers: r.u64()?,
-    })
+        ..FaultReport::default()
+    };
+    for c in [
+        &mut fr.wire_injected,
+        &mut fr.wire_detected,
+        &mut fr.wire_recovered,
+    ] {
+        c.corrupt = r.u64()?;
+        c.truncate = r.u64()?;
+        c.delay = r.u64()?;
+        c.reset = r.u64()?;
+        c.stall = r.u64()?;
+    }
+    fr.wire_resends = r.u64()?;
+    fr.reconnects = r.u64()?;
+    fr.suspects = r.u64()?;
+    fr.respawned_shards = r.u64()?;
+    fr.ensemble_restarts = r.u64()?;
+    for b in fr.wire_delay_us_hist.iter_mut() {
+        *b = r.u64()?;
+    }
+    Ok(fr)
 }
 
 /// Encodes a shard's result bundle.
@@ -397,6 +437,18 @@ pub struct RunSpec {
     pub x_seed: u64,
     /// Compute-phase microkernel (CLI spelling: `micro` or `micro-simd`).
     pub kernel: String,
+    /// Connection deadline in seconds: bounds the bootstrap rendezvous,
+    /// the steady-state peer-silence window, and the degraded wait while
+    /// a shard respawns.
+    pub conn_timeout: f64,
+    /// Wire chaos rate (0 disarms the socket-stream injector).
+    pub wire_fault_rate: f64,
+    /// Wire fault sampler seed.
+    pub wire_fault_seed: u64,
+    /// How many times the supervisor may respawn each individual shard
+    /// before falling back to the whole-ensemble retry (0 disables
+    /// per-shard respawn entirely).
+    pub restart_budget: u64,
 }
 
 impl Default for RunSpec {
@@ -422,6 +474,10 @@ impl Default for RunSpec {
             x_kind: "trig".into(),
             x_seed: 0,
             kernel: "micro".into(),
+            conn_timeout: 30.0,
+            wire_fault_rate: 0.0,
+            wire_fault_seed: 0,
+            restart_budget: 2,
         }
     }
 }
@@ -434,7 +490,9 @@ impl RunSpec {
             "period {:?}\nscale {:?}\nseed {}\nparts {}\nthreads {}\nsteps {}\n\
              partitioner {}\nrcm {}\noverlap {}\nfault_rate {:?}\nfault_seed {}\n\
              recovery {}\ncheckpoint_every {}\ntrace {}\ndrift_threshold {:?}\n\
-             span_capacity {}\nshards {}\nx_kind {}\nx_seed {}\nkernel {}\n",
+             span_capacity {}\nshards {}\nx_kind {}\nx_seed {}\nkernel {}\n\
+             conn_timeout {:?}\nwire_fault_rate {:?}\nwire_fault_seed {}\n\
+             restart_budget {}\n",
             self.period,
             self.scale,
             self.seed,
@@ -455,6 +513,10 @@ impl RunSpec {
             self.x_kind,
             self.x_seed,
             self.kernel,
+            self.conn_timeout,
+            self.wire_fault_rate,
+            self.wire_fault_seed,
+            self.restart_budget,
         )
     }
 
@@ -500,6 +562,10 @@ impl RunSpec {
                 "x_kind" => spec.x_kind = val.to_string(),
                 "x_seed" => set(&mut spec.x_seed, key, val)?,
                 "kernel" => spec.kernel = val.to_string(),
+                "conn_timeout" => set(&mut spec.conn_timeout, key, val)?,
+                "wire_fault_rate" => set(&mut spec.wire_fault_rate, key, val)?,
+                "wire_fault_seed" => set(&mut spec.wire_fault_seed, key, val)?,
+                "restart_budget" => set(&mut spec.restart_budget, key, val)?,
                 other => return Err(format!("unknown spec key '{other}'")),
             }
         }
@@ -527,11 +593,26 @@ mod tests {
             x_kind: "rng".into(),
             x_seed: 42,
             kernel: "micro-simd".into(),
+            conn_timeout: 1.25,
+            wire_fault_rate: 0.375,
+            wire_fault_seed: 0xbead,
+            restart_budget: 3,
             ..RunSpec::default()
         };
         spec.drift_threshold = 1.75;
         let text = spec.serialize();
         assert_eq!(RunSpec::deserialize(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn legacy_specs_without_wire_keys_still_parse() {
+        // PR 6 spec files predate the wire-chaos knobs; missing keys must
+        // fall back to defaults so old rendezvous dirs stay readable.
+        let spec = RunSpec::deserialize("parts 6\nshards 3\n").unwrap();
+        assert_eq!(spec.parts, 6);
+        assert_eq!(spec.conn_timeout, 30.0);
+        assert_eq!(spec.wire_fault_rate, 0.0);
+        assert_eq!(spec.restart_budget, 2);
     }
 
     #[test]
@@ -605,9 +686,21 @@ mod tests {
                     boundary_rows: None,
                 },
             ],
-            fault: Some(FaultReport {
-                retries: 3,
-                ..FaultReport::default()
+            fault: Some({
+                let mut fr = FaultReport {
+                    retries: 3,
+                    wire_resends: 2,
+                    reconnects: 1,
+                    suspects: 1,
+                    respawned_shards: 1,
+                    ensemble_restarts: 1,
+                    ..FaultReport::default()
+                };
+                fr.wire_injected.truncate = 4;
+                fr.wire_detected.truncate = 4;
+                fr.wire_recovered.truncate = 4;
+                fr.wire_delay_us_hist[7] = 9;
+                fr
             }),
         };
         let bytes = encode_result(&res);

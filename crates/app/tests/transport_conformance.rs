@@ -204,12 +204,127 @@ fn run_case(spec: &RunSpec, case: u64) {
     }
 }
 
+/// The wire-chaos matrix: seeded fault injection on the live socket
+/// stream — payload corruption, tail truncation, delays, connection
+/// resets and hung-peer stalls — across shard counts and schedule
+/// variants. Every recovered run must be bitwise-identical to the
+/// fault-free shared-memory run of the same spec, with exactly matching
+/// per-PE counters and a balanced wire ledger, and an intact restart
+/// budget must never escalate to a whole-ensemble restart.
+fn wire_chaos_matrix(quick: bool) {
+    let cells: Vec<(usize, bool, bool, bool)> = if quick {
+        vec![
+            (2, false, false, false),
+            (3, true, false, true),
+            (2, false, true, true),
+            (3, true, true, false),
+        ]
+    } else {
+        let mut v = Vec::new();
+        for shards in [2usize, 3] {
+            for rcm in [false, true] {
+                for overlap in [false, true] {
+                    for trace in [false, true] {
+                        v.push((shards, rcm, overlap, trace));
+                    }
+                }
+            }
+        }
+        v
+    };
+    let mut seen = quake_core::fault::WireFaultCounts::default();
+    let mut respawns = 0u64;
+    for (i, &(shards, rcm, overlap, trace)) in cells.iter().enumerate() {
+        let case = 700 + i as u64;
+        let label = format!(
+            "wire case {case} (shards {shards}, rcm {rcm}, overlap {overlap}, trace {trace})"
+        );
+        let mut spec = base_spec(case);
+        spec.threads = 2;
+        spec.shards = shards;
+        spec.rcm = rcm;
+        spec.overlap = overlap;
+        spec.trace = trace;
+        spec.recovery = "restart".to_string();
+        // Deadline and budget sized for the worst chaos cell: every
+        // shard may stall once (each costs one respawn) and a slow
+        // respawn may draw one extra suspect, so the budget needs
+        // headroom above `shards` for the no-ensemble-restart assertion
+        // to be fair.
+        spec.conn_timeout = 1.0;
+        spec.restart_budget = 5;
+        spec.wire_fault_rate = 0.3;
+        spec.wire_fault_seed = 7000 + case;
+        let built = run::build(&spec).unwrap_or_else(|e| panic!("{label}: build failed: {e}"));
+        let reference = run::run_with(TransportKind::Shared, &spec, &built)
+            .unwrap_or_else(|e| panic!("{label}: shared run failed: {e}"));
+        let chaotic = run::run_with(TransportKind::Proc, &spec, &built)
+            .unwrap_or_else(|e| panic!("{label}: proc run failed: {e}"));
+        assert!(
+            bitwise_eq(&reference.y, &chaotic.y),
+            "{label}: recovered output diverged from the fault-free run"
+        );
+        assert_counters_match(&label, &reference, &chaotic);
+        let timeline: Vec<String> = chaotic
+            .incidents
+            .iter()
+            .map(|i| format!("t+{:.2}s shard {} {}", i.t_s, i.shard, i.kind))
+            .collect();
+        let fr = chaotic
+            .report
+            .fault
+            .unwrap_or_else(|| panic!("{label}: a chaos run must carry a fault report"));
+        assert!(
+            fr.wire_injected.total() > 0,
+            "{label}: the armed plan injected nothing; incidents: {timeline:?}\n{fr}"
+        );
+        assert!(fr.balanced(), "{label}: wire ledger unbalanced:\n{fr}");
+        assert_eq!(
+            fr.ensemble_restarts, 0,
+            "{label}: ensemble restart despite an intact shard-restart budget"
+        );
+        seen.corrupt += fr.wire_injected.corrupt;
+        seen.truncate += fr.wire_injected.truncate;
+        seen.delay += fr.wire_injected.delay;
+        seen.reset += fr.wire_injected.reset;
+        seen.stall += fr.wire_injected.stall;
+        respawns += fr.respawned_shards;
+    }
+    if !quick {
+        // Across the full matrix every fault kind must have fired at
+        // least once — otherwise the matrix is not exercising what it
+        // claims to.
+        for (kind, n) in [
+            ("corrupt", seen.corrupt),
+            ("truncate", seen.truncate),
+            ("delay", seen.delay),
+            ("reset", seen.reset),
+            ("stall", seen.stall),
+        ] {
+            assert!(n > 0, "wire matrix never injected a {kind} fault");
+        }
+    }
+    println!(
+        "wire chaos matrix: {} cases passed (injected {} = corrupt {} + truncate {} + delay {} \
+         + reset {} + stall {}; {} shard respawns, 0 ensemble restarts)",
+        cells.len(),
+        seen.total(),
+        seen.corrupt,
+        seen.truncate,
+        seen.delay,
+        seen.reset,
+        seen.stall,
+        respawns
+    );
+}
+
 /// A shard killed mid-step under a non-restart policy must surface as a
 /// clean typed error from the parent — no panic, no hang.
 fn peer_kill_is_a_clean_error(tmp: &std::path::Path) {
     let mut spec = base_spec(900);
     spec.threads = 2;
     spec.shards = 2;
+    spec.conn_timeout = 2.0;
     spec.recovery = "degrade".to_string();
     let marker = tmp.join("kill-once-degrade");
     let built = run::build(&spec).expect("kill fixture builds");
@@ -229,14 +344,16 @@ fn peer_kill_is_a_clean_error(tmp: &std::path::Path) {
     println!("peer-kill failfast: clean typed error ({err})");
 }
 
-/// The same mid-step kill under `restart` recovery: the parent tears the
-/// ensemble down and relaunches it once; the one-shot marker keeps the
-/// second ensemble clean, and the recovered output is bitwise-identical
-/// to the shared-memory transport.
+/// The same mid-step kill under `restart` recovery: the supervisor must
+/// respawn ONLY the dead shard — the survivors hold in degraded wait, the
+/// child rebuilds from the spec and replays — and the recovered output is
+/// bitwise-identical to the shared-memory transport. An ensemble restart
+/// here would mean the shard-level ladder rung was skipped.
 fn peer_kill_restart_recovers(tmp: &std::path::Path) {
     let mut spec = base_spec(901);
     spec.threads = 2;
     spec.shards = 2;
+    spec.conn_timeout = 2.0;
     spec.recovery = "restart".to_string();
     let marker = tmp.join("kill-once-restart");
     let built = run::build(&spec).expect("restart fixture builds");
@@ -250,12 +367,87 @@ fn peer_kill_restart_recovers(tmp: &std::path::Path) {
         marker.exists(),
         "the kill plan must have armed (marker missing)"
     );
-    let out = result.expect("restart recovery must relaunch the ensemble");
+    let out = result.expect("restart recovery must revive the shard");
     assert!(
         bitwise_eq(&reference.y, &out.y),
         "recovered proc output diverged from shared"
     );
-    println!("peer-kill restart: ensemble relaunched, output bitwise-equal");
+    let fr = out.report.fault.expect("a respawn run carries a report");
+    assert!(
+        fr.respawned_shards >= 1,
+        "the kill must recover via a shard respawn, got:\n{fr}"
+    );
+    assert_eq!(
+        fr.ensemble_restarts, 0,
+        "shard-level recovery must not escalate to an ensemble restart"
+    );
+    assert!(
+        out.incidents.iter().any(|i| i.kind == "shard-respawn"),
+        "the incident timeline must record the respawn"
+    );
+    println!(
+        "peer-kill restart: shard respawned in place ({} respawns, 0 ensemble restarts), \
+         output bitwise-equal",
+        fr.respawned_shards
+    );
+}
+
+/// With the shard-restart budget zeroed out, the same one-shot kill must
+/// fall through to the next ladder rung: one whole-ensemble retry, which
+/// succeeds because the kill marker is spent.
+fn budget_zero_falls_back_to_ensemble_retry(tmp: &std::path::Path) {
+    let mut spec = base_spec(902);
+    spec.threads = 2;
+    spec.shards = 2;
+    spec.conn_timeout = 2.0;
+    spec.recovery = "restart".to_string();
+    spec.restart_budget = 0;
+    let marker = tmp.join("kill-once-no-budget");
+    let built = run::build(&spec).expect("budget fixture builds");
+    let reference = run::run_with(TransportKind::Shared, &spec, &built).expect("shared reference");
+    std::env::set_var("QUAKE_PROC_KILL", "0:2");
+    std::env::set_var("QUAKE_PROC_KILL_ONCE", &marker);
+    let result = run::run_with(TransportKind::Proc, &spec, &built);
+    std::env::remove_var("QUAKE_PROC_KILL");
+    std::env::remove_var("QUAKE_PROC_KILL_ONCE");
+    let out = result.expect("the ensemble retry must recover the run");
+    assert!(
+        bitwise_eq(&reference.y, &out.y),
+        "ensemble-retried output diverged from shared"
+    );
+    let fr = out
+        .report
+        .fault
+        .expect("an ensemble retry carries a report");
+    assert_eq!(fr.respawned_shards, 0, "budget 0 forbids shard respawns");
+    assert_eq!(fr.ensemble_restarts, 1, "exactly one ensemble retry");
+    println!("budget-zero kill: recovered by one ensemble retry, output bitwise-equal");
+}
+
+/// A shard that dies on EVERY attempt must exhaust the whole ladder —
+/// restart budget, then the ensemble retry — and surface as a typed
+/// error, not a hang or a panic.
+fn persistent_kill_exhausts_the_ladder() {
+    let mut spec = base_spec(903);
+    spec.threads = 1;
+    spec.steps = 3;
+    spec.shards = 2;
+    spec.conn_timeout = 1.0;
+    spec.recovery = "restart".to_string();
+    spec.restart_budget = 1;
+    let built = run::build(&spec).expect("ladder fixture builds");
+    std::env::set_var("QUAKE_PROC_KILL", "1:1");
+    let result = run::run_with(TransportKind::Proc, &spec, &built);
+    std::env::remove_var("QUAKE_PROC_KILL");
+    let err = match result {
+        Ok(_) => panic!("a persistently dying shard must fail the run"),
+        Err(e) => e,
+    };
+    assert!(
+        err.contains("shard") || err.contains("disconnected") || err.contains("suspect"),
+        "the exhausted ladder must name the shard, got: {err}"
+    );
+    println!("persistent kill: ladder exhausted into a typed error ({err})");
 }
 
 fn main() {
@@ -267,8 +459,11 @@ fn main() {
     let tmp = std::env::temp_dir().join(format!("quake-conformance-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("scratch dir");
     matrix(quick);
+    wire_chaos_matrix(quick);
     peer_kill_is_a_clean_error(&tmp);
     peer_kill_restart_recovers(&tmp);
+    budget_zero_falls_back_to_ensemble_retry(&tmp);
+    persistent_kill_exhausts_the_ladder();
     let _ = std::fs::remove_dir_all(&tmp);
     println!("transport conformance: all sections passed");
 }

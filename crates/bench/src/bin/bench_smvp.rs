@@ -653,6 +653,113 @@ fn transport_pair(rec: &mut Recorder, case: &Case, period: f64, scale: f64) -> L
     link.expect("at least one proc repetition ran")
 }
 
+/// Per-shard respawn vs whole-ensemble retry: the wall-clock price of
+/// recovering one killed shard.
+///
+/// One op is one complete recovered run: shard 1 is killed once at a fixed
+/// step by the deterministic kill plan and the supervisor must bring the
+/// run home. The candidate arm leaves the restart budget open so the
+/// recovery ladder stops at the shard-respawn rung; the baseline arm sets
+/// the budget to zero so the identical kill falls through to the
+/// whole-ensemble retry. Both arms are checked bitwise-equal against a
+/// fault-free shared-memory run, and each arm's fault report must prove
+/// the intended rung fired — otherwise the ratio would compare two
+/// different failures instead of the two recovery paths.
+fn recovery_pair(rec: &mut Recorder, case: &Case, period: f64, scale: f64) {
+    let steps: u64 = if rec.quick { 4 } else { 8 };
+    let reps = if rec.quick { 2 } else { 3 };
+    let mk_spec = |restart_budget: u64| RunSpec {
+        period,
+        scale,
+        parts: EXEC_PARTS,
+        threads: 2,
+        steps,
+        shards: 2,
+        recovery: "restart".to_string(),
+        conn_timeout: 5.0,
+        restart_budget,
+        ..RunSpec::default()
+    };
+    let spec_respawn = mk_spec(2);
+    let spec_ensemble = mk_spec(0);
+    let built = transport_run::build(&spec_respawn).expect("recovery-pair build");
+    let reference = transport_run::run_with(TransportKind::Shared, &spec_respawn, &built)
+        .expect("shared reference");
+    let bitwise = |a: &[Vec3], b: &[Vec3]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(u, v)| {
+                (u.x.to_bits(), u.y.to_bits(), u.z.to_bits())
+                    == (v.x.to_bits(), v.y.to_bits(), v.z.to_bits())
+            })
+    };
+    // Returns (whole-run seconds, shard respawns, ensemble restarts).
+    let recovered_run = |spec: &RunSpec, arm: &str, rep: usize| -> (f64, u64, u64) {
+        let marker = std::env::temp_dir().join(format!(
+            "quake-bench-kill-{}-{arm}-{rep}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&marker);
+        std::env::set_var("QUAKE_PROC_KILL", "1:2");
+        std::env::set_var("QUAKE_PROC_KILL_ONCE", &marker);
+        let t0 = Instant::now();
+        let result = transport_run::run_with(TransportKind::Proc, spec, &built);
+        let secs = t0.elapsed().as_secs_f64();
+        std::env::remove_var("QUAKE_PROC_KILL");
+        std::env::remove_var("QUAKE_PROC_KILL_ONCE");
+        assert!(marker.exists(), "the kill plan must have armed ({arm})");
+        let _ = std::fs::remove_file(&marker);
+        let out = result.expect("a recovery run must come home");
+        assert!(
+            bitwise(&reference.y, &out.y),
+            "recovered {arm} output diverged from the shared transport"
+        );
+        let fr = out
+            .report
+            .fault
+            .expect("a recovery run carries a fault report");
+        (secs, fr.respawned_shards, fr.ensemble_restarts)
+    };
+    let (mut s_respawn, mut s_ensemble) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        let (secs, respawned, ensembles) = recovered_run(&spec_respawn, "respawn", rep);
+        assert!(
+            respawned >= 1 && ensembles == 0,
+            "candidate arm must recover at the shard-respawn rung \
+             (got {respawned} respawns, {ensembles} ensemble restarts)"
+        );
+        s_respawn.push(secs);
+        let (secs, respawned, ensembles) = recovered_run(&spec_ensemble, "ensemble", rep);
+        assert!(
+            respawned == 0 && ensembles == 1,
+            "baseline arm must recover via the whole-ensemble retry \
+             (got {respawned} respawns, {ensembles} ensemble restarts)"
+        );
+        s_ensemble.push(secs);
+    }
+    let median = |s: &mut Vec<f64>| {
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    rec.push(
+        case,
+        "exec",
+        "ensemble",
+        "recovery",
+        2,
+        median(&mut s_ensemble),
+        reps,
+    );
+    rec.push(
+        case,
+        "exec",
+        "respawn",
+        "recovery",
+        2,
+        median(&mut s_respawn),
+        reps,
+    );
+}
+
 fn comparisons(rec: &Recorder, largest_mesh: &str, thread_counts: &[usize]) -> Vec<Json> {
     let meshes: Vec<String> = {
         let mut seen = Vec::new();
@@ -724,6 +831,21 @@ fn comparisons(rec: &Recorder, largest_mesh: &str, thread_counts: &[usize]) -> V
                     ("kernel", Json::str("exec")),
                     ("baseline", Json::str("exec_shared_transport")),
                     ("candidate", Json::str("exec_proc_transport")),
+                    ("speedup", Json::num(b / c)),
+                ]));
+            }
+            // Shard-level respawn vs whole-ensemble retry after a mid-run
+            // kill (only recorded at the recovery pair's thread count).
+            let base = rec.lookup(mesh, "exec", "ensemble", "recovery", threads);
+            let cand = rec.lookup(mesh, "exec", "respawn", "recovery", threads);
+            if let (Some(b), Some(c)) = (base, cand) {
+                out.push(Json::obj(vec![
+                    ("mesh", Json::str(mesh)),
+                    ("largest_mesh", Json::Bool(mesh == largest_mesh)),
+                    ("threads", Json::num(threads as f64)),
+                    ("kernel", Json::str("exec")),
+                    ("baseline", Json::str("exec_ensemble_recovery")),
+                    ("candidate", Json::str("exec_respawn_recovery")),
                     ("speedup", Json::num(b / c)),
                 ]));
             }
@@ -880,6 +1002,10 @@ fn validate(path: &str) -> Result<(), String> {
             "the row-band blocked tile sweep",
         ),
         ("exec_proc_transport", "the multi-process socket transport"),
+        (
+            "exec_respawn_recovery",
+            "the per-shard respawn recovery rung",
+        ),
     ] {
         if !comps
             .iter()
@@ -951,6 +1077,8 @@ fn main() {
         if case.mesh == transport_mesh {
             eprintln!("  transport pair: shared vs proc (2 shards), whole runs...");
             socket_link = Some(transport_pair(&mut rec, &case, period, scale));
+            eprintln!("  recovery pair: shard respawn vs ensemble retry (one kill per run)...");
+            recovery_pair(&mut rec, &case, period, scale);
         }
     }
     let socket = socket_link.expect("transport-pair mesh missing from the family");
@@ -1014,6 +1142,12 @@ fn main() {
                     1.0 / s,
                     socket.t_l,
                     socket.t_w
+                );
+            }
+            Some("exec_respawn_recovery") => {
+                println!(
+                    "{largest_mesh}: per-shard respawn brings a killed run home {s:.2}x \
+                     faster than the whole-ensemble retry"
                 );
             }
             _ => {}

@@ -37,6 +37,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::str::FromStr;
+use std::time::Duration;
+
+/// SplitMix64 finalizer — the stateless mixer behind [`WireFaultPlan`]
+/// sampling and [`RetryBackoff`] jitter. Pure: same input, same output.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a mixed hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +86,220 @@ impl FaultKind {
             FaultKind::Corrupt { .. } => "corrupt",
             FaultKind::Crash => "crash",
         }
+    }
+}
+
+/// One kind of injected *wire* fault — damage applied to the live byte
+/// stream between shard processes, below the in-process chaos layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// A payload byte of the outgoing frame is bit-flipped; the receiver's
+    /// frame checksum detects it and requests a resend.
+    Corrupt {
+        /// Deterministic selector for the flipped byte/bit.
+        salt: u64,
+    },
+    /// The tail of the outgoing frame is zeroed from a cut point (a runt
+    /// frame with an intact length prefix, so the stream stays framed);
+    /// detected exactly like corruption.
+    Truncate {
+        /// Deterministic selector for the cut point.
+        cut: u64,
+    },
+    /// The outgoing frame is held back before hitting the socket.
+    Delay {
+        /// Injected delay in microseconds.
+        delay_us: u32,
+    },
+    /// The connection is torn down mid-run; both sides must reconnect and
+    /// replay their block caches.
+    Reset,
+    /// The sender goes silent while holding the connection open — the
+    /// hung-but-alive peer the heartbeat/deadline layer exists to unmask.
+    Stall,
+}
+
+impl WireFaultKind {
+    /// Short lower-case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WireFaultKind::Corrupt { .. } => "corrupt",
+            WireFaultKind::Truncate { .. } => "truncate",
+            WireFaultKind::Delay { .. } => "delay",
+            WireFaultKind::Reset => "reset",
+            WireFaultKind::Stall => "stall",
+        }
+    }
+}
+
+/// Per-kind wire-fault event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireFaultCounts {
+    /// Bit-flipped frames.
+    pub corrupt: u64,
+    /// Runt (tail-zeroed) frames.
+    pub truncate: u64,
+    /// Artificially delayed frames.
+    pub delay: u64,
+    /// Torn-down connections.
+    pub reset: u64,
+    /// Hung-peer stalls.
+    pub stall: u64,
+}
+
+impl WireFaultCounts {
+    /// Adds `n` events of `kind`.
+    pub fn add(&mut self, kind: &WireFaultKind, n: u64) {
+        match kind {
+            WireFaultKind::Corrupt { .. } => self.corrupt += n,
+            WireFaultKind::Truncate { .. } => self.truncate += n,
+            WireFaultKind::Delay { .. } => self.delay += n,
+            WireFaultKind::Reset => self.reset += n,
+            WireFaultKind::Stall => self.stall += n,
+        }
+    }
+
+    /// Total events across kinds.
+    pub fn total(&self) -> u64 {
+        self.corrupt + self.truncate + self.delay + self.reset + self.stall
+    }
+}
+
+impl fmt::Display for WireFaultCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (corrupt {}, truncate {}, delay {}, reset {}, stall {})",
+            self.total(),
+            self.corrupt,
+            self.truncate,
+            self.delay,
+            self.reset,
+            self.stall
+        )
+    }
+}
+
+/// A seeded, deterministic wire-fault sampler.
+///
+/// Unlike [`FaultPlan`] (which pre-generates events for a known `steps ×
+/// pes` grid), the wire layer cannot enumerate frames up front — frame
+/// counts depend on topology and recovery traffic. So the plan is a *pure
+/// sampling function*: `sample(from, to, seq)` hashes the connection
+/// identity and the per-connection ghost-frame sequence number against the
+/// seed. The same `(seed, rate, from, to, seq)` always yields the same
+/// verdict, which keeps wire chaos replayable without shared RNG state.
+///
+/// Transient kinds (corrupt, truncate, delay) each fire at `rate`; the
+/// disruptive kinds are rarer — reset at `rate/4`, stall at `rate/10` —
+/// mirroring how [`FaultRates::uniform`] treats crashes. Callers cap
+/// resets/stalls per connection; the sampler itself is stateless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+impl WireFaultPlan {
+    /// No wire faults (sampling always misses).
+    pub fn none() -> Self {
+        WireFaultPlan { seed: 0, rate: 0.0 }
+    }
+
+    /// The CLI's one-knob preset over `--wire-fault-rate/--wire-fault-seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        WireFaultPlan { seed, rate }
+    }
+
+    /// True if sampling can ever fire.
+    pub fn is_armed(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// The verdict for ghost frame `seq` on the directed connection
+    /// `from → to`. Rare kinds are checked first so the transients cannot
+    /// shadow them.
+    pub fn sample(&self, from: usize, to: usize, seq: u64) -> Option<WireFaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let conn = ((from as u64) << 32) | to as u64;
+        let mut h = mix64(self.seed ^ mix64(conn) ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut draw = || {
+            h = mix64(h);
+            unit(h)
+        };
+        if draw() < self.rate / 10.0 {
+            return Some(WireFaultKind::Stall);
+        }
+        if draw() < self.rate / 4.0 {
+            return Some(WireFaultKind::Reset);
+        }
+        if draw() < self.rate {
+            h = mix64(h);
+            return Some(WireFaultKind::Corrupt { salt: h });
+        }
+        if draw() < self.rate {
+            h = mix64(h);
+            return Some(WireFaultKind::Truncate { cut: h });
+        }
+        if draw() < self.rate {
+            h = mix64(h);
+            let delay_us = 100 + (h % 700) as u32;
+            return Some(WireFaultKind::Delay { delay_us });
+        }
+        None
+    }
+}
+
+/// Bounded exponential backoff with deterministic *decorrelated jitter*
+/// (`sleep = min(cap, base + rand_between(0, 3·prev − base))`), seeded so
+/// the schedule is reproducible. Used by the exchange re-fetch loop so
+/// retries across PEs don't synchronize, and by the wire layer's
+/// reconnect dialer.
+#[derive(Debug, Clone)]
+pub struct RetryBackoff {
+    state: u64,
+    base_us: u64,
+    cap_us: u64,
+    prev_us: u64,
+}
+
+impl RetryBackoff {
+    /// Default bounds match the historical re-fetch schedule
+    /// (`1<<attempt` µs clamped to 64 µs): base 2 µs, cap 64 µs.
+    pub fn new(seed: u64) -> Self {
+        RetryBackoff::with_bounds(seed, 2, 64)
+    }
+
+    /// Backoff over `[base_us, cap_us]` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_us` is zero or exceeds `cap_us`.
+    pub fn with_bounds(seed: u64, base_us: u64, cap_us: u64) -> Self {
+        assert!(base_us > 0 && base_us <= cap_us, "need 0 < base <= cap");
+        RetryBackoff {
+            state: mix64(seed),
+            base_us,
+            cap_us,
+            prev_us: base_us,
+        }
+    }
+
+    /// The next delay in the schedule: always within `[base, cap]`, grows
+    /// roughly geometrically, and is a pure function of `(seed, call #)`.
+    pub fn next_delay(&mut self) -> Duration {
+        self.state = mix64(self.state);
+        let span = (self.prev_us.saturating_mul(3)).max(self.base_us + 1) - self.base_us;
+        let next = (self.base_us + self.state % span).min(self.cap_us);
+        self.prev_us = next;
+        Duration::from_micros(next)
     }
 }
 
@@ -352,14 +581,93 @@ pub struct FaultReport {
     pub degraded_shards: u64,
     /// Worker threads replaced after a crash (Restart policy).
     pub respawned_workers: u64,
+    /// Wire faults injected on the socket byte stream (proc transport).
+    pub wire_injected: WireFaultCounts,
+    /// Wire faults the receiving side (or the supervisor) noticed.
+    pub wire_detected: WireFaultCounts,
+    /// Wire faults fully healed (resend, reconnect, or shard respawn).
+    pub wire_recovered: WireFaultCounts,
+    /// Cache replays served after a frame-checksum mismatch on the wire.
+    pub wire_resends: u64,
+    /// Socket connections re-established after a reset.
+    pub reconnects: u64,
+    /// Deadline escalations: a peer went silent past the conn timeout and
+    /// was reported to the supervisor as suspect.
+    pub suspects: u64,
+    /// Shard processes respawned individually by the supervisor.
+    pub respawned_shards: u64,
+    /// Whole-ensemble retries (the last-resort fallback).
+    pub ensemble_restarts: u64,
+    /// Log2 histogram of injected wire delays and reconnect backoff waits,
+    /// in microseconds (bucket `i` counts waits in `[2^i, 2^(i+1))` µs;
+    /// the last bucket absorbs the tail).
+    pub wire_delay_us_hist: [u64; 16],
+}
+
+/// Records a wait of `us` microseconds into a wire-delay histogram.
+pub fn record_delay_us(hist: &mut [u64; 16], us: u64) {
+    let bucket = if us == 0 {
+        0
+    } else {
+        (63 - us.leading_zeros() as usize).min(15)
+    };
+    hist[bucket] += 1;
 }
 
 impl FaultReport {
     /// The healing invariant: every injected fault was detected, and every
-    /// detected fault was recovered. Holds for any run that completes under
-    /// [`RecoveryPolicy::Restart`] or [`RecoveryPolicy::Degrade`].
+    /// detected fault was recovered — in-process *and* on the wire. Holds
+    /// for any run that completes under [`RecoveryPolicy::Restart`] or
+    /// [`RecoveryPolicy::Degrade`].
     pub fn balanced(&self) -> bool {
-        self.injected == self.detected && self.detected == self.recovered
+        self.injected == self.detected
+            && self.detected == self.recovered
+            && self.wire_injected == self.wire_detected
+            && self.wire_detected == self.wire_recovered
+    }
+
+    /// Folds another report into this one (elementwise sums).
+    pub fn merge(&mut self, other: &FaultReport) {
+        for (mine, theirs) in [
+            (&mut self.injected, &other.injected),
+            (&mut self.detected, &other.detected),
+            (&mut self.recovered, &other.recovered),
+        ] {
+            mine.straggle += theirs.straggle;
+            mine.drop += theirs.drop;
+            mine.corrupt += theirs.corrupt;
+            mine.crash += theirs.crash;
+        }
+        self.retries += other.retries;
+        self.refetches += other.refetches;
+        self.replayed_steps += other.replayed_steps;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
+        self.degraded_shards += other.degraded_shards;
+        self.respawned_workers += other.respawned_workers;
+        for (mine, theirs) in [
+            (&mut self.wire_injected, &other.wire_injected),
+            (&mut self.wire_detected, &other.wire_detected),
+            (&mut self.wire_recovered, &other.wire_recovered),
+        ] {
+            mine.corrupt += theirs.corrupt;
+            mine.truncate += theirs.truncate;
+            mine.delay += theirs.delay;
+            mine.reset += theirs.reset;
+            mine.stall += theirs.stall;
+        }
+        self.wire_resends += other.wire_resends;
+        self.reconnects += other.reconnects;
+        self.suspects += other.suspects;
+        self.respawned_shards += other.respawned_shards;
+        self.ensemble_restarts += other.ensemble_restarts;
+        for (mine, theirs) in self
+            .wire_delay_us_hist
+            .iter_mut()
+            .zip(other.wire_delay_us_hist.iter())
+        {
+            *mine += *theirs;
+        }
     }
 
     /// Compact single-line JSON for machine consumption (CI assertions,
@@ -372,7 +680,12 @@ impl FaultReport {
                 "\"injected_by_kind\":{{\"straggle\":{},\"drop\":{},\"corrupt\":{},\"crash\":{}}},",
                 "\"retries\":{},\"refetches\":{},\"replayed_steps\":{},",
                 "\"checkpoints\":{},\"restores\":{},\"degraded_shards\":{},",
-                "\"respawned_workers\":{},\"balanced\":{}}}"
+                "\"respawned_workers\":{},",
+                "\"wire_injected\":{},\"wire_detected\":{},\"wire_recovered\":{},",
+                "\"wire_injected_by_kind\":{{\"corrupt\":{},\"truncate\":{},\"delay\":{},",
+                "\"reset\":{},\"stall\":{}}},",
+                "\"wire_resends\":{},\"reconnects\":{},\"suspects\":{},",
+                "\"respawned_shards\":{},\"ensemble_restarts\":{},\"balanced\":{}}}"
             ),
             self.injected.total(),
             self.detected.total(),
@@ -388,6 +701,19 @@ impl FaultReport {
             self.restores,
             self.degraded_shards,
             self.respawned_workers,
+            self.wire_injected.total(),
+            self.wire_detected.total(),
+            self.wire_recovered.total(),
+            self.wire_injected.corrupt,
+            self.wire_injected.truncate,
+            self.wire_injected.delay,
+            self.wire_injected.reset,
+            self.wire_injected.stall,
+            self.wire_resends,
+            self.reconnects,
+            self.suspects,
+            self.respawned_shards,
+            self.ensemble_restarts,
             self.balanced(),
         )
     }
@@ -411,6 +737,27 @@ impl fmt::Display for FaultReport {
             self.degraded_shards,
             self.respawned_workers
         )?;
+        if self.wire_injected.total() > 0
+            || self.wire_resends > 0
+            || self.reconnects > 0
+            || self.suspects > 0
+            || self.respawned_shards > 0
+            || self.ensemble_restarts > 0
+        {
+            writeln!(f, "  wire injected:  {}", self.wire_injected)?;
+            writeln!(f, "  wire detected:  {}", self.wire_detected)?;
+            writeln!(f, "  wire recovered: {}", self.wire_recovered)?;
+            writeln!(
+                f,
+                "  wire recovery work: {} resends, {} reconnects, {} suspects, \
+                 {} shard respawns, {} ensemble restarts",
+                self.wire_resends,
+                self.reconnects,
+                self.suspects,
+                self.respawned_shards,
+                self.ensemble_restarts
+            )?;
+        }
         write!(
             f,
             "  balance: {}",
@@ -620,6 +967,129 @@ mod tests {
             assert_eq!(p.to_string().parse::<RecoveryPolicy>().unwrap(), p);
         }
         assert!("chaos".parse::<RecoveryPolicy>().is_err());
+    }
+
+    #[test]
+    fn wire_plan_sampling_is_deterministic_and_rate_scaled() {
+        let plan = WireFaultPlan::uniform(0x5eed, 0.3);
+        let a: Vec<_> = (0..200).map(|s| plan.sample(0, 1, s)).collect();
+        let b: Vec<_> = (0..200).map(|s| plan.sample(0, 1, s)).collect();
+        assert_eq!(a, b, "sampling must be a pure function");
+        let fired = a.iter().flatten().count();
+        assert!(fired > 10, "rate 0.3 over 200 frames fired only {fired}");
+        // Direction matters: a → b and b → a are independent streams.
+        let rev: Vec<_> = (0..200).map(|s| plan.sample(1, 0, s)).collect();
+        assert_ne!(a, rev);
+        // Other seeds steer the schedule.
+        let other = WireFaultPlan::uniform(0x0ddba11, 0.3);
+        assert_ne!(
+            a,
+            (0..200).map(|s| other.sample(0, 1, s)).collect::<Vec<_>>()
+        );
+        // Disarmed plans never fire.
+        assert!((0..500).all(|s| WireFaultPlan::none().sample(0, 1, s).is_none()));
+    }
+
+    #[test]
+    fn wire_plan_covers_every_kind() {
+        let plan = WireFaultPlan::uniform(7, 0.5);
+        let mut counts = WireFaultCounts::default();
+        for from in 0..4usize {
+            for to in 0..4usize {
+                if from == to {
+                    continue;
+                }
+                for seq in 0..400 {
+                    if let Some(k) = plan.sample(from, to, seq) {
+                        counts.add(&k, 1);
+                    }
+                }
+            }
+        }
+        assert!(counts.corrupt > 0, "{counts}");
+        assert!(counts.truncate > 0, "{counts}");
+        assert!(counts.delay > 0, "{counts}");
+        assert!(counts.reset > 0, "{counts}");
+        assert!(counts.stall > 0, "{counts}");
+        // Disruptive kinds stay rarer than transients.
+        assert!(counts.reset < counts.corrupt, "{counts}");
+        assert!(counts.stall < counts.reset, "{counts}");
+    }
+
+    #[test]
+    fn backoff_schedule_is_seed_reproducible_and_bounded() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = RetryBackoff::with_bounds(seed, 5, 4000);
+            (0..64).map(|_| b.next_delay().as_micros() as u64).collect()
+        };
+        assert_eq!(schedule(42), schedule(42), "same seed, same schedule");
+        assert_ne!(schedule(42), schedule(43), "seeds must decorrelate");
+        for d in schedule(42) {
+            assert!((5..=4000).contains(&d), "delay {d}µs escaped [base, cap]");
+        }
+        // The default bounds match the historical 2..64µs re-fetch window.
+        let mut b = RetryBackoff::new(1);
+        for _ in 0..32 {
+            let d = b.next_delay().as_micros() as u64;
+            assert!((2..=64).contains(&d));
+        }
+    }
+
+    #[test]
+    fn wire_ledger_balance_and_merge() {
+        let mut report = FaultReport::default();
+        report
+            .wire_injected
+            .add(&WireFaultKind::Corrupt { salt: 0 }, 2);
+        assert!(!report.balanced(), "injected without detection is a leak");
+        report
+            .wire_detected
+            .add(&WireFaultKind::Corrupt { salt: 0 }, 2);
+        report
+            .wire_recovered
+            .add(&WireFaultKind::Corrupt { salt: 0 }, 2);
+        assert!(report.balanced());
+
+        let mut other = FaultReport::default();
+        other.wire_injected.add(&WireFaultKind::Reset, 1);
+        other.wire_detected.add(&WireFaultKind::Reset, 1);
+        other.wire_recovered.add(&WireFaultKind::Reset, 1);
+        other.reconnects = 1;
+        other.respawned_shards = 2;
+        record_delay_us(&mut other.wire_delay_us_hist, 300);
+        report.merge(&other);
+        assert_eq!(report.wire_injected.total(), 3);
+        assert_eq!(report.reconnects, 1);
+        assert_eq!(report.respawned_shards, 2);
+        assert_eq!(report.wire_delay_us_hist[8], 1, "300µs lands in [256,512)");
+        assert!(report.balanced());
+
+        let json = report.to_json();
+        for key in [
+            "\"wire_injected\":3",
+            "\"wire_resends\":0",
+            "\"respawned_shards\":2",
+            "\"reconnects\":1",
+            "\"balanced\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let shown = report.to_string();
+        assert!(shown.contains("wire injected"), "{shown}");
+        assert!(shown.contains("shard respawns"), "{shown}");
+    }
+
+    #[test]
+    fn delay_histogram_buckets_are_log2() {
+        let mut hist = [0u64; 16];
+        record_delay_us(&mut hist, 0);
+        record_delay_us(&mut hist, 1);
+        record_delay_us(&mut hist, 2);
+        record_delay_us(&mut hist, 3);
+        record_delay_us(&mut hist, 1 << 20); // beyond the last bucket
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[1], 2);
+        assert_eq!(hist[15], 1);
     }
 
     #[test]

@@ -162,6 +162,22 @@ COMMANDS:
                   the Eq. (2) validation, and proves the folded product
                   bitwise-equal to the shared-memory run
                   --shards <n: 2>  shard-process count for --transport proc
+                  --conn-timeout <s: 30>  proc fault-domain deadline: the
+                  bootstrap window, the heartbeat/staleness clock and the
+                  degraded-wait round length (heartbeats tick at a quarter
+                  of it); must be a finite positive number of seconds
+                  --wire-fault-rate <r: 0>  arm wire chaos on the proc
+                  fabric: per-ghost-frame probability of injected payload
+                  corruption, tail truncation and delay (connection resets
+                  at r/4, one per peer; hung-peer stalls at r/10, one per
+                  shard); every event lands in the wire ledger and the
+                  recovered output is proved bitwise-equal every run
+                  --wire-fault-seed <n: 0>  seed for the wire-fault plan
+                  --restart-budget <n: 2>  supervised per-shard respawns
+                  before the parent falls back to the one-shot ensemble
+                  retry (0 disables shard-level restart); the recovery
+                  ladder is resend -> deadline+backoff -> shard respawn ->
+                  ensemble retry -> typed failure
                   --rcm <true|false: false>  renumber each subdomain with
                   reverse Cuthill-McKee before the run (locality pre-pass;
                   counters and the validation report are unaffected)
@@ -305,6 +321,19 @@ mod tests {
         assert!(help().contains("--transport <shared|netsim|proc: shared>"));
         assert!(help().contains("--shards <n: 2>"));
         assert!(help().contains("microbenchmarks"));
+    }
+
+    #[test]
+    fn help_documents_the_wire_chaos_flags() {
+        for flag in [
+            "--conn-timeout <s: 30>",
+            "--wire-fault-rate <r: 0>",
+            "--wire-fault-seed <n: 0>",
+            "--restart-budget <n: 2>",
+        ] {
+            assert!(help().contains(flag), "help must mention '{flag}'");
+        }
+        assert!(help().contains("shard respawn"), "ladder documented");
     }
 
     #[test]

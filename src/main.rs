@@ -244,6 +244,15 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
                 value: inv.get_str("transport", "shared"),
             })?;
     let shards: usize = inv.get("shards", 2usize)?;
+    // The proc fault-domain knobs. One deadline governs the bootstrap
+    // window, the heartbeat/staleness clock and the degraded-wait rounds;
+    // the wire-chaos plan is seeded so a failing matrix cell replays
+    // exactly; the restart budget bounds supervised shard respawns before
+    // the parent escalates to the one-shot ensemble retry.
+    let conn_timeout: f64 = inv.get("conn-timeout", 30.0f64)?;
+    let wire_fault_rate: f64 = inv.get("wire-fault-rate", 0.0f64)?;
+    let wire_fault_seed: u64 = inv.get("wire-fault-seed", 0u64)?;
+    let restart_budget: u64 = inv.get("restart-budget", 2u64)?;
     // --kernel picks the compute-phase microkernel; both spellings are
     // bitwise-equal, so this is purely a raw-speed knob.
     let kernel: quake_app::executor::KernelKind =
@@ -271,6 +280,18 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         return Err(Box::new(CliError::BadValue {
             flag: "fault-rate".to_string(),
             value: fault_rate.to_string(),
+        }));
+    }
+    if !(0.0..=1.0).contains(&wire_fault_rate) {
+        return Err(Box::new(CliError::BadValue {
+            flag: "wire-fault-rate".to_string(),
+            value: wire_fault_rate.to_string(),
+        }));
+    }
+    if !(conn_timeout.is_finite() && conn_timeout > 0.0) {
+        return Err(Box::new(CliError::BadValue {
+            flag: "conn-timeout".to_string(),
+            value: conn_timeout.to_string(),
         }));
     }
     let strat = partitioner(&inv.get_str("partitioner", "rib"))?;
@@ -326,6 +347,10 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         x_kind: "trig".to_string(),
         x_seed: 0,
         kernel: kernel.to_string(),
+        conn_timeout,
+        wire_fault_rate,
+        wire_fault_seed,
+        restart_budget,
     };
     if transport == TransportKind::Proc {
         let built = quake_app::transport::run::Built {
@@ -334,7 +359,15 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             system,
             x,
         };
-        return run_smvp_proc(&spec, &built, &analyzed, quiet, &fault_json);
+        return run_smvp_proc(
+            &spec,
+            &built,
+            &analyzed,
+            quiet,
+            &fault_json,
+            &metrics,
+            &trace_json,
+        );
     }
     let mut netsim = None;
     let mut exec = match transport {
@@ -538,16 +571,26 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
 /// unix-domain sockets, re-derives Eq. (2)'s `(T_l, T_w)` from socket
 /// microbenchmarks, and proves the merged output bitwise-equal to an
 /// in-process shared-memory twin of the same spec.
+#[allow(clippy::too_many_lines)]
 fn run_smvp_proc(
     spec: &quake_app::transport::wire::RunSpec,
     built: &quake_app::transport::run::Built,
     analyzed: &AnalyzedInstance,
     quiet: bool,
     fault_json: &str,
+    metrics: &str,
+    trace_json: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use quake_app::transport::{run, TransportKind};
     use quake_core::model::validate::validate;
 
+    if spec.wire_fault_rate > 0.0 && !quiet {
+        println!(
+            "wire chaos armed: per-frame rate {} (seed {}), conn deadline {} s, \
+             restart budget {} shard respawns",
+            spec.wire_fault_rate, spec.wire_fault_seed, spec.conn_timeout, spec.restart_budget
+        );
+    }
     let out = run::run_with(TransportKind::Proc, spec, built)?;
     let report = &out.report;
     if !quiet {
@@ -622,13 +665,45 @@ fn run_smvp_proc(
     }
     if spec.trace && !quiet {
         println!(
-            "telemetry: spans stay in the shard processes; trace-file export is \
-             unavailable over --transport proc"
+            "telemetry: per-span traces stay in the shard processes; over --transport \
+             proc the --trace-json/--metrics exporters carry the supervisor's \
+             fault-domain view instead"
         );
+    }
+    if !quiet {
+        for i in &out.incidents {
+            println!("incident t+{:.3}s shard {}: {}", i.t_s, i.shard, i.kind);
+        }
+    }
+    // Wire-layer observability: the supervisor's incident timeline goes out
+    // as Chrome-trace instants and the merged ledger as Prometheus
+    // counters — the fault-domain view the shard-local span exporters
+    // cannot see.
+    if !trace_json.is_empty() {
+        std::fs::write(
+            trace_json,
+            incidents_chrome_trace(&built.app.config.name, &out.incidents),
+        )?;
+        if !quiet {
+            println!(
+                "wrote {trace_json} ({} fault-domain incidents)",
+                out.incidents.len()
+            );
+        }
+    }
+    if !metrics.is_empty() {
+        std::fs::write(metrics, wire_prometheus(&report.fault.unwrap_or_default()))?;
+        if !quiet {
+            println!("wrote {metrics}");
+        }
     }
     if let Some(fr) = &report.fault {
         if !quiet {
             println!("\n{fr}");
+            println!(
+                "wire ledger balanced: {}",
+                if fr.balanced() { "yes" } else { "NO" }
+            );
         }
         if !fault_json.is_empty() {
             std::fs::write(fault_json, format!("{}\n", fr.to_json()))?;
@@ -641,6 +716,106 @@ fn run_smvp_proc(
         }
     }
     Ok(())
+}
+
+/// Renders the merged wire-fault ledger as Prometheus text — the proc
+/// analogue of the in-process telemetry exporter, covering the fault
+/// domain (injection/detection/recovery counters, resends, reconnects,
+/// respawns and the delay histogram) that shard-local spans cannot see.
+fn wire_prometheus(fr: &quake_core::fault::FaultReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (stage, c) in [
+        ("injected", &fr.wire_injected),
+        ("detected", &fr.wire_detected),
+        ("recovered", &fr.wire_recovered),
+    ] {
+        let _ = writeln!(
+            s,
+            "# HELP quake_wire_{stage}_total Wire faults {stage}, by kind."
+        );
+        let _ = writeln!(s, "# TYPE quake_wire_{stage}_total counter");
+        for (kind, v) in [
+            ("corrupt", c.corrupt),
+            ("truncate", c.truncate),
+            ("delay", c.delay),
+            ("reset", c.reset),
+            ("stall", c.stall),
+        ] {
+            let _ = writeln!(s, "quake_wire_{stage}_total{{kind=\"{kind}\"}} {v}");
+        }
+    }
+    for (name, help, v) in [
+        (
+            "wire_resends",
+            "Cache replays answered for damaged frames.",
+            fr.wire_resends,
+        ),
+        (
+            "reconnects",
+            "Socket links re-established after resets or peer deaths.",
+            fr.reconnects,
+        ),
+        (
+            "suspects",
+            "Peers escalated to suspect after silent deadlines.",
+            fr.suspects,
+        ),
+        (
+            "respawned_shards",
+            "Shard processes respawned by the supervisor.",
+            fr.respawned_shards,
+        ),
+        (
+            "ensemble_restarts",
+            "Whole-ensemble retries after the restart budget ran out.",
+            fr.ensemble_restarts,
+        ),
+    ] {
+        let _ = writeln!(s, "# HELP quake_{name}_total {help}");
+        let _ = writeln!(s, "# TYPE quake_{name}_total counter");
+        let _ = writeln!(s, "quake_{name}_total {v}");
+    }
+    let _ = writeln!(
+        s,
+        "# HELP quake_wire_delay_us Injected wire delays and backoff waits, microseconds."
+    );
+    let _ = writeln!(s, "# TYPE quake_wire_delay_us histogram");
+    let mut cum = 0u64;
+    for (i, n) in fr.wire_delay_us_hist.iter().enumerate() {
+        cum += n;
+        let _ = writeln!(
+            s,
+            "quake_wire_delay_us_bucket{{le=\"{}\"}} {cum}",
+            1u64 << (i + 1)
+        );
+    }
+    let _ = writeln!(s, "quake_wire_delay_us_bucket{{le=\"+Inf\"}} {cum}");
+    let _ = writeln!(s, "quake_wire_delay_us_count {cum}");
+    s
+}
+
+/// Renders the supervisor's incident timeline as Chrome-trace JSON —
+/// instant events on one row per shard, loadable in `chrome://tracing` or
+/// Perfetto next to the in-process exporter's span traces.
+fn incidents_chrome_trace(name: &str, incidents: &[quake_app::transport::run::Incident]) -> String {
+    let events: Vec<String> = incidents
+        .iter()
+        .map(|i| {
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"fault-domain\",\"ph\":\"i\",\"s\":\"g\",\
+                 \"ts\":{:.0},\"pid\":0,\"tid\":{}}}",
+                i.kind,
+                i.t_s * 1e6,
+                i.shard
+            )
+        })
+        .collect();
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"app\":\"{name}\"}},\
+         \"traceEvents\":[{}]}}\n",
+        events.join(",")
+    )
 }
 
 fn cmd_simulate(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
