@@ -919,6 +919,14 @@ impl BspExecutor {
     /// path performs the exact same arithmetic in the exact same order, so
     /// tracing never changes results either).
     pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.enable_telemetry_at(config, Instant::now());
+    }
+
+    /// [`Self::enable_telemetry`] with an explicit epoch. A shard child
+    /// passes its transport fabric's origin instant so every span timestamp
+    /// is already expressed on the clock the parent's handshake-time offset
+    /// measurement refers to — the merged timeline needs no post-hoc shift.
+    pub fn enable_telemetry_at(&mut self, config: TelemetryConfig, epoch: Instant) {
         let p = self.pe.len();
         // Per-*owned*-PE (C_i, B_i) per step, counting both directions like
         // `PeCounters::words()`/`blocks()` — the drift monitor must use the
@@ -937,7 +945,7 @@ impl BspExecutor {
             .map(|msgs| vec![0u64; msgs.len()])
             .collect();
         self.telemetry = Some(Box::new(TelemetryState {
-            epoch: Instant::now(),
+            epoch,
             data: Telemetry::new(self.owned.len(), loads, config),
             start_ns: vec![0; p],
             msg_ns,
@@ -1434,6 +1442,23 @@ impl BspExecutor {
             }
         }
         telem.record_phase(PhaseId::Exchange, step, &self.elapsed, wall, owned.clone());
+        // Transport wait, nested inside each PE's exchange span at its tail:
+        // the profiler splits the exchange into apply (this PE's work) and
+        // wait (blocked in `acquire` on the sender's progress).
+        for q in owned.clone() {
+            let waited = self.wait_scratch[q].clamp(0.0, self.elapsed[q]);
+            if waited > 0.0 {
+                let wait_ns = secs_to_ns(waited);
+                telem.data.add_phase_wall(PhaseId::Wait, wait_ns);
+                telem.data.span(Span {
+                    phase: PhaseId::Wait,
+                    pe: q as u32,
+                    step,
+                    start_ns: telem.start_ns[q] + secs_to_ns(self.elapsed[q]) - wait_ns,
+                    dur_ns: wait_ns,
+                });
+            }
+        }
         for q in owned.clone() {
             for (mi, msg) in self.inbound[q].iter().enumerate() {
                 telem.data.block_latency_ns.record(telem.msg_ns[q][mi]);
@@ -1925,6 +1950,20 @@ impl BspExecutor {
                     step,
                     start_ns: start,
                     dur_ns: secs_to_ns(dur),
+                });
+            }
+            // Transport wait, nested at the tail of the exchange span: the
+            // acquire pass accumulates blocked time waiting on senders.
+            let waited = ov.wait_elapsed[q].clamp(0.0, exch);
+            if waited > 0.0 {
+                let waited_ns = secs_to_ns(waited);
+                telem.data.add_phase_wall(PhaseId::Wait, waited_ns);
+                telem.data.span(Span {
+                    phase: PhaseId::Wait,
+                    pe: q as u32,
+                    step,
+                    start_ns: ov.exch_start[q] + secs_to_ns(exch) - waited_ns,
+                    dur_ns: waited_ns,
                 });
             }
             let wait = (wall - (post + interior + exch)).max(0.0);

@@ -64,6 +64,10 @@ pub enum FrameKind {
     /// to suffer and cannot account for itself (e.g. a stall that ends in
     /// the shard being killed): payload = event code (u32).
     WireEvent = 14,
+    /// A child's telemetry snapshot (span ring, histograms, instants, flow
+    /// endpoints), sent just before [`FrameKind::Result`] when tracing is
+    /// on: payload = `quake_core::telemetry::TelemetrySnapshot::encode`.
+    Telemetry = 15,
 }
 
 impl FrameKind {
@@ -83,6 +87,7 @@ impl FrameKind {
             12 => FrameKind::Heartbeat,
             13 => FrameKind::Suspect,
             14 => FrameKind::WireEvent,
+            15 => FrameKind::Telemetry,
             _ => return None,
         })
     }
@@ -286,7 +291,7 @@ mod tests {
     use proptest::prelude::*;
     use std::io::Cursor;
 
-    const KINDS: [FrameKind; 14] = [
+    const KINDS: [FrameKind; 15] = [
         FrameKind::Hello,
         FrameKind::Ready,
         FrameKind::Go,
@@ -301,12 +306,13 @@ mod tests {
         FrameKind::Heartbeat,
         FrameKind::Suspect,
         FrameKind::WireEvent,
+        FrameKind::Telemetry,
     ];
 
     proptest! {
         #[test]
         fn round_trips_arbitrary_payloads(
-            kind_idx in 0usize..14,
+            kind_idx in 0usize..15,
             payload in proptest::collection::vec(0u8..=255, 0..2048),
         ) {
             let kind = KINDS[kind_idx];
@@ -370,7 +376,7 @@ mod tests {
         #[test]
         fn oversized_lengths_are_rejected_before_any_payload_is_read(
             declared in MAX_PAYLOAD + 1..=u32::MAX,
-            kind_idx in 0usize..14,
+            kind_idx in 0usize..15,
         ) {
             // Feed ONLY the 8-byte header: if the length guard ran after the
             // payload read (or after allocation), this would report

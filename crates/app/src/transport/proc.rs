@@ -76,6 +76,7 @@ use crate::transport::run::{Built, Incident, RunOutput};
 use quake_core::fault::{
     mix64, record_delay_us, FaultReport, RetryBackoff, WireFaultKind, WireFaultPlan,
 };
+use quake_core::telemetry::{FlowKind, FlowRec, ShardTrace, TelemetrySnapshot, TraceContext};
 use quake_sparse::dense::Vec3;
 use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
@@ -272,7 +273,18 @@ struct Fabric {
     peers: Vec<Option<Arc<Peer>>>,
     mailbox: Arc<Mailbox>,
     edges: Arc<EdgeMap>,
+    /// Cross-process flow endpoints (ghost post/acquire instants on the
+    /// fabric clock) for the merged trace. Empty when tracing is off.
+    flows: Mutex<Vec<FlowRec>>,
+    /// Whether [`Fabric::note_flow`] records anything (`spec.trace`).
+    flows_enabled: bool,
+    /// Flow endpoints discarded past [`MAX_FLOWS`].
+    flows_dropped: AtomicU64,
 }
+
+/// Flow-endpoint retention cap per shard process; past it endpoints are
+/// counted in `flows_dropped` instead of growing without bound.
+const MAX_FLOWS: usize = 1 << 20;
 
 impl Fabric {
     fn peer(&self, shard: usize) -> Result<&Arc<Peer>, TransportError> {
@@ -301,6 +313,29 @@ impl Fabric {
         let Some(p) = &self.parent else { return Ok(()) };
         let mut w = p.lock().unwrap_or_else(|e| e.into_inner());
         write_frame(&mut *w, kind, payload).map_err(TransportError::Frame)
+    }
+
+    /// Records one cross-process flow endpoint on the fabric clock — the
+    /// same epoch the telemetry spans and the parent's handshake offset
+    /// measurement use, so the merged trace can align all three.
+    fn note_flow(&self, kind: FlowKind, step: u64, from: usize, to: usize, waited_ns: u64) {
+        if !self.flows_enabled {
+            return;
+        }
+        let at_ns = self.origin.elapsed().as_nanos() as u64;
+        let mut flows = self.flows.lock().unwrap_or_else(|p| p.into_inner());
+        if flows.len() >= MAX_FLOWS {
+            self.flows_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        flows.push(FlowRec {
+            kind,
+            step,
+            from: from as u32,
+            to: to as u32,
+            at_ns,
+            waited_ns,
+        });
     }
 }
 
@@ -493,7 +528,7 @@ fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), T
                 l.wire_injected.delay += 1;
                 l.wire_detected.delay += 1;
                 l.wire_recovered.delay += 1;
-                record_delay_us(&mut l.wire_delay_us_hist, u64::from(delay_us));
+                record_delay_us(l, u64::from(delay_us));
             });
             send_or_hold(fabric, peer, payload)
         }
@@ -729,7 +764,9 @@ impl Transport for ProcLink {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert((from, to), payload.clone());
-        ghost_send(&self.fabric, peer, &payload)
+        ghost_send(&self.fabric, peer, &payload)?;
+        self.fabric.note_flow(FlowKind::Post, step, from, to, 0);
+        Ok(())
     }
 
     fn acquire(
@@ -751,6 +788,15 @@ impl Transport for ProcLink {
                 .fabric
                 .mailbox
                 .acquire_watch(step, from, to, out, || alive.alive.load(Ordering::Acquire))
+                .inspect(|info| {
+                    self.fabric.note_flow(
+                        FlowKind::Acquire,
+                        step,
+                        from,
+                        to,
+                        (info.waited_s.max(0.0) * 1e9) as u64,
+                    );
+                })
                 .map_err(|e| match e {
                     TransportError::PeerDisconnected { .. } => {
                         TransportError::PeerDisconnected { shard: owner }
@@ -765,13 +811,28 @@ impl Transport for ProcLink {
         // parent once per connection epoch.
         let rounds = self.fabric.restart_budget + 2;
         let mut silent_s = 0u64;
+        let blocked_from = Instant::now();
         for _ in 0..rounds {
             match self
                 .fabric
                 .mailbox
                 .acquire_watch(step, from, to, out, || true)
             {
-                Ok(info) => return Ok(info),
+                Ok(mut info) => {
+                    // Timed-out rounds blocked this PE just as surely as
+                    // the final successful watch did: report the whole
+                    // degraded wait, or the profiler would book recovery
+                    // stalls as apply time (and blame the wrong shard).
+                    info.waited_s = info.waited_s.max(blocked_from.elapsed().as_secs_f64());
+                    self.fabric.note_flow(
+                        FlowKind::Acquire,
+                        step,
+                        from,
+                        to,
+                        (info.waited_s.max(0.0) * 1e9) as u64,
+                    );
+                    return Ok(info);
+                }
                 Err(TransportError::Timeout { waited_s, .. }) => {
                     silent_s += waited_s;
                     let dead = !peer.alive.load(Ordering::Acquire);
@@ -922,18 +983,30 @@ fn child_main() -> Result<(), TransportError> {
         }
         streams[j] = Some(s);
     }
+    // The shard's one clock: Pong samples, telemetry spans, flow
+    // endpoints and the heartbeat epoch all count nanoseconds from this
+    // instant, so the parent's handshake offset aligns every trace
+    // timestamp this process ever emits.
+    let clock_origin = Instant::now();
     write_frame(&mut parent, FrameKind::Ready, &[])?;
 
-    // Serve the parent's microbenchmark until the Go carrying the
-    // measured link parameters.
-    let (t_l, t_w) = loop {
+    // Serve the parent's microbenchmark and clock probes until the Go
+    // carrying the run id and the measured link parameters. Every Pong
+    // echoes the ping payload and appends our clock (u64 nanoseconds
+    // since `clock_origin`) for the offset measurement.
+    let (run_id, t_l, t_w) = loop {
         let f = read_frame(&mut parent)?;
         match f.kind {
-            FrameKind::Ping => write_frame(&mut parent, FrameKind::Pong, &f.payload)?,
+            FrameKind::Ping => {
+                let mut pong = f.payload.clone();
+                let now_ns = clock_origin.elapsed().as_nanos() as u64;
+                pong.extend_from_slice(&now_ns.to_le_bytes());
+                write_frame(&mut parent, FrameKind::Pong, &pong)?;
+            }
             FrameKind::Bulk => write_frame(&mut parent, FrameKind::BulkAck, &[])?,
             FrameKind::Go => {
                 let mut r = ByteReader::new(&f.payload);
-                break (r.f64()?, r.f64()?);
+                break (r.u64()?, r.f64()?, r.f64()?);
             }
             other => {
                 return Err(TransportError::Protocol(format!(
@@ -969,7 +1042,7 @@ fn child_main() -> Result<(), TransportError> {
         respawn,
         restart_budget: spec.restart_budget,
         plan,
-        origin: Instant::now(),
+        origin: clock_origin,
         wire: Mutex::new(FaultReport::default()),
         parent: Some(Mutex::new(parent.try_clone().map_err(io_err)?)),
         stall_used: AtomicBool::new(false),
@@ -977,6 +1050,9 @@ fn child_main() -> Result<(), TransportError> {
         peers,
         mailbox,
         edges,
+        flows: Mutex::new(Vec::new()),
+        flows_enabled: spec.trace,
+        flows_dropped: AtomicU64::new(0),
     });
     for (j, slot) in streams.iter_mut().enumerate() {
         let Some(s) = slot.take() else { continue };
@@ -1010,7 +1086,7 @@ fn child_main() -> Result<(), TransportError> {
         owned.clone(),
         Arc::clone(&link) as Arc<dyn Transport>,
     );
-    super::run::arm(&mut exec, &spec).map_err(TransportError::Protocol)?;
+    super::run::arm_at(&mut exec, &spec, Some(clock_origin)).map_err(TransportError::Protocol)?;
     let ran = catch_unwind(AssertUnwindSafe(|| exec.run(&built.x, spec.steps)));
     if let Err(panic) = ran {
         let msg = panic
@@ -1088,6 +1164,34 @@ fn child_main() -> Result<(), TransportError> {
         pes,
         fault,
     };
+    // Trace runs ship the shard's whole telemetry picture just before
+    // the Result: the parent pairs it with the handshake-measured clock
+    // offset for this generation. Same serialized writer, so a reader
+    // that sees Result has already seen the snapshot.
+    if let Some(telemetry) = exec.telemetry() {
+        let flows = std::mem::take(&mut *fabric.flows.lock().unwrap_or_else(|p| p.into_inner()));
+        let snap = TelemetrySnapshot::capture(
+            telemetry,
+            TraceContext {
+                run_id,
+                shard: id as u32,
+                generation: attempt as u32,
+            },
+            owned.start as u32,
+            owned.end as u32,
+            flows,
+            fabric.flows_dropped.load(Ordering::Relaxed),
+        );
+        let bytes = snap.encode();
+        if bytes.len() <= frame::MAX_PAYLOAD as usize {
+            fabric.send_parent(FrameKind::Telemetry, &bytes)?;
+        } else {
+            eprintln!(
+                "quake proc shard {id}: telemetry snapshot of {} bytes exceeds the frame cap; dropped",
+                bytes.len()
+            );
+        }
+    }
     fabric.send_parent(FrameKind::Result, &encode_result(&result))?;
     link.farewell();
     if respawn {
@@ -1209,6 +1313,45 @@ fn microbench(conn: &mut UnixStream) -> Result<LinkParams, TransportError> {
     })
 }
 
+/// Measures one shard's clock offset against the parent's `epoch` with a
+/// handful of Ping round trips. The child's Pong appends its own clock
+/// (nanoseconds since its trace origin); the probe with the smallest RTT
+/// anchors `offset = parent midpoint − child clock`, so adding the offset
+/// to any child-clock nanosecond lands it on the parent's timeline.
+fn clock_probe(conn: &mut UnixStream, epoch: Instant) -> Result<i64, TransportError> {
+    const PROBES: u64 = 5;
+    let mut best_rtt = u64::MAX;
+    let mut offset = 0i64;
+    for i in 0..PROBES {
+        let t0 = epoch.elapsed().as_nanos() as u64;
+        write_frame(conn, FrameKind::Ping, &i.to_le_bytes())?;
+        let f = read_frame(conn)?;
+        let t1 = epoch.elapsed().as_nanos() as u64;
+        if f.kind != FrameKind::Pong {
+            return Err(TransportError::Protocol(format!(
+                "expected Pong, got {:?}",
+                f.kind
+            )));
+        }
+        // The child's clock rides the last eight payload bytes, after the
+        // echoed ping payload.
+        if f.payload.len() < 16 {
+            return Err(TransportError::Protocol(
+                "Pong carries no clock sample".into(),
+            ));
+        }
+        let mut child = [0u8; 8];
+        child.copy_from_slice(&f.payload[f.payload.len() - 8..]);
+        let child_ns = u64::from_le_bytes(child);
+        let rtt = t1.saturating_sub(t0);
+        if rtt < best_rtt {
+            best_rtt = rtt;
+            offset = (t0 + rtt / 2) as i64 - child_ns as i64;
+        }
+    }
+    Ok(offset)
+}
+
 fn spawn_child(exe: &Path, dir: &Path, k: usize, attempt: u64) -> Result<Child, TransportError> {
     Command::new(exe)
         .env(ENV_ROLE, "shard")
@@ -1223,6 +1366,9 @@ fn spawn_child(exe: &Path, dir: &Path, k: usize, attempt: u64) -> Result<Child, 
 /// What one shard's result reader tells the supervisor.
 enum Ev {
     Result(Box<ShardResult>),
+    /// The shard's encoded telemetry snapshot (`Telemetry` frame, trace
+    /// runs only — always arrives before the shard's Result).
+    Telemetry(Vec<u8>),
     /// The shard accuses another of hanging (`Suspect` frame).
     Suspect(usize),
     /// The shard announced an injected stall (`WireEvent` frame).
@@ -1253,6 +1399,9 @@ fn parent_reader(mut s: UnixStream, k: usize, gen: u64, tx: mpsc::Sender<EvMsg>)
                     return;
                 }
                 FrameKind::Heartbeat => {}
+                FrameKind::Telemetry => {
+                    let _ = tx.send((k, gen, Ev::Telemetry(f.payload)));
+                }
                 FrameKind::Suspect => {
                     let mut r = ByteReader::new(&f.payload);
                     if let Ok(victim) = r.u32() {
@@ -1317,6 +1466,12 @@ struct Supervisor<'a> {
     grace: Vec<Option<Instant>>,
     respawns_used: u64,
     t0: Instant,
+    /// The parent-side trace timeline: clock offsets and incident stamps
+    /// count nanoseconds from here.
+    epoch: Instant,
+    /// Handshake-measured clock offset per `(shard, generation)` — a
+    /// fresh probe runs before every Go, initial and respawn alike.
+    offsets: Vec<(usize, u32, i64)>,
 }
 
 impl Supervisor<'_> {
@@ -1434,6 +1589,9 @@ impl Supervisor<'_> {
                     }
                 }
             }
+            let off = clock_probe(&mut conn, self.epoch)?;
+            self.offsets
+                .push((k, (self.attempt_base + self.gen[k]) as u32, off));
             write_frame(&mut conn, FrameKind::Go, &self.go)?;
             conn.set_read_timeout(Some(self.conn_timeout))
                 .map_err(io_err)?;
@@ -1468,9 +1626,16 @@ pub fn run_parent(spec: &RunSpec, built: &Built) -> Result<RunOutput, TransportE
         return Err(TransportError::Protocol("shards must be at least 1".into()));
     }
     let attempts = if spec.recovery == "restart" { 2 } else { 1 };
+    // The run id stamped into every shard's trace context. Uniqueness
+    // per invocation is all that matters; it survives ensemble retries.
+    let run_id = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_nanos() as u64
+        ^ (std::process::id() as u64) << 32;
     let mut last = None;
     for attempt in 0..attempts {
-        match run_ensemble(spec, built, attempt) {
+        match run_ensemble(spec, built, attempt, run_id) {
             Ok(mut out) => {
                 if attempt > 0 {
                     let f = out.report.fault.get_or_insert_with(FaultReport::default);
@@ -1498,6 +1663,7 @@ fn run_ensemble(
     spec: &RunSpec,
     built: &Built,
     attempt_base: u64,
+    run_id: u64,
 ) -> Result<RunOutput, TransportError> {
     let conn_timeout = Duration::from_secs_f64(spec.conn_timeout.max(0.001));
     let respawn_mode = spec.recovery == "restart" && spec.restart_budget > 0 && spec.shards > 1;
@@ -1566,7 +1732,16 @@ fn run_ensemble(
         }
     }
     let params = microbench(&mut conns[0])?;
+    // The trace timeline's zero. Per-shard clock probes run against it
+    // just before each Go (here and on every respawn), so all trace
+    // timestamps — spans, flows, incidents — land on one axis.
+    let epoch = Instant::now();
+    let mut offsets: Vec<(usize, u32, i64)> = Vec::with_capacity(spec.shards);
+    for (k, conn) in conns.iter_mut().enumerate() {
+        offsets.push((k, attempt_base as u32, clock_probe(conn, epoch)?));
+    }
     let mut go = ByteWriter::new();
+    go.u64(run_id);
     go.f64(params.t_l);
     go.f64(params.t_w);
     let go = go.finish();
@@ -1595,6 +1770,8 @@ fn run_ensemble(
         grace: vec![None; spec.shards],
         respawns_used: 0,
         t0: Instant::now(),
+        epoch,
+        offsets,
     };
     for (k, s) in conns.into_iter().enumerate() {
         s.set_read_timeout(Some(conn_timeout)).map_err(io_err)?;
@@ -1604,6 +1781,7 @@ fn run_ensemble(
         std::thread::spawn(move || parent_reader(rs, k, 0, tx));
     }
     let mut results: Vec<Option<ShardResult>> = (0..spec.shards).map(|_| None).collect();
+    let mut snapshots: Vec<Vec<u8>> = Vec::new();
     let mut failure: Option<TransportError> = None;
     let mut pending = spec.shards;
     while pending > 0 && failure.is_none() {
@@ -1622,6 +1800,10 @@ fn run_ensemble(
                     results[k] = Some(*res);
                     pending -= 1;
                 }
+            }
+            Ok((k, _, Ev::Telemetry(bytes))) => {
+                let _ = k;
+                snapshots.push(bytes);
             }
             Ok((k, _, Ev::Suspect(victim))) => {
                 let actionable =
@@ -1784,6 +1966,44 @@ fn run_ensemble(
             None => fault = Some(sup.ledger),
         }
     }
+    // Pair each shard's telemetry snapshot with the clock offset the
+    // handshake measured for that exact generation; a snapshot whose
+    // probe is missing aligns at offset 0 rather than being discarded.
+    let mut shard_telemetry: Vec<ShardTrace> = Vec::with_capacity(snapshots.len());
+    for bytes in &snapshots {
+        match TelemetrySnapshot::decode(bytes) {
+            Ok(snap) => {
+                let clock_offset_ns = sup
+                    .offsets
+                    .iter()
+                    .find(|(s, g, _)| *s == snap.ctx.shard as usize && *g == snap.ctx.generation)
+                    .map_or(0, |&(_, _, o)| o);
+                shard_telemetry.push(ShardTrace {
+                    snap,
+                    clock_offset_ns,
+                });
+            }
+            Err(e) => eprintln!("quake: discarding malformed shard telemetry snapshot: {e}"),
+        }
+    }
+    shard_telemetry.sort_by_key(|t| (t.snap.ctx.shard, t.snap.ctx.generation));
+    // Every shard gets a ledger entry even on clean runs (a zeroed one):
+    // the shard/generation-labeled metric series must exist whenever the
+    // run was sharded, or dashboards built on them go blank between
+    // incidents and a grep for a shard's series cannot distinguish
+    // "healthy" from "unreported".
+    let shard_faults: Vec<(usize, u32, FaultReport)> = results
+        .iter()
+        .enumerate()
+        .map(|(k, r)| {
+            let res = r.as_ref().expect("all reported");
+            (
+                k,
+                (attempt_base + sup.gen[k]) as u32,
+                res.fault.unwrap_or_default(),
+            )
+        })
+        .collect();
     Ok(RunOutput {
         y,
         report: ExecutionReport {
@@ -1797,6 +2017,8 @@ fn run_ensemble(
         link: params,
         modeled_exchange_s: None,
         incidents: sup.incidents,
+        shard_telemetry,
+        shard_faults,
     })
 }
 
@@ -1867,6 +2089,9 @@ mod tests {
             peers: vec![None, Some(Arc::clone(&peer))],
             mailbox,
             edges: map,
+            flows: Mutex::new(Vec::new()),
+            flows_enabled: true,
+            flows_dropped: AtomicU64::new(0),
         });
         (fabric, peer)
     }

@@ -16,7 +16,7 @@ use crate::executor::{BspExecutor, ExecutionReport};
 use crate::family::{AppConfig, QuakeApp};
 use quake_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
 use quake_core::machine::Network;
-use quake_core::telemetry::TelemetryConfig;
+use quake_core::telemetry::{ShardTrace, TelemetryConfig};
 use quake_fem::assembly::UniformMaterial;
 use quake_mesh::ground::Material;
 use quake_partition::geometric::Partitioner;
@@ -54,6 +54,13 @@ pub struct RunOutput {
     /// Proc only: supervisor-observed recovery incidents (suspects,
     /// shard respawns, stall announcements), in wall-clock order.
     pub incidents: Vec<Incident>,
+    /// Proc + trace only: every shard's telemetry snapshot with its
+    /// handshake-measured clock offset, ready for the trace merger. One
+    /// entry per shard generation that finished a run attempt.
+    pub shard_telemetry: Vec<ShardTrace>,
+    /// Proc only: per-shard wire/chaos ledgers as `(shard, generation,
+    /// report)`, for shard-labeled Prometheus series.
+    pub shard_faults: Vec<(usize, u32, quake_core::fault::FaultReport)>,
 }
 
 /// One supervisor-observed recovery event on the proc fabric, stamped
@@ -152,6 +159,17 @@ pub fn build(spec: &RunSpec) -> Result<Built, String> {
 ///
 /// Returns a message on an unknown recovery policy.
 pub(crate) fn arm(exec: &mut BspExecutor, spec: &RunSpec) -> Result<(), String> {
+    arm_at(exec, spec, None)
+}
+
+/// [`arm`] with an explicit telemetry epoch: a proc shard child passes its
+/// fabric origin so its span clock is the one the parent's handshake offset
+/// measurement refers to.
+pub(crate) fn arm_at(
+    exec: &mut BspExecutor,
+    spec: &RunSpec,
+    epoch: Option<std::time::Instant>,
+) -> Result<(), String> {
     exec.set_kernel(spec.kernel.parse()?);
     if spec.fault_rate > 0.0 {
         let policy: RecoveryPolicy = spec
@@ -174,7 +192,10 @@ pub(crate) fn arm(exec: &mut BspExecutor, spec: &RunSpec) -> Result<(), String> 
         if let Some(d) = config.drift.as_mut() {
             d.threshold = spec.drift_threshold;
         }
-        exec.enable_telemetry(config);
+        match epoch {
+            Some(at) => exec.enable_telemetry_at(config, at),
+            None => exec.enable_telemetry(config),
+        }
     }
     Ok(())
 }
@@ -222,6 +243,8 @@ pub fn run_with(kind: TransportKind, spec: &RunSpec, built: &Built) -> Result<Ru
         link: params,
         modeled_exchange_s: netsim.map(|t| t.modeled_exchange_s()),
         incidents: Vec::new(),
+        shard_telemetry: Vec::new(),
+        shard_faults: Vec::new(),
     })
 }
 

@@ -231,6 +231,7 @@ fn encode_fault(w: &mut ByteWriter, fr: &FaultReport) {
     for b in fr.wire_delay_us_hist {
         w.u64(b);
     }
+    w.u64(fr.wire_delay_us_sum);
 }
 
 fn decode_fault(r: &mut ByteReader<'_>) -> Result<FaultReport, TransportError> {
@@ -273,6 +274,7 @@ fn decode_fault(r: &mut ByteReader<'_>) -> Result<FaultReport, TransportError> {
     for b in fr.wire_delay_us_hist.iter_mut() {
         *b = r.u64()?;
     }
+    fr.wire_delay_us_sum = r.u64()?;
     Ok(fr)
 }
 
@@ -700,6 +702,7 @@ mod tests {
                 fr.wire_detected.truncate = 4;
                 fr.wire_recovered.truncate = 4;
                 fr.wire_delay_us_hist[7] = 9;
+                fr.wire_delay_us_sum = 9 * 200;
                 fr
             }),
         };

@@ -1,0 +1,141 @@
+//! The critical-path profiler's attribution identity, property-tested.
+//!
+//! `ProfileReport` claims exactness by construction: the rungs of every
+//! step row sum to that row's measured step wall, the step wall is the
+//! maximum per-PE span total, and the straggler is a real PE of the run.
+//! These must hold for every schedule the executor can produce — worker
+//! threads 1–8, ±RCM renumbering, ±latency-hiding overlap — because the
+//! span shapes differ (the overlap schedule emits post/compute/exchange
+//! triples, the barrier schedule compute/exchange pairs, and wait/barrier
+//! spans appear only when time was actually lost there).
+//!
+//! The mesh/partition fixture is built once (it is expensive) and shared;
+//! each proptest case varies only the cheap knobs.
+
+use proptest::prelude::*;
+use quake_app::executor::BspExecutor;
+use quake_app::family::{AppConfig, QuakeApp};
+use quake_app::DistributedSystem;
+use quake_core::telemetry::profile::{ProfileOptions, ProfileReport};
+use quake_core::telemetry::{
+    DriftConfig, ShardTrace, TelemetryConfig, TelemetrySnapshot, TraceContext,
+};
+use quake_fem::assembly::UniformMaterial;
+use quake_mesh::ground::Material;
+use quake_partition::geometric::{Partitioner, RecursiveBisection};
+use quake_sparse::dense::Vec3;
+use std::sync::OnceLock;
+
+const PARTS: usize = 6;
+const STEPS: u64 = 4;
+
+struct Fixture {
+    system: DistributedSystem,
+    x: Vec<Vec3>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let app = QuakeApp::generate(AppConfig::new("sf10", 10.0, 8.0)).expect("fixture mesh");
+        let partition = RecursiveBisection::inertial()
+            .partition(&app.mesh, PARTS)
+            .expect("fixture partition");
+        let mat = Material {
+            vs: 1000.0,
+            vp: 2000.0,
+            rho: 2000.0,
+        };
+        let system = DistributedSystem::build(&app.mesh, &partition, &UniformMaterial(mat))
+            .expect("fixture system");
+        let x: Vec<Vec3> = (0..app.mesh.node_count())
+            .map(|i| {
+                let s = i as f64;
+                Vec3::new((0.1 * s).sin(), (0.2 * s).cos(), (0.3 * s).sin())
+            })
+            .collect();
+        Fixture { system, x }
+    })
+}
+
+/// Telemetry with the drift noise floor raised past anything a loaded CI
+/// machine can produce (these tests assert attribution arithmetic, not
+/// drift sensitivity) and a ring large enough that no span is dropped.
+fn quiet_telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        span_capacity: 1 << 14,
+        drift: Some(DriftConfig {
+            min_time_s: 1.0,
+            ..DriftConfig::default()
+        }),
+        ..TelemetryConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every schedule: each attribution row sums to its measured step
+    /// wall exactly, every step appears, and the straggler is a real PE.
+    #[test]
+    fn attribution_rows_sum_to_the_measured_step_wall(
+        threads in 1usize..=8,
+        rcm in 0u8..2,
+        overlap in 0u8..2,
+    ) {
+        let (rcm, overlap) = (rcm == 1, overlap == 1);
+        let fx = fixture();
+        let mut exec = BspExecutor::with_options(&fx.system, threads, rcm, overlap);
+        exec.enable_telemetry(quiet_telemetry());
+        exec.run(&fx.x, STEPS);
+        let telemetry = exec.telemetry().expect("telemetry armed");
+        prop_assert!(telemetry.spans.dropped() == 0, "ring sized for the run");
+        let shard = ShardTrace {
+            snap: TelemetrySnapshot::capture(
+                telemetry,
+                TraceContext { run_id: 0, shard: 0, generation: 0 },
+                0,
+                PARTS as u32,
+                Vec::new(),
+                0,
+            ),
+            clock_offset_ns: 0,
+        };
+        let report = ProfileReport::build(
+            std::slice::from_ref(&shard),
+            &ProfileOptions { loads: Vec::new(), link: None, overlap },
+        );
+        prop_assert_eq!(report.steps.len(), STEPS as usize);
+        let mut total_wall = 0u64;
+        for (i, row) in report.steps.iter().enumerate() {
+            prop_assert_eq!(row.step, i as u64);
+            // The identity under test: rungs are a *partition* of the
+            // wall-defining PE's step time, so they sum back exactly.
+            prop_assert!(
+                row.rungs.total_ns() == row.wall_ns,
+                "threads {} rcm {} overlap {} step {}: rungs sum {} != wall {}",
+                threads, rcm, overlap, i, row.rungs.total_ns(), row.wall_ns
+            );
+            prop_assert!(row.wall_ns > 0, "a real step takes time");
+            prop_assert!((row.crit_pe as usize) < PARTS);
+            prop_assert!((row.straggler_pe as usize) < PARTS);
+            prop_assert!(row.straggler_busy_ns <= row.wall_ns);
+            // The overlap schedule is the only source of post spans.
+            if !overlap {
+                prop_assert_eq!(row.rungs.post_ns, 0);
+            }
+            total_wall += row.wall_ns;
+        }
+        prop_assert_eq!(report.totals.total_ns(), total_wall);
+        // The profiler is pure over the same snapshot: rebuilding must
+        // reproduce the rows bit for bit.
+        let again = ProfileReport::build(
+            std::slice::from_ref(&shard),
+            &ProfileOptions { loads: Vec::new(), link: None, overlap },
+        );
+        for (a, b) in report.steps.iter().zip(&again.steps) {
+            prop_assert_eq!(a.rungs, b.rungs);
+            prop_assert_eq!(a.straggler_pe, b.straggler_pe);
+        }
+    }
+}

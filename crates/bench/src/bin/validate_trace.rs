@@ -4,11 +4,15 @@
 //!
 //! Usage:
 //!   validate_trace --trace-json FILE [--require-spans a,b,c]
-//!                  [--require-instants] [--metrics FILE]
+//!                  [--require-instants] [--require-processes N]
+//!                  [--require-flows] [--metrics FILE]
 //!
-//! Exits 0 when every named artifact is structurally valid (and contains
-//! the required span names / at least one instant / the expected metric
-//! families), 1 otherwise.
+//! `--require-processes N` asserts the trace spans at least N distinct
+//! pids (a merged multi-shard trace shows one per shard plus the
+//! supervisor); `--require-flows` asserts at least one paired cross-shard
+//! flow arrow made it into the trace. Exits 0 when every named artifact
+//! is structurally valid (and contains the required span names / at
+//! least one instant / the expected metric families), 1 otherwise.
 
 use quake_bench::trace::{validate_chrome_trace, validate_prometheus};
 use std::process::ExitCode;
@@ -34,6 +38,8 @@ fn main() -> ExitCode {
     let mut metrics = String::new();
     let mut require_spans: Vec<String> = Vec::new();
     let mut require_instants = false;
+    let mut require_processes = 0usize;
+    let mut require_flows = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -50,6 +56,12 @@ fn main() -> ExitCode {
                     .collect();
             }
             "--require-instants" => require_instants = true,
+            "--require-processes" => {
+                require_processes = value("--require-processes")
+                    .parse()
+                    .expect("--require-processes needs a count");
+            }
+            "--require-flows" => require_flows = true,
             other => {
                 eprintln!("validate_trace: unknown argument '{other}'");
                 return ExitCode::FAILURE;
@@ -78,8 +90,22 @@ fn main() -> ExitCode {
         if require_instants && summary.instants == 0 {
             return fail(&trace_json, "no instant events (expected fault instants)");
         }
+        if summary.pids.len() < require_processes {
+            return fail(
+                &trace_json,
+                &format!(
+                    "only {} distinct pids, expected at least {require_processes} \
+                     (one per shard in a merged trace)",
+                    summary.pids.len()
+                ),
+            );
+        }
+        if require_flows && summary.flow_starts == 0 {
+            return fail(&trace_json, "no flow events (expected ghost-block arrows)");
+        }
         println!(
-            "{trace_json}: OK — {} metadata, {} spans ({}), {} instants ({})",
+            "{trace_json}: OK — {} metadata, {} spans ({}), {} instants ({}), \
+             {} pids, {} flows",
             summary.metadata,
             summary.spans,
             summary
@@ -95,6 +121,8 @@ fn main() -> ExitCode {
                 .cloned()
                 .collect::<Vec<_>>()
                 .join(","),
+            summary.pids.len(),
+            summary.flow_starts,
         );
     }
 

@@ -21,6 +21,13 @@ pub struct TraceSummary {
     pub spans: usize,
     /// `ph:"i"` instant events.
     pub instants: usize,
+    /// `ph:"s"` flow-start events (cross-process ghost arrows).
+    pub flow_starts: usize,
+    /// `ph:"t"` flow-finish events.
+    pub flow_finishes: usize,
+    /// Distinct process ids observed across all events — a merged
+    /// multi-shard trace shows one per shard (plus the supervisor).
+    pub pids: BTreeSet<i64>,
     /// Distinct span names observed, sorted.
     pub span_names: BTreeSet<String>,
     /// Distinct instant names observed, sorted.
@@ -55,11 +62,15 @@ fn str_field<'a>(event: &'a Json, key: &str, i: usize) -> Result<&'a str, String
 /// Validates a Chrome `trace_event` JSON document (Object Format: a root
 /// object with a `traceEvents` array) and summarizes its contents.
 ///
+/// Flow events are held to the pairing contract the trace merger
+/// guarantees: every flow id must carry both its `s` and its `t`
+/// endpoint, and the finish may never precede its start.
+///
 /// # Errors
 ///
 /// Returns a description of the first structural violation: unparsable
-/// JSON, a missing/ill-typed required field, an unknown event phase, or a
-/// negative timestamp/duration.
+/// JSON, a missing/ill-typed required field, an unknown event phase, a
+/// negative timestamp/duration, or a dangling/backward flow.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     let doc = parse(text).map_err(|e| e.to_string())?;
     let events = doc
@@ -67,13 +78,15 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
         .and_then(Json::as_array)
         .ok_or("root object must have a 'traceEvents' array")?;
     let mut summary = TraceSummary::default();
+    let mut flow_starts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut flow_finishes: BTreeMap<u64, f64> = BTreeMap::new();
     for (i, event) in events.iter().enumerate() {
         if event.as_object().is_none() {
             return Err(format!("event {i}: not an object"));
         }
         let name = str_field(event, "name", i)?.to_string();
         let ph = str_field(event, "ph", i)?;
-        num_field(event, "pid", i)?;
+        summary.pids.insert(num_field(event, "pid", i)? as i64);
         num_field(event, "tid", i)?;
         match ph {
             "M" => {
@@ -105,8 +118,42 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                 summary.instants += 1;
                 summary.instant_names.insert(name);
             }
+            "s" | "t" => {
+                let ts = num_field(event, "ts", i)?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+                let id = num_field(event, "id", i)?;
+                if !(id.is_finite() && id >= 0.0 && id.fract() == 0.0) {
+                    return Err(format!("event {i}: flow id must be a nonnegative integer"));
+                }
+                let book = if ph == "s" {
+                    summary.flow_starts += 1;
+                    &mut flow_starts
+                } else {
+                    summary.flow_finishes += 1;
+                    &mut flow_finishes
+                };
+                if book.insert(id as u64, ts).is_some() {
+                    return Err(format!("event {i}: duplicate flow '{ph}' for id {id}"));
+                }
+            }
             other => return Err(format!("event {i}: unsupported phase '{other}'")),
         }
+    }
+    for (id, s_ts) in &flow_starts {
+        let t_ts = flow_finishes
+            .get(id)
+            .ok_or_else(|| format!("flow id {id}: 's' without a matching 't'"))?;
+        if t_ts < s_ts {
+            return Err(format!("flow id {id}: finish precedes start"));
+        }
+    }
+    if let Some((id, _)) = flow_finishes
+        .iter()
+        .find(|(id, _)| !flow_starts.contains_key(id))
+    {
+        return Err(format!("flow id {id}: 't' without a matching 's'"));
     }
     Ok(summary)
 }
@@ -202,9 +249,13 @@ fn le_value(labels: &str) -> Option<f64> {
 /// Returns a description of the first violation.
 pub fn validate_prometheus(text: &str) -> Result<MetricsSummary, String> {
     let mut summary = MetricsSummary::default();
-    // Histogram family → (le thresholds, bucket values, count, saw _sum).
+    // Histogram series — keyed by (family, non-`le` labels) so a family
+    // exported once unlabeled and once per shard/generation validates
+    // each label set as its own cumulative series —
+    // → (le thresholds, bucket values, count, saw _sum).
     type HistState = (Vec<f64>, Vec<f64>, Option<f64>, bool);
-    let mut histograms: BTreeMap<String, HistState> = BTreeMap::new();
+    let mut declared_hists: BTreeSet<String> = BTreeSet::new();
+    let mut histograms: BTreeMap<(String, String), HistState> = BTreeMap::new();
     for line in text.lines() {
         let line = line.trim_end();
         if line.is_empty() {
@@ -230,7 +281,7 @@ pub fn validate_prometheus(text: &str) -> Result<MetricsSummary, String> {
                     }
                     summary.families.insert(name.to_string(), kind.to_string());
                     if kind == "histogram" {
-                        histograms.insert(name.to_string(), (Vec::new(), Vec::new(), None, false));
+                        declared_hists.insert(name.to_string());
                     }
                 }
                 // Free-form comments are legal exposition.
@@ -244,7 +295,14 @@ pub fn validate_prometheus(text: &str) -> Result<MetricsSummary, String> {
             return Err(format!("sample '{name}' has no # TYPE declaration"));
         }
         summary.samples += 1;
-        if let Some((les, buckets, count, saw_sum)) = histograms.get_mut(family) {
+        if declared_hists.contains(family) {
+            let series: String = labels
+                .split(',')
+                .filter(|p| !p.is_empty() && !p.starts_with("le="))
+                .collect::<Vec<_>>()
+                .join(",");
+            let (les, buckets, count, saw_sum) =
+                histograms.entry((family.to_string(), series)).or_default();
             if name.ends_with("_bucket") {
                 let le = le_value(labels)
                     .ok_or_else(|| format!("bucket without an 'le' label: '{line}'"))?;
@@ -257,27 +315,37 @@ pub fn validate_prometheus(text: &str) -> Result<MetricsSummary, String> {
             }
         }
     }
-    for (family, (les, buckets, count, saw_sum)) in &histograms {
-        if buckets.is_empty() {
+    for family in &declared_hists {
+        if !histograms.keys().any(|(f, _)| f == family) {
             return Err(format!("histogram '{family}' has no buckets"));
+        }
+    }
+    for ((family, series), (les, buckets, count, saw_sum)) in &histograms {
+        let what = if series.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{series}}}")
+        };
+        if buckets.is_empty() {
+            return Err(format!("histogram '{what}' has no buckets"));
         }
         if !les.windows(2).all(|w| w[0] <= w[1]) || *les.last().expect("nonempty") != f64::INFINITY
         {
             return Err(format!(
-                "histogram '{family}' 'le' series must ascend to +Inf"
+                "histogram '{what}' 'le' series must ascend to +Inf"
             ));
         }
         if !buckets.windows(2).all(|w| w[0] <= w[1]) {
-            return Err(format!("histogram '{family}' buckets are not cumulative"));
+            return Err(format!("histogram '{what}' buckets are not cumulative"));
         }
-        let count = count.ok_or_else(|| format!("histogram '{family}' missing _count"))?;
+        let count = count.ok_or_else(|| format!("histogram '{what}' missing _count"))?;
         if !saw_sum {
-            return Err(format!("histogram '{family}' missing _sum"));
+            return Err(format!("histogram '{what}' missing _sum"));
         }
         let last = *buckets.last().expect("nonempty");
         if (last - count).abs() > 1e-9 {
             return Err(format!(
-                "histogram '{family}': +Inf bucket {last} != _count {count}"
+                "histogram '{what}': +Inf bucket {last} != _count {count}"
             ));
         }
     }
@@ -369,6 +437,77 @@ mod tests {
         ] {
             assert!(validate_prometheus(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn flow_events_validate_and_are_counted() {
+        let text = r#"{"traceEvents":[
+            {"name":"ghost 0->1","ph":"s","pid":1,"tid":0,"ts":10,"id":1,"cat":"ghost"},
+            {"name":"ghost 0->1","ph":"t","pid":2,"tid":0,"ts":15,"id":1,"cat":"ghost"}
+        ]}"#;
+        let summary = validate_chrome_trace(text).expect("paired flow is valid");
+        assert_eq!(summary.flow_starts, 1);
+        assert_eq!(summary.flow_finishes, 1);
+        assert_eq!(summary.pids.len(), 2, "flows span two shard processes");
+    }
+
+    #[test]
+    fn flow_validator_rejects_dangling_and_backward_flows() {
+        for (bad, why) in [
+            (
+                r#"{"traceEvents":[{"name":"g","ph":"s","pid":1,"tid":0,"ts":10,"id":1}]}"#,
+                "s without t",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"g","ph":"t","pid":1,"tid":0,"ts":10,"id":1}]}"#,
+                "t without s",
+            ),
+            (
+                r#"{"traceEvents":[
+                    {"name":"g","ph":"s","pid":1,"tid":0,"ts":20,"id":1},
+                    {"name":"g","ph":"t","pid":2,"tid":0,"ts":10,"id":1}]}"#,
+                "finish precedes start",
+            ),
+            (
+                r#"{"traceEvents":[
+                    {"name":"g","ph":"s","pid":1,"tid":0,"ts":1,"id":1},
+                    {"name":"g","ph":"s","pid":1,"tid":0,"ts":2,"id":1},
+                    {"name":"g","ph":"t","pid":2,"tid":0,"ts":3,"id":1}]}"#,
+                "duplicate start",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"g","ph":"s","pid":1,"tid":0,"ts":1,"id":1.5}]}"#,
+                "fractional id",
+            ),
+        ] {
+            assert!(validate_chrome_trace(bad).is_err(), "{why} should fail");
+        }
+    }
+
+    #[test]
+    fn labeled_histogram_series_validate_independently() {
+        // One family, a global series plus two shard-labeled series — each
+        // must be cumulative on its own, not concatenated.
+        let text = "# TYPE quake_h histogram\n\
+                    quake_h_bucket{le=\"1\"} 4\nquake_h_bucket{le=\"+Inf\"} 6\n\
+                    quake_h_sum 9\nquake_h_count 6\n\
+                    quake_h_bucket{shard=\"0\",le=\"1\"} 3\n\
+                    quake_h_bucket{shard=\"0\",le=\"+Inf\"} 4\n\
+                    quake_h_sum{shard=\"0\"} 5\nquake_h_count{shard=\"0\"} 4\n\
+                    quake_h_bucket{shard=\"1\",le=\"1\"} 1\n\
+                    quake_h_bucket{shard=\"1\",le=\"+Inf\"} 2\n\
+                    quake_h_sum{shard=\"1\"} 4\nquake_h_count{shard=\"1\"} 2\n";
+        validate_prometheus(text).expect("each labeled series is cumulative on its own");
+
+        // A broken shard series must still be caught even when the global
+        // series is fine.
+        let broken = "# TYPE quake_h histogram\n\
+                      quake_h_bucket{le=\"+Inf\"} 6\nquake_h_sum 9\nquake_h_count 6\n\
+                      quake_h_bucket{shard=\"0\",le=\"1\"} 5\n\
+                      quake_h_bucket{shard=\"0\",le=\"+Inf\"} 3\n\
+                      quake_h_sum{shard=\"0\"} 5\nquake_h_count{shard=\"0\"} 3\n";
+        let err = validate_prometheus(broken).expect_err("non-cumulative shard series");
+        assert!(err.contains("shard"), "error names the series: {err}");
     }
 
     #[test]

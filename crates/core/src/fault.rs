@@ -602,16 +602,22 @@ pub struct FaultReport {
     /// in microseconds (bucket `i` counts waits in `[2^i, 2^(i+1))` µs;
     /// the last bucket absorbs the tail).
     pub wire_delay_us_hist: [u64; 16],
+    /// Exact total of the waits recorded into `wire_delay_us_hist`, in
+    /// microseconds — the Prometheus `_sum` companion the log2 buckets
+    /// alone cannot reconstruct.
+    pub wire_delay_us_sum: u64,
 }
 
-/// Records a wait of `us` microseconds into a wire-delay histogram.
-pub fn record_delay_us(hist: &mut [u64; 16], us: u64) {
+/// Records a wait of `us` microseconds into a ledger's wire-delay
+/// histogram (and its exact running sum).
+pub fn record_delay_us(fr: &mut FaultReport, us: u64) {
     let bucket = if us == 0 {
         0
     } else {
         (63 - us.leading_zeros() as usize).min(15)
     };
-    hist[bucket] += 1;
+    fr.wire_delay_us_hist[bucket] += 1;
+    fr.wire_delay_us_sum += us;
 }
 
 impl FaultReport {
@@ -668,6 +674,7 @@ impl FaultReport {
         {
             *mine += *theirs;
         }
+        self.wire_delay_us_sum += other.wire_delay_us_sum;
     }
 
     /// Compact single-line JSON for machine consumption (CI assertions,
@@ -1056,12 +1063,13 @@ mod tests {
         other.wire_recovered.add(&WireFaultKind::Reset, 1);
         other.reconnects = 1;
         other.respawned_shards = 2;
-        record_delay_us(&mut other.wire_delay_us_hist, 300);
+        record_delay_us(&mut other, 300);
         report.merge(&other);
         assert_eq!(report.wire_injected.total(), 3);
         assert_eq!(report.reconnects, 1);
         assert_eq!(report.respawned_shards, 2);
         assert_eq!(report.wire_delay_us_hist[8], 1, "300µs lands in [256,512)");
+        assert_eq!(report.wire_delay_us_sum, 300, "merge carries the exact sum");
         assert!(report.balanced());
 
         let json = report.to_json();
@@ -1081,15 +1089,16 @@ mod tests {
 
     #[test]
     fn delay_histogram_buckets_are_log2() {
-        let mut hist = [0u64; 16];
-        record_delay_us(&mut hist, 0);
-        record_delay_us(&mut hist, 1);
-        record_delay_us(&mut hist, 2);
-        record_delay_us(&mut hist, 3);
-        record_delay_us(&mut hist, 1 << 20); // beyond the last bucket
-        assert_eq!(hist[0], 2);
-        assert_eq!(hist[1], 2);
-        assert_eq!(hist[15], 1);
+        let mut fr = FaultReport::default();
+        record_delay_us(&mut fr, 0);
+        record_delay_us(&mut fr, 1);
+        record_delay_us(&mut fr, 2);
+        record_delay_us(&mut fr, 3);
+        record_delay_us(&mut fr, 1 << 20); // beyond the last bucket
+        assert_eq!(fr.wire_delay_us_hist[0], 2);
+        assert_eq!(fr.wire_delay_us_hist[1], 2);
+        assert_eq!(fr.wire_delay_us_hist[15], 1);
+        assert_eq!(fr.wire_delay_us_sum, 6 + (1 << 20));
     }
 
     #[test]

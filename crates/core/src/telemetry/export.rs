@@ -18,7 +18,7 @@ use super::Telemetry;
 
 /// Escapes a string for a JSON literal (the span vocabulary is static and
 /// clean, but label strings pass through here for safety).
-fn json_escape(s: &str) -> String {
+pub(super) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -37,7 +37,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Nanoseconds to the fractional microseconds Chrome's `ts`/`dur` expect.
-fn us(ns: u64) -> String {
+pub(super) fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
@@ -63,6 +63,19 @@ impl Telemetry {
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 json_escape(process_name)
+            ),
+        );
+        // Truncated span windows must not masquerade as complete ones: the
+        // ring overwrites oldest-first, so surface the loss in-band where a
+        // person inspecting the trace will see it.
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"telemetry_stats\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"name\":\"telemetry_stats\",\"dropped_spans\":{},\
+                 \"dropped_instants\":{}}}}}",
+                self.spans.dropped(),
+                self.instants_dropped()
             ),
         );
         for pe in 0..=self.pes() {
@@ -190,7 +203,7 @@ impl Telemetry {
 
 /// Prometheus sample values must be plain decimal or scientific floats;
 /// `{:e}` keeps tiny latencies exact without 30-digit expansions.
-fn fmt_f64(v: f64) -> String {
+pub(super) fn fmt_f64(v: f64) -> String {
     if v == 0.0 {
         "0".to_string()
     } else if (1e-3..1e15).contains(&v.abs()) {
@@ -202,7 +215,13 @@ fn fmt_f64(v: f64) -> String {
 
 /// Writes one histogram family: cumulative `_bucket{le=...}` lines over the
 /// occupied log2 buckets, `+Inf`, `_sum`, `_count`.
-fn write_histogram(out: &mut String, name: &str, help: &str, h: &Log2Histogram, scale: f64) {
+pub(super) fn write_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    h: &Log2Histogram,
+    scale: f64,
+) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
     let top = (0..BUCKETS).rev().find(|&b| h.buckets()[b] > 0);

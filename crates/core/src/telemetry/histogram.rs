@@ -112,6 +112,21 @@ impl Log2Histogram {
         }
     }
 
+    /// Rebuilds a histogram from transported raw state (the cross-process
+    /// telemetry snapshot codec). `min` is the *observed* minimum as
+    /// reported by [`Log2Histogram::min`] — for an empty histogram the
+    /// internal sentinel is restored so later merges stay correct.
+    pub fn from_raw(counts: [u64; BUCKETS], sum: u128, min: u64, max: u64) -> Self {
+        let count: u64 = counts.iter().sum();
+        Log2Histogram {
+            counts,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+
     /// Records one value.
     #[inline]
     pub fn record(&mut self, v: u64) {

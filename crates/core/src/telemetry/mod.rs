@@ -27,13 +27,18 @@
 //! (nanosecond offsets from its epoch), so the module is deterministic
 //! under test and free of any clock or I/O dependency.
 
+mod context;
 mod drift;
 mod export;
 mod histogram;
+mod merge;
+pub mod profile;
 mod span;
 
+pub use context::{FlowKind, FlowRec, InstantRec, TelemetrySnapshot, TraceContext};
 pub use drift::{DriftConfig, DriftMonitor, DriftSample};
 pub use histogram::{bucket_lower, bucket_of, bucket_upper, HistSummary, Log2Histogram, BUCKETS};
+pub use merge::{merged_chrome_trace, merged_telemetry, ShardTrace, SupervisorInstant};
 pub use span::{PhaseId, Span, SpanRing, TraceInstant};
 
 /// Construction-time knobs for [`Telemetry`].
@@ -148,6 +153,14 @@ impl Telemetry {
     /// Point events discarded because the buffer was full.
     pub fn instants_dropped(&self) -> u64 {
         self.instants_dropped
+    }
+
+    /// Accounts for `n` point events that existed elsewhere but cannot be
+    /// carried into this aggregate (cross-process snapshots carry owned
+    /// strings; [`TraceInstant`] names are `&'static str`). Keeps merged
+    /// totals truthful without fabricating events.
+    pub fn note_dropped_instants(&mut self, n: u64) {
+        self.instants_dropped += n;
     }
 }
 

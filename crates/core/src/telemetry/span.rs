@@ -31,17 +31,23 @@ pub enum PhaseId {
     /// Overlapped step only: computing and publishing the boundary-row
     /// partials that neighbors consume (the "post outgoing blocks" window).
     Post,
+    /// Transport wait: seconds the exchange spent blocked in
+    /// `Transport::acquire` (sender progress, not this PE's load). Recorded
+    /// nested inside the `Exchange` span so the profiler can split the
+    /// exchange into apply work vs waiting on the wire.
+    Wait,
 }
 
 impl PhaseId {
     /// Every phase, in execution order.
-    pub const ALL: [PhaseId; 9] = [
+    pub const ALL: [PhaseId; 10] = [
         PhaseId::Assemble,
         PhaseId::Post,
         PhaseId::Compute,
         PhaseId::Stage,
         PhaseId::Verify,
         PhaseId::Exchange,
+        PhaseId::Wait,
         PhaseId::Barrier,
         PhaseId::Fold,
         PhaseId::Recover,
@@ -59,7 +65,14 @@ impl PhaseId {
             PhaseId::Fold => "fold",
             PhaseId::Recover => "recover",
             PhaseId::Post => "post",
+            PhaseId::Wait => "wait",
         }
+    }
+
+    /// Inverse of the snapshot codec's `phase as u8` encoding. Returns
+    /// `None` for bytes no phase maps to (corrupt or future snapshots).
+    pub fn from_u8(byte: u8) -> Option<PhaseId> {
+        PhaseId::ALL.iter().copied().find(|p| *p as u8 == byte)
     }
 }
 
@@ -165,6 +178,12 @@ impl SpanRing {
     /// Spans overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Accounts for `n` spans lost before they reached this ring (e.g.
+    /// overwritten in a shard-local ring before its snapshot was merged).
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
     }
 
     /// Iterates the retained spans oldest-first.

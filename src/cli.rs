@@ -208,8 +208,25 @@ COMMANDS:
                   (defaults to on when --trace-json or --metrics is given,
                   else off; off leaves the clean hot path untouched)
                   --trace-json <file>  write a Chrome trace_event JSON
-                  trace (load in chrome://tracing or Perfetto)
+                  trace (load in chrome://tracing or Perfetto); over
+                  --transport proc this is the merged cross-shard trace:
+                  one process track per shard generation on a single
+                  handshake-aligned clock, flow arrows pairing every
+                  remote ghost post with its acquire, and the
+                  supervisor's incidents on their own track
                   --metrics <file>  write Prometheus text exposition
+                  (proc: merged shard telemetry plus the wire ledger,
+                  with shard/generation-labeled per-shard series)
+                  --profile <on|off: off>  per-step critical-path
+                  attribution from the span telemetry: interior compute,
+                  boundary post, ghost apply, transport wait, barrier and
+                  recovery rungs per step with the straggler PE/shard
+                  named, printed as a table next to the Eq. (2) predicted
+                  decomposition under the measured link; implies --trace
+                  on (an explicit --trace off is a usage error); rows sum
+                  to the measured step wall by construction
+                  --profile-json <file>  write the attribution as JSON
+                  (implies --profile on)
                   --drift-threshold <x: 2>  flag steps whose worst per-PE
                   exchange residual exceeds x times the median exchange time
                   --span-capacity <n: 65536>  span ring size; the ring keeps
@@ -348,6 +365,26 @@ mod tests {
         ] {
             assert!(help().contains(flag), "help must mention '{flag}'");
         }
+    }
+
+    #[test]
+    fn help_documents_the_profiler_flags() {
+        assert!(help().contains("--profile <on|off: off>"));
+        assert!(help().contains("--profile-json <file>"));
+        assert!(help().contains("critical-path"), "what the profiler is");
+        assert!(
+            help().contains("straggler"),
+            "the straggler verdict is the headline feature"
+        );
+    }
+
+    #[test]
+    fn help_documents_the_merged_trace() {
+        assert!(
+            help().contains("one process track per shard"),
+            "the proc trace merge is documented"
+        );
+        assert!(help().contains("flow arrows"), "flow pairing documented");
     }
 
     #[test]

@@ -200,19 +200,41 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
     let metrics = inv.get_str("metrics", "");
     let drift_threshold: f64 = inv.get("drift-threshold", 2.0f64)?;
     let span_capacity: usize = inv.get("span-capacity", 65_536usize)?;
-    // --trace defaults to on as soon as an exporter needs the data; an
-    // explicit `off` alongside an exporter flag is contradictory.
+    // --profile mirrors --trace's on/off grammar; --profile-json implies
+    // it the same way the trace exporters imply --trace.
+    let profile = inv.get_str("profile", "");
+    let profile_json = inv.get_str("profile-json", "");
+    let profile_on = match profile.as_str() {
+        "on" => true,
+        "off" if profile_json.is_empty() => false,
+        "off" => {
+            return Err(Box::new(CliError::BadValue {
+                flag: "profile".to_string(),
+                value: "off (conflicts with --profile-json)".to_string(),
+            }))
+        }
+        "" => !profile_json.is_empty(),
+        _ => {
+            return Err(Box::new(CliError::BadValue {
+                flag: "profile".to_string(),
+                value: profile,
+            }))
+        }
+    };
+    // --trace defaults to on as soon as an exporter (or the profiler,
+    // which attributes from the span telemetry) needs the data; an
+    // explicit `off` alongside any of them is contradictory.
     let trace = inv.get_str("trace", "");
     let telemetry_on = match trace.as_str() {
         "on" => true,
-        "off" if trace_json.is_empty() && metrics.is_empty() => false,
+        "off" if trace_json.is_empty() && metrics.is_empty() && !profile_on => false,
         "off" => {
             return Err(Box::new(CliError::BadValue {
                 flag: "trace".to_string(),
-                value: "off (conflicts with --trace-json/--metrics)".to_string(),
+                value: "off (conflicts with --trace-json/--metrics/--profile)".to_string(),
             }))
         }
-        "" => !trace_json.is_empty() || !metrics.is_empty(),
+        "" => !trace_json.is_empty() || !metrics.is_empty() || profile_on,
         _ => {
             return Err(Box::new(CliError::BadValue {
                 flag: "trace".to_string(),
@@ -367,6 +389,8 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             &fault_json,
             &metrics,
             &trace_json,
+            profile_on,
+            &profile_json,
         );
     }
     let mut netsim = None;
@@ -530,6 +554,49 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
                 println!("wrote {metrics}");
             }
         }
+        if profile_on {
+            use quake_core::telemetry::profile::{ProfileOptions, ProfileReport};
+            use quake_core::telemetry::{ShardTrace, TelemetrySnapshot, TraceContext};
+            // One pseudo-shard on offset 0: the in-process run is its own
+            // clock domain, so the profiler sees exactly what a one-shard
+            // proc ensemble would report.
+            let shard = ShardTrace {
+                snap: TelemetrySnapshot::capture(
+                    telemetry,
+                    TraceContext {
+                        run_id: 0,
+                        shard: 0,
+                        generation: 0,
+                    },
+                    0,
+                    parts as u32,
+                    Vec::new(),
+                    0,
+                ),
+                clock_offset_ns: 0,
+            };
+            let link = netsim.as_ref().map(|t| {
+                let net = t.network();
+                (net.t_l, net.t_w)
+            });
+            let prof = ProfileReport::build(
+                std::slice::from_ref(&shard),
+                &ProfileOptions {
+                    loads: vec![(analyzed.instance.c_max, analyzed.instance.b_max)],
+                    link,
+                    overlap,
+                },
+            );
+            if !quiet {
+                println!("{}", prof.render_table());
+            }
+            if !profile_json.is_empty() {
+                std::fs::write(&profile_json, prof.to_json())?;
+                if !quiet {
+                    println!("wrote {profile_json}");
+                }
+            }
+        }
     }
     if let Some(fr) = report.fault {
         // Prove the healing claim: a fault-free reference run of the same
@@ -571,7 +638,7 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
 /// unix-domain sockets, re-derives Eq. (2)'s `(T_l, T_w)` from socket
 /// microbenchmarks, and proves the merged output bitwise-equal to an
 /// in-process shared-memory twin of the same spec.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_smvp_proc(
     spec: &quake_app::transport::wire::RunSpec,
     built: &quake_app::transport::run::Built,
@@ -580,9 +647,13 @@ fn run_smvp_proc(
     fault_json: &str,
     metrics: &str,
     trace_json: &str,
+    profile_on: bool,
+    profile_json: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use quake_app::transport::{run, TransportKind};
     use quake_core::model::validate::validate;
+    use quake_core::telemetry::profile::{ProfileOptions, ProfileReport};
+    use quake_core::telemetry::{merged_chrome_trace, merged_telemetry, SupervisorInstant};
 
     if spec.wire_fault_rate > 0.0 && !quiet {
         println!(
@@ -663,11 +734,19 @@ fn run_smvp_proc(
     if !bitwise_equal {
         return Err("proc output diverges from the shared transport".into());
     }
+    let traced = spec.trace && !out.shard_telemetry.is_empty();
     if spec.trace && !quiet {
+        let spans: usize = out.shard_telemetry.iter().map(|t| t.snap.spans.len()).sum();
         println!(
-            "telemetry: per-span traces stay in the shard processes; over --transport \
-             proc the --trace-json/--metrics exporters carry the supervisor's \
-             fault-domain view instead"
+            "telemetry: {} shard snapshot(s) collected ({} spans), handshake clock \
+             offsets [{}] ns",
+            out.shard_telemetry.len(),
+            spans,
+            out.shard_telemetry
+                .iter()
+                .map(|t| t.clock_offset_ns.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     if !quiet {
@@ -675,24 +754,77 @@ fn run_smvp_proc(
             println!("incident t+{:.3}s shard {}: {}", i.t_s, i.shard, i.kind);
         }
     }
-    // Wire-layer observability: the supervisor's incident timeline goes out
-    // as Chrome-trace instants and the merged ledger as Prometheus
-    // counters — the fault-domain view the shard-local span exporters
-    // cannot see.
-    if !trace_json.is_empty() {
-        std::fs::write(
-            trace_json,
-            incidents_chrome_trace(&built.app.config.name, &out.incidents),
-        )?;
+    // The critical-path profiler: per-step rung attribution over the
+    // merged shard telemetry, with the Eq. (2) prediction under the
+    // measured link as the model baseline.
+    if profile_on {
+        let prof = ProfileReport::build(
+            &out.shard_telemetry,
+            &ProfileOptions {
+                loads: vec![(analyzed.instance.c_max, analyzed.instance.b_max)],
+                link: Some((out.link.t_l, out.link.t_w)),
+                overlap: spec.overlap,
+            },
+        );
         if !quiet {
-            println!(
-                "wrote {trace_json} ({} fault-domain incidents)",
-                out.incidents.len()
-            );
+            println!("{}", prof.render_table());
+        }
+        if !profile_json.is_empty() {
+            std::fs::write(profile_json, prof.to_json())?;
+            if !quiet {
+                println!("wrote {profile_json}");
+            }
+        }
+    }
+    // Trace runs merge every shard's span snapshot onto one clock-aligned
+    // timeline (one process track per shard, flow arrows pairing each
+    // ghost post with its acquire, the supervisor's incidents on their
+    // own track). Untraced proc runs keep the fault-domain-only trace.
+    if !trace_json.is_empty() {
+        if traced {
+            let supervisor: Vec<SupervisorInstant> = out
+                .incidents
+                .iter()
+                .map(|i| SupervisorInstant {
+                    name: i.kind.to_string(),
+                    shard: i.shard as u32,
+                    at_ns: (i.t_s.max(0.0) * 1e9) as u64,
+                })
+                .collect();
+            std::fs::write(
+                trace_json,
+                merged_chrome_trace(&built.app.config.name, &out.shard_telemetry, &supervisor),
+            )?;
+            if !quiet {
+                println!(
+                    "wrote {trace_json} ({} shard tracks, {} fault-domain incidents)",
+                    out.shard_telemetry.len(),
+                    out.incidents.len()
+                );
+            }
+        } else {
+            std::fs::write(
+                trace_json,
+                incidents_chrome_trace(&built.app.config.name, &out.incidents),
+            )?;
+            if !quiet {
+                println!(
+                    "wrote {trace_json} ({} fault-domain incidents)",
+                    out.incidents.len()
+                );
+            }
         }
     }
     if !metrics.is_empty() {
-        std::fs::write(metrics, wire_prometheus(&report.fault.unwrap_or_default()))?;
+        let mut text = String::new();
+        if traced {
+            text.push_str(&merged_telemetry(&out.shard_telemetry).to_prometheus());
+        }
+        text.push_str(&wire_prometheus(
+            &report.fault.unwrap_or_default(),
+            &out.shard_faults,
+        ));
+        std::fs::write(metrics, text)?;
         if !quiet {
             println!("wrote {metrics}");
         }
@@ -722,27 +854,48 @@ fn run_smvp_proc(
 /// analogue of the in-process telemetry exporter, covering the fault
 /// domain (injection/detection/recovery counters, resends, reconnects,
 /// respawns and the delay histogram) that shard-local spans cannot see.
-fn wire_prometheus(fr: &quake_core::fault::FaultReport) -> String {
+/// Per-shard ledgers add `shard`/`generation`-labeled samples next to
+/// the unlabeled run-wide totals, so a straggling shard's chaos bill is
+/// attributable without re-running.
+fn wire_prometheus(
+    fr: &quake_core::fault::FaultReport,
+    shards: &[(usize, u32, quake_core::fault::FaultReport)],
+) -> String {
+    use quake_core::fault::{FaultReport, WireFaultCounts};
     use std::fmt::Write as _;
+    type StageSelector = fn(&FaultReport) -> &WireFaultCounts;
     let mut s = String::new();
-    for (stage, c) in [
-        ("injected", &fr.wire_injected),
-        ("detected", &fr.wire_detected),
-        ("recovered", &fr.wire_recovered),
-    ] {
-        let _ = writeln!(
-            s,
-            "# HELP quake_wire_{stage}_total Wire faults {stage}, by kind."
-        );
-        let _ = writeln!(s, "# TYPE quake_wire_{stage}_total counter");
-        for (kind, v) in [
+    let stages: [(&str, StageSelector); 3] = [
+        ("injected", |f| &f.wire_injected),
+        ("detected", |f| &f.wire_detected),
+        ("recovered", |f| &f.wire_recovered),
+    ];
+    let kinds = |c: &WireFaultCounts| {
+        [
             ("corrupt", c.corrupt),
             ("truncate", c.truncate),
             ("delay", c.delay),
             ("reset", c.reset),
             ("stall", c.stall),
-        ] {
+        ]
+    };
+    for (stage, sel) in stages {
+        let _ = writeln!(
+            s,
+            "# HELP quake_wire_{stage}_total Wire faults {stage}, by kind."
+        );
+        let _ = writeln!(s, "# TYPE quake_wire_{stage}_total counter");
+        for (kind, v) in kinds(sel(fr)) {
             let _ = writeln!(s, "quake_wire_{stage}_total{{kind=\"{kind}\"}} {v}");
+        }
+        for (shard, generation, f) in shards {
+            for (kind, v) in kinds(sel(f)) {
+                let _ = writeln!(
+                    s,
+                    "quake_wire_{stage}_total{{kind=\"{kind}\",shard=\"{shard}\",\
+                     generation=\"{generation}\"}} {v}"
+                );
+            }
         }
     }
     for (name, help, v) in [
@@ -776,22 +929,53 @@ fn wire_prometheus(fr: &quake_core::fault::FaultReport) -> String {
         let _ = writeln!(s, "# TYPE quake_{name}_total counter");
         let _ = writeln!(s, "quake_{name}_total {v}");
     }
+    for (shard, generation, f) in shards {
+        for (name, v) in [
+            ("wire_resends", f.wire_resends),
+            ("reconnects", f.reconnects),
+        ] {
+            let _ = writeln!(
+                s,
+                "quake_{name}_total{{shard=\"{shard}\",generation=\"{generation}\"}} {v}"
+            );
+        }
+    }
     let _ = writeln!(
         s,
         "# HELP quake_wire_delay_us Injected wire delays and backoff waits, microseconds."
     );
     let _ = writeln!(s, "# TYPE quake_wire_delay_us histogram");
-    let mut cum = 0u64;
-    for (i, n) in fr.wire_delay_us_hist.iter().enumerate() {
-        cum += n;
-        let _ = writeln!(
-            s,
-            "quake_wire_delay_us_bucket{{le=\"{}\"}} {cum}",
-            1u64 << (i + 1)
+    let mut delay_hist = |labels: &str, f: &FaultReport| {
+        let mut cum = 0u64;
+        for (i, n) in f.wire_delay_us_hist.iter().enumerate() {
+            cum += n;
+            let _ = writeln!(
+                s,
+                "quake_wire_delay_us_bucket{{{labels}le=\"{}\"}} {cum}",
+                1u64 << (i + 1)
+            );
+        }
+        let _ = writeln!(s, "quake_wire_delay_us_bucket{{{labels}le=\"+Inf\"}} {cum}");
+        let bare = labels.trim_end_matches(',');
+        if bare.is_empty() {
+            let _ = writeln!(s, "quake_wire_delay_us_sum {}", f.wire_delay_us_sum);
+            let _ = writeln!(s, "quake_wire_delay_us_count {cum}");
+        } else {
+            let _ = writeln!(
+                s,
+                "quake_wire_delay_us_sum{{{bare}}} {}",
+                f.wire_delay_us_sum
+            );
+            let _ = writeln!(s, "quake_wire_delay_us_count{{{bare}}} {cum}");
+        }
+    };
+    delay_hist("", fr);
+    for (shard, generation, f) in shards {
+        delay_hist(
+            &format!("shard=\"{shard}\",generation=\"{generation}\","),
+            f,
         );
     }
-    let _ = writeln!(s, "quake_wire_delay_us_bucket{{le=\"+Inf\"}} {cum}");
-    let _ = writeln!(s, "quake_wire_delay_us_count {cum}");
     s
 }
 
