@@ -491,6 +491,19 @@ struct OverlapState {
     drift_scratch: Vec<f64>,
 }
 
+/// Node-placement view of a two-level (node-aware) run, used by the traced
+/// step paths for attribution only. The exchange schedule never consults
+/// it: aggregation happens entirely inside the transport, so arming a node
+/// map changes no output, no counter, and no acquire order.
+struct NodeView {
+    /// PE → node placement (matches the transport's `NodeMap`).
+    node_of: Vec<usize>,
+    /// Words of each merged cross-node (node, node) block whose sending
+    /// node's leader PE this executor owns — the blocks this shard's relay
+    /// actually puts on the slow link, recorded once per traced step.
+    pair_words: Vec<u64>,
+}
+
 /// Seconds to integer nanoseconds for span durations.
 fn secs_to_ns(s: f64) -> u64 {
     (s * 1e9) as u64
@@ -566,6 +579,9 @@ pub struct BspExecutor {
     telemetry: Option<Box<TelemetryState>>,
     /// Latency-hiding schedule state, or `None` for the barrier schedule.
     overlap: Option<Box<OverlapState>>,
+    /// Node placement of a two-level run, or `None` when flat. Telemetry
+    /// attribution only (see [`NodeView`]).
+    node_view: Option<NodeView>,
     // Persistent per-step buffers: sized once in `build`, reused by every
     // `step_into` so the steady-state step never touches the allocator.
     x_local: Vec<Vec<Vec3>>,
@@ -862,6 +878,7 @@ impl BspExecutor {
             fault: None,
             telemetry: None,
             overlap,
+            node_view: None,
             counters: vec![PeCounters::default(); p],
             phases: PhaseWalls::default(),
             steps: 0,
@@ -1006,6 +1023,102 @@ impl BspExecutor {
     /// The microkernel the compute phases currently dispatch to.
     pub fn kernel(&self) -> KernelKind {
         self.kernel
+    }
+
+    /// Hands the executor the PE → node placement of a node-aware run
+    /// (`node_of[q]` = the node PE q lives on, matching the transport's
+    /// `NodeMap`). Telemetry attribution only: traced steps emit an
+    /// intra-node `gather` span inside each exchange and feed the merged
+    /// per-(node, node) block-size histogram. The exchange itself never
+    /// consults the map — aggregation lives in the transport — so output,
+    /// counters, and acquire order are bitwise-unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_of` does not cover every PE.
+    pub fn set_node_map(&mut self, node_of: &[usize]) {
+        let p = self.pe.len();
+        assert_eq!(node_of.len(), p, "node map must cover every PE");
+        let nodes = node_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut merged = vec![0u64; nodes * nodes];
+        for (q, msgs) in self.inbound.iter().enumerate() {
+            for msg in msgs {
+                let (src, dst) = (node_of[msg.neighbor], node_of[q]);
+                if src != dst {
+                    merged[src * nodes + dst] += 3 * msg.pairs.len() as u64;
+                }
+            }
+        }
+        // A node's leader is its lowest PE; keeping only leader-owned
+        // source nodes counts each merged block exactly once across `proc`
+        // shards — the same shard whose relay puts it on the slow link.
+        let mut leader = vec![usize::MAX; nodes];
+        for (q, &n) in node_of.iter().enumerate().rev() {
+            leader[n] = q;
+        }
+        let mut pair_words = Vec::new();
+        for src in 0..nodes {
+            if !self.owned.contains(&leader[src]) {
+                continue;
+            }
+            for dst in 0..nodes {
+                let w = merged[src * nodes + dst];
+                if w > 0 {
+                    pair_words.push(w);
+                }
+            }
+        }
+        self.node_view = Some(NodeView {
+            node_of: node_of.to_vec(),
+            pair_words,
+        });
+    }
+
+    /// The armed PE → node placement, or `None` on flat runs.
+    pub fn node_map(&self) -> Option<&[usize]> {
+        self.node_view.as_ref().map(|nv| nv.node_of.as_slice())
+    }
+
+    /// Node-aware telemetry hooks for one traced exchange: per owned PE, a
+    /// `gather` span (the share of its fetch time spent on same-node
+    /// neighbors — the intra-node leg of the two-level exchange) nested at
+    /// the head of the exchange span, plus one histogram sample per merged
+    /// (node, node) block this shard leads. No-op on flat runs. `starts`
+    /// overrides the per-PE exchange span starts (the overlap schedule
+    /// stages them outside `telem.start_ns`); `durs` is per-PE exchange
+    /// seconds, used to clamp the nested span.
+    fn record_node_exchange(
+        &self,
+        telem: &mut TelemetryState,
+        step: u64,
+        starts: Option<&[u64]>,
+        durs: &[f64],
+    ) {
+        let Some(nv) = &self.node_view else {
+            return;
+        };
+        for q in self.owned.clone() {
+            let intra_ns: u64 = self.inbound[q]
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| nv.node_of[m.neighbor] == nv.node_of[q])
+                .map(|(mi, _)| telem.msg_ns[q][mi])
+                .sum();
+            let gather_ns = intra_ns.min(secs_to_ns(durs[q]));
+            if gather_ns > 0 {
+                telem.data.add_phase_wall(PhaseId::Gather, gather_ns);
+                telem.data.span(Span {
+                    phase: PhaseId::Gather,
+                    pe: q as u32,
+                    step,
+                    start_ns: starts.map_or(telem.start_ns[q], |s| s[q]),
+                    dur_ns: gather_ns,
+                });
+            }
+        }
+        for &w in &nv.pair_words {
+            telem.data.node_block_words.record(w);
+        }
     }
 
     /// Per-PE boundary row counts of the overlap split, or `None` when the
@@ -1465,6 +1578,7 @@ impl BspExecutor {
                 telem.data.block_words.record(3 * msg.pairs.len() as u64);
             }
         }
+        self.record_node_exchange(&mut telem, step, None, &self.elapsed);
         // The drift feed is exchange time minus transport wait: blocking in
         // `acquire` tracks the *sender's* progress, not this PE's load, so
         // leaving it in would flag healthy runs.
@@ -1986,6 +2100,7 @@ impl BspExecutor {
                 telem.data.block_words.record(3 * msg.pairs.len() as u64);
             }
         }
+        self.record_node_exchange(&mut telem, step, Some(&ov.exch_start), &ov.exch_elapsed);
         for q in owned.clone() {
             ov.drift_scratch[q] = (ov.exch_elapsed[q] - ov.wait_elapsed[q]).max(0.0);
         }
@@ -2584,6 +2699,7 @@ impl BspExecutor {
             }
         }
         if let Some(t) = telem.as_deref_mut() {
+            self.record_node_exchange(t, step, None, &self.elapsed);
             // Same convention as the clean traced paths: drift sees the
             // exchange work net of transport waits.
             for q in owned.clone() {

@@ -68,6 +68,11 @@ pub enum FrameKind {
     /// endpoints), sent just before [`FrameKind::Result`] when tracing is
     /// on: payload = `quake_core::telemetry::TelemetrySnapshot::encode`.
     Telemetry = 15,
+    /// A merged node-level batch of ghost blocks (see
+    /// [`super::wire::encode_ghost_batch`]): one frame per (node, node)
+    /// pair per step under the two-level exchange, carrying a sub-block
+    /// manifest with per-block digests.
+    GhostBatch = 16,
 }
 
 impl FrameKind {
@@ -88,6 +93,7 @@ impl FrameKind {
             13 => FrameKind::Suspect,
             14 => FrameKind::WireEvent,
             15 => FrameKind::Telemetry,
+            16 => FrameKind::GhostBatch,
             _ => return None,
         })
     }
@@ -291,7 +297,7 @@ mod tests {
     use proptest::prelude::*;
     use std::io::Cursor;
 
-    const KINDS: [FrameKind; 15] = [
+    const KINDS: [FrameKind; 16] = [
         FrameKind::Hello,
         FrameKind::Ready,
         FrameKind::Go,
@@ -307,12 +313,13 @@ mod tests {
         FrameKind::Suspect,
         FrameKind::WireEvent,
         FrameKind::Telemetry,
+        FrameKind::GhostBatch,
     ];
 
     proptest! {
         #[test]
         fn round_trips_arbitrary_payloads(
-            kind_idx in 0usize..15,
+            kind_idx in 0usize..16,
             payload in proptest::collection::vec(0u8..=255, 0..2048),
         ) {
             let kind = KINDS[kind_idx];
@@ -376,7 +383,7 @@ mod tests {
         #[test]
         fn oversized_lengths_are_rejected_before_any_payload_is_read(
             declared in MAX_PAYLOAD + 1..=u32::MAX,
-            kind_idx in 0usize..15,
+            kind_idx in 0usize..16,
         ) {
             // Feed ONLY the 8-byte header: if the length guard ran after the
             // payload read (or after allocation), this would report

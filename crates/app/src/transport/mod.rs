@@ -48,11 +48,13 @@
 
 use quake_core::fault::BlockChecksum;
 use quake_core::machine::Network;
+use quake_core::model::maxrate;
 use quake_sparse::dense::Vec3;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod frame;
@@ -246,6 +248,68 @@ pub fn ghost_edges(system: &crate::distributed::DistributedSystem) -> Vec<GhostE
         });
     }
     edges
+}
+
+/// The PE → node map of a node-aware two-level exchange: PEs sharing a
+/// node gather their boundary partials locally and exactly one merged
+/// block per (node, node) pair crosses the slow inter-node link. `None`
+/// at the call sites means flat — every PE is its own injection port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMap {
+    nodes: usize,
+    of: Vec<usize>,
+}
+
+impl NodeMap {
+    /// A map from an explicit per-PE node vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero or any entry is out of range.
+    pub fn new(nodes: usize, of: Vec<usize>) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(
+            of.iter().all(|&n| n < nodes),
+            "node index out of {nodes} nodes"
+        );
+        NodeMap { nodes, of }
+    }
+
+    /// The canonical map every backend agrees on: `parts` PEs chunk
+    /// contiguously into `shards` shard slices (the proc backend's
+    /// process boundaries) and shards chunk contiguously into `nodes`
+    /// nodes, both under [`maxrate::node_of`]'s balanced chunking. The
+    /// unsharded backends use the same `shards` value from the spec, so
+    /// which PEs share an injection port never depends on the fabric.
+    pub fn for_shards(parts: usize, shards: usize, nodes: usize) -> Self {
+        let of = (0..parts)
+            .map(|q| {
+                let shard = maxrate::node_of(parts, shards, q);
+                maxrate::node_of(shards, nodes, shard)
+            })
+            .collect();
+        NodeMap { nodes, of }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of mapped PEs.
+    pub fn pes(&self) -> usize {
+        self.of.len()
+    }
+
+    /// The node owning PE `pe`.
+    pub fn node_of(&self, pe: usize) -> usize {
+        self.of[pe]
+    }
+
+    /// Whether two PEs share a node (and thus the fast intra-node path).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.of[a] == self.of[b]
+    }
 }
 
 /// FNV-1a checksum of a ghost block, word by word — the same digest the
@@ -550,6 +614,75 @@ impl Mailbox {
             checksum: slot.checksum[parity].load(Ordering::Relaxed),
         })
     }
+
+    /// Merged-arrival acquire for node-aggregated fabrics: the cross-node
+    /// block travels as one unit per (node, node) pair, so the acquire is
+    /// gated on *every* edge of its group being posted for `step` before
+    /// this edge's slot is copied out. Data, checksums and counters are
+    /// untouched — only the wait semantics model the aggregation.
+    ///
+    /// Deadlock-free because the executor's exchange posts all outbound
+    /// edges before acquiring any inbound one, and posting never blocks.
+    pub(crate) fn acquire_group(
+        &self,
+        step: u64,
+        from: usize,
+        to: usize,
+        out: &mut [Vec3],
+        group: &[usize],
+    ) -> Result<AcquireInfo, TransportError> {
+        let i = self.edge(from, to)?;
+        if out.len() != self.lens[i] {
+            return Err(TransportError::LengthMismatch {
+                expected: self.lens[i],
+                got: out.len(),
+            });
+        }
+        let parity = (step % 2) as usize;
+        let waited_s = escalating_wait(self.timeout, || {
+            group
+                .iter()
+                .all(|&g| self.slots[g].posted[parity].load(Ordering::Acquire) > step)
+        })
+        .map_err(|waited| TransportError::Timeout {
+            from,
+            to,
+            step,
+            waited_s: waited as u64,
+        })?;
+        let slot = &self.slots[i];
+        // SAFETY: the group's Acquire loads pair with each writer's
+        // Release store; our own edge's flag is among them.
+        unsafe {
+            out.copy_from_slice(&*slot.buf[parity].get());
+        }
+        Ok(AcquireInfo {
+            waited_s,
+            checksum: slot.checksum[parity].load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// The directed (node, node) merged-arrival groups of an edge schedule:
+/// `groups[i]` holds every edge index riding the same cross-node merged
+/// block as edge `i`, or `None` for intra-node edges.
+fn edge_groups(edges: &[GhostEdge], map: &NodeMap) -> Vec<Option<Arc<Vec<usize>>>> {
+    let mut by_pair: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        let (a, b) = (map.node_of(e.from), map.node_of(e.to));
+        if a != b {
+            by_pair.entry((a, b)).or_default().push(i);
+        }
+    }
+    let by_pair: HashMap<(usize, usize), Arc<Vec<usize>>> =
+        by_pair.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
+    edges
+        .iter()
+        .map(|e| {
+            let (a, b) = (map.node_of(e.from), map.node_of(e.to));
+            (a != b).then(|| Arc::clone(&by_pair[&(a, b)]))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -558,15 +691,35 @@ impl Mailbox {
 
 /// The in-process transport: ghost blocks cross PEs through shared-memory
 /// mailboxes, the execution model the repo has always run.
+///
+/// With a [`NodeMap`], cross-node acquires are gated on the whole merged
+/// (node, node) block being up (the hierarchical mailbox): PEs of one
+/// node gather locally at full speed, while an inter-node block is only
+/// observable once every edge riding it has been posted — the
+/// shared-memory rendering of "one aggregated block crosses the slow
+/// link". Data, checksums and counters are bitwise those of a flat run.
 pub struct SharedTransport {
     mailbox: Mailbox,
+    /// Per-edge merged-arrival group; `None` for intra-node (and all
+    /// flat-run) edges.
+    groups: Vec<Option<Arc<Vec<usize>>>>,
 }
 
 impl SharedTransport {
-    /// A shared-memory fabric over the given edge schedule.
+    /// A flat shared-memory fabric over the given edge schedule.
     pub fn new(edges: &[GhostEdge]) -> Self {
         SharedTransport {
             mailbox: Mailbox::new(edges, default_timeout()),
+            groups: vec![None; edges.len()],
+        }
+    }
+
+    /// A node-aggregated fabric: cross-node edges wait for their merged
+    /// (node, node) block as one unit.
+    pub fn with_nodes(edges: &[GhostEdge], map: &NodeMap) -> Self {
+        SharedTransport {
+            mailbox: Mailbox::new(edges, default_timeout()),
+            groups: edge_groups(edges, map),
         }
     }
 }
@@ -593,7 +746,11 @@ impl Transport for SharedTransport {
         to: usize,
         out: &mut [Vec3],
     ) -> Result<AcquireInfo, TransportError> {
-        self.mailbox.acquire(step, from, to, out)
+        let i = self.mailbox.edge(from, to)?;
+        match &self.groups[i] {
+            Some(group) => self.mailbox.acquire_group(step, from, to, out, group),
+            None => self.mailbox.acquire(step, from, to, out),
+        }
     }
 
     fn link(&self) -> LinkParams {
@@ -618,16 +775,68 @@ impl Transport for SharedTransport {
 pub struct NetsimTransport {
     mailbox: Mailbox,
     network: Network,
+    /// Modeled cost in nanoseconds per directed edge per step. Flat runs
+    /// bill the postal model per block; node-aggregated runs bill
+    /// intra-node edges at the fast local link and cross-node edges as
+    /// their share of one merged (node, node) block — `T_l·w_e/W +
+    /// w_e·T_w`, so the shares of a pair sum to exactly `T_l + W·T_w`.
+    edge_cost_ns: Vec<u64>,
     /// Modeled exchange nanoseconds accumulated per receiving PE.
     modeled_ns: Vec<AtomicU64>,
 }
 
 impl NetsimTransport {
-    /// A modeled fabric over the given edges with `pes` receiving PEs.
+    /// A flat modeled fabric over the given edges with `pes` receiving
+    /// PEs: every acquired block bills `T_l + words·T_w`.
     pub fn new(edges: &[GhostEdge], pes: usize, network: Network) -> Self {
+        let edge_cost_ns = edges
+            .iter()
+            .map(|e| (network.block_transfer_time(3 * e.len as u64) * 1e9) as u64)
+            .collect();
         NetsimTransport {
             mailbox: Mailbox::new(edges, default_timeout()),
             network,
+            edge_cost_ns,
+            modeled_ns: (0..pes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A node-aggregated modeled fabric with two-tier link billing:
+    /// intra-node edges ride `local`, cross-node edges split one merged
+    /// block per (node, node) pair over `network`.
+    pub fn with_nodes(
+        edges: &[GhostEdge],
+        pes: usize,
+        network: Network,
+        local: Network,
+        map: &NodeMap,
+    ) -> Self {
+        // Total merged words per directed (node, node) pair.
+        let mut pair_words: HashMap<(usize, usize), u64> = HashMap::new();
+        for e in edges {
+            let (a, b) = (map.node_of(e.from), map.node_of(e.to));
+            if a != b {
+                *pair_words.entry((a, b)).or_default() += 3 * e.len as u64;
+            }
+        }
+        let edge_cost_ns = edges
+            .iter()
+            .map(|e| {
+                let (a, b) = (map.node_of(e.from), map.node_of(e.to));
+                let words = 3 * e.len as u64;
+                let cost_s = if a == b {
+                    local.block_transfer_time(words)
+                } else {
+                    let total = pair_words[&(a, b)] as f64;
+                    network.t_l * words as f64 / total + words as f64 * network.t_w
+                };
+                (cost_s * 1e9) as u64
+            })
+            .collect();
+        NetsimTransport {
+            mailbox: Mailbox::new(edges, default_timeout()),
+            network,
+            edge_cost_ns,
             modeled_ns: (0..pes).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -668,11 +877,10 @@ impl Transport for NetsimTransport {
         to: usize,
         out: &mut [Vec3],
     ) -> Result<AcquireInfo, TransportError> {
+        let i = self.mailbox.edge(from, to)?;
         let info = self.mailbox.acquire(step, from, to, out)?;
-        let words = 3 * out.len() as u64;
-        let cost_ns = (self.network.block_transfer_time(words) * 1e9) as u64;
         if let Some(acc) = self.modeled_ns.get(to) {
-            acc.fetch_add(cost_ns, Ordering::Relaxed);
+            acc.fetch_add(self.edge_cost_ns[i], Ordering::Relaxed);
         }
         Ok(info)
     }
@@ -839,6 +1047,168 @@ mod tests {
         assert!((modeled[1] - expect).abs() < 1e-9, "{modeled:?}");
         assert_eq!(modeled[0], 0.0);
         assert!(!t.link().measured, "presets are not measurements");
+    }
+
+    /// Three PEs, nodes {0,1} and {2}: two cross-node edges into PE 2,
+    /// one back, plus an intra-node pair.
+    fn edges3() -> Vec<GhostEdge> {
+        vec![
+            GhostEdge {
+                from: 0,
+                to: 2,
+                len: 2,
+            },
+            GhostEdge {
+                from: 1,
+                to: 2,
+                len: 1,
+            },
+            GhostEdge {
+                from: 2,
+                to: 0,
+                len: 2,
+            },
+            GhostEdge {
+                from: 0,
+                to: 1,
+                len: 3,
+            },
+        ]
+    }
+
+    fn map3() -> NodeMap {
+        NodeMap::new(2, vec![0, 0, 1])
+    }
+
+    #[test]
+    fn node_map_for_shards_matches_shard_chunking() {
+        // 10 PEs over 4 shards over 2 nodes: shards {0,1} are node 0.
+        let m = NodeMap::for_shards(10, 4, 2);
+        assert_eq!(m.nodes(), 2);
+        assert_eq!(m.pes(), 10);
+        for q in 0..10 {
+            let shard = (0..4)
+                .find(|&k| (10 * k / 4..10 * (k + 1) / 4).contains(&q))
+                .unwrap();
+            let node = if shard < 2 { 0 } else { 1 };
+            assert_eq!(m.node_of(q), node, "pe {q} (shard {shard})");
+        }
+        assert!(m.same_node(0, 4));
+        assert!(!m.same_node(4, 5));
+        // One PE per node degenerates to the identity.
+        let flat = NodeMap::for_shards(4, 4, 4);
+        for q in 0..4 {
+            assert_eq!(flat.node_of(q), q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn node_map_rejects_zero_nodes() {
+        let _ = NodeMap::new(0, vec![]);
+    }
+
+    #[test]
+    fn edge_groups_split_cross_from_intra() {
+        let groups = edge_groups(&edges3(), &map3());
+        // Edges 0 and 1 ride the same (0 -> 1) merged block.
+        let g01 = groups[0].as_ref().expect("cross edge grouped");
+        assert_eq!(g01.as_slice(), &[0, 1]);
+        assert!(Arc::ptr_eq(g01, groups[1].as_ref().unwrap()));
+        // Edge 2 is the lone (1 -> 0) block; edge 3 is intra-node.
+        assert_eq!(groups[2].as_ref().unwrap().as_slice(), &[2]);
+        assert!(groups[3].is_none());
+    }
+
+    #[test]
+    fn grouped_acquire_waits_for_the_whole_merged_block() {
+        let t = Arc::new(SharedTransport::with_nodes(&edges3(), &map3()));
+        let b02 = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        let b12 = [Vec3::new(-7.0, 8.0, -9.0)];
+        t.post(0, 0, 2, &b02).unwrap();
+        // Only half the merged block is up: the acquire must keep
+        // blocking until the straggler edge posts.
+        let t2 = Arc::clone(&t);
+        let poster = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            t2.post(0, 1, 2, &b12).unwrap();
+        });
+        let mut out = [Vec3::ZERO; 2];
+        let info = t.acquire(0, 0, 2, &mut out).unwrap();
+        poster.join().unwrap();
+        assert!(
+            info.waited_s >= 0.02,
+            "acquire returned before the merged block was whole (waited {} s)",
+            info.waited_s
+        );
+        // Data and checksum are the flat run's, bit for bit.
+        assert_eq!(out[1].z.to_bits(), b02[1].z.to_bits());
+        assert_eq!(info.checksum, block_checksum_vec3(&b02));
+        // The second rider of the now-complete block returns immediately.
+        let mut out1 = [Vec3::ZERO; 1];
+        let info1 = t.acquire(0, 1, 2, &mut out1).unwrap();
+        assert_eq!(info1.waited_s, 0.0);
+        assert_eq!(out1[0].x.to_bits(), b12[0].x.to_bits());
+        // Intra-node edges never gate on the cross-node group.
+        let b01 = [Vec3::ZERO; 3];
+        t.post(0, 0, 1, &b01).unwrap();
+        let mut out01 = [Vec3::ZERO; 3];
+        assert_eq!(t.acquire(0, 0, 1, &mut out01).unwrap().waited_s, 0.0);
+    }
+
+    #[test]
+    fn netsim_two_tier_billing_sums_to_one_merged_block() {
+        let slow = Network {
+            name: "slow",
+            t_l: 20e-6,
+            t_w: 50e-9,
+        };
+        let fast = Network {
+            name: "fast",
+            t_l: 2e-6,
+            t_w: 5e-9,
+        };
+        let t = NetsimTransport::with_nodes(&edges3(), 3, slow, fast, &map3());
+        let b02 = [Vec3::ZERO; 2];
+        let b12 = [Vec3::ZERO; 1];
+        let b01 = [Vec3::ZERO; 3];
+        t.post(0, 0, 2, &b02).unwrap();
+        t.post(0, 1, 2, &b12).unwrap();
+        t.post(0, 0, 1, &b01).unwrap();
+        let mut o2 = [Vec3::ZERO; 2];
+        let mut o1 = [Vec3::ZERO; 1];
+        let mut o3 = [Vec3::ZERO; 3];
+        t.acquire(0, 0, 2, &mut o2).unwrap();
+        t.acquire(0, 1, 2, &mut o1).unwrap();
+        t.acquire(0, 0, 1, &mut o3).unwrap();
+        let modeled = t.modeled_exchange_s();
+        // PE 2 drained one merged block of 6 + 3 = 9 words: exactly one
+        // slow latency plus nine slow word times, not two latencies.
+        let merged = slow.t_l + 9.0 * slow.t_w;
+        assert!(
+            (modeled[2] - merged).abs() < 2e-9,
+            "merged billing {} != {merged}",
+            modeled[2]
+        );
+        // PE 1's inbound edge is intra-node: fast-link postal cost.
+        let intra = fast.t_l + 9.0 * fast.t_w;
+        assert!(
+            (modeled[1] - intra).abs() < 2e-9,
+            "intra billing {} != {intra}",
+            modeled[1]
+        );
+        // A flat fabric over the same edges pays two slow latencies in.
+        let flat = NetsimTransport::new(&edges3(), 3, slow);
+        flat.post(0, 0, 2, &b02).unwrap();
+        flat.post(0, 1, 2, &b12).unwrap();
+        flat.acquire(0, 0, 2, &mut o2).unwrap();
+        flat.acquire(0, 1, 2, &mut o1).unwrap();
+        let flat_cost = flat.modeled_exchange_s()[2];
+        assert!(
+            flat_cost > modeled[2] + slow.t_l * 0.9,
+            "aggregation must shave a whole block latency: flat {flat_cost}, merged {}",
+            modeled[2]
+        );
     }
 
     #[test]

@@ -64,8 +64,8 @@
 
 use super::frame::{self, read_frame, write_frame, FrameError, FrameKind};
 use super::wire::{
-    decode_ghost, decode_result, encode_ghost, encode_result, ByteReader, ByteWriter, PeResult,
-    RunSpec, ShardResult,
+    decode_ghost, decode_ghost_batch, decode_result, encode_ghost, encode_ghost_batch,
+    encode_result, ByteReader, ByteWriter, PeResult, RunSpec, ShardResult,
 };
 use super::{
     block_checksum_vec3, ghost_edges, AcquireInfo, LinkParams, Mailbox, Transport, TransportError,
@@ -76,9 +76,10 @@ use crate::transport::run::{Built, Incident, RunOutput};
 use quake_core::fault::{
     mix64, record_delay_us, FaultReport, RetryBackoff, WireFaultKind, WireFaultPlan,
 };
+use quake_core::model::maxrate::node_of;
 use quake_core::telemetry::{FlowKind, FlowRec, ShardTrace, TelemetrySnapshot, TraceContext};
 use quake_sparse::dense::Vec3;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::ErrorKind;
 use std::net::Shutdown;
 use std::ops::Range;
@@ -164,11 +165,15 @@ struct Peer {
     /// The writer half; `None` while disconnected. Replaced in place on
     /// reconnect so every handle stays valid across epochs.
     conn: Mutex<Option<UnixStream>>,
-    /// Latest posted payload per directed edge on this connection. A
-    /// `Resend` request — and every (re)connect — replays the whole
-    /// cache; superseded steps are bitwise-identical by the constant-`x`
+    /// Latest posted frame (kind + payload) per resend-cache key on this
+    /// connection: directed `(from, to)` PE edges carry `Ghost` frames,
+    /// and `(usize::MAX, dest node)` keys carry the node relay's merged
+    /// `GhostBatch` frames (PE indices never reach `usize::MAX`, so the
+    /// key spaces are disjoint). A `Resend` request — and every
+    /// (re)connect — replays the whole cache with each entry's own kind;
+    /// superseded steps are bitwise-identical by the constant-`x`
     /// invariant, so over-delivery is harmless.
-    cache: Mutex<HashMap<(usize, usize), Vec<u8>>>,
+    cache: Mutex<ResendCache>,
     alive: AtomicBool,
     /// The peer sent an orderly `Bye`: its posted blocks stay
     /// acquirable and nothing further is expected from it.
@@ -242,6 +247,147 @@ impl Peer {
 /// and its reader threads.
 type EdgeMap = HashMap<(usize, usize), (usize, usize)>;
 
+/// Resend-cache key namespace for the relay's merged batches: `(BATCH_KEY,
+/// dest node)` can never collide with a `(from, to)` PE-edge key.
+const BATCH_KEY: usize = usize::MAX;
+
+/// The two-level exchange topology of a `--nodes N` run: shards chunk
+/// contiguously into nodes, the lowest shard of each node is its leader,
+/// and cross-node ghost blocks route member → leader → remote leader →
+/// remote member, with the leader-to-leader hop carrying exactly one
+/// merged [`FrameKind::GhostBatch`] per (node, node) pair per step.
+/// Intra-node edges keep the direct per-edge path.
+struct NodeRelay {
+    /// Our shard's node.
+    node: usize,
+    /// Our node's leader shard (we are the leader iff it is our id).
+    leader: usize,
+    /// Shard -> node.
+    shard_node: Vec<usize>,
+    /// Node -> leader shard.
+    leaders: Vec<usize>,
+    /// PE -> owning shard.
+    pe_owner: Vec<usize>,
+    /// Leader only: per remote node, the statically known set of directed
+    /// cross edges our node injects into it — the merged block's
+    /// manifest, complete when every edge has contributed a step.
+    expected: Vec<HashSet<(usize, usize)>>,
+    /// Leader only: partial merged blocks keyed `(step, dest node)`.
+    /// Replays may recreate flushed entries; the constant-`x` invariant
+    /// makes the duplicate flush harmless, and each flush GCs stale
+    /// partials of older steps for the same destination.
+    pending: Mutex<HashMap<(u64, usize), MergedBlock>>,
+}
+
+/// One partial merged block at a leader: per directed cross edge, the
+/// contributed boundary values, in deterministic (BTreeMap) edge order so
+/// the flushed frame is byte-stable across replays.
+type MergedBlock = BTreeMap<(usize, usize), Vec<Vec3>>;
+
+/// Per-connection resend cache: latest posted frame (kind + payload)
+/// keyed by directed `(from, to)` PE edge, or `(usize::MAX, dest node)`
+/// for the node relay's merged batches.
+type ResendCache = HashMap<(usize, usize), (FrameKind, Vec<u8>)>;
+
+impl NodeRelay {
+    /// Builds the relay topology for this shard, or `None` for flat runs
+    /// (`nodes == 0`), single-shard runs, and one-node-per-shard cases
+    /// where no aggregation is possible.
+    fn build(
+        id: usize,
+        parts: usize,
+        shards: usize,
+        nodes: usize,
+        edge_list: &[super::GhostEdge],
+    ) -> Option<NodeRelay> {
+        if nodes == 0 || shards < 2 || nodes > shards {
+            return None;
+        }
+        let pe_owner: Vec<usize> = (0..parts).map(|q| node_of(parts, shards, q)).collect();
+        let shard_node: Vec<usize> = (0..shards).map(|k| node_of(shards, nodes, k)).collect();
+        let leaders: Vec<usize> = (0..nodes)
+            .map(|n| {
+                shard_node
+                    .iter()
+                    .position(|&m| m == n)
+                    .expect("node chunks are non-empty")
+            })
+            .collect();
+        let node = shard_node[id];
+        let leader = leaders[node];
+        let mut expected: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); nodes];
+        if leader == id {
+            for e in edge_list {
+                let a = shard_node[pe_owner[e.from]];
+                let b = shard_node[pe_owner[e.to]];
+                if a == node && b != node {
+                    expected[b].insert((e.from, e.to));
+                }
+            }
+        }
+        Some(NodeRelay {
+            node,
+            leader,
+            shard_node,
+            leaders,
+            pe_owner,
+            expected,
+            pending: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The node owning the shard that owns PE `pe`.
+    fn node_of_pe(&self, pe: usize) -> Option<usize> {
+        self.pe_owner.get(pe).map(|&k| self.shard_node[k])
+    }
+}
+
+/// Folds one cross-node contribution into the leader's aggregation
+/// buffer and, when the merged (node, node) block for this step is
+/// complete, emits exactly one `GhostBatch` frame to the remote node's
+/// leader (caching it for replay under the batch key namespace).
+fn relay_contribution(
+    fabric: &Fabric,
+    step: u64,
+    from: usize,
+    to: usize,
+    block: &[Vec3],
+) -> Result<(), TransportError> {
+    let relay = fabric
+        .relay
+        .as_ref()
+        .expect("relay routing gated by caller");
+    let dest = relay
+        .node_of_pe(to)
+        .ok_or(TransportError::UnknownEdge { from, to })?;
+    let complete = {
+        let mut pending = relay.pending.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = pending.entry((step, dest)).or_default();
+        entry.insert((from, to), block.to_vec());
+        if entry.len() < relay.expected[dest].len() {
+            None
+        } else {
+            let subs = pending.remove(&(step, dest)).expect("entry just filled");
+            // A flush at this step supersedes any stale partials the
+            // replay machinery left behind for older steps.
+            pending.retain(|&(s, d), _| d != dest || s > step);
+            Some(subs)
+        }
+    };
+    let Some(subs) = complete else { return Ok(()) };
+    let refs: Vec<(u64, usize, usize, &[Vec3])> = subs
+        .iter()
+        .map(|(&(f, t), b)| (step, f, t, b.as_slice()))
+        .collect();
+    let payload = encode_ghost_batch(&refs);
+    let peer = fabric.peer(relay.leaders[dest])?;
+    peer.cache
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert((BATCH_KEY, dest), (FrameKind::GhostBatch, payload.clone()));
+    ghost_send(fabric, peer, FrameKind::GhostBatch, &payload)
+}
+
 /// Everything the connection machinery shares: the peer table, the
 /// mailbox the readers deliver into, the chaos plan, and the wire-fault
 /// ledger. One per shard process.
@@ -273,6 +419,16 @@ struct Fabric {
     peers: Vec<Option<Arc<Peer>>>,
     mailbox: Arc<Mailbox>,
     edges: Arc<EdgeMap>,
+    /// The two-level node topology (`--nodes N`); `None` runs flat.
+    relay: Option<NodeRelay>,
+    /// Emulated inter-node link latency (`--wire-latency`): every ghost
+    /// frame to a shard on a different node is held this long on the
+    /// sender, netem-style, so a single host can price a fabric whose
+    /// inter-node leg is genuinely slower than its intra-node leg.
+    /// `None` leaves the raw socket. Carries the shard → node map so the
+    /// no-aggregation ablation arm (`aggregate false`) prices the same
+    /// placement without a relay.
+    wire_delay: Option<(Duration, Vec<usize>)>,
     /// Cross-process flow endpoints (ghost post/acquire instants on the
     /// fabric clock) for the merged trace. Empty when tracing is off.
     flows: Mutex<Vec<FlowRec>>,
@@ -342,12 +498,12 @@ impl Fabric {
 /// Replays the whole resend cache to the peer's current connection —
 /// the recovery step behind both `Resend` requests and reconnects.
 fn replay_cache(peer: &Peer) {
-    let payloads: Vec<Vec<u8>> = {
+    let frames: Vec<(FrameKind, Vec<u8>)> = {
         let cache = peer.cache.lock().unwrap_or_else(|p| p.into_inner());
         cache.values().cloned().collect()
     };
-    for payload in payloads {
-        if peer.send(FrameKind::Ghost, &payload).is_err() {
+    for (kind, payload) in frames {
+        if peer.send(kind, &payload).is_err() {
             return;
         }
     }
@@ -508,20 +664,46 @@ fn spawn_heartbeats(fabric: Arc<Fabric>) {
     });
 }
 
-/// Sends a ghost frame through the chaos injector. The payload is
-/// already in the resend cache, so a send that cannot complete while the
+/// Holds a cross-node ghost frame on the sender for the emulated
+/// inter-node latency (`--wire-latency`), netem-style. A spin wait
+/// rather than `sleep` keeps sub-100us holds accurate; frames between
+/// shards on the same node — and all control traffic — ride the raw
+/// socket untouched, so the hold prices exactly the slow leg that
+/// node-level aggregation is supposed to cross less often.
+fn emulate_wire_latency(fabric: &Fabric, dest: usize) {
+    let Some((latency, shard_node)) = &fabric.wire_delay else {
+        return;
+    };
+    if shard_node.get(dest) == shard_node.get(fabric.id) {
+        return;
+    }
+    let until = Instant::now() + *latency;
+    while Instant::now() < until {
+        std::hint::spin_loop();
+    }
+}
+
+/// Sends a ghost-bearing frame (`Ghost` or a merged `GhostBatch`)
+/// through the chaos injector. The payload is already in the resend
+/// cache under its kind, so a send that cannot complete while the
 /// respawn machinery is armed is *held*, not failed: the reconnect
 /// replay delivers it.
-fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), TransportError> {
+fn ghost_send(
+    fabric: &Fabric,
+    peer: &Arc<Peer>,
+    frame_kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), TransportError> {
+    emulate_wire_latency(fabric, peer.shard);
     let inject = fabric.plan.is_armed()
         && peer.alive.load(Ordering::Acquire)
         && !peer.done.load(Ordering::Acquire);
     if !inject {
-        return send_or_hold(fabric, peer, payload);
+        return send_or_hold(fabric, peer, frame_kind, payload);
     }
     let seq = peer.seq.fetch_add(1, Ordering::Relaxed);
     match fabric.plan.sample(fabric.id, peer.shard, seq) {
-        None => send_or_hold(fabric, peer, payload),
+        None => send_or_hold(fabric, peer, frame_kind, payload),
         Some(WireFaultKind::Delay { delay_us }) => {
             std::thread::sleep(Duration::from_micros(u64::from(delay_us)));
             fabric.ledger(|l| {
@@ -530,10 +712,10 @@ fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), T
                 l.wire_recovered.delay += 1;
                 record_delay_us(l, u64::from(delay_us));
             });
-            send_or_hold(fabric, peer, payload)
+            send_or_hold(fabric, peer, frame_kind, payload)
         }
         Some(kind @ WireFaultKind::Corrupt { salt }) => {
-            let mut bytes = frame::encode(FrameKind::Ghost, payload);
+            let mut bytes = frame::encode(frame_kind, payload);
             let pos = frame::HEADER_LEN + (salt as usize) % payload.len().max(1);
             bytes[pos] ^= 0x5a;
             fabric.ledger(|l| l.wire_injected.corrupt += 1);
@@ -545,7 +727,7 @@ fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), T
             // length still arrives, but everything past the cut —
             // including the checksum trailer — is zeroed, and the last
             // trailer byte is flipped so the mismatch is guaranteed.
-            let mut bytes = frame::encode(FrameKind::Ghost, payload);
+            let mut bytes = frame::encode(frame_kind, payload);
             let start = frame::HEADER_LEN + (cut as usize) % (payload.len() + 8);
             for b in &mut bytes[start..] {
                 *b = 0;
@@ -558,7 +740,7 @@ fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), T
         }
         Some(WireFaultKind::Reset) => {
             if !fabric.respawn || peer.reset_used.swap(true, Ordering::SeqCst) {
-                return send_or_hold(fabric, peer, payload);
+                return send_or_hold(fabric, peer, frame_kind, payload);
             }
             fabric.ledger(|l| l.wire_injected.reset += 1);
             peer.pending_reset.store(true, Ordering::SeqCst);
@@ -574,7 +756,7 @@ fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), T
         }
         Some(WireFaultKind::Stall) => {
             if !fabric.respawn || fabric.stall_used.swap(true, Ordering::SeqCst) {
-                return send_or_hold(fabric, peer, payload);
+                return send_or_hold(fabric, peer, frame_kind, payload);
             }
             // Announce to the parent (its ledger owns the stall triple:
             // this process usually dies mid-nap), then go silent holding
@@ -592,7 +774,7 @@ fn ghost_send(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), T
             // spent elsewhere): resume, the parent credits the stall on
             // our late Result.
             if let Some(w) = g.as_mut() {
-                if write_frame(w, FrameKind::Ghost, payload).is_err() {
+                if write_frame(w, frame_kind, payload).is_err() {
                     peer.alive.store(false, Ordering::Release);
                 }
             }
@@ -608,8 +790,13 @@ fn push_damage(peer: &Peer, kind: WireFaultKind) {
         .push_back(kind);
 }
 
-fn send_or_hold(fabric: &Fabric, peer: &Arc<Peer>, payload: &[u8]) -> Result<(), TransportError> {
-    match peer.send(FrameKind::Ghost, payload) {
+fn send_or_hold(
+    fabric: &Fabric,
+    peer: &Arc<Peer>,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), TransportError> {
+    match peer.send(kind, payload) {
         Err(e) if !fabric.respawn => Err(e),
         _ => Ok(()), // held: the reconnect replay delivers the cache
     }
@@ -620,6 +807,70 @@ fn raw_send_or_hold(fabric: &Fabric, peer: &Arc<Peer>, bytes: &[u8]) -> Result<(
         Err(e) if !fabric.respawn => Err(e),
         _ => Ok(()),
     }
+}
+
+/// Routes one received per-edge ghost block: validates it against the
+/// schedule, then either delivers it into the mailbox (its target PE
+/// lives on this node — ours or a sibling member's slot, both harmless)
+/// or, on a node leader, folds a member's cross-node contribution into
+/// the aggregation buffer. Returns `false` on a protocol violation.
+fn route_ghost(fabric: &Arc<Fabric>, step: u64, from: usize, to: usize, block: &[Vec3]) -> bool {
+    let Some(&(edge, len)) = fabric.edges.get(&(from, to)) else {
+        return false;
+    };
+    if block.len() != len {
+        return false;
+    }
+    if let Some(relay) = &fabric.relay {
+        if relay.node_of_pe(to) != Some(relay.node) {
+            // Destined for a remote node: only a leader aggregates.
+            return relay.leader == fabric.id
+                && relay_contribution(fabric, step, from, to, block).is_ok();
+        }
+    }
+    // Recompute the receiver-side checksum the executor's verify path
+    // will check the staged copy against.
+    let ck = block_checksum_vec3(block);
+    fabric.mailbox.deliver(edge, step, block, ck);
+    true
+}
+
+/// Scatters one sub-block of a merged inbound (node, node) batch: own
+/// PEs land in the mailbox, other members of our node get a per-edge
+/// `Ghost` forward (cached for replay; a send the member cannot take
+/// right now rides its reconnect replay). Returns `false` on a
+/// protocol violation — a sub-block not addressed to this node.
+fn scatter_merged(fabric: &Arc<Fabric>, step: u64, from: usize, to: usize, block: &[Vec3]) -> bool {
+    let Some(&(edge, len)) = fabric.edges.get(&(from, to)) else {
+        return false;
+    };
+    if block.len() != len {
+        return false;
+    }
+    let Some(relay) = &fabric.relay else {
+        return false;
+    };
+    if relay.node_of_pe(to) != Some(relay.node) {
+        return false;
+    }
+    let owner = relay.pe_owner[to];
+    if owner == fabric.id {
+        let ck = block_checksum_vec3(block);
+        fabric.mailbox.deliver(edge, step, block, ck);
+        return true;
+    }
+    let Ok(peer) = fabric.peer(owner) else {
+        // Member slot missing entirely is a topology violation; a
+        // merely-down member is handled by hold + replay below.
+        return false;
+    };
+    let payload = encode_ghost(step, from, to, block);
+    peer.cache
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert((from, to), (FrameKind::Ghost, payload.clone()));
+    let _ = ghost_send(fabric, peer, FrameKind::Ghost, &payload);
+    true
 }
 
 /// Drains one peer connection into the mailbox until the peer says `Bye`,
@@ -637,17 +888,25 @@ fn reader_loop(fabric: Arc<Fabric>, peer: Arc<Peer>, mut stream: UnixStream, epo
                         let Ok(g) = decode_ghost(&f.payload) else {
                             break;
                         };
-                        let Some(&(edge, len)) = fabric.edges.get(&(g.from, g.to)) else {
-                            break;
-                        };
-                        if g.block.len() != len {
+                        if !route_ghost(&fabric, g.step, g.from, g.to, &g.block) {
                             break;
                         }
-                        // Recompute the receiver-side checksum the
-                        // executor's verify path will check the staged
-                        // copy against.
-                        let ck = block_checksum_vec3(&g.block);
-                        fabric.mailbox.deliver(edge, g.step, &g.block, ck);
+                    }
+                    FrameKind::GhostBatch => {
+                        // A merged (node, node) block from a remote
+                        // leader: split it back into per-edge deliveries
+                        // — own PEs into the mailbox, sibling members'
+                        // PEs forwarded over the fast intra-node hop.
+                        let Ok(subs) = decode_ghost_batch(&f.payload) else {
+                            break;
+                        };
+                        if fabric.relay.is_none()
+                            || !subs
+                                .iter()
+                                .all(|g| scatter_merged(&fabric, g.step, g.from, g.to, &g.block))
+                        {
+                            break;
+                        }
                     }
                     FrameKind::Resend => {
                         let popped = peer
@@ -758,13 +1017,27 @@ impl Transport for ProcLink {
                 got: block.len(),
             });
         }
-        let peer = self.fabric.peer(self.owner_of(to, from)?)?;
+        let owner = self.owner_of(to, from)?;
+        // Cross-node blocks route through the node leaders; intra-node
+        // (and flat-run) blocks keep the direct per-edge path.
+        let target = match &self.fabric.relay {
+            Some(relay) if relay.shard_node[owner] != relay.node => {
+                if relay.leader == self.shard {
+                    relay_contribution(&self.fabric, step, from, to, block)?;
+                    self.fabric.note_flow(FlowKind::Post, step, from, to, 0);
+                    return Ok(());
+                }
+                relay.leader
+            }
+            _ => owner,
+        };
+        let peer = self.fabric.peer(target)?;
         let payload = encode_ghost(step, from, to, block);
         peer.cache
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .insert((from, to), payload.clone());
-        ghost_send(&self.fabric, peer, &payload)?;
+            .insert((from, to), (FrameKind::Ghost, payload.clone()));
+        ghost_send(&self.fabric, peer, FrameKind::Ghost, &payload)?;
         self.fabric.note_flow(FlowKind::Post, step, from, to, 0);
         Ok(())
     }
@@ -1050,6 +1323,21 @@ fn child_main() -> Result<(), TransportError> {
         peers,
         mailbox,
         edges,
+        relay: if spec.aggregate {
+            NodeRelay::build(id, parts, shards, spec.nodes, &edge_list)
+        } else {
+            None
+        },
+        wire_delay: (spec.wire_latency > 0.0 && spec.nodes >= 1 && spec.nodes <= shards).then(
+            || {
+                (
+                    Duration::from_secs_f64(spec.wire_latency),
+                    (0..shards)
+                        .map(|k| node_of(shards, spec.nodes, k))
+                        .collect(),
+                )
+            },
+        ),
         flows: Mutex::new(Vec::new()),
         flows_enabled: spec.trace,
         flows_dropped: AtomicU64::new(0),
@@ -2089,6 +2377,8 @@ mod tests {
             peers: vec![None, Some(Arc::clone(&peer))],
             mailbox,
             edges: map,
+            relay: None,
+            wire_delay: None,
             flows: Mutex::new(Vec::new()),
             flows_enabled: true,
             flows_dropped: AtomicU64::new(0),
@@ -2278,6 +2568,193 @@ mod tests {
         drop(ours_w);
         drop(ours_r);
         reader.join().unwrap();
+    }
+
+    /// A four-shard, two-node fabric seen from shard 0 (leader of node 0
+    /// = shards {0, 1}; node 1 = shards {2, 3}, led by shard 2). One PE
+    /// per shard; peers 1..=3 are bare socketpair ends.
+    fn relay_edges() -> Vec<GhostEdge> {
+        vec![
+            GhostEdge {
+                from: 0,
+                to: 2,
+                len: 2,
+            },
+            GhostEdge {
+                from: 1,
+                to: 2,
+                len: 1,
+            },
+            GhostEdge {
+                from: 2,
+                to: 0,
+                len: 2,
+            },
+            GhostEdge {
+                from: 2,
+                to: 1,
+                len: 1,
+            },
+        ]
+    }
+
+    fn relay_fabric() -> (Arc<Fabric>, Vec<Arc<Peer>>) {
+        let edges = relay_edges();
+        let mailbox = Arc::new(Mailbox::new(&edges, Duration::from_secs(2)));
+        let map: Arc<EdgeMap> = Arc::new(
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ((e.from, e.to), (i, e.len)))
+                .collect(),
+        );
+        let peers: Vec<Arc<Peer>> = (1..4).map(|j| Arc::new(Peer::new(j))).collect();
+        let relay = NodeRelay::build(0, 4, 4, 2, &edges).expect("two-node topology");
+        assert_eq!(relay.node, 0);
+        assert_eq!(relay.leader, 0);
+        assert_eq!(relay.leaders, vec![0, 2]);
+        let fabric = Arc::new(Fabric {
+            id: 0,
+            dir: std::env::temp_dir(),
+            conn_timeout: Duration::from_secs(2),
+            respawn: false,
+            restart_budget: 0,
+            plan: WireFaultPlan::none(),
+            origin: Instant::now(),
+            wire: Mutex::new(FaultReport::default()),
+            parent: None,
+            stall_used: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            peers: std::iter::once(None)
+                .chain(peers.iter().map(|p| Some(Arc::clone(p))))
+                .collect(),
+            mailbox,
+            edges: map,
+            relay: Some(relay),
+            wire_delay: None,
+            flows: Mutex::new(Vec::new()),
+            flows_enabled: false,
+            flows_dropped: AtomicU64::new(0),
+        });
+        (fabric, peers)
+    }
+
+    #[test]
+    fn leader_merges_contributions_into_one_batch_frame() {
+        let (fabric, peers) = relay_fabric();
+        let (leader2_ours, leader2_theirs) = UnixStream::pair().unwrap();
+        let h = wire_up(&fabric, &peers[1], leader2_theirs);
+        let link = ProcLink {
+            shard: 0,
+            fabric: Arc::clone(&fabric),
+            pe_owner: vec![0, 1, 2, 3],
+            params: LinkParams {
+                t_l: 0.0,
+                t_w: 0.0,
+                measured: false,
+            },
+            kill_at: None,
+        };
+        // The leader's own cross-node edge stages but does not flush: the
+        // merged (0 -> 1) block still misses PE 1's contribution.
+        let b02 = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        link.post(5, 0, 2, &b02).unwrap();
+        leader2_ours
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut rd = leader2_ours.try_clone().unwrap();
+        assert!(
+            matches!(read_frame(&mut rd), Err(FrameError::TimedOut)),
+            "half-built merged block must not cross the node boundary"
+        );
+        // The member's contribution (as its reader thread would route it)
+        // completes the manifest: exactly one GhostBatch crosses.
+        let b12 = [Vec3::new(-7.0, 8.0, -9.0)];
+        assert!(route_ghost(&fabric, 5, 1, 2, &b12));
+        let f = read_frame(&mut rd).unwrap();
+        assert_eq!(f.kind, FrameKind::GhostBatch);
+        let subs = decode_ghost_batch(&f.payload).unwrap();
+        assert_eq!(subs.len(), 2, "both riders in one frame");
+        assert_eq!((subs[0].from, subs[0].to, subs[0].step), (0, 2, 5));
+        assert_eq!((subs[1].from, subs[1].to, subs[1].step), (1, 2, 5));
+        assert_eq!(subs[0].block[1].y.to_bits(), b02[1].y.to_bits());
+        assert_eq!(subs[1].block[0].x.to_bits(), b12[0].x.to_bits());
+        assert!(
+            matches!(read_frame(&mut rd), Err(FrameError::TimedOut)),
+            "exactly one frame per (node, node) pair per step"
+        );
+        // The merged frame sits in the replay cache under the batch key,
+        // kind-tagged so a replay re-sends it as a batch.
+        {
+            let cache = peers[1].cache.lock().unwrap();
+            let (kind, _) = cache.get(&(BATCH_KEY, 1)).expect("batch cached");
+            assert_eq!(*kind, FrameKind::GhostBatch);
+        }
+        // A Resend replays it (and nothing of another kind) on request.
+        let mut wr = leader2_ours.try_clone().unwrap();
+        write_frame(&mut wr, FrameKind::Resend, &[]).unwrap();
+        let f = read_frame(&mut rd).unwrap();
+        assert_eq!(f.kind, FrameKind::GhostBatch);
+        assert!(decode_ghost_batch(&f.payload).is_ok());
+        drop(wr);
+        drop(rd);
+        drop(leader2_ours);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn inbound_merged_batches_scatter_to_mailbox_and_members() {
+        let (fabric, peers) = relay_fabric();
+        // Member 1's connection (to receive the forward)...
+        let (member1_ours, member1_theirs) = UnixStream::pair().unwrap();
+        let h1 = wire_up(&fabric, &peers[0], member1_theirs);
+        // ...and remote leader 2's connection (to inject the batch).
+        let (mut leader2_ours, leader2_theirs) = UnixStream::pair().unwrap();
+        let h2 = wire_up(&fabric, &peers[1], leader2_theirs);
+        let b20 = [Vec3::new(10.0, 20.0, 30.0), Vec3::new(40.0, 50.0, 60.0)];
+        let b21 = [Vec3::new(-1.5, 2.5, -3.5)];
+        let payload = encode_ghost_batch(&[(7, 2, 0, &b20[..]), (7, 2, 1, &b21[..])]);
+        write_frame(&mut leader2_ours, FrameKind::GhostBatch, &payload).unwrap();
+        // Our own PE's sub-block lands in the mailbox...
+        let mut out = [Vec3::ZERO; 2];
+        let info = fabric.mailbox.acquire(7, 2, 0, &mut out).unwrap();
+        assert_eq!(out[0].x.to_bits(), b20[0].x.to_bits());
+        assert_eq!(info.checksum, block_checksum_vec3(&b20));
+        // ...and the sibling member's rides a per-edge Ghost forward.
+        member1_ours
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut rd = member1_ours.try_clone().unwrap();
+        let f = read_frame(&mut rd).unwrap();
+        assert_eq!(f.kind, FrameKind::Ghost);
+        let g = decode_ghost(&f.payload).unwrap();
+        assert_eq!((g.step, g.from, g.to), (7, 2, 1));
+        assert_eq!(g.block[0].z.to_bits(), b21[0].z.to_bits());
+        // The forward is cached on the member's connection for replay.
+        {
+            let cache = peers[0].cache.lock().unwrap();
+            let (kind, _) = cache.get(&(2, 1)).expect("forward cached");
+            assert_eq!(*kind, FrameKind::Ghost);
+        }
+        drop(rd);
+        drop(member1_ours);
+        drop(leader2_ours);
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn relay_topology_is_inert_for_flat_and_single_node_runs() {
+        assert!(NodeRelay::build(0, 4, 4, 0, &relay_edges()).is_none());
+        assert!(NodeRelay::build(0, 4, 1, 2, &relay_edges()).is_none());
+        assert!(NodeRelay::build(0, 4, 2, 3, &relay_edges()).is_none());
+        // nodes == 1: every cross-shard edge is intra-node, so leaders
+        // have nothing to aggregate and posts stay direct.
+        let relay = NodeRelay::build(1, 4, 4, 1, &relay_edges()).expect("one-node topology");
+        assert_eq!(relay.node, 0);
+        assert_eq!(relay.leader, 0);
+        assert!(relay.expected.iter().all(|s| s.is_empty()));
+        assert_eq!(relay.node_of_pe(3), Some(0));
     }
 
     #[test]

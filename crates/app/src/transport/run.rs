@@ -9,7 +9,8 @@
 
 use super::wire::RunSpec;
 use super::{
-    ghost_edges, proc, LinkParams, NetsimTransport, SharedTransport, Transport, TransportKind,
+    ghost_edges, proc, LinkParams, NetsimTransport, NodeMap, SharedTransport, Transport,
+    TransportKind,
 };
 use crate::distributed::DistributedSystem;
 use crate::executor::{BspExecutor, ExecutionReport};
@@ -197,6 +198,13 @@ pub(crate) fn arm_at(
             None => exec.enable_telemetry(config),
         }
     }
+    if spec.nodes >= 1 && spec.aggregate {
+        // Telemetry attribution only (gather spans, merged-block
+        // histogram); the transports carry the actual aggregation.
+        let map = NodeMap::for_shards(spec.parts, spec.shards, spec.nodes);
+        let of: Vec<usize> = (0..spec.parts).map(|q| map.node_of(q)).collect();
+        exec.set_node_map(&of);
+    }
     Ok(())
 }
 
@@ -215,11 +223,30 @@ pub fn run_with(kind: TransportKind, spec: &RunSpec, built: &Built) -> Result<Ru
     }
     let edges = ghost_edges(&built.system);
     let p = built.system.subdomains().len();
+    // Node-aware runs swap in the aggregating fabrics; the executor's
+    // schedule is identical either way (aggregation is transport-level).
+    // `aggregate false` is the ablation arm: the node placement stays
+    // (so an emulated wire still prices the same topology) but the
+    // exchange runs flat.
+    let node_map = (spec.nodes >= 1 && spec.aggregate)
+        .then(|| NodeMap::for_shards(spec.parts, spec.shards, spec.nodes));
     let mut netsim: Option<Arc<NetsimTransport>> = None;
     let link: Arc<dyn Transport> = match kind {
-        TransportKind::Shared => Arc::new(SharedTransport::new(&edges)),
+        TransportKind::Shared => match &node_map {
+            Some(map) => Arc::new(SharedTransport::with_nodes(&edges, map)),
+            None => Arc::new(SharedTransport::new(&edges)),
+        },
         TransportKind::Netsim => {
-            let t = Arc::new(NetsimTransport::new(&edges, p, Network::cray_t3e()));
+            let t = Arc::new(match &node_map {
+                Some(map) => NetsimTransport::with_nodes(
+                    &edges,
+                    p,
+                    Network::cray_t3e(),
+                    Network::node_local(),
+                    map,
+                ),
+                None => NetsimTransport::new(&edges, p, Network::cray_t3e()),
+            });
             netsim = Some(Arc::clone(&t));
             t
         }

@@ -157,6 +157,81 @@ pub fn decode_ghost(payload: &[u8]) -> Result<GhostPayload, TransportError> {
 }
 
 // ---------------------------------------------------------------------------
+// Merged node-level batches.
+// ---------------------------------------------------------------------------
+
+/// Encodes a merged node-level batch: several directed-edge ghost blocks
+/// gathered on one node, crossing the slow link as one frame.
+///
+/// Layout: `count u32`, then per sub-block a manifest entry
+/// `(step u64, from u32, to u32, len u32)` followed by the block words and
+/// an FNV-1a digest of them ([`super::block_checksum_vec3`]). The frame
+/// codec's whole-payload checksum guards the wire; the per-sub-block
+/// digests let the receiver verify each constituent block independently —
+/// the property the chaos layer's resend path relies on when a batch is
+/// replayed after a corruption or reconnect.
+pub fn encode_ghost_batch(subs: &[(u64, usize, usize, &[Vec3])]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(subs.len() as u32);
+    for &(step, from, to, block) in subs {
+        w.u64(step);
+        w.u32(from as u32);
+        w.u32(to as u32);
+        w.u32(block.len() as u32);
+        for v in block {
+            w.f64(v.x);
+            w.f64(v.y);
+            w.f64(v.z);
+        }
+        w.u64(super::block_checksum_vec3(block));
+    }
+    w.finish()
+}
+
+/// Decodes a merged batch into its constituent ghost blocks, verifying
+/// every sub-block digest.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Protocol`] on a malformed payload or a
+/// sub-block whose digest does not match its words.
+pub fn decode_ghost_batch(payload: &[u8]) -> Result<Vec<GhostPayload>, TransportError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut subs = Vec::with_capacity(count.min(1 << 16));
+    for i in 0..count {
+        let step = r.u64()?;
+        let from = r.u32()? as usize;
+        let to = r.u32()? as usize;
+        let len = r.u32()? as usize;
+        let mut block = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            block.push(Vec3::new(r.f64()?, r.f64()?, r.f64()?));
+        }
+        let declared = r.u64()?;
+        let got = super::block_checksum_vec3(&block);
+        if got != declared {
+            return Err(TransportError::Protocol(format!(
+                "batch sub-block {i} ({from}->{to} step {step}) checksum \
+                 mismatch: declared {declared:#018x}, got {got:#018x}"
+            )));
+        }
+        subs.push(GhostPayload {
+            step,
+            from,
+            to,
+            block,
+        });
+    }
+    if !r.exhausted() {
+        return Err(TransportError::Protocol(
+            "trailing bytes after ghost batch".into(),
+        ));
+    }
+    Ok(subs)
+}
+
+// ---------------------------------------------------------------------------
 // Child result payloads.
 // ---------------------------------------------------------------------------
 
@@ -451,6 +526,22 @@ pub struct RunSpec {
     /// before falling back to the whole-ensemble retry (0 disables
     /// per-shard respawn entirely).
     pub restart_budget: u64,
+    /// Node count for the two-level node-aware exchange: PEs/shards are
+    /// chunked contiguously onto this many nodes and boundary partials are
+    /// gathered intra-node before one merged block per (node, node) pair
+    /// crosses the slow link. `0` (the legacy default) disables
+    /// aggregation — the flat one-block-per-PE-pair exchange.
+    pub nodes: usize,
+    /// Whether a `nodes >= 1` topology actually aggregates (`true`, the
+    /// default) or only places shards on nodes while the exchange stays
+    /// flat (`false`) — the ablation arm for pricing aggregation against
+    /// the identical placement.
+    pub aggregate: bool,
+    /// Emulated inter-node link latency in seconds (netem-style: every
+    /// ghost frame between shards on *different* nodes is held this long
+    /// on the sender before hitting the socket). `0` (default) leaves
+    /// the raw socket; requires a `nodes >= 1` topology to take effect.
+    pub wire_latency: f64,
 }
 
 impl Default for RunSpec {
@@ -480,6 +571,9 @@ impl Default for RunSpec {
             wire_fault_rate: 0.0,
             wire_fault_seed: 0,
             restart_budget: 2,
+            nodes: 0,
+            aggregate: true,
+            wire_latency: 0.0,
         }
     }
 }
@@ -494,7 +588,7 @@ impl RunSpec {
              recovery {}\ncheckpoint_every {}\ntrace {}\ndrift_threshold {:?}\n\
              span_capacity {}\nshards {}\nx_kind {}\nx_seed {}\nkernel {}\n\
              conn_timeout {:?}\nwire_fault_rate {:?}\nwire_fault_seed {}\n\
-             restart_budget {}\n",
+             restart_budget {}\nnodes {}\naggregate {}\nwire_latency {:?}\n",
             self.period,
             self.scale,
             self.seed,
@@ -519,6 +613,9 @@ impl RunSpec {
             self.wire_fault_rate,
             self.wire_fault_seed,
             self.restart_budget,
+            self.nodes,
+            self.aggregate,
+            self.wire_latency,
         )
     }
 
@@ -568,6 +665,9 @@ impl RunSpec {
                 "wire_fault_rate" => set(&mut spec.wire_fault_rate, key, val)?,
                 "wire_fault_seed" => set(&mut spec.wire_fault_seed, key, val)?,
                 "restart_budget" => set(&mut spec.restart_budget, key, val)?,
+                "nodes" => set(&mut spec.nodes, key, val)?,
+                "aggregate" => set(&mut spec.aggregate, key, val)?,
+                "wire_latency" => set(&mut spec.wire_latency, key, val)?,
                 other => return Err(format!("unknown spec key '{other}'")),
             }
         }
@@ -599,6 +699,9 @@ mod tests {
             wire_fault_rate: 0.375,
             wire_fault_seed: 0xbead,
             restart_budget: 3,
+            nodes: 2,
+            aggregate: false,
+            wire_latency: 2.5e-4,
             ..RunSpec::default()
         };
         spec.drift_threshold = 1.75;
@@ -615,6 +718,11 @@ mod tests {
         assert_eq!(spec.conn_timeout, 30.0);
         assert_eq!(spec.wire_fault_rate, 0.0);
         assert_eq!(spec.restart_budget, 2);
+        // Node aggregation postdates PR 9 spec files: absent means flat,
+        // aggregating, over the raw socket.
+        assert_eq!(spec.nodes, 0);
+        assert!(spec.aggregate);
+        assert_eq!(spec.wire_latency, 0.0);
     }
 
     #[test]
@@ -659,6 +767,88 @@ mod tests {
             let cut = cut.min(bytes.len() - 1);
             prop_assert!(decode_ghost(&bytes[..cut]).is_err());
         }
+
+        #[test]
+        fn ghost_batches_round_trip(
+            step in 0u64..1000,
+            blocks in proptest::collection::vec(
+                proptest::collection::vec(-1e12f64..1e12, 0..12), 0..8),
+        ) {
+            let typed: Vec<Vec<Vec3>> = blocks
+                .iter()
+                .map(|ws| {
+                    ws.chunks(3)
+                        .filter(|c| c.len() == 3)
+                        .map(|c| Vec3::new(c[0], c[1], c[2]))
+                        .collect()
+                })
+                .collect();
+            let subs: Vec<(u64, usize, usize, &[Vec3])> = typed
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (step, i, i + 1, b.as_slice()))
+                .collect();
+            let bytes = encode_ghost_batch(&subs);
+            let back = decode_ghost_batch(&bytes).expect("round trip");
+            prop_assert_eq!(back.len(), subs.len());
+            for (g, &(s, f, t, b)) in back.iter().zip(&subs) {
+                prop_assert_eq!(g.step, s);
+                prop_assert_eq!(g.from, f);
+                prop_assert_eq!(g.to, t);
+                prop_assert_eq!(g.block.len(), b.len());
+                for (x, y) in g.block.iter().zip(b) {
+                    prop_assert_eq!(x.x.to_bits(), y.x.to_bits());
+                    prop_assert_eq!(x.y.to_bits(), y.y.to_bits());
+                    prop_assert_eq!(x.z.to_bits(), y.z.to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn corrupted_batch_sub_blocks_are_caught(
+            pos_frac in 0.0f64..1.0,
+            bit in 0usize..8,
+        ) {
+            // Flip one bit anywhere inside a sub-block's words: the
+            // per-sub-block digest must catch what the frame checksum
+            // would have caught on the wire — the property the replay
+            // path needs when a cached batch is re-sent after chaos.
+            let b0 = [Vec3::new(1.5, -2.5, 3.5)];
+            let b1 = [Vec3::new(4.0, 5.0, 6.0), Vec3::new(7.0, 8.0, 9.0)];
+            let subs: Vec<(u64, usize, usize, &[Vec3])> =
+                vec![(3, 0, 2, &b0), (3, 1, 2, &b1)];
+            let mut bytes = encode_ghost_batch(&subs);
+            // Words of sub-block 0 start after count(4) + manifest(20).
+            let lo = 4 + 20;
+            let hi = lo + 24;
+            let pos = lo + (((hi - lo - 1) as f64) * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            prop_assert!(decode_ghost_batch(&bytes).is_err());
+        }
+
+        #[test]
+        fn truncated_batches_error_cleanly(cut_frac in 0.0f64..1.0) {
+            let b0 = [Vec3::new(1.0, 2.0, 3.0)];
+            let subs: Vec<(u64, usize, usize, &[Vec3])> = vec![(1, 0, 1, &b0)];
+            let bytes = encode_ghost_batch(&subs);
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(decode_ghost_batch(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_batches_round_trip() {
+        let bytes = encode_ghost_batch(&[]);
+        assert_eq!(decode_ghost_batch(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn batch_trailing_bytes_are_rejected() {
+        let b0 = [Vec3::new(1.0, 2.0, 3.0)];
+        let subs: Vec<(u64, usize, usize, &[Vec3])> = vec![(1, 0, 1, &b0)];
+        let mut bytes = encode_ghost_batch(&subs);
+        bytes.push(0);
+        assert!(decode_ghost_batch(&bytes).is_err());
     }
 
     #[test]

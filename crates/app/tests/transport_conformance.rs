@@ -204,6 +204,90 @@ fn run_case(spec: &RunSpec, case: u64) {
     }
 }
 
+/// The node-aggregation matrix: the node-aware two-level exchange across
+/// node counts 1, 2 and one-node-per-shard, shard counts 2 and 3, ±RCM,
+/// ±overlap and ±chaos. Aggregation is transport-level, so every node-aware
+/// run — on every backend — must be bitwise-identical to the FLAT shared
+/// run of the same spec, with exactly equal per-PE counters (the logical
+/// exchange never changes, only how blocks ride the fabric) and balanced
+/// fault ledgers matching the flat run's.
+fn node_matrix(quick: bool) {
+    let cells: Vec<(usize, bool, bool, bool)> = if quick {
+        vec![
+            (2, false, false, false),
+            (3, true, true, false),
+            (2, false, true, true),
+        ]
+    } else {
+        let mut v = Vec::new();
+        for shards in [2usize, 3] {
+            for rcm in [false, true] {
+                for overlap in [false, true] {
+                    for faults in [false, true] {
+                        v.push((shards, rcm, overlap, faults));
+                    }
+                }
+            }
+        }
+        v
+    };
+    let mut cases = 0usize;
+    for (i, &(shards, rcm, overlap, faults)) in cells.iter().enumerate() {
+        let case = 500 + i as u64;
+        let mut flat = base_spec(case);
+        flat.threads = 2;
+        flat.shards = shards;
+        flat.rcm = rcm;
+        flat.overlap = overlap;
+        // Trace half the cells so the gather-span/histogram path runs too.
+        flat.trace = i % 2 == 0;
+        if faults {
+            flat.fault_rate = 0.25;
+            flat.fault_seed = 2000 + case;
+        }
+        let built = run::build(&flat).unwrap_or_else(|e| panic!("node case {case}: build: {e}"));
+        let reference = run::run_with(TransportKind::Shared, &flat, &built)
+            .unwrap_or_else(|e| panic!("node case {case}: flat shared run: {e}"));
+        let mut node_counts = vec![1usize, 2, shards];
+        node_counts.dedup();
+        for nodes in node_counts {
+            let mut spec = flat.clone();
+            spec.nodes = nodes;
+            for kind in [
+                TransportKind::Shared,
+                TransportKind::Netsim,
+                TransportKind::Proc,
+            ] {
+                let label = format!(
+                    "node case {case} (shards {shards}, nodes {nodes}, rcm {rcm}, overlap \
+                     {overlap}, faults {faults}, {kind:?})"
+                );
+                let out = run::run_with(kind, &spec, &built)
+                    .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+                assert!(
+                    bitwise_eq(&reference.y, &out.y),
+                    "{label}: aggregated y diverged from the flat shared run"
+                );
+                assert_counters_match(&label, &reference, &out);
+                if faults {
+                    let (a, b) = (
+                        reference.report.fault.as_ref().expect("flat ledger"),
+                        out.report
+                            .fault
+                            .as_ref()
+                            .unwrap_or_else(|| panic!("{label}: missing fault ledger")),
+                    );
+                    assert!(b.balanced(), "{label}: ledger unbalanced:\n{b}");
+                    assert_eq!(a.injected, b.injected, "{label}: injected mismatch");
+                    assert_eq!(a.recovered, b.recovered, "{label}: recovered mismatch");
+                }
+                cases += 1;
+            }
+        }
+    }
+    println!("node aggregation matrix: {cases} node-aware runs matched the flat reference");
+}
+
 /// The wire-chaos matrix: seeded fault injection on the live socket
 /// stream — payload corruption, tail truncation, delays, connection
 /// resets and hung-peer stalls — across shard counts and schedule
@@ -459,6 +543,7 @@ fn main() {
     let tmp = std::env::temp_dir().join(format!("quake-conformance-{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("scratch dir");
     matrix(quick);
+    node_matrix(quick);
     wire_chaos_matrix(quick);
     peer_kill_is_a_clean_error(&tmp);
     peer_kill_restart_recovers(&tmp);

@@ -132,6 +132,19 @@ impl Network {
         }
     }
 
+    /// The fast intra-node leg of a two-level (node-aware) exchange:
+    /// shared-memory-class transfers an order of magnitude quicker than
+    /// the [`Network::cray_t3e`] inter-node link on both axes. The
+    /// canonical preset every node-aware backend and model prices the
+    /// local gather with.
+    pub fn node_local() -> Self {
+        Network {
+            name: "intra-node",
+            t_l: 2.2e-6,
+            t_w: 5.5e-9,
+        }
+    }
+
     /// Transfer time of a block of `words` 64-bit words: `T_l + words·T_w`.
     pub fn block_transfer_time(&self, words: u64) -> f64 {
         self.t_l + words as f64 * self.t_w

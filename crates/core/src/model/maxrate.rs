@@ -1,0 +1,231 @@
+//! The max-rate communication model for node-aggregated exchanges.
+//!
+//! The paper's Eq. (2) is a postal model: every PE pays one block latency
+//! per neighbor and one word time per word, independently. Bienz, Gropp &
+//! Olson observe that on clustered machines the binding resource is not the
+//! per-PE postal cost but each *node's* injection port: all PEs of a node
+//! share one link to the network, so the communication phase cannot finish
+//! before the busiest node has pushed (and pulled) its aggregated boundary
+//! traffic through that port. With intra-node gathering, exactly one merged
+//! block per (node, node) pair crosses the slow link, and the phase time is
+//!
+//! ```text
+//! T = max over nodes N of  B_N · T_l + C_N · T_w
+//! ```
+//!
+//! where `C_N` counts the words node `N` injects plus the words it drains
+//! (its share of the queue) and `B_N` counts the merged blocks it sends plus
+//! receives (each paying one latency on the shared port). When every PE is
+//! its own node this degenerates to Eq. (2)'s per-PE quantities exactly.
+//!
+//! This module holds the machine-level math and the contiguous PE→node
+//! chunking shared by the executor, the transports, and the simulator; the
+//! mesh-level [`MaxRateAnalysis`](../../../quake_partition/comm/index.html)
+//! builds the per-node loads from a partitioned mesh's traffic matrix.
+
+use crate::machine::Network;
+use std::ops::Range;
+
+/// One node's injection-port load per communication phase, counting both
+/// directions (sent + received), cross-node traffic only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeLoad {
+    /// 64-bit words injected + drained per exchange (`C_N`).
+    pub words: u64,
+    /// Merged blocks sent + received per exchange (`B_N`).
+    pub blocks: u64,
+}
+
+/// The node owning index `idx` when `count` items are split contiguously
+/// over `nodes` nodes with balanced chunking (the same convention as the
+/// executor's `pe_chunk`): node `n` owns `count·n/nodes .. count·(n+1)/nodes`.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`, `nodes > count`, or `idx >= count`.
+pub fn node_of(count: usize, nodes: usize, idx: usize) -> usize {
+    assert!(nodes > 0, "need at least one node");
+    assert!(nodes <= count, "more nodes than items");
+    assert!(idx < count, "index {idx} out of {count} items");
+    // Inverse of the chunk boundaries: the unique n with
+    // count·n/nodes <= idx < count·(n+1)/nodes under floor division.
+    ((idx + 1) * nodes - 1) / count
+}
+
+/// The contiguous index range node `n` owns under the same chunking.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`, `nodes > count`, or `n >= nodes`.
+pub fn node_range(count: usize, nodes: usize, n: usize) -> Range<usize> {
+    assert!(nodes > 0, "need at least one node");
+    assert!(nodes <= count, "more nodes than items");
+    assert!(n < nodes, "node {n} out of {nodes} nodes");
+    (count * n / nodes)..(count * (n + 1) / nodes)
+}
+
+/// The max-rate phase time `max_N (B_N·t_l + C_N·t_w)` in seconds.
+pub fn max_rate_time(loads: &[NodeLoad], network: &Network) -> f64 {
+    loads
+        .iter()
+        .map(|l| l.blocks as f64 * network.t_l + l.words as f64 * network.t_w)
+        .fold(0.0, f64::max)
+}
+
+/// Two-level phase time: the slow-link max-rate term plus the intra-node
+/// gather leg billed at a (faster) local link. The gather leg is the
+/// busiest node's *intra-node* postal cost — the PEs of one node still
+/// exchange per-edge blocks locally before the merged block is injected.
+pub fn two_level_time(
+    cross: &[NodeLoad],
+    intra: &[NodeLoad],
+    slow: &Network,
+    fast: &Network,
+) -> f64 {
+    max_rate_time(cross, slow) + max_rate_time(intra, fast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn node_of_inverts_node_range() {
+        for count in 1usize..40 {
+            for nodes in 1..=count {
+                for n in 0..nodes {
+                    for idx in node_range(count, nodes, n) {
+                        assert_eq!(
+                            node_of(count, nodes, idx),
+                            n,
+                            "count={count} nodes={nodes} idx={idx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_ranges_tile_the_index_space() {
+        for count in 1usize..40 {
+            for nodes in 1..=count {
+                let mut next = 0;
+                for n in 0..nodes {
+                    let r = node_range(count, nodes, n);
+                    assert_eq!(r.start, next, "gap at node {n}");
+                    assert!(
+                        !r.is_empty(),
+                        "empty node {n} (count={count}, nodes={nodes})"
+                    );
+                    next = r.end;
+                }
+                assert_eq!(next, count);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than items")]
+    fn more_nodes_than_items_is_rejected() {
+        let _ = node_of(2, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_is_rejected() {
+        let _ = node_range(4, 0, 0);
+    }
+
+    #[test]
+    fn max_rate_time_is_the_busiest_port() {
+        let net = Network {
+            name: "n",
+            t_l: 1e-6,
+            t_w: 1e-8,
+        };
+        let loads = [
+            NodeLoad {
+                words: 100,
+                blocks: 2,
+            },
+            NodeLoad {
+                words: 10,
+                blocks: 8,
+            },
+        ];
+        let t0: f64 = 2.0 * 1e-6 + 100.0 * 1e-8;
+        let t1: f64 = 8.0 * 1e-6 + 10.0 * 1e-8;
+        assert!((max_rate_time(&loads, &net) - t0.max(t1)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_loads_cost_nothing() {
+        assert_eq!(max_rate_time(&[], &Network::cray_t3e()), 0.0);
+    }
+
+    #[test]
+    fn two_level_adds_the_gather_leg() {
+        let slow = Network {
+            name: "slow",
+            t_l: 10e-6,
+            t_w: 55e-9,
+        };
+        let fast = Network {
+            name: "fast",
+            t_l: 1e-6,
+            t_w: 5e-9,
+        };
+        let cross = [NodeLoad {
+            words: 1000,
+            blocks: 2,
+        }];
+        let intra = [NodeLoad {
+            words: 300,
+            blocks: 6,
+        }];
+        let t = two_level_time(&cross, &intra, &slow, &fast);
+        let expect = (2.0 * 10e-6 + 1000.0 * 55e-9) + (6.0 * 1e-6 + 300.0 * 5e-9);
+        assert!((t - expect).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn chunking_matches_linear_scan(count in 1usize..512, nodes_seed in 0usize..512) {
+            let nodes = nodes_seed % count + 1;
+            // The formula must agree with a direct scan of the boundaries.
+            for idx in 0..count {
+                let by_scan = (0..nodes)
+                    .position(|n| node_range(count, nodes, n).contains(&idx))
+                    .expect("ranges tile");
+                prop_assert_eq!(node_of(count, nodes, idx), by_scan);
+            }
+        }
+
+        #[test]
+        fn aggregation_never_increases_blocks(
+            words in proptest::collection::vec(0u64..10_000, 2..32),
+        ) {
+            // Folding per-PE loads into one node keeps the word total but
+            // can only shrink the latency term: one merged block per
+            // remote node replaces one per remote PE.
+            let net = Network { name: "n", t_l: 1e-6, t_w: 1e-9 };
+            let flat: Vec<NodeLoad> = words
+                .iter()
+                .map(|&w| NodeLoad { words: w, blocks: if w > 0 { 2 } else { 0 } })
+                .collect();
+            let merged = [NodeLoad {
+                words: words.iter().sum(),
+                blocks: if words.iter().any(|&w| w > 0) { 2 } else { 0 },
+            }];
+            // The merged node pays the full word bill but at most one
+            // send + one receive latency; per-word time is conserved.
+            let flat_latency: f64 = flat.iter().map(|l| l.blocks as f64).sum::<f64>() * net.t_l;
+            let merged_latency = merged[0].blocks as f64 * net.t_l;
+            prop_assert!(merged_latency <= flat_latency + 1e-18);
+            let merged_words: u64 = merged[0].words;
+            prop_assert_eq!(merged_words, words.iter().sum::<u64>());
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //!   bandwidth, including half-bandwidth design points;
 //! * [`beta`] — the §3.4 error bound on the model's pessimism;
 //! * [`logp`] — the LogP/LogGP correspondence discussed in §3.3;
+//! * [`maxrate`] — the injection-bandwidth-limited max-rate model for
+//!   node-aggregated exchanges (Bienz, Gropp & Olson);
 //! * [`scaling_law`] — §4.1's O(n^{1/3}) surface-to-volume law, fitted;
 //! * [`overlap`] — the footnote-1 best case of overlapped phases;
 //! * [`bisection`] — bisection-bandwidth requirements;
@@ -17,6 +19,7 @@ pub mod bisection;
 pub mod eq1;
 pub mod eq2;
 pub mod logp;
+pub mod maxrate;
 pub mod overlap;
 pub mod scaling_law;
 pub mod validate;

@@ -78,6 +78,25 @@ impl Telemetry {
                 self.instants_dropped()
             ),
         );
+        // Node-aggregated runs: surface the merged (node, node) block-size
+        // distribution in-band so a Perfetto reader sees the aggregation
+        // factor next to the gather spans and flow arrows.
+        if self.node_block_words.count() > 0 {
+            let s = self.node_block_words.summary();
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"node_block_words\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                     \"args\":{{\"name\":\"node_block_words\",\"count\":{},\
+                     \"p50\":{},\"p99\":{},\"max\":{},\"mean\":{}}}}}",
+                    s.count,
+                    s.p50,
+                    s.p99,
+                    s.max,
+                    fmt_f64(s.mean)
+                ),
+            );
+        }
         for pe in 0..=self.pes() {
             let label = if pe == self.pes() {
                 "driver".to_string()
@@ -153,6 +172,14 @@ impl Telemetry {
             "Chaos-layer backoff/retry delay.",
             &self.retry_ns,
             1e-9,
+        );
+        write_histogram(
+            &mut out,
+            "quake_node_block_words",
+            "Merged cross-node aggregate block size per (node, node) pair \
+             in 64-bit words (empty on flat runs).",
+            &self.node_block_words,
+            1.0,
         );
 
         out.push_str("# HELP quake_steps_total BSP steps observed by telemetry.\n");

@@ -316,6 +316,7 @@ pub fn merged_telemetry(shards: &[ShardTrace]) -> Telemetry {
         t.block_words.merge(&snap.block_words);
         t.compute_ns.merge(&snap.compute_ns);
         t.retry_ns.merge(&snap.retry_ns);
+        t.node_block_words.merge(&snap.node_block_words);
         t.steps = t.steps.max(snap.steps);
     }
     t
@@ -367,6 +368,7 @@ mod tests {
                 block_words: Default::default(),
                 compute_ns: Default::default(),
                 retry_ns: Default::default(),
+                node_block_words: Default::default(),
                 flows: Vec::new(),
                 flows_dropped: 0,
             },

@@ -80,6 +80,9 @@ pub struct Telemetry {
     pub compute_ns: Log2Histogram,
     /// Chaos-layer backoff/retry delay, nanoseconds.
     pub retry_ns: Log2Histogram,
+    /// Node-aggregated exchange: merged per-(node, node) block size, words.
+    /// Empty on flat runs.
+    pub node_block_words: Log2Histogram,
     /// Live Eq. (2) drift monitor, when armed with per-PE loads.
     pub drift: Option<DriftMonitor>,
     /// BSP steps observed.
@@ -108,6 +111,7 @@ impl Telemetry {
             block_words: Log2Histogram::new(),
             compute_ns: Log2Histogram::new(),
             retry_ns: Log2Histogram::new(),
+            node_block_words: Log2Histogram::new(),
             drift: config.drift.map(|d| DriftMonitor::new(loads, d)),
             steps: 0,
             phase_wall_ns: [0; PhaseId::ALL.len()],

@@ -497,6 +497,7 @@ mod tests {
                 block_words: Default::default(),
                 compute_ns: Default::default(),
                 retry_ns: Default::default(),
+                node_block_words: Default::default(),
                 flows: Vec::new(),
                 flows_dropped: 0,
             },

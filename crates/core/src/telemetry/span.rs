@@ -36,17 +36,22 @@ pub enum PhaseId {
     /// nested inside the `Exchange` span so the profiler can split the
     /// exchange into apply work vs waiting on the wire.
     Wait,
+    /// Node-aggregated exchange only: intra-node gather of boundary partials
+    /// into the merged per-(node, node) block before it crosses the slow
+    /// link. Recorded nested inside the `Exchange` span, like `Wait`.
+    Gather,
 }
 
 impl PhaseId {
     /// Every phase, in execution order.
-    pub const ALL: [PhaseId; 10] = [
+    pub const ALL: [PhaseId; 11] = [
         PhaseId::Assemble,
         PhaseId::Post,
         PhaseId::Compute,
         PhaseId::Stage,
         PhaseId::Verify,
         PhaseId::Exchange,
+        PhaseId::Gather,
         PhaseId::Wait,
         PhaseId::Barrier,
         PhaseId::Fold,
@@ -66,6 +71,7 @@ impl PhaseId {
             PhaseId::Recover => "recover",
             PhaseId::Post => "post",
             PhaseId::Wait => "wait",
+            PhaseId::Gather => "gather",
         }
     }
 

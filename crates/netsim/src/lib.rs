@@ -35,7 +35,9 @@ pub mod validate;
 pub mod workload;
 
 pub use fault::{half_bandwidth_shift, render_straggler_surface, straggler_surface, StragglerCell};
-pub use simulate::{simulate_comm_phase, simulate_run, simulate_smvp, SimOptions, SmvpTiming};
+pub use simulate::{
+    simulate_comm_phase, simulate_run, simulate_smvp, simulate_two_level, SimOptions, SmvpTiming,
+};
 pub use sweep::{efficiency_surface, log_space, render_surface, SurfaceCell};
 pub use validate::{validate, ValidationRow};
 pub use workload::{Workload, WorkloadError};

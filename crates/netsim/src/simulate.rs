@@ -227,6 +227,61 @@ pub fn simulate_comm_phase(workload: &Workload, network: &Network, options: SimO
     makespan
 }
 
+/// Simulates the communication phase of a node-aware two-level exchange
+/// and returns its duration (seconds).
+///
+/// PEs are grouped into nodes by `node_of`; intra-node boundary traffic
+/// moves PE-to-PE on the `fast` local link, while all cross-node traffic
+/// is gathered and crosses the `slow` link as exactly one merged message
+/// per directed (node, node) pair, paid by the node's shared injection
+/// port. The legs are barrier-separated — the gather completes before the
+/// merged blocks are injected, matching the executor's aggregated
+/// exchange — so the phase time is their sum. With one PE per node the
+/// cross leg is the original workload and the intra leg is empty, so the
+/// result degenerates exactly to [`simulate_comm_phase`] on `slow`.
+///
+/// # Panics
+///
+/// Panics if `node_of` does not cover every PE.
+pub fn simulate_two_level(
+    workload: &Workload,
+    slow: &Network,
+    fast: &Network,
+    node_of: &[usize],
+    options: SimOptions,
+) -> f64 {
+    let p = workload.parts();
+    assert_eq!(node_of.len(), p, "node map must cover every PE");
+    let nodes = node_of.iter().copied().max().map_or(1, |m| m + 1);
+    // Intra-node leg: the PE-level workload restricted to same-node pairs.
+    let intra_traffic: Vec<Vec<u64>> = (0..p)
+        .map(|i| {
+            (0..p)
+                .map(|j| {
+                    if node_of[i] == node_of[j] {
+                        workload.traffic(i, j)
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let intra = Workload::new(vec![0; p], intra_traffic).expect("same shape as the source");
+    // Cross-node leg: one injection port per node, merged traffic. The
+    // diagonal is zero by construction (same-node pairs are intra).
+    let mut merged = vec![vec![0u64; nodes]; nodes];
+    for i in 0..p {
+        for j in 0..p {
+            if node_of[i] != node_of[j] {
+                merged[node_of[i]][node_of[j]] += workload.traffic(i, j);
+            }
+        }
+    }
+    let cross = Workload::new(vec![0; nodes], merged).expect("zero diagonal by construction");
+    simulate_comm_phase(&intra, fast, options) + simulate_comm_phase(&cross, slow, options)
+}
+
 /// Simulates one full SMVP: barrier-separated computation then
 /// communication.
 pub fn simulate_smvp(
@@ -440,6 +495,56 @@ mod tests {
         assert!(
             fragmented > 20.0 * maximal,
             "maximal {maximal} vs fragmented {fragmented}"
+        );
+    }
+
+    #[test]
+    fn two_level_degenerates_to_flat_at_one_pe_per_node() {
+        let w = Workload::random_sparse(8, 0, 300, 3, 7);
+        let slow = net(10e-6, 50e-9);
+        let fast = net(1e-6, 5e-9);
+        let node_of: Vec<usize> = (0..8).collect();
+        let flat = simulate_comm_phase(&w, &slow, SimOptions::default());
+        let two = simulate_two_level(&w, &slow, &fast, &node_of, SimOptions::default());
+        // The intra leg is empty and the cross leg IS the workload, so the
+        // degeneracy is exact, not approximate.
+        assert_eq!(two, flat);
+    }
+
+    #[test]
+    fn aggregation_beats_flat_when_latency_dominates() {
+        // Ring of 8 in 2 nodes of 4: flat pays 4 block latencies per PE on
+        // the slow link; aggregated pays 2 per *node* plus a cheap local
+        // gather, so a latency-bound network rewards merging.
+        let w = Workload::ring(8, 0, 50);
+        let slow = net(100e-6, 1e-9);
+        let fast = net(1e-6, 1e-9);
+        let node_of = [0, 0, 0, 0, 1, 1, 1, 1];
+        let flat = simulate_comm_phase(&w, &slow, SimOptions::default());
+        let two = simulate_two_level(&w, &slow, &fast, &node_of, SimOptions::default());
+        assert!(two < flat, "aggregated {two} vs flat {flat}");
+    }
+
+    #[test]
+    fn single_node_runs_entirely_on_the_local_link() {
+        let w = Workload::ring(4, 0, 100);
+        let slow = net(50e-6, 100e-9);
+        let fast = net(1e-6, 1e-9);
+        let two = simulate_two_level(&w, &slow, &fast, &[0, 0, 0, 0], SimOptions::default());
+        let local = simulate_comm_phase(&w, &fast, SimOptions::default());
+        assert_eq!(two, local);
+    }
+
+    #[test]
+    #[should_panic(expected = "node map must cover every PE")]
+    fn two_level_rejects_short_node_map() {
+        let w = Workload::ring(4, 0, 10);
+        simulate_two_level(
+            &w,
+            &net(1e-6, 1e-9),
+            &net(1e-6, 1e-9),
+            &[0, 0],
+            SimOptions::default(),
         );
     }
 

@@ -162,6 +162,27 @@ COMMANDS:
                   the Eq. (2) validation, and proves the folded product
                   bitwise-equal to the shared-memory run
                   --shards <n: 2>  shard-process count for --transport proc
+                  --nodes <n>  arm the node-aware two-level exchange: the
+                  shards chunk contiguously onto n nodes, PEs sharing a
+                  node gather their boundary partials over the fast
+                  intra-node path, and exactly one merged block per
+                  (node, node) pair crosses the slow link — collapsing
+                  the O(p^2) small-message exchange into O(n^2) large
+                  frames. Output, counters and schedules are
+                  bitwise-identical to the flat run (aggregation is
+                  transport-level); reports add the max-rate model
+                  max_N(B_N*T_l + C_N*T_w) next to Eq. (2). Absent means
+                  flat; 0, a non-integer, or n > shards exit 2
+                  --aggregate <on|off: on>  ablation arm for --nodes:
+                  'off' keeps the node placement (so --wire-latency still
+                  prices the same topology) but runs the exchange flat —
+                  every boundary block crosses the slow link individually
+                  --wire-latency <s: 0>  netem-style emulated inter-node
+                  latency on the proc fabric: each ghost frame between
+                  shards on different nodes is held s seconds on the
+                  sender before hitting the socket, so a single host can
+                  price a fabric whose inter-node leg is genuinely slower
+                  than its intra-node leg; negative or non-finite exits 2
                   --conn-timeout <s: 30>  proc fault-domain deadline: the
                   bootstrap window, the heartbeat/staleness clock and the
                   degraded-wait round length (heartbeats tick at a quarter
@@ -338,6 +359,15 @@ mod tests {
         assert!(help().contains("--transport <shared|netsim|proc: shared>"));
         assert!(help().contains("--shards <n: 2>"));
         assert!(help().contains("microbenchmarks"));
+    }
+
+    #[test]
+    fn help_documents_the_node_aware_exchange() {
+        assert!(help().contains("--nodes <n>"));
+        assert!(help().contains("one merged block per"));
+        assert!(help().contains("max_N(B_N*T_l + C_N*T_w)"));
+        assert!(help().contains("--aggregate <on|off: on>"));
+        assert!(help().contains("--wire-latency <s: 0>"));
     }
 
     #[test]

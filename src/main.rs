@@ -284,6 +284,49 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
                 flag: "kernel".to_string(),
                 value: inv.get_str("kernel", "micro"),
             })?;
+    // --nodes N arms the node-aware two-level exchange: the spec's shards
+    // chunk contiguously onto N nodes, PEs sharing a node gather boundary
+    // partials locally, and exactly one merged block per (node, node) pair
+    // crosses the slow link. Absent means flat; an explicit 0, a
+    // non-integer, or more nodes than shards cannot describe a topology
+    // (exit 2).
+    let nodes: usize = match inv.get_str("nodes", "").as_str() {
+        "" => 0,
+        raw => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 && n <= shards => n,
+            _ => {
+                return Err(Box::new(CliError::BadValue {
+                    flag: "nodes".to_string(),
+                    value: raw.to_string(),
+                }))
+            }
+        },
+    };
+    // --aggregate off is the ablation arm: the node placement stays (so
+    // --wire-latency still prices the same topology) but the exchange
+    // runs flat — every boundary block crosses the emulated slow link
+    // individually. Only meaningful alongside --nodes.
+    let aggregate = match inv.get_str("aggregate", "").as_str() {
+        "on" | "" => true,
+        "off" => false,
+        other => {
+            return Err(Box::new(CliError::BadValue {
+                flag: "aggregate".to_string(),
+                value: other.to_string(),
+            }))
+        }
+    };
+    // --wire-latency S holds each ghost frame that crosses a node
+    // boundary on the sender for S seconds (netem-style), emulating a
+    // fabric whose inter-node leg is slower than its intra-node leg on a
+    // single host. Negative, non-finite, or unparsable is a usage error.
+    let wire_latency: f64 = inv.get("wire-latency", 0.0f64)?;
+    if !(wire_latency.is_finite() && wire_latency >= 0.0) {
+        return Err(Box::new(CliError::BadValue {
+            flag: "wire-latency".to_string(),
+            value: wire_latency.to_string(),
+        }));
+    }
     for (flag, zero) in [
         ("threads", threads == 0),
         ("steps", steps == 0),
@@ -373,6 +416,9 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
         wire_fault_rate,
         wire_fault_seed,
         restart_budget,
+        nodes,
+        aggregate,
+        wire_latency,
     };
     if transport == TransportKind::Proc {
         let built = quake_app::transport::run::Built {
@@ -393,17 +439,56 @@ fn cmd_smvp_run(inv: &Invocation) -> Result<(), Box<dyn std::error::Error>> {
             &profile_json,
         );
     }
+    // Node-aware runs swap in the aggregating fabrics; the executor's
+    // schedule never changes (aggregation is transport-level), so output
+    // and counters stay bitwise-identical to the flat run.
+    let node_map = (nodes >= 1 && aggregate)
+        .then(|| quake_app::transport::NodeMap::for_shards(parts, shards, nodes));
     let mut netsim = None;
     let mut exec = match transport {
-        TransportKind::Shared => BspExecutor::with_options(&system, threads, rcm, overlap),
+        TransportKind::Shared => match &node_map {
+            Some(map) => {
+                let edges = ghost_edges(&system);
+                let t: Arc<dyn quake_app::transport::Transport> = Arc::new(
+                    quake_app::transport::SharedTransport::with_nodes(&edges, map),
+                );
+                BspExecutor::with_transport(&system, threads, rcm, overlap, 0..parts, t)
+            }
+            None => BspExecutor::with_options(&system, threads, rcm, overlap),
+        },
         TransportKind::Netsim => {
             let edges = ghost_edges(&system);
-            let t = Arc::new(NetsimTransport::new(&edges, parts, Network::cray_t3e()));
+            let t = Arc::new(match &node_map {
+                Some(map) => NetsimTransport::with_nodes(
+                    &edges,
+                    parts,
+                    Network::cray_t3e(),
+                    Network::node_local(),
+                    map,
+                ),
+                None => NetsimTransport::new(&edges, parts, Network::cray_t3e()),
+            });
             netsim = Some(Arc::clone(&t));
             BspExecutor::with_transport(&system, threads, rcm, overlap, 0..parts, t)
         }
         TransportKind::Proc => unreachable!("dispatched above"),
     };
+    if let Some(map) = &node_map {
+        let of: Vec<usize> = (0..parts).map(|q| map.node_of(q)).collect();
+        exec.set_node_map(&of);
+        if !quiet {
+            let mr = quake_partition::comm::MaxRateAnalysis::new(&app.mesh, &partition, nodes);
+            let flat = ghost_edges(&system)
+                .iter()
+                .filter(|e| !map.same_node(e.from, e.to))
+                .count();
+            println!(
+                "node-aware exchange armed: {parts} PEs on {nodes} node(s), {} merged \
+                 (node, node) blocks per step replace {flat} flat cross-node edges",
+                mr.cross_blocks(),
+            );
+        }
+    }
     exec.set_kernel(kernel);
     if kernel == quake_app::executor::KernelKind::MicroSimd && !quiet {
         println!(
@@ -699,8 +784,12 @@ fn run_smvp_proc(
         );
         // Eq. (2) under the measured parameters, against the measured
         // exchange wall — the proc analogue of the netsim postal model.
+        // An emulated inter-node hold (`--wire-latency`) is part of the
+        // link both models must price, so it folds into the per-message
+        // latency term.
         let i = &analyzed.instance;
-        let predicted = i.b_max as f64 * out.link.t_l + i.c_max as f64 * out.link.t_w;
+        let t_l_eff = out.link.t_l + spec.wire_latency;
+        let predicted = i.b_max as f64 * t_l_eff + i.c_max as f64 * out.link.t_w;
         let measured = report.phases.exchange / spec.steps.max(1) as f64;
         println!(
             "Eq. (2) with measured link: B_max·T_l + C_max·T_w = {:.3e} s/step \
@@ -709,6 +798,29 @@ fn run_smvp_proc(
             measured,
             measured / predicted.max(f64::MIN_POSITIVE)
         );
+        // Node-aware runs also price the exchange with the max-rate model
+        // (Bienz, Gropp & Olson): the busiest node's injection port plus
+        // the intra-node gather leg, under the same measured link.
+        if spec.nodes >= 1 {
+            let mr = quake_partition::comm::MaxRateAnalysis::new(
+                &built.app.mesh,
+                &built.partition,
+                spec.nodes,
+            );
+            // Inter-node leg pays the (possibly emulated) slow link;
+            // the intra-node gather rides the raw measured socket.
+            let mr_pred =
+                mr.predicted_with_local(t_l_eff, out.link.t_w, out.link.t_l, out.link.t_w);
+            let floor = measured.max(f64::MIN_POSITIVE);
+            println!(
+                "max-rate model ({} nodes): max_N(B_N·T_l + C_N·T_w) + local gather = \
+                 {:.3e} s/step (rel err {:.1}% vs Eq. (2) rel err {:.1}%)\n",
+                spec.nodes,
+                mr_pred,
+                100.0 * (measured - mr_pred).abs() / floor,
+                100.0 * (measured - predicted).abs() / floor,
+            );
+        }
     }
     let validation = validate(&analyzed.instance, &report.measured());
     if !quiet {
